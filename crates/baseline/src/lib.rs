@@ -1,0 +1,115 @@
+//! # baseline — the copy-paste foil (Section 1's "common practice")
+//!
+//! The paper motivates family polymorphism against the prevailing
+//! alternative: "to reuse mechanized metatheories, the common practice is
+//! still to copy code and proofs and then modify them in each extension."
+//! This crate realizes that practice mechanically so the benches can
+//! compare against it: every STLC variant of the Section 7 lattice is
+//! flattened into a *standalone root development* (no `extends`, no
+//! mixins) and elaborated with a cold proof cache — every field, case and
+//! lemma is re-checked from scratch, exactly as a copied-and-modified
+//! development would be.
+
+use fpop::family::FamilyDef;
+use fpop::merge::delta_of;
+use fpop::universe::FamilyUniverse;
+use objlang::error::{Error, Result};
+use objlang::Symbol;
+
+use families_stlc::lattice::{composite_family, variant_name, Feature};
+
+/// The cost profile of developing one variant standalone.
+#[derive(Clone, Debug)]
+pub struct StandaloneCost {
+    /// Variant name (e.g. `STLCFixProd`).
+    pub name: String,
+    /// Number of fields in the flattened development.
+    pub fields: usize,
+    /// Units checked (everything — nothing is shared).
+    pub checked: usize,
+    /// Elaboration wall time.
+    pub elapsed: std::time::Duration,
+}
+
+/// Builds the flattened root-family definition for a feature set: the
+/// merged field list of the family-based variant, replayed as a monolithic
+/// development.
+pub fn monolithic_def(features: &[Feature]) -> Result<FamilyDef> {
+    // Build the family-based variant in a scratch universe to obtain its
+    // merged field list (this mirrors what a programmer would copy).
+    let mut scratch = FamilyUniverse::new();
+    scratch.define(families_stlc::stlc_family())?;
+    for f in Feature::all_extended() {
+        if features.contains(&f) {
+            let def = match f {
+                Feature::Fix => families_stlc::fix::stlc_fix_family(),
+                Feature::Prod => families_stlc::prod::stlc_prod_family(),
+                Feature::Sum => families_stlc::sum::stlc_sum_family(),
+                Feature::Isorec => families_stlc::isorec::stlc_isorec_family(),
+                Feature::Bool => families_stlc::boolean::stlc_bool_family(),
+            };
+            scratch.define(def)?;
+        }
+    }
+    let name = if features.len() == 1 {
+        features[0].family_name().to_string()
+    } else {
+        let def = composite_family(features);
+        let name = def.name.to_string();
+        scratch.define(def)?;
+        name
+    };
+    let fam = scratch
+        .family(&name)
+        .ok_or_else(|| Error::new(format!("variant {name} missing")))?;
+    // Flatten: the full field list becomes a root-family script.
+    let fields = delta_of(&[], &fam.fields)?;
+    Ok(FamilyDef {
+        name: Symbol::new(&format!("Mono{name}")),
+        extends: None,
+        mixins: vec![],
+        fields,
+    })
+}
+
+/// Elaborates the flattened variant with a cold cache and reports the
+/// cost. This is the per-variant price of the copy-paste practice.
+pub fn standalone_cost(features: &[Feature]) -> Result<StandaloneCost> {
+    let def = monolithic_def(features)?;
+    let name = def.name.to_string();
+    let mut cold = FamilyUniverse::new();
+    let t = std::time::Instant::now();
+    cold.define(def)?;
+    let elapsed = t.elapsed();
+    let fam = cold.family(&name).expect("just defined");
+    debug_assert_eq!(fam.ledger.shared_count(), 0);
+    Ok(StandaloneCost {
+        name: variant_name(features),
+        fields: fam.fields.len(),
+        checked: fam.ledger.checked_count(),
+        elapsed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monolithic_fix_variant_rechecks_everything() {
+        let cost = standalone_cost(&[Feature::Fix]).unwrap();
+        // The family-based STLCFix checks ~15 units; the monolithic copy
+        // re-checks everything (> 40 units).
+        assert!(cost.checked > 40, "checked {}", cost.checked);
+    }
+
+    #[test]
+    fn monolithic_variant_is_still_type_safe() {
+        let def = monolithic_def(&[Feature::Prod]).unwrap();
+        let name = def.name.to_string();
+        let mut u = FamilyUniverse::new();
+        u.define(def).unwrap();
+        let out = u.check(&name, "typesafe").unwrap();
+        assert!(out.contains("typesafe"), "{out}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Experiment F2/F4/F5: compiling family `STLC` (Figure 2 → Figure 4) and
+//! the derived family `STLCFix` (→ Figure 5).
+//!
+//! Reports elaboration+checking time for the base family and for the
+//! extension, plus the checked/shared split that realizes Figure 5's
+//! `(* reuse *)` annotations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpop::universe::FamilyUniverse;
+use std::hint::black_box;
+
+fn report() {
+    let mut u = FamilyUniverse::new();
+    u.define(families_stlc::stlc_family()).unwrap();
+    u.define(families_stlc::fix::stlc_fix_family()).unwrap();
+    let stlc = u.family("STLC").unwrap();
+    let fix = u.family("STLCFix").unwrap();
+    eprintln!("\n== F2/F4/F5: compilation of STLC and STLCFix ==");
+    eprintln!(
+        "STLC    : {} fields, {} units checked, {} shared",
+        stlc.fields.len(),
+        stlc.ledger.checked_count(),
+        stlc.ledger.shared_count()
+    );
+    eprintln!(
+        "STLCFix : {} fields, {} units checked, {} shared ({:.0}% reuse)",
+        fix.fields.len(),
+        fix.ledger.checked_count(),
+        fix.ledger.shared_count(),
+        fix.ledger.reuse_ratio() * 100.0
+    );
+    // Module-structure audit: the compiled environment holds the
+    // Figures 4–5 parameterized modules.
+    let n_modules = u.modenv.names().len();
+    eprintln!("compiled module entities: {n_modules}");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    c.bench_function("compile/STLC_base", |b| {
+        b.iter(|| {
+            let mut u = FamilyUniverse::new();
+            u.define(families_stlc::stlc_family()).unwrap();
+            black_box(u.family("STLC").unwrap().ledger.checked_count())
+        })
+    });
+    c.bench_function("compile/STLCFix_extension", |b| {
+        // Base compiled once; measure only the derived family.
+        b.iter_batched(
+            || {
+                let mut u = FamilyUniverse::new();
+                u.define(families_stlc::stlc_family()).unwrap();
+                u
+            },
+            |mut u| {
+                u.define(families_stlc::fix::stlc_fix_family()).unwrap();
+                black_box(u.family("STLCFix").unwrap().ledger.shared_count())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Experiment CS2: the Imp abstract interpreters (Section 7).
+//!
+//! Builds the `Imp`/`ImpGAI`/`ImpTI`/`ImpCP` family chain (the framework's
+//! generic soundness proof plus two instances), then runs the "extracted"
+//! verified interpreters on straight-line programs of growing size — the
+//! paper's "testing the extracted program over simple queries returns
+//! expected results".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use families_imp::programs::{assign_num, assign_plus_vars, program, run_analysis, run_exec};
+use fpop::universe::FamilyUniverse;
+use std::hint::black_box;
+
+fn build() -> FamilyUniverse {
+    let mut u = FamilyUniverse::new();
+    u.define(families_imp::imp_family()).unwrap();
+    u.define(families_imp::imp_gai_family()).unwrap();
+    u.define(families_imp::imp_ti_family()).unwrap();
+    u.define(families_imp::imp_cp_family()).unwrap();
+    u
+}
+
+/// `x0 := 1; x1 := x0 + x0; …; x_n := x_{n-1} + x_{n-2}`-ish chain.
+fn chain(n: usize) -> objlang::Term {
+    let mut stmts = vec![assign_num("x0", 1), assign_num("x1", 1)];
+    for i in 2..n {
+        stmts.push(assign_plus_vars(
+            &format!("x{i}"),
+            &format!("x{}", i - 1),
+            &format!("x{}", i - 2),
+        ));
+    }
+    program(stmts)
+}
+
+fn report() {
+    let u = build();
+    eprintln!("\n== CS2: Imp abstract interpreters ==");
+    for f in ["Imp", "ImpGAI", "ImpTI", "ImpCP"] {
+        let fam = u.family(f).unwrap();
+        eprintln!(
+            "{f:<7}: {} fields, {} checked, {} shared, assumptions {:?}",
+            fam.fields.len(),
+            fam.ledger.checked_count(),
+            fam.ledger.shared_count(),
+            fam.assumptions
+        );
+    }
+    let cp = u.family("ImpCP").unwrap();
+    let p = chain(8);
+    // Fibonacci-by-constant-propagation: x7 = fib(8) = 21.
+    let concrete = run_exec(cp, &p, "x7").unwrap();
+    let abstract_ = run_analysis(cp, &p, "x7").unwrap();
+    eprintln!("CP on 8-stmt chain: x7 = {concrete}, analysis = {abstract_}");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    c.bench_function("imp/define_family_chain", |b| {
+        b.iter(|| black_box(build().names().len()))
+    });
+    let u = build();
+    let cp = u.family("ImpCP").unwrap().clone();
+    let ti = u.family("ImpTI").unwrap().clone();
+    for n in [4usize, 8, 12] {
+        let p = chain(n);
+        c.bench_function(&format!("imp/cp_analyze_chain_{n}"), |b| {
+            b.iter(|| black_box(run_analysis(&cp, &p, &format!("x{}", n - 1)).unwrap()))
+        });
+        c.bench_function(&format!("imp/exec_chain_{n}"), |b| {
+            b.iter(|| black_box(run_exec(&cp, &p, &format!("x{}", n - 1)).unwrap()))
+        });
+    }
+    let p = chain(8);
+    c.bench_function("imp/ti_analyze_chain_8", |b| {
+        b.iter(|| black_box(run_analysis(&ti, &p, "x7").unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Experiments T5.2 / F8 / §6.3 / §6.5: the FMLTT kernel.
+//!
+//! * canonicity (Theorem 5.2) as a normalizer over generated closed
+//!   boolean terms and over W-type recursion;
+//! * checking the Figure 8 linkage encoding of family STLC;
+//! * applying and re-checking the Section 6.5 transformer chain;
+//! * the Section 6.3 linkage-erasing translation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmltt::canon::canonical_bool;
+use fmltt::check::{check_linkage, Ctx};
+use fmltt::encoding::{self, ctors};
+use fmltt::sem::{eval_lsig, Env};
+use fmltt::transformer::inh;
+use fmltt::Tm;
+use std::hint::black_box;
+use std::rc::Rc;
+
+/// A closed boolean term of depth `n`: nested if/λ-applications.
+fn deep_bool(n: usize) -> Tm {
+    let mut t = Tm::True;
+    for i in 0..n {
+        let branch = if i % 2 == 0 { Tm::False } else { Tm::True };
+        let ite = Tm::If(
+            Rc::new(t),
+            Rc::new(branch.clone()),
+            Rc::new(Tm::app_to(Tm::Lam(Rc::new(Tm::Var(0))), branch)),
+            Rc::new(fmltt::Ty::Bool),
+        );
+        t = Tm::app_to(Tm::Lam(Rc::new(Tm::Var(0))), ite);
+    }
+    t
+}
+
+/// A W-term of `τ_tm` with `n` nested applications.
+fn deep_tm(n: usize) -> Tm {
+    let tau = encoding::tau_tm();
+    let mut t = ctors::tm_unit(&tau, 0);
+    for _ in 0..n {
+        t = ctors::tm_app(&tau, 0, ctors::tm_abs(&tau, 0, Tm::True, t.clone()), t);
+    }
+    t
+}
+
+fn report() {
+    eprintln!("\n== T5.2/F8: kernel canonicity and the Figure 8 encoding ==");
+    let v = canonical_bool(&deep_bool(64)).unwrap();
+    eprintln!("canonicity: depth-64 closed boolean ⇓ {v:?}");
+    let (sig, link) = encoding::stlc_family();
+    let entries = eval_lsig(&Env::new(), &sig).unwrap();
+    check_linkage(&Ctx::new(), &link, &entries).unwrap();
+    eprintln!("Figure 8: · ⊢ ℓ : L(σ) checked");
+    let derived = inh(&encoding::derived_transformer(), &link);
+    let dentries = eval_lsig(&Env::new(), &encoding::derived_sig()).unwrap();
+    check_linkage(&Ctx::new(), &derived, &dentries).unwrap();
+    eprintln!("§6.5: derived family via transformers checked");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    c.bench_function("kernel/canonicity_bool_depth64", |b| {
+        let t = deep_bool(64);
+        b.iter(|| black_box(canonical_bool(&t).unwrap()))
+    });
+    c.bench_function("kernel/wrec_size_depth8", |b| {
+        let tau = encoding::tau_tm();
+        let call = Tm::app_to(encoding::size_fn(&tau, 0), deep_tm(8));
+        b.iter(|| black_box(canonical_bool(&call).unwrap()))
+    });
+    c.bench_function("kernel/check_figure8_linkage", |b| {
+        let (sig, link) = encoding::stlc_family();
+        b.iter(|| {
+            let entries = eval_lsig(&Env::new(), &sig).unwrap();
+            check_linkage(&Ctx::new(), &link, &entries).unwrap();
+            black_box(())
+        })
+    });
+    c.bench_function("kernel/derive_family_via_transformers", |b| {
+        let (_, link) = encoding::stlc_family();
+        let h = encoding::derived_transformer();
+        let dsig = encoding::derived_sig();
+        b.iter(|| {
+            let derived = inh(&h, &link);
+            let entries = eval_lsig(&Env::new(), &dsig).unwrap();
+            check_linkage(&Ctx::new(), &derived, &entries).unwrap();
+            black_box(())
+        })
+    });
+    c.bench_function("kernel/translate_linkages_away", |b| {
+        let tau = encoding::tau_tm();
+        let fields = encoding::family_fields(&tau, 0, false);
+        let prefix = &fields[..fields.len() - 1];
+        let link = encoding::fields_to_linkage(prefix);
+        let sig = encoding::fields_to_lsig(prefix);
+        b.iter(|| {
+            let e = fmltt::translate::erase_tm(&link).unwrap();
+            let et = fmltt::translate::erase_ty(&fmltt::Ty::L(Rc::new(sig.clone()))).unwrap();
+            black_box((e, et))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Experiment F3/CS1-venn: the Section 7 Venn diagram — building all 15
+//! STLC feature combinations by mixin composition, every one ending with
+//! an inherited `typesafe` theorem. Prints the per-variant table (arity,
+//! fields, checked, shared, reuse%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpop::universe::FamilyUniverse;
+use std::hint::black_box;
+
+fn report() {
+    let mut u = FamilyUniverse::new();
+    let rep = families_stlc::build_lattice(&mut u).unwrap();
+    eprintln!("\n== F3/CS1-venn: the 15-variant composition lattice ==");
+    eprintln!("{}", rep.to_table());
+    for row in &rep.rows {
+        assert!(u.check(&row.name, "typesafe").is_ok());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    c.bench_function("lattice/build_all_15_variants", |b| {
+        b.iter(|| {
+            let mut u = FamilyUniverse::new();
+            let rep = families_stlc::build_lattice(&mut u).unwrap();
+            black_box(rep.rows.len())
+        })
+    });
+    c.bench_function("lattice/build_extended_31_variants", |b| {
+        b.iter(|| {
+            let mut u = FamilyUniverse::new();
+            let rep = families_stlc::build_extended_lattice(&mut u).unwrap();
+            black_box(rep.rows.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    targets = bench
+}
+criterion_main!(benches);

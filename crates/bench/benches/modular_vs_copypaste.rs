@@ -1,0 +1,101 @@
+//! Experiment CS1-share: modular compilation (Section 4) versus the
+//! copy-paste practice (Section 1).
+//!
+//! For each lattice variant we compare the *incremental* cost of the
+//! family-based development (only the delta is checked; inherited fields
+//! and proofs are shared) against the standalone cost of a flattened,
+//! monolithic copy (everything re-checked). The expected shape — the
+//! paper's claim — is that the family route pays roughly the base cost
+//! once, while copy-paste re-pays it for every variant, so the cumulative
+//! gap grows with the lattice.
+
+use baseline::standalone_cost;
+use criterion::{criterion_group, criterion_main, Criterion};
+use families_stlc::lattice::{variant_name, Feature};
+use fpop::universe::FamilyUniverse;
+use std::hint::black_box;
+
+fn variant_sets() -> Vec<Vec<Feature>> {
+    let feats = Feature::all();
+    let mut out = Vec::new();
+    for mask in 1u32..16 {
+        let subset: Vec<Feature> = feats
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, f)| f)
+            .collect();
+        out.push(subset);
+    }
+    out
+}
+
+fn report() {
+    let mut u = FamilyUniverse::new();
+    families_stlc::build_lattice(&mut u).unwrap();
+    eprintln!("\n== CS1-share: fpop modular compilation vs copy-paste ==");
+    eprintln!(
+        "{:<24} {:>12} {:>14} {:>8}",
+        "variant", "fpop checked", "copy-paste chk", "ratio"
+    );
+    let mut fpop_total = 0usize;
+    let mut mono_total = 0usize;
+    for subset in variant_sets() {
+        let name = variant_name(&subset);
+        let fam = u.family(&name).expect("lattice variant");
+        let mono = standalone_cost(&subset).expect("baseline variant");
+        fpop_total += fam.ledger.checked_count();
+        mono_total += mono.checked;
+        eprintln!(
+            "{:<24} {:>12} {:>14} {:>7.1}x",
+            name,
+            fam.ledger.checked_count(),
+            mono.checked,
+            mono.checked as f64 / fam.ledger.checked_count() as f64
+        );
+    }
+    let base = u.family("STLC").unwrap().ledger.checked_count();
+    eprintln!(
+        "{:<24} {:>12} {:>14} {:>7.1}x   (incl. base {base} checked once)",
+        "TOTAL (15 variants)",
+        fpop_total + base,
+        mono_total,
+        mono_total as f64 / (fpop_total + base) as f64
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    // Wall-clock comparison on a representative 3-feature variant.
+    let subset = vec![Feature::Fix, Feature::Prod, Feature::Isorec];
+    c.bench_function("share/fpop_incremental_FixProdIsorec", |b| {
+        b.iter_batched(
+            || {
+                let mut u = FamilyUniverse::new();
+                u.define(families_stlc::stlc_family()).unwrap();
+                u.define(families_stlc::fix::stlc_fix_family()).unwrap();
+                u.define(families_stlc::prod::stlc_prod_family()).unwrap();
+                u.define(families_stlc::isorec::stlc_isorec_family())
+                    .unwrap();
+                u
+            },
+            |mut u| {
+                let def = families_stlc::lattice::composite_family(&subset);
+                u.define(def).unwrap();
+                black_box(u.family("STLCFixProdIsorec").unwrap().fields.len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("share/copypaste_standalone_FixProdIsorec", |b| {
+        b.iter(|| black_box(standalone_cost(&subset).unwrap().checked))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Experiment §3.6: partial recursors versus the `FInduction` workaround.
+//!
+//! The paper argues that proving constructor disjointness via
+//! `fdiscriminate` (powered by partial recursors) is reusable as-is by
+//! derived families, whereas the `FInduction` route "forces the programmer
+//! to revisit the induction proofs every time an inductive type is
+//! extended". We measure exactly that: a disjointness lemma proved with
+//! `fdiscriminate` is *shared* by the derived family, while the
+//! closed-world (reprove-on-extend) formulation is re-run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpop::family::FamilyDef;
+use fpop::universe::FamilyUniverse;
+use objlang::sig::CtorSig;
+use objlang::syntax::{Prop, Sort, Term};
+use objlang::Tactic;
+use std::hint::black_box;
+
+fn dt() -> Sort {
+    Sort::named("d0")
+}
+
+fn base(disjoint_via_prec: bool) -> FamilyDef {
+    let statement = Prop::imp(Prop::eq(Term::c0("k_a"), Term::c0("k_b")), Prop::False);
+    let fam = FamilyDef::new("PBase").inductive(
+        "d0",
+        vec![CtorSig::new("k_a", vec![]), CtorSig::new("k_b", vec![])],
+    );
+    if disjoint_via_prec {
+        fam.theorem(
+            "a_neq_b",
+            statement,
+            vec![Tactic::Intro, Tactic::FDiscriminate("H".into())],
+        )
+    } else {
+        fam.reprove_lemma(
+            "a_neq_b",
+            statement,
+            vec![Tactic::Intro, Tactic::Discriminate("H".into())],
+            &["d0"],
+        )
+    }
+}
+
+fn derived(n_extra: usize) -> FamilyDef {
+    let mut f = FamilyDef::extending("PDerived", "PBase");
+    let ctors: Vec<CtorSig> = (0..n_extra)
+        .map(|i| CtorSig::new(&format!("k_extra{i}"), vec![]))
+        .collect();
+    f = f.extend_inductive("d0", ctors);
+    let _ = dt();
+    f
+}
+
+fn route(disjoint_via_prec: bool, n_extra: usize) -> (usize, usize) {
+    let mut u = FamilyUniverse::new();
+    u.define(base(disjoint_via_prec)).unwrap();
+    u.define(derived(n_extra)).unwrap();
+    let fam = u.family("PDerived").unwrap();
+    let shared = fam
+        .ledger
+        .shared()
+        .iter()
+        .filter(|x| x.contains("a_neq_b"))
+        .count();
+    let checked = fam
+        .ledger
+        .checked()
+        .iter()
+        .filter(|x| x.contains("a_neq_b"))
+        .count();
+    (shared, checked)
+}
+
+fn report() {
+    eprintln!("\n== §3.6: partial recursors vs closed-world disjointness ==");
+    let (s1, c1) = route(true, 3);
+    eprintln!("fdiscriminate route : lemma shared={s1} rechecked={c1} (reused as-is)");
+    let (s2, c2) = route(false, 3);
+    eprintln!("closed-world route  : lemma shared={s2} rechecked={c2} (re-proved on extension)");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    c.bench_function("prec/derive_with_fdiscriminate_lemma", |b| {
+        b.iter(|| black_box(route(true, 3)))
+    });
+    c.bench_function("prec/derive_with_reprove_lemma", |b| {
+        b.iter(|| black_box(route(false, 3)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

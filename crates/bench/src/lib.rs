@@ -1,0 +1,12 @@
+//! # bench — the experiment harness (see DESIGN.md §4 for the index)
+//!
+//! Each Criterion bench regenerates one row of the paper's evaluation:
+//! compilation of Figures 2/4/5, the Section 7 composition lattice, the
+//! modular-compilation-vs-copy-paste comparison, kernel canonicity
+//! (Theorem 5.2), partial-recursor reuse (§3.6), and the Imp abstract
+//! interpreters. The benches print the paper-shaped tables before timing.
+
+/// Formats a duration in milliseconds for the printed tables.
+pub fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}

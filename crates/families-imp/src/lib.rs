@@ -1,0 +1,32 @@
+//! # families-imp — case study 2: abstract interpreters for Imp
+//!
+//! Reproduces Section 7's second case study:
+//!
+//! * family `Imp` — the syntax of a small imperative language and a
+//!   concrete interpreter defined via `FRecursion`;
+//! * family `ImpGAI extends Imp` — a *generic* abstract-interpretation
+//!   framework: an open abstract-value domain (`FInductive absval` with no
+//!   constructors yet), abstract transfer functions left as parameters,
+//!   an extensible concretization relation `rval`, and the soundness
+//!   theorem `∀ s S A, rstate S A → rstate (exec s S) (analyze s A)`
+//!   proven *generically* by `FInduction` from the parameter axioms;
+//! * family `ImpTI extends ImpGAI` — type inference (every value gets the
+//!   type `Nat`), discharging all parameters;
+//! * family `ImpCP extends ImpGAI` — constant propagation over the flat
+//!   lattice `⊤ / Const n`, discharging all parameters.
+//!
+//! "Extraction" is the closed-family evaluator: [`programs::run_analysis`]
+//! and [`programs::run_exec`] execute the verified interpreters on object
+//! programs.
+//!
+//! Substitutions from the paper (see DESIGN.md): the language is loop-free
+//! (structural recursion replaces the fuel-bounded CEK machine) and states
+//! are association lists.
+
+pub mod families;
+pub mod programs;
+
+pub use families::{
+    imp_cp_double_family, imp_cp_family, imp_family, imp_gai_family, imp_ti_family,
+};
+pub use programs::{run_analysis, run_exec};

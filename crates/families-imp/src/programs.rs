@@ -1,0 +1,73 @@
+//! "Extraction": running the verified interpreters of a closed family.
+//!
+//! The paper extracts its abstract interpreters to OCaml and tests them
+//! "over simple queries"; our closed families are directly executable
+//! through the object-language evaluator, which plays the same role.
+
+use objlang::error::{Error, Result};
+use objlang::eval::eval_default;
+use objlang::syntax::Term;
+
+use fpop::elab::CompiledFamily;
+
+/// `x := n`.
+pub fn assign_num(x: &str, n: u64) -> Term {
+    Term::ctor(
+        "s_assign",
+        vec![
+            Term::lit(x),
+            Term::ctor("a_num", vec![objlang::eval::nat_lit(n)]),
+        ],
+    )
+}
+
+/// `x := y + z`.
+pub fn assign_plus_vars(x: &str, y: &str, z: &str) -> Term {
+    Term::ctor(
+        "s_assign",
+        vec![
+            Term::lit(x),
+            Term::ctor(
+                "a_plus",
+                vec![
+                    Term::ctor("a_var", vec![Term::lit(y)]),
+                    Term::ctor("a_var", vec![Term::lit(z)]),
+                ],
+            ),
+        ],
+    )
+}
+
+/// `s1 ; s2`.
+pub fn seq(s1: Term, s2: Term) -> Term {
+    Term::ctor("s_seq", vec![s1, s2])
+}
+
+/// Sequences a whole program.
+pub fn program(stmts: Vec<Term>) -> Term {
+    let mut it = stmts.into_iter();
+    let first = it.next().unwrap_or_else(|| Term::c0("s_skip"));
+    it.fold(first, seq)
+}
+
+/// Runs the family's concrete interpreter on a program from the empty
+/// state and reads back the value of `x`.
+pub fn run_exec(fam: &CompiledFamily, prog: &Term, x: &str) -> Result<u64> {
+    let final_state = Term::func("exec", vec![prog.clone(), Term::c0("st_nil")]);
+    let val = eval_default(
+        &fam.sig,
+        &Term::func("lookup_st", vec![final_state, Term::lit(x)]),
+    )?;
+    objlang::eval::nat_value(&val)
+        .ok_or_else(|| Error::new(format!("lookup produced a non-numeral: {val}")))
+}
+
+/// Runs the family's verified abstract interpreter on a program from the
+/// empty abstract state and returns the abstract value of `x`.
+pub fn run_analysis(fam: &CompiledFamily, prog: &Term, x: &str) -> Result<Term> {
+    let final_astate = Term::func("analyze", vec![prog.clone(), Term::c0("ast_nil")]);
+    eval_default(
+        &fam.sig,
+        &Term::func("lookup_abs", vec![final_astate, Term::lit(x)]),
+    )
+}

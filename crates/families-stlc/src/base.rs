@@ -1,0 +1,1057 @@
+//! Family `STLC`: the base simply typed λ-calculus metatheory (Figure 2).
+//!
+//! Mechanizes, inside the `fpop` family layer: syntax (`tm`, `ty`),
+//! capture-avoiding-enough substitution over closed substituends (as in
+//! Software Foundations, the source of the paper's case study), typing
+//! (`hasty`), values, small-step reduction, its reflexive-transitive
+//! closure, the weakening and substitution lemmas, preservation, progress,
+//! and the type-safety theorem.
+//!
+//! Deviations from Figure 2 are recorded in DESIGN.md: environments are
+//! association lists (first-order logic has no function extensionality),
+//! and `steps` is an `FInductive` rather than `clos_refl_trans`.
+
+use fpop::family::FamilyDef;
+use objlang::induction::Motive;
+use objlang::sig::{AliasFn, PropDef, RecCase};
+use objlang::syntax::{Prop, Sort};
+use objlang::{sym, Tactic};
+
+use crate::util::*;
+
+/// Case handlers shared by substitution-style recursions: the binder-aware
+/// case for a unary binding constructor `ctor(id, tm)` — e.g. `tm_abs`,
+/// `tm_fix` — which substitutes under the binder unless shadowed.
+pub fn binder_case(ctor_name: &str) -> RecCase {
+    case(
+        ctor_name,
+        &["y", "b"],
+        f(
+            "ite_tm",
+            vec![
+                eqb(v("x"), v("y")),
+                c(ctor_name, vec![v("y"), v("b")]),
+                c(ctor_name, vec![v("y"), subst(v("b"), v("x"), v("s"))]),
+            ],
+        ),
+    )
+}
+
+/// The weakening-lemma motive (shared with extensions for reference).
+pub fn weaken_motive() -> Motive {
+    Motive {
+        params: vec![(sym("G"), env()), (sym("t0"), tm()), (sym("T0"), ty())],
+        body: Prop::forall(
+            "G'",
+            env(),
+            Prop::imp(
+                includedin(v("G"), v("G'")),
+                hasty(v("G'"), v("t0"), v("T0")),
+            ),
+        ),
+    }
+}
+
+/// The substitution-lemma motive: environments are compared pointwise
+/// through `lookup` (the association-list counterpart of the paper's
+/// `G' = extend G x T'` premise; see DESIGN.md).
+pub fn subst_motive() -> Motive {
+    Motive {
+        params: vec![(sym("G"), env()), (sym("t0"), tm()), (sym("T0"), ty())],
+        body: Prop::forall(
+            "G2",
+            env(),
+            Prop::forall(
+                "x0",
+                Sort::Id,
+                Prop::forall(
+                    "s",
+                    tm(),
+                    Prop::forall(
+                        "T'",
+                        ty(),
+                        Prop::imps(
+                            &[
+                                Prop::forall(
+                                    "y",
+                                    Sort::Id,
+                                    Prop::eq(
+                                        lookup(v("G"), v("y")),
+                                        lookup(extend(v("G2"), v("x0"), v("T'")), v("y")),
+                                    ),
+                                ),
+                                hasty(empty(), v("s"), v("T'")),
+                            ],
+                            hasty(v("G2"), subst(v("t0"), v("x0"), v("s")), v("T0")),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    }
+}
+
+/// The preservation motive.
+pub fn preserve_motive() -> Motive {
+    Motive {
+        params: vec![(sym("G"), env()), (sym("t0"), tm()), (sym("T0"), ty())],
+        body: Prop::imp(
+            Prop::eq(v("G"), empty()),
+            Prop::forall(
+                "t'",
+                tm(),
+                Prop::imp(step(v("t0"), v("t'")), hasty(empty(), v("t'"), v("T0"))),
+            ),
+        ),
+    }
+}
+
+/// The progress motive.
+pub fn progress_motive() -> Motive {
+    Motive {
+        params: vec![(sym("G"), env()), (sym("t0"), tm()), (sym("T0"), ty())],
+        body: Prop::imp(
+            Prop::eq(v("G"), empty()),
+            Prop::or(
+                value(v("t0")),
+                Prop::exists("t'", tm(), step(v("t0"), v("t'"))),
+            ),
+        ),
+    }
+}
+
+/// The type-safety motive (rule induction over `steps`).
+pub fn typesafe_motive() -> Motive {
+    Motive {
+        params: vec![(sym("ta"), tm()), (sym("tb"), tm())],
+        body: Prop::forall(
+            "T",
+            ty(),
+            Prop::imp(
+                hasty(empty(), v("ta"), v("T")),
+                Prop::or(
+                    value(v("tb")),
+                    Prop::exists("t''", tm(), step(v("tb"), v("t''"))),
+                ),
+            ),
+        ),
+    }
+}
+
+/// The standard closing script for weakening cases of unary binding
+/// constructors (`ht_abs`-shaped rules): `G'`-intro, constructor, IH, and
+/// the lookup/extend bookkeeping.
+pub fn weaken_binder_case_script(rule_ctor: &str) -> Vec<Tactic> {
+    script(vec![
+        vec![
+            i("G'"),
+            i("H"),
+            ar("hasty", rule_ctor, vec![]),
+            ah("IH0", vec![]),
+        ],
+        weaken_includedin_extend_block("x"),
+    ])
+}
+
+/// The closing script for substitution-lemma cases of unary binding
+/// constructors (shared by `ht_abs` in the base family and `ht_fix` in the
+/// fixpoints extension — the same shape the paper's Figure 2 ellipses
+/// stand for).
+pub fn subst_binder_case_script(pred_rule: &str) -> Vec<Tactic> {
+    let shadow_branch = script(vec![
+        vec![
+            ren("Hcase", "Hx0x"),
+            rw("Hx0x"),
+            fs(),
+            pose("id_eqb_eq", vec![v("x0"), v("x")], "Him"),
+            fwd("Him", "Hx0x"),
+            sv("Him"),
+            ar("hasty", pred_rule, vec![]),
+            af("weakenlem", vec![extend(v("G"), v("x"), v("T1"))]),
+            ex("Hp0"),
+        ],
+        // includedin (extend G x T1) (extend G2 x T1)
+        vec![
+            unfold("includedin"),
+            i("y"),
+            i("T0"),
+            i("Hl"),
+            fsin("Hl"),
+            fs(),
+        ],
+        vec![
+            Tactic::Specialize("Hperm".into(), vec![v("y")]),
+            rwin("Hperm", "Hl"),
+            fsin("Hl"),
+        ],
+        vec![cases(
+            eqb(v("y"), v("x")),
+            vec![
+                vec![
+                    ren("Hcase", "Hyx"),
+                    rwin("Hyx", "Hl"),
+                    fsin("Hl"),
+                    rw("Hyx"),
+                    fs(),
+                    ex("Hl"),
+                ],
+                vec![
+                    ren("Hcase", "Hyx"),
+                    rwin("Hyx", "Hl"),
+                    fsin("Hl"),
+                    rw("Hyx"),
+                    fs(),
+                    ex("Hl"),
+                ],
+            ],
+        )],
+    ]);
+    let nonshadow_branch = script(vec![
+        vec![
+            ren("Hcase", "Hx0x"),
+            rw("Hx0x"),
+            fs(),
+            ar("hasty", pred_rule, vec![]),
+            ah("IH0", vec![v("T'")]),
+        ],
+        // premise 1: the permuted-environment pointwise equation
+        vec![i("y"), fs(), rw("Hperm"), fs()],
+        vec![cases(
+            eqb(v("y"), v("x")),
+            vec![
+                vec![
+                    ren("Hcase", "Hyx"),
+                    rw("Hyx"),
+                    fs(),
+                    cases(
+                        eqb(v("y"), v("x0")),
+                        vec![
+                            vec![
+                                ren("Hcase", "Hyx0"),
+                                pose("id_eqb_eq", vec![v("y"), v("x")], "He1"),
+                                fwd("He1", "Hyx"),
+                                pose("id_eqb_eq", vec![v("y"), v("x0")], "He2"),
+                                fwd("He2", "Hyx0"),
+                                sv("He1"),
+                                sv("He2"),
+                                pose("id_eqb_refl", vec![v("x0")], "Hr"),
+                                rwin("Hr", "Hx0x"),
+                                Tactic::Discriminate("Hx0x".into()),
+                            ],
+                            vec![ren("Hcase", "Hyx0"), rw("Hyx0"), fs(), refl()],
+                        ],
+                    ),
+                ],
+                vec![ren("Hcase", "Hyx"), rw("Hyx"), fs(), refl()],
+            ],
+        )],
+        // premise 2: hasty empty s T'
+        vec![ex("Hs")],
+    ]);
+    script(vec![
+        intros(&["G2", "x0", "s", "T'", "Hperm", "Hs"]),
+        vec![fs()],
+        vec![cases(
+            eqb(v("x0"), v("x")),
+            vec![shadow_branch, nonshadow_branch],
+        )],
+    ])
+}
+
+/// Builds the base `STLC` family (Figure 2, left column).
+pub fn stlc_family() -> FamilyDef {
+    let id = Sort::Id;
+    FamilyDef::new("STLC")
+        // ---- syntax ----------------------------------------------------
+        .inductive(
+            "tm",
+            vec![
+                ctor("tm_unit", vec![]),
+                ctor("tm_var", vec![id]),
+                ctor("tm_abs", vec![id, tm()]),
+                ctor("tm_app", vec![tm(), tm()]),
+            ],
+        )
+        // conditional on terms (library helper; recursion over bool)
+        .recursion(
+            "ite_tm",
+            "bool",
+            vec![(sym("then_"), tm()), (sym("else_"), tm())],
+            tm(),
+            vec![
+                case("true", &[], v("then_")),
+                case("false", &[], v("else_")),
+            ],
+        )
+        // ---- substitution function (FRecursion, Figure 2) ---------------
+        .recursion(
+            "subst",
+            "tm",
+            vec![(sym("x"), id), (sym("s"), tm())],
+            tm(),
+            vec![
+                case("tm_unit", &[], c0("tm_unit")),
+                case(
+                    "tm_var",
+                    &["y"],
+                    f(
+                        "ite_tm",
+                        vec![eqb(v("x"), v("y")), v("s"), c("tm_var", vec![v("y")])],
+                    ),
+                ),
+                binder_case("tm_abs"),
+                case(
+                    "tm_app",
+                    &["t1", "t2"],
+                    c(
+                        "tm_app",
+                        vec![
+                            subst(v("t1"), v("x"), v("s")),
+                            subst(v("t2"), v("x"), v("s")),
+                        ],
+                    ),
+                ),
+            ],
+        )
+        // ---- types -------------------------------------------------------
+        .inductive(
+            "ty",
+            vec![ctor("ty_unit", vec![]), ctor("ty_arrow", vec![ty(), ty()])],
+        )
+        // ---- environments (association lists; see DESIGN.md) -------------
+        .data(
+            "optty",
+            vec![ctor("none_ty", vec![]), ctor("some_ty", vec![ty()])],
+        )
+        .data(
+            "env",
+            vec![
+                ctor("env_nil", vec![]),
+                ctor("env_cons", vec![id, ty(), env()]),
+            ],
+        )
+        .recursion(
+            "ite_optty",
+            "bool",
+            vec![(sym("then_"), srt("optty")), (sym("else_"), srt("optty"))],
+            srt("optty"),
+            vec![
+                case("true", &[], v("then_")),
+                case("false", &[], v("else_")),
+            ],
+        )
+        .recursion(
+            "lookup",
+            "env",
+            vec![(sym("x"), id)],
+            srt("optty"),
+            vec![
+                case("env_nil", &[], c0("none_ty")),
+                case(
+                    "env_cons",
+                    &["y", "T", "G"],
+                    f(
+                        "ite_optty",
+                        vec![eqb(v("x"), v("y")), some_ty(v("T")), lookup(v("G"), v("x"))],
+                    ),
+                ),
+            ],
+        )
+        .definition(AliasFn {
+            name: sym("extend"),
+            params: vec![(sym("G"), env()), (sym("x"), id), (sym("T"), ty())],
+            ret: env(),
+            body: c("env_cons", vec![v("x"), v("T"), v("G")]),
+        })
+        .definition(AliasFn {
+            name: sym("empty"),
+            params: vec![],
+            ret: env(),
+            body: c0("env_nil"),
+        })
+        .prop_definition(PropDef {
+            name: sym("includedin"),
+            params: vec![(sym("G"), env()), (sym("G'"), env())],
+            body: Prop::forall(
+                "x",
+                id,
+                Prop::forall(
+                    "T",
+                    ty(),
+                    Prop::imp(
+                        Prop::eq(lookup(v("G"), v("x")), some_ty(v("T"))),
+                        Prop::eq(lookup(v("G'"), v("x")), some_ty(v("T"))),
+                    ),
+                ),
+            ),
+        })
+        // ---- typing rules -------------------------------------------------
+        .predicate(
+            "hasty",
+            vec![env(), tm(), ty()],
+            vec![
+                rule(
+                    "ht_unit",
+                    &[("G", env())],
+                    vec![],
+                    vec![v("G"), c0("tm_unit"), c0("ty_unit")],
+                ),
+                rule(
+                    "ht_var",
+                    &[("G", env()), ("x", id), ("T", ty())],
+                    vec![Prop::eq(lookup(v("G"), v("x")), some_ty(v("T")))],
+                    vec![v("G"), c("tm_var", vec![v("x")]), v("T")],
+                ),
+                rule(
+                    "ht_abs",
+                    &[
+                        ("G", env()),
+                        ("x", id),
+                        ("b", tm()),
+                        ("T1", ty()),
+                        ("T2", ty()),
+                    ],
+                    vec![hasty(extend(v("G"), v("x"), v("T1")), v("b"), v("T2"))],
+                    vec![
+                        v("G"),
+                        c("tm_abs", vec![v("x"), v("b")]),
+                        c("ty_arrow", vec![v("T1"), v("T2")]),
+                    ],
+                ),
+                rule(
+                    "ht_app",
+                    &[
+                        ("G", env()),
+                        ("t1", tm()),
+                        ("t2", tm()),
+                        ("T1", ty()),
+                        ("T2", ty()),
+                    ],
+                    vec![
+                        hasty(v("G"), v("t1"), c("ty_arrow", vec![v("T1"), v("T2")])),
+                        hasty(v("G"), v("t2"), v("T1")),
+                    ],
+                    vec![v("G"), c("tm_app", vec![v("t1"), v("t2")]), v("T2")],
+                ),
+            ],
+        )
+        // ---- value forms ---------------------------------------------------
+        .predicate(
+            "value",
+            vec![tm()],
+            vec![
+                rule("v_unit", &[], vec![], vec![c0("tm_unit")]),
+                rule(
+                    "v_abs",
+                    &[("x", id), ("b", tm())],
+                    vec![],
+                    vec![c("tm_abs", vec![v("x"), v("b")])],
+                ),
+            ],
+        )
+        // ---- reduction rules ------------------------------------------------
+        .predicate(
+            "step",
+            vec![tm(), tm()],
+            vec![
+                rule(
+                    "st_app1",
+                    &[("t1", tm()), ("t1'", tm()), ("t2", tm())],
+                    vec![step(v("t1"), v("t1'"))],
+                    vec![
+                        c("tm_app", vec![v("t1"), v("t2")]),
+                        c("tm_app", vec![v("t1'"), v("t2")]),
+                    ],
+                ),
+                rule(
+                    "st_app2",
+                    &[("v1", tm()), ("t2", tm()), ("t2'", tm())],
+                    vec![value(v("v1")), step(v("t2"), v("t2'"))],
+                    vec![
+                        c("tm_app", vec![v("v1"), v("t2")]),
+                        c("tm_app", vec![v("v1"), v("t2'")]),
+                    ],
+                ),
+                rule(
+                    "st_beta",
+                    &[("x", id), ("b", tm()), ("v1", tm())],
+                    vec![value(v("v1"))],
+                    vec![
+                        c("tm_app", vec![c("tm_abs", vec![v("x"), v("b")]), v("v1")]),
+                        subst(v("b"), v("x"), v("v1")),
+                    ],
+                ),
+            ],
+        )
+        // ---- multi-step (never further bound; see DESIGN.md) ----------------
+        .predicate(
+            "steps",
+            vec![tm(), tm()],
+            vec![
+                rule("steps_refl", &[("t", tm())], vec![], vec![v("t"), v("t")]),
+                rule(
+                    "steps_trans",
+                    &[("t1", tm()), ("t2", tm()), ("t3", tm())],
+                    vec![step(v("t1"), v("t2")), steps(v("t2"), v("t3"))],
+                    vec![v("t1"), v("t3")],
+                ),
+            ],
+        )
+        // ---- small facts ------------------------------------------------------
+        .theorem(
+            "includedin_empty",
+            Prop::forall("G", env(), includedin(empty(), v("G"))),
+            script(vec![
+                vec![i("G"), unfold("includedin"), i("x"), i("T"), i("Hl")],
+                vec![fsin("Hl"), Tactic::Discriminate("Hl".into())],
+            ]),
+        )
+        // ---- weakening lemma ---------------------------------------------------
+        .induction(
+            "weakenlem",
+            "hasty",
+            weaken_motive(),
+            vec![
+                (
+                    "ht_unit",
+                    vec![i("G'"), i("H"), ar("hasty", "ht_unit", vec![])],
+                ),
+                (
+                    "ht_var",
+                    script(vec![
+                        vec![i("G'"), i("H"), unfold_in("includedin", "H")],
+                        vec![ar("hasty", "ht_var", vec![]), ah("H", vec![]), ex("Hp0")],
+                    ]),
+                ),
+                ("ht_abs", weaken_binder_case_script("ht_abs")),
+                (
+                    "ht_app",
+                    script(vec![
+                        vec![i("G'"), i("H"), ar("hasty", "ht_app", vec![v("T1")])],
+                        vec![ah("IH0", vec![]), ex("H"), ah("IH1", vec![]), ex("H")],
+                    ]),
+                ),
+            ],
+        )
+        // ---- substitution lemma ---------------------------------------------------
+        .induction(
+            "substlem",
+            "hasty",
+            subst_motive(),
+            vec![
+                (
+                    "ht_unit",
+                    script(vec![
+                        intros(&["G2", "x0", "s", "T'", "Hperm", "Hs"]),
+                        vec![fs(), ar("hasty", "ht_unit", vec![])],
+                    ]),
+                ),
+                (
+                    "ht_var",
+                    script(vec![
+                        intros(&["G2", "x0", "s", "T'", "Hperm", "Hs"]),
+                        vec![
+                            Tactic::Specialize("Hperm".into(), vec![v("x")]),
+                            rwin("Hperm", "Hp0"),
+                            fsin("Hp0"),
+                            fs(),
+                            rw("id_eqb_sym"),
+                        ],
+                        vec![cases(
+                            eqb(v("x"), v("x0")),
+                            vec![
+                                script(vec![vec![
+                                    ren("Hcase", "Hxx0"),
+                                    rwin("Hxx0", "Hp0"),
+                                    fsin("Hp0"),
+                                    rw("Hxx0"),
+                                    fs(),
+                                    Tactic::Injection("Hp0".into()),
+                                    sv("Hp0i"),
+                                    af("weakenlem", vec![empty()]),
+                                    ex("Hs"),
+                                    af("includedin_empty", vec![]),
+                                ]]),
+                                script(vec![vec![
+                                    ren("Hcase", "Hxx0"),
+                                    rwin("Hxx0", "Hp0"),
+                                    fsin("Hp0"),
+                                    rw("Hxx0"),
+                                    fs(),
+                                    ar("hasty", "ht_var", vec![]),
+                                    ex("Hp0"),
+                                ]]),
+                            ],
+                        )],
+                    ]),
+                ),
+                ("ht_abs", subst_binder_case_script("ht_abs")),
+                (
+                    "ht_app",
+                    script(vec![
+                        intros(&["G2", "x0", "s", "T'", "Hperm", "Hs"]),
+                        vec![fs(), ar("hasty", "ht_app", vec![v("T1")])],
+                        vec![ah("IH0", vec![v("T'")]), ex("Hperm"), ex("Hs")],
+                        vec![ah("IH1", vec![v("T'")]), ex("Hperm"), ex("Hs")],
+                    ]),
+                ),
+            ],
+        )
+        // corollary in the paper's statement shape
+        .theorem(
+            "substlem_corollary",
+            Prop::foralls(
+                &[
+                    (sym("G"), env()),
+                    (sym("x"), id),
+                    (sym("s"), tm()),
+                    (sym("T"), ty()),
+                    (sym("T'"), ty()),
+                    (sym("t"), tm()),
+                ],
+                Prop::imps(
+                    &[
+                        hasty(extend(v("G"), v("x"), v("T'")), v("t"), v("T")),
+                        hasty(empty(), v("s"), v("T'")),
+                    ],
+                    hasty(v("G"), subst(v("t"), v("x"), v("s")), v("T")),
+                ),
+            ),
+            script(vec![
+                intros(&["G", "x", "s", "T", "T'", "t", "H1", "H2"]),
+                vec![af(
+                    "substlem",
+                    vec![extend(v("G"), v("x"), v("T'")), v("T'")],
+                )],
+                vec![ex("H1"), i("y"), refl(), ex("H2")],
+            ]),
+        )
+        // ---- inversion lemmas (closed-world; re-proved on extension, §7) ------
+        .reprove_lemma(
+            "step_unit_inv",
+            Prop::forall(
+                "t'",
+                tm(),
+                Prop::imp(step(c0("tm_unit"), v("t'")), Prop::False),
+            ),
+            vec![i("t'"), i("H"), Tactic::Inversion("H".into())],
+            &["step"],
+        )
+        .reprove_lemma(
+            "step_var_inv",
+            Prop::forall(
+                "x",
+                id,
+                Prop::forall(
+                    "t'",
+                    tm(),
+                    Prop::imp(step(c("tm_var", vec![v("x")]), v("t'")), Prop::False),
+                ),
+            ),
+            vec![i("x"), i("t'"), i("H"), Tactic::Inversion("H".into())],
+            &["step"],
+        )
+        .reprove_lemma(
+            "step_abs_inv",
+            Prop::forall(
+                "x",
+                id,
+                Prop::forall(
+                    "b",
+                    tm(),
+                    Prop::forall(
+                        "t'",
+                        tm(),
+                        Prop::imp(
+                            step(c("tm_abs", vec![v("x"), v("b")]), v("t'")),
+                            Prop::False,
+                        ),
+                    ),
+                ),
+            ),
+            vec![
+                i("x"),
+                i("b"),
+                i("t'"),
+                i("H"),
+                Tactic::Inversion("H".into()),
+            ],
+            &["step"],
+        )
+        .reprove_lemma(
+            "step_app_inv",
+            Prop::foralls(
+                &[(sym("t1"), tm()), (sym("t2"), tm()), (sym("t'"), tm())],
+                Prop::imp(
+                    step(c("tm_app", vec![v("t1"), v("t2")]), v("t'")),
+                    Prop::or(
+                        Prop::exists(
+                            "t1'",
+                            tm(),
+                            Prop::and(
+                                step(v("t1"), v("t1'")),
+                                Prop::eq(v("t'"), c("tm_app", vec![v("t1'"), v("t2")])),
+                            ),
+                        ),
+                        Prop::or(
+                            Prop::exists(
+                                "t2'",
+                                tm(),
+                                Prop::and(
+                                    value(v("t1")),
+                                    Prop::and(
+                                        step(v("t2"), v("t2'")),
+                                        Prop::eq(v("t'"), c("tm_app", vec![v("t1"), v("t2'")])),
+                                    ),
+                                ),
+                            ),
+                            Prop::exists(
+                                "x",
+                                id,
+                                Prop::exists(
+                                    "b",
+                                    tm(),
+                                    Prop::and(
+                                        Prop::eq(v("t1"), c("tm_abs", vec![v("x"), v("b")])),
+                                        Prop::and(
+                                            value(v("t2")),
+                                            Prop::eq(v("t'"), subst(v("b"), v("x"), v("t2"))),
+                                        ),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["t1", "t2", "t'", "H"]),
+                vec![icases(
+                    "H",
+                    vec![
+                        vec![
+                            Tactic::Left,
+                            exi(v("t1'")),
+                            Tactic::Split,
+                            ex("Hst_app1_0"),
+                            refl(),
+                        ],
+                        vec![
+                            Tactic::Right,
+                            Tactic::Left,
+                            exi(v("t2'")),
+                            Tactic::Split,
+                            ex("Hst_app2_0"),
+                            Tactic::Split,
+                            ex("Hst_app2_1"),
+                            refl(),
+                        ],
+                        vec![
+                            Tactic::Right,
+                            Tactic::Right,
+                            exi(v("x")),
+                            exi(v("b")),
+                            Tactic::Split,
+                            refl(),
+                            Tactic::Split,
+                            ex("Hst_beta_0"),
+                            refl(),
+                        ],
+                    ],
+                )],
+            ]),
+            &["step"],
+        )
+        .reprove_lemma(
+            "hasty_abs_inv",
+            Prop::foralls(
+                &[
+                    (sym("G"), env()),
+                    (sym("x"), id),
+                    (sym("b"), tm()),
+                    (sym("T1"), ty()),
+                    (sym("T2"), ty()),
+                ],
+                Prop::imp(
+                    hasty(
+                        v("G"),
+                        c("tm_abs", vec![v("x"), v("b")]),
+                        c("ty_arrow", vec![v("T1"), v("T2")]),
+                    ),
+                    hasty(extend(v("G"), v("x"), v("T1")), v("b"), v("T2")),
+                ),
+            ),
+            script(vec![
+                intros(&["G", "x", "b", "T1", "T2", "H"]),
+                vec![Tactic::Inversion("H".into()), ex("Hht_abs_0")],
+            ]),
+            &["hasty"],
+        )
+        .reprove_lemma(
+            "canonical_arrow",
+            Prop::foralls(
+                &[(sym("t"), tm()), (sym("T1"), ty()), (sym("T2"), ty())],
+                Prop::imps(
+                    &[
+                        value(v("t")),
+                        hasty(empty(), v("t"), c("ty_arrow", vec![v("T1"), v("T2")])),
+                    ],
+                    Prop::exists(
+                        "x",
+                        id,
+                        Prop::exists(
+                            "b",
+                            tm(),
+                            Prop::eq(v("t"), c("tm_abs", vec![v("x"), v("b")])),
+                        ),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["t", "T1", "T2", "Hv", "Ht"]),
+                vec![thenall(
+                    Tactic::Inversion("Hv".into()),
+                    vec![first(vec![
+                        vec![Tactic::Inversion("Ht".into())],
+                        vec![exi(v("x")), exi(v("b")), refl()],
+                    ])],
+                )],
+            ]),
+            &["value", "hasty"],
+        )
+        // ---- values are irreducible (FInduction on the extensible `value`) ----
+        .induction(
+            "value_irred",
+            "value",
+            Motive {
+                params: vec![(sym("t0"), tm())],
+                body: Prop::forall("t'", tm(), Prop::imp(step(v("t0"), v("t'")), Prop::False)),
+            },
+            vec![
+                (
+                    "v_unit",
+                    script(vec![vec![
+                        i("t'"),
+                        i("Hst"),
+                        af("step_unit_inv", vec![v("t'")]),
+                        ex("Hst"),
+                    ]]),
+                ),
+                (
+                    "v_abs",
+                    script(vec![vec![
+                        i("t'"),
+                        i("Hst"),
+                        af("step_abs_inv", vec![v("x"), v("b"), v("t'")]),
+                        ex("Hst"),
+                    ]]),
+                ),
+            ],
+        )
+        // ---- preservation -----------------------------------------------------------
+        .induction(
+            "preserve",
+            "hasty",
+            preserve_motive(),
+            vec![
+                (
+                    "ht_unit",
+                    script(vec![
+                        intros(&["HG", "t'", "Hst"]),
+                        vec![
+                            Tactic::Exfalso,
+                            af("step_unit_inv", vec![v("t'")]),
+                            ex("Hst"),
+                        ],
+                    ]),
+                ),
+                (
+                    "ht_var",
+                    script(vec![
+                        intros(&["HG", "t'", "Hst"]),
+                        vec![
+                            Tactic::Exfalso,
+                            af("step_var_inv", vec![v("x"), v("t'")]),
+                            ex("Hst"),
+                        ],
+                    ]),
+                ),
+                (
+                    "ht_abs",
+                    script(vec![
+                        intros(&["HG", "t'", "Hst"]),
+                        vec![
+                            Tactic::Exfalso,
+                            af("step_abs_inv", vec![v("x"), v("b"), v("t'")]),
+                            ex("Hst"),
+                        ],
+                    ]),
+                ),
+                (
+                    "ht_app",
+                    script(vec![
+                        intros(&["HG", "t'", "Hst"]),
+                        vec![
+                            sv("HG"),
+                            pose("step_app_inv", vec![v("t1"), v("t2"), v("t'")], "Hinv"),
+                            fwd("Hinv", "Hst"),
+                        ],
+                        vec![dcases(
+                            "Hinv",
+                            vec![
+                                // st_app1 congruence
+                                script(vec![vec![
+                                    dstr("Hinv"),
+                                    dstr("Hinv"),
+                                    sv("Hinvr"),
+                                    ar("hasty", "ht_app", vec![v("T1")]),
+                                    ah("IH0", vec![]),
+                                    refl(),
+                                    ex("Hinvl"),
+                                    ex("Hp1"),
+                                ]]),
+                                vec![dcases(
+                                    "Hinv",
+                                    vec![
+                                        // st_app2 congruence
+                                        script(vec![vec![
+                                            dstr("Hinv"),
+                                            dstr("Hinv"),
+                                            dstr("Hinvr"),
+                                            sv("Hinvrr"),
+                                            ar("hasty", "ht_app", vec![v("T1")]),
+                                            ex("Hp0"),
+                                            ah("IH1", vec![]),
+                                            refl(),
+                                            ex("Hinvrl"),
+                                        ]]),
+                                        // beta
+                                        script(vec![vec![
+                                            dstr("Hinv"),
+                                            dstr("Hinv"),
+                                            dstr("Hinv"),
+                                            dstr("Hinvr"),
+                                            sv("Hinvrr"),
+                                            sv("Hinvl"),
+                                            af("substlem_corollary", vec![v("T1")]),
+                                            af("hasty_abs_inv", vec![]),
+                                            ex("Hp0"),
+                                            ex("Hp1"),
+                                        ]]),
+                                    ],
+                                )],
+                            ],
+                        )],
+                    ]),
+                ),
+            ],
+        )
+        // ---- progress -------------------------------------------------------------------
+        .induction(
+            "progress",
+            "hasty",
+            progress_motive(),
+            vec![
+                (
+                    "ht_unit",
+                    vec![i("HG"), Tactic::Left, ar("value", "v_unit", vec![])],
+                ),
+                (
+                    "ht_var",
+                    script(vec![vec![
+                        i("HG"),
+                        sv("HG"),
+                        fsin("Hp0"),
+                        Tactic::Discriminate("Hp0".into()),
+                    ]]),
+                ),
+                (
+                    "ht_abs",
+                    vec![i("HG"), Tactic::Left, ar("value", "v_abs", vec![])],
+                ),
+                (
+                    "ht_app",
+                    script(vec![
+                        vec![i("HG"), sv("HG"), Tactic::Right],
+                        vec![
+                            Tactic::Assert(
+                                "Hrefl".into(),
+                                Prop::eq(empty(), empty()),
+                                vec![refl()],
+                            ),
+                            fwd("IH0", "Hrefl"),
+                            fwd("IH1", "Hrefl"),
+                        ],
+                        vec![dcases(
+                            "IH0",
+                            vec![
+                                vec![dcases(
+                                    "IH1",
+                                    vec![
+                                        // both values: beta-reduce
+                                        script(vec![vec![
+                                            pose(
+                                                "canonical_arrow",
+                                                vec![v("t1"), v("T1"), v("T2")],
+                                                "Hc",
+                                            ),
+                                            fwd("Hc", "IH0"),
+                                            fwd("Hc", "Hp0"),
+                                            dstr("Hc"),
+                                            dstr("Hc"),
+                                            sv("Hc"),
+                                            exi(subst(v("b"), v("x"), v("t2"))),
+                                            ar("step", "st_beta", vec![]),
+                                            ex("IH1"),
+                                        ]]),
+                                        // t2 steps
+                                        script(vec![vec![
+                                            dstr("IH1"),
+                                            exi(c("tm_app", vec![v("t1"), v("t'")])),
+                                            ar("step", "st_app2", vec![]),
+                                            ex("IH0"),
+                                            ex("IH1"),
+                                        ]]),
+                                    ],
+                                )],
+                                // t1 steps
+                                script(vec![vec![
+                                    dstr("IH0"),
+                                    exi(c("tm_app", vec![v("t'"), v("t2")])),
+                                    ar("step", "st_app1", vec![]),
+                                    ex("IH0"),
+                                ]]),
+                            ],
+                        )],
+                    ]),
+                ),
+            ],
+        )
+        // ---- type safety ------------------------------------------------------------------
+        .induction(
+            "typesafe",
+            "steps",
+            typesafe_motive(),
+            vec![
+                (
+                    "steps_refl",
+                    script(vec![
+                        vec![i("T"), i("H")],
+                        vec![af("progress", vec![empty(), v("T")]), ex("H"), refl()],
+                    ]),
+                ),
+                (
+                    "steps_trans",
+                    script(vec![
+                        vec![i("T"), i("H"), ah("IH1", vec![v("T")])],
+                        vec![
+                            af("preserve", vec![empty(), v("t1")]),
+                            ex("H"),
+                            refl(),
+                            ex("Hp0"),
+                        ],
+                    ]),
+                ),
+            ],
+        )
+}

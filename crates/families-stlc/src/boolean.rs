@@ -1,0 +1,427 @@
+//! Family `STLCBool extends STLC` — booleans and conditionals (the derived
+//! family Section 6.5 uses to illustrate linkage transformers, here at the
+//! surface-language level).
+
+use fpop::family::FamilyDef;
+use objlang::syntax::Prop;
+use objlang::{sym, Tactic};
+
+use crate::util::*;
+
+fn c_ite(cond: objlang::Term, a: objlang::Term, b: objlang::Term) -> objlang::Term {
+    c("tm_ite", vec![cond, a, b])
+}
+fn ite_tm(cond: objlang::Term, a: objlang::Term, b: objlang::Term) -> objlang::Term {
+    c_ite(cond, a, b)
+}
+
+/// Builds `Family STLCBool extends STLC`.
+pub fn stlc_bool_family() -> FamilyDef {
+    FamilyDef::extending("STLCBool", "STLC")
+        .extend_inductive(
+            "tm",
+            vec![
+                ctor("tm_true", vec![]),
+                ctor("tm_false", vec![]),
+                ctor("tm_ite", vec![tm(), tm(), tm()]),
+            ],
+        )
+        .extend_recursion(
+            "subst",
+            vec![
+                case("tm_true", &[], c0("tm_true")),
+                case("tm_false", &[], c0("tm_false")),
+                case(
+                    "tm_ite",
+                    &["tc", "ta", "tb"],
+                    c_ite(
+                        subst(v("tc"), v("x"), v("s")),
+                        subst(v("ta"), v("x"), v("s")),
+                        subst(v("tb"), v("x"), v("s")),
+                    ),
+                ),
+            ],
+        )
+        .extend_inductive("ty", vec![ctor("ty_bool", vec![])])
+        .extend_predicate(
+            "hasty",
+            vec![
+                rule(
+                    "ht_true",
+                    &[("G", env())],
+                    vec![],
+                    vec![v("G"), c0("tm_true"), c0("ty_bool")],
+                ),
+                rule(
+                    "ht_false",
+                    &[("G", env())],
+                    vec![],
+                    vec![v("G"), c0("tm_false"), c0("ty_bool")],
+                ),
+                rule(
+                    "ht_ite",
+                    &[
+                        ("G", env()),
+                        ("tc", tm()),
+                        ("ta", tm()),
+                        ("tb", tm()),
+                        ("T", ty()),
+                    ],
+                    vec![
+                        hasty(v("G"), v("tc"), c0("ty_bool")),
+                        hasty(v("G"), v("ta"), v("T")),
+                        hasty(v("G"), v("tb"), v("T")),
+                    ],
+                    vec![v("G"), c_ite(v("tc"), v("ta"), v("tb")), v("T")],
+                ),
+            ],
+        )
+        .extend_predicate(
+            "value",
+            vec![
+                rule("v_true", &[], vec![], vec![c0("tm_true")]),
+                rule("v_false", &[], vec![], vec![c0("tm_false")]),
+            ],
+        )
+        .extend_predicate(
+            "step",
+            vec![
+                rule(
+                    "st_ite1",
+                    &[("tc", tm()), ("tc'", tm()), ("ta", tm()), ("tb", tm())],
+                    vec![step(v("tc"), v("tc'"))],
+                    vec![
+                        c_ite(v("tc"), v("ta"), v("tb")),
+                        c_ite(v("tc'"), v("ta"), v("tb")),
+                    ],
+                ),
+                rule(
+                    "st_itetrue",
+                    &[("ta", tm()), ("tb", tm())],
+                    vec![],
+                    vec![c_ite(c0("tm_true"), v("ta"), v("tb")), v("ta")],
+                ),
+                rule(
+                    "st_itefalse",
+                    &[("ta", tm()), ("tb", tm())],
+                    vec![],
+                    vec![c_ite(c0("tm_false"), v("ta"), v("tb")), v("tb")],
+                ),
+            ],
+        )
+        // ---- inversion / canonical-forms lemmas -------------------------------
+        .reprove_lemma(
+            "step_boolval_inv",
+            Prop::forall(
+                "t'",
+                tm(),
+                Prop::and(
+                    Prop::imp(step(c0("tm_true"), v("t'")), Prop::False),
+                    Prop::imp(step(c0("tm_false"), v("t'")), Prop::False),
+                ),
+            ),
+            script(vec![
+                vec![i("t'"), Tactic::Split],
+                vec![i("H"), Tactic::Inversion("H".into())],
+                vec![i("H"), Tactic::Inversion("H".into())],
+            ]),
+            &["step"],
+        )
+        .reprove_lemma(
+            "step_ite_inv",
+            Prop::foralls(
+                &[
+                    (sym("tc"), tm()),
+                    (sym("ta"), tm()),
+                    (sym("tb"), tm()),
+                    (sym("t'"), tm()),
+                ],
+                Prop::imp(
+                    step(ite_tm(v("tc"), v("ta"), v("tb")), v("t'")),
+                    Prop::or(
+                        Prop::exists(
+                            "tc'",
+                            tm(),
+                            Prop::and(
+                                step(v("tc"), v("tc'")),
+                                Prop::eq(v("t'"), ite_tm(v("tc'"), v("ta"), v("tb"))),
+                            ),
+                        ),
+                        Prop::or(
+                            Prop::and(Prop::eq(v("tc"), c0("tm_true")), Prop::eq(v("t'"), v("ta"))),
+                            Prop::and(
+                                Prop::eq(v("tc"), c0("tm_false")),
+                                Prop::eq(v("t'"), v("tb")),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["tc", "ta", "tb", "t'", "H"]),
+                vec![icases(
+                    "H",
+                    vec![
+                        vec![
+                            Tactic::Left,
+                            exi(v("tc'")),
+                            Tactic::Split,
+                            ex("Hst_ite1_0"),
+                            refl(),
+                        ],
+                        vec![Tactic::Right, Tactic::Left, Tactic::Split, refl(), refl()],
+                        vec![Tactic::Right, Tactic::Right, Tactic::Split, refl(), refl()],
+                    ],
+                )],
+            ]),
+            &["step"],
+        )
+        .reprove_lemma(
+            "canonical_bool",
+            Prop::forall(
+                "t",
+                tm(),
+                Prop::imps(
+                    &[value(v("t")), hasty(empty(), v("t"), c0("ty_bool"))],
+                    Prop::or(
+                        Prop::eq(v("t"), c0("tm_true")),
+                        Prop::eq(v("t"), c0("tm_false")),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["t", "Hv", "Ht"]),
+                vec![thenall(
+                    Tactic::Inversion("Hv".into()),
+                    vec![first(vec![
+                        vec![Tactic::Inversion("Ht".into())],
+                        vec![Tactic::Left, refl()],
+                        vec![Tactic::Right, refl()],
+                    ])],
+                )],
+            ]),
+            &["value", "hasty"],
+        )
+        // ---- weakening --------------------------------------------------------
+        .extend_induction(
+            "weakenlem",
+            vec![
+                (
+                    "ht_true",
+                    vec![i("G'"), i("H"), ar("hasty", "ht_true", vec![])],
+                ),
+                (
+                    "ht_false",
+                    vec![i("G'"), i("H"), ar("hasty", "ht_false", vec![])],
+                ),
+                (
+                    "ht_ite",
+                    script(vec![
+                        vec![i("G'"), i("H"), ar("hasty", "ht_ite", vec![])],
+                        vec![ah("IH0", vec![]), ex("H")],
+                        vec![ah("IH1", vec![]), ex("H")],
+                        vec![ah("IH2", vec![]), ex("H")],
+                    ]),
+                ),
+            ],
+        )
+        // ---- substitution -----------------------------------------------------
+        .extend_induction(
+            "substlem",
+            vec![
+                (
+                    "ht_true",
+                    script(vec![
+                        intros(&["G2", "x0", "s", "T'", "Hperm", "Hs"]),
+                        vec![fs(), ar("hasty", "ht_true", vec![])],
+                    ]),
+                ),
+                (
+                    "ht_false",
+                    script(vec![
+                        intros(&["G2", "x0", "s", "T'", "Hperm", "Hs"]),
+                        vec![fs(), ar("hasty", "ht_false", vec![])],
+                    ]),
+                ),
+                (
+                    "ht_ite",
+                    script(vec![
+                        intros(&["G2", "x0", "s", "T'", "Hperm", "Hs"]),
+                        vec![fs(), ar("hasty", "ht_ite", vec![])],
+                        vec![ah("IH0", vec![v("T'")]), ex("Hperm"), ex("Hs")],
+                        vec![ah("IH1", vec![v("T'")]), ex("Hperm"), ex("Hs")],
+                        vec![ah("IH2", vec![v("T'")]), ex("Hperm"), ex("Hs")],
+                    ]),
+                ),
+            ],
+        )
+        .extend_induction(
+            "value_irred",
+            vec![
+                (
+                    "v_true",
+                    script(vec![
+                        intros(&["t'", "Hst"]),
+                        vec![
+                            pose("step_boolval_inv", vec![v("t'")], "Hinv"),
+                            dstr("Hinv"),
+                            ah("Hinvl", vec![]),
+                            ex("Hst"),
+                        ],
+                    ]),
+                ),
+                (
+                    "v_false",
+                    script(vec![
+                        intros(&["t'", "Hst"]),
+                        vec![
+                            pose("step_boolval_inv", vec![v("t'")], "Hinv"),
+                            dstr("Hinv"),
+                            ah("Hinvr", vec![]),
+                            ex("Hst"),
+                        ],
+                    ]),
+                ),
+            ],
+        )
+        // ---- preservation -----------------------------------------------------
+        .extend_induction(
+            "preserve",
+            vec![
+                (
+                    "ht_true",
+                    script(vec![
+                        intros(&["HG", "t'", "Hst"]),
+                        vec![
+                            Tactic::Exfalso,
+                            pose("step_boolval_inv", vec![v("t'")], "Hinv"),
+                            dstr("Hinv"),
+                            ah("Hinvl", vec![]),
+                            ex("Hst"),
+                        ],
+                    ]),
+                ),
+                (
+                    "ht_false",
+                    script(vec![
+                        intros(&["HG", "t'", "Hst"]),
+                        vec![
+                            Tactic::Exfalso,
+                            pose("step_boolval_inv", vec![v("t'")], "Hinv"),
+                            dstr("Hinv"),
+                            ah("Hinvr", vec![]),
+                            ex("Hst"),
+                        ],
+                    ]),
+                ),
+                (
+                    "ht_ite",
+                    script(vec![
+                        intros(&["HG", "t'", "Hst"]),
+                        vec![
+                            sv("HG"),
+                            pose(
+                                "step_ite_inv",
+                                vec![v("tc"), v("ta"), v("tb"), v("t'")],
+                                "Hinv",
+                            ),
+                            fwd("Hinv", "Hst"),
+                        ],
+                        vec![dcases(
+                            "Hinv",
+                            vec![
+                                // congruence on the condition
+                                script(vec![vec![
+                                    dstr("Hinv"),
+                                    dstr("Hinv"),
+                                    sv("Hinvr"),
+                                    ar("hasty", "ht_ite", vec![]),
+                                    ah("IH0", vec![]),
+                                    refl(),
+                                    ex("Hinvl"),
+                                    ex("Hp1"),
+                                    ex("Hp2"),
+                                ]]),
+                                vec![dcases(
+                                    "Hinv",
+                                    vec![
+                                        vec![dstr("Hinv"), sv("Hinvr"), ex("Hp1")],
+                                        vec![dstr("Hinv"), sv("Hinvr"), ex("Hp2")],
+                                    ],
+                                )],
+                            ],
+                        )],
+                    ]),
+                ),
+            ],
+        )
+        // ---- progress ----------------------------------------------------------
+        .extend_induction(
+            "progress",
+            vec![
+                (
+                    "ht_true",
+                    vec![i("HG"), Tactic::Left, ar("value", "v_true", vec![])],
+                ),
+                (
+                    "ht_false",
+                    vec![i("HG"), Tactic::Left, ar("value", "v_false", vec![])],
+                ),
+                (
+                    "ht_ite",
+                    script(vec![
+                        vec![i("HG"), sv("HG"), Tactic::Right],
+                        vec![
+                            Tactic::Assert(
+                                "Hrefl".into(),
+                                Prop::eq(empty(), empty()),
+                                vec![refl()],
+                            ),
+                            fwd("IH0", "Hrefl"),
+                        ],
+                        vec![dcases(
+                            "IH0",
+                            vec![
+                                // condition is a value: canonical forms pick a branch
+                                script(vec![
+                                    vec![
+                                        pose("canonical_bool", vec![v("tc")], "Hc"),
+                                        fwd("Hc", "IH0"),
+                                        fwd("Hc", "Hp0"),
+                                    ],
+                                    vec![dcases(
+                                        "Hc",
+                                        vec![
+                                            script(vec![vec![
+                                                sv("Hc"),
+                                                exi(v("ta")),
+                                                ar("step", "st_itetrue", vec![]),
+                                            ]]),
+                                            script(vec![vec![
+                                                sv("Hc"),
+                                                exi(v("tb")),
+                                                ar("step", "st_itefalse", vec![]),
+                                            ]]),
+                                        ],
+                                    )],
+                                ]),
+                                // condition steps
+                                script(vec![vec![
+                                    dstr("IH0"),
+                                    exi(c_ite(v("t'"), v("ta"), v("tb"))),
+                                    ar("step", "st_ite1", vec![]),
+                                    ex("IH0"),
+                                ]]),
+                            ],
+                        )],
+                    ]),
+                ),
+            ],
+        )
+}
+
+/// The retrofit case for `tysubst` over `ty_bool` — required by composites
+/// mixing Bool with µ.
+pub fn tysubst_bool_case() -> objlang::sig::RecCase {
+    case("ty_bool", &[], c0("ty_bool"))
+}

@@ -1,0 +1,261 @@
+//! Family `STLCDet extends STLC`: determinism of the small-step relation,
+//! proven by `FInduction` on `step`.
+//!
+//! The proof showcases two of the paper's mechanisms working inside family
+//! proofs: `finjection` on the extensible `tm` (licensed by the partial
+//! recursor, §3.6) and the inherited `value_irred` lemma. `STLCDet` is a
+//! leaf family: any feature extension deriving from it would owe a
+//! determinism case for each new reduction rule (the exhaustivity check
+//! makes that a static error, which `tests` demonstrate).
+
+use fpop::family::FamilyDef;
+use objlang::induction::Motive;
+use objlang::syntax::Prop;
+use objlang::{sym, Tactic};
+
+use crate::util::*;
+
+/// The determinism motive: `∀u, step t u → t' = u` for `step t t'`.
+fn det_motive() -> Motive {
+    Motive {
+        params: vec![(sym("ta"), tm()), (sym("tb"), tm())],
+        body: Prop::forall(
+            "u",
+            tm(),
+            Prop::imp(step(v("ta"), v("u")), Prop::eq(v("tb"), v("u"))),
+        ),
+    }
+}
+
+/// Builds `Family STLCDet extends STLC`.
+pub fn stlc_det_family() -> FamilyDef {
+    FamilyDef::extending("STLCDet", "STLC").induction(
+        "step_det",
+        "step",
+        det_motive(),
+        vec![
+            // st_app1: step t1 t1' — the left component steps.
+            (
+                "st_app1",
+                script(vec![
+                    intros(&["u", "Hst"]),
+                    vec![
+                        pose("step_app_inv", vec![v("t1"), v("t2"), v("u")], "Hinv"),
+                        fwd("Hinv", "Hst"),
+                    ],
+                    vec![dcases(
+                        "Hinv",
+                        vec![
+                            // A: the other derivation also steps the left
+                            // component — the IH closes it.
+                            script(vec![vec![
+                                dstr("Hinv"),
+                                dstr("Hinv"),
+                                sv("Hinvr"),
+                                spec("IH0", vec![v("t1''0")]),
+                                fwd("IH0", "Hinvl"),
+                                rw("IH0"),
+                                refl(),
+                            ]]),
+                            vec![dcases(
+                                "Hinv",
+                                vec![
+                                    // B: t1 is a value — contradicts Hp0.
+                                    script(vec![vec![
+                                        dstr("Hinv"),
+                                        dstr("Hinv"),
+                                        Tactic::Exfalso,
+                                        af("value_irred", vec![v("t1"), v("t1'")]),
+                                        ex("Hinvl"),
+                                        ex("Hp0"),
+                                    ]]),
+                                    // C: t1 is a λ — a value; contradicts Hp0.
+                                    script(vec![vec![
+                                        dstr("Hinv"),
+                                        dstr("Hinv"),
+                                        dstr("Hinv"),
+                                        sv("Hinvl"),
+                                        Tactic::Exfalso,
+                                        af("step_abs_inv", vec![v("x"), v("b"), v("t1'")]),
+                                        ex("Hp0"),
+                                    ]]),
+                                ],
+                            )],
+                        ],
+                    )],
+                ]),
+            ),
+            // st_app2: the right component steps (left is a value).
+            (
+                "st_app2",
+                script(vec![
+                    intros(&["u", "Hst"]),
+                    vec![
+                        pose("step_app_inv", vec![v("v1"), v("t2"), v("u")], "Hinv"),
+                        fwd("Hinv", "Hst"),
+                    ],
+                    vec![dcases(
+                        "Hinv",
+                        vec![
+                            // A: the other derivation steps the value v1.
+                            script(vec![vec![
+                                dstr("Hinv"),
+                                dstr("Hinv"),
+                                Tactic::Exfalso,
+                                af("value_irred", vec![v("v1"), v("t1'")]),
+                                ex("Hp0"),
+                                ex("Hinvl"),
+                            ]]),
+                            vec![dcases(
+                                "Hinv",
+                                vec![
+                                    // B: both step the right component — IH.
+                                    script(vec![vec![
+                                        dstr("Hinv"),
+                                        dstr("Hinv"),
+                                        dstr("Hinvr"),
+                                        sv("Hinvrr"),
+                                        spec("IH1", vec![v("t2''0")]),
+                                        fwd("IH1", "Hinvrl"),
+                                        rw("IH1"),
+                                        refl(),
+                                    ]]),
+                                    // C: v1 is a λ and t2 (a value by the
+                                    // other case) steps — contradicts Hp1.
+                                    script(vec![vec![
+                                        dstr("Hinv"),
+                                        dstr("Hinv"),
+                                        dstr("Hinv"),
+                                        dstr("Hinvr"),
+                                        Tactic::Exfalso,
+                                        af("value_irred", vec![v("t2"), v("t2'")]),
+                                        ex("Hinvrl"),
+                                        ex("Hp1"),
+                                    ]]),
+                                ],
+                            )],
+                        ],
+                    )],
+                ]),
+            ),
+            // st_beta: the redex case — finjection on tm_abs decides it.
+            (
+                "st_beta",
+                script(vec![
+                    intros(&["u", "Hst"]),
+                    vec![
+                        pose(
+                            "step_app_inv",
+                            vec![c("tm_abs", vec![v("x"), v("b")]), v("v1"), v("u")],
+                            "Hinv",
+                        ),
+                        fwd("Hinv", "Hst"),
+                    ],
+                    vec![dcases(
+                        "Hinv",
+                        vec![
+                            // A: the λ itself steps — impossible.
+                            script(vec![vec![
+                                dstr("Hinv"),
+                                dstr("Hinv"),
+                                Tactic::Exfalso,
+                                af("step_abs_inv", vec![v("x"), v("b"), v("t1'")]),
+                                ex("Hinvl"),
+                            ]]),
+                            vec![dcases(
+                                "Hinv",
+                                vec![
+                                    // B: the argument steps — but it is a value.
+                                    script(vec![vec![
+                                        dstr("Hinv"),
+                                        dstr("Hinv"),
+                                        dstr("Hinvr"),
+                                        Tactic::Exfalso,
+                                        af("value_irred", vec![v("v1"), v("t2'")]),
+                                        ex("Hp0"),
+                                        ex("Hinvrl"),
+                                    ]]),
+                                    // C: both β-reduce; finjection on the λs.
+                                    script(vec![vec![
+                                        dstr("Hinv"),
+                                        dstr("Hinv"),
+                                        dstr("Hinv"),
+                                        dstr("Hinvr"),
+                                        sv("Hinvrr"),
+                                        Tactic::FInjection("Hinvl".into()),
+                                        sv("Hinvli"),
+                                        sv("Hinvli'0"),
+                                        refl(),
+                                    ]]),
+                                ],
+                            )],
+                        ],
+                    )],
+                ]),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpop::universe::FamilyUniverse;
+
+    #[test]
+    fn determinism_checks() {
+        let mut u = FamilyUniverse::new();
+        u.define(crate::stlc_family()).unwrap();
+        u.define(stlc_det_family()).expect("STLCDet must compile");
+        let out = u.check("STLCDet", "step_det").unwrap();
+        assert!(out.contains("STLCDet.step_det"), "{out}");
+    }
+
+    #[test]
+    fn extending_step_past_determinism_owes_a_case() {
+        // A family deriving from STLCDet that adds a reduction rule must
+        // further bind step_det — C1 again. (The new rule reduces a *new*
+        // constructor, so every inherited inversion lemma re-proves fine
+        // and the only missing piece is the determinism case.)
+        let mut u = FamilyUniverse::new();
+        u.define(crate::stlc_family()).unwrap();
+        u.define(stlc_det_family()).unwrap();
+        let bad = FamilyDef::extending("STLCDetLoop", "STLCDet")
+            .extend_inductive("tm", vec![ctor("tm_loop", vec![])])
+            .extend_recursion("subst", vec![case("tm_loop", &[], c0("tm_loop"))])
+            .extend_predicate(
+                "step",
+                vec![rule(
+                    "st_loop",
+                    &[],
+                    vec![],
+                    vec![c0("tm_loop"), c0("tm_loop")],
+                )],
+            );
+        let err = u.define(bad).unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("not exhaustive") && msg.contains("st_loop"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn reduction_rule_breaking_an_old_lemma_is_caught() {
+        // Making an existing value reducible breaks the re-proof of
+        // `step_unit_inv` — the plugin-style re-run surfaces it (§7).
+        let mut u = FamilyUniverse::new();
+        u.define(crate::stlc_family()).unwrap();
+        let bad = FamilyDef::extending("STLCUnitLoop", "STLC").extend_predicate(
+            "step",
+            vec![rule(
+                "st_unit_loop",
+                &[],
+                vec![],
+                vec![c0("tm_unit"), c0("tm_unit")],
+            )],
+        );
+        let err = u.define(bad).unwrap_err();
+        assert!(format!("{err}").contains("step_unit_inv"), "{err}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Family `STLCFix extends STLC` — the fixpoints extension (Figure 2,
+//! right column; the ε feature of the Section 7 Venn diagram).
+//!
+//! Adds `tm_fix`, its substitution case, typing rule `ht_fix`, reduction
+//! rule `st_fix`, one new inversion lemma, and one retroactive case in each
+//! of the four induction proofs. Everything else — including `typesafe` —
+//! is inherited and reused without rechecking.
+
+use fpop::family::FamilyDef;
+use objlang::syntax::{Prop, Sort};
+use objlang::Tactic;
+
+use crate::base::{binder_case, subst_binder_case_script, weaken_binder_case_script};
+use crate::util::*;
+
+/// The `ht_fix` preservation case: `step (tm_fix x b) t'` only `st_fix`,
+/// then the substitution lemma ties the knot.
+fn preserve_fix_script() -> Vec<Tactic> {
+    script(vec![
+        intros(&["HG", "t'", "Hst"]),
+        vec![
+            sv("HG"),
+            pose("step_fix_inv", vec![v("x"), v("b"), v("t'")], "Hinv"),
+            fwd("Hinv", "Hst"),
+            sv("Hinv"),
+            af("substlem_corollary", vec![v("T1")]),
+            ex("Hp0"),
+            ar("hasty", "ht_fix", vec![]),
+            ex("Hp0"),
+        ],
+    ])
+}
+
+fn progress_fix_script() -> Vec<Tactic> {
+    script(vec![vec![
+        i("HG"),
+        Tactic::Right,
+        exi(subst(v("b"), v("x"), c("tm_fix", vec![v("x"), v("b")]))),
+        ar("step", "st_fix", vec![]),
+    ]])
+}
+
+/// Builds `Family STLCFix extends STLC`.
+pub fn stlc_fix_family() -> FamilyDef {
+    let id = Sort::Id;
+    FamilyDef::extending("STLCFix", "STLC")
+        .extend_inductive("tm", vec![ctor("tm_fix", vec![id, tm()])])
+        .extend_recursion("subst", vec![binder_case("tm_fix")])
+        .extend_predicate(
+            "hasty",
+            vec![rule(
+                "ht_fix",
+                &[("G", env()), ("x", id), ("b", tm()), ("T1", ty())],
+                vec![hasty(extend(v("G"), v("x"), v("T1")), v("b"), v("T1"))],
+                vec![v("G"), c("tm_fix", vec![v("x"), v("b")]), v("T1")],
+            )],
+        )
+        .extend_predicate(
+            "step",
+            vec![rule(
+                "st_fix",
+                &[("x", id), ("b", tm())],
+                vec![],
+                vec![
+                    c("tm_fix", vec![v("x"), v("b")]),
+                    subst(v("b"), v("x"), c("tm_fix", vec![v("x"), v("b")])),
+                ],
+            )],
+        )
+        // New inversion lemma for the new reduction rule (inserted before
+        // the inherited induction proofs by the merge anchoring).
+        .reprove_lemma(
+            "step_fix_inv",
+            Prop::foralls(
+                &[
+                    (objlang::sym("x"), id),
+                    (objlang::sym("b"), tm()),
+                    (objlang::sym("t'"), tm()),
+                ],
+                Prop::imp(
+                    step(c("tm_fix", vec![v("x"), v("b")]), v("t'")),
+                    Prop::eq(
+                        v("t'"),
+                        subst(v("b"), v("x"), c("tm_fix", vec![v("x"), v("b")])),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["x", "b", "t'", "H"]),
+                vec![Tactic::Inversion("H".into()), refl()],
+            ]),
+            &["step"],
+        )
+        .extend_induction(
+            "weakenlem",
+            vec![("ht_fix", weaken_binder_case_script("ht_fix"))],
+        )
+        .extend_induction(
+            "substlem",
+            vec![("ht_fix", subst_binder_case_script("ht_fix"))],
+        )
+        .extend_induction("preserve", vec![("ht_fix", preserve_fix_script())])
+        .extend_induction("progress", vec![("ht_fix", progress_fix_script())])
+}

@@ -1,0 +1,504 @@
+//! Family `STLCIsorec extends STLC` — iso-recursive types (µ in the
+//! Section 7 Venn diagram; Figure 3's left column).
+//!
+//! Adds type variables and `ty_rec`, the *new* recursion `tysubst` over the
+//! extensible `ty` (the source of Figure 3's retrofit obligation when
+//! composed with × or +), `tm_fold`/`tm_unfold`, and their metatheory.
+
+use fpop::family::FamilyDef;
+use objlang::syntax::{Prop, Sort};
+use objlang::{sym, Tactic};
+
+use crate::util::*;
+
+fn fold(t: objlang::Term) -> objlang::Term {
+    c("tm_fold", vec![t])
+}
+fn unfold_tm(t: objlang::Term) -> objlang::Term {
+    c("tm_unfold", vec![t])
+}
+fn ty_rec(a: objlang::Term, t: objlang::Term) -> objlang::Term {
+    c("ty_rec", vec![a, t])
+}
+fn tysubst(t: objlang::Term, a: objlang::Term, s: objlang::Term) -> objlang::Term {
+    f("tysubst", vec![t, a, s])
+}
+
+/// The unrolled type `tysubst T a (ty_rec a T)`.
+fn unrolled(a: &str, t: &str) -> objlang::Term {
+    tysubst(v(t), v(a), ty_rec(v(a), v(t)))
+}
+
+/// Builds `Family STLCIsorec extends STLC`.
+pub fn stlc_isorec_family() -> FamilyDef {
+    let id = Sort::Id;
+    // Anchor order must follow the base: tm, (ite_tm), subst, ty, … so the
+    // new `ite_ty`/`tysubst` fields are declared after the `ty` anchor and
+    // are inserted just before the next anchored field.
+    FamilyDef::extending("STLCIsorec", "STLC")
+        .extend_inductive(
+            "tm",
+            vec![ctor("tm_fold", vec![tm()]), ctor("tm_unfold", vec![tm()])],
+        )
+        .extend_recursion(
+            "subst",
+            vec![
+                case("tm_fold", &["t"], fold(subst(v("t"), v("x"), v("s")))),
+                case(
+                    "tm_unfold",
+                    &["t"],
+                    unfold_tm(subst(v("t"), v("x"), v("s"))),
+                ),
+            ],
+        )
+        .extend_inductive(
+            "ty",
+            vec![ctor("ty_var", vec![id]), ctor("ty_rec", vec![id, ty()])],
+        )
+        // New fields: conditional on types, and type-level substitution
+        // (Figure 3's `FRecursion tysubst on ty`).
+        .recursion(
+            "ite_ty",
+            "bool",
+            vec![(sym("then_"), ty()), (sym("else_"), ty())],
+            ty(),
+            vec![
+                case("true", &[], v("then_")),
+                case("false", &[], v("else_")),
+            ],
+        )
+        .recursion(
+            "tysubst",
+            "ty",
+            vec![(sym("a"), id), (sym("S"), ty())],
+            ty(),
+            vec![
+                case("ty_unit", &[], c0("ty_unit")),
+                case(
+                    "ty_arrow",
+                    &["A", "B"],
+                    c(
+                        "ty_arrow",
+                        vec![
+                            tysubst(v("A"), v("a"), v("S")),
+                            tysubst(v("B"), v("a"), v("S")),
+                        ],
+                    ),
+                ),
+                case(
+                    "ty_var",
+                    &["b"],
+                    f(
+                        "ite_ty",
+                        vec![eqb(v("a"), v("b")), v("S"), c("ty_var", vec![v("b")])],
+                    ),
+                ),
+                case(
+                    "ty_rec",
+                    &["b", "A"],
+                    f(
+                        "ite_ty",
+                        vec![
+                            eqb(v("a"), v("b")),
+                            ty_rec(v("b"), v("A")),
+                            ty_rec(v("b"), tysubst(v("A"), v("a"), v("S"))),
+                        ],
+                    ),
+                ),
+            ],
+        )
+        .extend_predicate(
+            "hasty",
+            vec![
+                rule(
+                    "ht_fold",
+                    &[("G", env()), ("t", tm()), ("a", id), ("T", ty())],
+                    vec![hasty(v("G"), v("t"), unrolled("a", "T"))],
+                    vec![v("G"), fold(v("t")), ty_rec(v("a"), v("T"))],
+                ),
+                rule(
+                    "ht_unfold",
+                    &[("G", env()), ("t", tm()), ("a", id), ("T", ty())],
+                    vec![hasty(v("G"), v("t"), ty_rec(v("a"), v("T")))],
+                    vec![v("G"), unfold_tm(v("t")), unrolled("a", "T")],
+                ),
+            ],
+        )
+        .extend_predicate(
+            "value",
+            vec![rule(
+                "v_fold",
+                &[("v1", tm())],
+                vec![value(v("v1"))],
+                vec![fold(v("v1"))],
+            )],
+        )
+        .extend_predicate(
+            "step",
+            vec![
+                rule(
+                    "st_fold1",
+                    &[("t", tm()), ("t0'", tm())],
+                    vec![step(v("t"), v("t0'"))],
+                    vec![fold(v("t")), fold(v("t0'"))],
+                ),
+                rule(
+                    "st_unfold1",
+                    &[("t", tm()), ("t0'", tm())],
+                    vec![step(v("t"), v("t0'"))],
+                    vec![unfold_tm(v("t")), unfold_tm(v("t0'"))],
+                ),
+                rule(
+                    "st_unfoldfold",
+                    &[("v1", tm())],
+                    vec![value(v("v1"))],
+                    vec![unfold_tm(fold(v("v1"))), v("v1")],
+                ),
+            ],
+        )
+        // ---- inversion / canonical-forms lemmas --------------------------------
+        .reprove_lemma(
+            "step_fold_inv",
+            Prop::foralls(
+                &[(sym("t"), tm()), (sym("t'"), tm())],
+                Prop::imp(
+                    step(fold(v("t")), v("t'")),
+                    Prop::exists(
+                        "t0'",
+                        tm(),
+                        Prop::and(step(v("t"), v("t0'")), Prop::eq(v("t'"), fold(v("t0'")))),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["t", "t'", "H"]),
+                vec![
+                    Tactic::Inversion("H".into()),
+                    exi(v("t0'")),
+                    Tactic::Split,
+                    ex("Hst_fold1_0"),
+                    refl(),
+                ],
+            ]),
+            &["step"],
+        )
+        .reprove_lemma(
+            "step_unfold_inv",
+            Prop::foralls(
+                &[(sym("t"), tm()), (sym("t'"), tm())],
+                Prop::imp(
+                    step(unfold_tm(v("t")), v("t'")),
+                    Prop::or(
+                        Prop::exists(
+                            "t0'",
+                            tm(),
+                            Prop::and(
+                                step(v("t"), v("t0'")),
+                                Prop::eq(v("t'"), unfold_tm(v("t0'"))),
+                            ),
+                        ),
+                        Prop::exists(
+                            "v1",
+                            tm(),
+                            Prop::and(
+                                Prop::eq(v("t"), fold(v("v1"))),
+                                Prop::and(value(v("v1")), Prop::eq(v("t'"), v("v1"))),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["t", "t'", "H"]),
+                vec![icases(
+                    "H",
+                    vec![
+                        vec![
+                            Tactic::Left,
+                            exi(v("t0'")),
+                            Tactic::Split,
+                            ex("Hst_unfold1_0"),
+                            refl(),
+                        ],
+                        vec![
+                            // inversion substituted v1 := t'
+                            Tactic::Right,
+                            exi(v("t'")),
+                            Tactic::Split,
+                            refl(),
+                            Tactic::Split,
+                            ex("Hst_unfoldfold_0"),
+                            refl(),
+                        ],
+                    ],
+                )],
+            ]),
+            &["step"],
+        )
+        .reprove_lemma(
+            "hasty_fold_inv",
+            Prop::foralls(
+                &[
+                    (sym("G"), env()),
+                    (sym("v0"), tm()),
+                    (sym("a"), id),
+                    (sym("T"), ty()),
+                ],
+                Prop::imp(
+                    hasty(v("G"), fold(v("v0")), ty_rec(v("a"), v("T"))),
+                    hasty(v("G"), v("v0"), unrolled("a", "T")),
+                ),
+            ),
+            script(vec![
+                intros(&["G", "v0", "a", "T", "H"]),
+                vec![Tactic::Inversion("H".into()), ex("Hht_fold_0")],
+            ]),
+            &["hasty"],
+        )
+        .reprove_lemma(
+            "canonical_rec",
+            Prop::foralls(
+                &[(sym("t"), tm()), (sym("a"), id), (sym("T"), ty())],
+                Prop::imps(
+                    &[
+                        value(v("t")),
+                        hasty(empty(), v("t"), ty_rec(v("a"), v("T"))),
+                    ],
+                    Prop::exists(
+                        "v1",
+                        tm(),
+                        Prop::and(Prop::eq(v("t"), fold(v("v1"))), value(v("v1"))),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["t", "a", "T", "Hv", "Ht"]),
+                vec![thenall(
+                    Tactic::Inversion("Hv".into()),
+                    vec![first(vec![
+                        vec![Tactic::Inversion("Ht".into())],
+                        vec![exi(v("v1")), Tactic::Split, refl(), ex("Hv_fold_0")],
+                    ])],
+                )],
+            ]),
+            &["value", "hasty"],
+        )
+        // ---- weakening -----------------------------------------------------------
+        .extend_induction(
+            "weakenlem",
+            vec![
+                (
+                    "ht_fold",
+                    script(vec![
+                        vec![i("G'"), i("H"), ar("hasty", "ht_fold", vec![])],
+                        vec![ah("IH0", vec![]), ex("H")],
+                    ]),
+                ),
+                (
+                    "ht_unfold",
+                    script(vec![
+                        vec![i("G'"), i("H"), ar("hasty", "ht_unfold", vec![])],
+                        vec![ah("IH0", vec![]), ex("H")],
+                    ]),
+                ),
+            ],
+        )
+        // ---- substitution ----------------------------------------------------------
+        .extend_induction(
+            "substlem",
+            vec![
+                (
+                    "ht_fold",
+                    script(vec![
+                        intros(&["G2", "x0", "s", "T'", "Hperm", "Hs"]),
+                        vec![fs(), ar("hasty", "ht_fold", vec![])],
+                        vec![ah("IH0", vec![v("T'")]), ex("Hperm"), ex("Hs")],
+                    ]),
+                ),
+                (
+                    "ht_unfold",
+                    script(vec![
+                        intros(&["G2", "x0", "s", "T'", "Hperm", "Hs"]),
+                        vec![fs(), ar("hasty", "ht_unfold", vec![])],
+                        vec![ah("IH0", vec![v("T'")]), ex("Hperm"), ex("Hs")],
+                    ]),
+                ),
+            ],
+        )
+        .extend_induction(
+            "value_irred",
+            vec![(
+                "v_fold",
+                script(vec![
+                    intros(&["t'", "Hst"]),
+                    vec![
+                        pose("step_fold_inv", vec![v("v1"), v("t'")], "Hinv"),
+                        fwd("Hinv", "Hst"),
+                        dstr("Hinv"),
+                        dstr("Hinv"),
+                        ah("IH0", vec![v("t0'")]),
+                        ex("Hinvl"),
+                    ],
+                ]),
+            )],
+        )
+        // ---- preservation -------------------------------------------------------------
+        .extend_induction(
+            "preserve",
+            vec![
+                (
+                    "ht_fold",
+                    script(vec![
+                        intros(&["HG", "t'", "Hst"]),
+                        vec![
+                            sv("HG"),
+                            pose("step_fold_inv", vec![v("t"), v("t'")], "Hinv"),
+                            fwd("Hinv", "Hst"),
+                            dstr("Hinv"),
+                            dstr("Hinv"),
+                            sv("Hinvr"),
+                            ar("hasty", "ht_fold", vec![]),
+                            ah("IH0", vec![]),
+                            refl(),
+                            ex("Hinvl"),
+                        ],
+                    ]),
+                ),
+                (
+                    "ht_unfold",
+                    script(vec![
+                        intros(&["HG", "t'", "Hst"]),
+                        vec![
+                            sv("HG"),
+                            pose("step_unfold_inv", vec![v("t"), v("t'")], "Hinv"),
+                            fwd("Hinv", "Hst"),
+                        ],
+                        vec![dcases(
+                            "Hinv",
+                            vec![
+                                script(vec![vec![
+                                    dstr("Hinv"),
+                                    dstr("Hinv"),
+                                    sv("Hinvr"),
+                                    ar("hasty", "ht_unfold", vec![]),
+                                    ah("IH0", vec![]),
+                                    refl(),
+                                    ex("Hinvl"),
+                                ]]),
+                                script(vec![vec![
+                                    dstr("Hinv"),
+                                    dstr("Hinv"),
+                                    dstr("Hinvr"),
+                                    sv("Hinvrr"),
+                                    sv("Hinvl"),
+                                    af("hasty_fold_inv", vec![]),
+                                    ex("Hp0"),
+                                ]]),
+                            ],
+                        )],
+                    ]),
+                ),
+            ],
+        )
+        // ---- progress -------------------------------------------------------------------
+        .extend_induction(
+            "progress",
+            vec![
+                (
+                    "ht_fold",
+                    script(vec![
+                        vec![i("HG"), sv("HG")],
+                        vec![
+                            Tactic::Assert(
+                                "Hrefl".into(),
+                                Prop::eq(empty(), empty()),
+                                vec![refl()],
+                            ),
+                            fwd("IH0", "Hrefl"),
+                        ],
+                        vec![dcases(
+                            "IH0",
+                            vec![
+                                vec![Tactic::Left, ar("value", "v_fold", vec![]), ex("IH0")],
+                                script(vec![vec![
+                                    dstr("IH0"),
+                                    Tactic::Right,
+                                    exi(fold(v("t'"))),
+                                    ar("step", "st_fold1", vec![]),
+                                    ex("IH0"),
+                                ]]),
+                            ],
+                        )],
+                    ]),
+                ),
+                (
+                    "ht_unfold",
+                    script(vec![
+                        vec![i("HG"), sv("HG"), Tactic::Right],
+                        vec![
+                            Tactic::Assert(
+                                "Hrefl".into(),
+                                Prop::eq(empty(), empty()),
+                                vec![refl()],
+                            ),
+                            fwd("IH0", "Hrefl"),
+                        ],
+                        vec![dcases(
+                            "IH0",
+                            vec![
+                                script(vec![vec![
+                                    pose("canonical_rec", vec![v("t"), v("a"), v("T")], "Hc"),
+                                    fwd("Hc", "IH0"),
+                                    fwd("Hc", "Hp0"),
+                                    dstr("Hc"),
+                                    dstr("Hc"),
+                                    sv("Hcl"),
+                                    exi(v("v1")),
+                                    ar("step", "st_unfoldfold", vec![]),
+                                    ex("Hcr"),
+                                ]]),
+                                script(vec![vec![
+                                    dstr("IH0"),
+                                    exi(unfold_tm(v("t'"))),
+                                    ar("step", "st_unfold1", vec![]),
+                                    ex("IH0"),
+                                ]]),
+                            ],
+                        )],
+                    ]),
+                ),
+            ],
+        )
+}
+
+/// The retrofit case for `tysubst` over `ty_prod` — required by any
+/// composite that mixes µ with × (the Figure 3 obligation).
+pub fn tysubst_prod_case() -> objlang::sig::RecCase {
+    case(
+        "ty_prod",
+        &["A", "B"],
+        c(
+            "ty_prod",
+            vec![
+                tysubst(v("A"), v("a"), v("S")),
+                tysubst(v("B"), v("a"), v("S")),
+            ],
+        ),
+    )
+}
+
+/// The retrofit case for `tysubst` over `ty_sum` — required by composites
+/// mixing µ with +.
+pub fn tysubst_sum_case() -> objlang::sig::RecCase {
+    case(
+        "ty_sum",
+        &["A", "B"],
+        c(
+            "ty_sum",
+            vec![
+                tysubst(v("A"), v("a"), v("S")),
+                tysubst(v("B"), v("a"), v("S")),
+            ],
+        ),
+    )
+}

@@ -1,0 +1,314 @@
+//! The feature-composition lattice of Section 7's Venn diagram: every
+//! non-empty combination of {ε fixpoints, × products, + sums, µ
+//! iso-recursive types} — 15 STLC variants, each with an inherited
+//! `typesafe` theorem.
+//!
+//! Composites are built as mixin compositions (`extends STLC using …`,
+//! Section 3.5). Combinations containing µ together with × or + owe the
+//! Figure 3 retrofit obligation: the `tysubst` recursion must be further
+//! bound with a case for `ty_prod`/`ty_sum`. Two of the paper's named
+//! composites (`STLCProdIsorec`, `STLCFixProdIsorec`) are built exactly as
+//! in Figure 3 — the latter by mixing in a composite that itself has
+//! mixins.
+
+use fpop::family::FamilyDef;
+use fpop::universe::FamilyUniverse;
+use objlang::error::Result;
+
+use crate::boolean::{stlc_bool_family, tysubst_bool_case};
+use crate::fix::stlc_fix_family;
+use crate::isorec::{stlc_isorec_family, tysubst_prod_case, tysubst_sum_case};
+use crate::prod::stlc_prod_family;
+use crate::sum::stlc_sum_family;
+
+/// The features, in canonical composition order. The paper's Venn diagram
+/// covers the first four; `Bool` is the Section 6.5 family, giving an
+/// extended 31-variant lattice.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Feature {
+    /// ε — fixpoints (`STLCFix`).
+    Fix,
+    /// × — products (`STLCProd`).
+    Prod,
+    /// + — sums (`STLCSum`).
+    Sum,
+    /// µ — iso-recursive types (`STLCIsorec`).
+    Isorec,
+    /// Booleans + conditionals (`STLCBool`, Section 6.5).
+    Bool,
+}
+
+impl Feature {
+    /// The paper's four Venn-diagram features, in canonical order.
+    pub fn all() -> [Feature; 4] {
+        [Feature::Fix, Feature::Prod, Feature::Sum, Feature::Isorec]
+    }
+    /// All five features (the extended lattice).
+    pub fn all_extended() -> [Feature; 5] {
+        [
+            Feature::Fix,
+            Feature::Prod,
+            Feature::Sum,
+            Feature::Isorec,
+            Feature::Bool,
+        ]
+    }
+    /// The single-feature family name.
+    pub fn family_name(self) -> &'static str {
+        match self {
+            Feature::Fix => "STLCFix",
+            Feature::Prod => "STLCProd",
+            Feature::Sum => "STLCSum",
+            Feature::Isorec => "STLCIsorec",
+            Feature::Bool => "STLCBool",
+        }
+    }
+    /// Short tag used in composite names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Feature::Fix => "Fix",
+            Feature::Prod => "Prod",
+            Feature::Sum => "Sum",
+            Feature::Isorec => "Isorec",
+            Feature::Bool => "Bool",
+        }
+    }
+}
+
+/// Name of the family for a feature set, e.g. `STLCFixProdIsorec`.
+pub fn variant_name(features: &[Feature]) -> String {
+    let mut s = "STLC".to_string();
+    for f in features {
+        s.push_str(f.tag());
+    }
+    s
+}
+
+/// Builds a composite family definition for ≥2 features.
+pub fn composite_family(features: &[Feature]) -> FamilyDef {
+    let name = variant_name(features);
+    let mixins: Vec<&str> = features.iter().map(|f| f.family_name()).collect();
+    let mut def = FamilyDef::extending_with(&name, "STLC", &mixins);
+    // Figure 3 retrofit obligation: tysubst must cover constructors added
+    // by × / + when µ is present.
+    if features.contains(&Feature::Isorec) {
+        let mut cases = Vec::new();
+        if features.contains(&Feature::Prod) {
+            cases.push(tysubst_prod_case());
+        }
+        if features.contains(&Feature::Sum) {
+            cases.push(tysubst_sum_case());
+        }
+        if features.contains(&Feature::Bool) {
+            cases.push(tysubst_bool_case());
+        }
+        if !cases.is_empty() {
+            def = def.extend_recursion("tysubst", cases);
+        }
+    }
+    def
+}
+
+/// Per-variant statistics for the lattice report.
+#[derive(Clone, Debug)]
+pub struct VariantStat {
+    /// Family name.
+    pub name: String,
+    /// Number of features composed.
+    pub arity: usize,
+    /// Fields in the merged family.
+    pub fields: usize,
+    /// Units checked fresh during elaboration.
+    pub checked: usize,
+    /// Units reused without rechecking.
+    pub shared: usize,
+    /// Reuse ratio.
+    pub reuse_ratio: f64,
+    /// Elaboration wall time.
+    pub elapsed: std::time::Duration,
+}
+
+/// The lattice build report (one row per variant, base first).
+#[derive(Clone, Debug, Default)]
+pub struct LatticeReport {
+    /// Per-variant rows.
+    pub rows: Vec<VariantStat>,
+}
+
+impl LatticeReport {
+    /// Renders the report as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out =
+            String::from("variant                     arity fields checked shared reuse%  time\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<27} {:>5} {:>6} {:>7} {:>6} {:>5.1}% {:>8.2?}\n",
+                r.name,
+                r.arity,
+                r.fields,
+                r.checked,
+                r.shared,
+                r.reuse_ratio * 100.0,
+                r.elapsed
+            ));
+        }
+        out
+    }
+}
+
+fn record(
+    u: &FamilyUniverse,
+    name: &str,
+    arity: usize,
+    elapsed: std::time::Duration,
+) -> VariantStat {
+    let fam = u.family(name).expect("just defined");
+    VariantStat {
+        name: name.to_string(),
+        arity,
+        fields: fam.fields.len(),
+        checked: fam.ledger.checked_count(),
+        shared: fam.ledger.shared_count(),
+        reuse_ratio: fam.ledger.reuse_ratio(),
+        elapsed,
+    }
+}
+
+/// Defines the base STLC, the four feature families, and all 11 composite
+/// variants in `u`; returns the per-variant report.
+///
+/// # Errors
+///
+/// Propagates any elaboration failure (none are expected; the lattice is
+/// the Section 7 case-study payload).
+pub fn build_lattice(u: &mut FamilyUniverse) -> Result<LatticeReport> {
+    let mut report = LatticeReport::default();
+
+    let t0 = std::time::Instant::now();
+    u.define(crate::base::stlc_family())?;
+    report.rows.push(record(u, "STLC", 0, t0.elapsed()));
+
+    for (def, n) in [
+        (stlc_fix_family(), 1),
+        (stlc_prod_family(), 1),
+        (stlc_sum_family(), 1),
+        (stlc_isorec_family(), 1),
+    ] {
+        let name = def.name.to_string();
+        let t = std::time::Instant::now();
+        u.define(def)?;
+        report.rows.push(record(u, &name, n, t.elapsed()));
+    }
+
+    // All subsets of size ≥ 2, in canonical order — except the two
+    // paper-style nested composites handled explicitly below.
+    let feats = Feature::all();
+    let mut subsets: Vec<Vec<Feature>> = Vec::new();
+    for mask in 1u32..16 {
+        let subset: Vec<Feature> = feats
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, f)| f)
+            .collect();
+        if subset.len() >= 2 {
+            subsets.push(subset);
+        }
+    }
+    for subset in &subsets {
+        let name = variant_name(subset);
+        // Paper-style nested composition for STLCFixProdIsorec: it mixes in
+        // STLCFix and the composite STLCProdIsorec (Figure 3), relying on
+        // the latter's already-discharged tysubst obligation.
+        let def = if name == "STLCFixProdIsorec" {
+            FamilyDef::extending_with("STLCFixProdIsorec", "STLC", &["STLCFix", "STLCProdIsorec"])
+        } else {
+            composite_family(subset)
+        };
+        let t = std::time::Instant::now();
+        u.define(def)?;
+        report
+            .rows
+            .push(record(u, &name, subset.len(), t.elapsed()));
+    }
+    Ok(report)
+}
+
+/// Defines the *extended* lattice over all five features (31 variants) —
+/// the scaling companion to [`build_lattice`]. Returns the report.
+///
+/// # Errors
+///
+/// Propagates any elaboration failure.
+pub fn build_extended_lattice(u: &mut FamilyUniverse) -> Result<LatticeReport> {
+    let mut report = LatticeReport::default();
+    let t0 = std::time::Instant::now();
+    u.define(crate::base::stlc_family())?;
+    report.rows.push(record(u, "STLC", 0, t0.elapsed()));
+    for def in [
+        stlc_fix_family(),
+        stlc_prod_family(),
+        stlc_sum_family(),
+        stlc_isorec_family(),
+        stlc_bool_family(),
+    ] {
+        let name = def.name.to_string();
+        let t = std::time::Instant::now();
+        u.define(def)?;
+        report.rows.push(record(u, &name, 1, t.elapsed()));
+    }
+    let feats = Feature::all_extended();
+    for mask in 1u32..32 {
+        let subset: Vec<Feature> = feats
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, f)| f)
+            .collect();
+        if subset.len() < 2 {
+            continue;
+        }
+        let name = variant_name(&subset);
+        let def = composite_family(&subset);
+        let t = std::time::Instant::now();
+        u.define(def)?;
+        report
+            .rows
+            .push(record(u, &name, subset.len(), t.elapsed()));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(
+            variant_name(&[Feature::Fix, Feature::Isorec]),
+            "STLCFixIsorec"
+        );
+        assert_eq!(variant_name(&Feature::all()), "STLCFixProdSumIsorec");
+    }
+
+    #[test]
+    fn subsets_count() {
+        // 4 singles + 11 composites = 15 variants (the Venn diagram).
+        let feats = Feature::all();
+        let mut count = 0;
+        for mask in 1u32..16 {
+            let n = feats
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << *i) != 0)
+                .count();
+            if n >= 1 {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 15);
+    }
+}

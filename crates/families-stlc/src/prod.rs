@@ -1,0 +1,740 @@
+//! Family `STLCProd extends STLC` — the products extension (× in the
+//! Section 7 Venn diagram; Figure 3 sketches its shape).
+
+use fpop::family::FamilyDef;
+use objlang::syntax::{Prop, Sort};
+use objlang::{sym, Tactic};
+
+use crate::util::*;
+
+fn pair(a: objlang::Term, b: objlang::Term) -> objlang::Term {
+    c("tm_pair", vec![a, b])
+}
+
+/// Builds `Family STLCProd extends STLC`.
+pub fn stlc_prod_family() -> FamilyDef {
+    let _ = Sort::Id;
+    FamilyDef::extending("STLCProd", "STLC")
+        .extend_inductive(
+            "tm",
+            vec![
+                ctor("tm_pair", vec![tm(), tm()]),
+                ctor("tm_fst", vec![tm()]),
+                ctor("tm_snd", vec![tm()]),
+            ],
+        )
+        .extend_recursion(
+            "subst",
+            vec![
+                case(
+                    "tm_pair",
+                    &["t1", "t2"],
+                    pair(
+                        subst(v("t1"), v("x"), v("s")),
+                        subst(v("t2"), v("x"), v("s")),
+                    ),
+                ),
+                case(
+                    "tm_fst",
+                    &["t"],
+                    c("tm_fst", vec![subst(v("t"), v("x"), v("s"))]),
+                ),
+                case(
+                    "tm_snd",
+                    &["t"],
+                    c("tm_snd", vec![subst(v("t"), v("x"), v("s"))]),
+                ),
+            ],
+        )
+        .extend_inductive("ty", vec![ctor("ty_prod", vec![ty(), ty()])])
+        .extend_predicate(
+            "hasty",
+            vec![
+                rule(
+                    "ht_pair",
+                    &[
+                        ("G", env()),
+                        ("t1", tm()),
+                        ("t2", tm()),
+                        ("T1", ty()),
+                        ("T2", ty()),
+                    ],
+                    vec![
+                        hasty(v("G"), v("t1"), v("T1")),
+                        hasty(v("G"), v("t2"), v("T2")),
+                    ],
+                    vec![
+                        v("G"),
+                        pair(v("t1"), v("t2")),
+                        c("ty_prod", vec![v("T1"), v("T2")]),
+                    ],
+                ),
+                rule(
+                    "ht_fst",
+                    &[("G", env()), ("t", tm()), ("T1", ty()), ("T2", ty())],
+                    vec![hasty(v("G"), v("t"), c("ty_prod", vec![v("T1"), v("T2")]))],
+                    vec![v("G"), c("tm_fst", vec![v("t")]), v("T1")],
+                ),
+                rule(
+                    "ht_snd",
+                    &[("G", env()), ("t", tm()), ("T1", ty()), ("T2", ty())],
+                    vec![hasty(v("G"), v("t"), c("ty_prod", vec![v("T1"), v("T2")]))],
+                    vec![v("G"), c("tm_snd", vec![v("t")]), v("T2")],
+                ),
+            ],
+        )
+        .extend_predicate(
+            "value",
+            vec![rule(
+                "v_pair",
+                &[("v1", tm()), ("v2", tm())],
+                vec![value(v("v1")), value(v("v2"))],
+                vec![pair(v("v1"), v("v2"))],
+            )],
+        )
+        .extend_predicate(
+            "step",
+            vec![
+                rule(
+                    "st_pair1",
+                    &[("t1", tm()), ("t1'", tm()), ("t2", tm())],
+                    vec![step(v("t1"), v("t1'"))],
+                    vec![pair(v("t1"), v("t2")), pair(v("t1'"), v("t2"))],
+                ),
+                rule(
+                    "st_pair2",
+                    &[("v1", tm()), ("t2", tm()), ("t2'", tm())],
+                    vec![value(v("v1")), step(v("t2"), v("t2'"))],
+                    vec![pair(v("v1"), v("t2")), pair(v("v1"), v("t2'"))],
+                ),
+                rule(
+                    "st_fst1",
+                    &[("t", tm()), ("t0'", tm())],
+                    vec![step(v("t"), v("t0'"))],
+                    vec![c("tm_fst", vec![v("t")]), c("tm_fst", vec![v("t0'")])],
+                ),
+                rule(
+                    "st_fstpair",
+                    &[("v1", tm()), ("v2", tm())],
+                    vec![value(v("v1")), value(v("v2"))],
+                    vec![c("tm_fst", vec![pair(v("v1"), v("v2"))]), v("v1")],
+                ),
+                rule(
+                    "st_snd1",
+                    &[("t", tm()), ("t0'", tm())],
+                    vec![step(v("t"), v("t0'"))],
+                    vec![c("tm_snd", vec![v("t")]), c("tm_snd", vec![v("t0'")])],
+                ),
+                rule(
+                    "st_sndpair",
+                    &[("v1", tm()), ("v2", tm())],
+                    vec![value(v("v1")), value(v("v2"))],
+                    vec![c("tm_snd", vec![pair(v("v1"), v("v2"))]), v("v2")],
+                ),
+            ],
+        )
+        // ---- new inversion / canonical-forms lemmas --------------------------
+        .reprove_lemma(
+            "step_pair_inv",
+            Prop::foralls(
+                &[(sym("t1"), tm()), (sym("t2"), tm()), (sym("t'"), tm())],
+                Prop::imp(
+                    step(pair(v("t1"), v("t2")), v("t'")),
+                    Prop::or(
+                        Prop::exists(
+                            "t1'",
+                            tm(),
+                            Prop::and(
+                                step(v("t1"), v("t1'")),
+                                Prop::eq(v("t'"), pair(v("t1'"), v("t2"))),
+                            ),
+                        ),
+                        Prop::exists(
+                            "t2'",
+                            tm(),
+                            Prop::and(
+                                value(v("t1")),
+                                Prop::and(
+                                    step(v("t2"), v("t2'")),
+                                    Prop::eq(v("t'"), pair(v("t1"), v("t2'"))),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["t1", "t2", "t'", "H"]),
+                vec![icases(
+                    "H",
+                    vec![
+                        vec![
+                            Tactic::Left,
+                            exi(v("t1'")),
+                            Tactic::Split,
+                            ex("Hst_pair1_0"),
+                            refl(),
+                        ],
+                        vec![
+                            Tactic::Right,
+                            exi(v("t2'")),
+                            Tactic::Split,
+                            ex("Hst_pair2_0"),
+                            Tactic::Split,
+                            ex("Hst_pair2_1"),
+                            refl(),
+                        ],
+                    ],
+                )],
+            ]),
+            &["step"],
+        )
+        .reprove_lemma(
+            "step_fst_inv",
+            Prop::foralls(
+                &[(sym("t"), tm()), (sym("t'"), tm())],
+                Prop::imp(
+                    step(c("tm_fst", vec![v("t")]), v("t'")),
+                    Prop::or(
+                        Prop::exists(
+                            "t0'",
+                            tm(),
+                            Prop::and(
+                                step(v("t"), v("t0'")),
+                                Prop::eq(v("t'"), c("tm_fst", vec![v("t0'")])),
+                            ),
+                        ),
+                        Prop::exists(
+                            "v1",
+                            tm(),
+                            Prop::exists(
+                                "v2",
+                                tm(),
+                                Prop::and(
+                                    Prop::eq(v("t"), pair(v("v1"), v("v2"))),
+                                    Prop::and(
+                                        value(v("v1")),
+                                        Prop::and(value(v("v2")), Prop::eq(v("t'"), v("v1"))),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["t", "t'", "H"]),
+                vec![icases(
+                    "H",
+                    vec![
+                        vec![
+                            Tactic::Left,
+                            exi(v("t0'")),
+                            Tactic::Split,
+                            ex("Hst_fst1_0"),
+                            refl(),
+                        ],
+                        vec![
+                            // inversion substituted v1 := t'
+                            Tactic::Right,
+                            exi(v("t'")),
+                            exi(v("v2")),
+                            Tactic::Split,
+                            refl(),
+                            Tactic::Split,
+                            ex("Hst_fstpair_0"),
+                            Tactic::Split,
+                            ex("Hst_fstpair_1"),
+                            refl(),
+                        ],
+                    ],
+                )],
+            ]),
+            &["step"],
+        )
+        .reprove_lemma(
+            "step_snd_inv",
+            Prop::foralls(
+                &[(sym("t"), tm()), (sym("t'"), tm())],
+                Prop::imp(
+                    step(c("tm_snd", vec![v("t")]), v("t'")),
+                    Prop::or(
+                        Prop::exists(
+                            "t0'",
+                            tm(),
+                            Prop::and(
+                                step(v("t"), v("t0'")),
+                                Prop::eq(v("t'"), c("tm_snd", vec![v("t0'")])),
+                            ),
+                        ),
+                        Prop::exists(
+                            "v1",
+                            tm(),
+                            Prop::exists(
+                                "v2",
+                                tm(),
+                                Prop::and(
+                                    Prop::eq(v("t"), pair(v("v1"), v("v2"))),
+                                    Prop::and(
+                                        value(v("v1")),
+                                        Prop::and(value(v("v2")), Prop::eq(v("t'"), v("v2"))),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["t", "t'", "H"]),
+                vec![icases(
+                    "H",
+                    vec![
+                        vec![
+                            Tactic::Left,
+                            exi(v("t0'")),
+                            Tactic::Split,
+                            ex("Hst_snd1_0"),
+                            refl(),
+                        ],
+                        vec![
+                            // inversion substituted v2 := t'
+                            Tactic::Right,
+                            exi(v("v1")),
+                            exi(v("t'")),
+                            Tactic::Split,
+                            refl(),
+                            Tactic::Split,
+                            ex("Hst_sndpair_0"),
+                            Tactic::Split,
+                            ex("Hst_sndpair_1"),
+                            refl(),
+                        ],
+                    ],
+                )],
+            ]),
+            &["step"],
+        )
+        .reprove_lemma(
+            "hasty_pair_inv",
+            Prop::foralls(
+                &[
+                    (sym("G"), env()),
+                    (sym("t1"), tm()),
+                    (sym("t2"), tm()),
+                    (sym("T1"), ty()),
+                    (sym("T2"), ty()),
+                ],
+                Prop::imp(
+                    hasty(
+                        v("G"),
+                        pair(v("t1"), v("t2")),
+                        c("ty_prod", vec![v("T1"), v("T2")]),
+                    ),
+                    Prop::and(
+                        hasty(v("G"), v("t1"), v("T1")),
+                        hasty(v("G"), v("t2"), v("T2")),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["G", "t1", "t2", "T1", "T2", "H"]),
+                vec![
+                    Tactic::Inversion("H".into()),
+                    Tactic::Split,
+                    ex("Hht_pair_0"),
+                    ex("Hht_pair_1"),
+                ],
+            ]),
+            &["hasty"],
+        )
+        .reprove_lemma(
+            "canonical_prod",
+            Prop::foralls(
+                &[(sym("t"), tm()), (sym("T1"), ty()), (sym("T2"), ty())],
+                Prop::imps(
+                    &[
+                        value(v("t")),
+                        hasty(empty(), v("t"), c("ty_prod", vec![v("T1"), v("T2")])),
+                    ],
+                    Prop::exists(
+                        "v1",
+                        tm(),
+                        Prop::exists(
+                            "v2",
+                            tm(),
+                            Prop::and(
+                                Prop::eq(v("t"), pair(v("v1"), v("v2"))),
+                                Prop::and(value(v("v1")), value(v("v2"))),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["t", "T1", "T2", "Hv", "Ht"]),
+                vec![thenall(
+                    Tactic::Inversion("Hv".into()),
+                    vec![first(vec![
+                        vec![Tactic::Inversion("Ht".into())],
+                        vec![
+                            exi(v("v1")),
+                            exi(v("v2")),
+                            Tactic::Split,
+                            refl(),
+                            Tactic::Split,
+                            ex("Hv_pair_0"),
+                            ex("Hv_pair_1"),
+                        ],
+                    ])],
+                )],
+            ]),
+            &["value", "hasty"],
+        )
+        // ---- weakening cases --------------------------------------------------
+        .extend_induction(
+            "weakenlem",
+            vec![
+                (
+                    "ht_pair",
+                    script(vec![
+                        vec![i("G'"), i("H"), ar("hasty", "ht_pair", vec![])],
+                        vec![ah("IH0", vec![]), ex("H"), ah("IH1", vec![]), ex("H")],
+                    ]),
+                ),
+                (
+                    "ht_fst",
+                    script(vec![
+                        vec![i("G'"), i("H"), ar("hasty", "ht_fst", vec![v("T2")])],
+                        vec![ah("IH0", vec![]), ex("H")],
+                    ]),
+                ),
+                (
+                    "ht_snd",
+                    script(vec![
+                        vec![i("G'"), i("H"), ar("hasty", "ht_snd", vec![v("T1")])],
+                        vec![ah("IH0", vec![]), ex("H")],
+                    ]),
+                ),
+            ],
+        )
+        // ---- substitution cases -----------------------------------------------
+        .extend_induction(
+            "substlem",
+            vec![
+                (
+                    "ht_pair",
+                    script(vec![
+                        intros(&["G2", "x0", "s", "T'", "Hperm", "Hs"]),
+                        vec![fs(), ar("hasty", "ht_pair", vec![])],
+                        vec![ah("IH0", vec![v("T'")]), ex("Hperm"), ex("Hs")],
+                        vec![ah("IH1", vec![v("T'")]), ex("Hperm"), ex("Hs")],
+                    ]),
+                ),
+                (
+                    "ht_fst",
+                    script(vec![
+                        intros(&["G2", "x0", "s", "T'", "Hperm", "Hs"]),
+                        vec![fs(), ar("hasty", "ht_fst", vec![v("T2")])],
+                        vec![ah("IH0", vec![v("T'")]), ex("Hperm"), ex("Hs")],
+                    ]),
+                ),
+                (
+                    "ht_snd",
+                    script(vec![
+                        intros(&["G2", "x0", "s", "T'", "Hperm", "Hs"]),
+                        vec![fs(), ar("hasty", "ht_snd", vec![v("T1")])],
+                        vec![ah("IH0", vec![v("T'")]), ex("Hperm"), ex("Hs")],
+                    ]),
+                ),
+            ],
+        )
+        .extend_induction(
+            "value_irred",
+            vec![(
+                "v_pair",
+                script(vec![
+                    intros(&["t'", "Hst"]),
+                    vec![
+                        pose("step_pair_inv", vec![v("v1"), v("v2"), v("t'")], "Hinv"),
+                        fwd("Hinv", "Hst"),
+                    ],
+                    vec![dcases(
+                        "Hinv",
+                        vec![
+                            script(vec![vec![
+                                dstr("Hinv"),
+                                dstr("Hinv"),
+                                ah("IH0", vec![v("t1'")]),
+                                ex("Hinvl"),
+                            ]]),
+                            script(vec![vec![
+                                dstr("Hinv"),
+                                dstr("Hinv"),
+                                dstr("Hinvr"),
+                                ah("IH1", vec![v("t2'")]),
+                                ex("Hinvrl"),
+                            ]]),
+                        ],
+                    )],
+                ]),
+            )],
+        )
+        // ---- preservation cases --------------------------------------------------
+        .extend_induction(
+            "preserve",
+            vec![
+                (
+                    "ht_pair",
+                    script(vec![
+                        intros(&["HG", "t'", "Hst"]),
+                        vec![
+                            sv("HG"),
+                            pose("step_pair_inv", vec![v("t1"), v("t2"), v("t'")], "Hinv"),
+                            fwd("Hinv", "Hst"),
+                        ],
+                        vec![dcases(
+                            "Hinv",
+                            vec![
+                                script(vec![vec![
+                                    dstr("Hinv"),
+                                    dstr("Hinv"),
+                                    sv("Hinvr"),
+                                    ar("hasty", "ht_pair", vec![]),
+                                    ah("IH0", vec![]),
+                                    refl(),
+                                    ex("Hinvl"),
+                                    ex("Hp1"),
+                                ]]),
+                                script(vec![vec![
+                                    dstr("Hinv"),
+                                    dstr("Hinv"),
+                                    dstr("Hinvr"),
+                                    sv("Hinvrr"),
+                                    ar("hasty", "ht_pair", vec![]),
+                                    ex("Hp0"),
+                                    ah("IH1", vec![]),
+                                    refl(),
+                                    ex("Hinvrl"),
+                                ]]),
+                            ],
+                        )],
+                    ]),
+                ),
+                (
+                    "ht_fst",
+                    script(vec![
+                        intros(&["HG", "t'", "Hst"]),
+                        vec![
+                            sv("HG"),
+                            pose("step_fst_inv", vec![v("t"), v("t'")], "Hinv"),
+                            fwd("Hinv", "Hst"),
+                        ],
+                        vec![dcases(
+                            "Hinv",
+                            vec![
+                                script(vec![vec![
+                                    dstr("Hinv"),
+                                    dstr("Hinv"),
+                                    sv("Hinvr"),
+                                    ar("hasty", "ht_fst", vec![v("T2")]),
+                                    ah("IH0", vec![]),
+                                    refl(),
+                                    ex("Hinvl"),
+                                ]]),
+                                script(vec![vec![
+                                    dstr("Hinv"),
+                                    dstr("Hinv"),
+                                    dstr("Hinv"),
+                                    dstr("Hinvr"),
+                                    dstr("Hinvrr"),
+                                    sv("Hinvrrr"),
+                                    sv("Hinvl"),
+                                    pose(
+                                        "hasty_pair_inv",
+                                        vec![empty(), v("v1"), v("v2"), v("T1"), v("T2")],
+                                        "Hpi",
+                                    ),
+                                    fwd("Hpi", "Hp0"),
+                                    dstr("Hpi"),
+                                    ex("Hpil"),
+                                ]]),
+                            ],
+                        )],
+                    ]),
+                ),
+                (
+                    "ht_snd",
+                    script(vec![
+                        intros(&["HG", "t'", "Hst"]),
+                        vec![
+                            sv("HG"),
+                            pose("step_snd_inv", vec![v("t"), v("t'")], "Hinv"),
+                            fwd("Hinv", "Hst"),
+                        ],
+                        vec![dcases(
+                            "Hinv",
+                            vec![
+                                script(vec![vec![
+                                    dstr("Hinv"),
+                                    dstr("Hinv"),
+                                    sv("Hinvr"),
+                                    ar("hasty", "ht_snd", vec![v("T1")]),
+                                    ah("IH0", vec![]),
+                                    refl(),
+                                    ex("Hinvl"),
+                                ]]),
+                                script(vec![vec![
+                                    dstr("Hinv"),
+                                    dstr("Hinv"),
+                                    dstr("Hinv"),
+                                    dstr("Hinvr"),
+                                    dstr("Hinvrr"),
+                                    sv("Hinvrrr"),
+                                    sv("Hinvl"),
+                                    pose(
+                                        "hasty_pair_inv",
+                                        vec![empty(), v("v1"), v("v2"), v("T1"), v("T2")],
+                                        "Hpi",
+                                    ),
+                                    fwd("Hpi", "Hp0"),
+                                    dstr("Hpi"),
+                                    ex("Hpir"),
+                                ]]),
+                            ],
+                        )],
+                    ]),
+                ),
+            ],
+        )
+        // ---- progress cases ----------------------------------------------------------
+        .extend_induction(
+            "progress",
+            vec![
+                (
+                    "ht_pair",
+                    script(vec![
+                        vec![i("HG"), sv("HG")],
+                        vec![
+                            Tactic::Assert(
+                                "Hrefl".into(),
+                                Prop::eq(empty(), empty()),
+                                vec![refl()],
+                            ),
+                            fwd("IH0", "Hrefl"),
+                            fwd("IH1", "Hrefl"),
+                        ],
+                        vec![dcases(
+                            "IH0",
+                            vec![
+                                vec![dcases(
+                                    "IH1",
+                                    vec![
+                                        script(vec![vec![
+                                            Tactic::Left,
+                                            ar("value", "v_pair", vec![]),
+                                            ex("IH0"),
+                                            ex("IH1"),
+                                        ]]),
+                                        script(vec![vec![
+                                            dstr("IH1"),
+                                            Tactic::Right,
+                                            exi(pair(v("t1"), v("t'"))),
+                                            ar("step", "st_pair2", vec![]),
+                                            ex("IH0"),
+                                            ex("IH1"),
+                                        ]]),
+                                    ],
+                                )],
+                                script(vec![vec![
+                                    dstr("IH0"),
+                                    Tactic::Right,
+                                    exi(pair(v("t'"), v("t2"))),
+                                    ar("step", "st_pair1", vec![]),
+                                    ex("IH0"),
+                                ]]),
+                            ],
+                        )],
+                    ]),
+                ),
+                (
+                    "ht_fst",
+                    script(vec![
+                        vec![i("HG"), sv("HG"), Tactic::Right],
+                        vec![
+                            Tactic::Assert(
+                                "Hrefl".into(),
+                                Prop::eq(empty(), empty()),
+                                vec![refl()],
+                            ),
+                            fwd("IH0", "Hrefl"),
+                        ],
+                        vec![dcases(
+                            "IH0",
+                            vec![
+                                script(vec![vec![
+                                    pose("canonical_prod", vec![v("t"), v("T1"), v("T2")], "Hc"),
+                                    fwd("Hc", "IH0"),
+                                    fwd("Hc", "Hp0"),
+                                    dstr("Hc"),
+                                    dstr("Hc"),
+                                    dstr("Hc"),
+                                    dstr("Hcr"),
+                                    sv("Hcl"),
+                                    exi(v("v1")),
+                                    ar("step", "st_fstpair", vec![]),
+                                    ex("Hcrl"),
+                                    ex("Hcrr"),
+                                ]]),
+                                script(vec![vec![
+                                    dstr("IH0"),
+                                    exi(c("tm_fst", vec![v("t'")])),
+                                    ar("step", "st_fst1", vec![]),
+                                    ex("IH0"),
+                                ]]),
+                            ],
+                        )],
+                    ]),
+                ),
+                (
+                    "ht_snd",
+                    script(vec![
+                        vec![i("HG"), sv("HG"), Tactic::Right],
+                        vec![
+                            Tactic::Assert(
+                                "Hrefl".into(),
+                                Prop::eq(empty(), empty()),
+                                vec![refl()],
+                            ),
+                            fwd("IH0", "Hrefl"),
+                        ],
+                        vec![dcases(
+                            "IH0",
+                            vec![
+                                script(vec![vec![
+                                    pose("canonical_prod", vec![v("t"), v("T1"), v("T2")], "Hc"),
+                                    fwd("Hc", "IH0"),
+                                    fwd("Hc", "Hp0"),
+                                    dstr("Hc"),
+                                    dstr("Hc"),
+                                    dstr("Hc"),
+                                    dstr("Hcr"),
+                                    sv("Hcl"),
+                                    exi(v("v2")),
+                                    ar("step", "st_sndpair", vec![]),
+                                    ex("Hcrl"),
+                                    ex("Hcrr"),
+                                ]]),
+                                script(vec![vec![
+                                    dstr("IH0"),
+                                    exi(c("tm_snd", vec![v("t'")])),
+                                    ar("step", "st_snd1", vec![]),
+                                    ex("IH0"),
+                                ]]),
+                            ],
+                        )],
+                    ]),
+                ),
+            ],
+        )
+}

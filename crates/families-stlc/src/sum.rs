@@ -1,0 +1,790 @@
+//! Family `STLCSum extends STLC` — the sums extension (+ in the Section 7
+//! Venn diagram). The `tm_case` eliminator binds two variables, so its
+//! substitution-lemma case needs the shadow/non-shadow bookkeeping twice
+//! (four combinations) — the longest single proof in the case study, as in
+//! the original development.
+
+use fpop::family::FamilyDef;
+use objlang::syntax::{Prop, Sort};
+use objlang::{sym, Tactic};
+
+use crate::util::*;
+
+fn inl(t: objlang::Term) -> objlang::Term {
+    c("tm_inl", vec![t])
+}
+fn inr(t: objlang::Term) -> objlang::Term {
+    c("tm_inr", vec![t])
+}
+fn tmcase(
+    t: objlang::Term,
+    x1: objlang::Term,
+    b1: objlang::Term,
+    x2: objlang::Term,
+    b2: objlang::Term,
+) -> objlang::Term {
+    c("tm_case", vec![t, x1, b1, x2, b2])
+}
+fn ty_sum(a: objlang::Term, b: objlang::Term) -> objlang::Term {
+    c("ty_sum", vec![a, b])
+}
+
+/// The `ht_case` weakening script: scrutinee by IH, both branches with the
+/// extend/includedin bookkeeping.
+fn weaken_case_script() -> Vec<Tactic> {
+    script(vec![
+        vec![
+            i("G'"),
+            i("H"),
+            ar("hasty", "ht_case", vec![v("T1"), v("T2")]),
+            ah("IH0", vec![]),
+            ex("H"),
+        ],
+        vec![ah("IH1", vec![])],
+        weaken_includedin_extend_block("x1"),
+        vec![ah("IH2", vec![])],
+        weaken_includedin_extend_block("x2"),
+    ])
+}
+
+/// The `ht_case` substitution script: four shadow combinations.
+fn subst_case_script() -> Vec<Tactic> {
+    let scrutinee = vec![ah("IH0", vec![v("T'")]), ex("Hperm"), ex("Hs")];
+    let comb = |b1_shadow: bool, b2_shadow: bool| -> Vec<Tactic> {
+        let block1 = if b1_shadow {
+            subst_shadow_block("x1", "T1", "Hp1", "Hc1", "Him1")
+        } else {
+            subst_noshadow_block("x1", "IH1", "Hc1")
+        };
+        let block2 = if b2_shadow {
+            subst_shadow_block("x2", "T2", "Hp2", "Hc2", "Him2")
+        } else {
+            subst_noshadow_block("x2", "IH2", "Hc2")
+        };
+        script(vec![
+            vec![
+                ren("Hcase", "Hc2"),
+                rw("Hc2"),
+                fs(),
+                ar("hasty", "ht_case", vec![v("T1"), v("T2")]),
+            ],
+            scrutinee.clone(),
+            block1,
+            block2,
+        ])
+    };
+    script(vec![
+        intros(&["G2", "x0", "s", "T'", "Hperm", "Hs"]),
+        vec![fs()],
+        vec![cases(
+            eqb(v("x0"), v("x1")),
+            vec![
+                script(vec![
+                    vec![ren("Hcase", "Hc1"), rw("Hc1"), fs()],
+                    vec![cases(
+                        eqb(v("x0"), v("x2")),
+                        vec![comb(true, true), comb(true, false)],
+                    )],
+                ]),
+                script(vec![
+                    vec![ren("Hcase", "Hc1"), rw("Hc1"), fs()],
+                    vec![cases(
+                        eqb(v("x0"), v("x2")),
+                        vec![comb(false, true), comb(false, false)],
+                    )],
+                ]),
+            ],
+        )],
+    ])
+}
+
+/// Builds `Family STLCSum extends STLC`.
+pub fn stlc_sum_family() -> FamilyDef {
+    let id = Sort::Id;
+    FamilyDef::extending("STLCSum", "STLC")
+        .extend_inductive(
+            "tm",
+            vec![
+                ctor("tm_inl", vec![tm()]),
+                ctor("tm_inr", vec![tm()]),
+                ctor("tm_case", vec![tm(), id, tm(), id, tm()]),
+            ],
+        )
+        .extend_recursion(
+            "subst",
+            vec![
+                case("tm_inl", &["t"], inl(subst(v("t"), v("x"), v("s")))),
+                case("tm_inr", &["t"], inr(subst(v("t"), v("x"), v("s")))),
+                case(
+                    "tm_case",
+                    &["t", "x1", "b1", "x2", "b2"],
+                    tmcase(
+                        subst(v("t"), v("x"), v("s")),
+                        v("x1"),
+                        f(
+                            "ite_tm",
+                            vec![
+                                eqb(v("x"), v("x1")),
+                                v("b1"),
+                                subst(v("b1"), v("x"), v("s")),
+                            ],
+                        ),
+                        v("x2"),
+                        f(
+                            "ite_tm",
+                            vec![
+                                eqb(v("x"), v("x2")),
+                                v("b2"),
+                                subst(v("b2"), v("x"), v("s")),
+                            ],
+                        ),
+                    ),
+                ),
+            ],
+        )
+        .extend_inductive("ty", vec![ctor("ty_sum", vec![ty(), ty()])])
+        .extend_predicate(
+            "hasty",
+            vec![
+                rule(
+                    "ht_inl",
+                    &[("G", env()), ("t", tm()), ("T1", ty()), ("T2", ty())],
+                    vec![hasty(v("G"), v("t"), v("T1"))],
+                    vec![v("G"), inl(v("t")), ty_sum(v("T1"), v("T2"))],
+                ),
+                rule(
+                    "ht_inr",
+                    &[("G", env()), ("t", tm()), ("T1", ty()), ("T2", ty())],
+                    vec![hasty(v("G"), v("t"), v("T2"))],
+                    vec![v("G"), inr(v("t")), ty_sum(v("T1"), v("T2"))],
+                ),
+                rule(
+                    "ht_case",
+                    &[
+                        ("G", env()),
+                        ("t", tm()),
+                        ("x1", id),
+                        ("b1", tm()),
+                        ("x2", id),
+                        ("b2", tm()),
+                        ("T1", ty()),
+                        ("T2", ty()),
+                        ("T", ty()),
+                    ],
+                    vec![
+                        hasty(v("G"), v("t"), ty_sum(v("T1"), v("T2"))),
+                        hasty(extend(v("G"), v("x1"), v("T1")), v("b1"), v("T")),
+                        hasty(extend(v("G"), v("x2"), v("T2")), v("b2"), v("T")),
+                    ],
+                    vec![
+                        v("G"),
+                        tmcase(v("t"), v("x1"), v("b1"), v("x2"), v("b2")),
+                        v("T"),
+                    ],
+                ),
+            ],
+        )
+        .extend_predicate(
+            "value",
+            vec![
+                rule(
+                    "v_inl",
+                    &[("v1", tm())],
+                    vec![value(v("v1"))],
+                    vec![inl(v("v1"))],
+                ),
+                rule(
+                    "v_inr",
+                    &[("v1", tm())],
+                    vec![value(v("v1"))],
+                    vec![inr(v("v1"))],
+                ),
+            ],
+        )
+        .extend_predicate(
+            "step",
+            vec![
+                rule(
+                    "st_inl",
+                    &[("t", tm()), ("t0'", tm())],
+                    vec![step(v("t"), v("t0'"))],
+                    vec![inl(v("t")), inl(v("t0'"))],
+                ),
+                rule(
+                    "st_inr",
+                    &[("t", tm()), ("t0'", tm())],
+                    vec![step(v("t"), v("t0'"))],
+                    vec![inr(v("t")), inr(v("t0'"))],
+                ),
+                rule(
+                    "st_case1",
+                    &[
+                        ("t", tm()),
+                        ("t0'", tm()),
+                        ("x1", id),
+                        ("b1", tm()),
+                        ("x2", id),
+                        ("b2", tm()),
+                    ],
+                    vec![step(v("t"), v("t0'"))],
+                    vec![
+                        tmcase(v("t"), v("x1"), v("b1"), v("x2"), v("b2")),
+                        tmcase(v("t0'"), v("x1"), v("b1"), v("x2"), v("b2")),
+                    ],
+                ),
+                rule(
+                    "st_caseinl",
+                    &[
+                        ("v1", tm()),
+                        ("x1", id),
+                        ("b1", tm()),
+                        ("x2", id),
+                        ("b2", tm()),
+                    ],
+                    vec![value(v("v1"))],
+                    vec![
+                        tmcase(inl(v("v1")), v("x1"), v("b1"), v("x2"), v("b2")),
+                        subst(v("b1"), v("x1"), v("v1")),
+                    ],
+                ),
+                rule(
+                    "st_caseinr",
+                    &[
+                        ("v1", tm()),
+                        ("x1", id),
+                        ("b1", tm()),
+                        ("x2", id),
+                        ("b2", tm()),
+                    ],
+                    vec![value(v("v1"))],
+                    vec![
+                        tmcase(inr(v("v1")), v("x1"), v("b1"), v("x2"), v("b2")),
+                        subst(v("b2"), v("x2"), v("v1")),
+                    ],
+                ),
+            ],
+        )
+        // ---- inversion / canonical-forms lemmas -------------------------------
+        .reprove_lemma(
+            "step_inl_inv",
+            Prop::foralls(
+                &[(sym("t"), tm()), (sym("t'"), tm())],
+                Prop::imp(
+                    step(inl(v("t")), v("t'")),
+                    Prop::exists(
+                        "t0'",
+                        tm(),
+                        Prop::and(step(v("t"), v("t0'")), Prop::eq(v("t'"), inl(v("t0'")))),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["t", "t'", "H"]),
+                vec![
+                    Tactic::Inversion("H".into()),
+                    exi(v("t0'")),
+                    Tactic::Split,
+                    ex("Hst_inl_0"),
+                    refl(),
+                ],
+            ]),
+            &["step"],
+        )
+        .reprove_lemma(
+            "step_inr_inv",
+            Prop::foralls(
+                &[(sym("t"), tm()), (sym("t'"), tm())],
+                Prop::imp(
+                    step(inr(v("t")), v("t'")),
+                    Prop::exists(
+                        "t0'",
+                        tm(),
+                        Prop::and(step(v("t"), v("t0'")), Prop::eq(v("t'"), inr(v("t0'")))),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["t", "t'", "H"]),
+                vec![
+                    Tactic::Inversion("H".into()),
+                    exi(v("t0'")),
+                    Tactic::Split,
+                    ex("Hst_inr_0"),
+                    refl(),
+                ],
+            ]),
+            &["step"],
+        )
+        .reprove_lemma(
+            "step_case_inv",
+            Prop::foralls(
+                &[
+                    (sym("t"), tm()),
+                    (sym("x1"), id),
+                    (sym("b1"), tm()),
+                    (sym("x2"), id),
+                    (sym("b2"), tm()),
+                    (sym("t'"), tm()),
+                ],
+                Prop::imp(
+                    step(tmcase(v("t"), v("x1"), v("b1"), v("x2"), v("b2")), v("t'")),
+                    Prop::or(
+                        Prop::exists(
+                            "t0'",
+                            tm(),
+                            Prop::and(
+                                step(v("t"), v("t0'")),
+                                Prop::eq(
+                                    v("t'"),
+                                    tmcase(v("t0'"), v("x1"), v("b1"), v("x2"), v("b2")),
+                                ),
+                            ),
+                        ),
+                        Prop::or(
+                            Prop::exists(
+                                "v1",
+                                tm(),
+                                Prop::and(
+                                    Prop::eq(v("t"), inl(v("v1"))),
+                                    Prop::and(
+                                        value(v("v1")),
+                                        Prop::eq(v("t'"), subst(v("b1"), v("x1"), v("v1"))),
+                                    ),
+                                ),
+                            ),
+                            Prop::exists(
+                                "v1",
+                                tm(),
+                                Prop::and(
+                                    Prop::eq(v("t"), inr(v("v1"))),
+                                    Prop::and(
+                                        value(v("v1")),
+                                        Prop::eq(v("t'"), subst(v("b2"), v("x2"), v("v1"))),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["t", "x1", "b1", "x2", "b2", "t'", "H"]),
+                vec![icases(
+                    "H",
+                    vec![
+                        vec![
+                            Tactic::Left,
+                            exi(v("t0'")),
+                            Tactic::Split,
+                            ex("Hst_case1_0"),
+                            refl(),
+                        ],
+                        vec![
+                            Tactic::Right,
+                            Tactic::Left,
+                            exi(v("v1")),
+                            Tactic::Split,
+                            refl(),
+                            Tactic::Split,
+                            ex("Hst_caseinl_0"),
+                            refl(),
+                        ],
+                        vec![
+                            Tactic::Right,
+                            Tactic::Right,
+                            exi(v("v1")),
+                            Tactic::Split,
+                            refl(),
+                            Tactic::Split,
+                            ex("Hst_caseinr_0"),
+                            refl(),
+                        ],
+                    ],
+                )],
+            ]),
+            &["step"],
+        )
+        .reprove_lemma(
+            "hasty_inl_inv",
+            Prop::foralls(
+                &[
+                    (sym("G"), env()),
+                    (sym("v0"), tm()),
+                    (sym("T1"), ty()),
+                    (sym("T2"), ty()),
+                ],
+                Prop::imp(
+                    hasty(v("G"), inl(v("v0")), ty_sum(v("T1"), v("T2"))),
+                    hasty(v("G"), v("v0"), v("T1")),
+                ),
+            ),
+            script(vec![
+                intros(&["G", "v0", "T1", "T2", "H"]),
+                vec![Tactic::Inversion("H".into()), ex("Hht_inl_0")],
+            ]),
+            &["hasty"],
+        )
+        .reprove_lemma(
+            "hasty_inr_inv",
+            Prop::foralls(
+                &[
+                    (sym("G"), env()),
+                    (sym("v0"), tm()),
+                    (sym("T1"), ty()),
+                    (sym("T2"), ty()),
+                ],
+                Prop::imp(
+                    hasty(v("G"), inr(v("v0")), ty_sum(v("T1"), v("T2"))),
+                    hasty(v("G"), v("v0"), v("T2")),
+                ),
+            ),
+            script(vec![
+                intros(&["G", "v0", "T1", "T2", "H"]),
+                vec![Tactic::Inversion("H".into()), ex("Hht_inr_0")],
+            ]),
+            &["hasty"],
+        )
+        .reprove_lemma(
+            "canonical_sum",
+            Prop::foralls(
+                &[(sym("t"), tm()), (sym("T1"), ty()), (sym("T2"), ty())],
+                Prop::imps(
+                    &[
+                        value(v("t")),
+                        hasty(empty(), v("t"), ty_sum(v("T1"), v("T2"))),
+                    ],
+                    Prop::or(
+                        Prop::exists(
+                            "v1",
+                            tm(),
+                            Prop::and(Prop::eq(v("t"), inl(v("v1"))), value(v("v1"))),
+                        ),
+                        Prop::exists(
+                            "v1",
+                            tm(),
+                            Prop::and(Prop::eq(v("t"), inr(v("v1"))), value(v("v1"))),
+                        ),
+                    ),
+                ),
+            ),
+            script(vec![
+                intros(&["t", "T1", "T2", "Hv", "Ht"]),
+                vec![thenall(
+                    Tactic::Inversion("Hv".into()),
+                    vec![first(vec![
+                        vec![Tactic::Inversion("Ht".into())],
+                        vec![
+                            Tactic::Left,
+                            exi(v("v1")),
+                            Tactic::Split,
+                            refl(),
+                            ex("Hv_inl_0"),
+                        ],
+                        vec![
+                            Tactic::Right,
+                            exi(v("v1")),
+                            Tactic::Split,
+                            refl(),
+                            ex("Hv_inr_0"),
+                        ],
+                    ])],
+                )],
+            ]),
+            &["value", "hasty"],
+        )
+        // ---- weakening --------------------------------------------------------
+        .extend_induction(
+            "weakenlem",
+            vec![
+                (
+                    "ht_inl",
+                    script(vec![
+                        vec![i("G'"), i("H"), ar("hasty", "ht_inl", vec![])],
+                        vec![ah("IH0", vec![]), ex("H")],
+                    ]),
+                ),
+                (
+                    "ht_inr",
+                    script(vec![
+                        vec![i("G'"), i("H"), ar("hasty", "ht_inr", vec![])],
+                        vec![ah("IH0", vec![]), ex("H")],
+                    ]),
+                ),
+                ("ht_case", weaken_case_script()),
+            ],
+        )
+        // ---- substitution -----------------------------------------------------
+        .extend_induction(
+            "substlem",
+            vec![
+                (
+                    "ht_inl",
+                    script(vec![
+                        intros(&["G2", "x0", "s", "T'", "Hperm", "Hs"]),
+                        vec![fs(), ar("hasty", "ht_inl", vec![])],
+                        vec![ah("IH0", vec![v("T'")]), ex("Hperm"), ex("Hs")],
+                    ]),
+                ),
+                (
+                    "ht_inr",
+                    script(vec![
+                        intros(&["G2", "x0", "s", "T'", "Hperm", "Hs"]),
+                        vec![fs(), ar("hasty", "ht_inr", vec![])],
+                        vec![ah("IH0", vec![v("T'")]), ex("Hperm"), ex("Hs")],
+                    ]),
+                ),
+                ("ht_case", subst_case_script()),
+            ],
+        )
+        .extend_induction(
+            "value_irred",
+            vec![
+                (
+                    "v_inl",
+                    script(vec![
+                        intros(&["t'", "Hst"]),
+                        vec![
+                            pose("step_inl_inv", vec![v("v1"), v("t'")], "Hinv"),
+                            fwd("Hinv", "Hst"),
+                            dstr("Hinv"),
+                            dstr("Hinv"),
+                            ah("IH0", vec![v("t0'")]),
+                            ex("Hinvl"),
+                        ],
+                    ]),
+                ),
+                (
+                    "v_inr",
+                    script(vec![
+                        intros(&["t'", "Hst"]),
+                        vec![
+                            pose("step_inr_inv", vec![v("v1"), v("t'")], "Hinv"),
+                            fwd("Hinv", "Hst"),
+                            dstr("Hinv"),
+                            dstr("Hinv"),
+                            ah("IH0", vec![v("t0'")]),
+                            ex("Hinvl"),
+                        ],
+                    ]),
+                ),
+            ],
+        )
+        // ---- preservation -----------------------------------------------------
+        .extend_induction(
+            "preserve",
+            vec![
+                (
+                    "ht_inl",
+                    script(vec![
+                        intros(&["HG", "t'", "Hst"]),
+                        vec![
+                            sv("HG"),
+                            pose("step_inl_inv", vec![v("t"), v("t'")], "Hinv"),
+                            fwd("Hinv", "Hst"),
+                            dstr("Hinv"),
+                            dstr("Hinv"),
+                            sv("Hinvr"),
+                            ar("hasty", "ht_inl", vec![]),
+                            ah("IH0", vec![]),
+                            refl(),
+                            ex("Hinvl"),
+                        ],
+                    ]),
+                ),
+                (
+                    "ht_inr",
+                    script(vec![
+                        intros(&["HG", "t'", "Hst"]),
+                        vec![
+                            sv("HG"),
+                            pose("step_inr_inv", vec![v("t"), v("t'")], "Hinv"),
+                            fwd("Hinv", "Hst"),
+                            dstr("Hinv"),
+                            dstr("Hinv"),
+                            sv("Hinvr"),
+                            ar("hasty", "ht_inr", vec![]),
+                            ah("IH0", vec![]),
+                            refl(),
+                            ex("Hinvl"),
+                        ],
+                    ]),
+                ),
+                (
+                    "ht_case",
+                    script(vec![
+                        intros(&["HG", "t'", "Hst"]),
+                        vec![
+                            sv("HG"),
+                            pose(
+                                "step_case_inv",
+                                vec![v("t"), v("x1"), v("b1"), v("x2"), v("b2"), v("t'")],
+                                "Hinv",
+                            ),
+                            fwd("Hinv", "Hst"),
+                        ],
+                        vec![dcases(
+                            "Hinv",
+                            vec![
+                                // congruence on the scrutinee
+                                script(vec![vec![
+                                    dstr("Hinv"),
+                                    dstr("Hinv"),
+                                    sv("Hinvr"),
+                                    ar("hasty", "ht_case", vec![v("T1"), v("T2")]),
+                                    ah("IH0", vec![]),
+                                    refl(),
+                                    ex("Hinvl"),
+                                    ex("Hp1"),
+                                    ex("Hp2"),
+                                ]]),
+                                vec![dcases(
+                                    "Hinv",
+                                    vec![
+                                        // case-inl
+                                        script(vec![vec![
+                                            dstr("Hinv"),
+                                            dstr("Hinv"),
+                                            dstr("Hinvr"),
+                                            sv("Hinvrr"),
+                                            sv("Hinvl"),
+                                            af("substlem_corollary", vec![v("T1")]),
+                                            ex("Hp1"),
+                                            af("hasty_inl_inv", vec![v("T2")]),
+                                            ex("Hp0"),
+                                        ]]),
+                                        // case-inr
+                                        script(vec![vec![
+                                            dstr("Hinv"),
+                                            dstr("Hinv"),
+                                            dstr("Hinvr"),
+                                            sv("Hinvrr"),
+                                            sv("Hinvl"),
+                                            af("substlem_corollary", vec![v("T2")]),
+                                            ex("Hp2"),
+                                            af("hasty_inr_inv", vec![v("T1")]),
+                                            ex("Hp0"),
+                                        ]]),
+                                    ],
+                                )],
+                            ],
+                        )],
+                    ]),
+                ),
+            ],
+        )
+        // ---- progress ---------------------------------------------------------
+        .extend_induction(
+            "progress",
+            vec![
+                (
+                    "ht_inl",
+                    script(vec![
+                        vec![i("HG"), sv("HG")],
+                        vec![
+                            Tactic::Assert(
+                                "Hrefl".into(),
+                                Prop::eq(empty(), empty()),
+                                vec![refl()],
+                            ),
+                            fwd("IH0", "Hrefl"),
+                        ],
+                        vec![dcases(
+                            "IH0",
+                            vec![
+                                vec![Tactic::Left, ar("value", "v_inl", vec![]), ex("IH0")],
+                                script(vec![vec![
+                                    dstr("IH0"),
+                                    Tactic::Right,
+                                    exi(inl(v("t'"))),
+                                    ar("step", "st_inl", vec![]),
+                                    ex("IH0"),
+                                ]]),
+                            ],
+                        )],
+                    ]),
+                ),
+                (
+                    "ht_inr",
+                    script(vec![
+                        vec![i("HG"), sv("HG")],
+                        vec![
+                            Tactic::Assert(
+                                "Hrefl".into(),
+                                Prop::eq(empty(), empty()),
+                                vec![refl()],
+                            ),
+                            fwd("IH0", "Hrefl"),
+                        ],
+                        vec![dcases(
+                            "IH0",
+                            vec![
+                                vec![Tactic::Left, ar("value", "v_inr", vec![]), ex("IH0")],
+                                script(vec![vec![
+                                    dstr("IH0"),
+                                    Tactic::Right,
+                                    exi(inr(v("t'"))),
+                                    ar("step", "st_inr", vec![]),
+                                    ex("IH0"),
+                                ]]),
+                            ],
+                        )],
+                    ]),
+                ),
+                (
+                    "ht_case",
+                    script(vec![
+                        vec![i("HG"), sv("HG"), Tactic::Right],
+                        vec![
+                            Tactic::Assert(
+                                "Hrefl".into(),
+                                Prop::eq(empty(), empty()),
+                                vec![refl()],
+                            ),
+                            fwd("IH0", "Hrefl"),
+                        ],
+                        vec![dcases(
+                            "IH0",
+                            vec![
+                                // scrutinee is a value: canonical forms
+                                script(vec![
+                                    vec![
+                                        pose("canonical_sum", vec![v("t"), v("T1"), v("T2")], "Hc"),
+                                        fwd("Hc", "IH0"),
+                                        fwd("Hc", "Hp0"),
+                                    ],
+                                    vec![dcases(
+                                        "Hc",
+                                        vec![
+                                            script(vec![vec![
+                                                dstr("Hc"),
+                                                dstr("Hc"),
+                                                sv("Hcl"),
+                                                exi(subst(v("b1"), v("x1"), v("v1"))),
+                                                ar("step", "st_caseinl", vec![]),
+                                                ex("Hcr"),
+                                            ]]),
+                                            script(vec![vec![
+                                                dstr("Hc"),
+                                                dstr("Hc"),
+                                                sv("Hcl"),
+                                                exi(subst(v("b2"), v("x2"), v("v1"))),
+                                                ar("step", "st_caseinr", vec![]),
+                                                ex("Hcr"),
+                                            ]]),
+                                        ],
+                                    )],
+                                ]),
+                                // scrutinee steps
+                                script(vec![vec![
+                                    dstr("IH0"),
+                                    exi(tmcase(v("t'"), v("x1"), v("b1"), v("x2"), v("b2"))),
+                                    ar("step", "st_case1", vec![]),
+                                    ex("IH0"),
+                                ]]),
+                            ],
+                        )],
+                    ]),
+                ),
+            ],
+        )
+}

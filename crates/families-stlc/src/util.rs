@@ -1,0 +1,348 @@
+//! Terse construction helpers shared by the STLC family sources.
+//!
+//! The case-study code aims to read like the vernacular of Figure 2; these
+//! aliases keep term/prop/tactic construction close to that density.
+
+use objlang::ident::Symbol;
+use objlang::sig::{CtorSig, RecCase, Rule};
+use objlang::syntax::{Prop, Sort, Term};
+use objlang::Tactic;
+
+/// Variable term.
+pub fn v(s: &str) -> Term {
+    Term::var(s)
+}
+/// Constructor application.
+pub fn c(name: &str, args: Vec<Term>) -> Term {
+    Term::ctor(name, args)
+}
+/// Nullary constructor.
+pub fn c0(name: &str) -> Term {
+    Term::c0(name)
+}
+/// Function application.
+pub fn f(name: &str, args: Vec<Term>) -> Term {
+    Term::func(name, args)
+}
+/// Named sort.
+pub fn srt(s: &str) -> Sort {
+    Sort::named(s)
+}
+/// The `tm` sort.
+pub fn tm() -> Sort {
+    srt("tm")
+}
+/// The `ty` sort.
+pub fn ty() -> Sort {
+    srt("ty")
+}
+/// The `env` sort.
+pub fn env() -> Sort {
+    srt("env")
+}
+/// The `empty` environment.
+pub fn empty() -> Term {
+    f("empty", vec![])
+}
+/// `extend G x T`.
+pub fn extend(g: Term, x: Term, t: Term) -> Term {
+    f("extend", vec![g, x, t])
+}
+/// `subst t x s`.
+pub fn subst(t: Term, x: Term, s: Term) -> Term {
+    f("subst", vec![t, x, s])
+}
+/// `lookup G x`.
+pub fn lookup(g: Term, x: Term) -> Term {
+    f("lookup", vec![g, x])
+}
+/// `id_eqb a b`.
+pub fn eqb(a: Term, b: Term) -> Term {
+    f("id_eqb", vec![a, b])
+}
+/// `some_ty T`.
+pub fn some_ty(t: Term) -> Term {
+    c("some_ty", vec![t])
+}
+/// `hasty G t T`.
+pub fn hasty(g: Term, t: Term, t2: Term) -> Prop {
+    Prop::atom("hasty", vec![g, t, t2])
+}
+/// `value t`.
+pub fn value(t: Term) -> Prop {
+    Prop::atom("value", vec![t])
+}
+/// `step t t'`.
+pub fn step(a: Term, b: Term) -> Prop {
+    Prop::atom("step", vec![a, b])
+}
+/// `steps t t'`.
+pub fn steps(a: Term, b: Term) -> Prop {
+    Prop::atom("steps", vec![a, b])
+}
+/// `includedin G G'` (defined proposition).
+pub fn includedin(a: Term, b: Term) -> Prop {
+    Prop::Def(Symbol::new("includedin"), vec![a, b])
+}
+
+/// Builds an inference rule.
+pub fn rule(name: &str, binders: &[(&str, Sort)], premises: Vec<Prop>, concl: Vec<Term>) -> Rule {
+    Rule {
+        name: Symbol::new(name),
+        binders: binders.iter().map(|(n, s)| (Symbol::new(n), *s)).collect(),
+        premises,
+        conclusion: concl,
+    }
+}
+
+/// Builds a recursion case handler.
+pub fn case(ctor: &str, vars: &[&str], body: Term) -> RecCase {
+    RecCase {
+        ctor: Symbol::new(ctor),
+        arg_vars: vars.iter().map(|s| Symbol::new(s)).collect(),
+        body,
+    }
+}
+
+/// Constructor signature.
+pub fn ctor(name: &str, args: Vec<Sort>) -> CtorSig {
+    CtorSig {
+        name: Symbol::new(name),
+        args,
+    }
+}
+
+// ---- tactic aliases ------------------------------------------------------
+
+/// `intro as`.
+pub fn i(n: &str) -> Tactic {
+    Tactic::IntroAs(n.into())
+}
+/// `intros` several names.
+pub fn intros(names: &[&str]) -> Vec<Tactic> {
+    names.iter().map(|n| i(n)).collect()
+}
+/// `exact`.
+pub fn ex(h: &str) -> Tactic {
+    Tactic::Exact(h.into())
+}
+/// `apply` a rule of a predicate.
+pub fn ar(pred: &str, rule: &str, with: Vec<Term>) -> Tactic {
+    Tactic::ApplyRule(pred.into(), rule.into(), with)
+}
+/// `apply` a fact.
+pub fn af(name: &str, with: Vec<Term>) -> Tactic {
+    Tactic::ApplyFact(name.into(), with)
+}
+/// `apply` a hypothesis.
+pub fn ah(h: &str, with: Vec<Term>) -> Tactic {
+    Tactic::ApplyHyp(h.into(), with)
+}
+/// `rewrite` in the goal.
+pub fn rw(src: &str) -> Tactic {
+    Tactic::Rewrite(src.into())
+}
+/// `rewrite … in h`.
+pub fn rwin(src: &str, h: &str) -> Tactic {
+    Tactic::RewriteIn(src.into(), h.into())
+}
+/// `fsimpl` (goal).
+pub fn fs() -> Tactic {
+    Tactic::FSimpl
+}
+/// `fsimpl in h`.
+pub fn fsin(h: &str) -> Tactic {
+    Tactic::FSimplIn(h.into())
+}
+/// `reflexivity`.
+pub fn refl() -> Tactic {
+    Tactic::Reflexivity
+}
+/// `destruct`.
+pub fn dstr(h: &str) -> Tactic {
+    Tactic::Destruct(h.into())
+}
+/// `exists`.
+pub fn exi(t: Term) -> Tactic {
+    Tactic::Exists(t)
+}
+/// Case analysis on a term, with one closing script per constructor.
+pub fn cases(t: Term, branches: Vec<Vec<Tactic>>) -> Tactic {
+    Tactic::Branch(Box::new(Tactic::CaseTerm(t)), branches)
+}
+/// `destruct` with one closing script per produced goal.
+pub fn dcases(h: &str, branches: Vec<Vec<Tactic>>) -> Tactic {
+    Tactic::Branch(Box::new(Tactic::Destruct(h.into())), branches)
+}
+/// Inversion with one closing script per surviving rule case.
+pub fn icases(h: &str, branches: Vec<Vec<Tactic>>) -> Tactic {
+    Tactic::Branch(Box::new(Tactic::Inversion(h.into())), branches)
+}
+/// `subst` a variable equality.
+pub fn sv(h: &str) -> Tactic {
+    Tactic::SubstVar(h.into())
+}
+/// `pose proof fact args as name`.
+pub fn pose(fact: &str, with: Vec<Term>, as_name: &str) -> Tactic {
+    Tactic::PoseFact(fact.into(), with, as_name.into())
+}
+/// Modus ponens in a hypothesis.
+pub fn fwd(h: &str, arg: &str) -> Tactic {
+    Tactic::Forward(h.into(), arg.into())
+}
+/// Rename a hypothesis.
+pub fn ren(old: &str, new: &str) -> Tactic {
+    Tactic::Rename(old.into(), new.into())
+}
+/// Unfold a defined prop in the goal.
+pub fn unfold(n: &str) -> Tactic {
+    Tactic::Unfold(n.into())
+}
+/// Unfold a defined prop in a hypothesis.
+pub fn unfold_in(n: &str, h: &str) -> Tactic {
+    Tactic::UnfoldIn(n.into(), h.into())
+}
+/// Flattens nested tactic lists.
+pub fn script(parts: Vec<Vec<Tactic>>) -> Vec<Tactic> {
+    parts.into_iter().flatten().collect()
+}
+
+/// `t; s` — run `script` on every goal `t` produces, closing each.
+pub fn thenall(t: Tactic, s: Vec<Tactic>) -> Tactic {
+    Tactic::ThenAll(Box::new(t), s)
+}
+/// `first [s1 | s2 | …]`.
+pub fn first(cands: Vec<Vec<Tactic>>) -> Tactic {
+    Tactic::First(cands)
+}
+/// Instantiate a ∀-hypothesis.
+pub fn spec(h: &str, with: Vec<Term>) -> Tactic {
+    Tactic::Specialize(h.into(), with)
+}
+
+/// Closes the goal `includedin (extend G xk Tk) (extend G\' xk Tk)` given a
+/// hypothesis `H : includedin G G\'` — the lookup/extend bookkeeping shared
+/// by every weakening case over a binding constructor.
+pub fn weaken_includedin_extend_block(xk: &str) -> Vec<Tactic> {
+    script(vec![
+        vec![
+            unfold("includedin"),
+            i("y"),
+            i("T0"),
+            i("Hl"),
+            fsin("Hl"),
+            fs(),
+        ],
+        vec![cases(
+            eqb(v("y"), v(xk)),
+            vec![
+                vec![
+                    ren("Hcase", "Hyk"),
+                    rwin("Hyk", "Hl"),
+                    fsin("Hl"),
+                    rw("Hyk"),
+                    fs(),
+                    ex("Hl"),
+                ],
+                vec![
+                    ren("Hcase", "Hyk"),
+                    rwin("Hyk", "Hl"),
+                    fsin("Hl"),
+                    rw("Hyk"),
+                    fs(),
+                    unfold_in("includedin", "H"),
+                    ah("H", vec![]),
+                    ex("Hl"),
+                ],
+            ],
+        )],
+    ])
+}
+
+/// Closes the goal `hasty (extend G2 xk Tk) bk T` under a *shadowed*
+/// substitution branch: given `Hpk : hasty (extend G xk Tk) bk T`,
+/// `Hperm`, and `hck : id_eqb x0 xk = true`.
+pub fn subst_shadow_block(xk: &str, tk: &str, hpk: &str, hck: &str, him: &str) -> Vec<Tactic> {
+    script(vec![
+        vec![
+            af("weakenlem", vec![extend(v("G"), v(xk), v(tk))]),
+            ex(hpk),
+            unfold("includedin"),
+            i("y"),
+            i("T0"),
+            i("Hl"),
+            fsin("Hl"),
+            fs(),
+            rwin("Hperm", "Hl"),
+            fsin("Hl"),
+            pose("id_eqb_eq", vec![v("x0"), v(xk)], him),
+            fwd(him, hck),
+        ],
+        vec![cases(
+            eqb(v("y"), v(xk)),
+            vec![
+                vec![
+                    ren("Hcase", "Hyk"),
+                    rwin("Hyk", "Hl"),
+                    fsin("Hl"),
+                    rw("Hyk"),
+                    fs(),
+                    ex("Hl"),
+                ],
+                vec![
+                    ren("Hcase", "Hyk"),
+                    rwin("Hyk", "Hl"),
+                    fsin("Hl"),
+                    rwin(him, "Hl"),
+                    rwin("Hyk", "Hl"),
+                    fsin("Hl"),
+                    rw("Hyk"),
+                    fs(),
+                    ex("Hl"),
+                ],
+            ],
+        )],
+    ])
+}
+
+/// Closes the goal `hasty (extend G2 xk Tk) (subst bk x0 s) T` under an
+/// *unshadowed* substitution branch: given `ihk` (the induction hypothesis
+/// for `bk`), `Hperm`, `Hs`, and `hck : id_eqb x0 xk = false`.
+pub fn subst_noshadow_block(xk: &str, ihk: &str, hck: &str) -> Vec<Tactic> {
+    script(vec![
+        vec![ah(ihk, vec![v("T'")])],
+        // premise 1: pointwise lookup agreement
+        vec![i("y"), fs(), rw("Hperm"), fs()],
+        vec![cases(
+            eqb(v("y"), v(xk)),
+            vec![
+                vec![
+                    ren("Hcase", "Hyk"),
+                    rw("Hyk"),
+                    fs(),
+                    cases(
+                        eqb(v("y"), v("x0")),
+                        vec![
+                            vec![
+                                ren("Hcase", "Hyx0"),
+                                pose("id_eqb_eq", vec![v("y"), v(xk)], "He1"),
+                                fwd("He1", "Hyk"),
+                                pose("id_eqb_eq", vec![v("y"), v("x0")], "He2"),
+                                fwd("He2", "Hyx0"),
+                                sv("He1"),
+                                sv("He2"),
+                                pose("id_eqb_refl", vec![v("x0")], "Hr"),
+                                rwin("Hr", hck),
+                                Tactic::Discriminate(hck.into()),
+                            ],
+                            vec![ren("Hcase", "Hyx0"), rw("Hyx0"), fs(), refl()],
+                        ],
+                    ),
+                ],
+                vec![ren("Hcase", "Hyk"), rw("Hyk"), fs(), refl()],
+            ],
+        )],
+        // premise 2
+        vec![ex("Hs")],
+    ])
+}

@@ -1,0 +1,20 @@
+//! The base STLC family compiles: every lemma through type safety checks.
+
+use fpop::universe::FamilyUniverse;
+
+#[test]
+fn stlc_base_typesafe() {
+    let mut u = FamilyUniverse::new();
+    let fam = u
+        .define(families_stlc::stlc_family())
+        .expect("STLC must compile");
+    assert!(
+        fam.assumptions.is_empty(),
+        "no admits: {:?}",
+        fam.assumptions
+    );
+    let out = u.check("STLC", "typesafe").unwrap();
+    assert!(out.contains("STLC.typesafe"), "{out}");
+    assert!(out.contains("STLC.steps"), "{out}");
+    assert!(out.contains("STLC.hasty"), "{out}");
+}

@@ -1,0 +1,30 @@
+//! The booleans extension (the Section 6.5 family, surface level) and the
+//! extended 31-variant lattice.
+
+use fpop::universe::FamilyUniverse;
+
+#[test]
+fn stlc_bool_inherits_typesafe() {
+    let mut u = FamilyUniverse::new();
+    u.define(families_stlc::stlc_family()).unwrap();
+    u.define(families_stlc::boolean::stlc_bool_family())
+        .expect("STLCBool must compile");
+    let out = u.check("STLCBool", "typesafe").unwrap();
+    assert!(out.contains("STLCBool.typesafe"), "{out}");
+    assert!(u.family("STLCBool").unwrap().assumptions.is_empty());
+}
+
+#[test]
+fn extended_lattice_31_variants() {
+    let mut u = FamilyUniverse::new();
+    let report = families_stlc::build_extended_lattice(&mut u).expect("extended lattice");
+    assert_eq!(report.rows.len(), 32); // base + 31 variants
+    for row in &report.rows {
+        assert!(
+            u.check(&row.name, "typesafe").is_ok(),
+            "{} lost typesafe",
+            row.name
+        );
+        assert!(u.family(&row.name).unwrap().assumptions.is_empty());
+    }
+}

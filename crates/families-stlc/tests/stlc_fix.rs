@@ -1,0 +1,36 @@
+//! The fixpoints extension (Figure 2 right column): typesafe is inherited.
+
+use fpop::universe::FamilyUniverse;
+
+#[test]
+fn stlc_fix_inherits_typesafe() {
+    let mut u = FamilyUniverse::new();
+    u.define(families_stlc::stlc_family()).unwrap();
+    u.define(families_stlc::fix::stlc_fix_family())
+        .expect("STLCFix must compile");
+    // Check STLCFix.typesafe — the paper's closing command.
+    let out = u.check("STLCFix", "typesafe").unwrap();
+    let fam = u.family("STLCFix").unwrap();
+    assert!(fam.assumptions.is_empty());
+    assert!(out.contains("STLCFix.typesafe"), "{out}");
+    // typesafe itself was inherited: its steps cases are shared.
+    let shared: Vec<&String> = fam
+        .ledger
+        .shared()
+        .iter()
+        .filter(|n| n.contains("typesafe"))
+        .collect();
+    assert_eq!(shared.len(), 2, "both typesafe cases reused: {shared:?}");
+    // The new ht_fix cases were checked fresh.
+    assert!(fam
+        .ledger
+        .checked()
+        .iter()
+        .any(|n| n.contains("preserve◦ht_fix")));
+    // Substantial reuse overall.
+    assert!(
+        fam.ledger.reuse_ratio() > 0.4,
+        "reuse: {}",
+        fam.ledger.reuse_ratio()
+    );
+}

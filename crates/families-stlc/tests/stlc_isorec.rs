@@ -1,0 +1,14 @@
+//! The iso-recursive-types extension: typesafe inherited.
+
+use fpop::universe::FamilyUniverse;
+
+#[test]
+fn stlc_isorec_inherits_typesafe() {
+    let mut u = FamilyUniverse::new();
+    u.define(families_stlc::stlc_family()).unwrap();
+    u.define(families_stlc::isorec::stlc_isorec_family())
+        .expect("STLCIsorec must compile");
+    let out = u.check("STLCIsorec", "typesafe").unwrap();
+    assert!(out.contains("STLCIsorec.typesafe"), "{out}");
+    assert!(u.family("STLCIsorec").unwrap().assumptions.is_empty());
+}

@@ -1,0 +1,22 @@
+//! The products extension: typesafe inherited; canonical-forms lemmas
+//! re-proved automatically.
+
+use fpop::universe::FamilyUniverse;
+
+#[test]
+fn stlc_prod_inherits_typesafe() {
+    let mut u = FamilyUniverse::new();
+    u.define(families_stlc::stlc_family()).unwrap();
+    u.define(families_stlc::prod::stlc_prod_family())
+        .expect("STLCProd must compile");
+    let out = u.check("STLCProd", "typesafe").unwrap();
+    assert!(out.contains("STLCProd.typesafe"), "{out}");
+    let fam = u.family("STLCProd").unwrap();
+    assert!(fam.assumptions.is_empty());
+    // canonical_arrow re-proved (value was further bound).
+    assert!(fam
+        .ledger
+        .checked()
+        .iter()
+        .any(|n| n.contains("canonical_arrow")));
+}

@@ -1,0 +1,14 @@
+//! The sums extension: typesafe inherited.
+
+use fpop::universe::FamilyUniverse;
+
+#[test]
+fn stlc_sum_inherits_typesafe() {
+    let mut u = FamilyUniverse::new();
+    u.define(families_stlc::stlc_family()).unwrap();
+    u.define(families_stlc::sum::stlc_sum_family())
+        .expect("STLCSum must compile");
+    let out = u.check("STLCSum", "typesafe").unwrap();
+    assert!(out.contains("STLCSum.typesafe"), "{out}");
+    assert!(u.family("STLCSum").unwrap().assumptions.is_empty());
+}

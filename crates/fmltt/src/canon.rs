@@ -1,0 +1,153 @@
+//! Canonicity and consistency oracles (Theorems 5.1, 5.2, 6.4).
+//!
+//! Theorem 5.2's constructive proof "amounts to a normalization function
+//! for closed terms of the ground type"; [`canonical_bool`] *is* that
+//! function: it type-checks a closed term at `B` and evaluates it, always
+//! landing on `tt` or `ff`. [`canonical_form`] implements the canonical-
+//! forms theorem 6.4 for W-types, Σ-types and linkages. Consistency
+//! (Theorem 5.1) is witnessed operationally: no closed term checks at `⊥`
+//! ([`refutes_bot`] demonstrates rejection) and evaluation can never
+//! produce an inhabitant for `absurd` to consume.
+
+use std::rc::Rc;
+
+use crate::check::{check, check_ty, Ctx};
+use crate::sem::{eval, eval_ty, KErr, KResult, Val};
+use crate::syntax::{Tm, Ty};
+
+/// The two canonical booleans.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CanonicalBool {
+    /// `tt`.
+    True,
+    /// `ff`.
+    False,
+}
+
+/// A description of a closed value's canonical form (Theorem 6.4).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CanonicalForm {
+    /// `tt` / `ff`.
+    Bool(CanonicalBool),
+    /// `()`.
+    Unit,
+    /// `Wsup_i(…)` — a W-type value built by constructor `i`.
+    WSup(usize),
+    /// A dependent pair.
+    Pair,
+    /// A linkage of the given length (a chain of `µ+` over `µ•`).
+    Linkage(usize),
+    /// `refl`.
+    Refl,
+    /// A λ-abstraction.
+    Lam,
+    /// A type code.
+    Code,
+}
+
+/// Theorem 5.2 as a program: checks `t : B` in the empty context and
+/// normalizes it to `tt` or `ff`.
+///
+/// # Errors
+///
+/// Fails only if `t` is not a closed well-typed boolean — never because a
+/// well-typed closed boolean lacks a canonical form.
+pub fn canonical_bool(t: &Tm) -> KResult<CanonicalBool> {
+    let ctx = Ctx::new();
+    check(&ctx, t, &Rc::new(crate::sem::VTy::Bool))?;
+    match &*eval(&ctx.env, t)? {
+        Val::True => Ok(CanonicalBool::True),
+        Val::False => Ok(CanonicalBool::False),
+        other => Err(KErr(format!(
+            "canonicity violated: closed boolean evaluated to {other:?} — kernel bug"
+        ))),
+    }
+}
+
+/// Theorem 6.4 as a program: checks `t : T` closed and reports the
+/// canonical form of its value.
+pub fn canonical_form(t: &Tm, ty: &Ty) -> KResult<CanonicalForm> {
+    let ctx = Ctx::new();
+    check_ty(&ctx, ty)?;
+    let tv = eval_ty(&ctx.env, ty)?;
+    check(&ctx, t, &tv)?;
+    classify(&eval(&ctx.env, t)?)
+}
+
+fn classify(v: &Rc<Val>) -> KResult<CanonicalForm> {
+    match &**v {
+        Val::True => Ok(CanonicalForm::Bool(CanonicalBool::True)),
+        Val::False => Ok(CanonicalForm::Bool(CanonicalBool::False)),
+        Val::Unit => Ok(CanonicalForm::Unit),
+        Val::WSup(i, ..) => Ok(CanonicalForm::WSup(*i)),
+        Val::Pair(..) => Ok(CanonicalForm::Pair),
+        Val::Refl(_) => Ok(CanonicalForm::Refl),
+        Val::Lam(_) => Ok(CanonicalForm::Lam),
+        Val::Code(_) => Ok(CanonicalForm::Code),
+        Val::LNil => Ok(CanonicalForm::Linkage(0)),
+        Val::LCons(prefix, _, _) => match classify(prefix)? {
+            CanonicalForm::Linkage(n) => Ok(CanonicalForm::Linkage(n + 1)),
+            other => Err(KErr(format!("non-linkage prefix {other:?}"))),
+        },
+        Val::Ne(_) => Err(KErr(
+            "canonicity violated: closed term evaluated to a neutral — kernel bug".into(),
+        )),
+    }
+}
+
+/// Consistency probe: returns `true` when the checker *rejects* `t : ⊥`
+/// (the expected outcome for every closed `t`, Theorem 5.1).
+pub fn refutes_bot(t: &Tm) -> bool {
+    let ctx = Ctx::new();
+    check(&ctx, t, &Rc::new(crate::sem::VTy::Bot)).is_err()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn closed_booleans_are_canonical() {
+        // if tt then ff else tt  ⇓  ff
+        let t = Tm::If(
+            Rc::new(Tm::True),
+            Rc::new(Tm::False),
+            Rc::new(Tm::True),
+            Rc::new(Ty::Bool),
+        );
+        assert_eq!(canonical_bool(&t).unwrap(), CanonicalBool::False);
+        // (λx. x) tt ⇓ tt
+        let t2 = Tm::app_to(Tm::Lam(Rc::new(Tm::Var(0))), Tm::True);
+        assert_eq!(canonical_bool(&t2).unwrap(), CanonicalBool::True);
+    }
+
+    #[test]
+    fn ill_typed_rejected() {
+        assert!(canonical_bool(&Tm::Unit).is_err());
+    }
+
+    #[test]
+    fn bot_uninhabited_probes() {
+        // A few closed candidates — all rejected at ⊥ (Theorem 5.1).
+        assert!(refutes_bot(&Tm::Unit));
+        assert!(refutes_bot(&Tm::True));
+        assert!(refutes_bot(&Tm::Lam(Rc::new(Tm::Var(0)))));
+        assert!(refutes_bot(&Tm::Pair(Rc::new(Tm::Unit), Rc::new(Tm::True))));
+        // Even absurd needs a ⊥ it cannot have.
+        assert!(refutes_bot(&Tm::Absurd(
+            Rc::new(Ty::Bot),
+            Rc::new(Tm::Unit)
+        )));
+    }
+
+    #[test]
+    fn pair_and_refl_canonical_forms() {
+        let p = Tm::Pair(Rc::new(Tm::True), Rc::new(Tm::Unit));
+        let pt = Ty::Sigma(Rc::new(Ty::Bool), Rc::new(Ty::wk(Ty::Top, 1)));
+        assert_eq!(canonical_form(&p, &pt).unwrap(), CanonicalForm::Pair);
+        let r = Tm::Refl(Rc::new(Tm::True));
+        let rt = Ty::Eq(Rc::new(Ty::Bool), Rc::new(Tm::True), Rc::new(Tm::True));
+        assert_eq!(canonical_form(&r, &rt).unwrap(), CanonicalForm::Refl);
+    }
+}

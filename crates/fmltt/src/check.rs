@@ -1,0 +1,532 @@
+//! The bidirectional type checker for FMLTT (the rules of Sections
+//! 6.1–6.2).
+//!
+//! Contexts pair a syntactic telescope of type values with an evaluation
+//! environment; checking `Γ ⊢ t : T` evaluates types on the fly (NbE) and
+//! decides definitional equality with [`crate::sem::conv_ty`] /
+//! [`crate::sem::conv_val`].
+
+use std::rc::Rc;
+
+use crate::sem::{
+    apply, casety, conv_ty, conv_val, eval, eval_lsig, eval_ty, eval_wsig, fresh, pack_ty,
+    pack_val, recsig_entries, Env, KErr, KResult, TyClo, VLEntry, VLSig, VTy, Val,
+};
+use crate::syntax::{LSig, Level, Sub, Tm, Ty, WSig};
+
+fn err<T>(m: impl Into<String>) -> KResult<T> {
+    Err(KErr(m.into()))
+}
+
+/// A typing context: type values plus a parallel evaluation environment
+/// (variables bound to fresh neutrals; substitution targets to values).
+#[derive(Clone, Debug, Default)]
+pub struct Ctx {
+    /// Types, outermost first.
+    pub tys: Vec<Rc<VTy>>,
+    /// The environment (innermost entry = `var 0`).
+    pub env: Env,
+}
+
+impl Ctx {
+    /// The empty context.
+    pub fn new() -> Ctx {
+        Ctx::default()
+    }
+
+    /// Binds a fresh variable of the given type.
+    pub fn bind(&self, ty: Rc<VTy>) -> Ctx {
+        let v = fresh(ty.clone());
+        let mut tys = self.tys.clone();
+        tys.push(ty);
+        Ctx {
+            tys,
+            env: self.env.push(v),
+        }
+    }
+
+    /// Binds a slot whose runtime value is known.
+    pub fn define(&self, v: Rc<Val>, ty: Rc<VTy>) -> Ctx {
+        let mut tys = self.tys.clone();
+        tys.push(ty);
+        Ctx {
+            tys,
+            env: self.env.push(v),
+        }
+    }
+
+    fn var_ty(&self, n: usize) -> KResult<Rc<VTy>> {
+        if n >= self.tys.len() {
+            return err(format!("variable v{n} out of scope"));
+        }
+        Ok(self.tys[self.tys.len() - 1 - n].clone())
+    }
+
+    fn drop_n(&self, n: usize) -> KResult<Ctx> {
+        if n > self.tys.len() {
+            return err("weakening past the empty context");
+        }
+        Ok(Ctx {
+            tys: self.tys[..self.tys.len() - n].to_vec(),
+            env: self.env.drop_n(n)?,
+        })
+    }
+}
+
+/// Checks well-formedness of a type; returns its universe level.
+pub fn check_ty(ctx: &Ctx, ty: &Ty) -> KResult<Level> {
+    match ty {
+        Ty::Sub(t, s) => {
+            let tgt = infer_sub(ctx, s)?;
+            check_ty(&tgt, t)
+        }
+        Ty::U(j) => Ok(j + 1),
+        Ty::Bool | Ty::Bot | Ty::Top => Ok(0),
+        Ty::Pi(a, b) | Ty::Sigma(a, b) => {
+            let la = check_ty(ctx, a)?;
+            let av = eval_ty(&ctx.env, a)?;
+            let lb = check_ty(&ctx.bind(av), b)?;
+            Ok(la.max(lb))
+        }
+        Ty::Eq(a, x, y) => {
+            let l = check_ty(ctx, a)?;
+            let av = eval_ty(&ctx.env, a)?;
+            check(ctx, x, &av)?;
+            check(ctx, y, &av)?;
+            Ok(l)
+        }
+        Ty::Sing(t, a) => {
+            let l = check_ty(ctx, a)?;
+            let av = eval_ty(&ctx.env, a)?;
+            check(ctx, t, &av)?;
+            Ok(l)
+        }
+        Ty::El(t) => {
+            let u = infer(ctx, t)?;
+            match &*u {
+                VTy::U(j) => Ok(*j),
+                // A singleton over a universe decodes too (tm/s).
+                VTy::Sing(_, under) => match &**under {
+                    VTy::U(j) => Ok(*j),
+                    other => err(format!(
+                        "El expects a universe inhabitant, got S(_) over {other:?}"
+                    )),
+                },
+                other => err(format!("El expects a universe inhabitant, got {other:?}")),
+            }
+        }
+        Ty::WPi1(i, tau) => {
+            let (v, l) = check_wsig(ctx, tau)?;
+            if *i >= v.len() {
+                return err(format!("wπ1 index {i} out of range"));
+            }
+            Ok(l)
+        }
+        Ty::L(sig) | Ty::P(sig) => check_lsig(ctx, sig),
+        Ty::CaseTy(a, b, t) => {
+            let la = check_ty(ctx, a)?;
+            let av = eval_ty(&ctx.env, a)?;
+            let lb = check_ty(&ctx.bind(av), b)?;
+            let lt = check_ty(ctx, t)?;
+            Ok(la.max(lb).max(lt))
+        }
+    }
+}
+
+/// Checks a W-type signature; returns its semantic form and level.
+pub fn check_wsig(ctx: &Ctx, tau: &WSig) -> KResult<(crate::sem::VWSig, Level)> {
+    match tau {
+        WSig::Nil => Ok((Vec::new(), 0)),
+        WSig::Add(t, a, b) => {
+            let (_, l0) = check_wsig(ctx, t)?;
+            let la = check_ty(ctx, a)?;
+            let av = eval_ty(&ctx.env, a)?;
+            let lb = check_ty(&ctx.bind(av), b)?;
+            Ok((eval_wsig(&ctx.env, tau)?, l0.max(la).max(lb)))
+        }
+        WSig::Sub(t, s) => {
+            let tgt = infer_sub(ctx, s)?;
+            let (_, l) = check_wsig(&tgt, t)?;
+            Ok((eval_wsig(&ctx.env, tau)?, l))
+        }
+        WSig::Drop(t) => {
+            let (v, l) = check_wsig(ctx, t)?;
+            if v.is_empty() {
+                return err("w− of empty signature");
+            }
+            Ok((eval_wsig(&ctx.env, tau)?, l))
+        }
+    }
+}
+
+/// Checks a linkage signature; returns its level.
+pub fn check_lsig(ctx: &Ctx, sig: &LSig) -> KResult<Level> {
+    match sig {
+        LSig::Nil => Ok(0),
+        LSig::Add(s, a, pk, t) => {
+            let l0 = check_lsig(ctx, s)?;
+            let la = check_ty(ctx, a)?;
+            let av = eval_ty(&ctx.env, a)?;
+            // Γ, x : P(σ) ⊢ s : A
+            let entries = eval_lsig(&ctx.env, s)?;
+            let pty = pack_ty(&entries)?;
+            check(&ctx.bind(pty), pk, &av)?;
+            // Γ, self : A ⊢ T
+            let lt = check_ty(&ctx.bind(av), t)?;
+            Ok(l0.max(la).max(lt))
+        }
+        LSig::Sub(s, g) => {
+            let tgt = infer_sub(ctx, g)?;
+            check_lsig(&tgt, s)
+        }
+        LSig::Pi1(s) => check_lsig(ctx, s),
+        LSig::RecSig(tau, r) => {
+            let (_, l) = check_wsig(ctx, tau)?;
+            let lr = check_ty(ctx, r)?;
+            Ok(l.max(lr))
+        }
+    }
+}
+
+/// Infers the target context of a substitution `Γ ⊢ γ : Δ` (returning `Δ`
+/// with its slots bound to the substituted values).
+pub fn infer_sub(ctx: &Ctx, s: &Sub) -> KResult<Ctx> {
+    match s {
+        Sub::Id => Ok(ctx.clone()),
+        Sub::Wk(n) => ctx.drop_n(*n),
+        Sub::Comp(d, g) => {
+            let mid = infer_sub(ctx, g)?;
+            infer_sub(&mid, d)
+        }
+        Sub::Ext(g, t) => {
+            let ty = infer(ctx, t)?;
+            let v = eval(&ctx.env, t)?;
+            let base = infer_sub(ctx, g)?;
+            Ok(base.define(v, ty))
+        }
+        Sub::Pi1(g) => infer_sub(ctx, g)?.drop_n(1),
+    }
+}
+
+/// Infers the type of a term.
+pub fn infer(ctx: &Ctx, tm: &Tm) -> KResult<Rc<VTy>> {
+    match tm {
+        Tm::Var(n) => ctx.var_ty(*n),
+        Tm::Sub(t, s) => {
+            let tgt = infer_sub(ctx, s)?;
+            infer(&tgt, t)
+        }
+        Tm::Code(t) => {
+            let l = check_ty(ctx, t)?;
+            Ok(Rc::new(VTy::U(l)))
+        }
+        Tm::Unit => Ok(Rc::new(VTy::Top)),
+        Tm::True | Tm::False => Ok(Rc::new(VTy::Bool)),
+        Tm::If(c, a, b, ann) => {
+            check(ctx, c, &Rc::new(VTy::Bool))?;
+            check_ty(ctx, ann)?;
+            let t = eval_ty(&ctx.env, ann)?;
+            check(ctx, a, &t)?;
+            check(ctx, b, &t)?;
+            Ok(t)
+        }
+        Tm::Lam(_) => err("cannot infer the type of a λ; check against a Π type"),
+        Tm::App(t) => {
+            let arg_ty = ctx.var_ty(0)?;
+            let inner = ctx.drop_n(1)?;
+            // β-redex: infer the body with the argument's value bound.
+            if let Tm::Lam(body) = &**t {
+                let arg = ctx.env.top()?;
+                return infer(&inner.define(arg, arg_ty), body);
+            }
+            let fty = infer(&inner, t)?;
+            match &*fty {
+                VTy::Pi(dom, cod) => {
+                    if !conv_ty(dom, &arg_ty)? {
+                        return err(format!(
+                            "app: argument type mismatch\n  domain:   {dom:?}\n  supplied: {arg_ty:?}"
+                        ));
+                    }
+                    cod.apply(ctx.env.top()?)
+                }
+                other => err(format!("app of non-Π type {other:?}")),
+            }
+        }
+        Tm::Pair(a, b) => {
+            let ta = infer(ctx, a)?;
+            let tb = infer(ctx, b)?;
+            Ok(Rc::new(VTy::Sigma(ta, TyClo::Const(tb))))
+        }
+        Tm::Fst(t) => match &*infer(ctx, t)? {
+            VTy::Sigma(a, _) => Ok(a.clone()),
+            other => err(format!("fst of non-Σ type {other:?}")),
+        },
+        Tm::Snd(t) => match &*infer(ctx, t)? {
+            VTy::Sigma(_, b) => {
+                let v = eval(&ctx.env, t)?;
+                b.apply(crate::sem::vfst(&v)?)
+            }
+            other => err(format!("snd of non-Σ type {other:?}")),
+        },
+        Tm::Refl(t) => {
+            let ty = infer(ctx, t)?;
+            let v = eval(&ctx.env, t)?;
+            Ok(Rc::new(VTy::Eq(ty, v.clone(), v)))
+        }
+        Tm::J(c, w, t) => {
+            let ety = infer(ctx, t)?;
+            let VTy::Eq(a, u, v) = &*ety else {
+                return err(format!("J expects an equality proof, got {ety:?}"));
+            };
+            // C is well-formed in Γ, x:A, Eq(u, x).
+            let cctx = ctx.bind(a.clone());
+            let x = cctx.env.top()?;
+            let cctx2 = cctx.bind(Rc::new(VTy::Eq(a.clone(), u.clone(), x)));
+            check_ty(&cctx2, c)?;
+            // w : C[u, refl u]
+            let base_env = ctx.env.push(u.clone()).push(Rc::new(Val::Refl(u.clone())));
+            let cw = eval_ty(&base_env, c)?;
+            check(ctx, w, &cw)?;
+            // result: C[v, t]
+            let tv = eval(&ctx.env, t)?;
+            let res_env = ctx.env.push(v.clone()).push(tv);
+            eval_ty(&res_env, c)
+        }
+        Tm::WCode(tau) => {
+            let (_, l) = check_wsig(ctx, tau)?;
+            Ok(Rc::new(VTy::U(l + 1)))
+        }
+        Tm::WSup(i, tau, t1, t2) => {
+            let (v, _) = check_wsig(ctx, tau)?;
+            let n = v.len();
+            if *i >= n {
+                return err(format!("Wsup index {i} out of range for signature of {n}"));
+            }
+            let (a, b) = v[n - 1 - i].clone();
+            check(ctx, t1, &a)?;
+            let wty = Rc::new(VTy::W(Rc::new(v)));
+            let arity = b.apply(eval(&ctx.env, t1)?)?;
+            check(&ctx.bind(arity), t2, &wty)?;
+            Ok(wty)
+        }
+        Tm::WRec(tau, motive, cases, scrut) => {
+            let (v, _) = check_wsig(ctx, tau)?;
+            check_ty(ctx, motive)?;
+            let rv = eval_ty(&ctx.env, motive)?;
+            let entries = recsig_entries(&v, &rv);
+            check_linkage(ctx, cases, &entries)?;
+            check(ctx, scrut, &Rc::new(VTy::W(Rc::new(v))))?;
+            Ok(rv)
+        }
+        Tm::LNil => Ok(Rc::new(VTy::L(Rc::new(Vec::new())))),
+        Tm::LCons(..) => err("cannot infer a linkage extension; check against L(σ)"),
+        Tm::LPi1(l) => match &*infer(ctx, l)? {
+            VTy::L(entries) => {
+                let mut e = (**entries).clone();
+                if e.pop().is_none() {
+                    return err("µπ1 of an empty-signature linkage");
+                }
+                Ok(Rc::new(VTy::L(Rc::new(e))))
+            }
+            other => err(format!("µπ1 of non-linkage type {other:?}")),
+        },
+        Tm::LPi2(l) => {
+            let self_ty = ctx.var_ty(0)?;
+            let inner = ctx.drop_n(1)?;
+            match &*infer(&inner, l)? {
+                VTy::L(entries) => {
+                    let Some(last) = entries.last() else {
+                        return err("µπ2 of an empty-signature linkage");
+                    };
+                    if !conv_ty(&last.a, &self_ty)? {
+                        return err("µπ2: self context type mismatch");
+                    }
+                    last.tty.apply(ctx.env.top()?)
+                }
+                other => err(format!("µπ2 of non-linkage type {other:?}")),
+            }
+        }
+        Tm::Pack(l) => match &*infer(ctx, l)? {
+            VTy::L(entries) => pack_ty(entries),
+            other => err(format!("P of non-linkage type {other:?}")),
+        },
+        Tm::Absurd(ann, t) => {
+            check(ctx, t, &Rc::new(VTy::Bot))?;
+            check_ty(ctx, ann)?;
+            eval_ty(&ctx.env, ann)
+        }
+        Tm::RProj(i, l) => match &*infer(ctx, l)? {
+            VTy::L(entries) => {
+                let n = entries.len();
+                if *i >= n {
+                    return err(format!("Rπ index {i} out of range"));
+                }
+                let entry = &entries[n - 1 - i];
+                // The handler's type: T at self := s(P(prefix ℓ)).
+                let mut lv = eval(&ctx.env, l)?;
+                for _ in 0..*i {
+                    lv = match &*lv {
+                        Val::LCons(p, _, _) => p.clone(),
+                        Val::Ne(ne) => Rc::new(Val::Ne(crate::sem::Ne::LPi1(Rc::new(ne.clone())))),
+                        other => return err(format!("Rπ of non-linkage value {other:?}")),
+                    };
+                }
+                let prefix = match &*lv {
+                    Val::LCons(p, _, _) => p.clone(),
+                    Val::Ne(ne) => Rc::new(Val::Ne(crate::sem::Ne::LPi1(Rc::new(ne.clone())))),
+                    other => return err(format!("Rπ of non-linkage value {other:?}")),
+                };
+                let packed = pack_val(&prefix)?;
+                entry.tty.apply(entry.s.apply(packed)?)
+            }
+            other => err(format!("Rπ of non-linkage type {other:?}")),
+        },
+    }
+}
+
+/// Checks a term against a type value.
+pub fn check(ctx: &Ctx, tm: &Tm, expected: &Rc<VTy>) -> KResult<()> {
+    match (tm, &**expected) {
+        // Checking propagates through explicit substitutions.
+        (Tm::Sub(t, s), _) => {
+            let tgt = infer_sub(ctx, s)?;
+            check(&tgt, t, expected)
+        }
+        // Checking a β-redex: check the body with the argument's value.
+        (Tm::App(f), _) if matches!(&**f, Tm::Lam(_)) => {
+            let Tm::Lam(body) = &**f else { unreachable!() };
+            let arg_ty = ctx.var_ty(0)?;
+            let arg = ctx.env.top()?;
+            let inner = ctx.drop_n(1)?.define(arg, arg_ty);
+            check(&inner, body, expected)
+        }
+        (Tm::Lam(b), VTy::Pi(a, cod)) => {
+            let inner = ctx.bind(a.clone());
+            let out = cod.apply(inner.env.top()?)?;
+            check(&inner, b, &out)
+        }
+        (Tm::Pair(x, y), VTy::Sigma(a, b)) => {
+            check(ctx, x, a)?;
+            let xv = eval(&ctx.env, x)?;
+            check(ctx, y, &b.apply(xv)?)
+        }
+        (Tm::LNil, VTy::L(entries)) if entries.is_empty() => Ok(()),
+        (Tm::LCons(..), VTy::L(entries)) => check_linkage(ctx, tm, entries),
+        // tm/s — a term of type A also inhabits S(a) when convertible to a.
+        (_, VTy::Sing(a, underlying)) => {
+            check(ctx, tm, underlying)?;
+            let v = eval(&ctx.env, tm)?;
+            if conv_val(underlying, &v, a)? {
+                Ok(())
+            } else {
+                err(format!(
+                    "singleton mismatch: {tm} is not the distinguished inhabitant"
+                ))
+            }
+        }
+        _ => {
+            let got = infer(ctx, tm)?;
+            // A singleton's inhabitant may be used at the underlying type
+            // (tmeq/s/eta).
+            if let VTy::Sing(_, underlying) = &*got {
+                if conv_ty(underlying, expected)? {
+                    return Ok(());
+                }
+            }
+            if conv_ty(&got, expected)? {
+                Ok(())
+            } else {
+                err(format!(
+                    "type mismatch for {tm}\n  expected: {expected:?}\n  got:      {got:?}"
+                ))
+            }
+        }
+    }
+}
+
+/// Checks a linkage term against a semantic signature (rule l/add).
+pub fn check_linkage(ctx: &Ctx, tm: &Tm, entries: &VLSig) -> KResult<()> {
+    match tm {
+        // Propagate through explicit substitutions, as in `check`.
+        Tm::Sub(t, s) => {
+            let tgt = infer_sub(ctx, s)?;
+            check_linkage(&tgt, t, entries)
+        }
+        Tm::LNil => {
+            if entries.is_empty() {
+                Ok(())
+            } else {
+                err(format!(
+                    "µ• checked against signature of length {}",
+                    entries.len()
+                ))
+            }
+        }
+        Tm::LCons(prefix, s, t) => {
+            let Some((last, init)) = entries.split_last() else {
+                return err("µ+ checked against empty signature");
+            };
+            check_linkage(ctx, prefix, &init.to_vec())?;
+            // Γ, x : P(σ) ⊢ s : A
+            let pty = pack_ty(&init.to_vec())?;
+            check(&ctx.bind(pty), s, &last.a)?;
+            // Γ, self : A ⊢ t : T
+            let inner = ctx.bind(last.a.clone());
+            let tty = last.tty.apply(inner.env.top()?)?;
+            check(&inner, t, &tty)
+        }
+        _ => {
+            let got = infer(ctx, tm)?;
+            match &*got {
+                VTy::L(got_entries) => {
+                    if conv_lsig_public(got_entries, entries)? {
+                        Ok(())
+                    } else {
+                        err("linkage signature mismatch")
+                    }
+                }
+                other => err(format!("expected a linkage, got {other:?}")),
+            }
+        }
+    }
+}
+
+fn conv_lsig_public(a: &VLSig, b: &VLSig) -> KResult<bool> {
+    // Delegate through L-type conversion.
+    conv_ty(
+        &Rc::new(VTy::L(Rc::new(a.clone()))),
+        &Rc::new(VTy::L(Rc::new(b.clone()))),
+    )
+}
+
+/// Convenience: checks a closed term against a closed type.
+pub fn check_closed(tm: &Tm, ty: &Ty) -> KResult<Rc<VTy>> {
+    let ctx = Ctx::new();
+    check_ty(&ctx, ty)?;
+    let t = eval_ty(&ctx.env, ty)?;
+    check(&ctx, tm, &t)?;
+    Ok(t)
+}
+
+/// Convenience: infers the type of a closed term.
+pub fn infer_closed(tm: &Tm) -> KResult<Rc<VTy>> {
+    infer(&Ctx::new(), tm)
+}
+
+/// Applies a term-level function value helper for tests and encodings.
+pub fn apply_closed(f: &Tm, arg: &Tm) -> KResult<Rc<Val>> {
+    let env = Env::new();
+    let fv = eval(&env, f)?;
+    let av = eval(&env, arg)?;
+    apply(&fv, av)
+}
+
+/// Evaluates `CaseTy` shape for external users.
+pub fn casety_value(a: Rc<VTy>, b: TyClo, t: Rc<VTy>) -> VTy {
+    casety(a, b, t)
+}
+
+/// One semantic linkage-entry constructor for external users.
+pub fn lentry(a: Rc<VTy>, s: crate::sem::TmClo, tty: TyClo) -> VLEntry {
+    VLEntry { a, s, tty }
+}

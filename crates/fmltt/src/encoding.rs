@@ -1,0 +1,415 @@
+//! The Figure 8 encoding: the `STLC` family as an FMLTT linkage, and the
+//! Section 6.5 derived-family construction via linkage transformers.
+//!
+//! The encoding follows Figure 8 field by field (specialized to the fields
+//! that exercise every mechanism):
+//!
+//! 1. `tm := W(τ_tm)` at singleton type `S(W(τ_tm))` — the signature is
+//!    *exposed* through the singleton;
+//! 2. (through 5.) the four constructors `tm_unit`/`tm_var`/`tm_abs`/
+//!    `tm_app`, typed against `El(self▷tm)` (late bound, resolved through
+//!    the singleton);
+//! 3. a case handler typed under a self context that *hides*
+//!    `tm : S(W(τ_tm))` behind `tm : U` (Figure 8's `s₆`) — the field that
+//!    derived families reuse verbatim;
+//! 4. a recursive function over `tm` via `Wrec` (Figure 8's `t₁₀`).
+//!
+//! `id` is encoded as `B` (any closed type serves the demonstration; the
+//! paper's `T_id` is abstract). The derived family of Section 6.5 extends
+//! `τ_tm` with a new constructor and is built by a transformer chain
+//! mirroring the paper's table: `Override` for `tm` and the restated
+//! constructors, `Extend` for the new constructor, `Inherit` for the case
+//! handler (reused without change), and a final `Override` for the
+//! recursive function.
+
+use std::rc::Rc;
+
+use crate::syntax::{LSig, Tm, Transformer, Ty, WSig};
+use crate::transformer::build;
+
+fn rc<T>(x: T) -> Rc<T> {
+    Rc::new(x)
+}
+fn lam(b: Tm) -> Tm {
+    Tm::Lam(rc(b))
+}
+fn fstn(t: Tm, n: usize) -> Tm {
+    (0..n).fold(t, |acc, _| Tm::Fst(rc(acc)))
+}
+fn snd(t: Tm) -> Tm {
+    Tm::Snd(rc(t))
+}
+fn pair(a: Tm, b: Tm) -> Tm {
+    Tm::Pair(rc(a), rc(b))
+}
+fn v(n: usize) -> Tm {
+    Tm::Var(n)
+}
+fn el(t: Tm) -> Ty {
+    Ty::El(rc(t))
+}
+fn sigma(a: Ty, b: Ty) -> Ty {
+    Ty::Sigma(rc(a), rc(b))
+}
+fn pi(a: Ty, b: Ty) -> Ty {
+    Ty::Pi(rc(a), rc(b))
+}
+
+/// `τ_tm` — Section 5's signature for `tm`, with `T_id := B`:
+/// unit `(⊤, ⊥)`, var `(B, ⊥)`, abs `(B, ⊤)`, app `(⊤, B)`.
+pub fn tau_tm() -> WSig {
+    let t0 = WSig::Add(rc(WSig::Nil), rc(Ty::Top), rc(Ty::wk(Ty::Bot, 1)));
+    let t1 = WSig::Add(rc(t0), rc(Ty::Bool), rc(Ty::wk(Ty::Bot, 1)));
+    let t2 = WSig::Add(rc(t1), rc(Ty::Bool), rc(Ty::wk(Ty::Top, 1)));
+    WSig::Add(rc(t2), rc(Ty::Top), rc(Ty::wk(Ty::Bool, 1)))
+}
+
+/// `τ'_tm` — the Section 6.5 extension with one new nullary constructor
+/// (`tm_true`-style: `(⊤, ⊥)`).
+pub fn tau_tm_ext() -> WSig {
+    WSig::Add(rc(tau_tm()), rc(Ty::Top), rc(Ty::wk(Ty::Bot, 1)))
+}
+
+/// Constructor index (from newest) per constructor name, given how many
+/// constructors were added after the base four.
+fn idx(base: usize, extra: usize) -> usize {
+    base + extra
+}
+
+/// Closed constructor terms over a given signature. `extra` is the number
+/// of constructors added on top of the base four (0 for `τ_tm`, 1 for
+/// `τ'_tm`) — the index shift is the paper's "restated constructors".
+pub mod ctors {
+    use super::*;
+
+    /// `tm_unit`.
+    pub fn tm_unit(tau: &WSig, extra: usize) -> Tm {
+        let elw = el(Tm::WCode(rc(tau.clone())));
+        Tm::WSup(
+            idx(3, extra),
+            rc(tau.clone()),
+            rc(Tm::Unit),
+            rc(Tm::Absurd(rc(elw), rc(v(0)))),
+        )
+    }
+
+    /// `tm_var b`.
+    pub fn tm_var(tau: &WSig, extra: usize, b: Tm) -> Tm {
+        let elw = el(Tm::WCode(rc(tau.clone())));
+        Tm::WSup(
+            idx(2, extra),
+            rc(tau.clone()),
+            rc(b),
+            rc(Tm::Absurd(rc(elw), rc(v(0)))),
+        )
+    }
+
+    /// `tm_abs x body`.
+    pub fn tm_abs(tau: &WSig, extra: usize, x: Tm, body: Tm) -> Tm {
+        Tm::WSup(idx(1, extra), rc(tau.clone()), rc(x), rc(Tm::wk(body, 1)))
+    }
+
+    /// `tm_app f a`.
+    pub fn tm_app(tau: &WSig, extra: usize, f: Tm, a: Tm) -> Tm {
+        let elw = el(Tm::WCode(rc(tau.clone())));
+        Tm::WSup(
+            idx(0, extra),
+            rc(tau.clone()),
+            rc(Tm::Unit),
+            rc(Tm::If(
+                rc(v(0)),
+                rc(Tm::wk(f, 1)),
+                rc(Tm::wk(a, 1)),
+                rc(elw),
+            )),
+        )
+    }
+
+    /// The new constructor of `τ'_tm` (index 0).
+    pub fn tm_new(tau_ext: &WSig) -> Tm {
+        let elw = el(Tm::WCode(rc(tau_ext.clone())));
+        Tm::WSup(
+            0,
+            rc(tau_ext.clone()),
+            rc(Tm::Unit),
+            rc(Tm::Absurd(rc(elw), rc(v(0)))),
+        )
+    }
+}
+
+/// The case-handler linkage of a toy recursion over `tm` (a "size"-style
+/// function with boolean motive, standing in for Figure 8's `subst`):
+/// handlers in signature order, identity packaging.
+pub fn size_cases(tau: &WSig, extra: usize) -> Tm {
+    // unit ↦ tt; var ↦ tt; abs ↦ ih (); app ↦ ih tt; new ctors ↦ tt.
+    let h_unit = lam(lam(Tm::True));
+    let h_var = lam(lam(Tm::True));
+    let h_abs = lam(lam(Tm::app_to(v(0), Tm::Unit)));
+    let h_app = lam(lam(Tm::app_to(v(0), Tm::True)));
+    let mut handlers = vec![h_unit, h_var, h_abs, h_app];
+    for _ in 0..extra {
+        handlers.push(lam(lam(Tm::True)));
+    }
+    let _ = tau;
+    handlers
+        .into_iter()
+        .fold(Tm::LNil, |acc, h| Tm::LCons(rc(acc), rc(v(0)), rc(h)))
+}
+
+/// `size : El(W(τ)) → B` — a closed recursive function over the signature.
+pub fn size_fn(tau: &WSig, extra: usize) -> Tm {
+    lam(Tm::WRec(
+        rc(tau.clone()),
+        rc(Ty::Bool),
+        rc(size_cases(tau, extra)),
+        rc(v(0)),
+    ))
+}
+
+/// One field of the family encoding: self-context type `A`, packaging `s`
+/// (under `x : P(prefix)`), field type `T` (under `self : A`), and body
+/// `t` (under `self : A`).
+#[derive(Clone, Debug)]
+pub struct FieldSpec {
+    /// Self-context type.
+    pub a: Ty,
+    /// Prefix packaging.
+    pub s: Tm,
+    /// Field type.
+    pub t_ty: Ty,
+    /// Field body.
+    pub t: Tm,
+}
+
+/// The Figure 8 field list for a signature with `extra` added
+/// constructors. `include_new_ctor_field` appends the new constructor as a
+/// field (used by the derived family).
+pub fn family_fields(tau: &WSig, extra: usize, include_new_ctor_field: bool) -> Vec<FieldSpec> {
+    let wtm = Tm::WCode(rc(tau.clone()));
+    let u1 = Ty::U(1);
+    let sing_tm = Ty::Sing(rc(wtm.clone()), rc(u1.clone()));
+    let a_ctor = sigma(Ty::Top, Ty::wk(sing_tm.clone(), 1));
+    let el_self_tm = |depth: usize| el(snd(v(depth)));
+    let mut fields: Vec<FieldSpec> = Vec::with_capacity(8);
+
+    // 1. tm : S(W(τ)) — the signature exposed through a singleton.
+    fields.push(FieldSpec {
+        a: Ty::Top,
+        s: Tm::Unit,
+        t_ty: Ty::wk(sing_tm.clone(), 1),
+        t: wtm.clone(),
+    });
+    // 2. tm_unit : El(self▷tm).
+    fields.push(FieldSpec {
+        a: a_ctor.clone(),
+        s: v(0),
+        t_ty: el_self_tm(0),
+        t: ctors::tm_unit(tau, extra),
+    });
+    // 3. tm_var : B → El(self▷tm).
+    fields.push(FieldSpec {
+        a: a_ctor.clone(),
+        s: fstn(v(0), 1),
+        t_ty: pi(Ty::Bool, el_self_tm(1)),
+        t: lam(ctors::tm_var(tau, extra, v(0))),
+    });
+    // 4. tm_abs : B → El(self▷tm) → El(self▷tm).
+    fields.push(FieldSpec {
+        a: a_ctor.clone(),
+        s: fstn(v(0), 2),
+        t_ty: pi(Ty::Bool, pi(el_self_tm(1), el_self_tm(2))),
+        t: lam(lam(Tm::WSup(
+            idx(1, extra),
+            rc(tau.clone()),
+            rc(v(1)),
+            rc(v(1)),
+        ))),
+    });
+    // 5. tm_app : El(self▷tm) → El(self▷tm) → El(self▷tm).
+    fields.push(FieldSpec {
+        a: a_ctor.clone(),
+        s: fstn(v(0), 3),
+        t_ty: pi(el_self_tm(0), pi(el_self_tm(1), el_self_tm(2))),
+        t: lam(lam(Tm::WSup(
+            idx(0, extra),
+            rc(tau.clone()),
+            rc(Tm::Unit),
+            rc(Tm::If(rc(v(0)), rc(v(2)), rc(v(1)), rc(el(wtm.clone())))),
+        ))),
+    });
+    let mut prefix_len = 5;
+    if include_new_ctor_field {
+        // 5b. the new constructor, typed like the others.
+        fields.push(FieldSpec {
+            a: a_ctor.clone(),
+            s: fstn(v(0), 4),
+            t_ty: el_self_tm(0),
+            t: ctors::tm_new(tau),
+        });
+        prefix_len += 1;
+    }
+    // 6. A case handler under a *hiding* self context (Figure 8's s₆/t₆):
+    //    tm is seen as `tm : U`, so the field is oblivious to τ and can be
+    //    reused by any extension.
+    let a_hidden = sigma(sigma(Ty::Top, Ty::wk(u1, 1)), el(snd(v(0))));
+    let s_hidden = pair(
+        pair(Tm::Unit, snd(fstn(v(0), prefix_len - 1))),
+        snd(fstn(v(0), prefix_len - 2)),
+    );
+    fields.push(FieldSpec {
+        a: a_hidden,
+        s: s_hidden,
+        // CaseTy(⊤, ⊥, El(self▷tm)) — the tm_unit case of a subst-like
+        // recursion; the motive mentions the *hidden* code.
+        t_ty: Ty::CaseTy(
+            rc(Ty::Top),
+            rc(Ty::wk(Ty::Bot, 1)),
+            rc(el(snd(fstn(v(0), 1)))),
+        ),
+        t: lam(lam(snd(v(2)))),
+    });
+    // 7. size : El(W(τ)) → B via Wrec (Figure 8's t₁₀).
+    fields.push(FieldSpec {
+        a: Ty::Top,
+        s: Tm::Unit,
+        t_ty: Ty::wk(pi(el(wtm.clone()), Ty::wk(Ty::Bool, 1)), 1),
+        t: Tm::wk(size_fn(tau, extra), 1),
+    });
+    fields
+}
+
+/// Folds field specs into a linkage signature.
+pub fn fields_to_lsig(fields: &[FieldSpec]) -> LSig {
+    fields.iter().fold(LSig::Nil, |acc, f| {
+        LSig::Add(
+            rc(acc),
+            rc(f.a.clone()),
+            rc(f.s.clone()),
+            rc(f.t_ty.clone()),
+        )
+    })
+}
+
+/// Folds field specs into a linkage term.
+pub fn fields_to_linkage(fields: &[FieldSpec]) -> Tm {
+    fields.iter().fold(Tm::LNil, |acc, f| {
+        Tm::LCons(rc(acc), rc(f.s.clone()), rc(f.t.clone()))
+    })
+}
+
+/// The base family: `(σ, ℓ)` for `τ_tm` (Figure 8's `σ`/`ℓ` chain,
+/// specialized to 7 fields).
+pub fn stlc_family() -> (LSig, Tm) {
+    let fields = family_fields(&tau_tm(), 0, false);
+    (fields_to_lsig(&fields), fields_to_linkage(&fields))
+}
+
+/// The derived family's signature (with the new constructor field).
+pub fn derived_sig() -> LSig {
+    let fields = family_fields(&tau_tm_ext(), 1, true);
+    fields_to_lsig(&fields)
+}
+
+/// The Section 6.5 transformer chain: `Override` for `tm` and the four
+/// restated constructors, `Extend` for the new constructor, `Inherit` for
+/// the case-handler field (reused verbatim), and `Override` for the
+/// recursive function.
+pub fn derived_transformer() -> Transformer {
+    let new_fields = family_fields(&tau_tm_ext(), 1, true);
+    // Field order: tm, unit, var, abs, app, new, handler, size.
+    let ov = |h: Transformer, f: &FieldSpec| {
+        build::override_(h, f.a.clone(), f.s.clone(), f.t.clone(), f.t_ty.clone())
+    };
+    let h = build::identity();
+    let h = ov(h, &new_fields[0]);
+    let h = ov(h, &new_fields[1]);
+    let h = ov(h, &new_fields[2]);
+    let h = ov(h, &new_fields[3]);
+    let h = ov(h, &new_fields[4]);
+    let nf = &new_fields[5];
+    let h = build::extend(h, nf.a.clone(), nf.s.clone(), nf.t.clone(), nf.t_ty.clone());
+    // The handler field is inherited: identity adaptation of self, new
+    // prefix packaging (one constructor field deeper).
+    let hf = &new_fields[6];
+    let h = build::inherit(h, v(0), hf.s.clone());
+    let sf = &new_fields[7];
+    ov(h, sf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::{canonical_bool, CanonicalBool};
+    use crate::check::{check_linkage, Ctx};
+    use crate::sem::{eval_lsig, Env};
+    use crate::transformer::inh;
+
+    #[test]
+    fn figure8_base_family_checks() {
+        let (sig, link) = stlc_family();
+        let entries = eval_lsig(&Env::new(), &sig).expect("signature evaluates");
+        check_linkage(&Ctx::new(), &link, &entries).expect("Figure 8 linkage checks");
+    }
+
+    #[test]
+    fn size_computes_on_terms() {
+        let tau = tau_tm();
+        // size (tm_app (tm_abs tt tm_unit) tm_unit) — runs the Wrec chain.
+        let t = ctors::tm_app(
+            &tau,
+            0,
+            ctors::tm_abs(&tau, 0, Tm::True, ctors::tm_unit(&tau, 0)),
+            ctors::tm_unit(&tau, 0),
+        );
+        let call = Tm::app_to(size_fn(&tau, 0), t);
+        assert_eq!(canonical_bool(&call).unwrap(), CanonicalBool::True);
+    }
+
+    #[test]
+    fn section65_derived_family_checks() {
+        let (_, base) = stlc_family();
+        let h = derived_transformer();
+        let derived = inh(&h, &base);
+        let sig = derived_sig();
+        let entries = eval_lsig(&Env::new(), &sig).expect("derived signature evaluates");
+        check_linkage(&Ctx::new(), &derived, &entries)
+            .expect("derived linkage checks against the extended signature");
+    }
+
+    #[test]
+    fn handler_field_reused_verbatim() {
+        // The Inherit step keeps the hidden-context case handler: the
+        // derived linkage's 7th field body is the base field adapted by the
+        // identity — late binding in action.
+        let (_, base) = stlc_family();
+        let derived = inh(&derived_transformer(), &base);
+        // Walk to the handler field (second from last).
+        let Tm::LCons(prefix, _, _) = &derived else {
+            panic!("expected µ+")
+        };
+        let Tm::LCons(_, _, handler) = &**prefix else {
+            panic!("expected µ+")
+        };
+        // The inherited field is the base handler under an identity
+        // adaptation (µπ2-free because the base linkage is literal).
+        let base_fields = family_fields(&tau_tm(), 0, false);
+        let expected_body = &base_fields[5].t;
+        match &**handler {
+            Tm::Sub(inner, _) => assert_eq!(&**inner, expected_body),
+            other => panic!("expected adapted field, got {other}"),
+        }
+    }
+
+    #[test]
+    fn derived_size_runs_on_new_constructor() {
+        let tau2 = tau_tm_ext();
+        let call = Tm::app_to(size_fn(&tau2, 1), ctors::tm_new(&tau2));
+        assert_eq!(canonical_bool(&call).unwrap(), CanonicalBool::True);
+        // And on a restated old constructor.
+        let call2 = Tm::app_to(
+            size_fn(&tau2, 1),
+            ctors::tm_abs(&tau2, 1, Tm::False, ctors::tm_unit(&tau2, 1)),
+        );
+        assert_eq!(canonical_bool(&call2).unwrap(), CanonicalBool::True);
+    }
+}

@@ -1,0 +1,35 @@
+//! # fmltt — FaMiLy Type Theory (paper Sections 5–6)
+//!
+//! An executable kernel for FMLTT: Martin-Löf type theory with explicit
+//! substitutions and universe levels (Section 6.1), extended with W-type
+//! signatures, **linkages** `L(σ)`, packaging `P(σ)`/`P(ℓ)` and **linkage
+//! transformers** (Section 6.2).
+//!
+//! * [`syntax`] — de Bruijn terms/types/substitutions, `WSig`, `LSig`,
+//!   transformers;
+//! * [`sem`] — the NbE semantic domain and evaluator; the canonicity
+//!   theorem's constructive content (Theorem 5.2) is [`sem::eval`]
+//!   restricted to closed well-typed terms;
+//! * [`check`](mod@check) — a bidirectional checker for the Figure 6/7 rules;
+//! * [`transformer`] — the linkage-transformer "library" as syntactic
+//!   sugar (Section 6.2), with the β-rules of `inh`;
+//! * [`translate`] — the linkage-erasing translation of Section 6.3;
+//! * [`canon`] — canonicity/canonical-forms oracles (Theorems 5.2, 6.4);
+//! * [`readback`] — quotation back to β-normal η-long syntax, completing
+//!   normalization by evaluation;
+//! * [`encoding`] — Figure 8's STLC-family encoding and the Section 6.5
+//!   STLCBool transformer table.
+
+pub mod canon;
+pub mod check;
+pub mod encoding;
+pub mod readback;
+pub mod sem;
+pub mod syntax;
+pub mod transformer;
+pub mod translate;
+
+pub use check::{check, check_closed, check_ty, infer, infer_closed, Ctx};
+pub use readback::{nf, nf_ty};
+pub use sem::{eval, eval_ty, Env, KErr, KResult, VTy, Val};
+pub use syntax::{LSig, Sub, Tm, Transformer, Ty, WSig};

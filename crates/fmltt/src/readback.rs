@@ -1,0 +1,385 @@
+//! Readback (quotation): from semantic values back to β-normal, η-long
+//! syntax.
+//!
+//! Together with [`crate::sem::eval`] this completes normalization by
+//! evaluation: [`nf`] maps a well-typed term to its normal form, and the
+//! normal form is a fixed point (the tests check idempotence). Canonicity
+//! (Theorem 5.2) specializes `nf` at `B` on closed terms; readback extends
+//! it to open terms and higher types (η-expanding functions, pairs, `⊤`
+//! and singletons).
+//!
+//! The single construct outside the quoted fragment is a *stuck* `J`
+//! (its motive is not recoverable from the semantic domain without a
+//! syntactic annotation in the neutral); closed programs never produce
+//! one.
+
+use std::rc::Rc;
+
+use crate::sem::{apply, ne_type, pack_ty, vfst, vsnd, KErr, KResult, Ne, VLSig, VTy, VWSig, Val};
+use crate::syntax::{LSig, Tm, Ty, WSig};
+
+fn err<T>(m: impl Into<String>) -> KResult<T> {
+    Err(KErr(m.into()))
+}
+
+/// The quoting context: unique ids of the enclosing fresh variables,
+/// innermost last (so de Bruijn index = distance from the end).
+#[derive(Clone, Default, Debug)]
+pub struct Quote {
+    ids: Vec<u64>,
+}
+
+impl Quote {
+    /// An empty (closed-term) quoting context.
+    pub fn new() -> Quote {
+        Quote::default()
+    }
+
+    fn with_fresh<R>(
+        &self,
+        ty: Rc<VTy>,
+        f: impl FnOnce(&Quote, Rc<Val>) -> KResult<R>,
+    ) -> KResult<R> {
+        let x = crate::sem::fresh(ty);
+        let Val::Ne(Ne::Var(id, _)) = &*x else {
+            unreachable!()
+        };
+        let mut inner = self.clone();
+        inner.ids.push(*id);
+        f(&inner, x.clone())
+    }
+
+    fn index_of(&self, id: u64) -> KResult<usize> {
+        self.ids
+            .iter()
+            .rev()
+            .position(|&i| i == id)
+            .ok_or_else(|| KErr(format!("readback: escaped fresh variable #{id}")))
+    }
+
+    /// Quotes a value at a type (type-directed, η-long).
+    pub fn value(&self, ty: &Rc<VTy>, v: &Rc<Val>) -> KResult<Tm> {
+        match &**ty {
+            VTy::Top => Ok(Tm::Unit),
+            VTy::Sing(a, under) => self.value(under, a),
+            VTy::Pi(dom, cod) => self.with_fresh(dom.clone(), |q, x| {
+                let body = apply(v, x.clone())?;
+                Ok(Tm::Lam(Rc::new(q.value(&cod.apply(x)?, &body)?)))
+            }),
+            VTy::Sigma(a, b) => {
+                let x = vfst(v)?;
+                let y = vsnd(v)?;
+                Ok(Tm::Pair(
+                    Rc::new(self.value(a, &x)?),
+                    Rc::new(self.value(&b.apply(x)?, &y)?),
+                ))
+            }
+            VTy::Eq(a, _, _) => match &**v {
+                Val::Refl(w) => Ok(Tm::Refl(Rc::new(self.value(a, w)?))),
+                Val::Ne(n) => self.neutral(n),
+                other => err(format!("readback: non-refl equality value {other:?}")),
+            },
+            VTy::Bool => match &**v {
+                Val::True => Ok(Tm::True),
+                Val::False => Ok(Tm::False),
+                Val::Ne(n) => self.neutral(n),
+                other => err(format!("readback: non-boolean value {other:?}")),
+            },
+            VTy::U(_) => match &**v {
+                Val::Code(t) => Ok(Tm::Code(Rc::new(self.ty(t)?))),
+                Val::Ne(n) => self.neutral(n),
+                other => err(format!("readback: non-code value {other:?}")),
+            },
+            VTy::W(sig) => match &**v {
+                Val::WSup(i, _, a, b) => {
+                    let n = sig.len();
+                    if *i >= n {
+                        return err("readback: Wsup index out of range");
+                    }
+                    let (aty, arity) = &sig[n - 1 - i];
+                    let a_tm = self.value(aty, a)?;
+                    let body =
+                        self.with_fresh(arity.apply(a.clone())?, |q, x| q.value(ty, &b.apply(x)?))?;
+                    Ok(Tm::WSup(
+                        *i,
+                        Rc::new(self.wsig(sig)?),
+                        Rc::new(a_tm),
+                        Rc::new(body),
+                    ))
+                }
+                Val::Ne(n) => self.neutral(n),
+                other => err(format!("readback: non-W value {other:?}")),
+            },
+            VTy::L(entries) => self.linkage(entries, v),
+            VTy::Bot => match &**v {
+                Val::Ne(n) => self.neutral(n),
+                other => err(format!("readback: ⊥ value {other:?} — impossible")),
+            },
+            VTy::ElNe(_) => match &**v {
+                Val::Ne(n) => self.neutral(n),
+                other => err(format!(
+                    "readback: value of neutral type must be neutral, got {other:?}"
+                )),
+            },
+        }
+    }
+
+    fn linkage(&self, entries: &VLSig, v: &Rc<Val>) -> KResult<Tm> {
+        match &**v {
+            Val::LNil => Ok(Tm::LNil),
+            Val::LCons(prefix, s, t) => {
+                let Some((last, init)) = entries.split_last() else {
+                    return err("readback: linkage longer than its signature");
+                };
+                let init = init.to_vec();
+                let prefix_tm = self.linkage(&init, prefix)?;
+                let pty = pack_ty(&init)?;
+                let s_tm = self.with_fresh(pty, |q, x| q.value(&last.a, &s.apply(x)?))?;
+                let t_tm = self.with_fresh(last.a.clone(), |q, selfv| {
+                    q.value(&last.tty.apply(selfv.clone())?, &t.apply(selfv)?)
+                })?;
+                Ok(Tm::LCons(Rc::new(prefix_tm), Rc::new(s_tm), Rc::new(t_tm)))
+            }
+            Val::Ne(n) => self.neutral(n),
+            other => err(format!("readback: non-linkage value {other:?}")),
+        }
+    }
+
+    /// Quotes a neutral term.
+    pub fn neutral(&self, n: &Ne) -> KResult<Tm> {
+        match n {
+            Ne::Var(id, _) => Ok(Tm::Var(self.index_of(*id)?)),
+            Ne::App(f, a) => {
+                let f_tm = self.neutral(f)?;
+                let dom = match &*ne_type(f)? {
+                    VTy::Pi(dom, _) => dom.clone(),
+                    other => return err(format!("readback: app head not Π: {other:?}")),
+                };
+                Ok(Tm::app_to(f_tm, self.value(&dom, a)?))
+            }
+            Ne::Fst(x) => Ok(Tm::Fst(Rc::new(self.neutral(x)?))),
+            Ne::Snd(x) => Ok(Tm::Snd(Rc::new(self.neutral(x)?))),
+            Ne::If(c, a, b, ty) => Ok(Tm::If(
+                Rc::new(self.neutral(c)?),
+                Rc::new(self.value(ty, a)?),
+                Rc::new(self.value(ty, b)?),
+                Rc::new(self.ty(ty)?),
+            )),
+            Ne::J(..) => err("readback: stuck J is outside the quoted fragment (see module docs)"),
+            Ne::WRec(sig, motive, linkage, scrut) => {
+                let entries = crate::sem::recsig_entries(sig, motive);
+                Ok(Tm::WRec(
+                    Rc::new(self.wsig(sig)?),
+                    Rc::new(self.ty(motive)?),
+                    Rc::new(self.linkage(&entries, linkage)?),
+                    Rc::new(self.neutral(scrut)?),
+                ))
+            }
+            Ne::LPi1(x) => Ok(Tm::LPi1(Rc::new(self.neutral(x)?))),
+            Ne::LPi2(x, selfv) => {
+                // µπ2 under an explicit self instantiation.
+                let self_ty = match &*ne_type(x)? {
+                    VTy::L(entries) => match entries.last() {
+                        Some(e) => e.a.clone(),
+                        None => return err("readback: µπ2 of empty linkage"),
+                    },
+                    other => return err(format!("readback: µπ2 head not L: {other:?}")),
+                };
+                Ok(Tm::Sub(
+                    Rc::new(Tm::LPi2(Rc::new(self.neutral(x)?))),
+                    Rc::new(crate::syntax::Sub::Ext(
+                        Rc::new(crate::syntax::Sub::Id),
+                        Rc::new(self.value(&self_ty, selfv)?),
+                    )),
+                ))
+            }
+            Ne::Pack(x) => Ok(Tm::Pack(Rc::new(self.neutral(x)?))),
+            Ne::RProj(i, x) => Ok(Tm::RProj(*i, Rc::new(self.neutral(x)?))),
+            Ne::Absurd(x, ty) => Ok(Tm::Absurd(Rc::new(self.ty(ty)?), Rc::new(self.neutral(x)?))),
+        }
+    }
+
+    /// Quotes a type value.
+    pub fn ty(&self, t: &Rc<VTy>) -> KResult<Ty> {
+        match &**t {
+            VTy::U(j) => Ok(Ty::U(*j)),
+            VTy::Bool => Ok(Ty::Bool),
+            VTy::Bot => Ok(Ty::Bot),
+            VTy::Top => Ok(Ty::Top),
+            VTy::Pi(a, b) => {
+                let a_ty = self.ty(a)?;
+                let b_ty = self.with_fresh(a.clone(), |q, x| q.ty(&b.apply(x)?))?;
+                Ok(Ty::Pi(Rc::new(a_ty), Rc::new(b_ty)))
+            }
+            VTy::Sigma(a, b) => {
+                let a_ty = self.ty(a)?;
+                let b_ty = self.with_fresh(a.clone(), |q, x| q.ty(&b.apply(x)?))?;
+                Ok(Ty::Sigma(Rc::new(a_ty), Rc::new(b_ty)))
+            }
+            VTy::Eq(a, x, y) => Ok(Ty::Eq(
+                Rc::new(self.ty(a)?),
+                Rc::new(self.value(a, x)?),
+                Rc::new(self.value(a, y)?),
+            )),
+            VTy::Sing(v, a) => Ok(Ty::Sing(Rc::new(self.value(a, v)?), Rc::new(self.ty(a)?))),
+            VTy::ElNe(n) => Ok(Ty::El(Rc::new(self.neutral(n)?))),
+            VTy::W(sig) => Ok(Ty::El(Rc::new(Tm::WCode(Rc::new(self.wsig(sig)?))))),
+            VTy::L(entries) => Ok(Ty::L(Rc::new(self.lsig(entries)?))),
+        }
+    }
+
+    fn wsig(&self, sig: &VWSig) -> KResult<WSig> {
+        let mut out = WSig::Nil;
+        for (a, b) in sig {
+            let a_ty = self.ty(a)?;
+            let b_ty = self.with_fresh(a.clone(), |q, x| q.ty(&b.apply(x)?))?;
+            out = WSig::Add(Rc::new(out), Rc::new(a_ty), Rc::new(b_ty));
+        }
+        Ok(out)
+    }
+
+    fn lsig(&self, entries: &VLSig) -> KResult<LSig> {
+        let mut out = LSig::Nil;
+        let mut prefix: VLSig = Vec::new();
+        for e in entries {
+            let a_ty = self.ty(&e.a)?;
+            let pty = pack_ty(&prefix)?;
+            let s_tm = self.with_fresh(pty, |q, x| q.value(&e.a, &e.s.apply(x)?))?;
+            let t_ty = self.with_fresh(e.a.clone(), |q, selfv| q.ty(&e.tty.apply(selfv)?))?;
+            out = LSig::Add(Rc::new(out), Rc::new(a_ty), Rc::new(s_tm), Rc::new(t_ty));
+            prefix.push(e.clone());
+        }
+        Ok(out)
+    }
+}
+
+/// Normalizes a closed term at a closed type: `eval` then quote.
+pub fn nf(tm: &Tm, ty: &Ty) -> KResult<Tm> {
+    let ctx = crate::check::Ctx::new();
+    crate::check::check_ty(&ctx, ty)?;
+    let tv = crate::sem::eval_ty(&ctx.env, ty)?;
+    crate::check::check(&ctx, tm, &tv)?;
+    let v = crate::sem::eval(&ctx.env, tm)?;
+    Quote::new().value(&tv, &v)
+}
+
+/// Normalizes a closed type.
+pub fn nf_ty(ty: &Ty) -> KResult<Ty> {
+    let ctx = crate::check::Ctx::new();
+    crate::check::check_ty(&ctx, ty)?;
+    let tv = crate::sem::eval_ty(&ctx.env, ty)?;
+    Quote::new().ty(&tv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::Tm as T;
+
+    fn rc<X>(x: X) -> Rc<X> {
+        Rc::new(x)
+    }
+
+    #[test]
+    fn beta_normalizes() {
+        // (λx. x) tt ⇓ tt
+        let t = T::app_to(T::Lam(rc(T::Var(0))), T::True);
+        assert_eq!(nf(&t, &Ty::Bool).unwrap(), T::True);
+    }
+
+    #[test]
+    fn eta_expands_functions() {
+        // A λ at Π(B,B) reads back as a λ whose body is normalized.
+        let f = T::Lam(rc(T::If(
+            rc(T::Var(0)),
+            rc(T::False),
+            rc(T::True),
+            rc(Ty::Bool),
+        )));
+        let fty = Ty::arrow(Ty::Bool, Ty::Bool);
+        let n = nf(&f, &fty).unwrap();
+        assert!(matches!(n, T::Lam(_)));
+        // Idempotence: nf(nf(t)) == nf(t).
+        assert_eq!(nf(&n, &fty).unwrap(), n);
+    }
+
+    #[test]
+    fn top_eta_collapses() {
+        // Any inhabitant of ⊤ reads back as ().
+        let t = T::Snd(rc(T::Pair(rc(T::True), rc(T::Unit))));
+        assert_eq!(nf(&t, &Ty::Top).unwrap(), T::Unit);
+    }
+
+    #[test]
+    fn singleton_eta_collapses() {
+        // Anything at S(tt) reads back as tt.
+        let sty = Ty::Sing(rc(T::True), rc(Ty::Bool));
+        let t = T::app_to(T::Lam(rc(T::Var(0))), T::True);
+        assert_eq!(nf(&t, &sty).unwrap(), T::True);
+    }
+
+    #[test]
+    fn pairs_normalize_componentwise() {
+        let t = T::Pair(rc(T::app_to(T::Lam(rc(T::Var(0))), T::False)), rc(T::Unit));
+        let ty = Ty::Sigma(rc(Ty::Bool), rc(Ty::wk(Ty::Top, 1)));
+        assert_eq!(nf(&t, &ty).unwrap(), T::Pair(rc(T::False), rc(T::Unit)));
+    }
+
+    #[test]
+    fn neutral_under_lambda_reads_back() {
+        // λx. if x then ff else tt — x is neutral inside; quote gives v0.
+        let f = T::Lam(rc(T::If(
+            rc(T::Var(0)),
+            rc(T::False),
+            rc(T::True),
+            rc(Ty::Bool),
+        )));
+        let fty = Ty::arrow(Ty::Bool, Ty::Bool);
+        let n = nf(&f, &fty).unwrap();
+        let T::Lam(body) = &n else {
+            panic!("expected λ")
+        };
+        assert!(matches!(&**body, T::If(c, _, _, _) if matches!(&**c, T::Var(0))));
+    }
+
+    #[test]
+    fn w_values_read_back() {
+        let tau = crate::encoding::tau_tm();
+        let t = crate::encoding::ctors::tm_abs(
+            &tau,
+            0,
+            T::True,
+            crate::encoding::ctors::tm_unit(&tau, 0),
+        );
+        let wty = Ty::El(rc(T::WCode(rc(tau))));
+        let n = nf(&t, &wty).unwrap();
+        assert!(matches!(n, T::WSup(1, ..)));
+        assert_eq!(nf(&n, &wty).unwrap(), n);
+    }
+
+    #[test]
+    fn linkage_values_read_back() {
+        let sig = LSig::Add(
+            rc(LSig::Nil),
+            rc(Ty::Top),
+            rc(T::Unit),
+            rc(Ty::wk(Ty::Bool, 1)),
+        );
+        let l = T::LCons(rc(T::LNil), rc(T::Unit), rc(T::wk(T::True, 1)));
+        let lty = Ty::L(rc(sig));
+        let n = nf(&l, &lty).unwrap();
+        let T::LCons(prefix, _, t) = &n else {
+            panic!("expected µ+")
+        };
+        assert!(matches!(&**prefix, T::LNil));
+        assert!(matches!(&**t, T::True));
+        assert_eq!(nf(&n, &lty).unwrap(), n);
+    }
+
+    #[test]
+    fn types_normalize() {
+        // El(c(B)) normalizes to B.
+        let t = Ty::El(rc(T::Code(rc(Ty::Bool))));
+        assert_eq!(nf_ty(&t).unwrap(), Ty::Bool);
+    }
+}

@@ -1,0 +1,970 @@
+//! The semantic domain and evaluator: normalization by evaluation.
+//!
+//! Canonicity (Theorem 5.2) is realized *computationally*: [`eval`] maps
+//! every closed well-typed term to a canonical [`Val`]; the logical-
+//! relations construction of Section 6.4 is the paper's proof that this
+//! function is total on well-typed input. Conversion checking
+//! ([`conv_val`]/[`conv_ty`]) is type-directed, giving the η-rules for Π,
+//! Σ, ⊤ and singleton types.
+
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::syntax::{LSig, Sub, Tm, Ty, WSig};
+
+/// Kernel error.
+#[derive(Clone, Debug)]
+pub struct KErr(pub String);
+impl fmt::Display for KErr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for KErr {}
+/// Kernel result.
+pub type KResult<T> = Result<T, KErr>;
+fn err<T>(m: impl Into<String>) -> KResult<T> {
+    Err(KErr(m.into()))
+}
+
+/// Evaluation environments (persistent list; index 0 = innermost binder).
+#[derive(Clone, Debug, Default)]
+pub struct Env(Option<Rc<EnvNode>>);
+
+#[derive(Debug)]
+struct EnvNode {
+    head: Rc<Val>,
+    tail: Env,
+    len: usize,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Env {
+        Env(None)
+    }
+    /// Length.
+    pub fn len(&self) -> usize {
+        self.0.as_ref().map_or(0, |n| n.len)
+    }
+    /// Is the environment empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+    /// Extends with a value.
+    pub fn push(&self, v: Rc<Val>) -> Env {
+        let len = self.len() + 1;
+        Env(Some(Rc::new(EnvNode {
+            head: v,
+            tail: self.clone(),
+            len,
+        })))
+    }
+    /// De Bruijn lookup (0 = innermost).
+    pub fn get(&self, i: usize) -> KResult<Rc<Val>> {
+        let mut cur = self;
+        let mut k = i;
+        loop {
+            match &cur.0 {
+                None => return err(format!("unbound de Bruijn index {i}")),
+                Some(n) => {
+                    if k == 0 {
+                        return Ok(n.head.clone());
+                    }
+                    k -= 1;
+                    cur = &n.tail;
+                }
+            }
+        }
+    }
+    /// Drops the innermost `n` entries.
+    pub fn drop_n(&self, n: usize) -> KResult<Env> {
+        let mut cur = self.clone();
+        for _ in 0..n {
+            match cur.0 {
+                None => return err("weakening past the empty environment"),
+                Some(node) => cur = node.tail.clone(),
+            }
+        }
+        Ok(cur)
+    }
+    /// The innermost value.
+    pub fn top(&self) -> KResult<Rc<Val>> {
+        self.get(0)
+    }
+}
+
+type MetaTm = dyn Fn(Rc<Val>) -> KResult<Rc<Val>>;
+type MetaTy = dyn Fn(Rc<Val>) -> KResult<Rc<VTy>>;
+
+/// A term closure.
+#[derive(Clone)]
+pub enum TmClo {
+    /// Syntactic body under an environment.
+    Syn(Env, Rc<Tm>),
+    /// Meta-level function.
+    Meta(Rc<MetaTm>),
+    /// Constant.
+    Const(Rc<Val>),
+}
+
+/// A type closure.
+#[derive(Clone)]
+pub enum TyClo {
+    /// Syntactic body under an environment.
+    Syn(Env, Rc<Ty>),
+    /// Meta-level function.
+    Meta(Rc<MetaTy>),
+    /// Constant.
+    Const(Rc<VTy>),
+}
+
+impl fmt::Debug for TmClo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmClo::Syn(_, t) => write!(f, "⟨{t:?}⟩"),
+            TmClo::Meta(_) => write!(f, "⟨meta⟩"),
+            TmClo::Const(v) => write!(f, "⟨const {v:?}⟩"),
+        }
+    }
+}
+impl fmt::Debug for TyClo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TyClo::Syn(_, t) => write!(f, "⟨{t:?}⟩"),
+            TyClo::Meta(_) => write!(f, "⟨meta⟩"),
+            TyClo::Const(v) => write!(f, "⟨const {v:?}⟩"),
+        }
+    }
+}
+
+impl TmClo {
+    /// Applies the closure.
+    pub fn apply(&self, v: Rc<Val>) -> KResult<Rc<Val>> {
+        match self {
+            TmClo::Syn(env, body) => eval(&env.push(v), body),
+            TmClo::Meta(f) => f(v),
+            TmClo::Const(c) => Ok(c.clone()),
+        }
+    }
+    /// The identity closure.
+    pub fn ident() -> TmClo {
+        TmClo::Meta(Rc::new(Ok))
+    }
+}
+
+impl TyClo {
+    /// Applies the closure.
+    pub fn apply(&self, v: Rc<Val>) -> KResult<Rc<VTy>> {
+        match self {
+            TyClo::Syn(env, body) => eval_ty(&env.push(v), body),
+            TyClo::Meta(f) => f(v),
+            TyClo::Const(c) => Ok(c.clone()),
+        }
+    }
+}
+
+/// Semantic W-type signature: `(Aᵢ, Bᵢ)` pairs, newest constructor last;
+/// constructor index `i` counts from the end (0 = newest), matching the
+/// `wπ` projection rules.
+pub type VWSig = Vec<(Rc<VTy>, TyClo)>;
+
+/// One entry of a semantic linkage signature.
+#[derive(Clone, Debug)]
+pub struct VLEntry {
+    /// The self-context type `A`.
+    pub a: Rc<VTy>,
+    /// The packaging term `s : P(σ) → A`.
+    pub s: TmClo,
+    /// The field type `T` under `self : A`.
+    pub tty: TyClo,
+}
+
+/// Semantic linkage signature (fields in order; last = most recent).
+pub type VLSig = Vec<VLEntry>;
+
+/// Values.
+#[derive(Clone, Debug)]
+pub enum Val {
+    /// `()`.
+    Unit,
+    /// `tt`.
+    True,
+    /// `ff`.
+    False,
+    /// λ-abstraction.
+    Lam(TmClo),
+    /// Dependent pair.
+    Pair(Rc<Val>, Rc<Val>),
+    /// `refl`.
+    Refl(Rc<Val>),
+    /// The code of a type.
+    Code(Rc<VTy>),
+    /// W-type constructor application.
+    WSup(usize, Rc<VWSig>, Rc<Val>, TmClo),
+    /// Empty linkage.
+    LNil,
+    /// Linkage extension (prefix, packaging closure, field closure).
+    LCons(Rc<Val>, TmClo, TmClo),
+    /// Neutral.
+    Ne(Ne),
+}
+
+/// Type values.
+#[derive(Clone, Debug)]
+pub enum VTy {
+    /// Universe.
+    U(usize),
+    /// Booleans.
+    Bool,
+    /// Empty type.
+    Bot,
+    /// Unit type.
+    Top,
+    /// Dependent function type.
+    Pi(Rc<VTy>, TyClo),
+    /// Dependent pair type.
+    Sigma(Rc<VTy>, TyClo),
+    /// Identity type.
+    Eq(Rc<VTy>, Rc<Val>, Rc<Val>),
+    /// Singleton type.
+    Sing(Rc<Val>, Rc<VTy>),
+    /// `El` of a neutral code.
+    ElNe(Ne),
+    /// A W-type.
+    W(Rc<VWSig>),
+    /// A linkage type.
+    L(Rc<VLSig>),
+}
+
+/// Neutral terms (stuck on a variable).
+#[derive(Clone, Debug)]
+pub enum Ne {
+    /// A fresh variable with its type.
+    Var(u64, Rc<VTy>),
+    /// Application.
+    App(Rc<Ne>, Rc<Val>),
+    /// First projection.
+    Fst(Rc<Ne>),
+    /// Second projection.
+    Snd(Rc<Ne>),
+    /// Conditional (with branch values and result type).
+    If(Rc<Ne>, Rc<Val>, Rc<Val>, Rc<VTy>),
+    /// Path induction stuck on its scrutinee.
+    J(Rc<Val>, Rc<Ne>, Rc<VTy>),
+    /// W-recursion stuck on its scrutinee.
+    WRec(Rc<VWSig>, Rc<VTy>, Rc<Val>, Rc<Ne>),
+    /// Linkage prefix projection.
+    LPi1(Rc<Ne>),
+    /// Linkage field projection (with the self value).
+    LPi2(Rc<Ne>, Rc<Val>),
+    /// Linkage packaging.
+    Pack(Rc<Ne>),
+    /// Case-handler projection.
+    RProj(usize, Rc<Ne>),
+    /// Stuck ex-falso (with its result type).
+    Absurd(Rc<Ne>, Rc<VTy>),
+}
+
+static FRESH: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh neutral variable of the given type.
+pub fn fresh(ty: Rc<VTy>) -> Rc<Val> {
+    let id = FRESH.fetch_add(1, Ordering::Relaxed);
+    Rc::new(Val::Ne(Ne::Var(id, ty)))
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluates a term.
+pub fn eval(env: &Env, tm: &Tm) -> KResult<Rc<Val>> {
+    match tm {
+        Tm::Var(n) => env.get(*n),
+        Tm::Sub(t, s) => {
+            let env2 = eval_sub(env, s)?;
+            eval(&env2, t)
+        }
+        Tm::Code(t) => Ok(Rc::new(Val::Code(eval_ty(env, t)?))),
+        Tm::Unit => Ok(Rc::new(Val::Unit)),
+        Tm::True => Ok(Rc::new(Val::True)),
+        Tm::False => Ok(Rc::new(Val::False)),
+        Tm::If(c, a, b, ann) => {
+            let cv = eval(env, c)?;
+            match &*cv {
+                Val::True => eval(env, a),
+                Val::False => eval(env, b),
+                Val::Ne(n) => Ok(Rc::new(Val::Ne(Ne::If(
+                    Rc::new(n.clone()),
+                    eval(env, a)?,
+                    eval(env, b)?,
+                    eval_ty(env, ann)?,
+                )))),
+                other => err(format!("if: non-boolean scrutinee {other:?}")),
+            }
+        }
+        Tm::Lam(b) => Ok(Rc::new(Val::Lam(TmClo::Syn(env.clone(), b.clone())))),
+        Tm::App(t) => {
+            let arg = env.top()?;
+            let inner = env.drop_n(1)?;
+            let f = eval(&inner, t)?;
+            apply(&f, arg)
+        }
+        Tm::Pair(a, b) => Ok(Rc::new(Val::Pair(eval(env, a)?, eval(env, b)?))),
+        Tm::Fst(t) => vfst(&eval(env, t)?),
+        Tm::Snd(t) => vsnd(&eval(env, t)?),
+        Tm::Refl(t) => Ok(Rc::new(Val::Refl(eval(env, t)?))),
+        Tm::J(c, w, t) => {
+            let tv = eval(env, t)?;
+            match &*tv {
+                Val::Refl(_) => eval(env, w),
+                Val::Ne(n) => {
+                    // Result type C[p0, v, t]: approximate with C evaluated
+                    // at the scrutinee's endpoints; the checker supplies the
+                    // precise type, so store a best-effort annotation.
+                    let cv = eval_ty(&env.push(Rc::new(Val::Ne(n.clone()))).push(tv.clone()), c)
+                        .unwrap_or_else(|_| Rc::new(VTy::Top));
+                    Ok(Rc::new(Val::Ne(Ne::J(
+                        eval(env, w)?,
+                        Rc::new(n.clone()),
+                        cv,
+                    ))))
+                }
+                other => err(format!("J: non-refl scrutinee {other:?}")),
+            }
+        }
+        Tm::WCode(tau) => {
+            let v = eval_wsig(env, tau)?;
+            Ok(Rc::new(Val::Code(Rc::new(VTy::W(Rc::new(v))))))
+        }
+        Tm::WSup(i, tau, t1, t2) => {
+            let v = eval_wsig(env, tau)?;
+            Ok(Rc::new(Val::WSup(
+                *i,
+                Rc::new(v),
+                eval(env, t1)?,
+                TmClo::Syn(env.clone(), t2.clone()),
+            )))
+        }
+        Tm::WRec(tau, motive, cases, scrut) => {
+            let v = Rc::new(eval_wsig(env, tau)?);
+            let r = eval_ty(env, motive)?;
+            let l = eval(env, cases)?;
+            let s = eval(env, scrut)?;
+            do_wrec(&v, &r, &l, &s)
+        }
+        Tm::LNil => Ok(Rc::new(Val::LNil)),
+        Tm::LCons(l, s, t) => Ok(Rc::new(Val::LCons(
+            eval(env, l)?,
+            TmClo::Syn(env.clone(), s.clone()),
+            TmClo::Syn(env.clone(), t.clone()),
+        ))),
+        Tm::LPi1(l) => {
+            let lv = eval(env, l)?;
+            match &*lv {
+                Val::LCons(prefix, _, _) => Ok(prefix.clone()),
+                Val::Ne(n) => Ok(Rc::new(Val::Ne(Ne::LPi1(Rc::new(n.clone()))))),
+                other => err(format!("µπ1 of non-linkage {other:?}")),
+            }
+        }
+        Tm::LPi2(l) => {
+            let selfv = env.top()?;
+            let inner = env.drop_n(1)?;
+            let lv = eval(&inner, l)?;
+            match &*lv {
+                Val::LCons(_, _, t) => t.apply(selfv),
+                Val::Ne(n) => Ok(Rc::new(Val::Ne(Ne::LPi2(Rc::new(n.clone()), selfv)))),
+                other => err(format!("µπ2 of non-linkage {other:?}")),
+            }
+        }
+        Tm::Pack(l) => pack_val(&eval(env, l)?),
+        Tm::Absurd(ann, t) => {
+            let v = eval(env, t)?;
+            match &*v {
+                Val::Ne(n) => Ok(Rc::new(Val::Ne(Ne::Absurd(
+                    Rc::new(n.clone()),
+                    eval_ty(env, ann)?,
+                )))),
+                other => err(format!(
+                    "absurd applied to a canonical value {other:?} — impossible \
+                     by consistency (Theorem 5.1)"
+                )),
+            }
+        }
+        Tm::RProj(i, l) => rproj_val(&eval(env, l)?, *i),
+    }
+}
+
+/// Evaluates a substitution into an environment.
+pub fn eval_sub(env: &Env, s: &Sub) -> KResult<Env> {
+    match s {
+        Sub::Id => Ok(env.clone()),
+        Sub::Wk(n) => env.drop_n(*n),
+        Sub::Comp(d, g) => {
+            let mid = eval_sub(env, g)?;
+            eval_sub(&mid, d)
+        }
+        Sub::Ext(g, t) => {
+            let v = eval(env, t)?;
+            Ok(eval_sub(env, g)?.push(v))
+        }
+        Sub::Pi1(g) => eval_sub(env, g)?.drop_n(1),
+    }
+}
+
+/// Computes the type of a neutral term (types are threaded through
+/// neutral heads).
+pub fn ne_type(n: &Ne) -> KResult<Rc<VTy>> {
+    match n {
+        Ne::Var(_, ty) => Ok(ty.clone()),
+        Ne::App(f, a) => match &*ne_type(f)? {
+            VTy::Pi(_, cod) => cod.apply(a.clone()),
+            other => err(format!("ne_type: app head is not Π: {other:?}")),
+        },
+        Ne::Fst(x) => match &*ne_type(x)? {
+            VTy::Sigma(a, _) => Ok(a.clone()),
+            other => err(format!("ne_type: fst head is not Σ: {other:?}")),
+        },
+        Ne::Snd(x) => match &*ne_type(x)? {
+            VTy::Sigma(_, b) => b.apply(Rc::new(Val::Ne(Ne::Fst(x.clone())))),
+            other => err(format!("ne_type: snd head is not Σ: {other:?}")),
+        },
+        Ne::If(_, _, _, ty) | Ne::J(_, _, ty) | Ne::Absurd(_, ty) => Ok(ty.clone()),
+        Ne::WRec(_, motive, _, _) => Ok(motive.clone()),
+        Ne::LPi1(x) => match &*ne_type(x)? {
+            VTy::L(entries) => {
+                let mut e = (**entries).clone();
+                e.pop();
+                Ok(Rc::new(VTy::L(Rc::new(e))))
+            }
+            other => err(format!("ne_type: µπ1 head is not L: {other:?}")),
+        },
+        Ne::LPi2(x, selfv) => match &*ne_type(x)? {
+            VTy::L(entries) => match entries.last() {
+                Some(e) => e.tty.apply(selfv.clone()),
+                None => err("ne_type: µπ2 of empty linkage"),
+            },
+            other => err(format!("ne_type: µπ2 head is not L: {other:?}")),
+        },
+        Ne::Pack(x) => match &*ne_type(x)? {
+            VTy::L(entries) => pack_ty(entries),
+            other => err(format!("ne_type: P head is not L: {other:?}")),
+        },
+        Ne::RProj(i, x) => match &*ne_type(x)? {
+            VTy::L(entries) => {
+                let m = entries.len();
+                if *i >= m {
+                    return err("ne_type: Rπ out of range");
+                }
+                let entry = &entries[m - 1 - i];
+                let mut prefix_ne = (**x).clone();
+                for _ in 0..*i {
+                    prefix_ne = Ne::LPi1(Rc::new(prefix_ne));
+                }
+                let prefix = Rc::new(Val::Ne(Ne::LPi1(Rc::new(prefix_ne))));
+                let packed = pack_val(&prefix)?;
+                entry.tty.apply(entry.s.apply(packed)?)
+            }
+            other => err(format!("ne_type: Rπ head is not L: {other:?}")),
+        },
+    }
+}
+
+/// Evaluates a type.
+pub fn eval_ty(env: &Env, ty: &Ty) -> KResult<Rc<VTy>> {
+    match ty {
+        Ty::Sub(t, s) => {
+            let env2 = eval_sub(env, s)?;
+            eval_ty(&env2, t)
+        }
+        Ty::U(j) => Ok(Rc::new(VTy::U(*j))),
+        Ty::Bool => Ok(Rc::new(VTy::Bool)),
+        Ty::Bot => Ok(Rc::new(VTy::Bot)),
+        Ty::Top => Ok(Rc::new(VTy::Top)),
+        Ty::Pi(a, b) => Ok(Rc::new(VTy::Pi(
+            eval_ty(env, a)?,
+            TyClo::Syn(env.clone(), b.clone()),
+        ))),
+        Ty::Sigma(a, b) => Ok(Rc::new(VTy::Sigma(
+            eval_ty(env, a)?,
+            TyClo::Syn(env.clone(), b.clone()),
+        ))),
+        Ty::Eq(a, x, y) => Ok(Rc::new(VTy::Eq(
+            eval_ty(env, a)?,
+            eval(env, x)?,
+            eval(env, y)?,
+        ))),
+        Ty::Sing(t, a) => Ok(Rc::new(VTy::Sing(eval(env, t)?, eval_ty(env, a)?))),
+        Ty::El(t) => {
+            let v = eval(env, t)?;
+            el_of(&v)
+        }
+        Ty::WPi1(i, tau) => {
+            let v = eval_wsig(env, tau)?;
+            let n = v.len();
+            if *i >= n {
+                return err(format!("wπ1: index {i} out of range for signature of {n}"));
+            }
+            Ok(v[n - 1 - i].0.clone())
+        }
+        Ty::L(sig) => Ok(Rc::new(VTy::L(Rc::new(eval_lsig(env, sig)?)))),
+        Ty::P(sig) => {
+            let entries = eval_lsig(env, sig)?;
+            pack_ty(&entries)
+        }
+        Ty::CaseTy(a, b, t) => {
+            let av = eval_ty(env, a)?;
+            let bclo = TyClo::Syn(env.clone(), b.clone());
+            let tv = eval_ty(env, t)?;
+            Ok(Rc::new(casety(av, bclo, tv)))
+        }
+    }
+}
+
+/// Evaluates a W-type signature.
+pub fn eval_wsig(env: &Env, tau: &WSig) -> KResult<VWSig> {
+    match tau {
+        WSig::Nil => Ok(Vec::new()),
+        WSig::Add(t, a, b) => {
+            let mut v = eval_wsig(env, t)?;
+            v.push((eval_ty(env, a)?, TyClo::Syn(env.clone(), b.clone())));
+            Ok(v)
+        }
+        WSig::Sub(t, s) => {
+            let env2 = eval_sub(env, s)?;
+            eval_wsig(&env2, t)
+        }
+        WSig::Drop(t) => {
+            let mut v = eval_wsig(env, t)?;
+            if v.pop().is_none() {
+                return err("w− of empty signature");
+            }
+            Ok(v)
+        }
+    }
+}
+
+/// Evaluates a linkage signature.
+pub fn eval_lsig(env: &Env, sig: &LSig) -> KResult<VLSig> {
+    match sig {
+        LSig::Nil => Ok(Vec::new()),
+        LSig::Add(s, a, pk, t) => {
+            let mut v = eval_lsig(env, s)?;
+            v.push(VLEntry {
+                a: eval_ty(env, a)?,
+                s: TmClo::Syn(env.clone(), pk.clone()),
+                tty: TyClo::Syn(env.clone(), t.clone()),
+            });
+            Ok(v)
+        }
+        LSig::Sub(s, g) => {
+            let env2 = eval_sub(env, g)?;
+            eval_lsig(&env2, s)
+        }
+        LSig::Pi1(s) => {
+            let mut v = eval_lsig(env, s)?;
+            if v.pop().is_none() {
+                return err("νπ1 of empty signature");
+            }
+            Ok(v)
+        }
+        LSig::RecSig(tau, r) => {
+            let wv = eval_wsig(env, tau)?;
+            let rv = eval_ty(env, r)?;
+            Ok(recsig_entries(&wv, &rv))
+        }
+    }
+}
+
+/// The semantic entries of `RecSig(τ, R)`: one `CaseTy(Aᵢ, Bᵢ, R)` field
+/// per constructor, oldest first, with identity packaging.
+pub fn recsig_entries(wsig: &VWSig, motive: &Rc<VTy>) -> VLSig {
+    let mut entries = Vec::new();
+    for (a, b) in wsig {
+        // Self-context type = the packaged prefix (s is the identity).
+        let prefix_ty = pack_ty(&entries).unwrap_or_else(|_| Rc::new(VTy::Top));
+        entries.push(VLEntry {
+            a: prefix_ty,
+            s: TmClo::ident(),
+            tty: TyClo::Const(Rc::new(casety(a.clone(), b.clone(), motive.clone()))),
+        });
+    }
+    entries
+}
+
+/// `CaseTy(A, B, T) ≡ Π(x : A). (Π(B x, T) → T) → T`.
+pub fn casety(a: Rc<VTy>, b: TyClo, t: Rc<VTy>) -> VTy {
+    let t2 = t.clone();
+    VTy::Pi(
+        a,
+        TyClo::Meta(Rc::new(move |x| {
+            let bx = b.apply(x)?;
+            let inner = Rc::new(VTy::Pi(bx, TyClo::Const(t2.clone())));
+            Ok(Rc::new(VTy::Pi(inner, TyClo::Const(t2.clone()))))
+        })),
+    )
+}
+
+/// `El` of a code value, collapsing singleton-typed neutrals (tmeq/s/eta):
+/// a neutral of type `S(c(T))` decodes to `T` — the mechanism that lets a
+/// family field expose a concrete W-type signature through a singleton
+/// while later fields see only `U` (Figure 8's discussion).
+pub fn el_of(v: &Rc<Val>) -> KResult<Rc<VTy>> {
+    match &**v {
+        Val::Code(t) => Ok(t.clone()),
+        Val::Ne(n) => {
+            if let Ok(t) = ne_type(n) {
+                if let VTy::Sing(inner, _) = &*t {
+                    if let Val::Code(t2) = &**inner {
+                        return Ok(t2.clone());
+                    }
+                }
+            }
+            Ok(Rc::new(VTy::ElNe(n.clone())))
+        }
+        other => err(format!("El of non-code {other:?}")),
+    }
+}
+
+/// Application.
+pub fn apply(f: &Rc<Val>, arg: Rc<Val>) -> KResult<Rc<Val>> {
+    match &**f {
+        Val::Lam(c) => c.apply(arg),
+        Val::Ne(n) => Ok(Rc::new(Val::Ne(Ne::App(Rc::new(n.clone()), arg)))),
+        other => err(format!("application of non-function {other:?}")),
+    }
+}
+
+/// First projection.
+pub fn vfst(v: &Rc<Val>) -> KResult<Rc<Val>> {
+    match &**v {
+        Val::Pair(a, _) => Ok(a.clone()),
+        Val::Ne(n) => Ok(Rc::new(Val::Ne(Ne::Fst(Rc::new(n.clone()))))),
+        other => err(format!("fst of non-pair {other:?}")),
+    }
+}
+
+/// Second projection.
+pub fn vsnd(v: &Rc<Val>) -> KResult<Rc<Val>> {
+    match &**v {
+        Val::Pair(_, b) => Ok(b.clone()),
+        Val::Ne(n) => Ok(Rc::new(Val::Ne(Ne::Snd(Rc::new(n.clone()))))),
+        other => err(format!("snd of non-pair {other:?}")),
+    }
+}
+
+/// `P(ℓ)` — packages a linkage value into a dependent tuple
+/// (rule tmeq/pk/add).
+pub fn pack_val(l: &Rc<Val>) -> KResult<Rc<Val>> {
+    match &**l {
+        Val::LNil => Ok(Rc::new(Val::Unit)),
+        Val::LCons(prefix, s, t) => {
+            let p = pack_val(prefix)?;
+            let selfv = s.apply(p.clone())?;
+            let field = t.apply(selfv)?;
+            Ok(Rc::new(Val::Pair(p, field)))
+        }
+        Val::Ne(n) => Ok(Rc::new(Val::Ne(Ne::Pack(Rc::new(n.clone()))))),
+        other => err(format!("P of non-linkage {other:?}")),
+    }
+}
+
+/// `P(σ)` as a type: the dependent-tuple type (rule tyeq/pk/add).
+pub fn pack_ty(entries: &VLSig) -> KResult<Rc<VTy>> {
+    let mut acc: Rc<VTy> = Rc::new(VTy::Top);
+    for e in entries {
+        let s = e.s.clone();
+        let tty = e.tty.clone();
+        acc = Rc::new(VTy::Sigma(
+            acc,
+            TyClo::Meta(Rc::new(move |x| {
+                let selfv = s.apply(x)?;
+                tty.apply(selfv)
+            })),
+        ));
+    }
+    Ok(acc)
+}
+
+/// `Rπ_i(ℓ)` — projects the i-th case handler (0 = last field), per the
+/// Rπ computation rules.
+pub fn rproj_val(l: &Rc<Val>, i: usize) -> KResult<Rc<Val>> {
+    match &**l {
+        Val::LCons(prefix, s, t) => {
+            if i == 0 {
+                let p = pack_val(prefix)?;
+                t.apply(s.apply(p)?)
+            } else {
+                rproj_val(prefix, i - 1)
+            }
+        }
+        Val::Ne(n) => Ok(Rc::new(Val::Ne(Ne::RProj(i, Rc::new(n.clone()))))),
+        other => err(format!("Rπ of non-linkage {other:?}")),
+    }
+}
+
+/// `Wrec` — recursion over a W-type value (the β-rule of tm/wrec).
+pub fn do_wrec(
+    wsig: &Rc<VWSig>,
+    motive: &Rc<VTy>,
+    linkage: &Rc<Val>,
+    scrut: &Rc<Val>,
+) -> KResult<Rc<Val>> {
+    match &**scrut {
+        Val::WSup(i, _, a, bclo) => {
+            let handler = rproj_val(linkage, *i)?;
+            let h1 = apply(&handler, a.clone())?;
+            let wsig2 = wsig.clone();
+            let motive2 = motive.clone();
+            let linkage2 = linkage.clone();
+            let bclo2 = bclo.clone();
+            let rec_arg = Rc::new(Val::Lam(TmClo::Meta(Rc::new(move |x| {
+                let sub = bclo2.apply(x)?;
+                do_wrec(&wsig2, &motive2, &linkage2, &sub)
+            }))));
+            apply(&h1, rec_arg)
+        }
+        Val::Ne(n) => Ok(Rc::new(Val::Ne(Ne::WRec(
+            wsig.clone(),
+            motive.clone(),
+            linkage.clone(),
+            Rc::new(n.clone()),
+        )))),
+        other => err(format!("Wrec of non-W value {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversion
+// ---------------------------------------------------------------------------
+
+/// Type-directed conversion of values (η for Π, Σ, ⊤ and singletons).
+pub fn conv_val(ty: &Rc<VTy>, a: &Rc<Val>, b: &Rc<Val>) -> KResult<bool> {
+    match &**ty {
+        VTy::Top => Ok(true),
+        VTy::Sing(..) => Ok(true),
+        VTy::Pi(dom, cod) => {
+            let x = fresh(dom.clone());
+            let fa = apply(a, x.clone())?;
+            let fb = apply(b, x.clone())?;
+            conv_val(&cod.apply(x)?, &fa, &fb)
+        }
+        VTy::Sigma(afst, bsnd) => {
+            let a1 = vfst(a)?;
+            let b1 = vfst(b)?;
+            if !conv_val(afst, &a1, &b1)? {
+                return Ok(false);
+            }
+            conv_val(&bsnd.apply(a1)?, &vsnd(a)?, &vsnd(b)?)
+        }
+        VTy::Eq(..) => match (&**a, &**b) {
+            (Val::Refl(_), Val::Refl(_)) => Ok(true),
+            (Val::Ne(x), Val::Ne(y)) => conv_ne(x, y),
+            _ => Ok(false),
+        },
+        VTy::L(entries) => conv_linkage(entries, a, b),
+        _ => conv_whnf(a, b),
+    }
+}
+
+fn conv_linkage(entries: &Rc<VLSig>, a: &Rc<Val>, b: &Rc<Val>) -> KResult<bool> {
+    match (&**a, &**b) {
+        (Val::LNil, Val::LNil) => Ok(true),
+        (Val::LCons(pa, _, ta), Val::LCons(pb, _, tb)) => {
+            let Some((last, prefix)) = entries.split_last() else {
+                return Ok(false);
+            };
+            let prefix_sig = Rc::new(prefix.to_vec());
+            if !conv_linkage(&prefix_sig, pa, pb)? {
+                return Ok(false);
+            }
+            let selfv = fresh(last.a.clone());
+            conv_val(
+                &last.tty.apply(selfv.clone())?,
+                &ta.apply(selfv.clone())?,
+                &tb.apply(selfv)?,
+            )
+        }
+        (Val::Ne(x), Val::Ne(y)) => conv_ne(x, y),
+        _ => Ok(false),
+    }
+}
+
+/// Structural conversion of weak-head-normal values.
+pub fn conv_whnf(a: &Rc<Val>, b: &Rc<Val>) -> KResult<bool> {
+    match (&**a, &**b) {
+        (Val::Unit, Val::Unit) | (Val::True, Val::True) | (Val::False, Val::False) => Ok(true),
+        (Val::Code(x), Val::Code(y)) => conv_ty(x, y),
+        (Val::Refl(x), Val::Refl(y)) => conv_whnf(x, y),
+        (Val::Pair(x1, y1), Val::Pair(x2, y2)) => Ok(conv_whnf(x1, x2)? && conv_whnf(y1, y2)?),
+        (Val::WSup(i, sig, a1, b1), Val::WSup(j, _, a2, b2)) => {
+            if i != j {
+                return Ok(false);
+            }
+            if !conv_whnf(a1, a2)? {
+                return Ok(false);
+            }
+            let n = sig.len();
+            let (_, arity) = &sig[n - 1 - i];
+            let x = fresh(arity.apply(a1.clone())?);
+            conv_whnf(&b1.apply(x.clone())?, &b2.apply(x)?)
+        }
+        (Val::LNil, Val::LNil) => Ok(true),
+        (Val::LCons(p1, _, _), Val::LCons(p2, _, _)) => conv_whnf(p1, p2),
+        (Val::Lam(_), Val::Lam(_)) | (Val::Lam(_), Val::Ne(_)) | (Val::Ne(_), Val::Lam(_)) => {
+            // Untyped fallback: probe with a fresh variable of unknown type.
+            let x = fresh(Rc::new(VTy::Top));
+            conv_whnf(&apply(a, x.clone())?, &apply(b, x)?)
+        }
+        (Val::Ne(x), Val::Ne(y)) => conv_ne(x, y),
+        _ => Ok(false),
+    }
+}
+
+fn conv_ne(a: &Ne, b: &Ne) -> KResult<bool> {
+    match (a, b) {
+        (Ne::Var(i, _), Ne::Var(j, _)) => Ok(i == j),
+        (Ne::App(f, x), Ne::App(g, y)) => Ok(conv_ne(f, g)? && conv_whnf(x, y)?),
+        (Ne::Fst(x), Ne::Fst(y)) | (Ne::Snd(x), Ne::Snd(y)) => conv_ne(x, y),
+        (Ne::If(c1, a1, b1, _), Ne::If(c2, a2, b2, _)) => {
+            Ok(conv_ne(c1, c2)? && conv_whnf(a1, a2)? && conv_whnf(b1, b2)?)
+        }
+        (Ne::J(w1, t1, _), Ne::J(w2, t2, _)) => Ok(conv_whnf(w1, w2)? && conv_ne(t1, t2)?),
+        (Ne::WRec(_, _, l1, s1), Ne::WRec(_, _, l2, s2)) => {
+            Ok(conv_whnf(l1, l2)? && conv_ne(s1, s2)?)
+        }
+        (Ne::LPi1(x), Ne::LPi1(y)) | (Ne::Pack(x), Ne::Pack(y)) => conv_ne(x, y),
+        (Ne::LPi2(x, s1), Ne::LPi2(y, s2)) => Ok(conv_ne(x, y)? && conv_whnf(s1, s2)?),
+        (Ne::RProj(i, x), Ne::RProj(j, y)) => Ok(i == j && conv_ne(x, y)?),
+        (Ne::Absurd(x, _), Ne::Absurd(y, _)) => conv_ne(x, y),
+        _ => Ok(false),
+    }
+}
+
+/// Conversion of type values.
+pub fn conv_ty(a: &Rc<VTy>, b: &Rc<VTy>) -> KResult<bool> {
+    match (&**a, &**b) {
+        (VTy::U(i), VTy::U(j)) => Ok(i == j),
+        (VTy::Bool, VTy::Bool) | (VTy::Bot, VTy::Bot) | (VTy::Top, VTy::Top) => Ok(true),
+        (VTy::Pi(a1, b1), VTy::Pi(a2, b2)) | (VTy::Sigma(a1, b1), VTy::Sigma(a2, b2)) => {
+            if !conv_ty(a1, a2)? {
+                return Ok(false);
+            }
+            let x = fresh(a1.clone());
+            conv_ty(&b1.apply(x.clone())?, &b2.apply(x)?)
+        }
+        (VTy::Eq(t1, x1, y1), VTy::Eq(t2, x2, y2)) => {
+            Ok(conv_ty(t1, t2)? && conv_val(t1, x1, x2)? && conv_val(t1, y1, y2)?)
+        }
+        (VTy::Sing(v1, t1), VTy::Sing(v2, t2)) => Ok(conv_ty(t1, t2)? && conv_val(t1, v1, v2)?),
+        (VTy::ElNe(x), VTy::ElNe(y)) => conv_ne(x, y),
+        (VTy::W(s1), VTy::W(s2)) => conv_wsig(s1, s2),
+        (VTy::L(l1), VTy::L(l2)) => conv_lsig(l1, l2),
+        _ => Ok(false),
+    }
+}
+
+fn conv_wsig(a: &VWSig, b: &VWSig) -> KResult<bool> {
+    if a.len() != b.len() {
+        return Ok(false);
+    }
+    for ((a1, b1), (a2, b2)) in a.iter().zip(b) {
+        if !conv_ty(a1, a2)? {
+            return Ok(false);
+        }
+        let x = fresh(a1.clone());
+        if !conv_ty(&b1.apply(x.clone())?, &b2.apply(x)?)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn conv_lsig(a: &VLSig, b: &VLSig) -> KResult<bool> {
+    if a.len() != b.len() {
+        return Ok(false);
+    }
+    let mut prefix: VLSig = Vec::new();
+    for (e1, e2) in a.iter().zip(b) {
+        if !conv_ty(&e1.a, &e2.a)? {
+            return Ok(false);
+        }
+        let pty = pack_ty(&prefix)?;
+        let x = fresh(pty);
+        if !conv_val(&e1.a, &e1.s.apply(x.clone())?, &e2.s.apply(x)?)? {
+            return Ok(false);
+        }
+        let selfv = fresh(e1.a.clone());
+        if !conv_ty(&e1.tty.apply(selfv.clone())?, &e2.tty.apply(selfv)?)? {
+            return Ok(false);
+        }
+        prefix.push(e1.clone());
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::Tm as T;
+
+    #[test]
+    fn beta_reduction() {
+        let id = T::Lam(Rc::new(T::Var(0)));
+        let t = T::app_to(id, T::True);
+        let v = eval(&Env::new(), &t).unwrap();
+        assert!(matches!(&*v, Val::True));
+    }
+
+    #[test]
+    fn if_computes() {
+        let t = T::If(
+            Rc::new(T::True),
+            Rc::new(T::False),
+            Rc::new(T::True),
+            Rc::new(crate::syntax::Ty::Bool),
+        );
+        assert!(matches!(&*eval(&Env::new(), &t).unwrap(), Val::False));
+    }
+
+    #[test]
+    fn pairs_project() {
+        let t = T::Fst(Rc::new(T::Pair(Rc::new(T::True), Rc::new(T::Unit))));
+        assert!(matches!(&*eval(&Env::new(), &t).unwrap(), Val::True));
+    }
+
+    #[test]
+    fn eta_for_functions() {
+        // λx. f x ≡ f  at Π(B, B) for a neutral f.
+        let fty: Rc<VTy> = Rc::new(VTy::Pi(
+            Rc::new(VTy::Bool),
+            TyClo::Const(Rc::new(VTy::Bool)),
+        ));
+        let f = fresh(fty.clone());
+        let eta = Rc::new(Val::Lam(TmClo::Meta(Rc::new({
+            let f = f.clone();
+            move |x| apply(&f, x)
+        }))));
+        assert!(conv_val(&fty, &eta, &f).unwrap());
+    }
+
+    #[test]
+    fn singleton_eta() {
+        // Any two inhabitants of S(tt) are convertible.
+        let sty = Rc::new(VTy::Sing(Rc::new(Val::True), Rc::new(VTy::Bool)));
+        let x = fresh(sty.clone());
+        assert!(conv_val(&sty, &x, &Rc::new(Val::True)).unwrap());
+    }
+
+    #[test]
+    fn env_weakening() {
+        let env = Env::new()
+            .push(Rc::new(Val::True))
+            .push(Rc::new(Val::False));
+        let t = T::Sub(Rc::new(T::Var(0)), Rc::new(Sub::Wk(1)));
+        // v0 after weakening by 1 = the outer entry (tt).
+        assert!(matches!(&*eval(&env, &t).unwrap(), Val::True));
+    }
+}

@@ -1,0 +1,282 @@
+//! FMLTT syntax: de Bruijn indices with explicit substitutions
+//! (Sections 6.1–6.2).
+//!
+//! The grammar follows Figure 7's fully expanded form. Compared to the
+//! paper's raw syntax, eliminators carry the annotations a bidirectional
+//! checker needs (`if` and `J` carry motives, `Wrec` carries its motive,
+//! `µ+` carries the context-packaging term `s` from its typing rule) — the
+//! standard elaborated-syntax refinement; the typing rules checked are the
+//! paper's.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Universe level.
+pub type Level = usize;
+
+/// Terms.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tm {
+    /// `var_n` — the n-th de Bruijn variable.
+    Var(usize),
+    /// `t[γ]` — explicit substitution.
+    Sub(Rc<Tm>, Rc<Sub>),
+    /// `c(T)` — the code of a type (universes à la Coquand).
+    Code(Rc<Ty>),
+    /// `()` of `⊤`.
+    Unit,
+    /// `tt`.
+    True,
+    /// `ff`.
+    False,
+    /// `if(c, a, b)` at annotated type.
+    If(Rc<Tm>, Rc<Tm>, Rc<Tm>, Rc<Ty>),
+    /// `λ(t)` — body in extended context.
+    Lam(Rc<Tm>),
+    /// `app(t)` — lives in extended context; `app(t)[id, u]` applies.
+    App(Rc<Tm>),
+    /// Dependent pair.
+    Pair(Rc<Tm>, Rc<Tm>),
+    /// First projection.
+    Fst(Rc<Tm>),
+    /// Second projection.
+    Snd(Rc<Tm>),
+    /// `refl(t)`.
+    Refl(Rc<Tm>),
+    /// `J(C, w, t)` — based path induction with motive `C` (in context
+    /// `Γ, A, Eq(u[p1], var0)`), base case `w`, scrutinee `t`.
+    J(Rc<Ty>, Rc<Tm>, Rc<Tm>),
+    /// `W(τ)` — the code of a W-type.
+    WCode(Rc<WSig>),
+    /// `Wsup_i(τ, t1, x.t2)` — the i-th constructor (0 = most recently
+    /// added), non-inductive argument `t1`, inductive arguments `t2` under
+    /// one binder.
+    WSup(usize, Rc<WSig>, Rc<Tm>, Rc<Tm>),
+    /// `Wrec(τ, R, ℓ, t)` — recursion with motive `R`, case linkage `ℓ`,
+    /// scrutinee `t`.
+    WRec(Rc<WSig>, Rc<Ty>, Rc<Tm>, Rc<Tm>),
+    /// `µ•` — the empty linkage.
+    LNil,
+    /// `µ+(ℓ, x.s, self.t)` — linkage extension: `s` packages the prefix
+    /// tuple into the field's self context (rule l/add's third premise),
+    /// `t` is the field body under `self`.
+    LCons(Rc<Tm>, Rc<Tm>, Rc<Tm>),
+    /// `µπ1(ℓ)`.
+    LPi1(Rc<Tm>),
+    /// `µπ2(ℓ)` — lives in extended (`self`) context.
+    LPi2(Rc<Tm>),
+    /// `P(ℓ)` — packages a linkage into a dependent tuple.
+    Pack(Rc<Tm>),
+    /// `Rπ_i(ℓ)` — projects the i-th case handler (0 = last field).
+    RProj(usize, Rc<Tm>),
+    /// `absurd(T, t)` — ex falso (the eliminator of `⊥`); canonicity
+    /// guarantees it never fires on closed terms.
+    Absurd(Rc<Ty>, Rc<Tm>),
+}
+
+/// Types.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Ty {
+    /// `T[γ]`.
+    Sub(Rc<Ty>, Rc<Sub>),
+    /// `U_j`.
+    U(Level),
+    /// `B`.
+    Bool,
+    /// `⊥`.
+    Bot,
+    /// `⊤`.
+    Top,
+    /// `Π(A, B)`.
+    Pi(Rc<Ty>, Rc<Ty>),
+    /// `Σ(A, B)`.
+    Sigma(Rc<Ty>, Rc<Ty>),
+    /// `Eq(A, t1, t2)` (the figure leaves `A` implicit; we annotate).
+    Eq(Rc<Ty>, Rc<Tm>, Rc<Tm>),
+    /// `S(t)` at annotated type `A` — singleton types.
+    Sing(Rc<Tm>, Rc<Ty>),
+    /// `El(t)` — decoding.
+    El(Rc<Tm>),
+    /// `wπ1^i(τ)` — the i-th constructor's non-inductive argument type.
+    WPi1(usize, Rc<WSig>),
+    /// `L(σ)` — the linkage type.
+    L(Rc<LSig>),
+    /// `P(σ)` — the packaged dependent-tuple type.
+    P(Rc<LSig>),
+    /// `CaseTy(A, B, T)` with `B` under a binder.
+    CaseTy(Rc<Ty>, Rc<Ty>, Rc<Ty>),
+}
+
+/// Explicit substitutions.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Sub {
+    /// `p^0 = id`.
+    Id,
+    /// `p^n` — weakening by `n`.
+    Wk(usize),
+    /// `δ ∘ γ`.
+    Comp(Rc<Sub>, Rc<Sub>),
+    /// `γ, t` — extension.
+    Ext(Rc<Sub>, Rc<Tm>),
+    /// `π1 γ`.
+    Pi1(Rc<Sub>),
+}
+
+/// W-type signatures (lists of constructor specs; last = index 0).
+#[derive(Clone, PartialEq, Debug)]
+pub enum WSig {
+    /// `w•`.
+    Nil,
+    /// `w+(τ, A, B)` — add a constructor with non-inductive arguments `A`
+    /// and inductive arity `B` (under a binder of type `A`).
+    Add(Rc<WSig>, Rc<Ty>, Rc<Ty>),
+    /// `τ[γ]`.
+    Sub(Rc<WSig>, Rc<Sub>),
+    /// `w−(τ)` — drop the newest constructor.
+    Drop(Rc<WSig>),
+}
+
+/// Linkage signatures.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LSig {
+    /// `ν•`.
+    Nil,
+    /// `ν+(σ, A, x.s, self.T)` — extend with a field of type `T` (under
+    /// `self : A`), where `s : A` packages the prefix tuple (under
+    /// `x : P(σ)`).
+    Add(Rc<LSig>, Rc<Ty>, Rc<Tm>, Rc<Ty>),
+    /// `σ[γ]`.
+    Sub(Rc<LSig>, Rc<Sub>),
+    /// `νπ1(σ)`.
+    Pi1(Rc<LSig>),
+    /// `RecSig(τ, R)` — the signature of a case-handler linkage.
+    RecSig(Rc<WSig>, Rc<Ty>),
+}
+
+/// Linkage transformers (Section 6.2; treated as syntactic sugar — see
+/// [`crate::transformer`]).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Transformer {
+    /// `Identity`.
+    Identity,
+    /// `Extend(h, A, x.s, self.t, T)` — append a new field.
+    Extend(Rc<Transformer>, Rc<Ty>, Rc<Tm>, Rc<Tm>, Rc<Ty>),
+    /// `Override(h, A, x.s, self.t, T)` — replace the last field.
+    Override(Rc<Transformer>, Rc<Ty>, Rc<Tm>, Rc<Tm>, Rc<Ty>),
+    /// `Inherit(h, self.↑s, x.s2)` — keep the last field, adapting its
+    /// context through `↑s`; `s2` packages the new prefix.
+    Inherit(Rc<Transformer>, Rc<Tm>, Rc<Tm>),
+    /// `Nest(h, h′, self.↑s, x.s2)` — transform a nested linkage field.
+    Nest(Rc<Transformer>, Rc<Transformer>, Rc<Tm>, Rc<Tm>),
+}
+
+impl Tm {
+    /// `app(f)[id, u]` — ordinary application.
+    pub fn app_to(f: Tm, u: Tm) -> Tm {
+        Tm::Sub(
+            Rc::new(Tm::App(Rc::new(f))),
+            Rc::new(Sub::Ext(Rc::new(Sub::Id), Rc::new(u))),
+        )
+    }
+    /// `t[p^n]` — weakening.
+    pub fn wk(t: Tm, n: usize) -> Tm {
+        Tm::Sub(Rc::new(t), Rc::new(Sub::Wk(n)))
+    }
+    /// Variable shorthand.
+    pub fn var(n: usize) -> Tm {
+        Tm::Var(n)
+    }
+}
+
+impl Ty {
+    /// `T[p^n]`.
+    pub fn wk(t: Ty, n: usize) -> Ty {
+        Ty::Sub(Rc::new(t), Rc::new(Sub::Wk(n)))
+    }
+    /// Non-dependent function type `A → B`.
+    pub fn arrow(a: Ty, b: Ty) -> Ty {
+        Ty::Pi(Rc::new(a), Rc::new(Ty::wk(b, 1)))
+    }
+}
+
+impl fmt::Display for Tm {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tm::Var(n) => write!(fm, "v{n}"),
+            Tm::Sub(t, s) => write!(fm, "{t}[{s}]"),
+            Tm::Code(t) => write!(fm, "c({t})"),
+            Tm::Unit => write!(fm, "()"),
+            Tm::True => write!(fm, "tt"),
+            Tm::False => write!(fm, "ff"),
+            Tm::If(c, a, b, _) => write!(fm, "if({c},{a},{b})"),
+            Tm::Lam(b) => write!(fm, "λ({b})"),
+            Tm::App(t) => write!(fm, "app({t})"),
+            Tm::Pair(a, b) => write!(fm, "({a},{b})"),
+            Tm::Fst(t) => write!(fm, "fst {t}"),
+            Tm::Snd(t) => write!(fm, "snd {t}"),
+            Tm::Refl(t) => write!(fm, "refl({t})"),
+            Tm::J(_, w, t) => write!(fm, "J({w},{t})"),
+            Tm::WCode(_) => write!(fm, "W(τ)"),
+            Tm::WSup(i, _, a, b) => write!(fm, "Wsup{i}({a},{b})"),
+            Tm::WRec(_, _, l, t) => write!(fm, "Wrec({l},{t})"),
+            Tm::LNil => write!(fm, "µ•"),
+            Tm::LCons(l, _, t) => write!(fm, "µ+({l},{t})"),
+            Tm::LPi1(l) => write!(fm, "µπ1({l})"),
+            Tm::LPi2(l) => write!(fm, "µπ2({l})"),
+            Tm::Pack(l) => write!(fm, "P({l})"),
+            Tm::RProj(i, l) => write!(fm, "Rπ{i}({l})"),
+            Tm::Absurd(_, t) => write!(fm, "absurd({t})"),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Sub(t, s) => write!(fm, "{t}[{s}]"),
+            Ty::U(j) => write!(fm, "U{j}"),
+            Ty::Bool => write!(fm, "B"),
+            Ty::Bot => write!(fm, "⊥"),
+            Ty::Top => write!(fm, "⊤"),
+            Ty::Pi(a, b) => write!(fm, "Π({a},{b})"),
+            Ty::Sigma(a, b) => write!(fm, "Σ({a},{b})"),
+            Ty::Eq(_, a, b) => write!(fm, "Eq({a},{b})"),
+            Ty::Sing(t, _) => write!(fm, "S({t})"),
+            Ty::El(t) => write!(fm, "El({t})"),
+            Ty::WPi1(i, _) => write!(fm, "wπ1^{i}(τ)"),
+            Ty::L(_) => write!(fm, "L(σ)"),
+            Ty::P(_) => write!(fm, "P(σ)"),
+            Ty::CaseTy(..) => write!(fm, "CaseTy(…)"),
+        }
+    }
+}
+
+impl fmt::Display for Sub {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sub::Id => write!(fm, "id"),
+            Sub::Wk(n) => write!(fm, "p{n}"),
+            Sub::Comp(a, b) => write!(fm, "{a}∘{b}"),
+            Sub::Ext(s, t) => write!(fm, "({s},{t})"),
+            Sub::Pi1(s) => write!(fm, "π1 {s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_to_builds_sub() {
+        let t = Tm::app_to(Tm::Lam(Rc::new(Tm::Var(0))), Tm::True);
+        assert!(matches!(t, Tm::Sub(..)));
+        assert_eq!(format!("{t}"), "app(λ(v0))[(id,tt)]");
+    }
+
+    #[test]
+    fn display_types() {
+        let t = Ty::arrow(Ty::Bool, Ty::Bool);
+        assert_eq!(format!("{t}"), "Π(B,B[p1])");
+    }
+}

@@ -1,0 +1,268 @@
+//! Linkage transformers as syntactic sugar (Section 6.2).
+//!
+//! The paper observes that the five transformer forms "can be defined as
+//! syntactic sugar via an inductive type (in the metalogic)" with `inh`
+//! "defined as recursive functions (in the metalogic) by induction on this
+//! inductive type". [`inh`] is exactly that metalogic function: it maps a
+//! transformer and a linkage term to the transformed linkage term,
+//! implementing the β-rules (`tmeq/ov/beta` and friends) by construction.
+
+use std::rc::Rc;
+
+use crate::syntax::{Sub, Tm, Transformer};
+
+/// Applies a transformer to a linkage term (the metalogic `inh`).
+///
+/// The output is ordinary linkage syntax, so the kernel re-checks it
+/// against the target signature `σ2` — transformers add no trusted code.
+pub fn inh(h: &Transformer, l: &Tm) -> Tm {
+    match h {
+        Transformer::Identity => l.clone(),
+        Transformer::Extend(h0, _a, s, t, _ty) => Tm::LCons(
+            Rc::new(inh(h0, l)),
+            Rc::new((**s).clone()),
+            Rc::new((**t).clone()),
+        ),
+        Transformer::Override(h0, _a, s, t, _ty) => {
+            let prefix = prefix_of(l);
+            Tm::LCons(
+                Rc::new(inh(h0, &prefix)),
+                Rc::new((**s).clone()),
+                Rc::new((**t).clone()),
+            )
+        }
+        Transformer::Inherit(h0, up_s, s2) => {
+            let prefix = prefix_of(l);
+            // The kept field body: the original field, with its self
+            // context adapted through ↑s: µπ2(ℓ)[(p1, ↑s)].
+            let old_field = field_of(l);
+            let adapted = Tm::Sub(
+                Rc::new(old_field),
+                Rc::new(Sub::Ext(Rc::new(Sub::Wk(1)), up_s.clone())),
+            );
+            Tm::LCons(Rc::new(inh(h0, &prefix)), s2.clone(), Rc::new(adapted))
+        }
+        Transformer::Nest(h0, inner, up_s, s2) => {
+            let prefix = prefix_of(l);
+            let old_field = field_of(l);
+            let adapted = Tm::Sub(
+                Rc::new(old_field),
+                Rc::new(Sub::Ext(Rc::new(Sub::Wk(1)), up_s.clone())),
+            );
+            let transformed = inh(inner, &adapted);
+            Tm::LCons(Rc::new(inh(h0, &prefix)), s2.clone(), Rc::new(transformed))
+        }
+    }
+}
+
+/// `µπ1(ℓ)`, taking the β-shortcut on literal extensions.
+fn prefix_of(l: &Tm) -> Tm {
+    match l {
+        Tm::LCons(prefix, _, _) => (**prefix).clone(),
+        other => Tm::LPi1(Rc::new(other.clone())),
+    }
+}
+
+/// The last field body (under its `self` binder): `µπ2(ℓ)`, taking the
+/// β-shortcut on literal extensions.
+fn field_of(l: &Tm) -> Tm {
+    // µπ2(ℓ) lives under the `self` binder; its linkage operand is
+    // evaluated in the un-extended context, so `l` is used as-is.
+    match l {
+        Tm::LCons(_, _, t) => (**t).clone(),
+        other => Tm::LPi2(Rc::new(other.clone())),
+    }
+}
+
+/// Convenience constructors mirroring the paper's notation.
+pub mod build {
+    use super::*;
+    use crate::syntax::Ty;
+
+    /// `Identity`.
+    pub fn identity() -> Transformer {
+        Transformer::Identity
+    }
+    /// `Extend(h, …)`.
+    pub fn extend(h: Transformer, a: Ty, s: Tm, t: Tm, ty: Ty) -> Transformer {
+        Transformer::Extend(Rc::new(h), Rc::new(a), Rc::new(s), Rc::new(t), Rc::new(ty))
+    }
+    /// `Override(h, …)`.
+    pub fn override_(h: Transformer, a: Ty, s: Tm, t: Tm, ty: Ty) -> Transformer {
+        Transformer::Override(Rc::new(h), Rc::new(a), Rc::new(s), Rc::new(t), Rc::new(ty))
+    }
+    /// `Inherit(h, ↑s, s2)`.
+    pub fn inherit(h: Transformer, up_s: Tm, s2: Tm) -> Transformer {
+        Transformer::Inherit(Rc::new(h), Rc::new(up_s), Rc::new(s2))
+    }
+    /// `Nest(h, h′, ↑s, s2)`.
+    pub fn nest(h: Transformer, inner: Transformer, up_s: Tm, s2: Tm) -> Transformer {
+        Transformer::Nest(Rc::new(h), Rc::new(inner), Rc::new(up_s), Rc::new(s2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{check_linkage, Ctx};
+    use crate::sem::{eval_lsig, Env};
+    use crate::syntax::{LSig, Ty};
+
+    fn field_sig(body_ty: Ty) -> LSig {
+        // One field of the given (closed) type; A = ⊤, s = ().
+        LSig::Add(
+            Rc::new(LSig::Nil),
+            Rc::new(Ty::Top),
+            Rc::new(Tm::Unit),
+            Rc::new(Ty::wk(body_ty, 1)),
+        )
+    }
+
+    fn one_field(body: Tm) -> Tm {
+        Tm::LCons(
+            Rc::new(Tm::LNil),
+            Rc::new(Tm::Unit),
+            Rc::new(Tm::wk(body, 1)),
+        )
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let l = one_field(Tm::True);
+        assert_eq!(inh(&Transformer::Identity, &l), l);
+    }
+
+    #[test]
+    fn override_replaces_last_field() {
+        // ℓ : L(σ) with one Bool field tt; override with ff.
+        let l = one_field(Tm::True);
+        let h = build::override_(
+            build::identity(),
+            Ty::Top,
+            Tm::Unit,
+            Tm::wk(Tm::False, 1),
+            Ty::wk(Ty::Bool, 1),
+        );
+        let l2 = inh(&h, &l);
+        // Checks against the same signature...
+        let sig = field_sig(Ty::Bool);
+        let entries = eval_lsig(&Env::new(), &sig).unwrap();
+        check_linkage(&Ctx::new(), &l2, &entries).unwrap();
+        // ...and its packaged field evaluates to ff.
+        let packed = crate::sem::pack_val(&crate::sem::eval(&Env::new(), &l2).unwrap()).unwrap();
+        let field = crate::sem::vsnd(&packed).unwrap();
+        assert!(matches!(&*field, crate::sem::Val::False));
+    }
+
+    #[test]
+    fn extend_appends_field() {
+        let l = one_field(Tm::True);
+        let h = build::extend(
+            build::identity(),
+            Ty::Top,
+            Tm::Unit,
+            Tm::wk(Tm::Unit, 1),
+            Ty::wk(Ty::Top, 1),
+        );
+        let l2 = inh(&h, &l);
+        let sig = LSig::Add(
+            Rc::new(field_sig(Ty::Bool)),
+            Rc::new(Ty::Top),
+            Rc::new(Tm::Unit),
+            Rc::new(Ty::wk(Ty::Top, 1)),
+        );
+        let entries = eval_lsig(&Env::new(), &sig).unwrap();
+        check_linkage(&Ctx::new(), &l2, &entries).unwrap();
+    }
+
+    #[test]
+    fn inherit_keeps_field_body() {
+        // Inherit through the identity adaptation: field survives.
+        let l = one_field(Tm::True);
+        let h = build::inherit(build::identity(), Tm::Var(0), Tm::Unit);
+        let l2 = inh(&h, &l);
+        let sig = field_sig(Ty::Bool);
+        let entries = eval_lsig(&Env::new(), &sig).unwrap();
+        check_linkage(&Ctx::new(), &l2, &entries).unwrap();
+        let packed = crate::sem::pack_val(&crate::sem::eval(&Env::new(), &l2).unwrap()).unwrap();
+        let field = crate::sem::vsnd(&packed).unwrap();
+        assert!(matches!(&*field, crate::sem::Val::True));
+    }
+}
+
+#[cfg(test)]
+mod nest_tests {
+    use super::*;
+    use crate::check::{check_linkage, Ctx};
+    use crate::sem::{eval, eval_lsig, pack_val, vsnd, Env, Val};
+    use crate::syntax::{LSig, Ty};
+
+    /// The §6.5 grayed rows: a family field that is *itself a linkage*
+    /// (the `subst` case-handler sub-linkage), transformed in place by
+    /// `Nest(h, h_β)`.
+    #[test]
+    fn nest_transforms_an_inner_linkage_field() {
+        // Inner linkage: one Bool field (a "case handler").
+        let inner_sig = LSig::Add(
+            Rc::new(LSig::Nil),
+            Rc::new(Ty::Top),
+            Rc::new(Tm::Unit),
+            Rc::new(Ty::wk(Ty::Bool, 1)),
+        );
+        let inner = Tm::LCons(
+            Rc::new(Tm::LNil),
+            Rc::new(Tm::Unit),
+            Rc::new(Tm::wk(Tm::True, 1)),
+        );
+        // Outer family: a single field of type L(inner_sig).
+        let outer_sig = LSig::Add(
+            Rc::new(LSig::Nil),
+            Rc::new(Ty::Top),
+            Rc::new(Tm::Unit),
+            Rc::new(Ty::wk(Ty::L(Rc::new(inner_sig.clone())), 1)),
+        );
+        let outer = Tm::LCons(
+            Rc::new(Tm::LNil),
+            Rc::new(Tm::Unit),
+            Rc::new(Tm::wk(inner, 1)),
+        );
+        let entries = eval_lsig(&Env::new(), &outer_sig).unwrap();
+        check_linkage(&Ctx::new(), &outer, &entries).unwrap();
+
+        // h_β extends the inner linkage with a second case (a ⊤ field).
+        let h_beta = build::extend(
+            build::identity(),
+            Ty::Top,
+            Tm::Unit,
+            Tm::wk(Tm::Unit, 1),
+            Ty::wk(Ty::Top, 1),
+        );
+        // Nest(Identity, h_β): transform the outer family's last field.
+        let h = build::nest(build::identity(), h_beta, Tm::Var(0), Tm::Unit);
+        let derived = inh(&h, &outer);
+
+        // New outer signature: the field now has the two-case inner type.
+        let inner_sig2 = LSig::Add(
+            Rc::new(inner_sig),
+            Rc::new(Ty::Top),
+            Rc::new(Tm::Unit),
+            Rc::new(Ty::wk(Ty::Top, 1)),
+        );
+        let outer_sig2 = LSig::Add(
+            Rc::new(LSig::Nil),
+            Rc::new(Ty::Top),
+            Rc::new(Tm::Unit),
+            Rc::new(Ty::wk(Ty::L(Rc::new(inner_sig2)), 1)),
+        );
+        let entries2 = eval_lsig(&Env::new(), &outer_sig2).unwrap();
+        check_linkage(&Ctx::new(), &derived, &entries2)
+            .expect("nested transformation checks against the extended signature");
+
+        // And the inherited inner case still evaluates to tt.
+        let packed = pack_val(&eval(&Env::new(), &derived).unwrap()).unwrap();
+        let inner_val = vsnd(&packed).unwrap(); // the (transformed) inner linkage
+        let inner_packed = pack_val(&inner_val).unwrap();
+        let first_case = vsnd(&crate::sem::vfst(&inner_packed).unwrap()).unwrap();
+        assert!(matches!(&*first_case, Val::True));
+    }
+}

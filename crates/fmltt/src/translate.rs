@@ -1,0 +1,305 @@
+//! The linkage-erasing translation (Section 6.3).
+//!
+//! Compiles the linkage fragment of FMLTT into the linkage-free fragment:
+//! a linkage becomes a tuple whose field components are *universally
+//! quantified over their self context* ("introducing explicit universal
+//! quantification to the second component of the tuple; the universal
+//! quantification achieves late binding"):
+//!
+//! * `L(ν•) ↦ ⊤`, `L(ν+(σ, A, s, T)) ↦ JL(σ)K × Π(A, T)`;
+//! * `µ• ↦ ()`, `µ+(ℓ, s, t) ↦ (JℓK, λ self. t)`;
+//! * `µπ1 ↦ fst`, `µπ2 ↦ app ∘ snd`;
+//! * `P` unfolds through the relevant β-rules, using the `s` annotations
+//!   carried by `µ+`.
+//!
+//! The translation is partial in the same way the paper's is concrete:
+//! it covers literal signatures (`ν•`/`ν+` chains) and linkage terms built
+//! from `µ•`/`µ+` — exactly the fragment family encodings produce. The
+//! output is re-checked by the kernel (see the tests), giving the
+//! type-preservation claim in executable form.
+
+use std::rc::Rc;
+
+use crate::sem::{KErr, KResult};
+use crate::syntax::{LSig, Sub, Tm, Ty, WSig};
+
+fn err<T>(m: impl Into<String>) -> KResult<T> {
+    Err(KErr(m.into()))
+}
+
+/// Erases linkage constructs from a term.
+pub fn erase_tm(t: &Tm) -> KResult<Tm> {
+    Ok(match t {
+        Tm::Var(_) | Tm::Unit | Tm::True | Tm::False => t.clone(),
+        Tm::Sub(a, s) => Tm::Sub(Rc::new(erase_tm(a)?), Rc::new(erase_sub(s)?)),
+        Tm::Code(ty) => Tm::Code(Rc::new(erase_ty(ty)?)),
+        Tm::If(c, a, b, ann) => Tm::If(
+            Rc::new(erase_tm(c)?),
+            Rc::new(erase_tm(a)?),
+            Rc::new(erase_tm(b)?),
+            Rc::new(erase_ty(ann)?),
+        ),
+        Tm::Lam(b) => Tm::Lam(Rc::new(erase_tm(b)?)),
+        Tm::App(f) => Tm::App(Rc::new(erase_tm(f)?)),
+        Tm::Pair(a, b) => Tm::Pair(Rc::new(erase_tm(a)?), Rc::new(erase_tm(b)?)),
+        Tm::Fst(a) => Tm::Fst(Rc::new(erase_tm(a)?)),
+        Tm::Snd(a) => Tm::Snd(Rc::new(erase_tm(a)?)),
+        Tm::Refl(a) => Tm::Refl(Rc::new(erase_tm(a)?)),
+        Tm::J(c, w, x) => Tm::J(
+            Rc::new(erase_ty(c)?),
+            Rc::new(erase_tm(w)?),
+            Rc::new(erase_tm(x)?),
+        ),
+        Tm::WCode(tau) => Tm::WCode(Rc::new(erase_wsig(tau)?)),
+        Tm::WSup(i, tau, a, b) => Tm::WSup(
+            *i,
+            Rc::new(erase_wsig(tau)?),
+            Rc::new(erase_tm(a)?),
+            Rc::new(erase_tm(b)?),
+        ),
+        Tm::Absurd(ty, a) => Tm::Absurd(Rc::new(erase_ty(ty)?), Rc::new(erase_tm(a)?)),
+        // ---- the linkage fragment ----------------------------------------
+        Tm::LNil => Tm::Unit,
+        Tm::LCons(l, _s, t) => Tm::Pair(
+            Rc::new(erase_tm(l)?),
+            Rc::new(Tm::Lam(Rc::new(erase_tm(t)?))),
+        ),
+        Tm::LPi1(l) => Tm::Fst(Rc::new(erase_tm(l)?)),
+        // µπ2(ℓ) lives under the self binder: app(snd JℓK).
+        Tm::LPi2(l) => Tm::App(Rc::new(Tm::Snd(Rc::new(erase_tm(l)?)))),
+        Tm::Pack(l) => erase_pack(l)?,
+        Tm::RProj(i, l) => erase_rproj(*i, l)?,
+        Tm::WRec(..) => {
+            return err(
+                "translate: Wrec is outside the translated fragment (its case \
+                 linkage would need the tuple encoding of RecSig); see module docs",
+            )
+        }
+    })
+}
+
+/// `P(ℓ)` for a literal linkage: `(P(ℓ'), t[s[P(ℓ')]])` (rule tmeq/pk/add),
+/// expressible because `µ+` carries its `s` annotation.
+fn erase_pack(l: &Tm) -> KResult<Tm> {
+    match l {
+        Tm::LNil => Ok(Tm::Unit),
+        Tm::LCons(prefix, s, t) => {
+            let p = erase_pack(prefix)?;
+            // self := s[x := P(ℓ')]
+            let s_inst = Tm::Sub(
+                Rc::new(erase_tm(s)?),
+                Rc::new(Sub::Ext(Rc::new(Sub::Id), Rc::new(p.clone()))),
+            );
+            let t_inst = Tm::Sub(
+                Rc::new(erase_tm(t)?),
+                Rc::new(Sub::Ext(Rc::new(Sub::Id), Rc::new(s_inst))),
+            );
+            Ok(Tm::Pair(Rc::new(p), Rc::new(t_inst)))
+        }
+        other => err(format!("translate: P of non-literal linkage {other}")),
+    }
+}
+
+fn erase_rproj(i: usize, l: &Tm) -> KResult<Tm> {
+    match l {
+        Tm::LCons(prefix, s, t) => {
+            if i == 0 {
+                let p = erase_pack(prefix)?;
+                let s_inst = Tm::Sub(
+                    Rc::new(erase_tm(s)?),
+                    Rc::new(Sub::Ext(Rc::new(Sub::Id), Rc::new(p))),
+                );
+                Ok(Tm::Sub(
+                    Rc::new(erase_tm(t)?),
+                    Rc::new(Sub::Ext(Rc::new(Sub::Id), Rc::new(s_inst))),
+                ))
+            } else {
+                erase_rproj(i - 1, prefix)
+            }
+        }
+        other => err(format!("translate: Rπ of non-literal linkage {other}")),
+    }
+}
+
+/// Erases linkage constructs from a type.
+pub fn erase_ty(t: &Ty) -> KResult<Ty> {
+    Ok(match t {
+        Ty::U(_) | Ty::Bool | Ty::Bot | Ty::Top => t.clone(),
+        Ty::Sub(a, s) => Ty::Sub(Rc::new(erase_ty(a)?), Rc::new(erase_sub(s)?)),
+        Ty::Pi(a, b) => Ty::Pi(Rc::new(erase_ty(a)?), Rc::new(erase_ty(b)?)),
+        Ty::Sigma(a, b) => Ty::Sigma(Rc::new(erase_ty(a)?), Rc::new(erase_ty(b)?)),
+        Ty::Eq(a, x, y) => Ty::Eq(
+            Rc::new(erase_ty(a)?),
+            Rc::new(erase_tm(x)?),
+            Rc::new(erase_tm(y)?),
+        ),
+        Ty::Sing(x, a) => Ty::Sing(Rc::new(erase_tm(x)?), Rc::new(erase_ty(a)?)),
+        Ty::El(x) => Ty::El(Rc::new(erase_tm(x)?)),
+        Ty::WPi1(i, tau) => Ty::WPi1(*i, Rc::new(erase_wsig(tau)?)),
+        Ty::CaseTy(a, b, r) => Ty::CaseTy(
+            Rc::new(erase_ty(a)?),
+            Rc::new(erase_ty(b)?),
+            Rc::new(erase_ty(r)?),
+        ),
+        // ---- the linkage fragment ----------------------------------------
+        Ty::L(sig) => erase_l(sig)?,
+        Ty::P(sig) => erase_p(sig)?,
+    })
+}
+
+/// `JL(σ)K` — nested products of self-quantified fields.
+fn erase_l(sig: &LSig) -> KResult<Ty> {
+    match sig {
+        LSig::Nil => Ok(Ty::Top),
+        LSig::Add(prev, a, _s, t) => {
+            let field = Ty::Pi(Rc::new(erase_ty(a)?), Rc::new(erase_ty(t)?));
+            Ok(Ty::Sigma(
+                Rc::new(erase_l(prev)?),
+                Rc::new(Ty::wk(field, 1)),
+            ))
+        }
+        other => err(format!("translate: L of non-literal signature {other:?}")),
+    }
+}
+
+/// `JP(σ)K` — the dependent-tuple type `Σ(P(σ), T[s])` (tyeq/pk/add).
+fn erase_p(sig: &LSig) -> KResult<Ty> {
+    match sig {
+        LSig::Nil => Ok(Ty::Top),
+        LSig::Add(prev, _a, s, t) => {
+            let p = erase_p(prev)?;
+            // Under x : P(σ): T[self := s].
+            let t_inst = Ty::Sub(
+                Rc::new(erase_ty(t)?),
+                Rc::new(Sub::Ext(Rc::new(Sub::Wk(1)), Rc::new(erase_tm(s)?))),
+            );
+            Ok(Ty::Sigma(Rc::new(p), Rc::new(t_inst)))
+        }
+        other => err(format!("translate: P of non-literal signature {other:?}")),
+    }
+}
+
+fn erase_sub(s: &Sub) -> KResult<Sub> {
+    Ok(match s {
+        Sub::Id | Sub::Wk(_) => s.clone(),
+        Sub::Comp(a, b) => Sub::Comp(Rc::new(erase_sub(a)?), Rc::new(erase_sub(b)?)),
+        Sub::Ext(a, t) => Sub::Ext(Rc::new(erase_sub(a)?), Rc::new(erase_tm(t)?)),
+        Sub::Pi1(a) => Sub::Pi1(Rc::new(erase_sub(a)?)),
+    })
+}
+
+fn erase_wsig(t: &WSig) -> KResult<WSig> {
+    Ok(match t {
+        WSig::Nil => WSig::Nil,
+        WSig::Add(a, x, y) => WSig::Add(
+            Rc::new(erase_wsig(a)?),
+            Rc::new(erase_ty(x)?),
+            Rc::new(erase_ty(y)?),
+        ),
+        WSig::Sub(a, s) => WSig::Sub(Rc::new(erase_wsig(a)?), Rc::new(erase_sub(s)?)),
+        WSig::Drop(a) => WSig::Drop(Rc::new(erase_wsig(a)?)),
+    })
+}
+
+/// Does a term still mention any linkage construct? (Used to verify the
+/// translation's image is linkage-free.)
+pub fn is_linkage_free(t: &Tm) -> bool {
+    match t {
+        Tm::LNil | Tm::LCons(..) | Tm::LPi1(_) | Tm::LPi2(_) | Tm::Pack(_) | Tm::RProj(..) => false,
+        Tm::Var(_) | Tm::Unit | Tm::True | Tm::False => true,
+        Tm::Sub(a, _) => is_linkage_free(a),
+        Tm::Code(ty) => ty_linkage_free(ty),
+        Tm::If(c, a, b, ann) => {
+            is_linkage_free(c) && is_linkage_free(a) && is_linkage_free(b) && ty_linkage_free(ann)
+        }
+        Tm::Lam(b) | Tm::App(b) | Tm::Fst(b) | Tm::Snd(b) | Tm::Refl(b) => is_linkage_free(b),
+        Tm::Pair(a, b) => is_linkage_free(a) && is_linkage_free(b),
+        Tm::J(c, w, x) => ty_linkage_free(c) && is_linkage_free(w) && is_linkage_free(x),
+        Tm::WCode(_) => true,
+        Tm::WSup(_, _, a, b) => is_linkage_free(a) && is_linkage_free(b),
+        Tm::WRec(_, _, l, x) => is_linkage_free(l) && is_linkage_free(x),
+        Tm::Absurd(ty, a) => ty_linkage_free(ty) && is_linkage_free(a),
+    }
+}
+
+fn ty_linkage_free(t: &Ty) -> bool {
+    match t {
+        Ty::L(_) | Ty::P(_) => false,
+        Ty::Sub(a, _) => ty_linkage_free(a),
+        Ty::Pi(a, b) | Ty::Sigma(a, b) => ty_linkage_free(a) && ty_linkage_free(b),
+        Ty::Eq(a, x, y) => ty_linkage_free(a) && is_linkage_free(x) && is_linkage_free(y),
+        Ty::Sing(x, a) => is_linkage_free(x) && ty_linkage_free(a),
+        Ty::El(x) => is_linkage_free(x),
+        Ty::CaseTy(a, b, r) => ty_linkage_free(a) && ty_linkage_free(b) && ty_linkage_free(r),
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{check, check_ty, Ctx};
+    use crate::sem::eval_ty;
+
+    fn one_field_sig() -> LSig {
+        LSig::Add(
+            Rc::new(LSig::Nil),
+            Rc::new(Ty::Top),
+            Rc::new(Tm::Unit),
+            Rc::new(Ty::wk(Ty::Bool, 1)),
+        )
+    }
+
+    fn one_field_linkage() -> Tm {
+        Tm::LCons(
+            Rc::new(Tm::LNil),
+            Rc::new(Tm::Unit),
+            Rc::new(Tm::wk(Tm::True, 1)),
+        )
+    }
+
+    #[test]
+    fn erased_linkage_typechecks_linkage_free() {
+        let sig = one_field_sig();
+        let l = one_field_linkage();
+        let lt = erase_ty(&Ty::L(Rc::new(sig))).unwrap();
+        let le = erase_tm(&l).unwrap();
+        assert!(is_linkage_free(&le));
+        assert!(ty_linkage_free(&lt));
+        // The translated term checks at the translated type.
+        let ctx = Ctx::new();
+        check_ty(&ctx, &lt).unwrap();
+        let ltv = eval_ty(&ctx.env, &lt).unwrap();
+        check(&ctx, &le, &ltv).unwrap();
+    }
+
+    #[test]
+    fn erased_pack_computes() {
+        let l = one_field_linkage();
+        let p = erase_tm(&Tm::Pack(Rc::new(l))).unwrap();
+        assert!(is_linkage_free(&p));
+        // P(ℓ) erases to a pair whose second component is tt.
+        let v = crate::sem::eval(&crate::sem::Env::new(), &p).unwrap();
+        let snd = crate::sem::vsnd(&v).unwrap();
+        assert!(matches!(&*snd, crate::sem::Val::True));
+    }
+
+    #[test]
+    fn erased_p_type_checks() {
+        let sig = one_field_sig();
+        let pt = erase_ty(&Ty::P(Rc::new(sig))).unwrap();
+        let ctx = Ctx::new();
+        check_ty(&ctx, &pt).unwrap();
+    }
+
+    #[test]
+    fn wrec_outside_fragment() {
+        let t = Tm::WRec(
+            Rc::new(WSig::Nil),
+            Rc::new(Ty::Bool),
+            Rc::new(Tm::LNil),
+            Rc::new(Tm::True),
+        );
+        assert!(erase_tm(&t).is_err());
+    }
+}

@@ -1,0 +1,803 @@
+//! Elaboration of a merged family: per-field checking under late binding,
+//! proof execution with cross-family reuse, exhaustivity enforcement, and
+//! emission of parameterized modules (paper Section 4).
+//!
+//! The elaborator walks the merged field list front to back, growing a
+//! *view* signature. The view realizes late binding exactly as Section 3.2
+//! prescribes:
+//!
+//! * an `FRecursion` function enters the view as an **abstract** function
+//!   symbol plus one propositional computation equation per case handler —
+//!   it can never be unfolded inside the family;
+//! * an `FInductive` datatype enters as **extensible**, so the kernel
+//!   refuses ordinary recursors/inversion on it (C1), while its partial
+//!   recursor registration licenses `finjection`/`fdiscriminate` (§3.6);
+//! * each field is checked against only the fields *before* it, giving the
+//!   context-preservation property of Section 3.4 (together with the merge
+//!   anchoring in [`crate::merge`]).
+//!
+//! Proofs are cached content-addressed: a case or theorem whose statement,
+//! obligation and script are unchanged is **reused without rechecking** in
+//! derived families, and the [`modsys::CheckLedger`] records the split —
+//! the measurable form of the paper's modular-compilation claim.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use objlang::error::{Error, Result};
+use objlang::ident::Symbol;
+use objlang::induction::{case_sequent, conclude_rule_induction, missing_recursion_cases, Motive};
+use objlang::proof::{ProvedSequent, Sequent};
+use objlang::sig::{Datatype, FactKind, FnDef, IndPred, RecFn, Signature};
+use objlang::syntax::Prop;
+use objlang::tactic::{prove, prove_sequent, Tactic};
+
+use modsys::{CheckLedger, Item, ModEntry, Module, ModuleEnv, ModuleType};
+
+use crate::family::{Field, ProofSpec};
+use crate::merge::{MergedFamily, MergedField};
+
+/// A compiled (closed) family.
+#[derive(Clone, Debug)]
+pub struct CompiledFamily {
+    /// Family name.
+    pub name: Symbol,
+    /// Base family.
+    pub base: Option<Symbol>,
+    /// The merged fields, for delta extraction by mixin users.
+    pub fields: Vec<MergedField>,
+    /// The closed signature (recursive functions concrete; evaluator-ready).
+    pub sig: Signature,
+    /// Theorems proven in (or inherited by) the family: name → statement.
+    pub theorems: HashMap<Symbol, Prop>,
+    /// Outstanding assumptions: `Parameter` fields, `Admitted` proofs and
+    /// abstract functions (the family-level `Print Assumptions`).
+    pub assumptions: Vec<Symbol>,
+    /// Checked-vs-shared accounting for this family's elaboration.
+    pub ledger: CheckLedger,
+}
+
+/// Cross-family proof cache (content-addressed).
+///
+/// Reuse is sound for open-world proofs because the kernel forbids them
+/// from depending on the *closedness* of any extensible type: every step
+/// valid in the base view stays valid in any derived view, which is the
+/// paper's late-binding soundness argument in operational form.
+/// Closed-world (reprove-on-extend) entries key on the content of the
+/// types they inspect, so any further binding forces a re-run.
+#[derive(Clone, Default, Debug)]
+pub struct ProofCache {
+    theorems: HashMap<u64, Vec<TheoremEntry>>,
+    cases: HashMap<u64, Vec<CaseEntry>>,
+}
+
+#[derive(Clone, Debug)]
+struct TheoremEntry {
+    statement: Prop,
+    script: Vec<Tactic>,
+    closed_world_key: Option<Vec<(Symbol, Vec<Symbol>)>>,
+}
+
+#[derive(Clone, Debug)]
+struct CaseEntry {
+    sequent: Sequent,
+    script: Vec<Tactic>,
+    proof: ProvedSequent,
+}
+
+fn hash_of(h: &impl Hash) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    h.hash(&mut hasher);
+    hasher.finish()
+}
+
+fn odef_hash(odef_key: &[(Symbol, objlang::Term)]) -> u64 {
+    hash_of(
+        &odef_key
+            .iter()
+            .map(|(s, t)| (*s, t.clone()))
+            .collect::<Vec<_>>(),
+    )
+}
+
+impl ProofCache {
+    /// A fresh cache.
+    pub fn new() -> ProofCache {
+        ProofCache::default()
+    }
+
+    fn lookup_theorem(
+        &self,
+        statement: &Prop,
+        script: &[Tactic],
+        cw_key: &Option<Vec<(Symbol, Vec<Symbol>)>>,
+        okey: u64,
+    ) -> bool {
+        let h = hash_of(&(statement, script, okey));
+        self.theorems.get(&h).is_some_and(|v| {
+            v.iter().any(|e| {
+                e.statement == *statement && e.script == script && e.closed_world_key == *cw_key
+            })
+        })
+    }
+
+    fn insert_theorem(
+        &mut self,
+        statement: Prop,
+        script: Vec<Tactic>,
+        cw_key: Option<Vec<(Symbol, Vec<Symbol>)>>,
+        okey: u64,
+    ) {
+        let h = hash_of(&(&statement, &script, okey));
+        self.theorems.entry(h).or_default().push(TheoremEntry {
+            statement,
+            script,
+            closed_world_key: cw_key,
+        });
+    }
+
+    fn lookup_case(&self, seq: &Sequent, script: &[Tactic], okey: u64) -> Option<ProvedSequent> {
+        let h = hash_of(&(seq, script, okey));
+        self.cases.get(&h).and_then(|v| {
+            v.iter()
+                .find(|e| e.sequent == *seq && e.script == script)
+                .map(|e| e.proof.clone())
+        })
+    }
+
+    fn insert_case(&mut self, seq: Sequent, script: Vec<Tactic>, proof: ProvedSequent, okey: u64) {
+        let h = hash_of(&(&seq, &script, okey));
+        self.cases.entry(h).or_default().push(CaseEntry {
+            sequent: seq,
+            script,
+            proof,
+        });
+    }
+}
+
+/// Elaborates a merged family into a [`CompiledFamily`], emitting module
+/// structure into `modenv` and reusing proofs from `cache`.
+pub fn elaborate(
+    merged: &MergedFamily,
+    cache: &mut ProofCache,
+    modenv: &mut ModuleEnv,
+) -> Result<CompiledFamily> {
+    let fam = merged.name;
+    let mut view = Signature::new();
+    objlang::prelude::install(&mut view)?;
+    let mut ledger = CheckLedger::new();
+    let mut theorems: HashMap<Symbol, Prop> = HashMap::new();
+    let mut assumptions: Vec<Symbol> = Vec::new();
+    let mut emitter = Emitter::new(fam, modenv);
+
+    // Cache-key component: the bodies of all overridable definitions in
+    // scope. A proof checked under one set of bodies is never reused under
+    // another (see Field::Definition handling below).
+    let odef_key: Vec<(Symbol, objlang::Term)> = merged
+        .fields
+        .iter()
+        .filter_map(|mf| match &mf.content {
+            Field::Definition {
+                alias,
+                overridable: true,
+            } => Some((alias.name, alias.body.clone())),
+            _ => None,
+        })
+        .collect();
+
+    for mf in &merged.fields {
+        check_field(
+            merged,
+            mf,
+            &mut view,
+            cache,
+            &mut ledger,
+            &mut theorems,
+            &mut assumptions,
+            &mut emitter,
+            &odef_key,
+        )
+        .map_err(|e| e.with_context(format!("field {} of family {fam}", mf.name)))?;
+    }
+
+    // Close the family: recursive functions and overridable definitions
+    // become concrete; their definitional equalities are now available
+    // "outside the family" (Section 3.2's STLCFix.subst discussion).
+    let mut closed = view.clone();
+    for mf in &merged.fields {
+        if let Field::Recursion {
+            name,
+            rec_sort,
+            params,
+            ret,
+            cases,
+        } = &mf.content
+        {
+            closed.replace_fn(FnDef::Rec(RecFn {
+                name: *name,
+                rec_sort: *rec_sort,
+                params: params.clone(),
+                ret: *ret,
+                cases: cases.clone(),
+            }))?;
+        }
+    }
+
+    emitter.finish(&merged.fields, &assumptions)?;
+
+    Ok(CompiledFamily {
+        name: fam,
+        base: merged.base,
+        fields: merged.fields.clone(),
+        sig: closed,
+        theorems,
+        assumptions,
+        ledger,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_field(
+    merged: &MergedFamily,
+    mf: &MergedField,
+    view: &mut Signature,
+    cache: &mut ProofCache,
+    ledger: &mut CheckLedger,
+    theorems: &mut HashMap<Symbol, Prop>,
+    assumptions: &mut Vec<Symbol>,
+    emitter: &mut Emitter<'_>,
+    odef_key: &[(Symbol, objlang::Term)],
+) -> Result<()> {
+    let fam = merged.name;
+    let unit = format!("{}◦{}", if mf.changed { fam } else { mf.origin }, mf.name);
+    match &mf.content {
+        Field::Inductive { name, ctors } => {
+            view.add_datatype(Datatype {
+                name: *name,
+                ctors: ctors.clone(),
+                extensible: true,
+            })?;
+            // Partial recursor for this family's snapshot (§3.6).
+            view.add_partial_recursor(*name, fam)?;
+            if mf.changed {
+                ledger.record_checked(&unit);
+            } else {
+                ledger.record_shared(&unit);
+            }
+            emitter.inductive(mf, ctors.len())?;
+        }
+        Field::Data { name, ctors } => {
+            view.add_datatype(Datatype {
+                name: *name,
+                ctors: ctors.clone(),
+                extensible: false,
+            })?;
+            record(ledger, mf, &unit);
+            emitter.plain_module(mf, &[Item::inductive(name.as_str(), "non-extensible data")])?;
+        }
+        Field::Predicate {
+            name,
+            arg_sorts,
+            rules,
+            hint,
+        } => {
+            let p = IndPred {
+                name: *name,
+                arg_sorts: arg_sorts.clone(),
+                rules: rules.clone(),
+                extensible: true,
+            };
+            view.check_pred(&p)?;
+            view.add_pred(p)?;
+            if *hint {
+                view.add_hint_pred(name.as_str());
+            }
+            record(ledger, mf, &unit);
+            emitter.inductive(mf, rules.len())?;
+        }
+        Field::Recursion {
+            name,
+            rec_sort,
+            params,
+            ret,
+            cases,
+        } => {
+            let f = RecFn {
+                name: *name,
+                rec_sort: *rec_sort,
+                params: params.clone(),
+                ret: *ret,
+                cases: cases.clone(),
+            };
+            view.check_recfn(&f)?;
+            // Exhaustivity over the constructors known at this point (C1):
+            let missing = missing_recursion_cases(view, &f);
+            if !missing.is_empty() {
+                return Err(Error::new(format!(
+                    "FRecursion {name} on {rec_sort} is not exhaustive: the \
+                     datatype was further bound but cases are missing for \
+                     {missing:?}; further bind the recursion (paper C1)"
+                )));
+            }
+            // Late binding: the function is visible only abstractly, with
+            // propositional computation equations (§3.2).
+            view.add_fn(FnDef::Abstract {
+                name: *name,
+                params: f.param_sorts(),
+                ret: *ret,
+            })?;
+            let dt = view.datatype(*rec_sort).expect("checked above").clone();
+            for case in cases {
+                let ctor = dt
+                    .ctors
+                    .iter()
+                    .find(|c| c.name == case.ctor)
+                    .expect("exhaustivity checked");
+                view.add_fact(
+                    Symbol::new(&format!("{name}_{}_eq", case.ctor)),
+                    f.case_equation(case, ctor),
+                    FactKind::CompEq,
+                )?;
+            }
+            record(ledger, mf, &unit);
+            emitter.recursion(mf, cases.len())?;
+        }
+        Field::Definition { alias, overridable } => {
+            // Check the body.
+            let vars: HashMap<Symbol, objlang::Sort> = alias.params.iter().cloned().collect();
+            view.check_term(&vars, &alias.body, alias.ret)?;
+            // Overridable definitions are unfoldable too (§3.3); safety
+            // comes from the proof cache keying on every overridable
+            // definition's current body, so code that unfolded a field is
+            // re-checked — and must be overridden if it no longer proves —
+            // whenever the field is overridden.
+            let eq_suffix = if *overridable { "_delta" } else { "_eq" };
+            view.add_fact(
+                Symbol::new(&format!("{}{eq_suffix}", alias.name)),
+                alias.delta_equation(),
+                FactKind::DeltaEq,
+            )?;
+            view.add_fn(FnDef::Alias(alias.clone()))?;
+            record(ledger, mf, &unit);
+            emitter.plain_module(mf, &[Item::definition(mf.name.as_str(), "transparent def")])?;
+        }
+        Field::PropDefinition { def } => {
+            let vars: HashMap<Symbol, objlang::Sort> = def.params.iter().cloned().collect();
+            view.check_prop(&vars, &def.body)?;
+            view.add_propdef(def.clone())?;
+            record(ledger, mf, &unit);
+            emitter.plain_module(mf, &[Item::definition(mf.name.as_str(), "prop def")])?;
+        }
+        Field::AbstractFn { name, params, ret } => {
+            view.add_fn(FnDef::Abstract {
+                name: *name,
+                params: params.clone(),
+                ret: *ret,
+            })?;
+            assumptions.push(*name);
+            record(ledger, mf, &unit);
+            emitter.axiom_module(mf, "abstract function parameter")?;
+        }
+        Field::Parameter {
+            name,
+            statement,
+            hint,
+        } => {
+            view.check_prop(&HashMap::new(), statement)?;
+            view.add_fact(*name, statement.clone(), FactKind::Axiom)?;
+            if *hint {
+                view.add_hint(name.as_str());
+            }
+            assumptions.push(*name);
+            theorems.insert(*name, statement.clone());
+            record(ledger, mf, &unit);
+            emitter.axiom_module(mf, "parameter (axiom until overridden)")?;
+        }
+        Field::Theorem {
+            name,
+            statement,
+            proof,
+            hint,
+        } => {
+            view.check_prop(&HashMap::new(), statement)?;
+            match proof {
+                ProofSpec::Script(script) => {
+                    let okey = odef_hash(odef_key);
+                    if cache.lookup_theorem(statement, script, &None, okey) {
+                        ledger.record_shared(&unit);
+                    } else {
+                        prove(view, statement.clone(), script)
+                            .map_err(|e| e.with_context(format!("proof of {name}")))?;
+                        cache.insert_theorem(statement.clone(), script.clone(), None, okey);
+                        ledger.record_checked(&unit);
+                    }
+                }
+                ProofSpec::ReproveOnExtend { script, depends_on } => {
+                    // Key on the *content* of the inspected types: any
+                    // further binding changes the key and forces a re-run.
+                    let cw_key: Vec<(Symbol, Vec<Symbol>)> = depends_on
+                        .iter()
+                        .map(|d| {
+                            let members = view
+                                .datatype(*d)
+                                .map(|dt| dt.ctors.iter().map(|c| c.name).collect())
+                                .or_else(|| {
+                                    view.pred(*d)
+                                        .map(|p| p.rules.iter().map(|r| r.name).collect())
+                                })
+                                .unwrap_or_default();
+                            (*d, members)
+                        })
+                        .collect();
+                    let cw_key = Some(cw_key);
+                    let okey = odef_hash(odef_key);
+                    if cache.lookup_theorem(statement, script, &cw_key, okey) {
+                        ledger.record_shared(&unit);
+                    } else {
+                        let mut st = objlang::ProofState::new(view, statement.clone())?;
+                        st.closed_world = true;
+                        objlang::tactic::run_script(&mut st, script)
+                            .map_err(|e| e.with_context(format!("re-provable proof of {name}")))?;
+                        st.qed()?;
+                        cache.insert_theorem(statement.clone(), script.clone(), cw_key, okey);
+                        ledger.record_checked(&unit);
+                    }
+                }
+                ProofSpec::Admitted => {
+                    assumptions.push(*name);
+                    ledger.record_checked(&unit);
+                }
+            }
+            let kind = if matches!(proof, ProofSpec::Admitted) {
+                FactKind::Axiom
+            } else {
+                FactKind::Lemma
+            };
+            view.add_fact(*name, statement.clone(), kind)?;
+            if *hint {
+                view.add_hint(name.as_str());
+            }
+            theorems.insert(*name, statement.clone());
+            emitter.theorem(mf, matches!(proof, ProofSpec::Admitted))?;
+        }
+        Field::Induction {
+            name,
+            pred,
+            motive,
+            cases,
+            hint,
+        } => {
+            let p = view
+                .pred(*pred)
+                .ok_or_else(|| Error::new(format!("FInduction {name}: unknown predicate {pred}")))?
+                .clone();
+            let motive = Motive::for_pred(&p, motive.params.clone(), motive.body.clone())?;
+            {
+                let vars: HashMap<Symbol, objlang::Sort> = motive.params.iter().cloned().collect();
+                view.check_prop(&vars, &motive.body)?;
+            }
+            let mut proved: HashMap<Symbol, ProvedSequent> = HashMap::new();
+            let mut shared_cases = 0usize;
+            let mut checked_cases = 0usize;
+            for rule in &p.rules {
+                let (_, script) = cases.iter().find(|(r, _)| r == &rule.name).ok_or_else(|| {
+                    Error::new(format!(
+                        "FInduction {name} on {pred} is not exhaustive: \
+                             missing Case {} — the predicate was further bound, \
+                             so the induction must be further bound too (paper C1)",
+                        rule.name
+                    ))
+                })?;
+                let seq = case_sequent(view, &p, rule, &motive)?;
+                let case_unit = format!("{unit}◦{}", rule.name);
+                let okey = odef_hash(odef_key);
+                if let Some(pf) = cache.lookup_case(&seq, script, okey) {
+                    proved.insert(rule.name, pf);
+                    ledger.record_shared(&case_unit);
+                    shared_cases += 1;
+                } else {
+                    let pf = prove_sequent(view, seq.clone(), false, script)
+                        .map_err(|e| e.with_context(format!("Case {} of {name}", rule.name)))?;
+                    cache.insert_case(seq, script.clone(), pf.clone(), okey);
+                    proved.insert(rule.name, pf);
+                    ledger.record_checked(&case_unit);
+                    checked_cases += 1;
+                }
+            }
+            for (r, _) in cases {
+                if !p.rules.iter().any(|rule| rule.name == *r) {
+                    return Err(Error::new(format!(
+                        "FInduction {name}: case {r} does not correspond to a rule of {pred}"
+                    )));
+                }
+            }
+            let thm = conclude_rule_induction(view, *pred, &motive, &proved)?;
+            view.add_fact(*name, thm.prop().clone(), FactKind::Lemma)?;
+            if *hint {
+                view.add_hint(name.as_str());
+            }
+            theorems.insert(*name, thm.prop().clone());
+            emitter.induction(mf, shared_cases, checked_cases)?;
+        }
+        Field::DataInduction {
+            name,
+            datatype,
+            motive,
+            cases,
+            hint,
+        } => {
+            use objlang::induction::{conclude_data_induction, data_case_sequent};
+            let dt = view
+                .datatype(*datatype)
+                .ok_or_else(|| {
+                    Error::new(format!("FInduction {name}: unknown datatype {datatype}"))
+                })?
+                .clone();
+            {
+                let mut vars = HashMap::new();
+                vars.insert(motive.param, motive.sort);
+                view.check_prop(&vars, &motive.body)?;
+            }
+            let mut proved: HashMap<Symbol, ProvedSequent> = HashMap::new();
+            for ctor in &dt.ctors {
+                let (_, script) = cases.iter().find(|(r, _)| r == &ctor.name).ok_or_else(|| {
+                    Error::new(format!(
+                        "FInduction {name} on {datatype} is not exhaustive: \
+                         missing Case {} — the datatype was further bound, so \
+                         the induction must be further bound too (paper C1)",
+                        ctor.name
+                    ))
+                })?;
+                let seq = data_case_sequent(view, *datatype, ctor.name, motive)?;
+                let case_unit = format!("{unit}◦{}", ctor.name);
+                let okey = odef_hash(odef_key);
+                if let Some(pf) = cache.lookup_case(&seq, script, okey) {
+                    proved.insert(ctor.name, pf);
+                    ledger.record_shared(&case_unit);
+                } else {
+                    let pf = prove_sequent(view, seq.clone(), false, script)
+                        .map_err(|e| e.with_context(format!("Case {} of {name}", ctor.name)))?;
+                    cache.insert_case(seq, script.clone(), pf.clone(), okey);
+                    proved.insert(ctor.name, pf);
+                    ledger.record_checked(&case_unit);
+                }
+            }
+            for (r, _) in cases {
+                if !dt.ctors.iter().any(|c| c.name == *r) {
+                    return Err(Error::new(format!(
+                        "FInduction {name}: case {r} is not a constructor of {datatype}"
+                    )));
+                }
+            }
+            let thm = conclude_data_induction(view, *datatype, motive, &proved)?;
+            view.add_fact(*name, thm.prop().clone(), FactKind::Lemma)?;
+            if *hint {
+                view.add_hint(name.as_str());
+            }
+            theorems.insert(*name, thm.prop().clone());
+            emitter.induction(mf, 0, cases.len())?;
+        }
+        // Extension markers never survive the merge.
+        Field::InductiveExt { .. }
+        | Field::PredicateExt { .. }
+        | Field::RecursionExt { .. }
+        | Field::InductionExt { .. }
+        | Field::DataInductionExt { .. }
+        | Field::OverrideTheorem { .. }
+        | Field::OverrideDefinition { .. } => {
+            return Err(Error::new(format!(
+                "internal error: unresolved extension field {} after merge",
+                mf.name
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn record(ledger: &mut CheckLedger, mf: &MergedField, unit: &str) {
+    if mf.changed {
+        ledger.record_checked(unit);
+    } else {
+        ledger.record_shared(unit);
+    }
+}
+
+/// Emits the Figures 4–5 module structure for a family, field by field.
+struct Emitter<'e> {
+    fam: Symbol,
+    env: &'e mut ModuleEnv,
+    prev_ctx: Option<String>,
+    prev_mod: Option<String>,
+    includes_for_aggregate: Vec<String>,
+}
+
+impl<'e> Emitter<'e> {
+    fn new(fam: Symbol, env: &'e mut ModuleEnv) -> Emitter<'e> {
+        Emitter {
+            fam,
+            env,
+            prev_ctx: None,
+            prev_mod: None,
+            includes_for_aggregate: Vec::new(),
+        }
+    }
+
+    fn owner(&self, mf: &MergedField) -> Symbol {
+        if mf.changed {
+            self.fam
+        } else {
+            mf.origin
+        }
+    }
+
+    fn ctx_name(&self, mf: &MergedField) -> String {
+        format!("{}◦{}◦Ctx", self.owner(mf), mf.name)
+    }
+
+    fn mod_name(&self, mf: &MergedField) -> String {
+        format!("{}◦{}", self.owner(mf), mf.name)
+    }
+
+    /// Emits the `Ctx` module type chaining the previous field, then the
+    /// field's own module (type) with `items`; `include_prior` optionally
+    /// includes a prior family's version of the same field (Figure 5's
+    /// `Include STLC◦tm(self)`).
+    fn field_module(
+        &mut self,
+        mf: &MergedField,
+        items: Vec<Item>,
+        as_module_type: bool,
+    ) -> Result<()> {
+        let ctx = self.ctx_name(mf);
+        let name = self.mod_name(mf);
+        if !mf.changed {
+            // Inherited unchanged: reuse the origin family's compiled
+            // modules without rechecking.
+            self.env.record_shared(&name);
+            self.prev_ctx = Some(ctx);
+            self.prev_mod = Some(name.clone());
+            self.includes_for_aggregate.push(name);
+            return Ok(());
+        }
+        let mut ctx_entries = Vec::new();
+        if let Some(p) = &self.prev_ctx {
+            ctx_entries.push(ModEntry::Include(p.clone()));
+        }
+        if let Some(p) = &self.prev_mod {
+            ctx_entries.push(ModEntry::Include(p.clone()));
+        }
+        self.env
+            .add_module_type(ModuleType {
+                name: ctx.clone(),
+                self_ctx: None,
+                entries: ctx_entries,
+            })
+            .map_err(|e| Error::new(e.to_string()))?;
+        let mut entries = Vec::new();
+        if let Some(prev_fam) = mf.inherited_from {
+            let prior = format!("{prev_fam}◦{}", mf.name);
+            if self.env.module_type(&prior).is_some() || self.env.module(&prior).is_some() {
+                entries.push(ModEntry::Include(prior.clone()));
+                self.env.record_shared(&prior);
+            }
+        }
+        entries.extend(items.into_iter().map(ModEntry::Declare));
+        if as_module_type {
+            self.env
+                .add_module_type(ModuleType {
+                    name: name.clone(),
+                    self_ctx: Some(ctx.clone()),
+                    entries,
+                })
+                .map_err(|e| Error::new(e.to_string()))?;
+        } else {
+            self.env
+                .add_module(Module {
+                    name: name.clone(),
+                    self_ctx: Some(ctx.clone()),
+                    entries,
+                })
+                .map_err(|e| Error::new(e.to_string()))?;
+        }
+        self.prev_ctx = Some(ctx);
+        self.prev_mod = Some(name.clone());
+        self.includes_for_aggregate.push(name);
+        Ok(())
+    }
+
+    fn inductive(&mut self, mf: &MergedField, n_members: usize) -> Result<()> {
+        let items = vec![
+            Item::axiom(mf.name.as_str(), "Set (late bound)"),
+            Item::axiom(
+                &format!("{}_prect_{}", mf.name, self.fam),
+                &format!("partial recursor over {n_members} constructors"),
+            ),
+        ];
+        self.field_module(mf, items, true)
+    }
+
+    fn recursion(&mut self, mf: &MergedField, n_cases: usize) -> Result<()> {
+        let items = vec![
+            Item::axiom(
+                mf.name.as_str(),
+                &format!("late-bound recursion ({n_cases} cases)"),
+            ),
+            Item::axiom(&format!("{}_eqs", mf.name), "computation equations"),
+        ];
+        self.field_module(mf, items, true)
+    }
+
+    fn induction(&mut self, mf: &MergedField, shared: usize, checked: usize) -> Result<()> {
+        let items = vec![Item::axiom(
+            mf.name.as_str(),
+            &format!("late-bound induction ({shared} cases reused, {checked} checked)"),
+        )];
+        self.field_module(mf, items, true)
+    }
+
+    fn theorem(&mut self, mf: &MergedField, admitted: bool) -> Result<()> {
+        if admitted {
+            self.axiom_module(mf, "Admitted")
+        } else {
+            self.field_module(mf, vec![Item::opaque(mf.name.as_str(), "Qed")], false)
+        }
+    }
+
+    fn plain_module(&mut self, mf: &MergedField, items: &[Item]) -> Result<()> {
+        self.field_module(mf, items.to_vec(), false)
+    }
+
+    fn axiom_module(&mut self, mf: &MergedField, descr: &str) -> Result<()> {
+        self.field_module(mf, vec![Item::axiom(mf.name.as_str(), descr)], true)
+    }
+
+    /// Emits the aggregate module (`Module STLC. … End STLC.`), discharging
+    /// every axiom except those of `Parameter`/`Admitted` fields; then runs
+    /// the `Print Assumptions` audit.
+    fn finish(self, fields: &[MergedField], assumptions: &[Symbol]) -> Result<()> {
+        let agg_name = self.fam.as_str().to_string();
+        let mut entries = Vec::new();
+        let mut discharge: Vec<Item> = Vec::new();
+        for inc in &self.includes_for_aggregate {
+            entries.push(ModEntry::Include(inc.clone()));
+        }
+        for mf in fields {
+            let keep_axiom = assumptions.contains(&mf.name);
+            if keep_axiom {
+                continue;
+            }
+            // Discharge the names this field declared as axioms.
+            let modname = self.mod_name(mf);
+            if let Ok(items) = self.env.flatten(&modname) {
+                for it in items {
+                    if it.kind == modsys::ItemKind::Axiom {
+                        discharge.push(Item::definition(&it.name, "instantiated at End"));
+                    }
+                }
+            }
+        }
+        entries.extend(discharge.into_iter().map(ModEntry::Declare));
+        self.env
+            .add_module(Module {
+                name: agg_name.clone(),
+                self_ctx: None,
+                entries,
+            })
+            .map_err(|e| Error::new(e.to_string()))?;
+        let lingering = self
+            .env
+            .print_assumptions(&agg_name)
+            .map_err(|e| Error::new(e.to_string()))?;
+        for l in &lingering {
+            let base = l.split('_').next().unwrap_or(l);
+            let _ = base;
+            if !assumptions.iter().any(|a| l.starts_with(a.as_str())) {
+                return Err(Error::new(format!(
+                    "assumption audit for {agg_name}: unexpected lingering axiom {l}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,850 @@
+//! A vernacular parser for a Figure 2-flavored surface syntax.
+//!
+//! The plugin's user writes families as text; this module gives the Rust
+//! reproduction the same front end for the constructs that read best in
+//! vernacular form. Supported commands: `Family … [extends … [using …]]`,
+//! `FInductive` (`:=` / `+=`), `FData`, `FRecursion` (`:=` / `+=`) with
+//! `Case` handlers, `FDefinition`, `FTheorem`/`FLemma` with a linear
+//! tactic script (`Qed`/`Admitted`), and `Check`. Propositions cover
+//! `forall`, `->`, `=`, `True`/`False`; tactics cover `intro[s]`,
+//! `fsimpl`, `reflexivity`, `exact`, `apply`, `rewrite`, `fdiscriminate`,
+//! `finjection`, `trivial`, `assumption`, `auto`. Predicates and
+//! `FInduction` proofs use the richer builder API ([`crate::family`]).
+
+use objlang::error::{Error, Result};
+use objlang::ident::Symbol;
+use objlang::sig::{AliasFn, CtorSig, RecCase};
+use objlang::syntax::{Prop, Sort, Term};
+use objlang::Tactic;
+
+use crate::family::{FamilyDef, Field};
+
+/// A parsed program: family definitions plus `Check` commands.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Families in source order.
+    pub families: Vec<FamilyDef>,
+    /// `Check family.field` commands.
+    pub checks: Vec<(String, String)>,
+}
+
+impl Program {
+    /// Defines every family into a fresh universe and runs the `Check`
+    /// commands, returning their printed output.
+    pub fn run(&self) -> Result<(crate::universe::FamilyUniverse, Vec<String>)> {
+        let mut u = crate::universe::FamilyUniverse::new();
+        for f in &self.families {
+            u.define(f.clone())?;
+        }
+        let mut out = Vec::new();
+        for (fam, field) in &self.checks {
+            out.push(u.check(fam, field)?);
+        }
+        Ok((u, out))
+    }
+}
+
+/// Parses a vernacular program (without name resolution; see
+/// [`run_program`] for the full pipeline).
+pub fn parse_program(src: &str) -> Result<Program> {
+    Parser::new(src)?.program()
+}
+
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Ident(String),
+    Lit(String),
+    Sym(&'static str),
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' if {
+                let mut look = chars.clone();
+                look.next();
+                look.peek() == Some(&'*')
+            } =>
+            {
+                // Coq-style comment (* … *), nestable.
+                chars.next();
+                chars.next();
+                let mut depth = 1;
+                while depth > 0 {
+                    match chars.next() {
+                        Some('*') if chars.peek() == Some(&')') => {
+                            chars.next();
+                            depth -= 1;
+                        }
+                        Some('(') if chars.peek() == Some(&'*') => {
+                            chars.next();
+                            depth += 1;
+                        }
+                        Some(_) => {}
+                        None => return Err(Error::new("unterminated comment")),
+                    }
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        break;
+                    }
+                    s.push(c);
+                }
+                toks.push(Tok::Lit(s));
+            }
+            ':' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    toks.push(Tok::Sym(":="));
+                } else {
+                    toks.push(Tok::Sym(":"));
+                }
+            }
+            '+' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    toks.push(Tok::Sym("+="));
+                } else {
+                    return Err(Error::new("stray '+'"));
+                }
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    toks.push(Tok::Sym("->"));
+                } else {
+                    return Err(Error::new("stray '-'"));
+                }
+            }
+            '(' => {
+                chars.next();
+                toks.push(Tok::Sym("("));
+            }
+            ')' => {
+                chars.next();
+                toks.push(Tok::Sym(")"));
+            }
+            ',' => {
+                chars.next();
+                toks.push(Tok::Sym(","));
+            }
+            '.' => {
+                chars.next();
+                toks.push(Tok::Sym("."));
+            }
+            '|' => {
+                chars.next();
+                toks.push(Tok::Sym("|"));
+            }
+            '=' => {
+                chars.next();
+                toks.push(Tok::Sym("="));
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '\'' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '\'' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(s));
+            }
+            other => return Err(Error::new(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser> {
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::new("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<()> {
+        match self.next()? {
+            Tok::Sym(got) if got == s => Ok(()),
+            other => Err(Error::new(format!("expected {s:?}, got {other:?}"))),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        match self.next()? {
+            Tok::Ident(got) if got == kw => Ok(()),
+            other => Err(Error::new(format!("expected keyword {kw}, got {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(Error::new(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn at_sym(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Sym(got)) if *got == s)
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if self.at_sym(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- grammar ---------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program> {
+        let mut p = Program::default();
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::Ident(k) if k == "Family" => p.families.push(self.family()?),
+                Tok::Ident(k) if k == "Check" => {
+                    self.expect_kw("Check")?;
+                    let fam = self.ident()?;
+                    self.expect_sym(".")?;
+                    let field = self.ident()?;
+                    self.expect_sym(".")?;
+                    p.checks.push((fam, field));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected Family or Check, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    fn family(&mut self) -> Result<FamilyDef> {
+        self.expect_kw("Family")?;
+        let name = self.ident()?;
+        let mut def = if self.at_kw("extends") {
+            self.expect_kw("extends")?;
+            let base = self.ident()?;
+            if self.at_kw("using") {
+                self.expect_kw("using")?;
+                let mut mixins = vec![self.ident()?];
+                while self.eat_sym(",") {
+                    mixins.push(self.ident()?);
+                }
+                let refs: Vec<&str> = mixins.iter().map(String::as_str).collect();
+                FamilyDef::extending_with(&name, &base, &refs)
+            } else {
+                FamilyDef::extending(&name, &base)
+            }
+        } else {
+            FamilyDef::new(&name)
+        };
+        self.expect_sym(".")?;
+        loop {
+            if self.at_kw("End") {
+                self.expect_kw("End")?;
+                let end = self.ident()?;
+                if end != name {
+                    return Err(Error::new(format!(
+                        "End {end} does not close Family {name}"
+                    )));
+                }
+                self.expect_sym(".")?;
+                return Ok(def);
+            }
+            def = self.field(def)?;
+        }
+    }
+
+    fn field(&mut self, def: FamilyDef) -> Result<FamilyDef> {
+        match self.peek() {
+            Some(Tok::Ident(k)) if k == "FInductive" => self.finductive(def, true),
+            Some(Tok::Ident(k)) if k == "FData" => self.finductive(def, false),
+            Some(Tok::Ident(k)) if k == "FRecursion" => self.frecursion(def),
+            Some(Tok::Ident(k)) if k == "FDefinition" => self.fdefinition(def),
+            Some(Tok::Ident(k)) if k == "FTheorem" || k == "FLemma" => self.ftheorem(def),
+            other => Err(Error::new(format!(
+                "unexpected token in family body: {other:?}"
+            ))),
+        }
+    }
+
+    fn finductive(&mut self, def: FamilyDef, extensible: bool) -> Result<FamilyDef> {
+        self.next()?; // keyword
+        let name = self.ident()?;
+        let extend = if self.eat_sym(":=") {
+            false
+        } else if self.eat_sym("+=") {
+            true
+        } else {
+            return Err(Error::new("FInductive expects := or +="));
+        };
+        let mut ctors = vec![self.ctor()?];
+        while self.eat_sym("|") {
+            ctors.push(self.ctor()?);
+        }
+        self.expect_sym(".")?;
+        Ok(if extend {
+            def.extend_inductive(&name, ctors)
+        } else if extensible {
+            def.inductive(&name, ctors)
+        } else {
+            def.data(&name, ctors)
+        })
+    }
+
+    fn ctor(&mut self) -> Result<CtorSig> {
+        let name = self.ident()?;
+        let mut args = Vec::new();
+        if self.eat_sym("(") {
+            loop {
+                args.push(self.sort()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        Ok(CtorSig {
+            name: Symbol::new(&name),
+            args,
+        })
+    }
+
+    fn sort(&mut self) -> Result<Sort> {
+        let s = self.ident()?;
+        Ok(if s == "id" {
+            Sort::Id
+        } else {
+            Sort::Named(Symbol::new(&s))
+        })
+    }
+
+    fn frecursion(&mut self, def: FamilyDef) -> Result<FamilyDef> {
+        self.expect_kw("FRecursion")?;
+        let name = self.ident()?;
+        self.expect_kw("on")?;
+        let rec_sort = self.ident()?;
+        let mut params = Vec::new();
+        if self.at_kw("params") {
+            self.expect_kw("params")?;
+            while self.at_sym("(") {
+                self.expect_sym("(")?;
+                let p = self.ident()?;
+                self.expect_sym(":")?;
+                let s = self.sort()?;
+                self.expect_sym(")")?;
+                params.push((Symbol::new(&p), s));
+            }
+        }
+        let extend = if self.at_kw("returns") {
+            self.expect_kw("returns")?;
+            false
+        } else if self.eat_sym("+=") {
+            true
+        } else {
+            return Err(Error::new("FRecursion expects `returns <sort> :=` or `+=`"));
+        };
+        let ret = if extend {
+            Sort::Named(Symbol::new("_"))
+        } else {
+            let r = self.sort()?;
+            self.expect_sym(":=")?;
+            r
+        };
+        let mut cases = Vec::new();
+        while self.at_kw("Case") {
+            cases.push(self.case()?);
+        }
+        self.expect_kw("End")?;
+        let end = self.ident()?;
+        if end != name {
+            return Err(Error::new(format!(
+                "End {end} does not close FRecursion {name}"
+            )));
+        }
+        self.expect_sym(".")?;
+        Ok(if extend {
+            def.extend_recursion(&name, cases)
+        } else {
+            def.recursion(&name, &rec_sort, params, ret, cases)
+        })
+    }
+
+    fn case(&mut self) -> Result<RecCase> {
+        self.expect_kw("Case")?;
+        let ctor = self.ident()?;
+        let mut vars = Vec::new();
+        if self.eat_sym("(") {
+            loop {
+                vars.push(Symbol::new(&self.ident()?));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        self.expect_sym(":=")?;
+        let body = self.term()?;
+        self.expect_sym(".")?;
+        Ok(RecCase {
+            ctor: Symbol::new(&ctor),
+            arg_vars: vars,
+            body,
+        })
+    }
+
+    fn fdefinition(&mut self, def: FamilyDef) -> Result<FamilyDef> {
+        self.expect_kw("FDefinition")?;
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        while self.at_sym("(") {
+            self.expect_sym("(")?;
+            let p = self.ident()?;
+            self.expect_sym(":")?;
+            let s = self.sort()?;
+            self.expect_sym(")")?;
+            params.push((Symbol::new(&p), s));
+        }
+        self.expect_sym(":")?;
+        let ret = self.sort()?;
+        self.expect_sym(":=")?;
+        let body = self.term()?;
+        self.expect_sym(".")?;
+        Ok(def.definition(AliasFn {
+            name: Symbol::new(&name),
+            params,
+            ret,
+            body,
+        }))
+    }
+
+    fn ftheorem(&mut self, def: FamilyDef) -> Result<FamilyDef> {
+        self.next()?; // FTheorem / FLemma
+        let name = self.ident()?;
+        self.expect_sym(":")?;
+        let statement = self.prop()?;
+        self.expect_sym(".")?;
+        self.expect_kw("Proof")?;
+        self.expect_sym(".")?;
+        let mut script = Vec::new();
+        loop {
+            if self.at_kw("Qed") {
+                self.expect_kw("Qed")?;
+                self.expect_sym(".")?;
+                return Ok(def.theorem(&name, statement, script));
+            }
+            if self.at_kw("Admitted") {
+                self.expect_kw("Admitted")?;
+                self.expect_sym(".")?;
+                return Ok(def.admitted(&name, statement));
+            }
+            script.push(self.tactic()?);
+        }
+    }
+
+    // ---- terms, props, tactics -------------------------------------------
+
+    /// Terms parse with every application head as a constructor; the
+    /// post-pass [`resolve`] rewrites heads that name functions or bound
+    /// variables.
+    fn term(&mut self) -> Result<Term> {
+        match self.next()? {
+            Tok::Lit(s) => Ok(Term::Lit(Symbol::new(&s))),
+            Tok::Ident(head) => {
+                let mut args = Vec::new();
+                if self.eat_sym("(") {
+                    loop {
+                        args.push(self.term()?);
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                    self.expect_sym(")")?;
+                }
+                Ok(Term::Ctor(Symbol::new(&head), args))
+            }
+            other => Err(Error::new(format!("expected a term, got {other:?}"))),
+        }
+    }
+
+    fn prop_atom(&mut self) -> Result<Prop> {
+        if self.at_kw("True") {
+            self.expect_kw("True")?;
+            return Ok(Prop::True);
+        }
+        if self.at_kw("False") {
+            self.expect_kw("False")?;
+            return Ok(Prop::False);
+        }
+        if self.at_kw("forall") {
+            self.expect_kw("forall")?;
+            self.expect_sym("(")?;
+            let v = self.ident()?;
+            self.expect_sym(":")?;
+            let s = self.sort()?;
+            self.expect_sym(")")?;
+            self.expect_sym(",")?;
+            let body = self.prop()?;
+            return Ok(Prop::Forall(Symbol::new(&v), s, Box::new(body)));
+        }
+        let lhs = self.term()?;
+        self.expect_sym("=")?;
+        let rhs = self.term()?;
+        Ok(Prop::Eq(lhs, rhs))
+    }
+
+    fn prop(&mut self) -> Result<Prop> {
+        let a = self.prop_atom()?;
+        if self.eat_sym("->") {
+            let b = self.prop()?;
+            Ok(Prop::imp(a, b))
+        } else {
+            Ok(a)
+        }
+    }
+
+    fn tactic(&mut self) -> Result<Tactic> {
+        let kw = self.ident()?;
+        let t = match kw.as_str() {
+            "intro" => Tactic::IntroAs(self.ident()?),
+            "intros" => Tactic::Intros,
+            "fsimpl" => Tactic::FSimpl,
+            "reflexivity" => Tactic::Reflexivity,
+            "trivial" => Tactic::Trivial,
+            "assumption" => Tactic::Assumption,
+            "exact" => Tactic::Exact(self.ident()?),
+            "apply" => Tactic::ApplyFact(self.ident()?, vec![]),
+            "rewrite" => Tactic::Rewrite(self.ident()?),
+            "fdiscriminate" => Tactic::FDiscriminate(self.ident()?),
+            "finjection" => Tactic::FInjection(self.ident()?),
+            "auto" => Tactic::Auto(4),
+            other => return Err(Error::new(format!("unknown tactic {other}"))),
+        };
+        self.expect_sym(".")?;
+        Ok(t)
+    }
+}
+
+/// Rewrites parsed constructor heads into function applications for names
+/// defined as recursions/definitions, and nullary heads bound by the
+/// enclosing case/definition into variables.
+pub fn resolve_with(def: &mut FamilyDef, mut fns: Vec<Symbol>) {
+    for f in &def.fields {
+        match f {
+            Field::Recursion { name, .. } | Field::RecursionExt { name, .. } => fns.push(*name),
+            Field::Definition { alias, .. } => fns.push(alias.name),
+            _ => {}
+        }
+    }
+    fn goti(t: &Term, bound: &[Symbol], fns: &[Symbol]) -> Term {
+        match t {
+            Term::Ctor(head, args) => {
+                let fixed: Vec<Term> = args.iter().map(|a| goti(a, bound, fns)).collect();
+                if args.is_empty() && bound.contains(head) {
+                    Term::Var(*head)
+                } else if fns.contains(head) {
+                    Term::Fn(*head, fixed)
+                } else {
+                    Term::Ctor(*head, fixed)
+                }
+            }
+            Term::Fn(h, args) => Term::Fn(*h, args.iter().map(|a| goti(a, bound, fns)).collect()),
+            other => other.clone(),
+        }
+    }
+    fn gop(p: &Prop, bound: &[Symbol], fns: &[Symbol]) -> Prop {
+        match p {
+            Prop::Eq(a, b) => Prop::Eq(goti(a, bound, fns), goti(b, bound, fns)),
+            Prop::Imp(a, b) => Prop::imp(gop(a, bound, fns), gop(b, bound, fns)),
+            Prop::And(a, b) => Prop::and(gop(a, bound, fns), gop(b, bound, fns)),
+            Prop::Or(a, b) => Prop::or(gop(a, bound, fns), gop(b, bound, fns)),
+            Prop::Forall(v, s, body) => {
+                let mut inner = bound.to_vec();
+                if !inner.contains(v) {
+                    inner.push(*v);
+                }
+                Prop::Forall(*v, *s, Box::new(gop(body, &inner, fns)))
+            }
+            Prop::Exists(v, s, body) => {
+                let mut inner = bound.to_vec();
+                if !inner.contains(v) {
+                    inner.push(*v);
+                }
+                Prop::Exists(*v, *s, Box::new(gop(body, &inner, fns)))
+            }
+            other => other.clone(),
+        }
+    }
+    for f in &mut def.fields {
+        match f {
+            Field::Recursion { params, cases, .. } => {
+                let ps: Vec<Symbol> = params.iter().map(|(p, _)| *p).collect();
+                for case in cases.iter_mut() {
+                    let mut bound = case.arg_vars.clone();
+                    bound.extend(ps.iter().copied());
+                    case.body = goti(&case.body, &bound, &fns);
+                }
+            }
+            Field::RecursionExt { cases, .. } => {
+                for case in cases.iter_mut() {
+                    let bound = case.arg_vars.clone();
+                    case.body = goti(&case.body, &bound, &fns);
+                }
+            }
+            Field::Definition { alias, .. } => {
+                let bound: Vec<Symbol> = alias.params.iter().map(|(p, _)| *p).collect();
+                alias.body = goti(&alias.body, &bound, &fns);
+            }
+            Field::Theorem { statement, .. } => {
+                *statement = gop(statement, &[], &fns);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Parses, resolves and runs a vernacular program in one call.
+pub fn run_program(src: &str) -> Result<(crate::universe::FamilyUniverse, Vec<String>)> {
+    let mut p = parse_program(src)?;
+    // Function names resolve across the inheritance chain, so thread the
+    // accumulated set through the families in order.
+    let mut known: Vec<Symbol> = Vec::new();
+    for fam in p.families.iter_mut() {
+        resolve_with(fam, known.clone());
+        for f in &fam.fields {
+            match f {
+                Field::Recursion { name, .. } => known.push(*name),
+                Field::Definition { alias, .. } => known.push(alias.name),
+                _ => {}
+            }
+        }
+    }
+    p.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROGRAM: &str = r#"
+Family Peano.
+  FInductive num := n_zero | n_one | n_plus(num, num).
+  FRecursion flip on num returns num :=
+    Case n_zero := n_one.
+    Case n_one := n_zero.
+    Case n_plus(a, b) := n_plus(flip(a), flip(b)).
+  End flip.
+  FDefinition two : num := n_plus(n_one, n_one).
+  FTheorem flip_two : flip(two) = n_plus(n_zero, n_zero).
+  Proof. fsimpl. reflexivity. Qed.
+  FTheorem zero_neq_one : n_zero = n_one -> False.
+  Proof. intro H. fdiscriminate H. Qed.
+End Peano.
+
+Family PeanoMul extends Peano. (* adds multiplication nodes *)
+  FInductive num += n_mul(num, num).
+  FRecursion flip on num +=
+    Case n_mul(a, b) := n_mul(flip(a), flip(b)).
+  End flip.
+End PeanoMul.
+
+Check PeanoMul.flip_two.
+Check PeanoMul.zero_neq_one.
+"#;
+
+    #[test]
+    fn parses_and_runs_figure2_style_program() {
+        let (u, out) = run_program(PROGRAM).expect("program runs");
+        assert_eq!(out.len(), 2);
+        assert!(out[0].contains("PeanoMul.flip_two"), "{}", out[0]);
+        assert!(out[1].contains("PeanoMul.zero_neq_one"), "{}", out[1]);
+        // The derived family reused the theorems.
+        let fam = u.family("PeanoMul").unwrap();
+        assert!(fam.ledger.shared().iter().any(|n| n.contains("flip_two")));
+        // And its closed flip runs over the new constructor.
+        let t = objlang::Term::ctor(
+            "n_mul",
+            vec![objlang::Term::c0("n_zero"), objlang::Term::c0("n_one")],
+        );
+        let v =
+            objlang::eval::eval_default(&fam.sig, &objlang::Term::func("flip", vec![t])).unwrap();
+        assert_eq!(
+            v,
+            objlang::Term::ctor(
+                "n_mul",
+                vec![objlang::Term::c0("n_one"), objlang::Term::c0("n_zero")]
+            )
+        );
+    }
+
+    #[test]
+    fn comments_and_literals_lex() {
+        let toks = lex(r#"(* a (* nested *) comment *) foo "x" := . "#).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::Lit("x".into()),
+                Tok::Sym(":="),
+                Tok::Sym("."),
+            ]
+        );
+    }
+
+    #[test]
+    fn missing_end_is_an_error() {
+        assert!(parse_program("Family F.").is_err());
+    }
+
+    #[test]
+    fn mismatched_end_is_an_error() {
+        let err = parse_program("Family F. End G.").unwrap_err();
+        assert!(format!("{err}").contains("does not close"));
+    }
+
+    #[test]
+    fn exhaustivity_error_surfaces_through_parser() {
+        // Extending num without extending flip is the paper's C1 error.
+        let src = r#"
+Family P2.
+  FInductive num := n_zilch.
+  FRecursion once on num returns num :=
+    Case n_zilch := n_zilch.
+  End once.
+End P2.
+Family P3 extends P2.
+  FInductive num += n_more.
+End P3.
+"#;
+        let err = run_program(src).unwrap_err();
+        assert!(format!("{err}").contains("not exhaustive"), "{err}");
+    }
+
+    #[test]
+    fn admitted_parses_and_audits() {
+        let src = r#"
+Family A1.
+  FTheorem hole : True.
+  Proof. Admitted.
+End A1.
+Check A1.hole.
+"#;
+        let (u, out) = run_program(src).unwrap();
+        assert!(out[0].contains("A1.hole"));
+        assert_eq!(u.family("A1").unwrap().assumptions.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn fdata_and_params_parse() {
+        let src = r#"
+Family Lists.
+  FData cell := cl_nil | cl_cons(nat, cell).
+  FRecursion app on cell params (ys : cell) returns cell :=
+    Case cl_nil := ys.
+    Case cl_cons(h, t) := cl_cons(h, app(t, ys)).
+  End app.
+  FTheorem app_nil : forall (ys : cell), app(cl_nil, ys) = ys.
+  Proof. intro ys. fsimpl. reflexivity. Qed.
+End Lists.
+Check Lists.app_nil.
+"#;
+        let (u, out) = run_program(src).unwrap();
+        assert!(out[0].contains("Lists.app_nil"), "{}", out[0]);
+        // cell is a plain datatype: case analysis would be allowed on it
+        // in closed-world proofs; here we just check the family compiled.
+        assert!(u.family("Lists").is_some());
+    }
+
+    #[test]
+    fn mixins_parse_and_compose() {
+        let src = r#"
+Family MB.
+  FInductive d := d_a.
+  FRecursion idf on d returns d :=
+    Case d_a := d_a.
+  End idf.
+End MB.
+Family M1 extends MB.
+  FInductive d += d_b.
+  FRecursion idf on d += Case d_b := d_b. End idf.
+End M1.
+Family M2 extends MB.
+  FInductive d += d_c.
+  FRecursion idf on d += Case d_c := d_c. End idf.
+End M2.
+Family M12 extends MB using M1, M2.
+End M12.
+"#;
+        let (u, _) = run_program(src).unwrap();
+        let fam = u.family("M12").unwrap();
+        // All three constructors present in the composed family.
+        let dt = fam.sig.datatype(objlang::sym("d")).unwrap();
+        assert_eq!(dt.ctors.len(), 3);
+    }
+
+    #[test]
+    fn unknown_tactic_is_an_error() {
+        let src = r#"
+Family T1.
+  FTheorem t : True.
+  Proof. frobnicate. Qed.
+End T1.
+"#;
+        let err = parse_program(src).unwrap_err();
+        assert!(format!("{err}").contains("unknown tactic"));
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert!(parse_program("(* open comment").is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! The family universe: defines families, resolves inheritance and mixins,
+//! and answers `Check` queries.
+
+use std::collections::HashMap;
+
+use objlang::error::{Error, Result};
+use objlang::ident::Symbol;
+use objlang::syntax::Prop;
+
+use modsys::ModuleEnv;
+
+use crate::elab::{elaborate, CompiledFamily, ProofCache};
+use crate::family::FamilyDef;
+use crate::merge::{delta_of, merge, MergedField};
+
+/// A universe of compiled families sharing a module environment and a
+/// proof cache (the cross-family reuse of Section 4).
+#[derive(Default)]
+pub struct FamilyUniverse {
+    families: HashMap<Symbol, CompiledFamily>,
+    order: Vec<Symbol>,
+    cache: ProofCache,
+    /// The shared module environment; inspect it for the Figures 4–5
+    /// compilation structure and the global check ledger.
+    pub modenv: ModuleEnv,
+}
+
+impl std::fmt::Debug for FamilyUniverse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FamilyUniverse")
+            .field("families", &self.order)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FamilyUniverse {
+    /// An empty universe.
+    pub fn new() -> FamilyUniverse {
+        FamilyUniverse::default()
+    }
+
+    /// Defines (elaborates and checks) a family. Equivalent to executing
+    /// `Family F [extends B [using M…]]. … End F.`
+    ///
+    /// # Errors
+    ///
+    /// Propagates every static error the paper's design mandates:
+    /// exhaustivity violations (C1), illegal closed-world reasoning,
+    /// context-preservation violations (C3, e.g. the circular-reasoning
+    /// counterexample of Section 3.4), illegal overrides (§3.3), and mixin
+    /// conflicts or retrofit obligations (§3.5).
+    pub fn define(&mut self, def: FamilyDef) -> Result<&CompiledFamily> {
+        if self.families.contains_key(&def.name) {
+            return Err(Error::new(format!(
+                "family {} is already defined",
+                def.name
+            )));
+        }
+        let base_fields: Vec<MergedField> = match def.extends {
+            None => {
+                if !def.mixins.is_empty() {
+                    return Err(Error::new("`using` requires an `extends` base"));
+                }
+                Vec::new()
+            }
+            Some(base) => self
+                .families
+                .get(&base)
+                .ok_or_else(|| Error::new(format!("unknown base family {base}")))?
+                .fields
+                .clone(),
+        };
+        let mut mixin_deltas = Vec::new();
+        for m in &def.mixins {
+            let mixin = self
+                .families
+                .get(m)
+                .ok_or_else(|| Error::new(format!("unknown mixin family {m}")))?;
+            if mixin.base != def.extends {
+                return Err(Error::new(format!(
+                    "mixin {m} extends {:?}, not the composite's base {:?}",
+                    mixin.base, def.extends
+                )));
+            }
+            let delta = delta_of(&base_fields, &mixin.fields)
+                .map_err(|e| e.with_context(format!("delta of mixin {m}")))?;
+            mixin_deltas.push((*m, delta));
+        }
+        let merged = merge(&def, &base_fields, &mixin_deltas)?;
+        let compiled = elaborate(&merged, &mut self.cache, &mut self.modenv)?;
+        self.order.push(def.name);
+        self.families.insert(def.name, compiled);
+        Ok(&self.families[&def.name])
+    }
+
+    /// Looks up a compiled family.
+    pub fn family(&self, name: &str) -> Option<&CompiledFamily> {
+        self.families.get(&Symbol::new(name))
+    }
+
+    /// Families in definition order.
+    pub fn names(&self) -> &[Symbol] {
+        &self.order
+    }
+
+    /// `Check F.field` — returns the statement of a theorem field,
+    /// qualified for display (Section 3.2's discussion of accessing fields
+    /// outside a family).
+    pub fn check(&self, family: &str, field: &str) -> Result<String> {
+        let fam = self
+            .family(family)
+            .ok_or_else(|| Error::new(format!("unknown family {family}")))?;
+        if let Some(prop) = fam.theorems.get(&Symbol::new(field)) {
+            return Ok(crate::report::qualified_display(fam, field, prop));
+        }
+        // Function fields print their (qualified) type signature.
+        if let Some(f) = fam.sig.function(Symbol::new(field)) {
+            let params: Vec<String> = f
+                .param_sorts()
+                .iter()
+                .map(|s| crate::report::qualified_sort(fam, *s))
+                .collect();
+            let ret = crate::report::qualified_sort(fam, f.ret_sort());
+            return Ok(format!(
+                "{family}.{field} : {} -> {ret}",
+                params.join(" -> ")
+            ));
+        }
+        Err(Error::new(format!(
+            "family {family} has no theorem or function {field}"
+        )))
+    }
+
+    /// The raw statement of a theorem in a family.
+    pub fn theorem_statement(&self, family: &str, field: &str) -> Option<&Prop> {
+        self.family(family)?.theorems.get(&Symbol::new(field))
+    }
+}

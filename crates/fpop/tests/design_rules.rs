@@ -1,0 +1,658 @@
+//! Integration tests for the paper's language-design rules (Sections 3.1,
+//! 3.3, 3.4, 3.5, 3.6).
+
+use fpop::family::{FamilyDef, Field, ProofSpec};
+use fpop::universe::FamilyUniverse;
+use objlang::sig::{AliasFn, CtorSig, RecCase, Rule};
+use objlang::syntax::{Prop, Sort, Term};
+use objlang::{sym, Symbol, Tactic};
+
+fn tm_sort() -> Sort {
+    Sort::named("tm0")
+}
+
+/// A small base family: an extensible datatype with two constructors, a
+/// late-bound recursion over it, and a predicate.
+fn base_family() -> FamilyDef {
+    FamilyDef::new("B")
+        .inductive(
+            "tm0",
+            vec![
+                CtorSig::new("k_zero", vec![]),
+                CtorSig::new("k_wrap", vec![tm_sort()]),
+            ],
+        )
+        .recursion(
+            "sz",
+            "tm0",
+            vec![],
+            Sort::named("nat"),
+            vec![
+                RecCase {
+                    ctor: sym("k_zero"),
+                    arg_vars: vec![],
+                    body: Term::c0("zero"),
+                },
+                RecCase {
+                    ctor: sym("k_wrap"),
+                    arg_vars: vec![sym("t")],
+                    body: Term::ctor("succ", vec![Term::func("sz", vec![Term::var("t")])]),
+                },
+            ],
+        )
+        .predicate(
+            "good",
+            vec![tm_sort()],
+            vec![
+                Rule {
+                    name: sym("good_zero"),
+                    binders: vec![],
+                    premises: vec![],
+                    conclusion: vec![Term::c0("k_zero")],
+                },
+                Rule {
+                    name: sym("good_wrap"),
+                    binders: vec![(sym("t"), tm_sort())],
+                    premises: vec![Prop::atom("good", vec![Term::var("t")])],
+                    conclusion: vec![Term::ctor("k_wrap", vec![Term::var("t")])],
+                },
+            ],
+        )
+}
+
+#[test]
+fn base_family_compiles_and_runs() {
+    let mut u = FamilyUniverse::new();
+    let fam = u.define(base_family()).unwrap();
+    // The closed family's `sz` is executable (extraction substitute).
+    let t = Term::ctor(
+        "k_wrap",
+        vec![Term::ctor("k_wrap", vec![Term::c0("k_zero")])],
+    );
+    let v = objlang::eval::eval_default(&fam.sig, &Term::func("sz", vec![t])).unwrap();
+    assert_eq!(objlang::eval::nat_value(&v), Some(2));
+}
+
+#[test]
+fn exhaustivity_c1_missing_recursion_case_rejected() {
+    // Derived family extends tm0 but does not further bind sz.
+    let mut u = FamilyUniverse::new();
+    u.define(base_family()).unwrap();
+    let derived = FamilyDef::extending("D", "B")
+        .extend_inductive("tm0", vec![CtorSig::new("k_extra", vec![])]);
+    let err = u.define(derived).unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("not exhaustive"), "got: {msg}");
+    assert!(msg.contains("k_extra"), "got: {msg}");
+}
+
+#[test]
+fn exhaustivity_c1_satisfied_by_further_binding() {
+    let mut u = FamilyUniverse::new();
+    u.define(base_family()).unwrap();
+    let derived = FamilyDef::extending("D", "B")
+        .extend_inductive("tm0", vec![CtorSig::new("k_extra", vec![])])
+        .extend_recursion(
+            "sz",
+            vec![RecCase {
+                ctor: sym("k_extra"),
+                arg_vars: vec![],
+                body: Term::c0("zero"),
+            }],
+        );
+    let fam = u.define(derived).unwrap();
+    let v = objlang::eval::eval_default(
+        &fam.sig,
+        &Term::func("sz", vec![Term::ctor("k_wrap", vec![Term::c0("k_extra")])]),
+    )
+    .unwrap();
+    assert_eq!(objlang::eval::nat_value(&v), Some(1));
+}
+
+#[test]
+fn circular_reasoning_rejected_section_3_4() {
+    // The paper's counterexample:
+    //   Family A.  FLemma f : False. Admitted.  FLemma g : False := f.  End A.
+    //   Family B extends A.  FLemma f : False := g.  End B.   (* rejected *)
+    let mut u = FamilyUniverse::new();
+    u.define(FamilyDef::new("A").admitted("f", Prop::False).theorem(
+        "g",
+        Prop::False,
+        vec![Tactic::ApplyFact("f".into(), vec![])],
+    ))
+    .unwrap();
+    let b = FamilyDef::extending("B", "A")
+        .override_theorem("f", vec![Tactic::ApplyFact("g".into(), vec![])]);
+    let err = u.define(b).unwrap_err();
+    // g is not in f's context, so the override's proof cannot reference it.
+    let msg = format!("{err}");
+    assert!(msg.contains("g"), "got: {msg}");
+}
+
+#[test]
+fn override_in_context_is_accepted() {
+    // Overriding an Admitted lemma with a real proof is fine when the proof
+    // only uses the field's own context.
+    let mut u = FamilyUniverse::new();
+    u.define(FamilyDef::new("A").admitted("triv", Prop::True))
+        .unwrap();
+    let b = FamilyDef::extending("B", "A").override_theorem("triv", vec![Tactic::Trivial]);
+    let fam = u.define(b).unwrap();
+    // B has no outstanding assumptions; A had one.
+    assert!(fam.assumptions.is_empty());
+    assert_eq!(u.family("A").unwrap().assumptions, vec![sym("triv")]);
+}
+
+#[test]
+fn closed_world_reasoning_blocked_inside_family() {
+    // A proof that inverts an extensible predicate must be rejected unless
+    // it is marked reprove-on-extend.
+    let mut u = FamilyUniverse::new();
+    let bad = base_family().theorem(
+        "zero_only",
+        Prop::forall(
+            "t",
+            tm_sort(),
+            Prop::imp(Prop::atom("good", vec![Term::var("t")]), Prop::True),
+        ),
+        vec![Tactic::Intro, Tactic::Intro, Tactic::Inversion("H".into())],
+    );
+    let err = u.define(bad).unwrap_err();
+    assert!(format!("{err}").contains("extensible"), "got: {err}");
+}
+
+#[test]
+fn reprove_on_extend_lemma_reruns_in_derived_family() {
+    // An inversion lemma (paper §7): closed-world proof, re-proved when the
+    // predicate is further bound.
+    let statement = Prop::forall(
+        "t",
+        tm_sort(),
+        Prop::imp(
+            Prop::atom("good", vec![Term::ctor("k_wrap", vec![Term::var("t")])]),
+            Prop::atom("good", vec![Term::var("t")]),
+        ),
+    );
+    let script = vec![
+        Tactic::Intro,
+        Tactic::Intro,
+        Tactic::Inversion("H".into()),
+        Tactic::Assumption,
+    ];
+    let mut u = FamilyUniverse::new();
+    u.define(base_family().reprove_lemma("good_wrap_inv", statement, script, &["good"]))
+        .unwrap();
+
+    // Derived family adds a rule that does NOT produce k_wrap: the same
+    // script re-runs and succeeds.
+    let derived = FamilyDef::extending("D", "B")
+        .extend_inductive("tm0", vec![CtorSig::new("k_extra", vec![])])
+        .extend_recursion(
+            "sz",
+            vec![RecCase {
+                ctor: sym("k_extra"),
+                arg_vars: vec![],
+                body: Term::c0("zero"),
+            }],
+        )
+        .extend_predicate(
+            "good",
+            vec![Rule {
+                name: sym("good_extra"),
+                binders: vec![],
+                premises: vec![],
+                conclusion: vec![Term::c0("k_extra")],
+            }],
+        );
+    let fam = u.define(derived).unwrap();
+    // The lemma was re-checked (not shared) because `good` changed.
+    let reproved = fam
+        .ledger
+        .checked()
+        .iter()
+        .any(|n| n.contains("good_wrap_inv"));
+    assert!(reproved, "expected re-prove; ledger: {:?}", fam.ledger);
+}
+
+#[test]
+fn inherited_theorem_is_shared_not_rechecked() {
+    let mut u = FamilyUniverse::new();
+    u.define(base_family().theorem(
+        "sz_zero",
+        Prop::eq(Term::func("sz", vec![Term::c0("k_zero")]), Term::c0("zero")),
+        vec![Tactic::FSimpl, Tactic::Reflexivity],
+    ))
+    .unwrap();
+    let derived = FamilyDef::extending("D", "B")
+        .extend_inductive("tm0", vec![CtorSig::new("k_extra", vec![])])
+        .extend_recursion(
+            "sz",
+            vec![RecCase {
+                ctor: sym("k_extra"),
+                arg_vars: vec![],
+                body: Term::c0("zero"),
+            }],
+        );
+    let fam = u.define(derived).unwrap();
+    assert!(
+        fam.ledger.shared().iter().any(|n| n.contains("sz_zero")),
+        "inherited proof should be shared; ledger: {:?}",
+        fam.ledger
+    );
+}
+
+#[test]
+fn fdiscriminate_works_via_partial_recursor_and_is_inherited() {
+    // Within the base family, constructors of the extensible tm0 are
+    // provably disjoint via the partial-recursor licence (§3.6), and the
+    // proof is reused by the derived family.
+    let statement = Prop::forall(
+        "t",
+        tm_sort(),
+        Prop::imp(
+            Prop::eq(
+                Term::c0("k_zero"),
+                Term::ctor("k_wrap", vec![Term::var("t")]),
+            ),
+            Prop::False,
+        ),
+    );
+    let script = vec![
+        Tactic::Intro,
+        Tactic::Intro,
+        Tactic::FDiscriminate("H".into()),
+    ];
+    let mut u = FamilyUniverse::new();
+    u.define(base_family().theorem("zero_neq_wrap", statement, script))
+        .unwrap();
+    let derived = FamilyDef::extending("D", "B")
+        .extend_inductive("tm0", vec![CtorSig::new("k_extra", vec![])])
+        .extend_recursion(
+            "sz",
+            vec![RecCase {
+                ctor: sym("k_extra"),
+                arg_vars: vec![],
+                body: Term::c0("zero"),
+            }],
+        );
+    let fam = u.define(derived).unwrap();
+    assert!(fam
+        .ledger
+        .shared()
+        .iter()
+        .any(|n| n.contains("zero_neq_wrap")));
+    assert!(fam.theorems.contains_key(&sym("zero_neq_wrap")));
+}
+
+#[test]
+fn induction_cases_reused_and_new_case_checked() {
+    use objlang::induction::Motive;
+    // FInduction: forall t, good t -> sz t = sz t (trivial motive, but
+    // exercises the machinery).
+    let motive = Motive {
+        params: vec![(sym("t"), tm_sort())],
+        body: Prop::eq(
+            Term::func("sz", vec![Term::var("t")]),
+            Term::func("sz", vec![Term::var("t")]),
+        ),
+    };
+    let mut u = FamilyUniverse::new();
+    u.define(base_family().induction(
+        "sz_refl",
+        "good",
+        motive,
+        vec![
+            ("good_zero", vec![Tactic::Reflexivity]),
+            ("good_wrap", vec![Tactic::Reflexivity]),
+        ],
+    ))
+    .unwrap();
+
+    let derived = FamilyDef::extending("D", "B")
+        .extend_inductive("tm0", vec![CtorSig::new("k_extra", vec![])])
+        .extend_recursion(
+            "sz",
+            vec![RecCase {
+                ctor: sym("k_extra"),
+                arg_vars: vec![],
+                body: Term::c0("zero"),
+            }],
+        )
+        .extend_predicate(
+            "good",
+            vec![Rule {
+                name: sym("good_extra"),
+                binders: vec![],
+                premises: vec![],
+                conclusion: vec![Term::c0("k_extra")],
+            }],
+        )
+        .extend_induction("sz_refl", vec![("good_extra", vec![Tactic::Reflexivity])]);
+    let fam = u.define(derived).unwrap();
+    let shared: Vec<&String> = fam
+        .ledger
+        .shared()
+        .iter()
+        .filter(|n| n.contains("sz_refl"))
+        .collect();
+    let checked: Vec<&String> = fam
+        .ledger
+        .checked()
+        .iter()
+        .filter(|n| n.contains("sz_refl"))
+        .collect();
+    assert_eq!(shared.len(), 2, "two inherited cases reused: {shared:?}");
+    assert_eq!(checked.len(), 1, "one new case checked: {checked:?}");
+}
+
+#[test]
+fn induction_missing_case_rejected() {
+    use objlang::induction::Motive;
+    let motive = Motive {
+        params: vec![(sym("t"), tm_sort())],
+        body: Prop::True,
+    };
+    let mut u = FamilyUniverse::new();
+    u.define(base_family().induction(
+        "triv_ind",
+        "good",
+        motive,
+        vec![
+            ("good_zero", vec![Tactic::Trivial]),
+            ("good_wrap", vec![Tactic::Trivial]),
+        ],
+    ))
+    .unwrap();
+    // Extend the predicate but not the induction.
+    let derived = FamilyDef::extending("D", "B").extend_predicate(
+        "good",
+        vec![Rule {
+            name: sym("good_extra2"),
+            binders: vec![],
+            premises: vec![],
+            conclusion: vec![Term::c0("k_zero")],
+        }],
+    );
+    let err = u.define(derived).unwrap_err();
+    assert!(format!("{err}").contains("not exhaustive"), "got: {err}");
+}
+
+#[test]
+fn mixin_composition_with_retrofit_obligation() {
+    // M1 adds a constructor; M2 adds a recursion over the datatype.
+    // Composing them creates the obligation to handle M1's constructor in
+    // M2's recursion (Figure 3's STLCProdIsorec / tysubst ty_prod).
+    let mut u = FamilyUniverse::new();
+    u.define(base_family()).unwrap();
+    u.define(
+        FamilyDef::extending("M1", "B")
+            .extend_inductive("tm0", vec![CtorSig::new("k_m1", vec![])])
+            .extend_recursion(
+                "sz",
+                vec![RecCase {
+                    ctor: sym("k_m1"),
+                    arg_vars: vec![],
+                    body: Term::c0("zero"),
+                }],
+            ),
+    )
+    .unwrap();
+    u.define(FamilyDef::extending("M2", "B").recursion(
+        "depth",
+        "tm0",
+        vec![],
+        Sort::named("nat"),
+        vec![
+            RecCase {
+                ctor: sym("k_zero"),
+                arg_vars: vec![],
+                body: Term::c0("zero"),
+            },
+            RecCase {
+                ctor: sym("k_wrap"),
+                arg_vars: vec![sym("t")],
+                body: Term::ctor("succ", vec![Term::func("depth", vec![Term::var("t")])]),
+            },
+        ],
+    ))
+    .unwrap();
+
+    // Composite WITHOUT the retrofit case: rejected.
+    let bad = FamilyDef::extending_with("C_bad", "B", &["M1", "M2"]);
+    let err = u.define(bad).unwrap_err();
+    assert!(format!("{err}").contains("k_m1"), "got: {err}");
+
+    // Composite WITH the retrofit case: accepted.
+    let good = FamilyDef::extending_with("C", "B", &["M1", "M2"]).extend_recursion(
+        "depth",
+        vec![RecCase {
+            ctor: sym("k_m1"),
+            arg_vars: vec![],
+            body: Term::c0("zero"),
+        }],
+    );
+    let fam = u.define(good).unwrap();
+    let v = objlang::eval::eval_default(
+        &fam.sig,
+        &Term::func("depth", vec![Term::ctor("k_wrap", vec![Term::c0("k_m1")])]),
+    )
+    .unwrap();
+    assert_eq!(objlang::eval::nat_value(&v), Some(1));
+}
+
+#[test]
+fn overridable_definition_can_be_overridden() {
+    let mut u = FamilyUniverse::new();
+    u.define(FamilyDef::new("F").overridable_definition(AliasFn {
+        name: sym("flag"),
+        params: vec![],
+        ret: Sort::named("bool"),
+        body: Term::c0("true"),
+    }))
+    .unwrap();
+    let fam = u
+        .define(FamilyDef::extending("G", "F").override_definition(AliasFn {
+            name: sym("flag"),
+            params: vec![],
+            ret: Sort::named("bool"),
+            body: Term::c0("false"),
+        }))
+        .unwrap();
+    let v = objlang::eval::eval_default(&fam.sig, &Term::func("flag", vec![])).unwrap();
+    assert_eq!(v, Term::c0("false"));
+    // Original family still evaluates to true.
+    let f = u.family("F").unwrap();
+    let v0 = objlang::eval::eval_default(&f.sig, &Term::func("flag", vec![])).unwrap();
+    assert_eq!(v0, Term::c0("true"));
+}
+
+#[test]
+fn abstract_fn_parameter_pattern() {
+    // The ImpGAI pattern: a framework family with an abstract function and
+    // an axiom parameter; a derived family further binds both.
+    let mut u = FamilyUniverse::new();
+    u.define(
+        FamilyDef::new("Framework")
+            .abstract_fn("transfer", vec![Sort::named("nat")], Sort::named("nat"))
+            .parameter(
+                "transfer_sound",
+                Prop::forall(
+                    "n",
+                    Sort::named("nat"),
+                    Prop::eq(
+                        Term::func("transfer", vec![Term::var("n")]),
+                        Term::func("transfer", vec![Term::var("n")]),
+                    ),
+                ),
+            ),
+    )
+    .unwrap();
+    assert_eq!(u.family("Framework").unwrap().assumptions.len(), 2);
+
+    let fam = u
+        .define(
+            FamilyDef::extending("Concrete", "Framework")
+                .override_definition(AliasFn {
+                    name: sym("transfer"),
+                    params: vec![(sym("n"), Sort::named("nat"))],
+                    ret: Sort::named("nat"),
+                    body: Term::ctor("succ", vec![Term::var("n")]),
+                })
+                .override_theorem("transfer_sound", vec![Tactic::Intro, Tactic::Reflexivity]),
+        )
+        .unwrap();
+    // Concrete discharges both parameters.
+    assert!(
+        fam.assumptions.is_empty(),
+        "assumptions: {:?}",
+        fam.assumptions
+    );
+    let v = objlang::eval::eval_default(
+        &fam.sig,
+        &Term::func("transfer", vec![objlang::eval::nat_lit(1)]),
+    )
+    .unwrap();
+    assert_eq!(objlang::eval::nat_value(&v), Some(2));
+}
+
+#[test]
+fn check_command_qualifies_names() {
+    let mut u = FamilyUniverse::new();
+    u.define(base_family().theorem(
+        "sz_zero",
+        Prop::eq(Term::func("sz", vec![Term::c0("k_zero")]), Term::c0("zero")),
+        vec![Tactic::FSimpl, Tactic::Reflexivity],
+    ))
+    .unwrap();
+    u.define(
+        FamilyDef::extending("D", "B")
+            .extend_inductive("tm0", vec![CtorSig::new("k_extra", vec![])])
+            .extend_recursion(
+                "sz",
+                vec![RecCase {
+                    ctor: sym("k_extra"),
+                    arg_vars: vec![],
+                    body: Term::c0("zero"),
+                }],
+            ),
+    )
+    .unwrap();
+    let out = u.check("D", "sz_zero").unwrap();
+    assert!(out.contains("D.sz_zero"), "got: {out}");
+    assert!(out.contains("D.sz"), "got: {out}");
+    assert!(out.contains("D.k_zero"), "got: {out}");
+}
+
+#[test]
+fn field_kind_mismatch_rejected() {
+    let mut u = FamilyUniverse::new();
+    u.define(base_family()).unwrap();
+    // Extending a datatype as if it were a predicate.
+    let bad = FamilyDef::extending("D", "B").field(Field::PredicateExt {
+        name: sym("tm0"),
+        rules: vec![],
+    });
+    assert!(u.define(bad).is_err());
+}
+
+#[test]
+fn admitted_lemma_shows_in_assumptions() {
+    let mut u = FamilyUniverse::new();
+    let fam = u
+        .define(FamilyDef::new("A").field(Field::Theorem {
+            name: Symbol::new("hole"),
+            statement: Prop::True,
+            proof: ProofSpec::Admitted,
+            hint: false,
+        }))
+        .unwrap();
+    assert_eq!(fam.assumptions, vec![sym("hole")]);
+}
+
+#[test]
+fn check_function_fields() {
+    let mut u = FamilyUniverse::new();
+    u.define(base_family()).unwrap();
+    u.define(
+        FamilyDef::extending("DFn", "B")
+            .extend_inductive("tm0", vec![CtorSig::new("k_fn_extra", vec![])])
+            .extend_recursion(
+                "sz",
+                vec![RecCase { ctor: sym("k_fn_extra"), arg_vars: vec![], body: Term::c0("zero") }],
+            ),
+    )
+    .unwrap();
+    // Check on the late-bound recursion prints its qualified signature.
+    let out = u.check("DFn", "sz").unwrap();
+    assert_eq!(out, "DFn.sz : DFn.tm0 -> nat");
+    // Unknown fields still error.
+    assert!(u.check("DFn", "nonexistent").is_err());
+}
+
+#[test]
+fn using_requires_extends() {
+    let mut u = FamilyUniverse::new();
+    u.define(base_family()).unwrap();
+    let bad = FamilyDef {
+        name: sym("NoBase"),
+        extends: None,
+        mixins: vec![sym("B")],
+        fields: vec![],
+    };
+    let err = u.define(bad).unwrap_err();
+    assert!(format!("{err}").contains("`using` requires"), "{err}");
+}
+
+#[test]
+fn mixin_must_share_the_base() {
+    let mut u = FamilyUniverse::new();
+    u.define(base_family()).unwrap();
+    u.define(FamilyDef::new("OtherRoot").inductive("o1", vec![CtorSig::new("o_a", vec![])]))
+        .unwrap();
+    u.define(FamilyDef::extending("OtherChild", "OtherRoot")).unwrap();
+    // Mixing a family with a different base into a B-derived composite.
+    let bad = FamilyDef::extending_with("BadMix", "B", &["OtherChild"]);
+    let err = u.define(bad).unwrap_err();
+    assert!(format!("{err}").contains("not the composite's base"), "{err}");
+}
+
+#[test]
+fn duplicate_family_name_rejected() {
+    let mut u = FamilyUniverse::new();
+    u.define(base_family()).unwrap();
+    let err = u.define(base_family()).unwrap_err();
+    assert!(format!("{err}").contains("already defined"), "{err}");
+}
+
+#[test]
+fn auto_discharges_simple_induction_cases() {
+    // Constructor-shaped induction cases close with bare `auto`, since the
+    // predicate's rules are registered as hints.
+    use objlang::induction::Motive;
+    let motive = Motive {
+        params: vec![(sym("t"), tm_sort())],
+        body: Prop::atom("good", vec![Term::var("t")]),
+    };
+    let mut u = FamilyUniverse::new();
+    u.define(base_family().induction(
+        "good_itself",
+        "good",
+        motive,
+        vec![
+            ("good_zero", vec![Tactic::Auto(3)]),
+            ("good_wrap", vec![Tactic::Auto(3)]),
+        ],
+    ))
+    .unwrap();
+    assert!(u.check("B", "good_itself").is_ok());
+}
+
+#[test]
+fn empty_family_is_valid() {
+    let mut u = FamilyUniverse::new();
+    let fam = u.define(FamilyDef::new("Empty")).unwrap();
+    assert!(fam.fields.is_empty());
+    assert!(fam.assumptions.is_empty());
+    // And an empty derived family is pure inheritance.
+    u.define(FamilyDef::extending("EmptyChild", "Empty")).unwrap();
+}

@@ -1,0 +1,96 @@
+//! Accounting of checked-versus-shared compilation work.
+//!
+//! The paper's translation is "modular and efficient, in that code compiled
+//! for fields of a base family can be shared with derived families without
+//! having to be rechecked" (Section 4). The ledger makes that claim
+//! measurable: every module registration records a *check*; every reuse by
+//! a derived family records a *share*. The `modular_vs_copypaste` bench
+//! prints both series.
+
+/// Counters and logs of compilation work.
+#[derive(Clone, Default, Debug)]
+pub struct CheckLedger {
+    checked: Vec<String>,
+    shared: Vec<String>,
+}
+
+impl CheckLedger {
+    /// A fresh ledger.
+    pub fn new() -> CheckLedger {
+        CheckLedger::default()
+    }
+
+    /// Records a fresh check of `name`.
+    pub fn record_checked(&mut self, name: &str) {
+        self.checked.push(name.to_string());
+    }
+
+    /// Records a reuse (no recheck) of `name`.
+    pub fn record_shared(&mut self, name: &str) {
+        self.shared.push(name.to_string());
+    }
+
+    /// Number of freshly checked entities.
+    pub fn checked_count(&self) -> usize {
+        self.checked.len()
+    }
+
+    /// Number of shared (reused) entities.
+    pub fn shared_count(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// The checked entity names, in order.
+    pub fn checked(&self) -> &[String] {
+        &self.checked
+    }
+
+    /// The shared entity names, in order.
+    pub fn shared(&self) -> &[String] {
+        &self.shared
+    }
+
+    /// Reuse ratio `shared / (shared + checked)`; 0 when empty.
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.checked.len() + self.shared.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.shared.len() as f64 / total as f64
+        }
+    }
+
+    /// Merges another ledger into this one.
+    pub fn absorb(&mut self, other: &CheckLedger) {
+        self.checked.extend(other.checked.iter().cloned());
+        self.shared.extend(other.shared.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_ratio() {
+        let mut l = CheckLedger::new();
+        assert_eq!(l.reuse_ratio(), 0.0);
+        l.record_checked("a");
+        l.record_checked("b");
+        l.record_shared("a");
+        assert_eq!(l.checked_count(), 2);
+        assert_eq!(l.shared_count(), 1);
+        assert!((l.reuse_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = CheckLedger::new();
+        a.record_checked("x");
+        let mut b = CheckLedger::new();
+        b.record_shared("y");
+        a.absorb(&b);
+        assert_eq!(a.checked_count(), 1);
+        assert_eq!(a.shared_count(), 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! # modsys — parameterized modules, the compilation target of FPOP
+//!
+//! The paper's plugin compiles families into Coq *parameterized modules*
+//! (functors) and module types (Section 4, Figures 4–5). This crate is the
+//! Rust stand-in for that substrate:
+//!
+//! * [`ModuleType`]s declare **axioms** (late-bound fields seen through a
+//!   `self` parameter), [`Module`]s carry **definitions**;
+//! * `Include` splices one (module or module type) into another, exactly as
+//!   `Include STLC◦subst◦Cases(self)` does in Figure 5;
+//! * at family `End`, an **aggregate** module is built field by field and
+//!   [`ModuleEnv::print_assumptions`] audits that no axiom introduced by
+//!   the translation lingers (the paper's trusted-base argument);
+//! * a [`CheckLedger`] records which compiled entities were freshly checked
+//!   versus *shared without rechecking* — the instrument behind the
+//!   modular-compilation experiment (DESIGN.md, experiment `CS1-share`).
+
+pub mod ledger;
+pub mod module;
+pub mod render;
+
+pub use ledger::CheckLedger;
+pub use module::{Item, ItemKind, ModEntry, Module, ModuleEnv, ModuleType};

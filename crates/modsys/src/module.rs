@@ -1,0 +1,425 @@
+//! Modules, module types, includes, aggregation and the assumption audit.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::ledger::CheckLedger;
+
+/// An error in the module layer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ModError(pub String);
+
+impl fmt::Display for ModError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for ModError {}
+
+/// What kind of entity an item is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ItemKind {
+    /// A declared-but-undefined field of a module type (late-bound name,
+    /// partial recursor, computation equation, …). Must be discharged at
+    /// aggregation.
+    Axiom,
+    /// A transparent definition (`Def` in Figures 4–5).
+    Definition,
+    /// An opaque proof (`Qed`-terminated).
+    OpaqueProof,
+    /// An inductive type instantiated at `End Family`.
+    InductiveInstance,
+    /// A fact proven at aggregation time (e.g. `… reflexivity. Qed.` for
+    /// partial-recursor computation behaviours).
+    Fact,
+}
+
+/// One item of a module or module type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Item {
+    /// Item name (unqualified).
+    pub name: String,
+    /// Human-readable rendering of the type/body (display only; the logical
+    /// content is checked by the `objlang` layer).
+    pub descr: String,
+    /// Kind.
+    pub kind: ItemKind,
+}
+
+impl Item {
+    /// Creates an axiom item.
+    pub fn axiom(name: &str, descr: &str) -> Item {
+        Item {
+            name: name.into(),
+            descr: descr.into(),
+            kind: ItemKind::Axiom,
+        }
+    }
+    /// Creates a definition item.
+    pub fn definition(name: &str, descr: &str) -> Item {
+        Item {
+            name: name.into(),
+            descr: descr.into(),
+            kind: ItemKind::Definition,
+        }
+    }
+    /// Creates an opaque-proof item.
+    pub fn opaque(name: &str, descr: &str) -> Item {
+        Item {
+            name: name.into(),
+            descr: descr.into(),
+            kind: ItemKind::OpaqueProof,
+        }
+    }
+    /// Creates an inductive-instance item.
+    pub fn inductive(name: &str, descr: &str) -> Item {
+        Item {
+            name: name.into(),
+            descr: descr.into(),
+            kind: ItemKind::InductiveInstance,
+        }
+    }
+    /// Creates a fact item.
+    pub fn fact(name: &str, descr: &str) -> Item {
+        Item {
+            name: name.into(),
+            descr: descr.into(),
+            kind: ItemKind::Fact,
+        }
+    }
+}
+
+/// An entry of a module body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ModEntry {
+    /// Declare/define an item.
+    Declare(Item),
+    /// `Include M(self)` — splice the items of module or module type `M`,
+    /// instantiating its `self` parameter with the current environment
+    /// (the "Coq nicety" described in Section 4).
+    Include(String),
+}
+
+/// A module type (declares axioms; parameterized by `self : ctx`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ModuleType {
+    /// Fully qualified name, e.g. `STLC◦tm`.
+    pub name: String,
+    /// The context module type of the `self` parameter, if any.
+    pub self_ctx: Option<String>,
+    /// Entries.
+    pub entries: Vec<ModEntry>,
+}
+
+/// A module (carries definitions; possibly parameterized by `self`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Module {
+    /// Fully qualified name, e.g. `STLC◦subst◦Cases` or the aggregate
+    /// `STLC`.
+    pub name: String,
+    /// The context module type of the `self` parameter, if any.
+    pub self_ctx: Option<String>,
+    /// Entries.
+    pub entries: Vec<ModEntry>,
+}
+
+/// The global environment of compiled modules and module types.
+#[derive(Clone, Default, Debug)]
+pub struct ModuleEnv {
+    module_types: HashMap<String, ModuleType>,
+    modules: HashMap<String, Module>,
+    order: Vec<String>,
+    /// Accounting of checked-vs-shared entities.
+    pub ledger: CheckLedger,
+}
+
+impl ModuleEnv {
+    /// An empty environment.
+    pub fn new() -> ModuleEnv {
+        ModuleEnv::default()
+    }
+
+    /// Registers a module type; `Include` targets must already exist.
+    pub fn add_module_type(&mut self, mt: ModuleType) -> Result<(), ModError> {
+        if self.module_types.contains_key(&mt.name) || self.modules.contains_key(&mt.name) {
+            return Err(ModError(format!("duplicate module name {}", mt.name)));
+        }
+        self.validate_entries(&mt.entries, &mt.name)?;
+        if let Some(ctx) = &mt.self_ctx {
+            if !self.module_types.contains_key(ctx) {
+                return Err(ModError(format!(
+                    "module type {}: unknown self context {ctx}",
+                    mt.name
+                )));
+            }
+        }
+        self.ledger.record_checked(&mt.name);
+        self.order.push(mt.name.clone());
+        self.module_types.insert(mt.name.clone(), mt);
+        Ok(())
+    }
+
+    /// Registers a module.
+    pub fn add_module(&mut self, m: Module) -> Result<(), ModError> {
+        if self.module_types.contains_key(&m.name) || self.modules.contains_key(&m.name) {
+            return Err(ModError(format!("duplicate module name {}", m.name)));
+        }
+        self.validate_entries(&m.entries, &m.name)?;
+        if let Some(ctx) = &m.self_ctx {
+            if !self.module_types.contains_key(ctx) {
+                return Err(ModError(format!(
+                    "module {}: unknown self context {ctx}",
+                    m.name
+                )));
+            }
+        }
+        self.ledger.record_checked(&m.name);
+        self.order.push(m.name.clone());
+        self.modules.insert(m.name.clone(), m);
+        Ok(())
+    }
+
+    fn validate_entries(&self, entries: &[ModEntry], owner: &str) -> Result<(), ModError> {
+        for e in entries {
+            if let ModEntry::Include(target) = e {
+                if !self.module_types.contains_key(target) && !self.modules.contains_key(target) {
+                    return Err(ModError(format!(
+                        "{owner}: Include target {target} does not exist"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Looks up a module type.
+    pub fn module_type(&self, name: &str) -> Option<&ModuleType> {
+        self.module_types.get(name)
+    }
+    /// Looks up a module.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.get(name)
+    }
+    /// Registration order of all names.
+    pub fn names(&self) -> &[String] {
+        &self.order
+    }
+
+    fn entries_of(&self, name: &str) -> Option<&[ModEntry]> {
+        self.module_types
+            .get(name)
+            .map(|mt| mt.entries.as_slice())
+            .or_else(|| self.modules.get(name).map(|m| m.entries.as_slice()))
+    }
+
+    /// Flattens a module's items, following `Include`s transitively.
+    /// Later declarations of the same name shadow earlier ones (as
+    /// instantiation discharges an axiom).
+    pub fn flatten(&self, name: &str) -> Result<Vec<Item>, ModError> {
+        let mut out: Vec<Item> = Vec::new();
+        let mut seen_includes = HashSet::new();
+        self.flatten_into(name, &mut out, &mut seen_includes)?;
+        Ok(out)
+    }
+
+    fn flatten_into(
+        &self,
+        name: &str,
+        out: &mut Vec<Item>,
+        seen: &mut HashSet<String>,
+    ) -> Result<(), ModError> {
+        let entries = self
+            .entries_of(name)
+            .ok_or_else(|| ModError(format!("unknown module {name}")))?;
+        for e in entries {
+            match e {
+                ModEntry::Declare(item) => out.push(item.clone()),
+                ModEntry::Include(target) => {
+                    if seen.insert(target.clone()) {
+                        self.flatten_into(target, out, seen)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `Print Assumptions` for an aggregate module: axioms that are not
+    /// shadowed by a later definition/inductive-instance/fact of the same
+    /// name. A closed family must report an empty list (Section 4,
+    /// "Trusted base") — modulo explicitly documented prelude axioms.
+    pub fn print_assumptions(&self, name: &str) -> Result<Vec<String>, ModError> {
+        let items = self.flatten(name)?;
+        let mut discharged: HashSet<&str> = HashSet::new();
+        for it in &items {
+            if it.kind != ItemKind::Axiom {
+                discharged.insert(&it.name);
+            }
+        }
+        let mut lingering = Vec::new();
+        let mut reported = HashSet::new();
+        for it in &items {
+            if it.kind == ItemKind::Axiom
+                && !discharged.contains(it.name.as_str())
+                && reported.insert(it.name.clone())
+            {
+                lingering.push(it.name.clone());
+            }
+        }
+        Ok(lingering)
+    }
+
+    /// Marks a compiled entity as shared (reused without rechecking) in a
+    /// derived family — the accounting behind Figure 5's `(* reuse *)`
+    /// comments.
+    pub fn record_shared(&mut self, name: &str) {
+        self.ledger.record_shared(name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_with_fig4_shape() -> ModuleEnv {
+        // A miniature of Figure 4's structure.
+        let mut env = ModuleEnv::new();
+        env.add_module_type(ModuleType {
+            name: "STLC◦tm◦Ctx".into(),
+            self_ctx: None,
+            entries: vec![],
+        })
+        .unwrap();
+        env.add_module_type(ModuleType {
+            name: "STLC◦tm".into(),
+            self_ctx: Some("STLC◦tm◦Ctx".into()),
+            entries: vec![
+                ModEntry::Declare(Item::axiom("tm", "Set")),
+                ModEntry::Declare(Item::axiom("tm_unit", "tm")),
+            ],
+        })
+        .unwrap();
+        env.add_module_type(ModuleType {
+            name: "STLC◦env◦Ctx".into(),
+            self_ctx: None,
+            entries: vec![
+                ModEntry::Include("STLC◦tm◦Ctx".into()),
+                ModEntry::Include("STLC◦tm".into()),
+            ],
+        })
+        .unwrap();
+        env.add_module(Module {
+            name: "STLC◦env".into(),
+            self_ctx: Some("STLC◦env◦Ctx".into()),
+            entries: vec![ModEntry::Declare(Item::definition(
+                "env",
+                "id → option self.ty",
+            ))],
+        })
+        .unwrap();
+        env
+    }
+
+    #[test]
+    fn include_target_must_exist() {
+        let mut env = ModuleEnv::new();
+        let res = env.add_module_type(ModuleType {
+            name: "X".into(),
+            self_ctx: None,
+            entries: vec![ModEntry::Include("Nope".into())],
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn self_ctx_must_exist() {
+        let mut env = ModuleEnv::new();
+        let res = env.add_module(Module {
+            name: "M".into(),
+            self_ctx: Some("MissingCtx".into()),
+            entries: vec![],
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn flatten_follows_includes() {
+        let env = env_with_fig4_shape();
+        let items = env.flatten("STLC◦env◦Ctx").unwrap();
+        let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["tm", "tm_unit"]);
+    }
+
+    #[test]
+    fn assumptions_lingering_until_instantiated() {
+        let mut env = env_with_fig4_shape();
+        // Aggregate without instantiating tm: assumptions linger.
+        env.add_module(Module {
+            name: "STLC_partial".into(),
+            self_ctx: None,
+            entries: vec![ModEntry::Include("STLC◦tm".into())],
+        })
+        .unwrap();
+        let assm = env.print_assumptions("STLC_partial").unwrap();
+        assert_eq!(assm, vec!["tm".to_string(), "tm_unit".to_string()]);
+
+        // Aggregate with instantiation: clean.
+        env.add_module(Module {
+            name: "STLC".into(),
+            self_ctx: None,
+            entries: vec![
+                ModEntry::Include("STLC◦tm".into()),
+                ModEntry::Declare(Item::inductive("tm", "Inductive tm := tm_unit")),
+                ModEntry::Declare(Item::definition("tm_unit", "constructor")),
+                ModEntry::Include("STLC◦env".into()),
+            ],
+        })
+        .unwrap();
+        assert!(env.print_assumptions("STLC").unwrap().is_empty());
+    }
+
+    #[test]
+    fn ledger_counts_checked_and_shared() {
+        let mut env = env_with_fig4_shape();
+        assert_eq!(env.ledger.checked_count(), 4);
+        env.record_shared("STLC◦env");
+        env.record_shared("STLC◦tm");
+        assert_eq!(env.ledger.shared_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut env = env_with_fig4_shape();
+        let res = env.add_module(Module {
+            name: "STLC◦tm".into(),
+            self_ctx: None,
+            entries: vec![],
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn diamond_include_is_deduplicated() {
+        let mut env = ModuleEnv::new();
+        env.add_module_type(ModuleType {
+            name: "A".into(),
+            self_ctx: None,
+            entries: vec![ModEntry::Declare(Item::axiom("a", "T"))],
+        })
+        .unwrap();
+        env.add_module_type(ModuleType {
+            name: "B".into(),
+            self_ctx: None,
+            entries: vec![ModEntry::Include("A".into())],
+        })
+        .unwrap();
+        env.add_module_type(ModuleType {
+            name: "C".into(),
+            self_ctx: None,
+            entries: vec![ModEntry::Include("A".into()), ModEntry::Include("B".into())],
+        })
+        .unwrap();
+        let items = env.flatten("C").unwrap();
+        assert_eq!(items.len(), 1);
+    }
+}

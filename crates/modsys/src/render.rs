@@ -1,0 +1,137 @@
+//! Pretty-printing of compiled modules in the style of Figures 4–5.
+//!
+//! Golden tests in the `fpop` crate compare this rendering against the
+//! structure the paper displays for the compilation of families `STLC` and
+//! `STLCFix`.
+
+use std::fmt::Write as _;
+
+use crate::module::{ItemKind, ModEntry, Module, ModuleEnv, ModuleType};
+
+/// Renders one module type in vernacular style.
+pub fn render_module_type(mt: &ModuleType) -> String {
+    let mut out = String::new();
+    match &mt.self_ctx {
+        Some(ctx) => {
+            let _ = writeln!(out, "Module Type {} (self : {}).", mt.name, ctx);
+        }
+        None => {
+            let _ = writeln!(out, "Module Type {}.", mt.name);
+        }
+    }
+    render_entries(&mut out, &mt.entries);
+    let _ = writeln!(out, "End {}.", mt.name);
+    out
+}
+
+/// Renders one module in vernacular style.
+pub fn render_module(m: &Module) -> String {
+    let mut out = String::new();
+    match &m.self_ctx {
+        Some(ctx) => {
+            let _ = writeln!(out, "Module {} (self : {}).", m.name, ctx);
+        }
+        None => {
+            let _ = writeln!(out, "Module {}.", m.name);
+        }
+    }
+    render_entries(&mut out, &m.entries);
+    let _ = writeln!(out, "End {}.", m.name);
+    out
+}
+
+fn render_entries(out: &mut String, entries: &[ModEntry]) {
+    for e in entries {
+        match e {
+            ModEntry::Include(target) => {
+                let _ = writeln!(out, "  Include {target}(self).");
+            }
+            ModEntry::Declare(item) => {
+                let head = match item.kind {
+                    ItemKind::Axiom => "Axiom",
+                    ItemKind::Definition => "Def",
+                    ItemKind::OpaqueProof => "Theorem",
+                    ItemKind::InductiveInstance => "Inductive",
+                    ItemKind::Fact => "Fact",
+                };
+                let _ = writeln!(out, "  {head} {} : {}.", item.name, item.descr);
+            }
+        }
+    }
+}
+
+/// Renders the whole environment in registration order.
+pub fn render_env(env: &ModuleEnv) -> String {
+    let mut out = String::new();
+    for name in env.names() {
+        if let Some(mt) = env.module_type(name) {
+            out.push_str(&render_module_type(mt));
+            out.push('\n');
+        } else if let Some(m) = env.module(name) {
+            out.push_str(&render_module(m));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Item;
+
+    #[test]
+    fn renders_figure4_style() {
+        let mt = ModuleType {
+            name: "STLC◦tm".into(),
+            self_ctx: Some("STLC◦tm◦Ctx".into()),
+            entries: vec![ModEntry::Declare(Item::axiom("tm", "Set"))],
+        };
+        let s = render_module_type(&mt);
+        assert!(s.contains("Module Type STLC◦tm (self : STLC◦tm◦Ctx)."));
+        assert!(s.contains("Axiom tm : Set."));
+        assert!(s.contains("End STLC◦tm."));
+    }
+
+    #[test]
+    fn renders_includes() {
+        let m = Module {
+            name: "STLCFix◦subst◦Cases".into(),
+            self_ctx: Some("STLCFix◦subst◦Cases◦Ctx".into()),
+            entries: vec![
+                ModEntry::Include("STLC◦subst◦Cases".into()),
+                ModEntry::Declare(Item::definition("subst◦tm_fix", "…")),
+            ],
+        };
+        let s = render_module(&m);
+        assert!(s.contains("Include STLC◦subst◦Cases(self)."));
+        assert!(s.contains("Def subst◦tm_fix"));
+    }
+}
+
+#[cfg(test)]
+mod env_tests {
+    use super::*;
+    use crate::module::{Item, ModuleEnv};
+
+    #[test]
+    fn render_env_in_registration_order() {
+        let mut env = ModuleEnv::new();
+        env.add_module_type(ModuleType {
+            name: "A◦Ctx".into(),
+            self_ctx: None,
+            entries: vec![],
+        })
+        .unwrap();
+        env.add_module(Module {
+            name: "A".into(),
+            self_ctx: Some("A◦Ctx".into()),
+            entries: vec![ModEntry::Declare(Item::definition("a", "…"))],
+        })
+        .unwrap();
+        let out = render_env(&env);
+        let ctx_pos = out.find("Module Type A◦Ctx.").unwrap();
+        let mod_pos = out.find("Module A (self : A◦Ctx).").unwrap();
+        assert!(ctx_pos < mod_pos);
+    }
+}

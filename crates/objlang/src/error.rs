@@ -1,0 +1,72 @@
+//! Error type shared across the object-logic crate.
+
+use std::fmt;
+
+/// An error raised while checking terms, proofs or definitions.
+///
+/// The payload is a human-readable message plus a context trail built up
+/// as the error propagates outward (innermost first).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Error {
+    message: String,
+    context: Vec<String>,
+}
+
+impl Error {
+    /// Creates an error with a message.
+    pub fn new(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+            context: Vec::new(),
+        }
+    }
+
+    /// Adds a context frame (outermost last).
+    pub fn with_context(mut self, ctx: impl Into<String>) -> Error {
+        self.context.push(ctx.into());
+        self
+    }
+
+    /// The base message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        for c in &self.context {
+            write!(f, "\n  in {c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::new("boom")
+            .with_context("case ht_app")
+            .with_context("family STLC");
+        let s = format!("{e}");
+        assert!(s.contains("boom"));
+        assert!(s.contains("case ht_app"));
+        assert!(s.contains("family STLC"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        let e = Error::new("x");
+        takes_err(&e);
+    }
+}

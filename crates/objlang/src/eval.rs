@@ -1,0 +1,235 @@
+//! A call-by-value evaluator for closed object terms.
+//!
+//! This is the "program extraction" substrate of the reproduction: once a
+//! family is closed, its recursive functions (e.g. the abstract
+//! interpreters of the Imp case study, Section 7) are ordinary total
+//! functions that this evaluator runs. Evaluation is justified by exactly
+//! the computation equations registered in the signature — each reduction
+//! step is an instance of a `CompEq`/`DeltaEq` fact, so the evaluator
+//! agrees with the logic by construction.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::ident::Symbol;
+use crate::sig::{FnDef, Signature};
+use crate::syntax::Term;
+
+/// Evaluates a closed term to a constructor-headed value.
+///
+/// `fuel` bounds the number of function-application steps; structural
+/// recursion guarantees termination, but aliases composed with deep data
+/// can still be expensive, so a bound keeps the evaluator total.
+///
+/// # Errors
+///
+/// Fails on open terms, unknown symbols, missing case handlers (a
+/// recursion applied to a constructor it has no case for — impossible for
+/// family-closed functions, which are exhaustivity-checked), or fuel
+/// exhaustion.
+pub fn eval(sig: &Signature, term: &Term, fuel: &mut u64) -> Result<Term> {
+    if *fuel == 0 {
+        return Err(Error::new("evaluator out of fuel"));
+    }
+    *fuel -= 1;
+    match term {
+        Term::Var(v) => Err(Error::new(format!(
+            "cannot evaluate open term: variable {v}"
+        ))),
+        Term::Lit(_) => Ok(term.clone()),
+        Term::Ctor(c, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(sig, a, fuel)?);
+            }
+            Ok(Term::Ctor(*c, vals))
+        }
+        Term::Fn(f, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(sig, a, fuel)?);
+            }
+            apply(sig, *f, vals, fuel)
+        }
+    }
+}
+
+fn apply(sig: &Signature, f: Symbol, vals: Vec<Term>, fuel: &mut u64) -> Result<Term> {
+    let def = sig
+        .function(f)
+        .ok_or_else(|| Error::new(format!("unknown function {f}")))?;
+    match def {
+        FnDef::IdEqb => {
+            let (a, b) = (&vals[0], &vals[1]);
+            match (a, b) {
+                (Term::Lit(x), Term::Lit(y)) => Ok(Term::c0(if x == y { "true" } else { "false" })),
+                _ => Err(Error::new(format!(
+                    "id_eqb applied to non-literals {a}, {b}"
+                ))),
+            }
+        }
+        FnDef::Abstract { .. } => Err(Error::new(format!(
+            "cannot evaluate abstract (late-bound) function {f}; close the family first"
+        ))),
+        FnDef::Alias(a) => {
+            let mut map = HashMap::new();
+            for ((p, _), v) in a.params.iter().zip(&vals) {
+                map.insert(*p, v.clone());
+            }
+            let body = a.body.subst(&map);
+            eval(sig, &body, fuel)
+        }
+        FnDef::Rec(r) => {
+            let scrutinee = vals
+                .first()
+                .ok_or_else(|| Error::new(format!("recursive function {f} applied to no args")))?;
+            let (ctor, ctor_args) = match scrutinee {
+                Term::Ctor(c, args) => (*c, args.clone()),
+                other => {
+                    return Err(Error::new(format!(
+                        "recursive function {f} applied to non-constructor {other}"
+                    )))
+                }
+            };
+            let case = r.cases.iter().find(|c| c.ctor == ctor).ok_or_else(|| {
+                Error::new(format!("function {f} has no case for constructor {ctor}"))
+            })?;
+            let mut map = HashMap::new();
+            for (v, a) in case.arg_vars.iter().zip(&ctor_args) {
+                map.insert(*v, a.clone());
+            }
+            for ((p, _), v) in r.params.iter().zip(vals.iter().skip(1)) {
+                map.insert(*p, v.clone());
+            }
+            let body = case.body.subst(&map);
+            eval(sig, &body, fuel)
+        }
+    }
+}
+
+/// Evaluates with a default fuel budget.
+pub fn eval_default(sig: &Signature, term: &Term) -> Result<Term> {
+    let mut fuel = 1_000_000;
+    eval(sig, term, &mut fuel)
+}
+
+/// Converts a Rust `u64` into a `nat` numeral (`succ^n zero`).
+pub fn nat_lit(n: u64) -> Term {
+    let mut t = Term::c0("zero");
+    for _ in 0..n {
+        t = Term::ctor("succ", vec![t]);
+    }
+    t
+}
+
+/// Reads a `nat` value back into a `u64`, if it is a numeral.
+pub fn nat_value(t: &Term) -> Option<u64> {
+    let mut n = 0;
+    let mut cur = t;
+    loop {
+        match cur {
+            Term::Ctor(c, args) if c.as_str() == "succ" && args.len() == 1 => {
+                n += 1;
+                cur = &args[0];
+            }
+            Term::Ctor(c, args) if c.as_str() == "zero" && args.is_empty() => return Some(n),
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::sym;
+    use crate::sig::{CtorSig, Datatype, RecCase, RecFn};
+    use crate::syntax::Sort;
+
+    fn sig_with_add() -> Signature {
+        let mut s = Signature::new();
+        s.add_datatype(Datatype {
+            name: sym("nat"),
+            ctors: vec![
+                CtorSig::new("zero", vec![]),
+                CtorSig::new("succ", vec![Sort::named("nat")]),
+            ],
+            extensible: false,
+        })
+        .unwrap();
+        s.add_fn(FnDef::Rec(RecFn {
+            name: sym("add"),
+            rec_sort: sym("nat"),
+            params: vec![(sym("m"), Sort::named("nat"))],
+            ret: Sort::named("nat"),
+            cases: vec![
+                RecCase {
+                    ctor: sym("zero"),
+                    arg_vars: vec![],
+                    body: Term::var("m"),
+                },
+                RecCase {
+                    ctor: sym("succ"),
+                    arg_vars: vec![sym("n")],
+                    body: Term::ctor(
+                        "succ",
+                        vec![Term::func("add", vec![Term::var("n"), Term::var("m")])],
+                    ),
+                },
+            ],
+        }))
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn add_evaluates() {
+        let s = sig_with_add();
+        let t = Term::func("add", vec![nat_lit(3), nat_lit(4)]);
+        let v = eval_default(&s, &t).unwrap();
+        assert_eq!(nat_value(&v), Some(7));
+    }
+
+    #[test]
+    fn id_eqb_builtin() {
+        let mut s = Signature::new();
+        s.add_datatype(Datatype {
+            name: sym("bool"),
+            ctors: vec![CtorSig::new("true", vec![]), CtorSig::new("false", vec![])],
+            extensible: false,
+        })
+        .unwrap();
+        s.add_fn(FnDef::IdEqb).unwrap();
+        let t = Term::func("id_eqb", vec![Term::lit("x"), Term::lit("x")]);
+        assert_eq!(eval_default(&s, &t).unwrap(), Term::c0("true"));
+        let u = Term::func("id_eqb", vec![Term::lit("x"), Term::lit("y")]);
+        assert_eq!(eval_default(&s, &u).unwrap(), Term::c0("false"));
+    }
+
+    #[test]
+    fn open_term_fails() {
+        let s = sig_with_add();
+        assert!(eval_default(&s, &Term::var("x")).is_err());
+    }
+
+    #[test]
+    fn abstract_fn_fails() {
+        let mut s = sig_with_add();
+        s.add_fn(FnDef::Abstract {
+            name: sym("mystery"),
+            params: vec![Sort::named("nat")],
+            ret: Sort::named("nat"),
+        })
+        .unwrap();
+        let t = Term::func("mystery", vec![nat_lit(0)]);
+        let err = eval_default(&s, &t).unwrap_err();
+        assert!(format!("{err}").contains("late-bound"));
+    }
+
+    #[test]
+    fn nat_roundtrip() {
+        for n in [0u64, 1, 2, 17] {
+            assert_eq!(nat_value(&nat_lit(n)), Some(n));
+        }
+        assert_eq!(nat_value(&Term::lit("x")), None);
+    }
+}

@@ -1,0 +1,74 @@
+//! # objlang — a first-order logic workbench with an LCF-style kernel
+//!
+//! This crate is the *proof-assistant substrate* of the `fpop-rs`
+//! reproduction of “Extensible Metatheory Mechanization via Family
+//! Polymorphism” (PLDI 2023). The paper's plugin drives Coq; having no Coq,
+//! we build the part of a proof assistant the case studies need:
+//!
+//! * first-order **terms and propositions** over declared sorts
+//!   ([`syntax`]),
+//! * **datatypes**, structurally **recursive functions** with per-case
+//!   computation equations, and **inductively defined relations**
+//!   ([`sig`]),
+//! * an **LCF-style proof kernel** ([`proof`]) whose primitives enforce the
+//!   paper's open-world restrictions: no closed-world case analysis or
+//!   inversion on *extensible* datatypes/predicates (C1), no unfolding of
+//!   late-bound functions — only their propositional computation equations
+//!   via `fsimpl` (C2), and constructor injectivity/disjointness on
+//!   extensible datatypes only under a partial-recursor licence (§3.6),
+//! * **rule induction** with explicit motives — the logical content of
+//!   `FInduction` ([`induction`]),
+//! * **tactics as data** with a bounded `auto` search ([`tactic`]), so
+//!   proof scripts can be replayed by derived families,
+//! * an **evaluator** for closed programs — the stand-in for program
+//!   extraction ([`eval`]),
+//! * a **prelude** of library types and monomorphization templates
+//!   ([`prelude`]).
+//!
+//! # Example
+//!
+//! ```
+//! use objlang::prelude;
+//! use objlang::proof::ProofState;
+//! use objlang::sig::Signature;
+//! use objlang::syntax::{Prop, Sort, Term};
+//!
+//! # fn main() -> Result<(), objlang::error::Error> {
+//! let mut sig = Signature::new();
+//! prelude::install(&mut sig)?;
+//! prelude::install_nat_add(&mut sig)?;
+//!
+//! // forall n, add zero n = n
+//! let goal = Prop::forall(
+//!     "n",
+//!     Sort::named("nat"),
+//!     Prop::eq(
+//!         Term::func("add", vec![Term::c0("zero"), Term::var("n")]),
+//!         Term::var("n"),
+//!     ),
+//! );
+//! let mut st = ProofState::new(&sig, goal)?;
+//! st.intro()?;
+//! st.fsimpl()?;   // rewrite with add's computation equation
+//! st.reflexivity()?;
+//! let _theorem = st.qed()?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod eval;
+pub mod ident;
+pub mod induction;
+pub mod prelude;
+pub mod proof;
+pub mod sig;
+pub mod syntax;
+pub mod tactic;
+
+pub use error::{Error, Result};
+pub use ident::{sym, Symbol};
+pub use proof::{ProofState, ProvedSequent, Sequent, Theorem};
+pub use sig::Signature;
+pub use syntax::{Prop, Sort, Term};
+pub use tactic::Tactic;

@@ -1,0 +1,369 @@
+//! The standard prelude installed into every development's signature.
+//!
+//! Provides the library datatypes the case studies rely on (`bool`, `nat`),
+//! the builtin identifier equality `id_eqb` together with its trusted
+//! reasoning principles, and *monomorphization templates* for the generic
+//! containers (`option`, `pair`, conditional `ite`) — the substitute for
+//! Coq's polymorphic library types documented in DESIGN.md: a first-order
+//! logic cannot quantify over sorts, so `option ty` becomes the generated
+//! datatype `option@ty` with constructors `none@ty` / `some@ty`.
+
+use crate::error::Result;
+use crate::ident::{sym, Symbol};
+use crate::sig::{AliasFn, CtorSig, Datatype, FactKind, FnDef, RecCase, RecFn, Signature};
+use crate::syntax::{Prop, Sort, Term};
+
+/// Installs `bool`, `nat`, `id_eqb` and the trusted `id_eqb` axioms.
+///
+/// The axioms (`id_eqb_refl`, `id_eqb_eq`, `id_eqb_neq`) are true of the
+/// builtin evaluator and form part of the development's trusted base; they
+/// are reported by the assumption audit of the module layer.
+pub fn install(sig: &mut Signature) -> Result<()> {
+    sig.add_datatype(Datatype {
+        name: sym("bool"),
+        ctors: vec![CtorSig::new("true", vec![]), CtorSig::new("false", vec![])],
+        extensible: false,
+    })?;
+    sig.add_datatype(Datatype {
+        name: sym("nat"),
+        ctors: vec![
+            CtorSig::new("zero", vec![]),
+            CtorSig::new("succ", vec![Sort::named("nat")]),
+        ],
+        extensible: false,
+    })?;
+    sig.add_fn(FnDef::IdEqb)?;
+
+    let id = Sort::Id;
+    let x = Term::var("x");
+    let y = Term::var("y");
+    // id_eqb_refl : forall x, id_eqb x x = true
+    sig.add_fact(
+        sym("id_eqb_refl"),
+        Prop::forall(
+            "x",
+            id,
+            Prop::eq(
+                Term::func("id_eqb", vec![x.clone(), x.clone()]),
+                Term::c0("true"),
+            ),
+        ),
+        FactKind::Axiom,
+    )?;
+    // id_eqb_eq : forall x y, id_eqb x y = true -> x = y
+    sig.add_fact(
+        sym("id_eqb_eq"),
+        Prop::forall(
+            "x",
+            id,
+            Prop::forall(
+                "y",
+                id,
+                Prop::imp(
+                    Prop::eq(
+                        Term::func("id_eqb", vec![x.clone(), y.clone()]),
+                        Term::c0("true"),
+                    ),
+                    Prop::eq(x.clone(), y.clone()),
+                ),
+            ),
+        ),
+        FactKind::Axiom,
+    )?;
+    // id_eqb_sym : forall x y, id_eqb x y = id_eqb y x
+    sig.add_fact(
+        sym("id_eqb_sym"),
+        Prop::forall(
+            "x",
+            id,
+            Prop::forall(
+                "y",
+                id,
+                Prop::eq(
+                    Term::func("id_eqb", vec![x.clone(), y.clone()]),
+                    Term::func("id_eqb", vec![y.clone(), x.clone()]),
+                ),
+            ),
+        ),
+        FactKind::Axiom,
+    )?;
+    // id_eqb_neq : forall x y, id_eqb x y = false -> x = y -> False
+    sig.add_fact(
+        sym("id_eqb_neq"),
+        Prop::forall(
+            "x",
+            id,
+            Prop::forall(
+                "y",
+                id,
+                Prop::imp(
+                    Prop::eq(
+                        Term::func("id_eqb", vec![x.clone(), y.clone()]),
+                        Term::c0("false"),
+                    ),
+                    Prop::imp(Prop::eq(x, y), Prop::False),
+                ),
+            ),
+        ),
+        FactKind::Axiom,
+    )?;
+    Ok(())
+}
+
+/// Name of the monomorphized `option` datatype over `elem`.
+pub fn option_sort_name(elem: Sort) -> Symbol {
+    sym(&format!("option@{elem}"))
+}
+/// Name of the `some` constructor of `option@elem`.
+pub fn some_name(elem: Sort) -> Symbol {
+    sym(&format!("some@{elem}"))
+}
+/// Name of the `none` constructor of `option@elem`.
+pub fn none_name(elem: Sort) -> Symbol {
+    sym(&format!("none@{elem}"))
+}
+
+/// Installs `option@elem` if not present; returns its sort.
+pub fn install_option(sig: &mut Signature, elem: Sort) -> Result<Sort> {
+    let name = option_sort_name(elem);
+    if sig.datatype(name).is_none() {
+        sig.add_datatype(Datatype {
+            name,
+            ctors: vec![
+                CtorSig {
+                    name: none_name(elem),
+                    args: vec![],
+                },
+                CtorSig {
+                    name: some_name(elem),
+                    args: vec![elem],
+                },
+            ],
+            extensible: false,
+        })?;
+    }
+    Ok(Sort::Named(name))
+}
+
+/// Name of the monomorphized pair datatype.
+pub fn pair_sort_name(a: Sort, b: Sort) -> Symbol {
+    sym(&format!("pair@{a}@{b}"))
+}
+/// Name of the pair constructor.
+pub fn mkpair_name(a: Sort, b: Sort) -> Symbol {
+    sym(&format!("mkpair@{a}@{b}"))
+}
+
+/// Installs `pair@a@b` if not present; returns its sort.
+pub fn install_pair(sig: &mut Signature, a: Sort, b: Sort) -> Result<Sort> {
+    let name = pair_sort_name(a, b);
+    if sig.datatype(name).is_none() {
+        sig.add_datatype(Datatype {
+            name,
+            ctors: vec![CtorSig {
+                name: mkpair_name(a, b),
+                args: vec![a, b],
+            }],
+            extensible: false,
+        })?;
+    }
+    Ok(Sort::Named(name))
+}
+
+/// Name of the monomorphized conditional over a result sort.
+pub fn ite_name(result: Sort) -> Symbol {
+    sym(&format!("ite@{result}"))
+}
+
+/// Installs `ite@result : bool → result → result → result` (by recursion on
+/// `bool`) together with its two computation equations, if not present.
+///
+/// Returns the function name. The equations `ite@R true a b = a` and
+/// `ite@R false a b = b` are registered as `CompEq` facts so `fsimpl`
+/// reduces conditionals.
+pub fn install_ite(sig: &mut Signature, result: Sort) -> Result<Symbol> {
+    let name = ite_name(result);
+    if sig.function(name).is_some() {
+        return Ok(name);
+    }
+    let f = RecFn {
+        name,
+        rec_sort: sym("bool"),
+        params: vec![(sym("then_"), result), (sym("else_"), result)],
+        ret: result,
+        cases: vec![
+            RecCase {
+                ctor: sym("true"),
+                arg_vars: vec![],
+                body: Term::var("then_"),
+            },
+            RecCase {
+                ctor: sym("false"),
+                arg_vars: vec![],
+                body: Term::var("else_"),
+            },
+        ],
+    };
+    let bool_dt = sig
+        .datatype(sym("bool"))
+        .expect("prelude installed")
+        .clone();
+    for case in &f.cases {
+        let ctor = bool_dt
+            .ctors
+            .iter()
+            .find(|c| c.name == case.ctor)
+            .expect("bool ctor");
+        sig.add_fact(
+            sym(&format!("{name}_{}_eq", case.ctor)),
+            f.case_equation(case, ctor),
+            FactKind::CompEq,
+        )?;
+    }
+    sig.add_fn(FnDef::Rec(f))?;
+    Ok(name)
+}
+
+/// Builds the term `ite@R c a b`, installing the conditional if needed.
+pub fn ite(sig: &mut Signature, result: Sort, c: Term, a: Term, b: Term) -> Result<Term> {
+    let name = install_ite(sig, result)?;
+    Ok(Term::Fn(name, vec![c, a, b]))
+}
+
+/// Installs `nat` arithmetic helpers (`add`, registered with computation
+/// equations) used by the Imp case study. Idempotent.
+pub fn install_nat_add(sig: &mut Signature) -> Result<()> {
+    if sig.function(sym("add")).is_some() {
+        return Ok(());
+    }
+    let add = RecFn {
+        name: sym("add"),
+        rec_sort: sym("nat"),
+        params: vec![(sym("m"), Sort::named("nat"))],
+        ret: Sort::named("nat"),
+        cases: vec![
+            RecCase {
+                ctor: sym("zero"),
+                arg_vars: vec![],
+                body: Term::var("m"),
+            },
+            RecCase {
+                ctor: sym("succ"),
+                arg_vars: vec![sym("n")],
+                body: Term::ctor(
+                    "succ",
+                    vec![Term::func("add", vec![Term::var("n"), Term::var("m")])],
+                ),
+            },
+        ],
+    };
+    let dt = sig.datatype(sym("nat")).expect("prelude installed").clone();
+    for case in &add.cases {
+        let ctor = dt
+            .ctors
+            .iter()
+            .find(|c| c.name == case.ctor)
+            .expect("nat ctor");
+        sig.add_fact(
+            sym(&format!("add_{}_eq", case.ctor)),
+            add.case_equation(case, ctor),
+            FactKind::CompEq,
+        )?;
+    }
+    sig.add_fn(FnDef::Rec(add))?;
+    Ok(())
+}
+
+/// Installs a transparent alias with its delta equation registered for
+/// `fsimpl`. Convenience used by tests and the family layer.
+pub fn install_alias(sig: &mut Signature, alias: AliasFn) -> Result<()> {
+    let eq_name = sym(&format!("{}_eq", alias.name));
+    sig.add_fact(eq_name, alias.delta_equation(), FactKind::DeltaEq)?;
+    sig.add_fn(FnDef::Alias(alias))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_default;
+    use crate::proof::ProofState;
+
+    #[test]
+    fn prelude_installs() {
+        let mut s = Signature::new();
+        install(&mut s).unwrap();
+        assert!(s.datatype(sym("bool")).is_some());
+        assert!(s.datatype(sym("nat")).is_some());
+        assert!(s.fact(sym("id_eqb_eq")).is_some());
+    }
+
+    #[test]
+    fn option_and_pair_idempotent() {
+        let mut s = Signature::new();
+        install(&mut s).unwrap();
+        let o1 = install_option(&mut s, Sort::named("nat")).unwrap();
+        let o2 = install_option(&mut s, Sort::named("nat")).unwrap();
+        assert_eq!(o1, o2);
+        let p1 = install_pair(&mut s, Sort::Id, Sort::named("nat")).unwrap();
+        let p2 = install_pair(&mut s, Sort::Id, Sort::named("nat")).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn ite_evaluates_and_simplifies() {
+        let mut s = Signature::new();
+        install(&mut s).unwrap();
+        let t = ite(
+            &mut s,
+            Sort::named("nat"),
+            Term::c0("true"),
+            crate::eval::nat_lit(1),
+            crate::eval::nat_lit(2),
+        )
+        .unwrap();
+        assert_eq!(eval_default(&s, &t).unwrap(), crate::eval::nat_lit(1));
+
+        // fsimpl reduces ite true too.
+        let goal = Prop::eq(t, crate::eval::nat_lit(1));
+        let mut st = ProofState::new(&s, goal).unwrap();
+        st.fsimpl().unwrap();
+        st.reflexivity().unwrap();
+        st.qed().unwrap();
+    }
+
+    #[test]
+    fn id_eqb_axioms_usable() {
+        let mut s = Signature::new();
+        install(&mut s).unwrap();
+        // forall x, id_eqb x x = true, via the axiom.
+        let goal = Prop::forall(
+            "a",
+            Sort::Id,
+            Prop::eq(
+                Term::func("id_eqb", vec![Term::var("a"), Term::var("a")]),
+                Term::c0("true"),
+            ),
+        );
+        let mut st = ProofState::new(&s, goal).unwrap();
+        st.intro().unwrap();
+        st.apply_fact("id_eqb_refl", &[]).unwrap();
+        st.qed().unwrap();
+    }
+
+    #[test]
+    fn nat_add_helper() {
+        let mut s = Signature::new();
+        install(&mut s).unwrap();
+        install_nat_add(&mut s).unwrap();
+        install_nat_add(&mut s).unwrap(); // idempotent
+        let t = Term::func(
+            "add",
+            vec![crate::eval::nat_lit(2), crate::eval::nat_lit(2)],
+        );
+        assert_eq!(
+            crate::eval::nat_value(&eval_default(&s, &t).unwrap()),
+            Some(4)
+        );
+    }
+}

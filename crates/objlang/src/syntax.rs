@@ -1,0 +1,686 @@
+//! First-order object syntax: sorts, terms, and propositions.
+//!
+//! The object language deliberately stays first order: terms are built from
+//! variables, datatype constructors, defined-function applications and
+//! identifier literals. Propositions add equality, inductive-predicate
+//! atoms, defined propositions, the usual connectives, and sorted
+//! quantifiers. This is the fragment the paper's case studies actually
+//! exercise (Section 7), and it is what makes a small trustworthy proof
+//! kernel feasible.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ident::Symbol;
+
+/// A sort (object-level type).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sort {
+    /// A named datatype sort (e.g. `tm`, `ty`, `bool`, `env`).
+    Named(Symbol),
+    /// The builtin sort of object identifiers (e.g. variable names of an
+    /// object language), with decidable equality `id_eqb`.
+    Id,
+}
+
+impl Sort {
+    /// Convenience constructor for a named sort.
+    pub fn named(s: &str) -> Sort {
+        Sort::Named(Symbol::new(s))
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Named(s) => write!(f, "{s}"),
+            Sort::Id => write!(f, "id"),
+        }
+    }
+}
+
+/// A first-order term.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A variable (free in a sequent, or bound by an enclosing quantifier).
+    Var(Symbol),
+    /// A fully applied datatype constructor.
+    Ctor(Symbol, Vec<Term>),
+    /// A fully applied (defined or builtin) function.
+    Fn(Symbol, Vec<Term>),
+    /// An identifier literal of sort [`Sort::Id`].
+    Lit(Symbol),
+}
+
+impl Term {
+    /// Variable term.
+    pub fn var(s: &str) -> Term {
+        Term::Var(Symbol::new(s))
+    }
+    /// Constructor application.
+    pub fn ctor(s: &str, args: Vec<Term>) -> Term {
+        Term::Ctor(Symbol::new(s), args)
+    }
+    /// Nullary constructor.
+    pub fn c0(s: &str) -> Term {
+        Term::Ctor(Symbol::new(s), vec![])
+    }
+    /// Function application.
+    pub fn func(s: &str, args: Vec<Term>) -> Term {
+        Term::Fn(Symbol::new(s), args)
+    }
+    /// Identifier literal.
+    pub fn lit(s: &str) -> Term {
+        Term::Lit(Symbol::new(s))
+    }
+
+    /// Collects the free variables of the term into `out`.
+    pub fn free_vars_into(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Term::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Term::Ctor(_, args) | Term::Fn(_, args) => {
+                for a in args {
+                    a.free_vars_into(out);
+                }
+            }
+            Term::Lit(_) => {}
+        }
+    }
+
+    /// The free variables of the term.
+    pub fn free_vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.free_vars_into(&mut out);
+        out
+    }
+
+    /// Simultaneous substitution of variables.
+    pub fn subst(&self, map: &HashMap<Symbol, Term>) -> Term {
+        match self {
+            Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
+            Term::Ctor(c, args) => Term::Ctor(*c, args.iter().map(|a| a.subst(map)).collect()),
+            Term::Fn(f, args) => Term::Fn(*f, args.iter().map(|a| a.subst(map)).collect()),
+            Term::Lit(_) => self.clone(),
+        }
+    }
+
+    /// Substitutes a single variable.
+    pub fn subst1(&self, var: Symbol, replacement: &Term) -> Term {
+        let mut map = HashMap::new();
+        map.insert(var, replacement.clone());
+        self.subst(&map)
+    }
+
+    /// Returns `true` if `needle` occurs as a subterm.
+    pub fn contains(&self, needle: &Term) -> bool {
+        if self == needle {
+            return true;
+        }
+        match self {
+            Term::Ctor(_, args) | Term::Fn(_, args) => args.iter().any(|a| a.contains(needle)),
+            _ => false,
+        }
+    }
+
+    /// Replaces every occurrence of `from` (as a whole subterm) by `to`.
+    pub fn replace(&self, from: &Term, to: &Term) -> Term {
+        if self == from {
+            return to.clone();
+        }
+        match self {
+            Term::Ctor(c, args) => {
+                Term::Ctor(*c, args.iter().map(|a| a.replace(from, to)).collect())
+            }
+            Term::Fn(f, args) => Term::Fn(*f, args.iter().map(|a| a.replace(from, to)).collect()),
+            _ => self.clone(),
+        }
+    }
+
+    /// One-sided first-order matching: tries to instantiate the variables
+    /// in `pattern_vars` (treated as metavariables of `self`) so that
+    /// `self` becomes `target`. Other variables match only themselves.
+    ///
+    /// On success extends `subst` in place; on failure `subst` may contain
+    /// partial bindings, so callers should pass a scratch map.
+    pub fn match_against(
+        &self,
+        target: &Term,
+        pattern_vars: &[Symbol],
+        subst: &mut HashMap<Symbol, Term>,
+    ) -> bool {
+        match (self, target) {
+            (Term::Var(v), _) if pattern_vars.contains(v) => {
+                if let Some(bound) = subst.get(v) {
+                    bound == target
+                } else {
+                    subst.insert(*v, target.clone());
+                    true
+                }
+            }
+            (Term::Var(v), Term::Var(w)) => v == w,
+            (Term::Lit(a), Term::Lit(b)) => a == b,
+            (Term::Ctor(c, xs), Term::Ctor(d, ys)) if c == d && xs.len() == ys.len() => xs
+                .iter()
+                .zip(ys)
+                .all(|(x, y)| x.match_against(y, pattern_vars, subst)),
+            (Term::Fn(c, xs), Term::Fn(d, ys)) if c == d && xs.len() == ys.len() => xs
+                .iter()
+                .zip(ys)
+                .all(|(x, y)| x.match_against(y, pattern_vars, subst)),
+            _ => false,
+        }
+    }
+
+    /// Size of the term (number of nodes); used by automation heuristics.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Lit(_) => 1,
+            Term::Ctor(_, args) | Term::Fn(_, args) => {
+                1 + args.iter().map(Term::size).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Lit(l) => write!(f, "\"{l}\""),
+            Term::Ctor(c, args) | Term::Fn(c, args) => {
+                if args.is_empty() {
+                    write!(f, "{c}")
+                } else {
+                    write!(f, "({c}")?;
+                    for a in args {
+                        write!(f, " {a}")?;
+                    }
+                    write!(f, ")")
+                }
+            }
+        }
+    }
+}
+
+/// A proposition of the object logic.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Prop {
+    /// Trivial truth.
+    True,
+    /// Falsity.
+    False,
+    /// Equality of two terms of a common sort.
+    Eq(Term, Term),
+    /// Application of an inductively defined predicate.
+    Atom(Symbol, Vec<Term>),
+    /// Application of a transparent, unfoldable defined proposition.
+    Def(Symbol, Vec<Term>),
+    /// Conjunction.
+    And(Box<Prop>, Box<Prop>),
+    /// Disjunction.
+    Or(Box<Prop>, Box<Prop>),
+    /// Implication.
+    Imp(Box<Prop>, Box<Prop>),
+    /// Universal quantification over a sort.
+    Forall(Symbol, Sort, Box<Prop>),
+    /// Existential quantification over a sort.
+    Exists(Symbol, Sort, Box<Prop>),
+}
+
+impl Prop {
+    /// Equality proposition.
+    pub fn eq(a: Term, b: Term) -> Prop {
+        Prop::Eq(a, b)
+    }
+    /// Predicate atom.
+    pub fn atom(s: &str, args: Vec<Term>) -> Prop {
+        Prop::Atom(Symbol::new(s), args)
+    }
+    /// Implication, boxing both sides.
+    pub fn imp(a: Prop, b: Prop) -> Prop {
+        Prop::Imp(Box::new(a), Box::new(b))
+    }
+    /// Conjunction.
+    pub fn and(a: Prop, b: Prop) -> Prop {
+        Prop::And(Box::new(a), Box::new(b))
+    }
+    /// Disjunction.
+    pub fn or(a: Prop, b: Prop) -> Prop {
+        Prop::Or(Box::new(a), Box::new(b))
+    }
+    /// Negation, encoded as `p → ⊥`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(p: Prop) -> Prop {
+        Prop::imp(p, Prop::False)
+    }
+    /// Universal quantifier.
+    pub fn forall(v: &str, sort: Sort, body: Prop) -> Prop {
+        Prop::Forall(Symbol::new(v), sort, Box::new(body))
+    }
+    /// Existential quantifier.
+    pub fn exists(v: &str, sort: Sort, body: Prop) -> Prop {
+        Prop::Exists(Symbol::new(v), sort, Box::new(body))
+    }
+    /// Nested universal quantification.
+    pub fn foralls(binders: &[(Symbol, Sort)], body: Prop) -> Prop {
+        binders
+            .iter()
+            .rev()
+            .fold(body, |acc, (v, s)| Prop::Forall(*v, *s, Box::new(acc)))
+    }
+    /// Chains implications: `ps[0] → … → ps[n] → concl`.
+    pub fn imps(ps: &[Prop], concl: Prop) -> Prop {
+        ps.iter()
+            .rev()
+            .fold(concl, |acc, p| Prop::imp(p.clone(), acc))
+    }
+
+    /// Collects free variables.
+    pub fn free_vars_into(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Prop::True | Prop::False => {}
+            Prop::Eq(a, b) => {
+                a.free_vars_into(out);
+                b.free_vars_into(out);
+            }
+            Prop::Atom(_, args) | Prop::Def(_, args) => {
+                for a in args {
+                    a.free_vars_into(out);
+                }
+            }
+            Prop::And(a, b) | Prop::Or(a, b) | Prop::Imp(a, b) => {
+                a.free_vars_into(out);
+                b.free_vars_into(out);
+            }
+            Prop::Forall(v, _, body) | Prop::Exists(v, _, body) => {
+                let mut inner = Vec::new();
+                body.free_vars_into(&mut inner);
+                for x in inner {
+                    if x != *v && !out.contains(&x) {
+                        out.push(x);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Free variables of the proposition.
+    pub fn free_vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.free_vars_into(&mut out);
+        out
+    }
+
+    /// Capture-avoiding simultaneous substitution of terms for variables.
+    pub fn subst(&self, map: &HashMap<Symbol, Term>) -> Prop {
+        match self {
+            Prop::True => Prop::True,
+            Prop::False => Prop::False,
+            Prop::Eq(a, b) => Prop::Eq(a.subst(map), b.subst(map)),
+            Prop::Atom(p, args) => Prop::Atom(*p, args.iter().map(|a| a.subst(map)).collect()),
+            Prop::Def(p, args) => Prop::Def(*p, args.iter().map(|a| a.subst(map)).collect()),
+            Prop::And(a, b) => Prop::and(a.subst(map), b.subst(map)),
+            Prop::Or(a, b) => Prop::or(a.subst(map), b.subst(map)),
+            Prop::Imp(a, b) => Prop::imp(a.subst(map), b.subst(map)),
+            Prop::Forall(v, s, body) | Prop::Exists(v, s, body) => {
+                // Remove shadowed binding; rename if capture threatens.
+                let mut inner_map = map.clone();
+                inner_map.remove(v);
+                let would_capture = inner_map.values().any(|t| t.free_vars().contains(v));
+                let (v2, body2) = if would_capture {
+                    let taken = |cand: Symbol| {
+                        inner_map.values().any(|t| t.free_vars().contains(&cand))
+                            || body.free_vars().contains(&cand)
+                    };
+                    let fresh = v.freshen(&taken);
+                    let renamed = body.subst(&{
+                        let mut m = HashMap::new();
+                        m.insert(*v, Term::Var(fresh));
+                        m
+                    });
+                    (fresh, renamed)
+                } else {
+                    (*v, (**body).clone())
+                };
+                let new_body = Box::new(body2.subst(&inner_map));
+                match self {
+                    Prop::Forall(..) => Prop::Forall(v2, *s, new_body),
+                    _ => Prop::Exists(v2, *s, new_body),
+                }
+            }
+        }
+    }
+
+    /// Substitutes a single variable.
+    pub fn subst1(&self, var: Symbol, replacement: &Term) -> Prop {
+        let mut map = HashMap::new();
+        map.insert(var, replacement.clone());
+        self.subst(&map)
+    }
+
+    /// Replaces each occurrence of the term `from` by `to` (not going under
+    /// a binder that captures variables of `from`/`to`).
+    pub fn replace_term(&self, from: &Term, to: &Term) -> Prop {
+        match self {
+            Prop::True | Prop::False => self.clone(),
+            Prop::Eq(a, b) => Prop::Eq(a.replace(from, to), b.replace(from, to)),
+            Prop::Atom(p, args) => {
+                Prop::Atom(*p, args.iter().map(|a| a.replace(from, to)).collect())
+            }
+            Prop::Def(p, args) => Prop::Def(*p, args.iter().map(|a| a.replace(from, to)).collect()),
+            Prop::And(a, b) => Prop::and(a.replace_term(from, to), b.replace_term(from, to)),
+            Prop::Or(a, b) => Prop::or(a.replace_term(from, to), b.replace_term(from, to)),
+            Prop::Imp(a, b) => Prop::imp(a.replace_term(from, to), b.replace_term(from, to)),
+            Prop::Forall(v, s, body) => {
+                if from.free_vars().contains(v) || to.free_vars().contains(v) {
+                    self.clone()
+                } else {
+                    Prop::Forall(*v, *s, Box::new(body.replace_term(from, to)))
+                }
+            }
+            Prop::Exists(v, s, body) => {
+                if from.free_vars().contains(v) || to.free_vars().contains(v) {
+                    self.clone()
+                } else {
+                    Prop::Exists(*v, *s, Box::new(body.replace_term(from, to)))
+                }
+            }
+        }
+    }
+
+    /// Alpha-equivalence check.
+    pub fn alpha_eq(&self, other: &Prop) -> bool {
+        fn go(
+            a: &Prop,
+            b: &Prop,
+            depth: u32,
+            la: &mut Vec<(Symbol, u32)>,
+            lb: &mut Vec<(Symbol, u32)>,
+        ) -> bool {
+            fn tgo(x: &Term, y: &Term, la: &[(Symbol, u32)], lb: &[(Symbol, u32)]) -> bool {
+                match (x, y) {
+                    (Term::Var(v), Term::Var(w)) => {
+                        let dv = la.iter().rev().find(|(s, _)| s == v).map(|(_, d)| *d);
+                        let dw = lb.iter().rev().find(|(s, _)| s == w).map(|(_, d)| *d);
+                        match (dv, dw) {
+                            (Some(i), Some(j)) => i == j,
+                            (None, None) => v == w,
+                            _ => false,
+                        }
+                    }
+                    (Term::Lit(a), Term::Lit(b)) => a == b,
+                    (Term::Ctor(c, xs), Term::Ctor(d, ys)) | (Term::Fn(c, xs), Term::Fn(d, ys)) => {
+                        c == d
+                            && xs.len() == ys.len()
+                            && xs.iter().zip(ys).all(|(x, y)| tgo(x, y, la, lb))
+                    }
+                    _ => false,
+                }
+            }
+            match (a, b) {
+                (Prop::True, Prop::True) | (Prop::False, Prop::False) => true,
+                (Prop::Eq(x1, y1), Prop::Eq(x2, y2)) => tgo(x1, x2, la, lb) && tgo(y1, y2, la, lb),
+                (Prop::Atom(p, xs), Prop::Atom(q, ys)) | (Prop::Def(p, xs), Prop::Def(q, ys)) => {
+                    p == q
+                        && xs.len() == ys.len()
+                        && xs.iter().zip(ys).all(|(x, y)| tgo(x, y, la, lb))
+                }
+                (Prop::And(a1, b1), Prop::And(a2, b2))
+                | (Prop::Or(a1, b1), Prop::Or(a2, b2))
+                | (Prop::Imp(a1, b1), Prop::Imp(a2, b2)) => {
+                    go(a1, a2, depth, la, lb) && go(b1, b2, depth, la, lb)
+                }
+                (Prop::Forall(v, s1, b1), Prop::Forall(w, s2, b2))
+                | (Prop::Exists(v, s1, b1), Prop::Exists(w, s2, b2)) => {
+                    if s1 != s2 {
+                        return false;
+                    }
+                    la.push((*v, depth));
+                    lb.push((*w, depth));
+                    let r = go(b1, b2, depth + 1, la, lb);
+                    la.pop();
+                    lb.pop();
+                    r
+                }
+                _ => false,
+            }
+        }
+        go(self, other, 0, &mut Vec::new(), &mut Vec::new())
+    }
+
+    /// One-sided matching on propositions (used by `apply`): instantiates
+    /// `pattern_vars` occurring in `self` so that `self` equals `target`.
+    /// Quantified sub-propositions must be alpha-equal (pattern variables
+    /// inside binders are still matched structurally, without capture
+    /// checks; callers only use freshly-renamed patterns).
+    pub fn match_against(
+        &self,
+        target: &Prop,
+        pattern_vars: &[Symbol],
+        subst: &mut HashMap<Symbol, Term>,
+    ) -> bool {
+        match (self, target) {
+            (Prop::True, Prop::True) | (Prop::False, Prop::False) => true,
+            (Prop::Eq(a1, b1), Prop::Eq(a2, b2)) => {
+                a1.match_against(a2, pattern_vars, subst)
+                    && b1.match_against(b2, pattern_vars, subst)
+            }
+            (Prop::Atom(p, xs), Prop::Atom(q, ys)) | (Prop::Def(p, xs), Prop::Def(q, ys)) => {
+                p == q
+                    && xs.len() == ys.len()
+                    && xs
+                        .iter()
+                        .zip(ys)
+                        .all(|(x, y)| x.match_against(y, pattern_vars, subst))
+            }
+            (Prop::And(a1, b1), Prop::And(a2, b2))
+            | (Prop::Or(a1, b1), Prop::Or(a2, b2))
+            | (Prop::Imp(a1, b1), Prop::Imp(a2, b2)) => {
+                a1.match_against(a2, pattern_vars, subst)
+                    && b1.match_against(b2, pattern_vars, subst)
+            }
+            (Prop::Forall(v, s1, b1), Prop::Forall(w, s2, b2))
+            | (Prop::Exists(v, s1, b1), Prop::Exists(w, s2, b2)) => {
+                if s1 != s2 {
+                    return false;
+                }
+                // Rename target binder to pattern binder to compare bodies.
+                if v == w {
+                    b1.match_against(b2, pattern_vars, subst)
+                } else {
+                    let renamed = b2.subst1(*w, &Term::Var(*v));
+                    b1.match_against(&renamed, pattern_vars, subst)
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Strips a rule-shaped proposition into binders, premises and a
+    /// conclusion, alternating between `∀` and `→` as needed: a shape like
+    /// `∀x̄, P → ∀ȳ, Q → C` yields binders `x̄ȳ`, premises `[P, Q]` and
+    /// conclusion `C`. (The commutation is valid because each premise can
+    /// only mention binders collected before it.) Later binders that shadow
+    /// earlier ones are freshened.
+    pub fn strip_rule(&self) -> (Vec<(Symbol, Sort)>, Vec<Prop>, Prop) {
+        let mut binders: Vec<(Symbol, Sort)> = Vec::new();
+        let mut premises = Vec::new();
+        let mut cur = self.clone();
+        loop {
+            match cur {
+                Prop::Forall(v, s, body) => {
+                    if binders.iter().any(|(b, _)| *b == v) {
+                        let taken = |c: Symbol| binders.iter().any(|(b, _)| *b == c);
+                        let fresh = v.freshen(&taken);
+                        binders.push((fresh, s));
+                        cur = body.subst1(v, &Term::Var(fresh));
+                    } else {
+                        binders.push((v, s));
+                        cur = *body;
+                    }
+                }
+                Prop::Imp(p, q) => {
+                    premises.push(*p);
+                    cur = *q;
+                }
+                _ => break,
+            }
+        }
+        (binders, premises, cur)
+    }
+}
+
+impl fmt::Display for Prop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prop::True => write!(f, "True"),
+            Prop::False => write!(f, "False"),
+            Prop::Eq(a, b) => write!(f, "{a} = {b}"),
+            Prop::Atom(p, args) | Prop::Def(p, args) => {
+                if args.is_empty() {
+                    write!(f, "{p}")
+                } else {
+                    write!(f, "({p}")?;
+                    for a in args {
+                        write!(f, " {a}")?;
+                    }
+                    write!(f, ")")
+                }
+            }
+            Prop::And(a, b) => write!(f, "({a} /\\ {b})"),
+            Prop::Or(a, b) => write!(f, "({a} \\/ {b})"),
+            Prop::Imp(a, b) => write!(f, "({a} -> {b})"),
+            Prop::Forall(v, s, body) => write!(f, "(forall ({v} : {s}), {body})"),
+            Prop::Exists(v, s, body) => write!(f, "(exists ({v} : {s}), {body})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::sym;
+
+    fn tvar(s: &str) -> Term {
+        Term::var(s)
+    }
+
+    #[test]
+    fn term_subst_basic() {
+        let t = Term::ctor("pair", vec![tvar("x"), tvar("y")]);
+        let r = t.subst1(sym("x"), &Term::c0("zero"));
+        assert_eq!(r, Term::ctor("pair", vec![Term::c0("zero"), tvar("y")]));
+    }
+
+    #[test]
+    fn term_match_binds_pattern_vars() {
+        let pat = Term::ctor("cons", vec![tvar("h"), tvar("t")]);
+        let target = Term::ctor("cons", vec![Term::c0("a"), Term::c0("nil")]);
+        let mut m = HashMap::new();
+        assert!(pat.match_against(&target, &[sym("h"), sym("t")], &mut m));
+        assert_eq!(m[&sym("h")], Term::c0("a"));
+        assert_eq!(m[&sym("t")], Term::c0("nil"));
+    }
+
+    #[test]
+    fn term_match_nonlinear() {
+        let pat = Term::ctor("pair", vec![tvar("x"), tvar("x")]);
+        let ok = Term::ctor("pair", vec![Term::c0("a"), Term::c0("a")]);
+        let bad = Term::ctor("pair", vec![Term::c0("a"), Term::c0("b")]);
+        let mut m = HashMap::new();
+        assert!(pat.match_against(&ok, &[sym("x")], &mut m));
+        let mut m2 = HashMap::new();
+        assert!(!pat.match_against(&bad, &[sym("x")], &mut m2));
+    }
+
+    #[test]
+    fn prop_subst_avoids_capture() {
+        // (forall y, x = y)[x := y]  must rename the binder.
+        let p = Prop::forall("y", Sort::named("nat"), Prop::eq(tvar("x"), tvar("y")));
+        let r = p.subst1(sym("x"), &tvar("y"));
+        if let Prop::Forall(v, _, body) = &r {
+            assert_ne!(*v, sym("y"));
+            assert_eq!(**body, Prop::eq(tvar("y"), Term::Var(*v)));
+        } else {
+            panic!("expected forall, got {r:?}");
+        }
+    }
+
+    #[test]
+    fn prop_subst_shadowing() {
+        // (forall x, x = z)[x := zero] leaves the bound x alone.
+        let p = Prop::forall("x", Sort::named("nat"), Prop::eq(tvar("x"), tvar("z")));
+        let r = p.subst1(sym("x"), &Term::c0("zero"));
+        assert!(r.alpha_eq(&p));
+    }
+
+    #[test]
+    fn alpha_eq_quantifiers() {
+        let p = Prop::forall("x", Sort::Id, Prop::eq(tvar("x"), tvar("x")));
+        let q = Prop::forall("y", Sort::Id, Prop::eq(tvar("y"), tvar("y")));
+        assert!(p.alpha_eq(&q));
+        let r = Prop::forall("y", Sort::Id, Prop::eq(tvar("y"), tvar("z")));
+        assert!(!p.alpha_eq(&r));
+    }
+
+    #[test]
+    fn strip_rule_decomposes() {
+        let rule = Prop::forall(
+            "x",
+            Sort::Id,
+            Prop::imp(
+                Prop::atom("p", vec![tvar("x")]),
+                Prop::atom("q", vec![tvar("x")]),
+            ),
+        );
+        let (binders, prems, concl) = rule.strip_rule();
+        assert_eq!(binders.len(), 1);
+        assert_eq!(prems.len(), 1);
+        assert_eq!(concl, Prop::atom("q", vec![tvar("x")]));
+    }
+
+    #[test]
+    fn replace_term_in_prop() {
+        let p = Prop::eq(
+            Term::func("subst", vec![Term::c0("tm_unit"), tvar("x"), tvar("t")]),
+            Term::c0("tm_unit"),
+        );
+        let r = p.replace_term(
+            &Term::func("subst", vec![Term::c0("tm_unit"), tvar("x"), tvar("t")]),
+            &Term::c0("tm_unit"),
+        );
+        assert_eq!(r, Prop::eq(Term::c0("tm_unit"), Term::c0("tm_unit")));
+    }
+
+    #[test]
+    fn prop_match_under_binder() {
+        let pat = Prop::forall("z", Sort::Id, Prop::atom("p", vec![tvar("z"), tvar("m")]));
+        let target = Prop::forall(
+            "w",
+            Sort::Id,
+            Prop::atom("p", vec![tvar("w"), Term::c0("k")]),
+        );
+        let mut m = HashMap::new();
+        assert!(pat.match_against(&target, &[sym("m")], &mut m));
+        assert_eq!(m[&sym("m")], Term::c0("k"));
+    }
+
+    #[test]
+    fn free_vars_ignore_bound() {
+        let p = Prop::forall("x", Sort::Id, Prop::eq(tvar("x"), tvar("y")));
+        assert_eq!(p.free_vars(), vec![sym("y")]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Prop::imp(
+            Prop::atom("value", vec![tvar("t")]),
+            Prop::eq(tvar("t"), tvar("t")),
+        );
+        assert_eq!(format!("{p}"), "((value t) -> t = t)");
+    }
+}

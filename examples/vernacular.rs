@@ -1,0 +1,23 @@
+//! The vernacular front end: parse and run an `.fpop` program from disk
+//! (`examples/peano.fpop`), exactly as the paper's plugin consumes Coq
+//! vernacular.
+//!
+//! Run with: `cargo run --example vernacular`
+
+fn main() {
+    let src = include_str!("peano.fpop");
+    println!("{src}");
+    println!("──────────────────────────────────────────────────");
+    let (universe, outputs) = fpop::parse::run_program(src).expect("program must run");
+    for out in &outputs {
+        println!("{out}");
+    }
+    let derived = universe.family("PeanoMul").unwrap();
+    println!(
+        "\nPeanoMul: {} units checked, {} reused ({:.0}% reuse); assumptions: {:?}",
+        derived.ledger.checked_count(),
+        derived.ledger.shared_count(),
+        derived.ledger.reuse_ratio() * 100.0,
+        derived.assumptions,
+    );
+}

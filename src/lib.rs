@@ -1,0 +1,39 @@
+//! # fpop-rs — Extensible Metatheory Mechanization via Family Polymorphism, in Rust
+//!
+//! A full reproduction of the PLDI 2023 paper's system stack as a Rust
+//! workspace. This facade crate re-exports every component:
+//!
+//! * [`objlang`] — the proof-assistant substrate: a first-order logic
+//!   workbench with an LCF-style kernel, tactics, rule/data induction, and
+//!   an evaluator (program extraction).
+//! * [`modsys`] — the parameterized module system the families compile to
+//!   (Figures 4–5), with the checked-vs-shared ledger.
+//! * [`fpop`] — the paper's primary contribution: families, late binding,
+//!   `FInductive +=`, `FRecursion`/`FInduction` with retroactive cases,
+//!   overriding, mixins, partial recursors.
+//! * [`fmltt`] — the core type theory (Sections 5–6): linkages, W-type
+//!   signatures, linkage transformers, canonicity, the linkage-erasing
+//!   translation.
+//! * [`families_stlc`] / [`families_imp`] — the Section 7 case studies.
+//! * [`baseline`] — the copy-paste foil used by the benches.
+//!
+//! See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+//! paper-vs-measured record.
+//!
+//! ```
+//! use fpop::universe::FamilyUniverse;
+//!
+//! let mut u = FamilyUniverse::new();
+//! u.define(families_stlc::stlc_family()).unwrap();
+//! u.define(families_stlc::fix::stlc_fix_family()).unwrap();
+//! let out = u.check("STLCFix", "typesafe").unwrap();
+//! assert!(out.contains("STLCFix.typesafe"));
+//! ```
+
+pub use baseline;
+pub use families_imp;
+pub use families_stlc;
+pub use fmltt;
+pub use fpop;
+pub use modsys;
+pub use objlang;

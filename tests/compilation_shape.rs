@@ -1,0 +1,77 @@
+//! Experiments F4/F5: the compiled module structure matches Figures 4–5.
+
+use fpop::universe::FamilyUniverse;
+
+fn build() -> FamilyUniverse {
+    let mut u = FamilyUniverse::new();
+    u.define(families_stlc::stlc_family()).unwrap();
+    u.define(families_stlc::fix::stlc_fix_family()).unwrap();
+    u
+}
+
+/// Figure 4's shape for the base family: per-field `Ctx` module types and
+/// self-parameterized field modules, with late-bound fields as axioms.
+#[test]
+fn compilation_shape_stlc() {
+    let u = build();
+    let env = &u.modenv;
+
+    // The tm field compiles to a module type parameterized by its context.
+    let tm = env.module_type("STLC◦tm").expect("STLC◦tm exists");
+    assert_eq!(tm.self_ctx.as_deref(), Some("STLC◦tm◦Ctx"));
+    let items = env.flatten("STLC◦tm").unwrap();
+    assert!(items.iter().any(|i| i.name == "tm"), "late-bound tm axiom");
+    assert!(
+        items.iter().any(|i| i.name.contains("tm_prect_STLC")),
+        "partial recursor declared (Figure 4): {items:?}"
+    );
+
+    // subst is a module type whose Ctx chains the previous field.
+    let subst = env.module_type("STLC◦subst").expect("STLC◦subst exists");
+    assert_eq!(subst.self_ctx.as_deref(), Some("STLC◦subst◦Ctx"));
+
+    // The aggregate module discharges every axiom (Print Assumptions = ∅).
+    assert!(env.print_assumptions("STLC").unwrap().is_empty());
+
+    // Rendering shows the Figure 4 syntax.
+    let rendered = modsys::render::render_module_type(tm);
+    assert!(rendered.contains("Module Type STLC◦tm (self : STLC◦tm◦Ctx)."));
+    assert!(rendered.contains("End STLC◦tm."));
+}
+
+/// Figure 5's shape for the derived family: changed fields get STLCFix
+/// modules that `Include` the base versions; unchanged fields are shared.
+#[test]
+fn compilation_shape_stlcfix() {
+    let u = build();
+    let env = &u.modenv;
+
+    // STLCFix◦tm includes STLC◦tm (the `Include STLC◦tm(self)` of Fig. 5).
+    let tm = env.module_type("STLCFix◦tm").expect("STLCFix◦tm exists");
+    let includes_base = tm
+        .entries
+        .iter()
+        .any(|e| matches!(e, modsys::ModEntry::Include(t) if t == "STLC◦tm"));
+    assert!(includes_base, "derived tm must Include the base: {tm:?}");
+
+    // Unchanged fields (e.g. ty, env, typesafe) have no STLCFix module —
+    // they are shared, and recorded as such in the ledger.
+    assert!(env.module_type("STLCFix◦ty").is_none());
+    assert!(env.module("STLCFix◦env").is_none());
+    assert!(
+        env.ledger.shared().iter().any(|n| n == "STLC◦typesafe"),
+        "typesafe reused from the base"
+    );
+
+    // The derived aggregate also audits clean.
+    assert!(env.print_assumptions("STLCFix").unwrap().is_empty());
+}
+
+/// The global ledger separates fresh checks from shared reuses across the
+/// two families.
+#[test]
+fn ledger_records_cross_family_sharing() {
+    let u = build();
+    assert!(u.modenv.ledger.checked_count() > 0);
+    assert!(u.modenv.ledger.shared_count() > 0);
+}

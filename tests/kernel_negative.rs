@@ -1,0 +1,155 @@
+//! Negative tests for the FMLTT kernel: the Figure 6/7 rules *reject*
+//! ill-typed programs — type mismatches, out-of-range constructor indices,
+//! linkage shape errors, and misuse of universes.
+
+use fmltt::check::{check, check_closed, infer_closed, Ctx};
+use fmltt::encoding;
+use fmltt::{Tm, Ty};
+use std::rc::Rc;
+
+fn rc<T>(x: T) -> Rc<T> {
+    Rc::new(x)
+}
+
+#[test]
+fn branch_type_mismatch_rejected() {
+    // if tt then () else ff  at B — the true branch is not a boolean.
+    let t = Tm::If(rc(Tm::True), rc(Tm::Unit), rc(Tm::False), rc(Ty::Bool));
+    assert!(check_closed(&t, &Ty::Bool).is_err());
+}
+
+#[test]
+fn application_domain_mismatch_rejected() {
+    // (λx:B. x) ()  — argument has type ⊤.
+    let t = Tm::app_to(Tm::Lam(rc(Tm::Var(0))), Tm::Unit);
+    assert!(check_closed(&t, &Ty::Bool).is_err());
+}
+
+#[test]
+fn unbound_variable_rejected() {
+    assert!(infer_closed(&Tm::Var(0)).is_err());
+}
+
+#[test]
+fn fst_of_non_pair_rejected() {
+    assert!(infer_closed(&Tm::Fst(rc(Tm::True))).is_err());
+}
+
+#[test]
+fn el_of_non_code_rejected() {
+    // El(tt) — tt is not a universe inhabitant.
+    let ty = Ty::El(rc(Tm::True));
+    assert!(fmltt::check::check_ty(&Ctx::new(), &ty).is_err());
+}
+
+#[test]
+fn wsup_index_out_of_range_rejected() {
+    let tau = encoding::tau_tm(); // 4 constructors: indices 0..=3
+    let bad = Tm::WSup(7, rc(tau.clone()), rc(Tm::Unit), rc(Tm::Var(0)));
+    let wty = Ty::El(rc(Tm::WCode(rc(tau))));
+    assert!(check_closed(&bad, &wty).is_err());
+}
+
+#[test]
+fn wsup_argument_type_checked() {
+    // tm_var expects a B argument (T_id = B); () is rejected.
+    let tau = encoding::tau_tm();
+    let elw = Ty::El(rc(Tm::WCode(rc(tau.clone()))));
+    let bad = Tm::WSup(
+        2,
+        rc(tau),
+        rc(Tm::Unit), // should be a boolean
+        rc(Tm::Absurd(rc(elw.clone()), rc(Tm::Var(0)))),
+    );
+    assert!(check_closed(&bad, &elw).is_err());
+}
+
+#[test]
+fn linkage_against_wrong_length_rejected() {
+    // µ• against a one-field signature, and a one-field linkage against ν•.
+    let sig1 = fmltt::LSig::Add(
+        rc(fmltt::LSig::Nil),
+        rc(Ty::Top),
+        rc(Tm::Unit),
+        rc(Ty::wk(Ty::Bool, 1)),
+    );
+    let one = Tm::LCons(rc(Tm::LNil), rc(Tm::Unit), rc(Tm::wk(Tm::True, 1)));
+    let ctx = Ctx::new();
+    let entries1 = fmltt::sem::eval_lsig(&fmltt::Env::new(), &sig1).unwrap();
+    assert!(fmltt::check::check_linkage(&ctx, &Tm::LNil, &entries1).is_err());
+    assert!(fmltt::check::check_linkage(&ctx, &one, &Vec::new()).is_err());
+}
+
+#[test]
+fn linkage_field_type_checked() {
+    // The field body must match the signature's field type (B here, ()
+    // given).
+    let sig = fmltt::LSig::Add(
+        rc(fmltt::LSig::Nil),
+        rc(Ty::Top),
+        rc(Tm::Unit),
+        rc(Ty::wk(Ty::Bool, 1)),
+    );
+    let bad = Tm::LCons(rc(Tm::LNil), rc(Tm::Unit), rc(Tm::wk(Tm::Unit, 1)));
+    let entries = fmltt::sem::eval_lsig(&fmltt::Env::new(), &sig).unwrap();
+    assert!(fmltt::check::check_linkage(&Ctx::new(), &bad, &entries).is_err());
+}
+
+#[test]
+fn wrec_requires_exhaustive_cases() {
+    // A case linkage with too few handlers is rejected against RecSig(τ, B).
+    let tau = encoding::tau_tm();
+    let short_cases = Tm::LCons(
+        rc(Tm::LNil),
+        rc(Tm::Var(0)),
+        rc(Tm::Lam(rc(Tm::Lam(rc(Tm::True))))),
+    );
+    let scrut = encoding::ctors::tm_unit(&tau, 0);
+    let t = Tm::WRec(rc(tau), rc(Ty::Bool), rc(short_cases), rc(scrut));
+    assert!(check_closed(&t, &Ty::Bool).is_err());
+}
+
+#[test]
+fn singleton_rejects_wrong_inhabitant() {
+    // ff : S(tt) must fail; tt : S(tt) must succeed.
+    let sty = Ty::Sing(rc(Tm::True), rc(Ty::Bool));
+    assert!(check_closed(&Tm::False, &sty).is_err());
+    assert!(check_closed(&Tm::True, &sty).is_ok());
+}
+
+#[test]
+fn eq_requires_same_endpoint_types() {
+    // refl(tt) : Eq(⊤, (), ()) is a type error.
+    let ty = Ty::Eq(rc(Ty::Top), rc(Tm::Unit), rc(Tm::Unit));
+    assert!(check_closed(&Tm::Refl(rc(Tm::True)), &ty).is_err());
+    let ok = Ty::Eq(rc(Ty::Bool), rc(Tm::True), rc(Tm::True));
+    assert!(check_closed(&Tm::Refl(rc(Tm::True)), &ok).is_ok());
+}
+
+#[test]
+fn j_computes_on_refl() {
+    // J with motive B and base tt, applied to refl: evaluates to the base.
+    let eqty = Ty::Eq(rc(Ty::Bool), rc(Tm::True), rc(Tm::True));
+    let j = Tm::J(
+        rc(Ty::wk(Ty::Bool, 2)),
+        rc(Tm::True),
+        rc(Tm::Refl(rc(Tm::True))),
+    );
+    let _ = eqty;
+    let got = fmltt::canon::canonical_bool(&j).unwrap();
+    assert_eq!(got, fmltt::canon::CanonicalBool::True);
+}
+
+#[test]
+fn universe_codes_decode() {
+    // El(c(B)) ≡ B — checking tt against El(c(B)) succeeds.
+    let ty = Ty::El(rc(Tm::Code(rc(Ty::Bool))));
+    check_closed(&Tm::True, &ty).unwrap();
+}
+
+#[test]
+fn weakening_out_of_range_rejected() {
+    let t = Tm::Sub(rc(Tm::True), rc(fmltt::Sub::Wk(3)));
+    let ctx = Ctx::new();
+    assert!(check(&ctx, &t, &Rc::new(fmltt::VTy::Bool)).is_err());
+}

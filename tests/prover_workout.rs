@@ -1,0 +1,323 @@
+//! A workout for the object-logic prover: textbook arithmetic theorems
+//! discharged end-to-end through the LCF kernel (induction, rewriting,
+//! lemma reuse) — evidence that the substrate is a real, if small, proof
+//! assistant and not a rubber stamp.
+
+use objlang::sig::{FactKind, Signature};
+use objlang::syntax::{Prop, Sort, Term};
+use objlang::tactic::{prove, run_script, Tactic as T};
+use objlang::{sym, ProofState};
+
+fn nat() -> Sort {
+    Sort::named("nat")
+}
+fn v(s: &str) -> Term {
+    Term::var(s)
+}
+fn add(a: Term, b: Term) -> Term {
+    Term::func("add", vec![a, b])
+}
+fn succ(a: Term) -> Term {
+    Term::ctor("succ", vec![a])
+}
+fn zero() -> Term {
+    Term::c0("zero")
+}
+
+fn base_sig() -> Signature {
+    let mut s = Signature::new();
+    objlang::prelude::install(&mut s).unwrap();
+    objlang::prelude::install_nat_add(&mut s).unwrap();
+    s
+}
+
+/// `∀n, add n zero = n` — right identity, by induction.
+fn add_zero_right(sig: &Signature) -> objlang::Theorem {
+    let goal = Prop::forall("n", nat(), Prop::eq(add(v("n"), zero()), v("n")));
+    prove(
+        sig,
+        goal,
+        &[
+            T::IntroAs("n".into()),
+            T::ThenAll(
+                Box::new(T::Induction("n".into())),
+                vec![
+                    T::FSimpl,
+                    T::TryT(Box::new(T::Rewrite("IH0".into()))),
+                    T::Reflexivity,
+                ],
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+/// `∀n m, add n (succ m) = succ (add n m)` — by induction on n.
+fn add_succ_right(sig: &Signature) -> objlang::Theorem {
+    let goal = Prop::forall(
+        "n",
+        nat(),
+        Prop::forall(
+            "m",
+            nat(),
+            Prop::eq(add(v("n"), succ(v("m"))), succ(add(v("n"), v("m")))),
+        ),
+    );
+    let mut st = ProofState::new(sig, goal).unwrap();
+    run_script(
+        &mut st,
+        &[
+            T::IntroAs("n".into()),
+            // Generalize over m before inducting on n.
+            T::ThenAll(
+                Box::new(T::Induction("n".into())),
+                vec![
+                    T::IntroAs("m".into()),
+                    T::FSimpl,
+                    T::TryT(Box::new(T::Rewrite("IH0".into()))),
+                    T::Reflexivity,
+                ],
+            ),
+        ],
+    )
+    .unwrap();
+    st.qed().unwrap()
+}
+
+#[test]
+fn add_right_identity() {
+    let sig = base_sig();
+    let thm = add_zero_right(&sig);
+    assert!(format!("{}", thm.prop()).contains("add"));
+}
+
+#[test]
+fn add_succ_commutes_out() {
+    let sig = base_sig();
+    add_succ_right(&sig);
+}
+
+#[test]
+fn add_commutative() {
+    // ∀n m, add n m = add m n — uses the two lemmas above.
+    let mut sig = base_sig();
+    let l1 = add_zero_right(&sig);
+    sig.add_fact(sym("add_zero_right"), l1.prop().clone(), FactKind::Lemma)
+        .unwrap();
+    let l2 = add_succ_right(&sig);
+    sig.add_fact(sym("add_succ_right"), l2.prop().clone(), FactKind::Lemma)
+        .unwrap();
+
+    let goal = Prop::forall(
+        "n",
+        nat(),
+        Prop::forall(
+            "m",
+            nat(),
+            Prop::eq(add(v("n"), v("m")), add(v("m"), v("n"))),
+        ),
+    );
+    prove(
+        &sig,
+        goal,
+        &[
+            T::IntroAs("n".into()),
+            T::Branch(
+                Box::new(T::Induction("n".into())),
+                vec![
+                    // zero case: add zero m = add m zero.
+                    vec![
+                        T::IntroAs("m".into()),
+                        T::FSimpl,
+                        T::Rewrite("add_zero_right".into()),
+                        T::Reflexivity,
+                    ],
+                    // succ case: add (succ n) m = add m (succ n).
+                    vec![
+                        T::IntroAs("m".into()),
+                        T::FSimpl,
+                        T::Rewrite("add_succ_right".into()),
+                        T::Rewrite("IH0".into()),
+                        T::Reflexivity,
+                    ],
+                ],
+            ),
+        ],
+    )
+    .unwrap();
+}
+
+#[test]
+fn add_associative() {
+    let sig = base_sig();
+    let goal = Prop::forall(
+        "a",
+        nat(),
+        Prop::forall(
+            "b",
+            nat(),
+            Prop::forall(
+                "c",
+                nat(),
+                Prop::eq(
+                    add(add(v("a"), v("b")), v("c")),
+                    add(v("a"), add(v("b"), v("c"))),
+                ),
+            ),
+        ),
+    );
+    prove(
+        &sig,
+        goal,
+        &[
+            T::IntroAs("a".into()),
+            T::ThenAll(
+                Box::new(T::Induction("a".into())),
+                vec![
+                    T::IntroAs("b".into()),
+                    T::IntroAs("c".into()),
+                    T::FSimpl,
+                    T::TryT(Box::new(T::Rewrite("IH0".into()))),
+                    T::Reflexivity,
+                ],
+            ),
+        ],
+    )
+    .unwrap();
+}
+
+#[test]
+fn every_nat_is_even_or_succ_even() {
+    // ∀n, even n ∨ even (succ n) — structural induction with a disjunctive
+    // hypothesis.
+    let mut sig = base_sig();
+    sig.add_pred(objlang::sig::IndPred {
+        name: sym("even"),
+        arg_sorts: vec![nat()],
+        rules: vec![
+            objlang::sig::Rule {
+                name: sym("even_zero"),
+                binders: vec![],
+                premises: vec![],
+                conclusion: vec![zero()],
+            },
+            objlang::sig::Rule {
+                name: sym("even_ss"),
+                binders: vec![(sym("n"), nat())],
+                premises: vec![Prop::atom("even", vec![v("n")])],
+                conclusion: vec![succ(succ(v("n")))],
+            },
+        ],
+        extensible: false,
+    })
+    .unwrap();
+
+    let goal = Prop::forall(
+        "n",
+        nat(),
+        Prop::or(
+            Prop::atom("even", vec![v("n")]),
+            Prop::atom("even", vec![succ(v("n"))]),
+        ),
+    );
+    prove(
+        &sig,
+        goal,
+        &[
+            T::IntroAs("n".into()),
+            T::Branch(
+                Box::new(T::Induction("n".into())),
+                vec![
+                    vec![
+                        T::Left,
+                        T::ApplyRule("even".into(), "even_zero".into(), vec![]),
+                    ],
+                    vec![T::Branch(
+                        Box::new(T::Destruct("IH0".into())),
+                        vec![
+                            vec![
+                                T::Right,
+                                T::ApplyRule("even".into(), "even_ss".into(), vec![]),
+                                T::Exact("IH0".into()),
+                            ],
+                            vec![T::Left, T::Exact("IH0".into())],
+                        ],
+                    )],
+                ],
+            ),
+        ],
+    )
+    .unwrap();
+}
+
+#[test]
+fn even_doubles() {
+    // ∀n m, even m → even (add n (add n m)) — rule-free double-add lemma
+    // via structural induction and the successor-shift lemma.
+    let mut sig = base_sig();
+    sig.add_pred(objlang::sig::IndPred {
+        name: sym("even"),
+        arg_sorts: vec![nat()],
+        rules: vec![
+            objlang::sig::Rule {
+                name: sym("even_zero"),
+                binders: vec![],
+                premises: vec![],
+                conclusion: vec![zero()],
+            },
+            objlang::sig::Rule {
+                name: sym("even_ss"),
+                binders: vec![(sym("n"), nat())],
+                premises: vec![Prop::atom("even", vec![v("n")])],
+                conclusion: vec![succ(succ(v("n")))],
+            },
+        ],
+        extensible: false,
+    })
+    .unwrap();
+    let l2 = add_succ_right(&sig);
+    sig.add_fact(sym("add_succ_right"), l2.prop().clone(), FactKind::Lemma)
+        .unwrap();
+
+    let goal = Prop::forall(
+        "n",
+        nat(),
+        Prop::forall(
+            "m",
+            nat(),
+            Prop::imp(
+                Prop::atom("even", vec![v("m")]),
+                Prop::atom("even", vec![add(v("n"), add(v("n"), v("m")))]),
+            ),
+        ),
+    );
+    prove(
+        &sig,
+        goal,
+        &[
+            T::IntroAs("n".into()),
+            T::Branch(
+                Box::new(T::Induction("n".into())),
+                vec![
+                    vec![
+                        T::IntroAs("m".into()),
+                        T::IntroAs("H".into()),
+                        T::FSimpl,
+                        T::Exact("H".into()),
+                    ],
+                    vec![
+                        T::IntroAs("m".into()),
+                        T::IntroAs("H".into()),
+                        T::FSimpl,
+                        // succ (add n0 (succ (add n0 m))) — shift the inner succ out.
+                        T::Rewrite("add_succ_right".into()),
+                        T::ApplyRule("even".into(), "even_ss".into(), vec![]),
+                        T::ApplyHyp("IH0".into(), vec![]),
+                        T::Exact("H".into()),
+                    ],
+                ],
+            ),
+        ],
+    )
+    .unwrap();
+}
