@@ -1,11 +1,14 @@
 //! Experiment F3/CS1-venn: the Section 7 Venn diagram — building all 15
 //! STLC feature combinations by mixin composition, every one ending with
 //! an inherited `typesafe` theorem. Prints the per-variant table (arity,
-//! fields, checked, shared, reuse%).
+//! fields, checked, shared, reuse%), the shared-session cache series, and
+//! the sequential-vs-parallel wall-time comparison of the check-session
+//! architecture.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fpop::universe::FamilyUniverse;
 use std::hint::black_box;
+use std::time::Instant;
 
 fn report() {
     let mut u = FamilyUniverse::new();
@@ -15,6 +18,32 @@ fn report() {
     for row in &rep.rows {
         assert!(u.check(&row.name, "typesafe").is_ok());
     }
+    let stats = u.session().stats();
+    eprintln!(
+        "session: {} cache hits / {} misses (hit ratio {:.1}%), {} inserts",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_ratio() * 100.0,
+        stats.cache_inserts
+    );
+
+    // Sequential vs parallel wall time over the extended (31-variant)
+    // lattice, plus the determinism cross-check the tests enforce.
+    let t = Instant::now();
+    let mut seq_u = FamilyUniverse::new();
+    let seq = families_stlc::build_extended_lattice(&mut seq_u).unwrap();
+    let seq_time = t.elapsed();
+    let t = Instant::now();
+    let mut par_u = FamilyUniverse::new();
+    let par = families_stlc::build_extended_lattice_parallel(&mut par_u).unwrap();
+    let par_time = t.elapsed();
+    assert_eq!(seq.rows.len(), par.rows.len());
+    assert!(seq_u.modenv.ledger.same_counts(&par_u.modenv.ledger));
+    eprintln!(
+        "extended lattice (31 variants): sequential {seq_time:.2?}, parallel {par_time:.2?} \
+         (speedup {:.2}x), ledgers identical",
+        seq_time.as_secs_f64() / par_time.as_secs_f64()
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -26,10 +55,38 @@ fn bench(c: &mut Criterion) {
             black_box(rep.rows.len())
         })
     });
+    c.bench_function("lattice/build_all_15_variants_parallel", |b| {
+        b.iter(|| {
+            let mut u = FamilyUniverse::new();
+            let rep = families_stlc::build_lattice_parallel(&mut u).unwrap();
+            black_box(rep.rows.len())
+        })
+    });
     c.bench_function("lattice/build_extended_31_variants", |b| {
         b.iter(|| {
             let mut u = FamilyUniverse::new();
             let rep = families_stlc::build_extended_lattice(&mut u).unwrap();
+            black_box(rep.rows.len())
+        })
+    });
+    c.bench_function("lattice/build_extended_31_variants_parallel", |b| {
+        b.iter(|| {
+            let mut u = FamilyUniverse::new();
+            let rep = families_stlc::build_extended_lattice_parallel(&mut u).unwrap();
+            black_box(rep.rows.len())
+        })
+    });
+    // The cross-run reuse channel: rebuilding the lattice against a warm
+    // shared session (every proof a cache hit) versus a cold one.
+    let warm = fpop::Session::new();
+    {
+        let mut u = FamilyUniverse::with_session(warm.clone());
+        families_stlc::build_lattice(&mut u).unwrap();
+    }
+    c.bench_function("lattice/rebuild_15_variants_warm_session", |b| {
+        b.iter(|| {
+            let mut u = FamilyUniverse::with_session(warm.clone());
+            let rep = families_stlc::build_lattice(&mut u).unwrap();
             black_box(rep.rows.len())
         })
     });

@@ -63,6 +63,28 @@ fn report() {
         mono_total,
         mono_total as f64 / (fpop_total + base) as f64
     );
+
+    // The session-reuse channel: rebuild the same lattice in a second
+    // universe drawing on the first one's check session — every proof is a
+    // cache hit, nothing is re-inserted (O(delta) with delta = 0).
+    let session = fpop::Session::new();
+    let mut first = FamilyUniverse::with_session(session.clone());
+    families_stlc::build_lattice(&mut first).unwrap();
+    let cold = session.stats();
+    let mut second = FamilyUniverse::with_session(session.clone());
+    families_stlc::build_lattice(&mut second).unwrap();
+    let warm = session.stats();
+    eprintln!(
+        "session reuse: cold build {} hits / {} misses; warm rebuild {} hits / {} misses \
+         ({} extra inserts; hit ratio {:.1}% → {:.1}%)",
+        cold.cache_hits,
+        cold.cache_misses,
+        warm.cache_hits - cold.cache_hits,
+        warm.cache_misses - cold.cache_misses,
+        warm.cache_inserts - cold.cache_inserts,
+        cold.hit_ratio() * 100.0,
+        warm.hit_ratio() * 100.0
+    );
 }
 
 fn bench(c: &mut Criterion) {

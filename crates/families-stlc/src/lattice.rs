@@ -10,10 +10,25 @@
 //! composites (`STLCProdIsorec`, `STLCFixProdIsorec`) are built exactly as
 //! in Figure 3 — the latter by mixing in a composite that itself has
 //! mixins.
+//!
+//! Since the check-session refactor the lattice can also be built in
+//! parallel ([`build_lattice_parallel`] / [`build_extended_lattice_parallel`]):
+//! variants are grouped into *waves* by arity (a variant only depends on
+//! strictly smaller feature sets), each wave fans out over scoped threads
+//! elaborating into detached module environments against the shared
+//! [`fpop::Session`], and the coordinator commits deltas back in canonical
+//! order — so the parallel build's reports and ledgers are deterministic
+//! and comparable to the sequential build's.
+
+use std::thread;
+use std::time::{Duration, Instant};
 
 use fpop::family::FamilyDef;
+use fpop::session::CacheTxn;
 use fpop::universe::FamilyUniverse;
-use objlang::error::Result;
+use fpop::CompiledFamily;
+use modsys::{CheckLedger, ModuleDelta};
+use objlang::error::{Error, Result};
 
 use crate::boolean::{stlc_bool_family, tysubst_bool_case};
 use crate::fix::stlc_fix_family;
@@ -156,12 +171,7 @@ impl LatticeReport {
     }
 }
 
-fn record(
-    u: &FamilyUniverse,
-    name: &str,
-    arity: usize,
-    elapsed: std::time::Duration,
-) -> VariantStat {
+fn record(u: &FamilyUniverse, name: &str, arity: usize, elapsed: Duration) -> VariantStat {
     let fam = u.family(name).expect("just defined");
     VariantStat {
         name: name.to_string(),
@@ -174,6 +184,173 @@ fn record(
     }
 }
 
+/// The lattice build plan in *canonical order*: one wave per arity (wave 0
+/// is the base `STLC`, wave 1 the single features, wave *k* the arity-*k*
+/// composites in ascending feature-mask order). Every variant depends only
+/// on variants in strictly earlier waves, which is what licenses the
+/// parallel builders to fan a whole wave out over threads. The sequential
+/// builders walk the same plan, so sequential and parallel reports line up
+/// row for row.
+pub fn lattice_waves(extended: bool) -> Vec<Vec<FamilyDef>> {
+    let feats: Vec<Feature> = if extended {
+        Feature::all_extended().to_vec()
+    } else {
+        Feature::all().to_vec()
+    };
+    let mut waves: Vec<Vec<FamilyDef>> = vec![vec![crate::base::stlc_family()], {
+        let mut singles = vec![
+            stlc_fix_family(),
+            stlc_prod_family(),
+            stlc_sum_family(),
+            stlc_isorec_family(),
+        ];
+        if extended {
+            singles.push(stlc_bool_family());
+        }
+        singles
+    }];
+    for arity in 2..=feats.len() {
+        let mut wave = Vec::new();
+        for mask in 1u32..(1u32 << feats.len()) {
+            if mask.count_ones() as usize != arity {
+                continue;
+            }
+            let subset: Vec<Feature> = feats
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, f)| f)
+                .collect();
+            let name = variant_name(&subset);
+            // Paper-style nested composition for STLCFixProdIsorec in the
+            // Venn lattice: it mixes in STLCFix and the composite
+            // STLCProdIsorec (Figure 3), relying on the latter's
+            // already-discharged tysubst obligation. (STLCProdIsorec is an
+            // arity-2 variant, so it lives in the previous wave.)
+            let def = if !extended && name == "STLCFixProdIsorec" {
+                FamilyDef::extending_with(
+                    "STLCFixProdIsorec",
+                    "STLC",
+                    &["STLCFix", "STLCProdIsorec"],
+                )
+            } else {
+                composite_family(&subset)
+            };
+            wave.push(def);
+        }
+        waves.push(wave);
+    }
+    waves
+}
+
+fn build_sequential(u: &mut FamilyUniverse, waves: Vec<Vec<FamilyDef>>) -> Result<LatticeReport> {
+    let mut report = LatticeReport::default();
+    for (arity, wave) in waves.into_iter().enumerate() {
+        for def in wave {
+            let name = def.name.to_string();
+            let t = Instant::now();
+            u.define(def)?;
+            report.rows.push(record(u, &name, arity, t.elapsed()));
+        }
+    }
+    Ok(report)
+}
+
+/// One parallel-lattice work item: a compiled family, its uncommitted
+/// session transaction, the module delta to ship back, and the
+/// elaboration wall time.
+type WorkerOutcome = Result<(CompiledFamily, CacheTxn, ModuleDelta, Duration)>;
+
+/// Compiles one variant into `env` (a detached clone of the universe's
+/// module environment). The env's ledger is reset first so the returned
+/// delta carries exactly this variant's accounting; registrations from
+/// same-worker siblings already in `env` are harmless (module names are
+/// owner-prefixed and includes only reference earlier waves).
+fn compile_variant(
+    u: &FamilyUniverse,
+    def: &FamilyDef,
+    env: &mut modsys::ModuleEnv,
+) -> WorkerOutcome {
+    let t = Instant::now();
+    env.ledger = CheckLedger::new();
+    let mark = env.mark();
+    let (compiled, txn) = u.compile_detached(def, env)?;
+    let delta = env.delta_since(mark);
+    Ok((compiled, txn, delta, t.elapsed()))
+}
+
+fn build_parallel(u: &mut FamilyUniverse, waves: Vec<Vec<FamilyDef>>) -> Result<LatticeReport> {
+    let cores = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut report = LatticeReport::default();
+    for (arity, wave) in waves.into_iter().enumerate() {
+        let workers = cores.min(wave.len());
+        let outcomes: Vec<WorkerOutcome> = if workers <= 1 {
+            // Single worker (single-core host or singleton wave): skip the
+            // thread machinery, keep the one-detached-env-per-worker shape.
+            let mut env = u.modenv.clone();
+            wave.iter()
+                .map(|def| compile_variant(u, def, &mut env))
+                .collect()
+        } else {
+            // Round-robin the wave over `workers` scoped threads. Each
+            // worker clones the environment once and walks its share;
+            // transactions stay per-variant, so every variant still sees
+            // exactly the proofs committed by earlier waves (wave-snapshot
+            // semantics — the determinism invariant).
+            let mut slots: Vec<Option<WorkerOutcome>> = (0..wave.len()).map(|_| None).collect();
+            let filled: Vec<Vec<(usize, WorkerOutcome)>> = thread::scope(|s| {
+                let u_ref: &FamilyUniverse = u;
+                let wave_ref: &[FamilyDef] = &wave;
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        s.spawn(move || {
+                            let mut env = u_ref.modenv.clone();
+                            (w..wave_ref.len())
+                                .step_by(workers)
+                                .map(|i| (i, compile_variant(u_ref, &wave_ref[i], &mut env)))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("lattice worker panicked"))
+                    .collect()
+            });
+            for (i, outcome) in filled.into_iter().flatten() {
+                slots[i] = Some(outcome);
+            }
+            slots
+                .into_iter()
+                .map(|o| o.expect("every wave slot filled"))
+                .collect()
+        };
+        // Commit in canonical (spawn) order, so the shared environment and
+        // ledger grow deterministically regardless of worker scheduling.
+        for outcome in outcomes {
+            let (compiled, txn, delta, elapsed) = outcome?;
+            u.modenv
+                .apply_delta(&delta)
+                .map_err(|e| Error::new(e.to_string()))?;
+            txn.commit();
+            report.rows.push(VariantStat {
+                name: compiled.name.to_string(),
+                arity,
+                fields: compiled.fields.len(),
+                checked: compiled.ledger.checked_count(),
+                shared: compiled.ledger.shared_count(),
+                reuse_ratio: compiled.ledger.reuse_ratio(),
+                elapsed,
+            });
+            u.adopt(compiled)?;
+        }
+    }
+    Ok(report)
+}
+
 /// Defines the base STLC, the four feature families, and all 11 composite
 /// variants in `u`; returns the per-variant report.
 ///
@@ -182,57 +359,7 @@ fn record(
 /// Propagates any elaboration failure (none are expected; the lattice is
 /// the Section 7 case-study payload).
 pub fn build_lattice(u: &mut FamilyUniverse) -> Result<LatticeReport> {
-    let mut report = LatticeReport::default();
-
-    let t0 = std::time::Instant::now();
-    u.define(crate::base::stlc_family())?;
-    report.rows.push(record(u, "STLC", 0, t0.elapsed()));
-
-    for (def, n) in [
-        (stlc_fix_family(), 1),
-        (stlc_prod_family(), 1),
-        (stlc_sum_family(), 1),
-        (stlc_isorec_family(), 1),
-    ] {
-        let name = def.name.to_string();
-        let t = std::time::Instant::now();
-        u.define(def)?;
-        report.rows.push(record(u, &name, n, t.elapsed()));
-    }
-
-    // All subsets of size ≥ 2, in canonical order — except the two
-    // paper-style nested composites handled explicitly below.
-    let feats = Feature::all();
-    let mut subsets: Vec<Vec<Feature>> = Vec::new();
-    for mask in 1u32..16 {
-        let subset: Vec<Feature> = feats
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(|(i, _)| mask & (1 << i) != 0)
-            .map(|(_, f)| f)
-            .collect();
-        if subset.len() >= 2 {
-            subsets.push(subset);
-        }
-    }
-    for subset in &subsets {
-        let name = variant_name(subset);
-        // Paper-style nested composition for STLCFixProdIsorec: it mixes in
-        // STLCFix and the composite STLCProdIsorec (Figure 3), relying on
-        // the latter's already-discharged tysubst obligation.
-        let def = if name == "STLCFixProdIsorec" {
-            FamilyDef::extending_with("STLCFixProdIsorec", "STLC", &["STLCFix", "STLCProdIsorec"])
-        } else {
-            composite_family(subset)
-        };
-        let t = std::time::Instant::now();
-        u.define(def)?;
-        report
-            .rows
-            .push(record(u, &name, subset.len(), t.elapsed()));
-    }
-    Ok(report)
+    build_sequential(u, lattice_waves(false))
 }
 
 /// Defines the *extended* lattice over all five features (31 variants) —
@@ -242,43 +369,29 @@ pub fn build_lattice(u: &mut FamilyUniverse) -> Result<LatticeReport> {
 ///
 /// Propagates any elaboration failure.
 pub fn build_extended_lattice(u: &mut FamilyUniverse) -> Result<LatticeReport> {
-    let mut report = LatticeReport::default();
-    let t0 = std::time::Instant::now();
-    u.define(crate::base::stlc_family())?;
-    report.rows.push(record(u, "STLC", 0, t0.elapsed()));
-    for def in [
-        stlc_fix_family(),
-        stlc_prod_family(),
-        stlc_sum_family(),
-        stlc_isorec_family(),
-        stlc_bool_family(),
-    ] {
-        let name = def.name.to_string();
-        let t = std::time::Instant::now();
-        u.define(def)?;
-        report.rows.push(record(u, &name, 1, t.elapsed()));
-    }
-    let feats = Feature::all_extended();
-    for mask in 1u32..32 {
-        let subset: Vec<Feature> = feats
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(|(i, _)| mask & (1 << i) != 0)
-            .map(|(_, f)| f)
-            .collect();
-        if subset.len() < 2 {
-            continue;
-        }
-        let name = variant_name(&subset);
-        let def = composite_family(&subset);
-        let t = std::time::Instant::now();
-        u.define(def)?;
-        report
-            .rows
-            .push(record(u, &name, subset.len(), t.elapsed()));
-    }
-    Ok(report)
+    build_sequential(u, lattice_waves(true))
+}
+
+/// [`build_lattice`], parallelized: each arity wave fans out over scoped
+/// threads, every worker elaborating against the universe's shared check
+/// session; deltas commit in canonical order. The report (modulo wall
+/// times) and all ledgers are identical to the sequential build's.
+///
+/// # Errors
+///
+/// Propagates any elaboration failure.
+pub fn build_lattice_parallel(u: &mut FamilyUniverse) -> Result<LatticeReport> {
+    build_parallel(u, lattice_waves(false))
+}
+
+/// [`build_extended_lattice`], parallelized per arity wave; see
+/// [`build_lattice_parallel`].
+///
+/// # Errors
+///
+/// Propagates any elaboration failure.
+pub fn build_extended_lattice_parallel(u: &mut FamilyUniverse) -> Result<LatticeReport> {
+    build_parallel(u, lattice_waves(true))
 }
 
 #[cfg(test)]

@@ -17,4 +17,7 @@ pub mod sum;
 pub mod util;
 
 pub use base::stlc_family;
-pub use lattice::{build_extended_lattice, build_lattice, LatticeReport};
+pub use lattice::{
+    build_extended_lattice, build_extended_lattice_parallel, build_lattice, build_lattice_parallel,
+    LatticeReport,
+};

@@ -14,10 +14,10 @@ fn stlc_fix_inherits_typesafe() {
     assert!(fam.assumptions.is_empty());
     assert!(out.contains("STLCFix.typesafe"), "{out}");
     // typesafe itself was inherited: its steps cases are shared.
-    let shared: Vec<&String> = fam
+    let shared: Vec<String> = fam
         .ledger
         .shared()
-        .iter()
+        .into_iter()
         .filter(|n| n.contains("typesafe"))
         .collect();
     assert_eq!(shared.len(), 2, "both typesafe cases reused: {shared:?}");

@@ -19,24 +19,29 @@
 //! Proofs are cached content-addressed: a case or theorem whose statement,
 //! obligation and script are unchanged is **reused without rechecking** in
 //! derived families, and the [`modsys::CheckLedger`] records the split —
-//! the measurable form of the paper's modular-compilation claim.
+//! the measurable form of the paper's modular-compilation claim. Since the
+//! check-session refactor the cache lives in [`crate::session::Session`]
+//! and the elaborator reads/writes it through a [`CacheTxn`], so reuse
+//! reaches across every family (and thread) drawing on the same session.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::time::Instant;
 
 use objlang::error::{Error, Result};
 use objlang::ident::Symbol;
 use objlang::induction::{case_sequent, conclude_rule_induction, missing_recursion_cases, Motive};
-use objlang::proof::{ProvedSequent, Sequent};
+use objlang::proof::ProvedSequent;
 use objlang::sig::{Datatype, FactKind, FnDef, IndPred, RecFn, Signature};
 use objlang::syntax::Prop;
-use objlang::tactic::{prove, prove_sequent, Tactic};
+use objlang::tactic::{prove, prove_sequent};
 
 use modsys::{CheckLedger, Item, ModEntry, Module, ModuleEnv, ModuleType};
 
 use crate::family::{Field, ProofSpec};
 use crate::merge::{MergedFamily, MergedField};
+use crate::session::CacheTxn;
 
 /// A compiled (closed) family.
 #[derive(Clone, Debug)]
@@ -58,34 +63,6 @@ pub struct CompiledFamily {
     pub ledger: CheckLedger,
 }
 
-/// Cross-family proof cache (content-addressed).
-///
-/// Reuse is sound for open-world proofs because the kernel forbids them
-/// from depending on the *closedness* of any extensible type: every step
-/// valid in the base view stays valid in any derived view, which is the
-/// paper's late-binding soundness argument in operational form.
-/// Closed-world (reprove-on-extend) entries key on the content of the
-/// types they inspect, so any further binding forces a re-run.
-#[derive(Clone, Default, Debug)]
-pub struct ProofCache {
-    theorems: HashMap<u64, Vec<TheoremEntry>>,
-    cases: HashMap<u64, Vec<CaseEntry>>,
-}
-
-#[derive(Clone, Debug)]
-struct TheoremEntry {
-    statement: Prop,
-    script: Vec<Tactic>,
-    closed_world_key: Option<Vec<(Symbol, Vec<Symbol>)>>,
-}
-
-#[derive(Clone, Debug)]
-struct CaseEntry {
-    sequent: Sequent,
-    script: Vec<Tactic>,
-    proof: ProvedSequent,
-}
-
 fn hash_of(h: &impl Hash) -> u64 {
     let mut hasher = DefaultHasher::new();
     h.hash(&mut hasher);
@@ -101,66 +78,13 @@ fn odef_hash(odef_key: &[(Symbol, objlang::Term)]) -> u64 {
     )
 }
 
-impl ProofCache {
-    /// A fresh cache.
-    pub fn new() -> ProofCache {
-        ProofCache::default()
-    }
-
-    fn lookup_theorem(
-        &self,
-        statement: &Prop,
-        script: &[Tactic],
-        cw_key: &Option<Vec<(Symbol, Vec<Symbol>)>>,
-        okey: u64,
-    ) -> bool {
-        let h = hash_of(&(statement, script, okey));
-        self.theorems.get(&h).is_some_and(|v| {
-            v.iter().any(|e| {
-                e.statement == *statement && e.script == script && e.closed_world_key == *cw_key
-            })
-        })
-    }
-
-    fn insert_theorem(
-        &mut self,
-        statement: Prop,
-        script: Vec<Tactic>,
-        cw_key: Option<Vec<(Symbol, Vec<Symbol>)>>,
-        okey: u64,
-    ) {
-        let h = hash_of(&(&statement, &script, okey));
-        self.theorems.entry(h).or_default().push(TheoremEntry {
-            statement,
-            script,
-            closed_world_key: cw_key,
-        });
-    }
-
-    fn lookup_case(&self, seq: &Sequent, script: &[Tactic], okey: u64) -> Option<ProvedSequent> {
-        let h = hash_of(&(seq, script, okey));
-        self.cases.get(&h).and_then(|v| {
-            v.iter()
-                .find(|e| e.sequent == *seq && e.script == script)
-                .map(|e| e.proof.clone())
-        })
-    }
-
-    fn insert_case(&mut self, seq: Sequent, script: Vec<Tactic>, proof: ProvedSequent, okey: u64) {
-        let h = hash_of(&(&seq, &script, okey));
-        self.cases.entry(h).or_default().push(CaseEntry {
-            sequent: seq,
-            script,
-            proof,
-        });
-    }
-}
-
 /// Elaborates a merged family into a [`CompiledFamily`], emitting module
-/// structure into `modenv` and reusing proofs from `cache`.
+/// structure into `modenv` and reusing proofs through the session
+/// transaction `txn` (commit it on success to publish this family's
+/// freshly discharged proofs to the shared store).
 pub fn elaborate(
     merged: &MergedFamily,
-    cache: &mut ProofCache,
+    txn: &mut CacheTxn,
     modenv: &mut ModuleEnv,
 ) -> Result<CompiledFamily> {
     let fam = merged.name;
@@ -187,11 +111,14 @@ pub fn elaborate(
         .collect();
 
     for mf in &merged.fields {
+        let unit = format!("{}◦{}", if mf.changed { fam } else { mf.origin }, mf.name);
+        let started = Instant::now();
         check_field(
             merged,
             mf,
+            &unit,
             &mut view,
-            cache,
+            txn,
             &mut ledger,
             &mut theorems,
             &mut assumptions,
@@ -199,6 +126,7 @@ pub fn elaborate(
             &odef_key,
         )
         .map_err(|e| e.with_context(format!("field {} of family {fam}", mf.name)))?;
+        ledger.record_unit_time(&unit, started.elapsed());
     }
 
     // Close the family: recursive functions and overridable definitions
@@ -241,8 +169,9 @@ pub fn elaborate(
 fn check_field(
     merged: &MergedFamily,
     mf: &MergedField,
+    unit: &str,
     view: &mut Signature,
-    cache: &mut ProofCache,
+    txn: &mut CacheTxn,
     ledger: &mut CheckLedger,
     theorems: &mut HashMap<Symbol, Prop>,
     assumptions: &mut Vec<Symbol>,
@@ -250,7 +179,6 @@ fn check_field(
     odef_key: &[(Symbol, objlang::Term)],
 ) -> Result<()> {
     let fam = merged.name;
-    let unit = format!("{}◦{}", if mf.changed { fam } else { mf.origin }, mf.name);
     match &mf.content {
         Field::Inductive { name, ctors } => {
             view.add_datatype(Datatype {
@@ -261,9 +189,9 @@ fn check_field(
             // Partial recursor for this family's snapshot (§3.6).
             view.add_partial_recursor(*name, fam)?;
             if mf.changed {
-                ledger.record_checked(&unit);
+                ledger.record_checked(unit);
             } else {
-                ledger.record_shared(&unit);
+                ledger.record_shared(unit);
             }
             emitter.inductive(mf, ctors.len())?;
         }
@@ -273,7 +201,7 @@ fn check_field(
                 ctors: ctors.clone(),
                 extensible: false,
             })?;
-            record(ledger, mf, &unit);
+            record(ledger, mf, unit);
             emitter.plain_module(mf, &[Item::inductive(name.as_str(), "non-extensible data")])?;
         }
         Field::Predicate {
@@ -293,7 +221,7 @@ fn check_field(
             if *hint {
                 view.add_hint_pred(name.as_str());
             }
-            record(ledger, mf, &unit);
+            record(ledger, mf, unit);
             emitter.inductive(mf, rules.len())?;
         }
         Field::Recursion {
@@ -340,7 +268,7 @@ fn check_field(
                     FactKind::CompEq,
                 )?;
             }
-            record(ledger, mf, &unit);
+            record(ledger, mf, unit);
             emitter.recursion(mf, cases.len())?;
         }
         Field::Definition { alias, overridable } => {
@@ -359,14 +287,14 @@ fn check_field(
                 FactKind::DeltaEq,
             )?;
             view.add_fn(FnDef::Alias(alias.clone()))?;
-            record(ledger, mf, &unit);
+            record(ledger, mf, unit);
             emitter.plain_module(mf, &[Item::definition(mf.name.as_str(), "transparent def")])?;
         }
         Field::PropDefinition { def } => {
             let vars: HashMap<Symbol, objlang::Sort> = def.params.iter().cloned().collect();
             view.check_prop(&vars, &def.body)?;
             view.add_propdef(def.clone())?;
-            record(ledger, mf, &unit);
+            record(ledger, mf, unit);
             emitter.plain_module(mf, &[Item::definition(mf.name.as_str(), "prop def")])?;
         }
         Field::AbstractFn { name, params, ret } => {
@@ -376,7 +304,7 @@ fn check_field(
                 ret: *ret,
             })?;
             assumptions.push(*name);
-            record(ledger, mf, &unit);
+            record(ledger, mf, unit);
             emitter.axiom_module(mf, "abstract function parameter")?;
         }
         Field::Parameter {
@@ -391,7 +319,7 @@ fn check_field(
             }
             assumptions.push(*name);
             theorems.insert(*name, statement.clone());
-            record(ledger, mf, &unit);
+            record(ledger, mf, unit);
             emitter.axiom_module(mf, "parameter (axiom until overridden)")?;
         }
         Field::Theorem {
@@ -404,13 +332,15 @@ fn check_field(
             match proof {
                 ProofSpec::Script(script) => {
                     let okey = odef_hash(odef_key);
-                    if cache.lookup_theorem(statement, script, &None, okey) {
-                        ledger.record_shared(&unit);
+                    if txn.lookup_theorem(statement, script, &None, okey) {
+                        ledger.record_cache_hit();
+                        ledger.record_shared(unit);
                     } else {
+                        ledger.record_cache_miss();
                         prove(view, statement.clone(), script)
                             .map_err(|e| e.with_context(format!("proof of {name}")))?;
-                        cache.insert_theorem(statement.clone(), script.clone(), None, okey);
-                        ledger.record_checked(&unit);
+                        txn.insert_theorem(statement.clone(), script.clone(), None, okey);
+                        ledger.record_checked(unit);
                     }
                 }
                 ProofSpec::ReproveOnExtend { script, depends_on } => {
@@ -432,21 +362,23 @@ fn check_field(
                         .collect();
                     let cw_key = Some(cw_key);
                     let okey = odef_hash(odef_key);
-                    if cache.lookup_theorem(statement, script, &cw_key, okey) {
-                        ledger.record_shared(&unit);
+                    if txn.lookup_theorem(statement, script, &cw_key, okey) {
+                        ledger.record_cache_hit();
+                        ledger.record_shared(unit);
                     } else {
+                        ledger.record_cache_miss();
                         let mut st = objlang::ProofState::new(view, statement.clone())?;
                         st.closed_world = true;
                         objlang::tactic::run_script(&mut st, script)
                             .map_err(|e| e.with_context(format!("re-provable proof of {name}")))?;
                         st.qed()?;
-                        cache.insert_theorem(statement.clone(), script.clone(), cw_key, okey);
-                        ledger.record_checked(&unit);
+                        txn.insert_theorem(statement.clone(), script.clone(), cw_key, okey);
+                        ledger.record_checked(unit);
                     }
                 }
                 ProofSpec::Admitted => {
                     assumptions.push(*name);
-                    ledger.record_checked(&unit);
+                    ledger.record_checked(unit);
                 }
             }
             let kind = if matches!(proof, ProofSpec::Admitted) {
@@ -492,14 +424,16 @@ fn check_field(
                 let seq = case_sequent(view, &p, rule, &motive)?;
                 let case_unit = format!("{unit}◦{}", rule.name);
                 let okey = odef_hash(odef_key);
-                if let Some(pf) = cache.lookup_case(&seq, script, okey) {
+                if let Some(pf) = txn.lookup_case(&seq, script, okey) {
                     proved.insert(rule.name, pf);
+                    ledger.record_cache_hit();
                     ledger.record_shared(&case_unit);
                     shared_cases += 1;
                 } else {
+                    ledger.record_cache_miss();
                     let pf = prove_sequent(view, seq.clone(), false, script)
                         .map_err(|e| e.with_context(format!("Case {} of {name}", rule.name)))?;
-                    cache.insert_case(seq, script.clone(), pf.clone(), okey);
+                    txn.insert_case(seq, script.clone(), pf.clone(), okey);
                     proved.insert(rule.name, pf);
                     ledger.record_checked(&case_unit);
                     checked_cases += 1;
@@ -552,13 +486,15 @@ fn check_field(
                 let seq = data_case_sequent(view, *datatype, ctor.name, motive)?;
                 let case_unit = format!("{unit}◦{}", ctor.name);
                 let okey = odef_hash(odef_key);
-                if let Some(pf) = cache.lookup_case(&seq, script, okey) {
+                if let Some(pf) = txn.lookup_case(&seq, script, okey) {
                     proved.insert(ctor.name, pf);
+                    ledger.record_cache_hit();
                     ledger.record_shared(&case_unit);
                 } else {
+                    ledger.record_cache_miss();
                     let pf = prove_sequent(view, seq.clone(), false, script)
                         .map_err(|e| e.with_context(format!("Case {} of {name}", ctor.name)))?;
-                    cache.insert_case(seq, script.clone(), pf.clone(), okey);
+                    txn.insert_case(seq, script.clone(), pf.clone(), okey);
                     proved.insert(ctor.name, pf);
                     ledger.record_checked(&case_unit);
                 }

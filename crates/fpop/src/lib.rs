@@ -17,6 +17,10 @@
 //! * [`elab`] — per-field checking under late binding, exhaustivity
 //!   enforcement (C1), proof reuse accounting, and compilation to the
 //!   parameterized-module structure of Figures 4–5;
+//! * [`session`] — the check session: a thread-safe, content-addressed
+//!   proof cache shared across every family elaboration in a run (the
+//!   substrate of the parallel lattice build and the `CS1-share`
+//!   experiment);
 //! * [`universe`] — the top-level API ([`FamilyUniverse`]) and the `Check`
 //!   command;
 //! * [`parse`] — a vernacular parser for a Figure-2-style surface syntax.
@@ -58,8 +62,20 @@ pub mod family;
 pub mod merge;
 pub mod parse;
 pub mod report;
+pub mod session;
 pub mod universe;
 
 pub use elab::CompiledFamily;
 pub use family::{FamilyDef, Field, ProofSpec};
+pub use session::{CacheTxn, Session, SessionStats};
 pub use universe::FamilyUniverse;
+
+// Concurrency audit: compiled families cross thread boundaries in the
+// parallel lattice build, and the universe itself must be shareable by
+// reference with worker threads (`&FamilyUniverse` + `compile_detached`).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledFamily>();
+    assert_send_sync::<FamilyUniverse>();
+    assert_send_sync::<Session>();
+};

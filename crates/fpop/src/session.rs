@@ -1,0 +1,474 @@
+//! The check session: a thread-safe, content-addressed proof cache shared
+//! across *all* family elaborations in a run.
+//!
+//! Before this layer existed, proof reuse stopped at the boundary of one
+//! [`crate::universe::FamilyUniverse`]: every universe rebuilt its own
+//! cache, so rebuilding the 15-variant Venn lattice (or the 31-variant
+//! extended one) re-paid base-field proof work per build — the copy-paste
+//! pathology the paper argues against, reintroduced one level up. A
+//! [`Session`] makes reuse an architectural property:
+//!
+//! * it is `Send + Sync` and cheap to share (`Arc<Session>`), so any number
+//!   of universes — including universes living on different threads, as in
+//!   the parallel lattice build — draw from one content-addressed store;
+//! * proofs are keyed on a stable hash of their statement, script and
+//!   late-bound environment snapshot (overridable-definition bodies and,
+//!   for closed-world proofs, the constructor lists of every inspected
+//!   type), then verified structurally before reuse, so a hit is exactly
+//!   the paper's late-binding soundness argument in operational form;
+//! * hits, misses and inserts are counted ([`SessionStats`]), making the
+//!   Section 4 sharing claim *observable*: the `mixin_lattice` bench and
+//!   `EXPERIMENTS.md` report the series.
+//!
+//! Writes go through a [`CacheTxn`]: a transaction that reads the shared
+//! store but buffers its own inserts, committing them atomically on
+//! success. Sequentially this reproduces the old in-place behavior
+//! (commit-per-elaboration, nothing retained from failed elaborations);
+//! in the parallel lattice build it gives wave-snapshot semantics — every
+//! worker of a wave sees exactly the proofs discharged by earlier waves,
+//! independent of sibling scheduling, which is what makes the parallel
+//! build's ledgers deterministic and equal to the sequential build's.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use objlang::ident::Symbol;
+use objlang::proof::{ProvedSequent, Sequent};
+use objlang::syntax::Prop;
+use objlang::tactic::Tactic;
+
+/// Cross-family proof cache (content-addressed).
+///
+/// Reuse is sound for open-world proofs because the kernel forbids them
+/// from depending on the *closedness* of any extensible type: every step
+/// valid in the base view stays valid in any derived view, which is the
+/// paper's late-binding soundness argument in operational form.
+/// Closed-world (reprove-on-extend) entries key on the content of the
+/// types they inspect, so any further binding forces a re-run.
+#[derive(Clone, Default, Debug)]
+pub struct ProofCache {
+    theorems: HashMap<u64, Vec<TheoremEntry>>,
+    cases: HashMap<u64, Vec<CaseEntry>>,
+}
+
+#[derive(Clone, Debug)]
+struct TheoremEntry {
+    statement: Prop,
+    script: Vec<Tactic>,
+    closed_world_key: Option<Vec<(Symbol, Vec<Symbol>)>>,
+}
+
+#[derive(Clone, Debug)]
+struct CaseEntry {
+    sequent: Sequent,
+    script: Vec<Tactic>,
+    proof: ProvedSequent,
+}
+
+fn hash_of(h: &impl Hash) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    h.hash(&mut hasher);
+    hasher.finish()
+}
+
+impl ProofCache {
+    /// A fresh cache.
+    pub fn new() -> ProofCache {
+        ProofCache::default()
+    }
+
+    /// Number of cached proofs (theorems + induction cases).
+    pub fn len(&self) -> usize {
+        self.theorems.values().map(Vec::len).sum::<usize>()
+            + self.cases.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.theorems.is_empty() && self.cases.is_empty()
+    }
+
+    fn lookup_theorem(
+        &self,
+        statement: &Prop,
+        script: &[Tactic],
+        cw_key: &Option<Vec<(Symbol, Vec<Symbol>)>>,
+        okey: u64,
+    ) -> bool {
+        let h = hash_of(&(statement, script, okey));
+        self.theorems.get(&h).is_some_and(|v| {
+            v.iter().any(|e| {
+                e.statement == *statement && e.script == script && e.closed_world_key == *cw_key
+            })
+        })
+    }
+
+    fn insert_theorem(
+        &mut self,
+        statement: Prop,
+        script: Vec<Tactic>,
+        cw_key: Option<Vec<(Symbol, Vec<Symbol>)>>,
+        okey: u64,
+    ) {
+        if self.lookup_theorem(&statement, &script, &cw_key, okey) {
+            return;
+        }
+        let h = hash_of(&(&statement, &script, okey));
+        self.theorems.entry(h).or_default().push(TheoremEntry {
+            statement,
+            script,
+            closed_world_key: cw_key,
+        });
+    }
+
+    fn lookup_case(&self, seq: &Sequent, script: &[Tactic], okey: u64) -> Option<ProvedSequent> {
+        let h = hash_of(&(seq, script, okey));
+        self.cases.get(&h).and_then(|v| {
+            v.iter()
+                .find(|e| e.sequent == *seq && e.script == script)
+                .map(|e| e.proof.clone())
+        })
+    }
+
+    fn insert_case(&mut self, seq: Sequent, script: Vec<Tactic>, proof: ProvedSequent, okey: u64) {
+        if self.lookup_case(&seq, &script, okey).is_some() {
+            return;
+        }
+        let h = hash_of(&(&seq, &script, okey));
+        self.cases.entry(h).or_default().push(CaseEntry {
+            sequent: seq,
+            script,
+            proof,
+        });
+    }
+}
+
+/// Bucket-wise, idempotent merge of `overlay` into `into`, preserving the
+/// (statement, script, okey) bucket keys of the overlay; returns the number
+/// of entries actually inserted (duplicates — e.g. two workers proving the
+/// same fact in parallel — are skipped).
+fn merge_buckets(into: &mut ProofCache, overlay: ProofCache) -> u64 {
+    let mut inserted = 0u64;
+    for (h, v) in overlay.theorems {
+        let bucket = into.theorems.entry(h).or_default();
+        for e in v {
+            let dup = bucket.iter().any(|b| {
+                b.statement == e.statement
+                    && b.script == e.script
+                    && b.closed_world_key == e.closed_world_key
+            });
+            if !dup {
+                bucket.push(e);
+                inserted += 1;
+            }
+        }
+    }
+    for (h, v) in overlay.cases {
+        let bucket = into.cases.entry(h).or_default();
+        for e in v {
+            let dup = bucket
+                .iter()
+                .any(|b| b.sequent == e.sequent && b.script == e.script);
+            if !dup {
+                bucket.push(e);
+                inserted += 1;
+            }
+        }
+    }
+    inserted
+}
+
+/// Aggregate counters of a session's cache traffic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SessionStats {
+    /// Lookups answered from the shared store or a transaction overlay.
+    pub cache_hits: u64,
+    /// Lookups that forced a fresh proof run.
+    pub cache_misses: u64,
+    /// Entries committed into the shared store.
+    pub cache_inserts: u64,
+}
+
+impl SessionStats {
+    /// Hit ratio `hits / (hits + misses)`; 0 when no lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A check session: the shared, thread-safe substrate of every family
+/// elaboration in a run. See the module docs for the architecture.
+#[derive(Default, Debug)]
+pub struct Session {
+    cache: RwLock<ProofCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl Session {
+    /// A fresh session with an empty cache.
+    pub fn new() -> Arc<Session> {
+        Arc::new(Session::default())
+    }
+
+    /// Opens a transaction: reads see the shared store as of now (plus the
+    /// transaction's own inserts); writes are buffered until
+    /// [`CacheTxn::commit`].
+    pub fn begin(self: &Arc<Session>) -> CacheTxn {
+        CacheTxn {
+            session: Arc::clone(self),
+            overlay: ProofCache::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Aggregate cache-traffic counters since the session was created.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            cache_inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of proofs currently in the shared store.
+    pub fn cached_proofs(&self) -> usize {
+        self.cache.read().expect("session cache poisoned").len()
+    }
+}
+
+/// A buffered view of a [`Session`] used by one elaboration (equivalently:
+/// one parallel-lattice worker). Lookups consult the transaction's own
+/// overlay first, then the shared store; inserts stay in the overlay until
+/// [`CacheTxn::commit`]. Dropping the transaction without committing
+/// discards its inserts (e.g. on elaboration failure).
+#[derive(Debug)]
+pub struct CacheTxn {
+    session: Arc<Session>,
+    overlay: ProofCache,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheTxn {
+    /// Looks up a theorem proof; counts a hit or miss.
+    pub(crate) fn lookup_theorem(
+        &mut self,
+        statement: &Prop,
+        script: &[Tactic],
+        cw_key: &Option<Vec<(Symbol, Vec<Symbol>)>>,
+        okey: u64,
+    ) -> bool {
+        let hit = self.overlay.lookup_theorem(statement, script, cw_key, okey) || {
+            let shared = self.session.cache.read().expect("session cache poisoned");
+            shared.lookup_theorem(statement, script, cw_key, okey)
+        };
+        self.tally(hit);
+        hit
+    }
+
+    /// Buffers a theorem proof for commit.
+    pub(crate) fn insert_theorem(
+        &mut self,
+        statement: Prop,
+        script: Vec<Tactic>,
+        cw_key: Option<Vec<(Symbol, Vec<Symbol>)>>,
+        okey: u64,
+    ) {
+        self.overlay.insert_theorem(statement, script, cw_key, okey);
+    }
+
+    /// Looks up an induction-case proof; counts a hit or miss.
+    pub(crate) fn lookup_case(
+        &mut self,
+        seq: &Sequent,
+        script: &[Tactic],
+        okey: u64,
+    ) -> Option<ProvedSequent> {
+        let found = self.overlay.lookup_case(seq, script, okey).or_else(|| {
+            let shared = self.session.cache.read().expect("session cache poisoned");
+            shared.lookup_case(seq, script, okey)
+        });
+        self.tally(found.is_some());
+        found
+    }
+
+    /// Buffers an induction-case proof for commit.
+    pub(crate) fn insert_case(
+        &mut self,
+        seq: Sequent,
+        script: Vec<Tactic>,
+        proof: ProvedSequent,
+        okey: u64,
+    ) {
+        self.overlay.insert_case(seq, script, proof, okey);
+    }
+
+    fn tally(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Hits/misses recorded by this transaction so far.
+    pub fn local_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Commits the overlay into the shared store and publishes the
+    /// hit/miss tallies to the session counters.
+    pub fn commit(self) {
+        let CacheTxn {
+            session,
+            overlay,
+            hits,
+            misses,
+        } = self;
+        let inserted = {
+            let mut shared = session.cache.write().expect("session cache poisoned");
+            merge_buckets(&mut shared, overlay)
+        };
+        session.hits.fetch_add(hits, Ordering::Relaxed);
+        session.misses.fetch_add(misses, Ordering::Relaxed);
+        session.inserts.fetch_add(inserted, Ordering::Relaxed);
+    }
+}
+
+// The session is the thing that crosses threads; assert it (and the txn
+// payloads) at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+    assert_send_sync::<ProofCache>();
+    assert_send_sync::<SessionStats>();
+    assert_send_sync::<CacheTxn>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use objlang::syntax::Term;
+
+    fn p(n: u64) -> Prop {
+        Prop::eq(objlang::eval::nat_lit(n), objlang::eval::nat_lit(n))
+    }
+
+    #[test]
+    fn txn_buffers_until_commit() {
+        let s = Session::new();
+        let mut t1 = s.begin();
+        assert!(!t1.lookup_theorem(&p(1), &[], &None, 0));
+        t1.insert_theorem(p(1), vec![], None, 0);
+        // Visible to the inserting txn…
+        assert!(t1.lookup_theorem(&p(1), &[], &None, 0));
+        // …but not to a sibling before commit.
+        let mut t2 = s.begin();
+        assert!(!t2.lookup_theorem(&p(1), &[], &None, 0));
+        t2.commit();
+        t1.commit();
+        let mut t3 = s.begin();
+        assert!(t3.lookup_theorem(&p(1), &[], &None, 0));
+        t3.commit();
+        assert_eq!(s.cached_proofs(), 1);
+        let st = s.stats();
+        assert_eq!(st.cache_inserts, 1);
+        assert!(st.cache_hits >= 2 && st.cache_misses >= 2);
+    }
+
+    #[test]
+    fn dropped_txn_discards_inserts() {
+        let s = Session::new();
+        let mut t = s.begin();
+        t.insert_theorem(p(2), vec![], None, 0);
+        drop(t);
+        let mut t2 = s.begin();
+        assert!(!t2.lookup_theorem(&p(2), &[], &None, 0));
+        assert_eq!(s.cached_proofs(), 0);
+        t2.commit();
+    }
+
+    #[test]
+    fn duplicate_commits_are_idempotent() {
+        let s = Session::new();
+        let mut a = s.begin();
+        let mut b = s.begin();
+        a.insert_theorem(p(3), vec![], None, 7);
+        b.insert_theorem(p(3), vec![], None, 7);
+        a.commit();
+        b.commit();
+        assert_eq!(s.cached_proofs(), 1, "racing identical proofs dedupe");
+        assert_eq!(s.stats().cache_inserts, 1);
+    }
+
+    #[test]
+    fn okey_partitions_entries() {
+        let s = Session::new();
+        let mut t = s.begin();
+        t.insert_theorem(p(4), vec![], None, 1);
+        t.commit();
+        let mut t2 = s.begin();
+        assert!(t2.lookup_theorem(&p(4), &[], &None, 1));
+        assert!(
+            !t2.lookup_theorem(&p(4), &[], &None, 2),
+            "a different overridable-definition snapshot must miss"
+        );
+        t2.commit();
+    }
+
+    #[test]
+    fn cross_thread_session_sharing() {
+        let s = Session::new();
+        let mut t = s.begin();
+        t.insert_theorem(p(5), vec![], None, 0);
+        t.commit();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    let mut txn = s.begin();
+                    assert!(txn.lookup_theorem(&p(5), &[], &None, 0));
+                    txn.commit();
+                });
+            }
+        });
+        assert!(s.stats().cache_hits >= 4);
+    }
+
+    #[test]
+    fn sequent_case_roundtrip() {
+        let sig = {
+            let mut sig = objlang::Signature::new();
+            objlang::prelude::install(&mut sig).unwrap();
+            sig
+        };
+        let goal = Prop::eq(Term::c0("zero"), Term::c0("zero"));
+        let proved = objlang::tactic::prove_sequent(
+            &sig,
+            Sequent::closed(goal.clone()),
+            false,
+            &[Tactic::Reflexivity],
+        )
+        .unwrap();
+        let seq = Sequent::closed(goal);
+        let s = Session::new();
+        let mut t = s.begin();
+        assert!(t.lookup_case(&seq, &[Tactic::Reflexivity], 0).is_none());
+        t.insert_case(seq.clone(), vec![Tactic::Reflexivity], proved, 0);
+        t.commit();
+        let mut t2 = s.begin();
+        assert!(t2.lookup_case(&seq, &[Tactic::Reflexivity], 0).is_some());
+        t2.commit();
+    }
+}

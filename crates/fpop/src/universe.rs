@@ -1,7 +1,16 @@
 //! The family universe: defines families, resolves inheritance and mixins,
 //! and answers `Check` queries.
+//!
+//! Since the check-session refactor a universe no longer owns its proof
+//! cache: it holds an `Arc<`[`Session`]`>`. By default each universe gets a
+//! fresh session, which reproduces the old behavior exactly; pass a shared
+//! session with [`FamilyUniverse::with_session`] and *every* universe in a
+//! run — including universes on different threads — reuses each other's
+//! proofs. That is the channel the parallel lattice build and the
+//! `CS1-share` experiment measure.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use objlang::error::{Error, Result};
 use objlang::ident::Symbol;
@@ -9,20 +18,26 @@ use objlang::syntax::Prop;
 
 use modsys::ModuleEnv;
 
-use crate::elab::{elaborate, CompiledFamily, ProofCache};
+use crate::elab::{elaborate, CompiledFamily};
 use crate::family::FamilyDef;
 use crate::merge::{delta_of, merge, MergedField};
+use crate::session::Session;
 
 /// A universe of compiled families sharing a module environment and a
-/// proof cache (the cross-family reuse of Section 4).
-#[derive(Default)]
+/// check session (the cross-family reuse of Section 4).
 pub struct FamilyUniverse {
     families: HashMap<Symbol, CompiledFamily>,
     order: Vec<Symbol>,
-    cache: ProofCache,
+    session: Arc<Session>,
     /// The shared module environment; inspect it for the Figures 4–5
     /// compilation structure and the global check ledger.
     pub modenv: ModuleEnv,
+}
+
+impl Default for FamilyUniverse {
+    fn default() -> FamilyUniverse {
+        FamilyUniverse::new()
+    }
 }
 
 impl std::fmt::Debug for FamilyUniverse {
@@ -34,22 +49,33 @@ impl std::fmt::Debug for FamilyUniverse {
 }
 
 impl FamilyUniverse {
-    /// An empty universe.
+    /// An empty universe with its own private session.
     pub fn new() -> FamilyUniverse {
-        FamilyUniverse::default()
+        FamilyUniverse::with_session(Session::new())
     }
 
-    /// Defines (elaborates and checks) a family. Equivalent to executing
-    /// `Family F [extends B [using M…]]. … End F.`
-    ///
-    /// # Errors
-    ///
-    /// Propagates every static error the paper's design mandates:
-    /// exhaustivity violations (C1), illegal closed-world reasoning,
-    /// context-preservation violations (C3, e.g. the circular-reasoning
-    /// counterexample of Section 3.4), illegal overrides (§3.3), and mixin
-    /// conflicts or retrofit obligations (§3.5).
-    pub fn define(&mut self, def: FamilyDef) -> Result<&CompiledFamily> {
+    /// An empty universe drawing on (and contributing to) a shared check
+    /// session. Proofs discharged here are reusable by every other
+    /// universe holding the same session, and vice versa.
+    pub fn with_session(session: Arc<Session>) -> FamilyUniverse {
+        FamilyUniverse {
+            families: HashMap::new(),
+            order: Vec::new(),
+            session,
+            modenv: ModuleEnv::default(),
+        }
+    }
+
+    /// The check session this universe draws on.
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
+    /// Resolves a definition against the families already in this universe:
+    /// inheritance lookup, mixin delta extraction, and merge. Read-only —
+    /// this is the half of `define` that parallel builders run on worker
+    /// threads before elaborating into a detached environment.
+    fn resolve(&self, def: &FamilyDef) -> Result<crate::merge::MergedFamily> {
         if self.families.contains_key(&def.name) {
             return Err(Error::new(format!(
                 "family {} is already defined",
@@ -86,11 +112,61 @@ impl FamilyUniverse {
                 .map_err(|e| e.with_context(format!("delta of mixin {m}")))?;
             mixin_deltas.push((*m, delta));
         }
-        let merged = merge(&def, &base_fields, &mixin_deltas)?;
-        let compiled = elaborate(&merged, &mut self.cache, &mut self.modenv)?;
-        self.order.push(def.name);
-        self.families.insert(def.name, compiled);
-        Ok(&self.families[&def.name])
+        merge(def, &base_fields, &mixin_deltas)
+    }
+
+    /// Defines (elaborates and checks) a family. Equivalent to executing
+    /// `Family F [extends B [using M…]]. … End F.`
+    ///
+    /// # Errors
+    ///
+    /// Propagates every static error the paper's design mandates:
+    /// exhaustivity violations (C1), illegal closed-world reasoning,
+    /// context-preservation violations (C3, e.g. the circular-reasoning
+    /// counterexample of Section 3.4), illegal overrides (§3.3), and mixin
+    /// conflicts or retrofit obligations (§3.5).
+    pub fn define(&mut self, def: FamilyDef) -> Result<&CompiledFamily> {
+        let name = def.name;
+        let merged = self.resolve(&def)?;
+        let mut txn = self.session.begin();
+        let compiled = elaborate(&merged, &mut txn, &mut self.modenv)?;
+        txn.commit();
+        self.order.push(name);
+        self.families.insert(name, compiled);
+        Ok(&self.families[&name])
+    }
+
+    /// Elaborates a family *without* mutating this universe: the module
+    /// structure goes into the caller's detached `env`, and the freshly
+    /// discharged proofs stay buffered in the returned transaction. This
+    /// is the worker half of the parallel lattice build: call it from any
+    /// thread (`&self`), then on the coordinating thread [`Self::adopt`]
+    /// the compiled family and `commit` the transaction.
+    pub fn compile_detached(
+        &self,
+        def: &FamilyDef,
+        env: &mut ModuleEnv,
+    ) -> Result<(CompiledFamily, crate::session::CacheTxn)> {
+        let merged = self.resolve(def)?;
+        let mut txn = self.session.begin();
+        let compiled = elaborate(&merged, &mut txn, env)?;
+        Ok((compiled, txn))
+    }
+
+    /// Registers a family compiled by [`Self::compile_detached`]. The
+    /// caller is responsible for shipping the detached environment's
+    /// module delta into `self.modenv` (see `ModuleEnv::delta_since` /
+    /// `apply_delta`) and committing the worker's transaction.
+    pub fn adopt(&mut self, compiled: CompiledFamily) -> Result<()> {
+        if self.families.contains_key(&compiled.name) {
+            return Err(Error::new(format!(
+                "family {} is already defined",
+                compiled.name
+            )));
+        }
+        self.order.push(compiled.name);
+        self.families.insert(compiled.name, compiled);
+        Ok(())
     }
 
     /// Looks up a compiled family.

@@ -329,16 +329,16 @@ fn induction_cases_reused_and_new_case_checked() {
         )
         .extend_induction("sz_refl", vec![("good_extra", vec![Tactic::Reflexivity])]);
     let fam = u.define(derived).unwrap();
-    let shared: Vec<&String> = fam
+    let shared: Vec<String> = fam
         .ledger
         .shared()
-        .iter()
+        .into_iter()
         .filter(|n| n.contains("sz_refl"))
         .collect();
-    let checked: Vec<&String> = fam
+    let checked: Vec<String> = fam
         .ledger
         .checked()
-        .iter()
+        .into_iter()
         .filter(|n| n.contains("sz_refl"))
         .collect();
     assert_eq!(shared.len(), 2, "two inherited cases reused: {shared:?}");
@@ -578,7 +578,11 @@ fn check_function_fields() {
             .extend_inductive("tm0", vec![CtorSig::new("k_fn_extra", vec![])])
             .extend_recursion(
                 "sz",
-                vec![RecCase { ctor: sym("k_fn_extra"), arg_vars: vec![], body: Term::c0("zero") }],
+                vec![RecCase {
+                    ctor: sym("k_fn_extra"),
+                    arg_vars: vec![],
+                    body: Term::c0("zero"),
+                }],
             ),
     )
     .unwrap();
@@ -609,11 +613,15 @@ fn mixin_must_share_the_base() {
     u.define(base_family()).unwrap();
     u.define(FamilyDef::new("OtherRoot").inductive("o1", vec![CtorSig::new("o_a", vec![])]))
         .unwrap();
-    u.define(FamilyDef::extending("OtherChild", "OtherRoot")).unwrap();
+    u.define(FamilyDef::extending("OtherChild", "OtherRoot"))
+        .unwrap();
     // Mixing a family with a different base into a B-derived composite.
     let bad = FamilyDef::extending_with("BadMix", "B", &["OtherChild"]);
     let err = u.define(bad).unwrap_err();
-    assert!(format!("{err}").contains("not the composite's base"), "{err}");
+    assert!(
+        format!("{err}").contains("not the composite's base"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -654,5 +662,6 @@ fn empty_family_is_valid() {
     assert!(fam.fields.is_empty());
     assert!(fam.assumptions.is_empty());
     // And an empty derived family is pure inheritance.
-    u.define(FamilyDef::extending("EmptyChild", "Empty")).unwrap();
+    u.define(FamilyDef::extending("EmptyChild", "Empty"))
+        .unwrap();
 }

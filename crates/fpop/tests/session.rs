@@ -1,0 +1,115 @@
+//! Integration tests for the check-session architecture at the `fpop`
+//! level: cross-universe proof reuse through a shared [`Session`], and a
+//! multi-threaded elaboration stress run (many universes, one session,
+//! concurrent `define`s — the substrate the parallel lattice build
+//! relies on).
+
+use std::sync::Arc;
+
+use fpop::family::FamilyDef;
+use fpop::universe::FamilyUniverse;
+use fpop::Session;
+use objlang::sig::CtorSig;
+use objlang::syntax::{Prop, Sort, Term};
+use objlang::Tactic;
+
+/// A small base family with one real proof obligation.
+fn base_family(name: &str) -> FamilyDef {
+    FamilyDef::new(name)
+        .inductive("t", vec![CtorSig::new(&format!("{name}_one"), vec![])])
+        .theorem(
+            "one_exists",
+            Prop::exists(
+                "x",
+                Sort::named("t"),
+                Prop::eq(Term::var("x"), Term::var("x")),
+            ),
+            vec![
+                Tactic::Exists(Term::c0(&format!("{name}_one"))),
+                Tactic::Reflexivity,
+            ],
+        )
+}
+
+#[test]
+fn private_sessions_do_not_share() {
+    let mut a = FamilyUniverse::new();
+    a.define(base_family("PrivA")).unwrap();
+    let mut b = FamilyUniverse::new();
+    b.define(base_family("PrivA2")).unwrap();
+    // Different sessions: no hits crossed between them.
+    assert_eq!(a.session().stats().cache_hits, 0);
+    assert_eq!(b.session().stats().cache_hits, 0);
+    assert!(a.session().stats().cache_inserts > 0);
+}
+
+#[test]
+fn shared_session_reuses_identical_proofs_across_universes() {
+    let session = Session::new();
+    let mut a = FamilyUniverse::with_session(session.clone());
+    a.define(base_family("Shared")).unwrap();
+    let after_a = session.stats();
+    assert!(after_a.cache_inserts > 0);
+
+    // A second universe defines the *same* family content: every proof is
+    // served from the session, nothing is re-inserted.
+    let mut b = FamilyUniverse::with_session(session.clone());
+    b.define(base_family("Shared")).unwrap();
+    let after_b = session.stats();
+    assert_eq!(after_b.cache_inserts, after_a.cache_inserts);
+    assert!(after_b.cache_hits > after_a.cache_hits);
+
+    // Both universes answer Check identically.
+    assert_eq!(
+        a.check("Shared", "one_exists").unwrap(),
+        b.check("Shared", "one_exists").unwrap()
+    );
+}
+
+#[test]
+fn concurrent_universes_one_session_stress() {
+    const THREADS: usize = 8;
+    let session = Session::new();
+
+    // Warm the session with the proof all threads will reuse.
+    let mut warm = FamilyUniverse::with_session(session.clone());
+    warm.define(base_family("Stress")).unwrap();
+    let warm_inserts = session.stats().cache_inserts;
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let session = Arc::clone(&session);
+            s.spawn(move || {
+                // Each thread runs several universes; every universe
+                // defines the shared family (cache hits) plus a
+                // thread-unique derived one (fresh checks), interleaving
+                // interning, elaboration and session traffic.
+                for round in 0..4 {
+                    let mut u = FamilyUniverse::with_session(session.clone());
+                    u.define(base_family("Stress")).unwrap();
+                    let derived = format!("StressT{t}R{round}");
+                    u.define(FamilyDef::extending(&derived, "Stress").extend_inductive(
+                        "t",
+                        vec![CtorSig::new(&format!("{derived}_extra"), vec![])],
+                    ))
+                    .unwrap();
+                    let out = u.check(&derived, "one_exists").unwrap();
+                    assert!(out.contains(&format!("{derived}.one_exists")), "{out}");
+                }
+            });
+        }
+    });
+
+    let stats = session.stats();
+    // Every thread×round redefinition of `Stress` hit the warm proof.
+    assert!(
+        stats.cache_hits as usize >= THREADS * 4,
+        "expected ≥{} hits, got {stats:?}",
+        THREADS * 4
+    );
+    // Identical proofs raced from many threads still deduplicate.
+    assert_eq!(
+        stats.cache_inserts, warm_inserts,
+        "duplicate inserts leaked"
+    );
+}

@@ -6,12 +6,46 @@
 //! measurable: every module registration records a *check*; every reuse by
 //! a derived family records a *share*. The `modular_vs_copypaste` bench
 //! prints both series.
+//!
+//! Since the check-session refactor the ledger also records the
+//! *cross-family* reuse channel — content-addressed proof-cache hits and
+//! misses — plus per-unit wall time, so the paper's O(delta) claim is
+//! observable at lattice scale: a derived variant's ledger shows not just
+//! *that* fields were shared but *how much checking time* the shared
+//! session saved.
+//!
+//! Entries are stored deduplicated: one counted record per unit name
+//! (`name → {checked, shared, nanos}`), in first-appearance order. The
+//! public counting API (`checked_count`, `shared_count`, `reuse_ratio`) is
+//! unchanged; `checked()`/`shared()` materialize the name series with
+//! multiplicity for callers that filter by substring.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One deduplicated ledger record: how often a unit was checked fresh vs
+/// shared, and how much wall time its fresh checks cost.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LedgerEntry {
+    /// Unit name (e.g. `STLC◦typesafe` or `STLCFix◦preserve◦ht_fix`).
+    pub name: String,
+    /// Number of fresh checks recorded for this unit.
+    pub checked: usize,
+    /// Number of reuses (no recheck) recorded for this unit.
+    pub shared: usize,
+    /// Accumulated wall time spent checking this unit, in nanoseconds.
+    pub nanos: u64,
+}
 
 /// Counters and logs of compilation work.
 #[derive(Clone, Default, Debug)]
 pub struct CheckLedger {
-    checked: Vec<String>,
-    shared: Vec<String>,
+    entries: Vec<LedgerEntry>,
+    index: HashMap<String, usize>,
+    checked_total: usize,
+    shared_total: usize,
+    cache_hits: usize,
+    cache_misses: usize,
 }
 
 impl CheckLedger {
@@ -20,50 +54,160 @@ impl CheckLedger {
         CheckLedger::default()
     }
 
+    fn entry_mut(&mut self, name: &str) -> &mut LedgerEntry {
+        if let Some(&i) = self.index.get(name) {
+            return &mut self.entries[i];
+        }
+        let i = self.entries.len();
+        self.index.insert(name.to_string(), i);
+        self.entries.push(LedgerEntry {
+            name: name.to_string(),
+            checked: 0,
+            shared: 0,
+            nanos: 0,
+        });
+        &mut self.entries[i]
+    }
+
     /// Records a fresh check of `name`.
     pub fn record_checked(&mut self, name: &str) {
-        self.checked.push(name.to_string());
+        self.entry_mut(name).checked += 1;
+        self.checked_total += 1;
     }
 
     /// Records a reuse (no recheck) of `name`.
     pub fn record_shared(&mut self, name: &str) {
-        self.shared.push(name.to_string());
+        self.entry_mut(name).shared += 1;
+        self.shared_total += 1;
+    }
+
+    /// Accumulates wall time spent checking `name`.
+    pub fn record_unit_time(&mut self, name: &str, elapsed: Duration) {
+        self.entry_mut(name).nanos += elapsed.as_nanos() as u64;
+    }
+
+    /// Records a content-addressed proof-cache hit (a proof reused from the
+    /// shared session without rechecking).
+    pub fn record_cache_hit(&mut self) {
+        self.cache_hits += 1;
+    }
+
+    /// Records a proof-cache miss (the proof had to be run).
+    pub fn record_cache_miss(&mut self) {
+        self.cache_misses += 1;
     }
 
     /// Number of freshly checked entities.
     pub fn checked_count(&self) -> usize {
-        self.checked.len()
+        self.checked_total
     }
 
     /// Number of shared (reused) entities.
     pub fn shared_count(&self) -> usize {
-        self.shared.len()
+        self.shared_total
     }
 
-    /// The checked entity names, in order.
-    pub fn checked(&self) -> &[String] {
-        &self.checked
+    /// Proof-cache hits recorded in this ledger.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
     }
 
-    /// The shared entity names, in order.
-    pub fn shared(&self) -> &[String] {
-        &self.shared
+    /// Proof-cache misses recorded in this ledger.
+    pub fn cache_misses(&self) -> usize {
+        self.cache_misses
+    }
+
+    /// Proof-cache hit ratio `hits / (hits + misses)`; 0 when no lookups.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The deduplicated counted entries, in first-appearance order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Total wall time accumulated across all units.
+    pub fn total_time(&self) -> Duration {
+        Duration::from_nanos(self.entries.iter().map(|e| e.nanos).sum())
+    }
+
+    /// Wall time accumulated for one unit, if recorded.
+    pub fn unit_time(&self, name: &str) -> Option<Duration> {
+        self.index
+            .get(name)
+            .map(|&i| Duration::from_nanos(self.entries[i].nanos))
+    }
+
+    /// The checked entity names with multiplicity, in first-check order.
+    pub fn checked(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .flat_map(|e| std::iter::repeat_n(e.name.clone(), e.checked))
+            .collect()
+    }
+
+    /// The shared entity names with multiplicity, in first-share order.
+    pub fn shared(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .flat_map(|e| std::iter::repeat_n(e.name.clone(), e.shared))
+            .collect()
     }
 
     /// Reuse ratio `shared / (shared + checked)`; 0 when empty.
     pub fn reuse_ratio(&self) -> f64 {
-        let total = self.checked.len() + self.shared.len();
+        let total = self.checked_total + self.shared_total;
         if total == 0 {
             0.0
         } else {
-            self.shared.len() as f64 / total as f64
+            self.shared_total as f64 / total as f64
         }
     }
 
     /// Merges another ledger into this one.
+    ///
+    /// Entries are merged *by name* into counted records — no per-record
+    /// `String` clone for names this ledger already tracks, and absorbing
+    /// the same ledger shape repeatedly grows counters, not allocations.
     pub fn absorb(&mut self, other: &CheckLedger) {
-        self.checked.extend(other.checked.iter().cloned());
-        self.shared.extend(other.shared.iter().cloned());
+        for e in &other.entries {
+            let mine = self.entry_mut(&e.name);
+            mine.checked += e.checked;
+            mine.shared += e.shared;
+            mine.nanos += e.nanos;
+        }
+        self.checked_total += other.checked_total;
+        self.shared_total += other.shared_total;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
+    /// Equality of the observable totals and per-unit counts (ignores wall
+    /// time, which is never deterministic). Used by the parallel-lattice
+    /// determinism tests.
+    pub fn same_counts(&self, other: &CheckLedger) -> bool {
+        if self.checked_total != other.checked_total
+            || self.shared_total != other.shared_total
+            || self.entries.len() != other.entries.len()
+        {
+            return false;
+        }
+        self.entries.iter().all(|e| {
+            other
+                .index
+                .get(&e.name)
+                .map(|&i| {
+                    let o = &other.entries[i];
+                    o.checked == e.checked && o.shared == e.shared
+                })
+                .unwrap_or(false)
+        })
     }
 }
 
@@ -92,5 +236,66 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.checked_count(), 1);
         assert_eq!(a.shared_count(), 1);
+    }
+
+    #[test]
+    fn absorb_dedupes_names() {
+        let mut a = CheckLedger::new();
+        a.record_checked("x");
+        a.record_shared("x");
+        let mut b = CheckLedger::new();
+        b.record_checked("x");
+        b.record_shared("x");
+        b.record_shared("x");
+        a.absorb(&b);
+        // One counted entry, not four strings.
+        assert_eq!(a.entries().len(), 1);
+        assert_eq!(a.entries()[0].checked, 2);
+        assert_eq!(a.entries()[0].shared, 3);
+        assert_eq!(a.checked_count(), 2);
+        assert_eq!(a.shared_count(), 3);
+        // Multiplicity is preserved in the materialized series.
+        assert_eq!(a.checked().len(), 2);
+        assert_eq!(a.shared().len(), 3);
+    }
+
+    #[test]
+    fn cache_counters() {
+        let mut l = CheckLedger::new();
+        l.record_cache_hit();
+        l.record_cache_hit();
+        l.record_cache_miss();
+        assert_eq!(l.cache_hits(), 2);
+        assert_eq!(l.cache_misses(), 1);
+        assert!((l.cache_hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+        let mut m = CheckLedger::new();
+        m.absorb(&l);
+        assert_eq!(m.cache_hits(), 2);
+        assert_eq!(m.cache_misses(), 1);
+    }
+
+    #[test]
+    fn unit_times_accumulate() {
+        let mut l = CheckLedger::new();
+        l.record_checked("u");
+        l.record_unit_time("u", Duration::from_micros(3));
+        l.record_unit_time("u", Duration::from_micros(4));
+        assert_eq!(l.unit_time("u"), Some(Duration::from_micros(7)));
+        assert_eq!(l.total_time(), Duration::from_micros(7));
+        assert_eq!(l.unit_time("missing"), None);
+    }
+
+    #[test]
+    fn same_counts_ignores_time_and_order() {
+        let mut a = CheckLedger::new();
+        a.record_checked("x");
+        a.record_shared("y");
+        a.record_unit_time("x", Duration::from_secs(1));
+        let mut b = CheckLedger::new();
+        b.record_shared("y");
+        b.record_checked("x");
+        assert!(a.same_counts(&b));
+        b.record_checked("x");
+        assert!(!a.same_counts(&b));
     }
 }

@@ -19,5 +19,19 @@ pub mod ledger;
 pub mod module;
 pub mod render;
 
-pub use ledger::CheckLedger;
-pub use module::{Item, ItemKind, ModEntry, Module, ModuleEnv, ModuleType};
+pub use ledger::{CheckLedger, LedgerEntry};
+pub use module::{
+    DeltaEntry, Item, ItemKind, ModEntry, Module, ModuleDelta, ModuleEnv, ModuleType,
+};
+
+// Concurrency audit for the check-session architecture: compiled modules
+// and ledgers cross elaboration-thread boundaries (parallel lattice
+// workers ship `ModuleDelta`s back to the shared environment).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CheckLedger>();
+    assert_send_sync::<Module>();
+    assert_send_sync::<ModuleType>();
+    assert_send_sync::<ModuleEnv>();
+    assert_send_sync::<ModuleDelta>();
+};

@@ -275,6 +275,92 @@ impl ModuleEnv {
     pub fn record_shared(&mut self, name: &str) {
         self.ledger.record_shared(name);
     }
+
+    /// A position marker: everything registered after this mark is part of
+    /// a later [`ModuleEnv::delta_since`]. Used by the parallel lattice
+    /// build, where each worker elaborates into a clone of the environment
+    /// and ships only its delta back to the shared one.
+    pub fn mark(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Extracts everything registered since `mark` (in registration order)
+    /// together with this environment's ledger, as a value that can cross
+    /// a thread boundary and be [`ModuleEnv::apply_delta`]-ed into another
+    /// environment.
+    pub fn delta_since(&self, mark: usize) -> ModuleDelta {
+        let mut entries = Vec::with_capacity(self.order.len().saturating_sub(mark));
+        for name in self.order.iter().skip(mark) {
+            if let Some(mt) = self.module_types.get(name) {
+                entries.push(DeltaEntry::Type(mt.clone()));
+            } else if let Some(m) = self.modules.get(name) {
+                entries.push(DeltaEntry::Module(m.clone()));
+            }
+        }
+        ModuleDelta {
+            entries,
+            ledger: self.ledger.clone(),
+        }
+    }
+
+    /// Splices a worker's delta into this environment: registers its
+    /// modules (validated exactly like [`ModuleEnv::add_module`] /
+    /// [`ModuleEnv::add_module_type`]) and absorbs its ledger.
+    ///
+    /// The delta's ledger already accounts for every registration it
+    /// carries, so — unlike the `add_*` entry points — splicing does *not*
+    /// record fresh checks of its own: applying a delta yields the same
+    /// ledger totals as if the worker had elaborated directly into this
+    /// environment.
+    pub fn apply_delta(&mut self, delta: &ModuleDelta) -> Result<(), ModError> {
+        for e in &delta.entries {
+            let (name, self_ctx, entries) = match e {
+                DeltaEntry::Type(mt) => (&mt.name, &mt.self_ctx, &mt.entries),
+                DeltaEntry::Module(m) => (&m.name, &m.self_ctx, &m.entries),
+            };
+            if self.module_types.contains_key(name) || self.modules.contains_key(name) {
+                return Err(ModError(format!("duplicate module name {name}")));
+            }
+            self.validate_entries(entries, name)?;
+            if let Some(ctx) = self_ctx {
+                if !self.module_types.contains_key(ctx) {
+                    return Err(ModError(format!("{name}: unknown self context {ctx}")));
+                }
+            }
+            self.order.push(name.clone());
+            match e {
+                DeltaEntry::Type(mt) => {
+                    self.module_types.insert(mt.name.clone(), mt.clone());
+                }
+                DeltaEntry::Module(m) => {
+                    self.modules.insert(m.name.clone(), m.clone());
+                }
+            }
+        }
+        self.ledger.absorb(&delta.ledger);
+        Ok(())
+    }
+}
+
+/// One entry of a [`ModuleDelta`], in registration order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DeltaEntry {
+    /// A module type registered by the worker.
+    Type(ModuleType),
+    /// A module registered by the worker.
+    Module(Module),
+}
+
+/// The portable result of elaborating into a scratch [`ModuleEnv`]: the
+/// modules registered since a [`ModuleEnv::mark`], plus the ledger the
+/// worker accumulated. `Send + Sync`, so parallel lattice workers can ship
+/// it back to the shared environment.
+#[derive(Clone, Default, Debug)]
+pub struct ModuleDelta {
+    /// New registrations, in order.
+    pub entries: Vec<DeltaEntry>,
+    /// The worker's ledger (checks, shares, cache hits, unit times).
+    pub ledger: CheckLedger,
 }
 
 #[cfg(test)]

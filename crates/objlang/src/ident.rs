@@ -4,10 +4,33 @@
 //! function names, bound variables — is a [`Symbol`]: a small copyable
 //! handle into a global string interner. Interning makes term equality and
 //! substitution cheap and keeps the syntax types `Copy`-friendly.
+//!
+//! # Concurrency
+//!
+//! The interner is designed for the check-session architecture
+//! (`fpop::Session`), where many elaborations run on different threads and
+//! hammer `Symbol::as_str` on hot paths (`Display`, hashing of cache keys,
+//! ledger unit names). The design splits the paths by frequency:
+//!
+//! * **Reading** (`Symbol::as_str`) is *lock-free*: symbols index into an
+//!   append-only, segmented string table whose slots are published with
+//!   release/acquire semantics (`OnceLock`). A reader performs two atomic
+//!   loads and two pointer chases — no mutex, no contention, ever.
+//! * **Re-interning an existing name** (`Symbol::new` on the hot path:
+//!   elaborations constantly rebuild the same `Fam◦field` names) takes
+//!   only a *read* lock on the dedup map, so any number of threads probe
+//!   concurrently.
+//! * **First-time interning** takes the write lock, re-checks, then
+//!   publishes — rare and idempotent, so the exclusive section is tiny.
+//!
+//! Segments double in size (1024, 2048, 4096, …) and are allocated lazily
+//! under the intern write lock, so existing slots are never moved: a
+//! `&'static str` handed out by [`Symbol::as_str`] stays valid for the
+//! process lifetime.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{OnceLock, RwLock};
 
 /// An interned string.
 ///
@@ -25,17 +48,75 @@ use std::sync::{Mutex, OnceLock};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Symbol(u32);
 
-struct Interner {
-    map: HashMap<&'static str, u32>,
-    strings: Vec<&'static str>,
+/// Size of segment 0; segment `s` holds `FIRST_SEGMENT << s` slots.
+const FIRST_SEGMENT: usize = 1 << 10;
+/// Enough segments to cover every `u32` symbol id.
+const NUM_SEGMENTS: usize = 23;
+
+/// The lock-free read side: an append-only segmented table of interned
+/// strings. Slots are written exactly once (under the intern mutex) and
+/// read with acquire loads.
+struct StringTable {
+    segments: [OnceLock<Box<[OnceLock<&'static str>]>>; NUM_SEGMENTS],
 }
 
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+impl StringTable {
+    const fn new() -> StringTable {
+        // `OnceLock::new()` is const; an inline-const block lets the
+        // array-repeat initializer instantiate it per element.
+        StringTable {
+            segments: [const { OnceLock::new() }; NUM_SEGMENTS],
+        }
+    }
+
+    /// Maps a symbol id to `(segment, offset)`.
+    ///
+    /// Segment `s` covers ids `[FIRST * (2^s - 1), FIRST * (2^(s+1) - 1))`.
+    #[inline]
+    fn locate(id: usize) -> (usize, usize) {
+        let seg = (usize::BITS - 1 - (id / FIRST_SEGMENT + 1).leading_zeros()) as usize;
+        let base = FIRST_SEGMENT * ((1usize << seg) - 1);
+        (seg, id - base)
+    }
+
+    /// Lock-free read of a published slot.
+    #[inline]
+    fn get(&self, id: usize) -> &'static str {
+        let (seg, off) = Self::locate(id);
+        let segment = self.segments[seg]
+            .get()
+            .expect("symbol id beyond allocated segments");
+        segment[off].get().expect("symbol read before publication")
+    }
+
+    /// Publishes `s` at `id`. Called only under the intern write lock, and
+    /// only once per id, in id order.
+    fn publish(&self, id: usize, s: &'static str) {
+        let (seg, off) = Self::locate(id);
+        let cap = FIRST_SEGMENT << seg;
+        let segment =
+            self.segments[seg].get_or_init(|| (0..cap).map(|_| OnceLock::new()).collect());
+        segment[off].set(s).expect("slot published twice");
+    }
+}
+
+static STRINGS: StringTable = StringTable::new();
+
+/// The dedup map. Reads (the overwhelmingly common case: re-interning a
+/// name that already exists) take the read lock and run concurrently;
+/// first-time interning takes the write lock, re-checks, and publishes.
+/// `Symbol::as_str` never touches it.
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    len: u32,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
     INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
+        RwLock::new(Interner {
             map: HashMap::new(),
-            strings: Vec::new(),
+            len: 0,
         })
     })
 }
@@ -43,34 +124,87 @@ fn interner() -> &'static Mutex<Interner> {
 impl Symbol {
     /// Interns `s` and returns its symbol.
     pub fn new(s: &str) -> Symbol {
-        let mut int = interner().lock().expect("interner poisoned");
+        // Fast path: already interned — shared read lock only, so hot
+        // elaboration loops on many threads don't serialize here.
+        if let Some(&id) = interner().read().expect("interner poisoned").map.get(s) {
+            return Symbol(id);
+        }
+        let mut int = interner().write().expect("interner poisoned");
+        // Re-check under the write lock: another thread may have interned
+        // `s` between our read probe and the write acquisition.
         if let Some(&id) = int.map.get(s) {
             return Symbol(id);
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let id = int.strings.len() as u32;
-        int.strings.push(leaked);
+        let id = int.len;
+        // Publish the string *before* the id can escape the lock, so any
+        // thread that legitimately holds a `Symbol` observes its slot.
+        STRINGS.publish(id as usize, leaked);
+        int.len += 1;
         int.map.insert(leaked, id);
         Symbol(id)
     }
 
+    /// Looks up an already-interned string **without** interning it.
+    ///
+    /// Useful for probing candidate names (see [`Symbol::freshen`]) without
+    /// permanently leaking an interner entry per rejected candidate.
+    pub fn get(s: &str) -> Option<Symbol> {
+        let int = interner().read().expect("interner poisoned");
+        int.map.get(s).map(|&id| Symbol(id))
+    }
+
     /// Returns the interned string.
+    ///
+    /// Lock-free: performs two acquire loads into the append-only string
+    /// table — safe to call concurrently from any number of threads (e.g.
+    /// `Display`/`Debug` on hot elaboration paths) without contending with
+    /// interning.
+    #[inline]
     pub fn as_str(self) -> &'static str {
-        let int = interner().lock().expect("interner poisoned");
-        int.strings[self.0 as usize]
+        STRINGS.get(self.0 as usize)
+    }
+
+    /// Number of symbols interned so far (diagnostic; used by stress tests
+    /// to verify the freshen probe does not leak rejected candidates).
+    pub fn interned_count() -> usize {
+        interner().read().expect("interner poisoned").len as usize
     }
 
     /// Returns a symbol guaranteed fresh with respect to `taken`, derived
     /// from `self` by appending primes/counters.
+    ///
+    /// Candidates are probed via [`Symbol::get`] first: a candidate that
+    /// was never interned cannot be `taken` by any symbol-keyed structure,
+    /// and a candidate that is interned is tested without re-interning.
+    /// At most one *new* string is interned per call (the winner), instead
+    /// of one per rejected candidate as in the earlier quadratic scheme.
     pub fn freshen(self, taken: &dyn Fn(Symbol) -> bool) -> Symbol {
         if !taken(self) {
             return self;
         }
+        use std::fmt::Write as _;
         let base = self.as_str();
-        for i in 0.. {
-            let cand = Symbol::new(&format!("{base}'{i}"));
-            if !taken(cand) {
-                return cand;
+        let mut cand = String::with_capacity(base.len() + 4);
+        for i in 0u64.. {
+            cand.clear();
+            let _ = write!(cand, "{base}'{i}");
+            match Symbol::get(&cand) {
+                Some(existing) => {
+                    if !taken(existing) {
+                        return existing;
+                    }
+                    // Already interned *and* taken: probe the next counter
+                    // without having leaked anything new.
+                }
+                None => {
+                    // Never interned: intern once and accept unless the
+                    // predicate rejects non-symbol-derived names too.
+                    let fresh = Symbol::new(&cand);
+                    if !taken(fresh) {
+                        return fresh;
+                    }
+                }
             }
         }
         unreachable!()
@@ -100,6 +234,13 @@ pub fn sym(s: &str) -> Symbol {
     Symbol::new(s)
 }
 
+// The whole point of the session architecture: symbols (and everything
+// built from them) cross thread boundaries freely.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Symbol>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +255,16 @@ mod tests {
     fn equality_by_content() {
         assert_eq!(Symbol::new("x"), Symbol::new("x"));
         assert_ne!(Symbol::new("x"), Symbol::new("y"));
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        assert!(Symbol::get("never_interned_name_qq").is_none());
+        let before = Symbol::interned_count();
+        assert!(Symbol::get("never_interned_name_qq2").is_none());
+        assert_eq!(Symbol::interned_count(), before);
+        let s = Symbol::new("now_interned_name_qq");
+        assert_eq!(Symbol::get("now_interned_name_qq"), Some(s));
     }
 
     #[test]
@@ -133,6 +284,25 @@ mod tests {
     }
 
     #[test]
+    fn freshen_interns_at_most_one_new_symbol() {
+        // Pre-intern a long run of candidates, mark them all taken, and
+        // verify freshen probes through them without interning more than
+        // the single winner.
+        let base = Symbol::new("fr_base");
+        let taken: Vec<Symbol> = (0..64)
+            .map(|i| Symbol::new(&format!("fr_base'{i}")))
+            .collect();
+        let before = Symbol::interned_count();
+        let fresh = base.freshen(&|s| s == base || taken.contains(&s));
+        assert_eq!(fresh.as_str(), "fr_base'64");
+        assert_eq!(
+            Symbol::interned_count(),
+            before + 1,
+            "only the winning candidate may be interned"
+        );
+    }
+
+    #[test]
     fn display_matches_str() {
         let s = Symbol::new("display_me");
         assert_eq!(format!("{s}"), "display_me");
@@ -146,5 +316,36 @@ mod tests {
         // Interner ids are allocation-ordered; just check total order works.
         assert!(a == a.min(a));
         assert!(a.max(b) == a || a.max(b) == b);
+    }
+
+    #[test]
+    fn segment_locate_covers_boundaries() {
+        assert_eq!(StringTable::locate(0), (0, 0));
+        assert_eq!(
+            StringTable::locate(FIRST_SEGMENT - 1),
+            (0, FIRST_SEGMENT - 1)
+        );
+        assert_eq!(StringTable::locate(FIRST_SEGMENT), (1, 0));
+        assert_eq!(
+            StringTable::locate(3 * FIRST_SEGMENT - 1),
+            (1, 2 * FIRST_SEGMENT - 1)
+        );
+        assert_eq!(StringTable::locate(3 * FIRST_SEGMENT), (2, 0));
+        assert_eq!(StringTable::locate(7 * FIRST_SEGMENT), (3, 0));
+    }
+
+    #[test]
+    fn mass_interning_crosses_segments() {
+        // Force allocation past segment 0 and verify every symbol reads
+        // back correctly (ids are global, so go well past FIRST_SEGMENT).
+        let syms: Vec<(Symbol, String)> = (0..3 * FIRST_SEGMENT + 17)
+            .map(|i| {
+                let s = format!("mass_sym_{i}");
+                (Symbol::new(&s), s)
+            })
+            .collect();
+        for (sym, s) in &syms {
+            assert_eq!(sym.as_str(), s);
+        }
     }
 }

@@ -72,3 +72,22 @@ pub use proof::{ProofState, ProvedSequent, Sequent, Theorem};
 pub use sig::Signature;
 pub use syntax::{Prop, Sort, Term};
 pub use tactic::Tactic;
+
+// Concurrency audit for the check-session architecture (`fpop::Session`):
+// every value that crosses an elaboration-thread boundary — theorems,
+// proofs, signatures, tactics — must be `Send + Sync`. Compile-time
+// assertions so a regression (e.g. an `Rc` slipping into a kernel type)
+// fails the build, not a stress test.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Symbol>();
+    assert_send_sync::<Term>();
+    assert_send_sync::<Prop>();
+    assert_send_sync::<Sort>();
+    assert_send_sync::<Signature>();
+    assert_send_sync::<Theorem>();
+    assert_send_sync::<ProvedSequent>();
+    assert_send_sync::<Sequent>();
+    assert_send_sync::<Tactic>();
+    assert_send_sync::<Error>();
+};

@@ -1,0 +1,110 @@
+//! Concurrency stress for the interner: `Symbol::new` (mutex-guarded,
+//! idempotent) racing `Symbol::as_str` (lock-free) from many threads.
+//!
+//! This is the substrate guarantee the `fpop::Session` architecture rests
+//! on: elaborations running on different threads constantly format, hash
+//! and compare symbols; those reads must never contend with interning and
+//! must always observe fully published strings.
+
+use objlang::Symbol;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::thread;
+
+#[test]
+fn concurrent_intern_and_read() {
+    const THREADS: usize = 8;
+    const NAMES_PER_THREAD: usize = 2_000;
+
+    let barrier = Barrier::new(THREADS);
+    let failed = AtomicBool::new(false);
+
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let barrier = &barrier;
+            let failed = &failed;
+            s.spawn(move || {
+                barrier.wait();
+                let mut mine = Vec::with_capacity(NAMES_PER_THREAD);
+                for i in 0..NAMES_PER_THREAD {
+                    // Half the names are shared across threads (dedup race),
+                    // half are thread-unique (allocation race).
+                    let name = if i % 2 == 0 {
+                        format!("stress_shared_{i}")
+                    } else {
+                        format!("stress_t{t}_{i}")
+                    };
+                    let sym = Symbol::new(&name);
+                    // Read back immediately — exercises the lock-free path
+                    // while other threads are mid-intern.
+                    if sym.as_str() != name {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    mine.push((sym, name));
+                    // Interleave reads of older symbols, including other
+                    // threads' shared names.
+                    if i % 64 == 0 {
+                        for (s0, n0) in &mine {
+                            if s0.as_str() != n0 {
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                // Full verification pass.
+                for (s0, n0) in &mine {
+                    if s0.as_str() != n0 || Symbol::new(n0) != *s0 {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    assert!(!failed.load(Ordering::Relaxed), "interner race detected");
+
+    // Dedup across threads: every shared name maps to exactly one symbol.
+    for i in (0..NAMES_PER_THREAD).step_by(2) {
+        let name = format!("stress_shared_{i}");
+        let a = Symbol::new(&name);
+        let b = Symbol::get(&name).expect("shared name is interned");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), name);
+    }
+}
+
+#[test]
+fn display_from_many_threads_while_interning() {
+    // Pin a set of symbols, then hammer Display/Debug (pure as_str reads)
+    // from reader threads while a writer thread keeps interning. Readers
+    // take no lock, so this also serves as a liveness check: readers finish
+    // even though the writer holds the intern mutex almost continuously.
+    let pinned: Vec<Symbol> = (0..512).map(|i| Symbol::new(&format!("pin_{i}"))).collect();
+
+    thread::scope(|s| {
+        let writer = s.spawn(|| {
+            for i in 0..20_000 {
+                Symbol::new(&format!("churn_{i}"));
+            }
+        });
+        let mut readers = Vec::new();
+        for _ in 0..6 {
+            let pinned = &pinned;
+            readers.push(s.spawn(move || {
+                let mut total = 0usize;
+                for _ in 0..200 {
+                    for (i, sym) in pinned.iter().enumerate() {
+                        let shown = format!("{sym}");
+                        assert_eq!(shown, format!("pin_{i}"));
+                        total += shown.len();
+                    }
+                }
+                total
+            }));
+        }
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+        writer.join().unwrap();
+    });
+}

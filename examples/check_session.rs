@@ -1,0 +1,77 @@
+//! The check-session architecture in action: one shared, thread-safe
+//! proof cache spanning every family elaboration in a run.
+//!
+//! Run with `cargo run --release --example check_session`. Prints:
+//! 1. the 31-variant extended lattice built sequentially vs in parallel
+//!    (wave fan-out over scoped threads), with the determinism cross-check;
+//! 2. the session cache series (hits / misses / inserts);
+//! 3. a warm-session rebuild — a second universe re-deriving the whole
+//!    lattice with every proof served from the shared session.
+
+use std::time::Instant;
+
+use fpop::universe::FamilyUniverse;
+use fpop::Session;
+
+fn main() {
+    // 1. Sequential vs parallel over the extended (31-variant) lattice.
+    let t = Instant::now();
+    let mut seq_u = FamilyUniverse::new();
+    let seq = families_stlc::build_extended_lattice(&mut seq_u).unwrap();
+    let seq_time = t.elapsed();
+
+    let t = Instant::now();
+    let mut par_u = FamilyUniverse::new();
+    let par = families_stlc::build_extended_lattice_parallel(&mut par_u).unwrap();
+    let par_time = t.elapsed();
+
+    assert_eq!(seq.rows.len(), par.rows.len());
+    assert!(
+        seq_u.modenv.ledger.same_counts(&par_u.modenv.ledger),
+        "parallel build must be observationally identical"
+    );
+    println!("== extended lattice: {} variants ==", par.rows.len() - 1);
+    println!("{}", par.to_table());
+    println!(
+        "sequential {seq_time:.2?}  |  parallel {par_time:.2?}  (speedup {:.2}x, ledgers identical)",
+        seq_time.as_secs_f64() / par_time.as_secs_f64()
+    );
+
+    // 2. The session cache series behind the parallel build.
+    let stats = par_u.session().stats();
+    println!(
+        "session: {} hits / {} misses (hit ratio {:.1}%), {} proofs committed",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_ratio() * 100.0,
+        stats.cache_inserts
+    );
+
+    // 3. Cross-universe reuse: rebuild the Venn lattice against a warm
+    //    session — every proof a cache hit, zero new inserts.
+    let session = Session::new();
+    let t = Instant::now();
+    let mut first = FamilyUniverse::with_session(session.clone());
+    families_stlc::build_lattice(&mut first).unwrap();
+    let cold_time = t.elapsed();
+    let cold = session.stats();
+
+    let t = Instant::now();
+    let mut second = FamilyUniverse::with_session(session.clone());
+    families_stlc::build_lattice(&mut second).unwrap();
+    let warm_time = t.elapsed();
+    let warm = session.stats();
+
+    println!("\n== warm-session rebuild (15-variant Venn lattice) ==");
+    println!(
+        "cold: {cold_time:.2?} ({} hits / {} misses, {} inserts)",
+        cold.cache_hits, cold.cache_misses, cold.cache_inserts
+    );
+    println!(
+        "warm: {warm_time:.2?} ({} hits / {} misses, {} new inserts)",
+        warm.cache_hits - cold.cache_hits,
+        warm.cache_misses - cold.cache_misses,
+        warm.cache_inserts - cold.cache_inserts
+    );
+    assert_eq!(warm.cache_inserts, cold.cache_inserts);
+}

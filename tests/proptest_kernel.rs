@@ -1,7 +1,14 @@
 //! Property-based tests for the FMLTT kernel: canonicity (Theorem 5.2)
 //! over *generated* closed boolean terms, and determinism of evaluation.
+//!
+//! Formerly written against `proptest`; now a self-contained seeded
+//! random-input suite so the repository tests build with no external
+//! dependencies (and therefore with no network access).
 
-use proptest::prelude::*;
+#[path = "support/rng.rs"]
+mod rng;
+
+use rng::Rng;
 use std::rc::Rc;
 
 use fmltt::canon::{canonical_bool, CanonicalBool};
@@ -9,80 +16,108 @@ use fmltt::{Tm, Ty};
 
 /// A generator of closed, well-typed boolean terms together with their
 /// meta-level meaning, so canonicity can be checked against an oracle.
-fn bool_term(depth: u32) -> BoxedStrategy<(Tm, bool)> {
-    let leaf = prop_oneof![Just((Tm::True, true)), Just((Tm::False, false))];
-    leaf.prop_recursive(depth, 64, 3, |inner| {
-        prop_oneof![
-            // if c then a else b
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, a, b)| {
-                let t = Tm::If(Rc::new(c.0), Rc::new(a.0), Rc::new(b.0), Rc::new(Ty::Bool));
-                (t, if c.1 { a.1 } else { b.1 })
-            }),
-            // (λx. x) t
-            inner
-                .clone()
-                .prop_map(|t| { (Tm::app_to(Tm::Lam(Rc::new(Tm::Var(0))), t.0), t.1) }),
-            // (λx. if x then b else a) t — uses the bound variable
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(t, a, b)| {
-                let body = Tm::If(
-                    Rc::new(Tm::Var(0)),
-                    Rc::new(Tm::wk(b.0, 1)),
-                    Rc::new(Tm::wk(a.0, 1)),
-                    Rc::new(Ty::Bool),
-                );
-                let tm = Tm::app_to(Tm::Lam(Rc::new(body)), t.0);
-                (tm, if t.1 { b.1 } else { a.1 })
-            }),
-            // fst (t, ())
-            inner.clone().prop_map(|t| {
-                (
-                    Tm::Fst(Rc::new(Tm::Pair(Rc::new(t.0), Rc::new(Tm::Unit)))),
-                    t.1,
-                )
-            }),
-            // snd ((), t)
-            inner.prop_map(|t| {
-                (
-                    Tm::Snd(Rc::new(Tm::Pair(Rc::new(Tm::Unit), Rc::new(t.0)))),
-                    t.1,
-                )
-            }),
-        ]
-    })
-    .boxed()
+fn bool_term(r: &mut Rng, depth: u32) -> (Tm, bool) {
+    if depth == 0 || r.below(3) == 0 {
+        return if r.flip() {
+            (Tm::True, true)
+        } else {
+            (Tm::False, false)
+        };
+    }
+    match r.below(5) {
+        // if c then a else b
+        0 => {
+            let c = bool_term(r, depth - 1);
+            let a = bool_term(r, depth - 1);
+            let b = bool_term(r, depth - 1);
+            let t = Tm::If(Rc::new(c.0), Rc::new(a.0), Rc::new(b.0), Rc::new(Ty::Bool));
+            (t, if c.1 { a.1 } else { b.1 })
+        }
+        // (λx. x) t
+        1 => {
+            let t = bool_term(r, depth - 1);
+            (Tm::app_to(Tm::Lam(Rc::new(Tm::Var(0))), t.0), t.1)
+        }
+        // (λx. if x then b else a) t — uses the bound variable
+        2 => {
+            let t = bool_term(r, depth - 1);
+            let a = bool_term(r, depth - 1);
+            let b = bool_term(r, depth - 1);
+            let body = Tm::If(
+                Rc::new(Tm::Var(0)),
+                Rc::new(Tm::wk(b.0, 1)),
+                Rc::new(Tm::wk(a.0, 1)),
+                Rc::new(Ty::Bool),
+            );
+            let tm = Tm::app_to(Tm::Lam(Rc::new(body)), t.0);
+            (tm, if t.1 { b.1 } else { a.1 })
+        }
+        // fst (t, ())
+        3 => {
+            let t = bool_term(r, depth - 1);
+            (
+                Tm::Fst(Rc::new(Tm::Pair(Rc::new(t.0), Rc::new(Tm::Unit)))),
+                t.1,
+            )
+        }
+        // snd ((), t)
+        _ => {
+            let t = bool_term(r, depth - 1);
+            (
+                Tm::Snd(Rc::new(Tm::Pair(Rc::new(Tm::Unit), Rc::new(t.0)))),
+                t.1,
+            )
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Theorem 5.2: every generated closed boolean term normalizes to
-    /// tt/ff — and to the *right* one.
-    #[test]
-    fn canonicity_on_generated_booleans((t, expected) in bool_term(6)) {
+/// Theorem 5.2: every generated closed boolean term normalizes to tt/ff —
+/// and to the *right* one.
+#[test]
+fn canonicity_on_generated_booleans() {
+    let mut r = Rng::new(0x5EED);
+    for case in 0..256 {
+        let (t, expected) = bool_term(&mut r, 6);
         let got = canonical_bool(&t).expect("closed well-typed booleans are canonical");
-        let want = if expected { CanonicalBool::True } else { CanonicalBool::False };
-        prop_assert_eq!(got, want);
+        let want = if expected {
+            CanonicalBool::True
+        } else {
+            CanonicalBool::False
+        };
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    /// Evaluation is deterministic: normalizing twice agrees.
-    #[test]
-    fn evaluation_deterministic((t, _) in bool_term(6)) {
+/// Evaluation is deterministic: normalizing twice agrees.
+#[test]
+fn evaluation_deterministic() {
+    let mut r = Rng::new(0xDE7);
+    for case in 0..256 {
+        let (t, _) = bool_term(&mut r, 6);
         let a = canonical_bool(&t).unwrap();
         let b = canonical_bool(&t).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// Normalization is idempotent: nf(nf(t)) == nf(t) (readback produces
-    /// normal forms).
-    #[test]
-    fn normalization_idempotent((t, _) in bool_term(5)) {
+/// Normalization is idempotent: nf(nf(t)) == nf(t) (readback produces
+/// normal forms).
+#[test]
+fn normalization_idempotent() {
+    let mut r = Rng::new(0x1DEA);
+    for case in 0..256 {
+        let (t, _) = bool_term(&mut r, 5);
         let n = fmltt::nf(&t, &fmltt::Ty::Bool).unwrap();
-        prop_assert_eq!(fmltt::nf(&n, &fmltt::Ty::Bool).unwrap(), n);
+        assert_eq!(fmltt::nf(&n, &fmltt::Ty::Bool).unwrap(), n, "case {case}");
     }
+}
 
-    /// Functions normalize to η-long λ-forms, idempotently.
-    #[test]
-    fn function_normalization_idempotent((t, _) in bool_term(4)) {
+/// Functions normalize to η-long λ-forms, idempotently.
+#[test]
+fn function_normalization_idempotent() {
+    let mut r = Rng::new(0xE7A);
+    for case in 0..256 {
+        let (t, _) = bool_term(&mut r, 4);
         // λx. if x then t else ff  at B → B.
         let f = Tm::Lam(Rc::new(Tm::If(
             Rc::new(Tm::Var(0)),
@@ -92,19 +127,27 @@ proptest! {
         )));
         let fty = Ty::arrow(Ty::Bool, Ty::Bool);
         let n = fmltt::nf(&f, &fty).unwrap();
-        prop_assert!(matches!(n, Tm::Lam(_)));
-        prop_assert_eq!(fmltt::nf(&n, &fty).unwrap(), n);
+        assert!(matches!(n, Tm::Lam(_)), "case {case}");
+        assert_eq!(fmltt::nf(&n, &fty).unwrap(), n, "case {case}");
     }
+}
 
-    /// Weakening a closed term and substituting a throwaway value does not
-    /// change its meaning: t ≡ (λ_. t[p1]) u.
-    #[test]
-    fn weakening_then_instantiation_is_identity((t, expected) in bool_term(5), u_tt in any::<bool>()) {
-        let arg = if u_tt { Tm::True } else { Tm::False };
+/// Weakening a closed term and substituting a throwaway value does not
+/// change its meaning: t ≡ (λ_. t[p1]) u.
+#[test]
+fn weakening_then_instantiation_is_identity() {
+    let mut r = Rng::new(0x77EA);
+    for case in 0..256 {
+        let (t, expected) = bool_term(&mut r, 5);
+        let arg = if r.flip() { Tm::True } else { Tm::False };
         let wrapped = Tm::app_to(Tm::Lam(Rc::new(Tm::wk(t, 1))), arg);
         let got = canonical_bool(&wrapped).unwrap();
-        let want = if expected { CanonicalBool::True } else { CanonicalBool::False };
-        prop_assert_eq!(got, want);
+        let want = if expected {
+            CanonicalBool::True
+        } else {
+            CanonicalBool::False
+        };
+        assert_eq!(got, want, "case {case}");
     }
 }
 
@@ -114,44 +157,43 @@ mod wtypes {
     use super::*;
     use fmltt::encoding::{self, ctors};
 
-    fn tm_term(depth: u32) -> BoxedStrategy<Tm> {
+    fn tm_term(r: &mut Rng, depth: u32) -> Tm {
         let tau = encoding::tau_tm();
-        let t2 = tau.clone();
-        let t3 = tau.clone();
-        let leaf = prop_oneof![
-            Just(ctors::tm_unit(&tau, 0)),
-            any::<bool>()
-                .prop_map(move |b| { ctors::tm_var(&t2, 0, if b { Tm::True } else { Tm::False }) }),
-        ];
-        leaf.prop_recursive(depth, 32, 2, move |inner| {
-            let tau_abs = t3.clone();
-            let tau_app = t3.clone();
-            prop_oneof![
-                inner
-                    .clone()
-                    .prop_map(move |b| { ctors::tm_abs(&tau_abs, 0, Tm::True, b) }),
-                (inner.clone(), inner).prop_map(move |(f, a)| { ctors::tm_app(&tau_app, 0, f, a) }),
-            ]
-        })
-        .boxed()
+        if depth == 0 || r.below(3) == 0 {
+            return if r.flip() {
+                ctors::tm_unit(&tau, 0)
+            } else {
+                ctors::tm_var(&tau, 0, if r.flip() { Tm::True } else { Tm::False })
+            };
+        }
+        if r.flip() {
+            let b = tm_term(r, depth - 1);
+            ctors::tm_abs(&tau, 0, Tm::True, b)
+        } else {
+            let f = tm_term(r, depth - 1);
+            let a = tm_term(r, depth - 1);
+            ctors::tm_app(&tau, 0, f, a)
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// `size` terminates with a canonical boolean on every generated
-        /// W-term: Wrec is total on canonical values.
-        #[test]
-        fn wrec_total_on_generated_terms(t in tm_term(4)) {
+    /// `size` terminates with a canonical boolean on every generated
+    /// W-term: Wrec is total on canonical values.
+    #[test]
+    fn wrec_total_on_generated_terms() {
+        let mut r = Rng::new(0x12345);
+        for case in 0..64 {
+            let t = tm_term(&mut r, 4);
             let tau = encoding::tau_tm();
             let call = Tm::app_to(encoding::size_fn(&tau, 0), t);
-            canonical_bool(&call).expect("Wrec normalizes");
+            canonical_bool(&call).unwrap_or_else(|e| panic!("case {case}: Wrec normalizes: {e:?}"));
         }
+    }
 
-        /// The derived signature (τ′) runs the same terms after the paper's
-        /// constructor restatement (index shift by one).
-        #[test]
-        fn derived_signature_runs_restated_terms(b in any::<bool>()) {
+    /// The derived signature (τ′) runs the same terms after the paper's
+    /// constructor restatement (index shift by one).
+    #[test]
+    fn derived_signature_runs_restated_terms() {
+        for b in [false, true] {
             let tau2 = encoding::tau_tm_ext();
             let x = if b { Tm::True } else { Tm::False };
             let t = ctors::tm_abs(&tau2, 1, x, ctors::tm_unit(&tau2, 1));

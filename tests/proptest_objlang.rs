@@ -1,8 +1,15 @@
 //! Property-based tests for the object-logic substrate: substitution
 //! invariants, evaluator/equation agreement, and the partial-recursor
 //! consequences of Section 3.6 / Theorem 3.1.
+//!
+//! Formerly written against `proptest`; now a self-contained seeded
+//! random-input suite so the repository tests build with no external
+//! dependencies (and therefore with no network access).
 
-use proptest::prelude::*;
+#[path = "support/rng.rs"]
+mod rng;
+
+use rng::Rng;
 use std::collections::HashMap;
 
 use objlang::sig::{CtorSig, Datatype, Signature};
@@ -16,55 +23,67 @@ fn nat_sig() -> Signature {
     s
 }
 
-/// Generator of closed nat terms built from zero/succ/add.
-fn nat_term(depth: u32) -> BoxedStrategy<(Term, u64)> {
-    let leaf = (0u64..5).prop_map(|n| (objlang::eval::nat_lit(n), n));
-    leaf.prop_recursive(depth, 32, 2, |inner| {
-        prop_oneof![
-            inner
-                .clone()
-                .prop_map(|(t, n)| (Term::ctor("succ", vec![t]), n + 1)),
-            (inner.clone(), inner)
-                .prop_map(|((a, n), (b, m))| { (Term::func("add", vec![a, b]), n + m) }),
-        ]
-    })
-    .boxed()
-}
-
-/// Generator of open terms over a fixed variable set, plus a ground
-/// instantiation.
-fn open_term() -> BoxedStrategy<Term> {
-    let leaf = prop_oneof![
-        Just(Term::var("vx")),
-        Just(Term::var("vy")),
-        (0u64..3).prop_map(objlang::eval::nat_lit),
-    ];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|t| Term::ctor("succ", vec![t])),
-            (inner.clone(), inner).prop_map(|(a, b)| Term::func("add", vec![a, b])),
-        ]
-    })
-    .boxed()
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The evaluator agrees with the meta-level meaning of add-chains —
-    /// i.e. with the computation equations it is justified by.
-    #[test]
-    fn eval_agrees_with_meaning((t, n) in nat_term(5)) {
-        let s = nat_sig();
-        let v = objlang::eval::eval_default(&s, &t).unwrap();
-        prop_assert_eq!(objlang::eval::nat_value(&v), Some(n));
+/// Generator of closed nat terms built from zero/succ/add, with their
+/// meta-level value.
+fn nat_term(r: &mut Rng, depth: u32) -> (Term, u64) {
+    if depth == 0 || r.below(3) == 0 {
+        let n = r.below(5);
+        (objlang::eval::nat_lit(n), n)
+    } else if r.flip() {
+        let (t, n) = nat_term(r, depth - 1);
+        (Term::ctor("succ", vec![t]), n + 1)
+    } else {
+        let (a, n) = nat_term(r, depth - 1);
+        let (b, m) = nat_term(r, depth - 1);
+        (Term::func("add", vec![a, b]), n + m)
     }
+}
 
-    /// Substitution commutes with evaluation: eval(t[x:=a]) computed in one
-    /// step equals substituting the evaluated pieces.
-    #[test]
-    fn subst_then_eval_composes(t in open_term(), a in 0u64..4, b in 0u64..4) {
-        let s = nat_sig();
+/// Generator of open terms over the fixed variable set {vx, vy}.
+fn open_term(r: &mut Rng, depth: u32) -> Term {
+    if depth == 0 || r.below(3) == 0 {
+        match r.below(3) {
+            0 => Term::var("vx"),
+            1 => Term::var("vy"),
+            _ => objlang::eval::nat_lit(r.below(3)),
+        }
+    } else if r.flip() {
+        Term::ctor("succ", vec![open_term(r, depth - 1)])
+    } else {
+        Term::func(
+            "add",
+            vec![open_term(r, depth - 1), open_term(r, depth - 1)],
+        )
+    }
+}
+
+/// The evaluator agrees with the meta-level meaning of add-chains — i.e.
+/// with the computation equations it is justified by.
+#[test]
+fn eval_agrees_with_meaning() {
+    let s = nat_sig();
+    let mut r = Rng::new(0xA11CE);
+    for case in 0..256 {
+        let (t, n) = nat_term(&mut r, 5);
+        let v = objlang::eval::eval_default(&s, &t).unwrap();
+        assert_eq!(
+            objlang::eval::nat_value(&v),
+            Some(n),
+            "case {case}: term {t:?}"
+        );
+    }
+}
+
+/// Substitution commutes with evaluation: eval(t[x:=a]) computed in one
+/// step equals substituting the evaluated pieces.
+#[test]
+fn subst_then_eval_composes() {
+    let s = nat_sig();
+    let mut r = Rng::new(0xB0B);
+    for case in 0..256 {
+        let t = open_term(&mut r, 4);
+        let a = r.below(4);
+        let b = r.below(4);
         let mut m = HashMap::new();
         m.insert(sym("vx"), objlang::eval::nat_lit(a));
         m.insert(sym("vy"), objlang::eval::nat_lit(b));
@@ -73,28 +92,42 @@ proptest! {
         // Substituting twice is idempotent on the closed result.
         let closed2 = closed.subst(&m);
         let v2 = objlang::eval::eval_default(&s, &closed2).unwrap();
-        prop_assert_eq!(v1, v2);
+        assert_eq!(v1, v2, "case {case}: term {t:?}");
     }
+}
 
-    /// Free variables after substitution never include the substituted
-    /// variable.
-    #[test]
-    fn subst_removes_variable(t in open_term()) {
+/// Free variables after substitution never include the substituted
+/// variable.
+#[test]
+fn subst_removes_variable() {
+    let mut r = Rng::new(0xC0FFEE);
+    for case in 0..256 {
+        let t = open_term(&mut r, 4);
         let t2 = t.subst1(sym("vx"), &objlang::eval::nat_lit(0));
-        prop_assert!(!t2.free_vars().contains(&sym("vx")));
+        assert!(
+            !t2.free_vars().contains(&sym("vx")),
+            "case {case}: term {t:?}"
+        );
     }
+}
 
-    /// Prop substitution is capture-avoiding: the bound variable of a ∀
-    /// never captures a substituted term.
-    #[test]
-    fn prop_subst_capture_avoiding(t in open_term()) {
-        let p = Prop::forall("vx", Sort::named("nat"),
-            Prop::eq(Term::var("vx"), Term::var("vz")));
+/// Prop substitution is capture-avoiding: the bound variable of a ∀ never
+/// captures a substituted term.
+#[test]
+fn prop_subst_capture_avoiding() {
+    let mut r = Rng::new(0xD00D);
+    for case in 0..256 {
+        let t = open_term(&mut r, 4);
+        let p = Prop::forall(
+            "vx",
+            Sort::named("nat"),
+            Prop::eq(Term::var("vx"), Term::var("vz")),
+        );
         let q = p.subst1(sym("vz"), &t);
         // The binder was renamed iff t mentions vx; either way the result
         // is alpha-stable under a second disjoint substitution.
         let q2 = q.subst1(sym("vz"), &Term::c0("zero"));
-        prop_assert!(q.alpha_eq(&q2));
+        assert!(q.alpha_eq(&q2), "case {case}: term {t:?}");
     }
 }
 
@@ -105,8 +138,9 @@ proptest! {
 mod prec {
     use super::*;
 
-    fn arb_ctor_arities() -> BoxedStrategy<Vec<usize>> {
-        proptest::collection::vec(0usize..3, 2..5).boxed()
+    fn arb_ctor_arities(r: &mut Rng) -> Vec<usize> {
+        let len = r.range(2, 5) as usize;
+        (0..len).map(|_| r.below(3) as usize).collect()
     }
 
     fn build_sig(arities: &[usize], extensible: bool) -> (Signature, Vec<Symbol>) {
@@ -143,17 +177,19 @@ mod prec {
         )
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Disjointness of distinct constructors is provable via the
-        /// partial-recursor licence for every generated datatype.
-        #[test]
-        fn disjointness_for_generated_datatypes(arities in arb_ctor_arities()) {
+    /// Disjointness of distinct constructors is provable via the
+    /// partial-recursor licence for every generated datatype.
+    #[test]
+    fn disjointness_for_generated_datatypes() {
+        let mut r = Rng::new(0x1111);
+        for _ in 0..64 {
+            let arities = arb_ctor_arities(&mut r);
             let (sig, names) = build_sig(&arities, true);
             for i in 0..names.len() {
                 for j in 0..names.len() {
-                    if i == j { continue; }
+                    if i == j {
+                        continue;
+                    }
                     let lhs = saturate(names[i], arities[i], 0);
                     let rhs = saturate(names[j], arities[j], 0);
                     let goal = Prop::imp(Prop::Eq(lhs, rhs), Prop::False);
@@ -164,13 +200,19 @@ mod prec {
                 }
             }
         }
+    }
 
-        /// Injectivity: `C x̄ = C ȳ → xᵢ = yᵢ` via the licence.
-        #[test]
-        fn injectivity_for_generated_datatypes(arities in arb_ctor_arities()) {
+    /// Injectivity: `C x̄ = C ȳ → xᵢ = yᵢ` via the licence.
+    #[test]
+    fn injectivity_for_generated_datatypes() {
+        let mut r = Rng::new(0x2222);
+        for _ in 0..64 {
+            let arities = arb_ctor_arities(&mut r);
             let (sig, names) = build_sig(&arities, true);
             for (i, &arity) in arities.iter().enumerate() {
-                if arity == 0 { continue; }
+                if arity == 0 {
+                    continue;
+                }
                 let lhs = saturate(names[i], arity, 0);
                 let rhs = saturate(names[i], arity, 10);
                 let goal = Prop::imp(
@@ -184,26 +226,39 @@ mod prec {
                 st.exact("Hi").unwrap();
             }
         }
+    }
 
-        /// Without a partial recursor, the same reasoning is refused on
-        /// extensible datatypes (C1 enforcement is not accidental).
-        #[test]
-        fn no_licence_no_disjointness(arities in arb_ctor_arities()) {
+    /// Without a partial recursor, the same reasoning is refused on
+    /// extensible datatypes (C1 enforcement is not accidental).
+    #[test]
+    fn no_licence_no_disjointness() {
+        let mut r = Rng::new(0x3333);
+        for _ in 0..64 {
+            let arities = arb_ctor_arities(&mut r);
             // Declare as extensible but WITHOUT a partial recursor.
             let mut s2 = Signature::new();
             objlang::prelude::install(&mut s2).unwrap();
-            let ctors: Vec<CtorSig> = arities.iter().enumerate().map(|(i, a)| CtorSig {
-                name: sym(&format!("gen_e{i}")),
-                args: vec![Sort::named("nat"); *a],
-            }).collect();
-            s2.add_datatype(Datatype { name: sym("gen_e"), ctors: ctors.clone(), extensible: true }).unwrap();
+            let ctors: Vec<CtorSig> = arities
+                .iter()
+                .enumerate()
+                .map(|(i, a)| CtorSig {
+                    name: sym(&format!("gen_e{i}")),
+                    args: vec![Sort::named("nat"); *a],
+                })
+                .collect();
+            s2.add_datatype(Datatype {
+                name: sym("gen_e"),
+                ctors: ctors.clone(),
+                extensible: true,
+            })
+            .unwrap();
             let sig = s2;
             let lhs = saturate(ctors[0].name, arities[0], 0);
             let rhs = saturate(ctors[1].name, arities[1], 0);
             let goal = Prop::imp(Prop::Eq(lhs, rhs), Prop::False);
             let mut st = ProofState::new(&sig, goal).unwrap();
             st.intro().unwrap();
-            prop_assert!(st.discriminate("H").is_err());
+            assert!(st.discriminate("H").is_err());
         }
     }
 }
@@ -220,29 +275,31 @@ mod stlc_exec {
         u.family("STLC").unwrap().sig.clone()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// subst (λy. x) x s replaces free occurrences under non-shadowing
-        /// binders and respects shadowing.
-        #[test]
-        fn subst_respects_shadowing(shadow in any::<bool>()) {
-            let sig = stlc_closed_sig();
+    /// subst (λy. x) x s replaces free occurrences under non-shadowing
+    /// binders and respects shadowing.
+    #[test]
+    fn subst_respects_shadowing() {
+        let sig = stlc_closed_sig();
+        for shadow in [false, true] {
             let binder = if shadow { "x" } else { "y" };
-            let body = Term::ctor("tm_abs", vec![
-                Term::lit(binder),
-                Term::ctor("tm_var", vec![Term::lit("x")]),
-            ]);
+            let body = Term::ctor(
+                "tm_abs",
+                vec![
+                    Term::lit(binder),
+                    Term::ctor("tm_var", vec![Term::lit("x")]),
+                ],
+            );
             let result = objlang::eval::eval_default(
                 &sig,
                 &Term::func("subst", vec![body, Term::lit("x"), Term::c0("tm_unit")]),
-            ).unwrap();
+            )
+            .unwrap();
             let expected_inner = if shadow {
                 Term::ctor("tm_var", vec![Term::lit("x")])
             } else {
                 Term::c0("tm_unit")
             };
-            prop_assert_eq!(
+            assert_eq!(
                 result,
                 Term::ctor("tm_abs", vec![Term::lit(binder), expected_inner])
             );

@@ -1,0 +1,45 @@
+//! A tiny deterministic PRNG for the property-style tests.
+//!
+//! The repository builds with **zero external dependencies** so that
+//! `cargo build && cargo test -q` succeeds without network access (see the
+//! workspace `Cargo.toml`). The former `proptest` suites are preserved as
+//! seeded random-input loops over this xorshift64* generator: same
+//! properties, same case counts, reproducible failures (the failing seed is
+//! in the panic message via `assert!` context).
+
+/// xorshift64* — tiny, fast, good enough for test-input shuffling.
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a nonzero-ified seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    /// Uniform-ish value in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform-ish value in `lo..hi` (hi > lo).
+    #[allow(dead_code)]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+
+    /// A random boolean.
+    #[allow(dead_code)]
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
