@@ -1,0 +1,127 @@
+//! Experiment ENGINE-tput: request throughput of the `fpopd` engine —
+//! req/sec at 1/2/4/8 workers, cold cache vs warm (snapshot-restored)
+//! cache, over a mixed stream of `CheckSource` and `BuildLattice`
+//! requests. Prints the req/sec series up front, then registers the
+//! Criterion timings per worker count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::{Engine, EngineConfig, Request};
+use families_stlc::Feature;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const PEANO: &str = include_str!("../../../examples/peano.fpop");
+
+/// A mixed request batch: vernacular checks + lattice subsets of mixed
+/// arity. Distinct sources defeat in-flight dedup so every request costs
+/// real scheduling (the cache, not the dedup map, provides the reuse).
+fn batch() -> Vec<Request> {
+    let mut reqs = Vec::new();
+    for i in 0..4 {
+        reqs.push(Request::CheckSource {
+            // A comment makes each source distinct without changing the
+            // elaboration (same proofs, distinct dedup keys).
+            source: format!("(* batch item {i} *)\n{PEANO}"),
+        });
+    }
+    for features in [
+        vec![Feature::Fix],
+        vec![Feature::Prod],
+        vec![Feature::Sum],
+        vec![Feature::Fix, Feature::Prod],
+        vec![Feature::Prod, Feature::Isorec],
+        vec![Feature::Fix, Feature::Prod, Feature::Sum],
+    ] {
+        reqs.push(Request::BuildLattice { features });
+    }
+    reqs
+}
+
+fn run_batch(engine: &Arc<Engine>, reqs: &[Request]) -> usize {
+    // Submit everything, then wait — the worker pool provides the
+    // parallelism; the caller measures wall time for the whole batch.
+    let tickets: Vec<_> = reqs
+        .iter()
+        .map(|r| engine.submit(r.clone()).expect("submit"))
+        .collect();
+    tickets.iter().filter(|t| t.wait().is_ok()).count()
+}
+
+fn engine_with(workers: usize, snapshot: Option<std::path::PathBuf>) -> Arc<Engine> {
+    Arc::new(Engine::start(EngineConfig {
+        workers,
+        queue_capacity: 256,
+        snapshot_path: snapshot,
+        ..EngineConfig::default()
+    }))
+}
+
+fn report() {
+    let reqs = batch();
+    let dir = std::env::temp_dir().join(format!("fpop-engine-bench-{}", std::process::id()));
+    let snap = dir.join("proofs.snap");
+
+    // Produce the warm snapshot once.
+    let seed = engine_with(4, Some(snap.clone()));
+    run_batch(&seed, &reqs);
+    seed.shutdown().unwrap();
+
+    eprintln!("\n== ENGINE-tput: fpopd request throughput (batch of {}) ==", reqs.len());
+    eprintln!("{:>8} {:>14} {:>14}", "workers", "cold req/s", "warm req/s");
+    for workers in [1usize, 2, 4, 8] {
+        // Cold: fresh session, no snapshot.
+        let cold = engine_with(workers, None);
+        let t = Instant::now();
+        let ok = run_batch(&cold, &reqs);
+        let cold_rps = ok as f64 / t.elapsed().as_secs_f64();
+        cold.shutdown().unwrap();
+
+        // Warm: snapshot-restored session.
+        let warm = engine_with(workers, Some(snap.clone()));
+        assert!(warm.warm_loaded() > 0, "snapshot must load");
+        let t = Instant::now();
+        let ok = run_batch(&warm, &reqs);
+        let warm_rps = ok as f64 / t.elapsed().as_secs_f64();
+        let stats = warm.stats();
+        assert_eq!(stats.misses, 0, "warm batch must not miss");
+        // Drop without rewriting the seed snapshot.
+        warm.shutdown().unwrap();
+
+        eprintln!("{workers:>8} {cold_rps:>14.1} {warm_rps:>14.1}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let reqs = batch();
+    let dir = std::env::temp_dir().join(format!("fpop-engine-bench-cr-{}", std::process::id()));
+    let snap = dir.join("proofs.snap");
+    let seed = engine_with(4, Some(snap.clone()));
+    run_batch(&seed, &reqs);
+    seed.shutdown().unwrap();
+
+    for workers in [1usize, 2, 4, 8] {
+        c.bench_function(&format!("engine/cold_batch_{workers}w"), |b| {
+            b.iter(|| {
+                let e = engine_with(workers, None);
+                let ok = run_batch(&e, &reqs);
+                e.shutdown().unwrap();
+                black_box(ok)
+            })
+        });
+        c.bench_function(&format!("engine/warm_batch_{workers}w"), |b| {
+            b.iter(|| {
+                let e = engine_with(workers, Some(snap.clone()));
+                let ok = run_batch(&e, &reqs);
+                e.shutdown().unwrap();
+                black_box(ok)
+            })
+        });
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! `fpopd` — the resident fpop prover engine, serving the line protocol
+//! on a TCP socket.
+//!
+//! ```text
+//! fpopd [--addr HOST:PORT] [--workers N] [--queue N] [--snapshot PATH]
+//!       [--deadline-ms N]
+//! ```
+//!
+//! Defaults: `--addr 127.0.0.1:7878`, workers = min(cores, 4), queue 64,
+//! no snapshot (pass `--snapshot` to enable warm restarts), no deadline.
+//!
+//! Try it:
+//!
+//! ```text
+//! $ fpopd --snapshot /tmp/fpop.snap &
+//! $ printf 'lattice full\nstats\nshutdown\n' | nc 127.0.0.1 7878
+//! ```
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use engine::{proto, Engine, EngineConfig};
+
+struct Args {
+    addr: String,
+    config: EngineConfig,
+}
+
+fn usage() -> String {
+    "usage: fpopd [--addr HOST:PORT] [--workers N] [--queue N] \
+     [--snapshot PATH] [--deadline-ms N]"
+        .to_string()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        config: EngineConfig::default(),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => {
+                args.config.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--snapshot" => args.config.snapshot_path = Some(value("--snapshot")?.into()),
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                args.config.default_deadline = Some(Duration::from_millis(ms));
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("fpopd: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let engine = Arc::new(Engine::start(args.config.clone()));
+    match (engine.warm_loaded(), engine.load_error()) {
+        (n, None) if n > 0 => eprintln!("fpopd: warm start — {n} proofs loaded from snapshot"),
+        (_, Some(e)) => eprintln!("fpopd: cold start — snapshot rejected: {e}"),
+        _ => eprintln!("fpopd: cold start — empty proof cache"),
+    }
+    eprintln!(
+        "fpopd: listening on {} ({} workers, queue {})",
+        args.addr, args.config.workers, args.config.queue_capacity
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    if let Err(e) = proto::serve(Arc::clone(&engine), listener, Arc::clone(&stop)) {
+        eprintln!("fpopd: listener error: {e}");
+    }
+
+    match engine.shutdown() {
+        Ok(Some(bytes)) => eprintln!("fpopd: drained; snapshot written ({bytes} bytes)"),
+        Ok(None) => eprintln!("fpopd: drained; no snapshot configured"),
+        Err(e) => {
+            eprintln!("fpopd: snapshot write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

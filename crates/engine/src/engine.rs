@@ -1,0 +1,562 @@
+//! The [`Engine`]: a resident prover service over one long-lived
+//! [`fpop::Session`].
+//!
+//! ## Lifecycle
+//!
+//! [`Engine::start`] warm-loads the configured snapshot (if any) into a
+//! fresh session, then spawns `workers` OS threads that loop on the
+//! bounded priority queue. [`Engine::submit`] enqueues a request and
+//! returns a [`Ticket`]; identical in-flight requests (by stable content
+//! hash) coalesce onto one ticket state, so concurrent clients asking for
+//! the same lattice trigger exactly one elaboration.
+//! [`Engine::shutdown`] closes the queue, lets the workers **drain**
+//! every accepted job, joins them, and writes the snapshot — so the next
+//! process start replays zero kernel work.
+//!
+//! ## Deadlines and cancellation
+//!
+//! Both are *admission-time* controls: a worker checks the ticket's
+//! cancellation flag and deadline when it dequeues the job, before any
+//! elaboration starts. A job that is already executing runs to completion
+//! (elaboration is not preemptible — the kernel holds no poll points),
+//! which keeps the session's commit discipline trivial: a transaction
+//! either never starts or commits atomically.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use families_stlc::build_lattice_subset;
+use fpop::{FamilyUniverse, Session, StatsSnapshot};
+use modsys::CheckLedger;
+
+use crate::queue::PrioQueue;
+use crate::request::{EngineError, Priority, Request, Response};
+use crate::snapshot::{load_snapshot, write_snapshot, SnapshotError};
+
+/// Engine construction parameters.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// How long [`Engine::submit`] blocks on a full queue before
+    /// rejecting. `Duration::ZERO` makes backpressure immediate.
+    pub submit_timeout: Duration,
+    /// Default per-request deadline (from submission); `None` = no limit.
+    pub default_deadline: Option<Duration>,
+    /// Where to persist the proof-cache snapshot. `None` disables both
+    /// warm start and shutdown checkpointing.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(2),
+            queue_capacity: 64,
+            submit_timeout: Duration::from_millis(200),
+            default_deadline: None,
+            snapshot_path: None,
+        }
+    }
+}
+
+/// A point-in-time copy of the engine's scheduling counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EngineMetrics {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests that executed and returned `Ok`.
+    pub completed: u64,
+    /// Requests that executed and returned `Err` (elaboration failures).
+    pub failed: u64,
+    /// Requests whose deadline passed while queued.
+    pub expired: u64,
+    /// Requests cancelled before execution.
+    pub cancelled: u64,
+    /// Submissions coalesced onto an identical in-flight request.
+    pub dedup_hits: u64,
+    /// Submissions rejected by backpressure (queue full past timeout).
+    pub rejected: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: u64,
+}
+
+#[derive(Default)]
+struct Metrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    expired: AtomicU64,
+    cancelled: AtomicU64,
+    dedup_hits: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Metrics {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+type JobResult = Result<Response, EngineError>;
+
+/// Shared completion state of one submitted job; tickets are handles onto
+/// an `Arc` of this (dedup hands the same `Arc` to several tickets).
+struct JobState {
+    slot: Mutex<Option<JobResult>>,
+    done: Condvar,
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl JobState {
+    fn new(deadline: Option<Instant>) -> JobState {
+        JobState {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+            deadline,
+        }
+    }
+
+    fn publish(&self, result: JobResult) {
+        let mut slot = self.slot.lock().expect("job slot poisoned");
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// A handle to one submitted request. Cloneable cheaply via the engine's
+/// dedup (several tickets may share one underlying job).
+pub struct Ticket {
+    state: Arc<JobState>,
+}
+
+impl Ticket {
+    /// Blocks until the job completes and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the job produced: [`EngineError::Failed`] for elaboration
+    /// errors, [`EngineError::DeadlineExpired`] / [`EngineError::Cancelled`]
+    /// for admission-time drops.
+    pub fn wait(&self) -> JobResult {
+        let mut slot = self.state.slot.lock().expect("job slot poisoned");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.state.done.wait(slot).expect("job slot poisoned");
+        }
+    }
+
+    /// Like [`Ticket::wait`], bounded: `None` if the job is still pending
+    /// after `timeout`.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.state.slot.lock().expect("job slot poisoned");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return Some(result.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timeout) = self
+                .state
+                .done
+                .wait_timeout(slot, deadline - now)
+                .expect("job slot poisoned");
+            slot = guard;
+        }
+    }
+
+    /// Whether a result is already available.
+    pub fn is_done(&self) -> bool {
+        self.state.slot.lock().expect("job slot poisoned").is_some()
+    }
+
+    /// Requests cancellation. Best-effort: takes effect only if a worker
+    /// has not yet started the job (see module docs).
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::Relaxed);
+    }
+}
+
+struct Job {
+    request: Request,
+    state: Arc<JobState>,
+    dedup_key: Option<u64>,
+}
+
+/// State shared between the engine facade and its workers.
+struct Shared {
+    session: Arc<Session>,
+    queue: PrioQueue<Job>,
+    inflight: Mutex<HashMap<u64, Arc<JobState>>>,
+    metrics: Metrics,
+    /// Registry of every theorem any request has elaborated, keyed by
+    /// `(family, field)`, holding the qualified statement display.
+    theorems: Mutex<HashMap<(String, String), String>>,
+    /// Cumulative ledger absorbed over every request this engine served.
+    ledger: Mutex<CheckLedger>,
+}
+
+impl Shared {
+    /// Records a finished universe: absorbs its per-family ledgers into a
+    /// combined ledger (returned), registers its theorems, and folds the
+    /// combined ledger into the engine-lifetime ledger.
+    fn absorb_universe(&self, u: &FamilyUniverse) -> CheckLedger {
+        let mut combined = CheckLedger::new();
+        let mut theorems = self.theorems.lock().expect("theorem registry poisoned");
+        for name in u.names() {
+            let fam_name = name.as_str().to_string();
+            if let Some(fam) = u.family(&fam_name) {
+                combined.absorb(&fam.ledger);
+                for field in fam.theorems.keys() {
+                    let field_name = field.as_str().to_string();
+                    if let Ok(stmt) = u.check(&fam_name, &field_name) {
+                        theorems.insert((fam_name.clone(), field_name), stmt);
+                    }
+                }
+            }
+        }
+        drop(theorems);
+        self.ledger
+            .lock()
+            .expect("engine ledger poisoned")
+            .absorb(&combined);
+        combined
+    }
+
+    fn execute(&self, request: Request) -> JobResult {
+        match request {
+            Request::CheckSource { source } => {
+                let (u, outputs) =
+                    fpop::parse::run_program_with_session(&source, Arc::clone(&self.session))
+                        .map_err(|e| EngineError::Failed(e.to_string()))?;
+                let ledger = self.absorb_universe(&u);
+                Ok(Response::Checked { outputs, ledger })
+            }
+            Request::BuildLattice { features } => {
+                let mut u = FamilyUniverse::with_session(Arc::clone(&self.session));
+                let report = build_lattice_subset(&mut u, &features)
+                    .map_err(|e| EngineError::Failed(e.to_string()))?;
+                let ledger = self.absorb_universe(&u);
+                Ok(Response::Lattice { report, ledger })
+            }
+            Request::QueryTheorem { family, field } => {
+                let statement = self
+                    .theorems
+                    .lock()
+                    .expect("theorem registry poisoned")
+                    .get(&(family.clone(), field.clone()))
+                    .cloned()
+                    .ok_or_else(|| {
+                        EngineError::Failed(format!(
+                            "no theorem {family}.{field} registered (build it first)"
+                        ))
+                    })?;
+                Ok(Response::Theorem {
+                    family,
+                    field,
+                    statement,
+                })
+            }
+            Request::Stats => Ok(Response::Stats {
+                session: self.session.snapshot_stats(),
+                engine: self.metrics_snapshot(),
+            }),
+        }
+    }
+
+    fn metrics_snapshot(&self) -> EngineMetrics {
+        EngineMetrics {
+            submitted: self.metrics.submitted.load(Ordering::Relaxed),
+            completed: self.metrics.completed.load(Ordering::Relaxed),
+            failed: self.metrics.failed.load(Ordering::Relaxed),
+            expired: self.metrics.expired.load(Ordering::Relaxed),
+            cancelled: self.metrics.cancelled.load(Ordering::Relaxed),
+            dedup_hits: self.metrics.dedup_hits.load(Ordering::Relaxed),
+            rejected: self.metrics.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue.len() as u64,
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let result = if job.state.cancelled.load(Ordering::Relaxed) {
+            Metrics::bump(&shared.metrics.cancelled);
+            Err(EngineError::Cancelled)
+        } else if job.state.deadline.is_some_and(|d| Instant::now() > d) {
+            Metrics::bump(&shared.metrics.expired);
+            Err(EngineError::DeadlineExpired)
+        } else {
+            let r = shared.execute(job.request);
+            Metrics::bump(match &r {
+                Ok(_) => &shared.metrics.completed,
+                Err(_) => &shared.metrics.failed,
+            });
+            r
+        };
+        // Retire the dedup entry *before* publishing: after this point a
+        // fresh identical submission schedules new work rather than
+        // latching onto a completed job. (Submitters that grabbed the Arc
+        // earlier still get notified below — no lost wakeups, `wait`
+        // re-checks the slot under the lock.)
+        if let Some(key) = job.dedup_key {
+            let mut inflight = shared.inflight.lock().expect("inflight map poisoned");
+            if let Some(current) = inflight.get(&key) {
+                if Arc::ptr_eq(current, &job.state) {
+                    inflight.remove(&key);
+                }
+            }
+        }
+        job.state.publish(result);
+    }
+}
+
+/// How the engine's session came up: cold, warm, or cold-after-rejection.
+#[derive(Clone, Debug, Default)]
+struct WarmStart {
+    loaded: usize,
+    error: Option<SnapshotError>,
+}
+
+/// The resident prover engine. See the module docs for the lifecycle.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    config: EngineConfig,
+    warm: WarmStart,
+    down: AtomicBool,
+}
+
+impl Engine {
+    /// Starts an engine on a fresh session, warm-loading
+    /// `config.snapshot_path` when it names an existing, valid snapshot.
+    ///
+    /// A missing snapshot file is a quiet cold start. An *invalid* one
+    /// (corrupt, truncated, stale version) is rejected loudly: the error
+    /// is logged to stderr, retained for [`Engine::load_error`], and the
+    /// engine proceeds with an empty cache.
+    pub fn start(config: EngineConfig) -> Engine {
+        Engine::start_with_session(config, Session::new())
+    }
+
+    /// [`Engine::start`] against a caller-provided session (tests use
+    /// this to pre-seed or share the session).
+    pub fn start_with_session(config: EngineConfig, session: Arc<Session>) -> Engine {
+        let mut warm = WarmStart::default();
+        if let Some(path) = &config.snapshot_path {
+            if path.exists() {
+                match load_snapshot(path) {
+                    Ok(entries) => {
+                        warm.loaded = session.import(entries);
+                    }
+                    Err(e) => {
+                        eprintln!("fpopd: {} — starting cold", e);
+                        warm.error = Some(e);
+                    }
+                }
+            }
+        }
+        let shared = Arc::new(Shared {
+            session,
+            queue: PrioQueue::new(config.queue_capacity),
+            inflight: Mutex::new(HashMap::new()),
+            metrics: Metrics::default(),
+            theorems: Mutex::new(HashMap::new()),
+            ledger: Mutex::new(CheckLedger::new()),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fpopd-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Engine {
+            shared,
+            workers: Mutex::new(workers),
+            config,
+            warm,
+            down: AtomicBool::new(false),
+        }
+    }
+
+    /// The engine's shared check session.
+    pub fn session(&self) -> &Arc<Session> {
+        &self.shared.session
+    }
+
+    /// Number of proofs imported from the snapshot at startup.
+    pub fn warm_loaded(&self) -> usize {
+        self.warm.loaded
+    }
+
+    /// The snapshot-load error, if startup rejected an invalid snapshot
+    /// and fell back to a cold cache.
+    pub fn load_error(&self) -> Option<&SnapshotError> {
+        self.warm.error.as_ref()
+    }
+
+    /// Session counters + store size (one coherent snapshot).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.session.snapshot_stats()
+    }
+
+    /// Scheduling metrics at this instant.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.shared.metrics_snapshot()
+    }
+
+    /// Copy of the cumulative ledger absorbed over every served request.
+    pub fn lifetime_ledger(&self) -> CheckLedger {
+        self.shared
+            .ledger
+            .lock()
+            .expect("engine ledger poisoned")
+            .clone()
+    }
+
+    /// Submits a request with explicit priority and (optional) deadline
+    /// override; returns a [`Ticket`] to wait on.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShuttingDown`] after shutdown began;
+    /// [`EngineError::Rejected`] if the bounded queue stayed full past
+    /// the configured submit timeout (backpressure).
+    pub fn submit_with(
+        &self,
+        request: Request,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, EngineError> {
+        if self.down.load(Ordering::SeqCst) {
+            return Err(EngineError::ShuttingDown);
+        }
+        let dedup_key = request.dedup_key();
+        let deadline = deadline
+            .or(self.config.default_deadline)
+            .map(|d| Instant::now() + d);
+        let state = Arc::new(JobState::new(deadline));
+        if let Some(key) = dedup_key {
+            let mut inflight = self.shared.inflight.lock().expect("inflight map poisoned");
+            if let Some(existing) = inflight.get(&key) {
+                Metrics::bump(&self.shared.metrics.dedup_hits);
+                return Ok(Ticket {
+                    state: Arc::clone(existing),
+                });
+            }
+            inflight.insert(key, Arc::clone(&state));
+        }
+        let job = Job {
+            request,
+            state: Arc::clone(&state),
+            dedup_key,
+        };
+        match self
+            .shared
+            .queue
+            .push(job, priority, self.config.submit_timeout)
+        {
+            Ok(()) => {
+                Metrics::bump(&self.shared.metrics.submitted);
+                Ok(Ticket { state })
+            }
+            Err(push_err) => {
+                if let Some(key) = dedup_key {
+                    let mut inflight = self.shared.inflight.lock().expect("inflight map poisoned");
+                    if let Some(current) = inflight.get(&key) {
+                        if Arc::ptr_eq(current, &state) {
+                            inflight.remove(&key);
+                        }
+                    }
+                }
+                Err(match push_err {
+                    crate::queue::PushError::Full(_) => {
+                        Metrics::bump(&self.shared.metrics.rejected);
+                        EngineError::Rejected
+                    }
+                    crate::queue::PushError::Closed(_) => EngineError::ShuttingDown,
+                })
+            }
+        }
+    }
+
+    /// [`Engine::submit_with`] at [`Priority::Normal`] and the default
+    /// deadline.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::submit_with`].
+    pub fn submit(&self, request: Request) -> Result<Ticket, EngineError> {
+        self.submit_with(request, Priority::Normal, None)
+    }
+
+    /// Submit-and-wait convenience.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::submit_with`] plus whatever the job produced.
+    pub fn run(&self, request: Request) -> Result<Response, EngineError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Writes the current proof cache to the configured snapshot path
+    /// (atomic tmp-then-rename). Returns the byte count, or `None` when
+    /// no path is configured.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from the snapshot write.
+    pub fn checkpoint(&self) -> std::io::Result<Option<usize>> {
+        match &self.config.snapshot_path {
+            None => Ok(None),
+            Some(path) => write_snapshot(path, &self.shared.session.export()).map(Some),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting work, **drain** every accepted
+    /// job, join the workers, then checkpoint. Idempotent — the second
+    /// call is a no-op returning `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from the final checkpoint (the engine is fully
+    /// stopped by then).
+    pub fn shutdown(&self) -> std::io::Result<Option<usize>> {
+        if self.down.swap(true, Ordering::SeqCst) {
+            return Ok(None);
+        }
+        self.shared.queue.close();
+        let handles: Vec<JoinHandle<()>> = {
+            let mut workers = self.workers.lock().expect("worker handles poisoned");
+            workers.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        self.checkpoint()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}

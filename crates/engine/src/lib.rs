@@ -1,0 +1,79 @@
+//! # engine — `fpopd`, a long-lived prover engine over the fpop check session
+//!
+//! PR 1 made the check session a thread-safe, content-addressed proof
+//! cache that any number of universes can share *within one process*.
+//! This crate turns that substrate into a *service*: a resident engine
+//! that owns one [`fpop::Session`] for its whole lifetime, schedules
+//! elaboration requests over a fixed worker pool, and persists the proof
+//! cache across restarts so that the second process start is as warm as
+//! the thousandth request.
+//!
+//! The pieces, one module each:
+//!
+//! * [`queue`] — a bounded **priority job queue** (std `Mutex` +
+//!   `Condvar`, no dependencies) with blocking push for backpressure and
+//!   a close-then-drain shutdown protocol.
+//! * [`request`] — the request/response vocabulary ([`Request`],
+//!   [`Response`], [`Priority`], [`EngineError`]) plus the *stable*
+//!   content hash used to deduplicate identical in-flight requests.
+//! * [`engine`] — the [`Engine`] itself: worker pool, in-flight dedup,
+//!   per-request deadlines and cancellation, graceful drain-on-shutdown,
+//!   and warm-start/checkpoint wiring to the snapshot codec.
+//! * [`snapshot`] — the persistent proof-cache snapshot: a versioned,
+//!   dependency-free binary codec (magic, format version, varint-framed
+//!   entries, trailing integrity hash) with a *total* decoder — corrupt
+//!   or stale snapshots are rejected loudly and the engine falls back to
+//!   a cold cache.
+//! * [`proto`] — a line-based text protocol over the library API, served
+//!   by the `fpopd` binary on a std-only `TcpListener`.
+//!
+//! ## Warm restart, the headline property
+//!
+//! ```no_run
+//! use engine::{Engine, EngineConfig, Request};
+//!
+//! let cfg = EngineConfig {
+//!     snapshot_path: Some("/tmp/fpop.snap".into()),
+//!     ..EngineConfig::default()
+//! };
+//! // First life: builds the 15-variant lattice cold, snapshots on shutdown.
+//! let a = Engine::start(cfg.clone());
+//! a.run(Request::lattice_full()).unwrap();
+//! a.shutdown().unwrap();
+//!
+//! // Second life: loads the snapshot; the same build is 100% cache hits —
+//! // zero kernel re-checks, `SessionStats.misses == 0`.
+//! let b = Engine::start(cfg);
+//! assert!(b.warm_loaded() > 0);
+//! b.run(Request::lattice_full()).unwrap();
+//! assert_eq!(b.stats().misses, 0);
+//! ```
+
+pub mod engine;
+pub mod proto;
+pub mod queue;
+pub mod request;
+pub mod snapshot;
+
+pub use engine::{Engine, EngineConfig, EngineMetrics, Ticket};
+pub use queue::{PrioQueue, PushError};
+pub use request::{EngineError, Priority, Request, Response};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, load_snapshot, write_snapshot, SnapshotError,
+};
+
+#[cfg(test)]
+mod send_sync_asserts {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn service_types_are_send_sync() {
+        assert_send_sync::<Engine>();
+        assert_send_sync::<Ticket>();
+        assert_send_sync::<Request>();
+        assert_send_sync::<Response>();
+        assert_send_sync::<PrioQueue<u32>>();
+    }
+}

@@ -1,0 +1,389 @@
+//! The `fpopd` line protocol: newline-delimited text over TCP, std only.
+//!
+//! One request per line, one response per line. Multi-line payloads
+//! (vernacular sources, lattice tables) travel escaped: `\` → `\\`,
+//! newline → `\n`, carriage return → `\r`.
+//!
+//! ```text
+//! --> [high |low ]check <escaped-source>
+//! --> [high |low ]lattice full|extended|Fix,Prod,...
+//! --> [high |low ]theorem <family> <field>
+//! --> [high |low ]stats
+//! --> checkpoint
+//! --> ping
+//! --> shutdown
+//! <-- ok <escaped-payload>
+//! <-- err <escaped-reason>
+//! ```
+//!
+//! The protocol is deliberately dumb: it exists so the warm-restart demo
+//! and ops tooling can poke a resident engine with `nc`, not as an RPC
+//! framework. Anything structured should use the library API.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use families_stlc::Feature;
+
+use crate::engine::Engine;
+use crate::request::{EngineError, Priority, Request, Response};
+
+/// Escapes a payload onto one protocol line.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`].
+///
+/// # Errors
+///
+/// A human-readable message on a dangling or unknown escape.
+pub fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => return Err(format!("unknown escape \\{other}")),
+            None => return Err("dangling backslash at end of line".into()),
+        }
+    }
+    Ok(out)
+}
+
+/// A parsed protocol line.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Command {
+    /// Submit a request at the given priority and wait for its result.
+    Submit(Request, Priority),
+    /// Persist the proof cache now.
+    Checkpoint,
+    /// Liveness probe.
+    Ping,
+    /// Stop the server (the engine then drains and snapshots).
+    Shutdown,
+}
+
+/// Parses one protocol line into a [`Command`].
+///
+/// # Errors
+///
+/// A human-readable message describing the malformed line.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let line = line.trim();
+    let (priority, rest) = match line.split_once(' ') {
+        Some((tag, rest)) if Priority::from_tag(tag).is_some() => {
+            (Priority::from_tag(tag).unwrap_or_default(), rest.trim())
+        }
+        _ => (Priority::Normal, line),
+    };
+    let (verb, args) = match rest.split_once(' ') {
+        Some((v, a)) => (v, a.trim()),
+        None => (rest, ""),
+    };
+    match verb {
+        "ping" => Ok(Command::Ping),
+        "shutdown" => Ok(Command::Shutdown),
+        "checkpoint" => Ok(Command::Checkpoint),
+        "stats" => Ok(Command::Submit(Request::Stats, priority)),
+        "check" => {
+            if args.is_empty() {
+                return Err("check: missing source (escaped vernacular text)".into());
+            }
+            let source = unescape(args)?;
+            Ok(Command::Submit(Request::CheckSource { source }, priority))
+        }
+        "lattice" => {
+            let features = match args {
+                "full" | "" => Feature::all().to_vec(),
+                "extended" => Feature::all_extended().to_vec(),
+                tags => tags
+                    .split(',')
+                    .map(|t| {
+                        let t = t.trim();
+                        Feature::from_tag(t).ok_or_else(|| format!("lattice: unknown feature {t:?} (want full, extended, or a comma list of Fix/Prod/Sum/Isorec/Bool)"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            };
+            Ok(Command::Submit(Request::BuildLattice { features }, priority))
+        }
+        "theorem" => {
+            let mut parts = args.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(family), Some(field), None) => Ok(Command::Submit(
+                    Request::QueryTheorem {
+                        family: family.to_string(),
+                        field: field.to_string(),
+                    },
+                    priority,
+                )),
+                _ => Err("theorem: want `theorem <family> <field>`".into()),
+            }
+        }
+        "" => Err("empty command".into()),
+        other => Err(format!(
+            "unknown command {other:?} (want check, lattice, theorem, stats, checkpoint, ping, shutdown)"
+        )),
+    }
+}
+
+/// Renders a successful response payload (unescaped; the wire form is
+/// `ok {escape(payload)}`).
+pub fn render_response(resp: &Response) -> String {
+    match resp {
+        Response::Checked { outputs, ledger } => {
+            let mut s = outputs.join("\n");
+            if !s.is_empty() {
+                s.push('\n');
+            }
+            s.push_str(&format!(
+                "[checked {} | shared {} | cache {}/{}]",
+                ledger.checked_count(),
+                ledger.shared_count(),
+                ledger.cache_hits(),
+                ledger.cache_hits() + ledger.cache_misses(),
+            ));
+            s
+        }
+        Response::Lattice { report, ledger } => format!(
+            "{}\n[variants {} | checked {} | shared {} | cache hit ratio {:.1}%]",
+            report.to_table(),
+            report.rows.len(),
+            ledger.checked_count(),
+            ledger.shared_count(),
+            100.0 * ledger.cache_hit_ratio(),
+        ),
+        Response::Theorem {
+            family,
+            field,
+            statement,
+        } => format!("{family}.{field}: {statement}"),
+        Response::Stats { session, engine } => format!(
+            "session: hits={} misses={} inserts={} cached={} | engine: submitted={} completed={} failed={} expired={} cancelled={} dedup={} rejected={} depth={}",
+            session.hits,
+            session.misses,
+            session.inserts,
+            session.cached_proofs,
+            engine.submitted,
+            engine.completed,
+            engine.failed,
+            engine.expired,
+            engine.cancelled,
+            engine.dedup_hits,
+            engine.rejected,
+            engine.queue_depth,
+        ),
+    }
+}
+
+/// Renders a job result onto one wire line (without the newline).
+pub fn render_result(result: &Result<Response, EngineError>) -> String {
+    match result {
+        Ok(resp) => format!("ok {}", escape(&render_response(resp))),
+        Err(e) => format!("err {}", escape(&e.to_string())),
+    }
+}
+
+/// Serves the protocol on `listener` until `stop` is set (typically by a
+/// client's `shutdown` line). Each connection gets its own thread;
+/// request execution itself is scheduled by the engine's worker pool.
+///
+/// # Errors
+///
+/// Propagates fatal listener errors; per-connection I/O errors just drop
+/// that connection.
+pub fn serve(
+    engine: Arc<Engine>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut handles = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                handles.push(std::thread::spawn(move || {
+                    let _ = handle_connection(engine, stream, stop);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+fn handle_connection(
+    engine: Arc<Engine>,
+    stream: TcpStream,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // Bounded read timeout so an idle connection re-checks the stop flag
+    // instead of pinning its thread past server shutdown.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match parse_command(&line) {
+            Err(e) => format!("err {}", escape(&e)),
+            Ok(Command::Ping) => "ok pong".to_string(),
+            Ok(Command::Shutdown) => {
+                stop.store(true, Ordering::SeqCst);
+                writeln!(writer, "ok shutting down")?;
+                return Ok(());
+            }
+            Ok(Command::Checkpoint) => match engine.checkpoint() {
+                Ok(Some(bytes)) => format!("ok checkpoint written ({bytes} bytes)"),
+                Ok(None) => "err no snapshot path configured".to_string(),
+                Err(e) => format!("err {}", escape(&e.to_string())),
+            },
+            Ok(Command::Submit(request, priority)) => {
+                let result = engine
+                    .submit_with(request, priority, None)
+                    .and_then(|ticket| ticket.wait());
+                render_result(&result)
+            }
+        };
+        writeln!(writer, "{reply}")?;
+        writer.flush()?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrips() {
+        for s in [
+            "",
+            "plain",
+            "two\nlines",
+            "back\\slash",
+            "mixed \\n literal\nand real\r\n",
+        ] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn unescape_rejects_bad_escapes() {
+        assert!(unescape("dangling\\").is_err());
+        assert!(unescape("bad\\q").is_err());
+    }
+
+    #[test]
+    fn parses_commands() {
+        assert_eq!(parse_command("ping").unwrap(), Command::Ping);
+        assert_eq!(parse_command("  shutdown  ").unwrap(), Command::Shutdown);
+        assert_eq!(parse_command("checkpoint").unwrap(), Command::Checkpoint);
+        assert_eq!(
+            parse_command("stats").unwrap(),
+            Command::Submit(Request::Stats, Priority::Normal)
+        );
+        assert_eq!(
+            parse_command("high stats").unwrap(),
+            Command::Submit(Request::Stats, Priority::High)
+        );
+        match parse_command("check Family F.\\nEnd F.").unwrap() {
+            Command::Submit(Request::CheckSource { source }, Priority::Normal) => {
+                assert_eq!(source, "Family F.\nEnd F.")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_command("low lattice Fix,Prod").unwrap() {
+            Command::Submit(Request::BuildLattice { features }, Priority::Low) => {
+                assert_eq!(features, vec![Feature::Fix, Feature::Prod])
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse_command("theorem STLC preservation").unwrap(),
+            Command::Submit(
+                Request::QueryTheorem {
+                    family: "STLC".into(),
+                    field: "preservation".into()
+                },
+                Priority::Normal
+            )
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_command("").is_err());
+        assert!(parse_command("frobnicate").is_err());
+        assert!(parse_command("check").is_err());
+        assert!(parse_command("lattice Fix,Nope").is_err());
+        assert!(parse_command("theorem STLC").is_err());
+        assert!(parse_command("check bad\\q").is_err());
+    }
+
+    #[test]
+    fn lattice_keyword_forms() {
+        match parse_command("lattice full").unwrap() {
+            Command::Submit(Request::BuildLattice { features }, _) => {
+                assert_eq!(features.len(), 4)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_command("lattice extended").unwrap() {
+            Command::Submit(Request::BuildLattice { features }, _) => {
+                assert_eq!(features.len(), 5)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn render_err_is_single_line() {
+        let line = render_result(&Err(EngineError::Failed("multi\nline\nreason".into())));
+        assert!(line.starts_with("err "));
+        assert!(!line.contains('\n'));
+    }
+}

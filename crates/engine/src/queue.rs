@@ -1,0 +1,271 @@
+//! A bounded priority job queue on std primitives only.
+//!
+//! `Mutex<BinaryHeap> + two Condvars` — no channels, no external crates.
+//! Properties the engine relies on:
+//!
+//! * **Priority + FIFO**: items pop highest-[`Priority`] first; within a
+//!   priority, submission order (a monotone sequence number breaks ties,
+//!   so the heap is a stable priority queue).
+//! * **Backpressure**: the queue holds at most `capacity` items.
+//!   [`PrioQueue::push`] blocks up to a caller-chosen duration when full
+//!   and then reports [`PushError::Full`], handing the item back.
+//! * **Close-then-drain shutdown**: [`PrioQueue::close`] stops new pushes
+//!   but lets consumers keep popping until the queue is empty, at which
+//!   point [`PrioQueue::pop`] returns `None`. This is what makes engine
+//!   shutdown *graceful*: accepted work is finished, not dropped.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::request::Priority;
+
+/// Why a push did not enqueue. The rejected value rides back to the
+/// caller in both cases.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// Capacity stayed exhausted for the whole wait: backpressure.
+    Full(T),
+    /// The queue was closed (engine shutting down).
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the value that was not enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(v) | PushError::Closed(v) => v,
+        }
+    }
+}
+
+struct Item<T> {
+    prio: Priority,
+    /// Tie-breaker: lower sequence number wins within equal priority.
+    seq: u64,
+    value: T,
+}
+
+impl<T> PartialEq for Item<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<T> Eq for Item<T> {}
+impl<T> PartialOrd for Item<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Item<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first; then *earlier* seq first.
+        self.prio
+            .cmp(&other.prio)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner<T> {
+    heap: BinaryHeap<Item<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// The bounded priority queue. See the module docs for the contract.
+pub struct PrioQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> PrioQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> PrioQueue<T> {
+        PrioQueue {
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").heap.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`PrioQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue poisoned").closed
+    }
+
+    /// Enqueues `value`, blocking up to `wait` while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] if capacity stayed exhausted for the whole
+    /// wait; [`PushError::Closed`] if the queue was closed.
+    pub fn push(&self, value: T, prio: Priority, wait: Duration) -> Result<(), PushError<T>> {
+        let deadline = Instant::now() + wait;
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed(value));
+            }
+            if inner.heap.len() < self.capacity {
+                let seq = inner.next_seq;
+                inner.next_seq += 1;
+                inner.heap.push(Item { prio, seq, value });
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PushError::Full(value));
+            }
+            let (guard, _timeout) = self
+                .not_full
+                .wait_timeout(inner, deadline - now)
+                .expect("queue poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Enqueues without blocking (a zero-wait [`PrioQueue::push`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`PrioQueue::push`].
+    pub fn try_push(&self, value: T, prio: Priority) -> Result<(), PushError<T>> {
+        self.push(value, prio, Duration::ZERO)
+    }
+
+    /// Dequeues the highest-priority item, blocking while the queue is
+    /// empty. Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.heap.pop() {
+                self.not_full.notify_one();
+                return Some(item.value);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`];
+    /// consumers drain what is queued, then observe `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        // Wake everyone: blocked producers must fail, idle consumers must
+        // re-check the closed flag.
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = PrioQueue::new(8);
+        q.try_push("n1", Priority::Normal).unwrap();
+        q.try_push("l1", Priority::Low).unwrap();
+        q.try_push("h1", Priority::High).unwrap();
+        q.try_push("n2", Priority::Normal).unwrap();
+        q.try_push("h2", Priority::High).unwrap();
+        q.close();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec!["h1", "h2", "n1", "n2", "l1"]);
+    }
+
+    #[test]
+    fn full_queue_rejects_after_timeout() {
+        let q = PrioQueue::new(2);
+        q.try_push(1, Priority::Normal).unwrap();
+        q.try_push(2, Priority::Normal).unwrap();
+        match q.push(3, Priority::Normal, Duration::from_millis(10)) {
+            Err(PushError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn push_unblocks_when_consumer_pops() {
+        let q = Arc::new(PrioQueue::new(1));
+        q.try_push(1u32, Priority::Normal).unwrap();
+        let q2 = Arc::clone(&q);
+        let popper = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            q2.pop()
+        });
+        // Blocks until the popper makes room.
+        q.push(2, Priority::Normal, Duration::from_secs(5)).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(1));
+        q.close();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = PrioQueue::new(4);
+        q.try_push(1, Priority::Normal).unwrap();
+        q.try_push(2, Priority::High).unwrap();
+        q.close();
+        assert!(matches!(
+            q.try_push(3, Priority::Normal),
+            Err(PushError::Closed(3))
+        ));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = Arc::new(PrioQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop());
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q = PrioQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1, Priority::Normal).unwrap();
+        assert!(matches!(
+            q.try_push(2, Priority::Normal),
+            Err(PushError::Full(2))
+        ));
+    }
+}

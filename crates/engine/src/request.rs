@@ -1,0 +1,255 @@
+//! The engine's request/response vocabulary.
+//!
+//! Requests carry a **stable content hash** ([`Request::dedup_key`]) used
+//! to coalesce identical in-flight work: two clients asking for the same
+//! lattice get one elaboration and two copies of the answer. The hash is
+//! computed with [`fpop::stable::Fnv64`] over the request's structural
+//! content (never over interner ids), so it is deterministic across
+//! processes — the same recipe the persistent snapshot relies on.
+
+use std::fmt;
+
+use families_stlc::{normalize_features, Feature, LatticeReport};
+use fpop::stable::Fnv64;
+use fpop::StatsSnapshot;
+use modsys::CheckLedger;
+
+use crate::engine::EngineMetrics;
+
+/// Scheduling priority of a request. Higher priorities pop first; within
+/// one priority the queue is FIFO.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Priority {
+    /// Background work (e.g. speculative prefetch of a lattice).
+    Low,
+    /// The default for interactive requests.
+    #[default]
+    Normal,
+    /// Latency-sensitive work; jumps the queue.
+    High,
+}
+
+impl Priority {
+    /// Parses the protocol-level prefix (`low` / `normal` / `high`).
+    pub fn from_tag(tag: &str) -> Option<Priority> {
+        match tag {
+            "low" => Some(Priority::Low),
+            "normal" => Some(Priority::Normal),
+            "high" => Some(Priority::High),
+            _ => None,
+        }
+    }
+}
+
+/// A unit of work for the engine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Parse, resolve, and elaborate a vernacular program against the
+    /// engine's shared session; returns the `Check` outputs.
+    CheckSource {
+        /// The vernacular source text.
+        source: String,
+    },
+    /// Build the mixin sub-lattice spanned by `features` (empty = just
+    /// the base family) in a fresh universe over the shared session.
+    BuildLattice {
+        /// Feature set; order and duplicates are irrelevant (the dedup
+        /// key normalizes).
+        features: Vec<Feature>,
+    },
+    /// Look up the statement of a theorem registered by an earlier
+    /// `CheckSource`/`BuildLattice` in this engine's lifetime.
+    QueryTheorem {
+        /// Family name (e.g. `STLCProdSum`).
+        family: String,
+        /// Theorem field name (e.g. `typesafe`).
+        field: String,
+    },
+    /// Report session statistics and engine metrics.
+    Stats,
+}
+
+impl Request {
+    /// Convenience: the full four-feature Venn lattice (15 variants).
+    pub fn lattice_full() -> Request {
+        Request::BuildLattice {
+            features: Feature::all().to_vec(),
+        }
+    }
+
+    /// Convenience: the extended five-feature lattice (31 variants).
+    pub fn lattice_extended() -> Request {
+        Request::BuildLattice {
+            features: Feature::all_extended().to_vec(),
+        }
+    }
+
+    /// Stable structural hash identifying this request's *content*, or
+    /// `None` for requests that must never be coalesced.
+    ///
+    /// `Stats` is excluded (its answer changes between invocations), and
+    /// `QueryTheorem` is excluded because it is a registry read — cheaper
+    /// than the dedup bookkeeping it would ride on.
+    pub fn dedup_key(&self) -> Option<u64> {
+        let mut h = Fnv64::new();
+        match self {
+            Request::CheckSource { source } => {
+                h.write_u8(0);
+                h.write_str(source);
+            }
+            Request::BuildLattice { features } => {
+                h.write_u8(1);
+                let feats = normalize_features(features);
+                h.write_len(feats.len());
+                for f in feats {
+                    h.write_u8(f.canonical_index() as u8);
+                }
+            }
+            Request::QueryTheorem { .. } | Request::Stats => return None,
+        }
+        Some(h.finish())
+    }
+
+    /// Short human tag for logs and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::CheckSource { .. } => "check",
+            Request::BuildLattice { .. } => "lattice",
+            Request::QueryTheorem { .. } => "theorem",
+            Request::Stats => "stats",
+        }
+    }
+}
+
+/// A successful answer to a [`Request`].
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// `CheckSource` output: one line per `Check` command, plus the
+    /// combined check ledger of every family the program defined.
+    Checked {
+        /// Printed results of the program's `Check` commands.
+        outputs: Vec<String>,
+        /// Per-program checked/shared/cache accounting (absorbed over all
+        /// families the request elaborated).
+        ledger: CheckLedger,
+    },
+    /// `BuildLattice` output: the per-variant report plus the combined
+    /// ledger over every variant in the lattice.
+    Lattice {
+        /// The per-variant table (same shape as `LatticeReport::to_table`).
+        report: LatticeReport,
+        /// Combined ledger over all variants — the object the warm-restart
+        /// acceptance test compares with `CheckLedger::same_counts`.
+        ledger: CheckLedger,
+    },
+    /// `QueryTheorem` output.
+    Theorem {
+        /// Family queried.
+        family: String,
+        /// Field queried.
+        field: String,
+        /// The registered qualified statement.
+        statement: String,
+    },
+    /// `Stats` output.
+    Stats {
+        /// Shared-session counters and store size.
+        session: StatsSnapshot,
+        /// Engine-level scheduling metrics.
+        engine: EngineMetrics,
+    },
+}
+
+/// Why a request failed (distinct from a *malformed* protocol line, which
+/// never reaches the engine).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// The bounded queue stayed full past the submit timeout
+    /// (backpressure: the client should retry later or shed load).
+    Rejected,
+    /// The request's deadline passed before a worker picked it up.
+    DeadlineExpired,
+    /// The request was cancelled via [`crate::Ticket::cancel`] before a
+    /// worker picked it up.
+    Cancelled,
+    /// The engine is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// Elaboration itself failed (parse error, merge conflict, a proof
+    /// obligation the kernel rejected, unknown theorem…).
+    Failed(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Rejected => write!(f, "queue full: request rejected (backpressure)"),
+            EngineError::DeadlineExpired => write!(f, "deadline expired before execution"),
+            EngineError::Cancelled => write!(f, "request cancelled"),
+            EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::Failed(why) => write!(f, "request failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders() {
+        assert!(Priority::High > Priority::Normal);
+        assert!(Priority::Normal > Priority::Low);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn dedup_key_is_stable_and_normalizing() {
+        let a = Request::BuildLattice {
+            features: vec![Feature::Prod, Feature::Fix, Feature::Prod],
+        };
+        let b = Request::BuildLattice {
+            features: vec![Feature::Fix, Feature::Prod],
+        };
+        assert_eq!(a.dedup_key(), b.dedup_key());
+        assert!(a.dedup_key().is_some());
+
+        let c = Request::BuildLattice {
+            features: vec![Feature::Fix],
+        };
+        assert_ne!(a.dedup_key(), c.dedup_key());
+    }
+
+    #[test]
+    fn check_source_keys_differ_by_source() {
+        let a = Request::CheckSource {
+            source: "Family A. End A.".into(),
+        };
+        let b = Request::CheckSource {
+            source: "Family B. End B.".into(),
+        };
+        assert_ne!(a.dedup_key(), b.dedup_key());
+        assert_eq!(a.dedup_key(), a.clone().dedup_key());
+    }
+
+    #[test]
+    fn stats_and_theorem_never_dedup() {
+        assert_eq!(Request::Stats.dedup_key(), None);
+        let q = Request::QueryTheorem {
+            family: "STLC".into(),
+            field: "typesafe".into(),
+        };
+        assert_eq!(q.dedup_key(), None);
+    }
+
+    #[test]
+    fn check_and_lattice_keys_do_not_collide_on_empty() {
+        // Tag bytes keep an empty source distinct from an empty feature set.
+        let check = Request::CheckSource {
+            source: String::new(),
+        };
+        let lattice = Request::BuildLattice { features: vec![] };
+        assert_ne!(check.dedup_key(), lattice.dedup_key());
+    }
+}

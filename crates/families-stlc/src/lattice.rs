@@ -88,6 +88,46 @@ impl Feature {
             Feature::Bool => "Bool",
         }
     }
+
+    /// Parses a feature from its tag (case-insensitive); the inverse of
+    /// [`Feature::tag`]. Used by the `fpopd` wire protocol's
+    /// `lattice Fix,Prod,…` requests.
+    pub fn from_tag(tag: &str) -> Option<Feature> {
+        match tag.to_ascii_lowercase().as_str() {
+            "fix" => Some(Feature::Fix),
+            "prod" => Some(Feature::Prod),
+            "sum" => Some(Feature::Sum),
+            "isorec" => Some(Feature::Isorec),
+            "bool" => Some(Feature::Bool),
+            _ => None,
+        }
+    }
+
+    /// Canonical composition order of a feature (its index in
+    /// [`Feature::all_extended`]). Feature subsets are always normalized
+    /// into this order before naming or composing variants.
+    pub fn canonical_index(self) -> usize {
+        match self {
+            Feature::Fix => 0,
+            Feature::Prod => 1,
+            Feature::Sum => 2,
+            Feature::Isorec => 3,
+            Feature::Bool => 4,
+        }
+    }
+}
+
+/// Sorts a feature set into canonical order and drops duplicates; the
+/// normal form under which variant names and mixin lists are derived.
+pub fn normalize_features(features: &[Feature]) -> Vec<Feature> {
+    let mut v: Vec<Feature> = Vec::new();
+    for &f in features {
+        if !v.contains(&f) {
+            v.push(f);
+        }
+    }
+    v.sort_by_key(|f| f.canonical_index());
+    v
 }
 
 /// Name of the family for a feature set, e.g. `STLCFixProdIsorec`.
@@ -197,18 +237,31 @@ pub fn lattice_waves(extended: bool) -> Vec<Vec<FamilyDef>> {
     } else {
         Feature::all().to_vec()
     };
-    let mut waves: Vec<Vec<FamilyDef>> = vec![vec![crate::base::stlc_family()], {
-        let mut singles = vec![
-            stlc_fix_family(),
-            stlc_prod_family(),
-            stlc_sum_family(),
-            stlc_isorec_family(),
-        ];
-        if extended {
-            singles.push(stlc_bool_family());
-        }
-        singles
-    }];
+    subset_waves(&feats)
+}
+
+/// The build plan for an arbitrary feature subset: base `STLC`, the
+/// requested single-feature families, then every ≥2-ary combination of the
+/// subset, one wave per arity (see [`lattice_waves`], which is the
+/// full-set instance). This is the unit of work behind the `fpopd`
+/// engine's `BuildLattice` requests: a client names the features it cares
+/// about and the engine elaborates exactly that sub-lattice, with every
+/// proof drawn from (and contributed to) the shared session.
+pub fn subset_waves(features: &[Feature]) -> Vec<Vec<FamilyDef>> {
+    let feats = normalize_features(features);
+    // Paper-style nested composition applies in the exact Venn lattice.
+    let venn_special = feats == Feature::all();
+    let single = |f: Feature| match f {
+        Feature::Fix => stlc_fix_family(),
+        Feature::Prod => stlc_prod_family(),
+        Feature::Sum => stlc_sum_family(),
+        Feature::Isorec => stlc_isorec_family(),
+        Feature::Bool => stlc_bool_family(),
+    };
+    let mut waves: Vec<Vec<FamilyDef>> = vec![
+        vec![crate::base::stlc_family()],
+        feats.iter().copied().map(single).collect(),
+    ];
     for arity in 2..=feats.len() {
         let mut wave = Vec::new();
         for mask in 1u32..(1u32 << feats.len()) {
@@ -228,7 +281,7 @@ pub fn lattice_waves(extended: bool) -> Vec<Vec<FamilyDef>> {
             // STLCProdIsorec (Figure 3), relying on the latter's
             // already-discharged tysubst obligation. (STLCProdIsorec is an
             // arity-2 variant, so it lives in the previous wave.)
-            let def = if !extended && name == "STLCFixProdIsorec" {
+            let def = if venn_special && name == "STLCFixProdIsorec" {
                 FamilyDef::extending_with(
                     "STLCFixProdIsorec",
                     "STLC",
@@ -241,6 +294,7 @@ pub fn lattice_waves(extended: bool) -> Vec<Vec<FamilyDef>> {
         }
         waves.push(wave);
     }
+    waves.retain(|w| !w.is_empty());
     waves
 }
 
@@ -394,6 +448,31 @@ pub fn build_extended_lattice_parallel(u: &mut FamilyUniverse) -> Result<Lattice
     build_parallel(u, lattice_waves(true))
 }
 
+/// Builds the sub-lattice spanned by `features` (base + singles + every
+/// ≥2-ary combination), sequentially. With the full four-feature set this
+/// is exactly [`build_lattice`]. The engine's `BuildLattice` request runs
+/// this against its long-lived session.
+///
+/// # Errors
+///
+/// Propagates any elaboration failure.
+pub fn build_lattice_subset(u: &mut FamilyUniverse, features: &[Feature]) -> Result<LatticeReport> {
+    build_sequential(u, subset_waves(features))
+}
+
+/// [`build_lattice_subset`], parallelized per arity wave; see
+/// [`build_lattice_parallel`].
+///
+/// # Errors
+///
+/// Propagates any elaboration failure.
+pub fn build_lattice_subset_parallel(
+    u: &mut FamilyUniverse,
+    features: &[Feature],
+) -> Result<LatticeReport> {
+    build_parallel(u, subset_waves(features))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +484,56 @@ mod tests {
             "STLCFixIsorec"
         );
         assert_eq!(variant_name(&Feature::all()), "STLCFixProdSumIsorec");
+    }
+
+    #[test]
+    fn from_tag_roundtrips_and_rejects() {
+        for f in Feature::all_extended() {
+            assert_eq!(Feature::from_tag(f.tag()), Some(f));
+            assert_eq!(Feature::from_tag(&f.tag().to_uppercase()), Some(f));
+        }
+        assert_eq!(Feature::from_tag("linear"), None);
+    }
+
+    #[test]
+    fn normalize_orders_and_dedupes() {
+        let n = normalize_features(&[Feature::Isorec, Feature::Fix, Feature::Isorec]);
+        assert_eq!(n, vec![Feature::Fix, Feature::Isorec]);
+    }
+
+    #[test]
+    fn subset_waves_full_set_matches_lattice_waves() {
+        let a = lattice_waves(false);
+        let b = subset_waves(&Feature::all());
+        assert_eq!(a.len(), b.len());
+        for (wa, wb) in a.iter().zip(&b) {
+            let na: Vec<_> = wa.iter().map(|d| d.name).collect();
+            let nb: Vec<_> = wb.iter().map(|d| d.name).collect();
+            assert_eq!(na, nb);
+        }
+        let e = lattice_waves(true);
+        let f = subset_waves(&Feature::all_extended());
+        assert_eq!(
+            e.iter().map(Vec::len).sum::<usize>(),
+            f.iter().map(Vec::len).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn subset_waves_pair_has_base_singles_composite() {
+        let w = subset_waves(&[Feature::Prod, Feature::Fix]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0][0].name.as_str(), "STLC");
+        let singles: Vec<_> = w[1].iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(singles, vec!["STLCFix", "STLCProd"]);
+        assert_eq!(w[2][0].name.as_str(), "STLCFixProd");
+    }
+
+    #[test]
+    fn subset_waves_single_feature_has_no_composites() {
+        let w = subset_waves(&[Feature::Sum]);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[1][0].name.as_str(), "STLCSum");
     }
 
     #[test]

@@ -24,9 +24,7 @@
 //! and the elaborator reads/writes it through a [`CacheTxn`], so reuse
 //! reaches across every family (and thread) drawing on the same session.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 use objlang::error::{Error, Result};
@@ -63,19 +61,13 @@ pub struct CompiledFamily {
     pub ledger: CheckLedger,
 }
 
-fn hash_of(h: &impl Hash) -> u64 {
-    let mut hasher = DefaultHasher::new();
-    h.hash(&mut hasher);
-    hasher.finish()
-}
-
+/// The overridable-definition snapshot key. Computed with the *stable*
+/// hasher ([`crate::stable`]) rather than `DefaultHasher`: the key is
+/// stored inside persistent session snapshots, so it must be identical for
+/// the same bodies in every process — interner ids (which seed `Symbol`'s
+/// derived `Hash`) are not.
 fn odef_hash(odef_key: &[(Symbol, objlang::Term)]) -> u64 {
-    hash_of(
-        &odef_key
-            .iter()
-            .map(|(s, t)| (*s, t.clone()))
-            .collect::<Vec<_>>(),
-    )
+    crate::stable::stable_odef_hash(odef_key)
 }
 
 /// Elaborates a merged family into a [`CompiledFamily`], emitting module

@@ -63,11 +63,12 @@ pub mod merge;
 pub mod parse;
 pub mod report;
 pub mod session;
+pub mod stable;
 pub mod universe;
 
 pub use elab::CompiledFamily;
 pub use family::{FamilyDef, Field, ProofSpec};
-pub use session::{CacheTxn, Session, SessionStats};
+pub use session::{CacheTxn, ExportEntry, Session, SessionStats, StatsSnapshot};
 pub use universe::FamilyUniverse;
 
 // Concurrency audit: compiled families cross thread boundaries in the

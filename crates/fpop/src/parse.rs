@@ -32,7 +32,18 @@ impl Program {
     /// Defines every family into a fresh universe and runs the `Check`
     /// commands, returning their printed output.
     pub fn run(&self) -> Result<(crate::universe::FamilyUniverse, Vec<String>)> {
-        let mut u = crate::universe::FamilyUniverse::new();
+        self.run_with_session(crate::session::Session::new())
+    }
+
+    /// Like [`Program::run`], but the fresh universe draws on (and
+    /// contributes to) the given shared check session — the entry point the
+    /// `fpopd` engine uses so that every `CheckSource` request benefits
+    /// from, and feeds, the long-lived proof cache.
+    pub fn run_with_session(
+        &self,
+        session: std::sync::Arc<crate::session::Session>,
+    ) -> Result<(crate::universe::FamilyUniverse, Vec<String>)> {
+        let mut u = crate::universe::FamilyUniverse::with_session(session);
         for f in &self.families {
             u.define(f.clone())?;
         }
@@ -647,11 +658,12 @@ pub fn resolve_with(def: &mut FamilyDef, mut fns: Vec<Symbol>) {
     }
 }
 
-/// Parses, resolves and runs a vernacular program in one call.
-pub fn run_program(src: &str) -> Result<(crate::universe::FamilyUniverse, Vec<String>)> {
+/// Parses and resolves a vernacular program: function names resolve across
+/// the inheritance chain, so the accumulated set threads through the
+/// families in order. The returned [`Program`] is ready to
+/// [`Program::run`] (or [`Program::run_with_session`]).
+pub fn prepare_program(src: &str) -> Result<Program> {
     let mut p = parse_program(src)?;
-    // Function names resolve across the inheritance chain, so thread the
-    // accumulated set through the families in order.
     let mut known: Vec<Symbol> = Vec::new();
     for fam in p.families.iter_mut() {
         resolve_with(fam, known.clone());
@@ -663,7 +675,21 @@ pub fn run_program(src: &str) -> Result<(crate::universe::FamilyUniverse, Vec<St
             }
         }
     }
-    p.run()
+    Ok(p)
+}
+
+/// Parses, resolves and runs a vernacular program in one call.
+pub fn run_program(src: &str) -> Result<(crate::universe::FamilyUniverse, Vec<String>)> {
+    prepare_program(src)?.run()
+}
+
+/// [`run_program`] against a shared check session (the engine's
+/// `CheckSource` code path).
+pub fn run_program_with_session(
+    src: &str,
+    session: std::sync::Arc<crate::session::Session>,
+) -> Result<(crate::universe::FamilyUniverse, Vec<String>)> {
+    prepare_program(src)?.run_with_session(session)
 }
 
 #[cfg(test)]

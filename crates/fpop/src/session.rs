@@ -59,6 +59,10 @@ struct TheoremEntry {
     statement: Prop,
     script: Vec<Tactic>,
     closed_world_key: Option<Vec<(Symbol, Vec<Symbol>)>>,
+    /// Overridable-definition snapshot key (stable across processes, see
+    /// [`crate::stable`]); retained so the entry can be re-bucketed when a
+    /// snapshot is imported into a fresh process.
+    okey: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -66,6 +70,38 @@ struct CaseEntry {
     sequent: Sequent,
     script: Vec<Tactic>,
     proof: ProvedSequent,
+    /// See [`TheoremEntry::okey`].
+    okey: u64,
+}
+
+/// One portable proof-cache record, as produced by [`Session::export`] and
+/// consumed by [`Session::import`]. This is the *logical* snapshot format:
+/// the engine crate (`fpopd`) owns the binary encoding. Symbols inside the
+/// payload re-intern on import, and bucket hashes are recomputed in the
+/// importing process, so an export is valid across process boundaries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExportEntry {
+    /// A cached theorem proof (open-world or reprove-on-extend).
+    Theorem {
+        /// The proven statement.
+        statement: Prop,
+        /// The tactic script that proved it.
+        script: Vec<Tactic>,
+        /// For reprove-on-extend proofs: the constructor lists of every
+        /// inspected type at proof time (`None` for open-world proofs).
+        closed_world_key: Option<Vec<(Symbol, Vec<Symbol>)>>,
+        /// Overridable-definition snapshot key (process-stable).
+        okey: u64,
+    },
+    /// A cached induction-case proof.
+    Case {
+        /// The discharged sequent.
+        sequent: Sequent,
+        /// The tactic script that discharged it.
+        script: Vec<Tactic>,
+        /// Overridable-definition snapshot key (process-stable).
+        okey: u64,
+    },
 }
 
 fn hash_of(h: &impl Hash) -> u64 {
@@ -101,7 +137,10 @@ impl ProofCache {
         let h = hash_of(&(statement, script, okey));
         self.theorems.get(&h).is_some_and(|v| {
             v.iter().any(|e| {
-                e.statement == *statement && e.script == script && e.closed_world_key == *cw_key
+                e.okey == okey
+                    && e.statement == *statement
+                    && e.script == script
+                    && e.closed_world_key == *cw_key
             })
         })
     }
@@ -121,6 +160,7 @@ impl ProofCache {
             statement,
             script,
             closed_world_key: cw_key,
+            okey,
         });
     }
 
@@ -128,7 +168,7 @@ impl ProofCache {
         let h = hash_of(&(seq, script, okey));
         self.cases.get(&h).and_then(|v| {
             v.iter()
-                .find(|e| e.sequent == *seq && e.script == script)
+                .find(|e| e.okey == okey && e.sequent == *seq && e.script == script)
                 .map(|e| e.proof.clone())
         })
     }
@@ -142,7 +182,77 @@ impl ProofCache {
             sequent: seq,
             script,
             proof,
+            okey,
         });
+    }
+
+    /// Materializes every cached proof as a portable [`ExportEntry`]
+    /// (deterministic order: theorems then cases, each sorted by a stable
+    /// content criterion so exports of equal stores are byte-identical
+    /// after encoding).
+    fn export_entries(&self) -> Vec<ExportEntry> {
+        let mut out: Vec<ExportEntry> = Vec::with_capacity(self.len());
+        for v in self.theorems.values() {
+            for e in v {
+                out.push(ExportEntry::Theorem {
+                    statement: e.statement.clone(),
+                    script: e.script.clone(),
+                    closed_world_key: e.closed_world_key.clone(),
+                    okey: e.okey,
+                });
+            }
+        }
+        for v in self.cases.values() {
+            for e in v {
+                out.push(ExportEntry::Case {
+                    sequent: e.sequent.clone(),
+                    script: e.script.clone(),
+                    okey: e.okey,
+                });
+            }
+        }
+        out.sort_by_cached_key(|e| {
+            let mut h = crate::stable::Fnv64::new();
+            match e {
+                ExportEntry::Theorem {
+                    statement, okey, ..
+                } => {
+                    h.write_u8(0);
+                    h.write_u64(*okey);
+                    h.write_str(&format!("{statement}"));
+                }
+                ExportEntry::Case { sequent, okey, .. } => {
+                    h.write_u8(1);
+                    h.write_u64(*okey);
+                    h.write_str(&format!("{sequent}"));
+                }
+            }
+            h.finish()
+        });
+        out
+    }
+
+    /// Inserts one imported entry, re-bucketing under this process's
+    /// hashes. Case proofs are re-admitted as kernel evidence on the
+    /// strength of the snapshot's integrity check (see
+    /// [`objlang::proof::ProvedSequent::assume_checked`]).
+    fn import_entry(&mut self, entry: ExportEntry) {
+        match entry {
+            ExportEntry::Theorem {
+                statement,
+                script,
+                closed_world_key,
+                okey,
+            } => self.insert_theorem(statement, script, closed_world_key, okey),
+            ExportEntry::Case {
+                sequent,
+                script,
+                okey,
+            } => {
+                let proof = ProvedSequent::assume_checked(sequent.clone());
+                self.insert_case(sequent, script, proof, okey);
+            }
+        }
     }
 }
 
@@ -156,7 +266,8 @@ fn merge_buckets(into: &mut ProofCache, overlay: ProofCache) -> u64 {
         let bucket = into.theorems.entry(h).or_default();
         for e in v {
             let dup = bucket.iter().any(|b| {
-                b.statement == e.statement
+                b.okey == e.okey
+                    && b.statement == e.statement
                     && b.script == e.script
                     && b.closed_world_key == e.closed_world_key
             });
@@ -171,7 +282,7 @@ fn merge_buckets(into: &mut ProofCache, overlay: ProofCache) -> u64 {
         for e in v {
             let dup = bucket
                 .iter()
-                .any(|b| b.sequent == e.sequent && b.script == e.script);
+                .any(|b| b.okey == e.okey && b.sequent == e.sequent && b.script == e.script);
             if !dup {
                 bucket.push(e);
                 inserted += 1;
@@ -200,6 +311,38 @@ impl SessionStats {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A plain, fully-public snapshot of a session's observable state — the
+/// payload of the engine's `Stats` request and of monitoring endpoints.
+/// Unlike [`SessionStats`] (a counters-only view kept for compatibility),
+/// the snapshot also carries the store size, so `inserts == cached_proofs`
+/// invariants are checkable from one value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StatsSnapshot {
+    /// Lookups answered from the shared store or a transaction overlay.
+    pub hits: u64,
+    /// Lookups that forced a fresh proof run.
+    pub misses: u64,
+    /// Entries committed into the shared store by transactions (warm
+    /// imports are *not* counted: they represent proofs paid for by an
+    /// earlier process).
+    pub inserts: u64,
+    /// Proofs resident in the shared store right now (committed inserts
+    /// plus warm-imported entries).
+    pub cached_proofs: u64,
+}
+
+impl StatsSnapshot {
+    /// Hit ratio `hits / (hits + misses)`; 0 when no lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
         }
     }
 }
@@ -244,6 +387,48 @@ impl Session {
     /// Number of proofs currently in the shared store.
     pub fn cached_proofs(&self) -> usize {
         self.cache.read().expect("session cache poisoned").len()
+    }
+
+    /// One coherent snapshot of counters *and* store size (the counters
+    /// and the store are read under the store's read lock, so the values
+    /// are mutually consistent with respect to committed transactions).
+    pub fn snapshot_stats(&self) -> StatsSnapshot {
+        let cache = self.cache.read().expect("session cache poisoned");
+        StatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            cached_proofs: cache.len() as u64,
+        }
+    }
+
+    /// Exports every cached proof as portable [`ExportEntry`] records (the
+    /// logical snapshot; the engine's binary codec frames and checksums
+    /// them on disk). Deterministically ordered, so equal stores export
+    /// equal sequences.
+    pub fn export(&self) -> Vec<ExportEntry> {
+        self.cache
+            .read()
+            .expect("session cache poisoned")
+            .export_entries()
+    }
+
+    /// Imports previously exported entries into the shared store,
+    /// re-bucketing them under this process's hash seeds. Duplicates (and
+    /// entries already present) are skipped. Returns the number of proofs
+    /// actually admitted.
+    ///
+    /// Imports deliberately do **not** bump the `inserts` counter: a
+    /// warm-loaded proof was paid for by an earlier process, and the
+    /// warm-restart acceptance test pins `misses == 0 && inserts == 0`
+    /// after a fully warm rebuild.
+    pub fn import(&self, entries: impl IntoIterator<Item = ExportEntry>) -> usize {
+        let mut cache = self.cache.write().expect("session cache poisoned");
+        let before = cache.len();
+        for e in entries {
+            cache.import_entry(e);
+        }
+        cache.len() - before
     }
 }
 
@@ -444,6 +629,81 @@ mod tests {
             }
         });
         assert!(s.stats().cache_hits >= 4);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let s = Session::new();
+        let mut t = s.begin();
+        t.insert_theorem(p(9), vec![Tactic::Reflexivity], None, 42);
+        t.insert_theorem(
+            p(10),
+            vec![],
+            Some(vec![(Symbol::new("t"), vec![Symbol::new("t_one")])]),
+            7,
+        );
+        let seq = Sequent::closed(p(11));
+        t.insert_case(
+            seq.clone(),
+            vec![Tactic::Reflexivity],
+            ProvedSequent::assume_checked(seq.clone()),
+            3,
+        );
+        t.commit();
+
+        let entries = s.export();
+        assert_eq!(entries.len(), s.cached_proofs());
+
+        let s2 = Session::new();
+        assert_eq!(s2.import(entries.clone()), entries.len());
+        assert_eq!(s2.cached_proofs(), s.cached_proofs());
+        // Imports are not counted as inserts (they were paid for upstream).
+        assert_eq!(s2.stats().cache_inserts, 0);
+        // Idempotent: re-importing admits nothing new.
+        assert_eq!(s2.import(entries), 0);
+
+        let mut t2 = s2.begin();
+        assert!(t2.lookup_theorem(&p(9), &[Tactic::Reflexivity], &None, 42));
+        assert!(
+            !t2.lookup_theorem(&p(9), &[Tactic::Reflexivity], &None, 43),
+            "okey still partitions imported entries"
+        );
+        assert!(t2.lookup_theorem(
+            &p(10),
+            &[],
+            &Some(vec![(Symbol::new("t"), vec![Symbol::new("t_one")])]),
+            7,
+        ));
+        assert!(t2.lookup_case(&seq, &[Tactic::Reflexivity], 3).is_some());
+        t2.commit();
+    }
+
+    #[test]
+    fn export_order_is_deterministic() {
+        let build = || {
+            let s = Session::new();
+            let mut t = s.begin();
+            for i in 0..32 {
+                t.insert_theorem(p(i), vec![], None, i);
+            }
+            t.commit();
+            s.export()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn snapshot_stats_mirrors_counters_and_store() {
+        let s = Session::new();
+        let mut t = s.begin();
+        assert!(!t.lookup_theorem(&p(20), &[], &None, 0));
+        t.insert_theorem(p(20), vec![], None, 0);
+        t.commit();
+        let snap = s.snapshot_stats();
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.inserts, 1);
+        assert_eq!(snap.cached_proofs, 1);
+        assert_eq!(snap.hit_ratio(), 0.0);
     }
 
     #[test]

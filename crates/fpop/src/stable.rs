@@ -1,0 +1,231 @@
+//! Process-independent content hashing for cache keys.
+//!
+//! [`objlang::ident::Symbol`] is an interned handle: its derived `Hash`
+//! covers the interner id, which depends on interning *order* and therefore
+//! on the process. That is fine for in-memory `HashMap` buckets (they never
+//! leave the process) but fatal for anything persisted: the `fpopd` engine
+//! snapshots the session's proof store to disk and warm-loads it in a fresh
+//! process, where the same name may carry a different id.
+//!
+//! This module provides a tiny, dependency-free, *stable* hasher (FNV-1a,
+//! 64-bit) plus structural hashing over the syntax types that appear in
+//! cache keys. The invariant: two values that render to the same strings
+//! hash identically in every process, on every platform, forever (the hash
+//! is part of the snapshot format, versioned by the engine codec).
+//!
+//! The elaborator keys proofs on the overridable-definition snapshot
+//! (`okey`, see [`crate::elab`]) computed here, so a proof discharged by
+//! one engine process is a cache hit in the next — the warm-restart
+//! guarantee the engine's acceptance test asserts.
+
+use objlang::ident::Symbol;
+use objlang::syntax::{Sort, Term};
+
+/// A 64-bit FNV-1a hasher. Stable across processes and platforms; not
+/// cryptographic — integrity (not authenticity) is the goal, and the
+/// engine snapshot adds its own end-to-end checksum.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x00000100000001b3;
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one byte (used as a structural tag).
+    pub fn write_u8(&mut self, b: u8) {
+        self.write(&[b]);
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a length (prefix for variable-size payloads, preventing
+    /// concatenation ambiguity).
+    pub fn write_len(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    /// Absorbs a string with a length prefix.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_len(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Structural, process-independent hashing. Implementations must hash the
+/// *rendered content* of a value (strings, not interner ids) and tag every
+/// variant so distinct shapes cannot collide by concatenation.
+pub trait StableHash {
+    /// Absorbs `self` into the hasher.
+    fn stable_hash(&self, h: &mut Fnv64);
+}
+
+impl StableHash for Symbol {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        h.write_str(self.as_str());
+    }
+}
+
+impl StableHash for Sort {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        match self {
+            Sort::Named(s) => {
+                h.write_u8(0);
+                s.stable_hash(h);
+            }
+            Sort::Id => h.write_u8(1),
+        }
+    }
+}
+
+impl StableHash for Term {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        match self {
+            Term::Var(s) => {
+                h.write_u8(0);
+                s.stable_hash(h);
+            }
+            Term::Ctor(c, args) => {
+                h.write_u8(1);
+                c.stable_hash(h);
+                args.stable_hash(h);
+            }
+            Term::Fn(f, args) => {
+                h.write_u8(2);
+                f.stable_hash(h);
+                args.stable_hash(h);
+            }
+            Term::Lit(s) => {
+                h.write_u8(3);
+                s.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Vec<T> {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        h.write_len(self.len());
+        for x in self {
+            x.stable_hash(h);
+        }
+    }
+}
+
+impl<A: StableHash, B: StableHash> StableHash for (A, B) {
+    fn stable_hash(&self, h: &mut Fnv64) {
+        self.0.stable_hash(h);
+        self.1.stable_hash(h);
+    }
+}
+
+/// Stable hash of one value.
+pub fn stable_hash_of<T: StableHash>(v: &T) -> u64 {
+    let mut h = Fnv64::new();
+    v.stable_hash(&mut h);
+    h.finish()
+}
+
+/// Stable hash of a string (used by the engine for request deduplication
+/// keys over vernacular source text).
+pub fn stable_hash_str(s: &str) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(s);
+    h.finish()
+}
+
+/// The overridable-definition snapshot key: a stable hash over the
+/// `(name, body)` pairs of every overridable definition in scope. The
+/// elaborator mixes this into every proof-cache key, so a proof is reused
+/// only under the same late-bound bodies — in this process or any later
+/// one warm-loading the session snapshot.
+pub fn stable_odef_hash(key: &[(Symbol, Term)]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_len(key.len());
+    for (name, body) in key {
+        name.stable_hash(&mut h);
+        body.stable_hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_content_based_not_id_based() {
+        // Interning order must not matter: construct symbols in two
+        // different orders and observe identical structural hashes.
+        let t1 = Term::ctor("stable_a", vec![Term::var("stable_b")]);
+        let t2 = Term::ctor("stable_a", vec![Term::var("stable_b")]);
+        assert_eq!(stable_hash_of(&t1), stable_hash_of(&t2));
+        let t3 = Term::ctor("stable_b", vec![Term::var("stable_a")]);
+        assert_ne!(stable_hash_of(&t1), stable_hash_of(&t3));
+    }
+
+    #[test]
+    fn variant_tags_disambiguate() {
+        // `Ctor` vs `Fn` with identical payloads must differ.
+        let c = Term::ctor("f", vec![]);
+        let f = Term::func("f", vec![]);
+        assert_ne!(stable_hash_of(&c), stable_hash_of(&f));
+        // Var vs Lit likewise.
+        assert_ne!(
+            stable_hash_of(&Term::var("x")),
+            stable_hash_of(&Term::lit("x"))
+        );
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_ambiguity() {
+        let a = vec![Term::var("ab"), Term::var("c")];
+        let b = vec![Term::var("a"), Term::var("bc")];
+        assert_ne!(stable_hash_of(&a), stable_hash_of(&b));
+    }
+
+    #[test]
+    fn odef_hash_golden_value_is_frozen() {
+        // The okey participates in the on-disk snapshot format: if this
+        // golden value ever changes, bump the engine snapshot version.
+        // FNV-1a over: len=1, "subst" (len-prefixed), tag 1 (Ctor),
+        // "tm_unit" (len-prefixed), arg-len 0.
+        let key = vec![(Symbol::new("subst"), Term::c0("tm_unit"))];
+        assert_eq!(stable_odef_hash(&key), 0x929fa2627fa1cfd0);
+        assert_ne!(stable_odef_hash(&key), stable_odef_hash(&[]));
+    }
+
+    #[test]
+    fn str_hash_matches_len_prefixed_write() {
+        let mut h = Fnv64::new();
+        h.write_str("hello");
+        assert_eq!(stable_hash_str("hello"), h.finish());
+        assert_ne!(stable_hash_str("hello"), stable_hash_str("hell"));
+    }
+}

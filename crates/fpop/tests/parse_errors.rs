@@ -1,0 +1,115 @@
+//! Satellite: vernacular error paths. Every malformed program must come
+//! back as `Err` — naming the offending construct where one exists — and
+//! never panic. These are the inputs the `fpopd` line protocol forwards
+//! verbatim from untrusted clients, so the parser's totality is part of
+//! the engine's service contract.
+
+use fpop::parse::{parse_program, run_program};
+
+#[test]
+fn unterminated_family_is_an_error() {
+    // Missing `End Peano.` entirely.
+    let err =
+        parse_program("Family Peano.\n  FInductive num := n_zero | n_succ(num).\n").unwrap_err();
+    assert!(!err.to_string().is_empty());
+
+    // `End` naming the wrong family reports both names.
+    let err = parse_program("Family Peano. End Banana.").unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("Peano") || msg.contains("Banana"),
+        "error should name the family: {msg}"
+    );
+}
+
+#[test]
+fn unterminated_comment_is_an_error() {
+    let err = parse_program("(* this comment never closes").unwrap_err();
+    assert!(err.to_string().contains("unterminated comment"));
+}
+
+#[test]
+fn duplicate_field_is_an_error_naming_the_field() {
+    // Same datatype declared twice with `:=` in one family.
+    let src = "Family F.\n\
+               FInductive num := n_zero.\n\
+               FInductive num := n_one.\n\
+               End F.";
+    let err = run_program(src).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("num"), "error should name the field: {msg}");
+}
+
+#[test]
+fn duplicate_theorem_is_an_error_naming_the_field() {
+    let src = "Family F.\n\
+               FInductive num := n_zero.\n\
+               FTheorem triv : True. Proof. trivial. Qed.\n\
+               FTheorem triv : True. Proof. trivial. Qed.\n\
+               End F.";
+    let err = run_program(src).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("triv"), "error should name the theorem: {msg}");
+}
+
+#[test]
+fn unknown_tactic_is_an_error_naming_the_tactic() {
+    let src = "Family F.\n\
+               FTheorem t : True. Proof. frobnicate. Qed.\n\
+               End F.";
+    let err = parse_program(src).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("unknown tactic") && msg.contains("frobnicate"),
+        "got: {msg}"
+    );
+}
+
+#[test]
+fn stray_operators_are_errors() {
+    assert!(parse_program("Family F. + End F.").is_err());
+    assert!(parse_program("Family F. - End F.").is_err());
+}
+
+#[test]
+fn extension_of_unknown_family_is_an_error() {
+    let src = "Family G extends Nowhere. End G.";
+    let err = run_program(src).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("Nowhere"), "error should name the base: {msg}");
+}
+
+#[test]
+fn failing_proof_is_an_error_not_a_panic() {
+    // `fdiscriminate` on a hypothesis that does not exist.
+    let src = "Family F.\n\
+               FInductive num := n_zero | n_one.\n\
+               FTheorem bogus : n_zero = n_zero -> False.\n\
+               Proof. intro H. fdiscriminate H. Qed.\n\
+               End F.";
+    let err = run_program(src).unwrap_err();
+    assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn garbage_inputs_never_panic() {
+    for src in [
+        "",
+        ".",
+        "End.",
+        "Family",
+        "Family .",
+        "FInductive num := n.",
+        "Check nothing",
+        "Check a.b extra",
+        "Family F. FInductive := x. End F.",
+        "Family F. FRecursion f on num := End f. End F.",
+        "Family F. FTheorem t : . Proof. Qed. End F.",
+        "\"unterminated string",
+        "Family F. (* nested (* comment *) End F.",
+    ] {
+        // Parse errors are fine; panics are not. run_program also covers
+        // the resolve + elaborate stages for inputs that parse.
+        let _ = run_program(src);
+    }
+}

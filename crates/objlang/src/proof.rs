@@ -135,6 +135,24 @@ impl ProvedSequent {
     pub fn sequent(&self) -> &Sequent {
         &self.seq
     }
+
+    /// Re-admits a sequent as kernel evidence **without** replaying its
+    /// proof. This is the explicit trust boundary of persistent proof
+    /// caching: the `fpopd` engine serializes proved sequents to an
+    /// integrity-checksummed snapshot and warm-loads them in a later
+    /// process, where the original `ProofState` evidence cannot exist.
+    ///
+    /// Soundness rests on two facts: (1) snapshot entries can only be
+    /// produced by exporting a store whose entries all came through
+    /// [`ProofState::qed_sequent`] in some earlier process, and (2) the
+    /// codec rejects any snapshot whose trailing content hash does not
+    /// match, so a tampered or truncated file degrades to a cold cache
+    /// instead of smuggling in fake evidence. Callers outside a snapshot
+    /// loader should never use this; it is the moral equivalent of Coq's
+    /// `.vo` file trust.
+    pub fn assume_checked(seq: Sequent) -> ProvedSequent {
+        ProvedSequent { seq }
+    }
 }
 
 /// An in-progress proof: a stack of goals over a fixed signature.

@@ -1,0 +1,53 @@
+//! Satellite: `examples/peano.fpop` must parse, resolve, and elaborate
+//! end-to-end through the vernacular front end — the same file the README
+//! quickstart and the engine demo feed to `CheckSource`.
+
+use std::path::PathBuf;
+
+use fpop::parse::{parse_program, run_program};
+
+fn peano_source() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join("peano.fpop");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+#[test]
+fn peano_example_parses() {
+    let program = parse_program(&peano_source()).expect("peano.fpop parses");
+    assert_eq!(program.families.len(), 2, "Peano and PeanoMul");
+    assert_eq!(program.families[0].name.as_str(), "Peano");
+    assert_eq!(program.families[1].name.as_str(), "PeanoMul");
+    assert_eq!(program.checks.len(), 2, "two Check commands");
+}
+
+#[test]
+fn peano_example_elaborates_end_to_end() {
+    let (universe, outputs) = run_program(&peano_source()).expect("peano.fpop elaborates");
+
+    // Both families compiled; the derived one inherits both theorems.
+    let base = universe.family("Peano").expect("Peano compiled");
+    let derived = universe.family("PeanoMul").expect("PeanoMul compiled");
+    assert_eq!(base.theorems.len(), 2);
+    assert_eq!(derived.theorems.len(), 2, "theorems inherit into PeanoMul");
+    assert!(base.assumptions.is_empty(), "no admitted proofs");
+    assert!(derived.assumptions.is_empty(), "inheritance re-discharges");
+
+    // The Check outputs print the *derived* family's qualified statements.
+    assert_eq!(outputs.len(), 2);
+    assert!(
+        outputs[0].contains("PeanoMul.flip_two"),
+        "got: {}",
+        outputs[0]
+    );
+    assert!(
+        outputs[1].contains("PeanoMul.zero_neq_one") && outputs[1].contains("False"),
+        "got: {}",
+        outputs[1]
+    );
+
+    // The derived flip handles the new constructor: its ledger actually
+    // re-checked something (the extended recursion) while sharing the rest.
+    assert!(derived.ledger.checked_count() > 0);
+}
