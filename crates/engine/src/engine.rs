@@ -8,7 +8,13 @@
 //! bounded priority queue. [`Engine::submit`] enqueues a request and
 //! returns a [`Ticket`]; identical in-flight requests (by stable content
 //! hash) coalesce onto one ticket state, so concurrent clients asking for
-//! the same lattice trigger exactly one elaboration.
+//! the same lattice trigger exactly one elaboration. Coalescing only
+//! latches onto a job whose deadline is at least as late as the new
+//! request's — a tighter in-flight deadline would surface a
+//! `DeadlineExpired` the new client never asked for — and if the
+//! registering submission is itself rejected by backpressure, the
+//! rejection is published to every ticket that coalesced onto it in the
+//! meantime (no lost wakeups).
 //! [`Engine::shutdown`] closes the queue, lets the workers **drain**
 //! every accepted job, joins them, and writes the snapshot — so the next
 //! process start replays zero kernel work.
@@ -20,7 +26,16 @@
 //! elaboration starts. A job that is already executing runs to completion
 //! (elaboration is not preemptible — the kernel holds no poll points),
 //! which keeps the session's commit discipline trivial: a transaction
-//! either never starts or commits atomically.
+//! either never starts or commits atomically. [`Ticket::cancel`] is
+//! additionally ignored while several tickets share one job via dedup:
+//! cancelling your handle must not yank the result from other waiters.
+//!
+//! ## Panic containment
+//!
+//! A panic during elaboration is caught at the worker loop
+//! (`catch_unwind`), published to the job's (possibly coalesced) waiters
+//! as [`EngineError::Failed`], and the worker keeps serving — a poisoned
+//! request can neither hang its tickets nor shrink the pool.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -115,6 +130,10 @@ struct JobState {
     done: Condvar,
     cancelled: AtomicBool,
     deadline: Option<Instant>,
+    /// Tickets sharing this state: the original submitter plus every
+    /// dedup-coalesced client. [`Ticket::cancel`] is honoured only while
+    /// this is exactly 1 (see the module docs).
+    waiters: AtomicU64,
 }
 
 impl JobState {
@@ -124,6 +143,7 @@ impl JobState {
             done: Condvar::new(),
             cancelled: AtomicBool::new(false),
             deadline,
+            waiters: AtomicU64::new(1),
         }
     }
 
@@ -146,8 +166,11 @@ impl Ticket {
     /// # Errors
     ///
     /// Whatever the job produced: [`EngineError::Failed`] for elaboration
-    /// errors, [`EngineError::DeadlineExpired`] / [`EngineError::Cancelled`]
-    /// for admission-time drops.
+    /// errors (including contained worker panics),
+    /// [`EngineError::DeadlineExpired`] / [`EngineError::Cancelled`] for
+    /// admission-time drops, and [`EngineError::Rejected`] /
+    /// [`EngineError::ShuttingDown`] if this ticket coalesced onto a
+    /// submission that backpressure then refused to enqueue.
     pub fn wait(&self) -> JobResult {
         let mut slot = self.state.slot.lock().expect("job slot poisoned");
         loop {
@@ -185,10 +208,21 @@ impl Ticket {
         self.state.slot.lock().expect("job slot poisoned").is_some()
     }
 
-    /// Requests cancellation. Best-effort: takes effect only if a worker
-    /// has not yet started the job (see module docs).
-    pub fn cancel(&self) {
+    /// Requests cancellation; returns whether the request was recorded.
+    ///
+    /// Best-effort on two axes: it takes effect only if a worker has not
+    /// yet started the job (see module docs), and it is **ignored while
+    /// other clients share the job** through in-flight dedup — cancelling
+    /// your handle must not yank a result other waiters still want. (A
+    /// dedup hit racing this check may still coalesce onto a
+    /// just-cancelled job; it then observes `Cancelled`, the same as any
+    /// waiter of a cancelled job.)
+    pub fn cancel(&self) -> bool {
+        if self.state.waiters.load(Ordering::SeqCst) != 1 {
+            return false;
+        }
         self.state.cancelled.store(true, Ordering::Relaxed);
+        true
     }
 }
 
@@ -209,6 +243,10 @@ struct Shared {
     theorems: Mutex<HashMap<(String, String), String>>,
     /// Cumulative ledger absorbed over every request this engine served.
     ledger: Mutex<CheckLedger>,
+    /// Test-only fault injection: `execute` panics when a `CheckSource`
+    /// body equals this marker (exercises worker panic containment).
+    #[cfg(test)]
+    panic_marker: Mutex<Option<String>>,
 }
 
 impl Shared {
@@ -239,6 +277,13 @@ impl Shared {
     }
 
     fn execute(&self, request: Request) -> JobResult {
+        #[cfg(test)]
+        if let Request::CheckSource { source } = &request {
+            let marker = self.panic_marker.lock().expect("panic marker poisoned");
+            if marker.as_deref() == Some(source.as_str()) {
+                panic!("injected test panic");
+            }
+        }
         match request {
             Request::CheckSource { source } => {
                 let (u, outputs) =
@@ -293,6 +338,17 @@ impl Shared {
     }
 }
 
+/// Best-effort rendering of a `catch_unwind` payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
 fn worker_loop(shared: Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         let result = if job.state.cancelled.load(Ordering::Relaxed) {
@@ -302,7 +358,20 @@ fn worker_loop(shared: Arc<Shared>) {
             Metrics::bump(&shared.metrics.expired);
             Err(EngineError::DeadlineExpired)
         } else {
-            let r = shared.execute(job.request);
+            // Contain panics: an elaboration panic must neither kill this
+            // worker (silently shrinking the pool for the engine's
+            // lifetime) nor skip the publish below (hanging every ticket
+            // waiting on this job).
+            let request = job.request;
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                shared.execute(request)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(EngineError::Failed(format!(
+                    "worker panicked: {}",
+                    panic_message(payload.as_ref())
+                )))
+            });
             Metrics::bump(match &r {
                 Ok(_) => &shared.metrics.completed,
                 Err(_) => &shared.metrics.failed,
@@ -323,6 +392,19 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         }
         job.state.publish(result);
+    }
+}
+
+/// Whether an in-flight job's deadline `existing` is at least as generous
+/// as a new request's `wanted` (`None` = no deadline, which covers
+/// everything). Dedup only coalesces when this holds: latching a client
+/// onto a job that expires *earlier* than the client allowed would
+/// surface a `DeadlineExpired` the client never asked for.
+fn deadline_covers(existing: Option<Instant>, wanted: Option<Instant>) -> bool {
+    match (existing, wanted) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(e), Some(w)) => e >= w,
     }
 }
 
@@ -357,6 +439,18 @@ impl Engine {
     /// [`Engine::start`] against a caller-provided session (tests use
     /// this to pre-seed or share the session).
     pub fn start_with_session(config: EngineConfig, session: Arc<Session>) -> Engine {
+        Engine::boot(config, session, true)
+    }
+
+    /// An engine with no worker threads: jobs queue but never execute.
+    /// Unit tests use this to pin scheduling/dedup behavior without
+    /// racing a consumer.
+    #[cfg(test)]
+    fn start_inert(config: EngineConfig) -> Engine {
+        Engine::boot(config, Session::new(), false)
+    }
+
+    fn boot(config: EngineConfig, session: Arc<Session>, spawn_workers: bool) -> Engine {
         let mut warm = WarmStart::default();
         if let Some(path) = &config.snapshot_path {
             if path.exists() {
@@ -378,8 +472,15 @@ impl Engine {
             metrics: Metrics::default(),
             theorems: Mutex::new(HashMap::new()),
             ledger: Mutex::new(CheckLedger::new()),
+            #[cfg(test)]
+            panic_marker: Mutex::new(None),
         });
-        let workers = (0..config.workers.max(1))
+        let worker_count = if spawn_workers {
+            config.workers.max(1)
+        } else {
+            0
+        };
+        let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -423,6 +524,16 @@ impl Engine {
         self.shared.metrics_snapshot()
     }
 
+    /// Number of dedup-registered in-flight jobs (test observability).
+    #[cfg(test)]
+    fn inflight_len(&self) -> usize {
+        self.shared
+            .inflight
+            .lock()
+            .expect("inflight map poisoned")
+            .len()
+    }
+
     /// Copy of the cumulative ledger absorbed over every served request.
     pub fn lifetime_ledger(&self) -> CheckLedger {
         self.shared
@@ -456,13 +567,22 @@ impl Engine {
         let state = Arc::new(JobState::new(deadline));
         if let Some(key) = dedup_key {
             let mut inflight = self.shared.inflight.lock().expect("inflight map poisoned");
-            if let Some(existing) = inflight.get(&key) {
-                Metrics::bump(&self.shared.metrics.dedup_hits);
-                return Ok(Ticket {
-                    state: Arc::clone(existing),
-                });
+            match inflight.get(&key) {
+                // Coalesce only onto a job whose deadline covers ours.
+                Some(existing) if deadline_covers(existing.deadline, deadline) => {
+                    existing.waiters.fetch_add(1, Ordering::SeqCst);
+                    Metrics::bump(&self.shared.metrics.dedup_hits);
+                    return Ok(Ticket {
+                        state: Arc::clone(existing),
+                    });
+                }
+                // Nothing in flight, or its deadline is tighter than this
+                // request tolerates: schedule fresh work and make *this*
+                // job the coalescing target (it has the later deadline).
+                _ => {
+                    inflight.insert(key, Arc::clone(&state));
+                }
             }
-            inflight.insert(key, Arc::clone(&state));
         }
         let job = Job {
             request,
@@ -487,13 +607,21 @@ impl Engine {
                         }
                     }
                 }
-                Err(match push_err {
+                let err = match push_err {
                     crate::queue::PushError::Full(_) => {
                         Metrics::bump(&self.shared.metrics.rejected);
                         EngineError::Rejected
                     }
                     crate::queue::PushError::Closed(_) => EngineError::ShuttingDown,
-                })
+                };
+                // The job was registered in `inflight` *before* the push
+                // (so identical submissions could coalesce while the push
+                // blocked on a full queue). Any ticket handed out that way
+                // still points at `state`; publish the rejection so those
+                // waiters wake instead of blocking forever on a job no
+                // worker will ever see.
+                state.publish(Err(err.clone()));
+                Err(err)
             }
         }
     }
@@ -558,5 +686,133 @@ impl Engine {
 impl Drop for Engine {
     fn drop(&mut self) {
         let _ = self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inert(queue_capacity: usize, submit_timeout: Duration) -> Engine {
+        Engine::start_inert(EngineConfig {
+            workers: 1, // ignored: inert engines spawn no workers
+            queue_capacity,
+            submit_timeout,
+            default_deadline: None,
+            snapshot_path: None,
+        })
+    }
+
+    fn check(src: &str) -> Request {
+        Request::CheckSource {
+            source: src.to_string(),
+        }
+    }
+
+    /// REVIEW regression (high): a submission registers in `inflight`
+    /// before pushing, so identical submissions can coalesce while the
+    /// push blocks on a full queue. If the push is then rejected, the
+    /// coalesced tickets must wake with the rejection — not hang forever
+    /// on a job no worker will ever see.
+    #[test]
+    fn rejected_push_wakes_coalesced_waiters() {
+        let e = inert(1, Duration::from_millis(600));
+        // Fill the capacity-1 queue (inert: nothing ever pops it).
+        let _filler = e.submit(check("filler")).unwrap();
+        assert_eq!(e.inflight_len(), 1);
+        std::thread::scope(|s| {
+            let observer = s.spawn(|| {
+                // Wait for the main thread to register "shared", then
+                // coalesce onto it while its push is still blocking.
+                while e.inflight_len() < 2 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let t = e.submit(check("shared")).expect("dedup hit returns a ticket");
+                t.wait_timeout(Duration::from_secs(30))
+                    .expect("coalesced ticket must wake when the push is rejected")
+            });
+            // Registers in-flight, blocks in push, then gets rejected.
+            let direct = e.submit(check("shared"));
+            assert!(matches!(direct, Err(EngineError::Rejected)));
+            let coalesced = observer.join().unwrap();
+            assert!(
+                matches!(coalesced, Err(EngineError::Rejected)),
+                "coalesced ticket must see the rejection, got {coalesced:?}"
+            );
+        });
+        let m = e.metrics();
+        assert_eq!(m.dedup_hits, 1);
+        assert_eq!(m.rejected, 1);
+        assert_eq!(e.inflight_len(), 1, "only the filler survives");
+    }
+
+    /// REVIEW regression (medium): cancelling one ticket of a coalesced
+    /// job must not cancel the job for the other waiters.
+    #[test]
+    fn cancel_is_ignored_while_tickets_share_a_job() {
+        let e = inert(8, Duration::ZERO);
+        let t1 = e.submit(check("shared job")).unwrap();
+        let t2 = e.submit(check("shared job")).unwrap(); // coalesced
+        assert_eq!(e.metrics().dedup_hits, 1);
+        assert!(!t2.cancel(), "a coalesced ticket must not cancel for everyone");
+        assert!(!t1.cancel(), "nor may the original submitter");
+        let solo = e.submit(check("solo job")).unwrap();
+        assert!(solo.cancel(), "a single-waiter cancel is recorded");
+    }
+
+    /// REVIEW regression (medium): a submission must not latch onto an
+    /// in-flight job whose deadline is tighter than its own — it would
+    /// inherit a `DeadlineExpired` it never asked for.
+    #[test]
+    fn dedup_skips_jobs_with_tighter_deadlines() {
+        let e = inert(8, Duration::ZERO);
+        let _short = e
+            .submit_with(check("d"), Priority::Normal, Some(Duration::from_millis(50)))
+            .unwrap();
+        // A later deadline must not coalesce onto the 50 ms job…
+        let _long = e
+            .submit_with(check("d"), Priority::Normal, Some(Duration::from_secs(3600)))
+            .unwrap();
+        assert_eq!(e.metrics().dedup_hits, 0);
+        assert_eq!(e.metrics().submitted, 2);
+        // …and neither must a request with no deadline at all.
+        let _none = e.submit_with(check("d"), Priority::Normal, None).unwrap();
+        assert_eq!(e.metrics().dedup_hits, 0);
+        assert_eq!(e.metrics().submitted, 3);
+        // A tighter-or-equal deadline does coalesce (onto the
+        // deadline-free job, now the registered coalescing target).
+        let _tight = e
+            .submit_with(check("d"), Priority::Normal, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(e.metrics().dedup_hits, 1);
+        assert_eq!(e.metrics().submitted, 3);
+    }
+
+    /// REVIEW regression (medium): a panic during elaboration is caught,
+    /// published as `Failed`, and the worker keeps serving.
+    #[test]
+    fn worker_panic_is_contained_and_published() {
+        let e = Engine::start(EngineConfig {
+            workers: 1,
+            snapshot_path: None,
+            ..EngineConfig::default()
+        });
+        e.shared
+            .panic_marker
+            .lock()
+            .unwrap()
+            .replace("boom".to_string());
+        match e.run(check("boom")) {
+            Err(EngineError::Failed(msg)) => {
+                assert!(msg.contains("panicked"), "got: {msg}");
+                assert!(msg.contains("injected test panic"), "got: {msg}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(e.metrics().failed, 1);
+        // The sole worker survived the panic and still serves requests.
+        assert!(e.run(Request::Stats).is_ok());
+        assert_eq!(e.inflight_len(), 0, "the panicked job was retired");
+        e.shutdown().unwrap();
     }
 }

@@ -26,10 +26,17 @@
 //! mismatch, trailing garbage — returns a descriptive [`SnapshotError`]
 //! and never panics. The engine treats any error as "cold start": it logs
 //! the reason and proceeds with an empty cache, which is always sound
-//! (the cache is an accelerator, not a source of truth — except that
-//! imported case proofs are trusted evidence, which is exactly why the
-//! checksum gate is load-bearing; see
-//! [`objlang::proof::ProvedSequent::assume_checked`]).
+//! (the cache is an accelerator, not a source of truth).
+//!
+//! ## Trust model
+//!
+//! Imported case proofs are admitted as kernel evidence without replay,
+//! so a snapshot file is trusted the way a compiled Coq `.vo` file is
+//! trusted. The trailing FNV-1a checksum guards against *accidental*
+//! corruption (truncation, bit rot) only — it is not a MAC: anyone who
+//! can write the file can forge entries and recompute it. Keep snapshots
+//! under the same filesystem trust as the `fpopd` binary; see
+//! [`objlang::proof::ProvedSequent::assume_checked`].
 
 use std::fmt;
 use std::fs;

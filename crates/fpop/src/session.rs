@@ -187,8 +187,10 @@ impl ProofCache {
     }
 
     /// Materializes every cached proof as a portable [`ExportEntry`]
-    /// (deterministic order: theorems then cases, each sorted by a stable
-    /// content criterion so exports of equal stores are byte-identical
+    /// (deterministic order: theorems then cases, each sorted by a
+    /// process-stable rendering of its *full* content — statement or
+    /// sequent, script, closed-world key, okey — so the order is total
+    /// on entry content and exports of equal stores are byte-identical
     /// after encoding).
     fn export_entries(&self) -> Vec<ExportEntry> {
         let mut out: Vec<ExportEntry> = Vec::with_capacity(self.len());
@@ -211,23 +213,29 @@ impl ProofCache {
                 });
             }
         }
-        out.sort_by_cached_key(|e| {
-            let mut h = crate::stable::Fnv64::new();
-            match e {
-                ExportEntry::Theorem {
-                    statement, okey, ..
-                } => {
-                    h.write_u8(0);
-                    h.write_u64(*okey);
-                    h.write_str(&format!("{statement}"));
-                }
-                ExportEntry::Case { sequent, okey, .. } => {
-                    h.write_u8(1);
-                    h.write_u64(*okey);
-                    h.write_str(&format!("{sequent}"));
-                }
-            }
-            h.finish()
+        // The key must be *total on entry content* (not a hash of part of
+        // it): two distinct entries tying on the key would keep HashMap
+        // iteration order, which varies across processes and would break
+        // the byte-identical-export guarantee. Debug renderings are
+        // process-stable here — `Symbol`'s Debug prints the interned
+        // string, never the id — and injective on the payload, so the
+        // (tag, okey, rendering) triple orders every distinct entry.
+        out.sort_by_cached_key(|e| match e {
+            ExportEntry::Theorem {
+                statement,
+                script,
+                closed_world_key,
+                okey,
+            } => (
+                0u8,
+                *okey,
+                format!("{statement:?} {script:?} {closed_world_key:?}"),
+            ),
+            ExportEntry::Case {
+                sequent,
+                script,
+                okey,
+            } => (1u8, *okey, format!("{sequent:?} {script:?}")),
         });
         out
     }
@@ -690,6 +698,35 @@ mod tests {
             s.export()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn export_order_is_total_on_script_and_cw_key() {
+        // REVIEW regression: entries that tie on (okey, statement) must
+        // still order deterministically — the sort key has to cover the
+        // script and the closed-world key too, or ties fall back to
+        // HashMap iteration order (random per map instance).
+        let build = || {
+            let s = Session::new();
+            let mut t = s.begin();
+            for i in 0..16u32 {
+                // Same statement, same okey; only the script differs.
+                t.insert_theorem(p(0), vec![Tactic::IntroAs(format!("h{i}"))], None, 0);
+                // Same statement, script and okey; only the closed-world
+                // key differs.
+                t.insert_theorem(
+                    p(0),
+                    vec![],
+                    Some(vec![(Symbol::new(&format!("ty{i}")), vec![])]),
+                    0,
+                );
+            }
+            t.commit();
+            s.export()
+        };
+        let a = build();
+        assert_eq!(a.len(), 32);
+        assert_eq!(a, build());
     }
 
     #[test]

@@ -138,18 +138,21 @@ impl ProvedSequent {
 
     /// Re-admits a sequent as kernel evidence **without** replaying its
     /// proof. This is the explicit trust boundary of persistent proof
-    /// caching: the `fpopd` engine serializes proved sequents to an
-    /// integrity-checksummed snapshot and warm-loads them in a later
-    /// process, where the original `ProofState` evidence cannot exist.
+    /// caching: the `fpopd` engine serializes proved sequents to a
+    /// checksummed snapshot and warm-loads them in a later process,
+    /// where the original `ProofState` evidence cannot exist.
     ///
-    /// Soundness rests on two facts: (1) snapshot entries can only be
-    /// produced by exporting a store whose entries all came through
-    /// [`ProofState::qed_sequent`] in some earlier process, and (2) the
-    /// codec rejects any snapshot whose trailing content hash does not
-    /// match, so a tampered or truncated file degrades to a cold cache
-    /// instead of smuggling in fake evidence. Callers outside a snapshot
-    /// loader should never use this; it is the moral equivalent of Coq's
-    /// `.vo` file trust.
+    /// **Trust model.** A snapshot file is trusted the way a compiled
+    /// Coq `.vo` file is trusted: whoever can write it can assert
+    /// arbitrary sequents, and loading admits them as evidence without
+    /// replay. The snapshot's trailing FNV-1a hash detects *accidental*
+    /// corruption (truncation, bit rot) — it is not a MAC and provides
+    /// no protection against deliberate tampering, since anyone who can
+    /// rewrite the file can recompute the hash. Store snapshots with the
+    /// same filesystem trust as the `fpopd` binary itself; if a
+    /// snapshot's provenance is unknown, delete it and pay the cold
+    /// start (re-elaboration from source). Callers outside a snapshot
+    /// loader should never use this constructor.
     pub fn assume_checked(seq: Sequent) -> ProvedSequent {
         ProvedSequent { seq }
     }
