@@ -3,6 +3,14 @@
 //! cache, over a mixed stream of `CheckSource` and `BuildLattice`
 //! requests. Prints the req/sec series up front, then registers the
 //! Criterion timings per worker count.
+//!
+//! Also prints the **tracing-overhead** series (spans gated vs the ring
+//! collector actively recording, on the warm full-lattice build — the
+//! same comparison as `cargo run --release --example trace_overhead`)
+//! and registers Criterion timings for both modes; EXPERIMENTS.md
+//! records the deltas. The fourth mode (spans compiled out via the
+//! `trace/off` feature) needs a separate build:
+//! `cargo bench --features off --bench engine_throughput`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use engine::{Engine, EngineConfig, Request};
@@ -67,7 +75,10 @@ fn report() {
     run_batch(&seed, &reqs);
     seed.shutdown().unwrap();
 
-    eprintln!("\n== ENGINE-tput: fpopd request throughput (batch of {}) ==", reqs.len());
+    eprintln!(
+        "\n== ENGINE-tput: fpopd request throughput (batch of {}) ==",
+        reqs.len()
+    );
     eprintln!("{:>8} {:>14} {:>14}", "workers", "cold req/s", "warm req/s");
     for workers in [1usize, 2, 4, 8] {
         // Cold: fresh session, no snapshot.
@@ -93,8 +104,45 @@ fn report() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Median wall time of `rounds` warm full-lattice builds on `e`.
+fn median_warm_lattice(e: &Arc<Engine>, rounds: usize) -> std::time::Duration {
+    let mut times: Vec<_> = (0..rounds)
+        .map(|_| {
+            let t = Instant::now();
+            e.run(Request::lattice_full()).expect("warm lattice build");
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Prints the tracing-overhead series: the warm full-lattice build with
+/// spans gated (no collector — default `fpopd`) vs actively recorded
+/// into the ring collector (`fpopd --trace-dump`).
+fn report_trace_overhead() {
+    const ROUNDS: usize = 9;
+    let e = engine_with(2, None);
+    e.run(Request::lattice_full()).expect("cold lattice build");
+
+    let gated = median_warm_lattice(&e, ROUNDS);
+    trace::install(65_536);
+    let collecting = median_warm_lattice(&e, ROUNDS);
+    let spans = trace::drain().len() / ROUNDS;
+    trace::set_active(false);
+    e.shutdown().unwrap();
+
+    let delta = (collecting.as_secs_f64() / gated.as_secs_f64() - 1.0) * 100.0;
+    eprintln!("\n== ENGINE-trace: tracing overhead (warm lattice, median of {ROUNDS}) ==");
+    eprintln!("  spans gated (no collector): {gated:>9.2?}");
+    eprintln!(
+        "  spans collected into ring : {collecting:>9.2?}  ({delta:+.1}%, {spans} spans/build)"
+    );
+}
+
 fn bench(c: &mut Criterion) {
     report();
+    report_trace_overhead();
     let reqs = batch();
     let dir = std::env::temp_dir().join(format!("fpop-engine-bench-cr-{}", std::process::id()));
     let snap = dir.join("proofs.snap");
@@ -121,6 +169,31 @@ fn bench(c: &mut Criterion) {
         });
     }
     std::fs::remove_dir_all(&dir).ok();
+
+    // Tracing overhead as Criterion series: the same warm engine, spans
+    // gated off vs actively collected (ring drained per iteration so it
+    // never saturates).
+    let e = engine_with(2, None);
+    run_batch(&e, &reqs);
+    e.run(Request::lattice_full()).expect("cold lattice build");
+    if !trace::installed() {
+        trace::install(65_536);
+    }
+    trace::set_active(false);
+    c.bench_function("trace/warm_lattice_gated", |b| {
+        b.iter(|| {
+            e.run(Request::lattice_full()).expect("warm lattice build");
+        })
+    });
+    trace::set_active(true);
+    c.bench_function("trace/warm_lattice_collecting", |b| {
+        b.iter(|| {
+            e.run(Request::lattice_full()).expect("warm lattice build");
+            black_box(trace::drain().len())
+        })
+    });
+    trace::set_active(false);
+    e.shutdown().unwrap();
 }
 
 criterion_group!(benches, bench);

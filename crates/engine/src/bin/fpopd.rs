@@ -3,20 +3,29 @@
 //!
 //! ```text
 //! fpopd [--addr HOST:PORT] [--workers N] [--queue N] [--snapshot PATH]
-//!       [--deadline-ms N]
+//!       [--deadline-ms N] [--slow-ms N] [--slow-top N] [--trace-dump PATH]
 //! ```
 //!
 //! Defaults: `--addr 127.0.0.1:7878`, workers = min(cores, 4), queue 64,
-//! no snapshot (pass `--snapshot` to enable warm restarts), no deadline.
+//! no snapshot (pass `--snapshot` to enable warm restarts), no deadline,
+//! slow log at 500 ms / top 8, no trace dump.
+//!
+//! `--trace-dump PATH` installs the global span collector at startup and,
+//! at shutdown, writes every collected span as Chrome `trace_event` JSON
+//! to `PATH` — load it at `chrome://tracing` or <https://ui.perfetto.dev>
+//! for a flamegraph of everything the engine elaborated. `--slow-ms` /
+//! `--slow-top` tune the slow-elaboration log served by the protocol's
+//! `slowlog` command. See `docs/OBSERVABILITY.md` for the operator story.
 //!
 //! Try it:
 //!
 //! ```text
-//! $ fpopd --snapshot /tmp/fpop.snap &
-//! $ printf 'lattice full\nstats\nshutdown\n' | nc 127.0.0.1 7878
+//! $ fpopd --snapshot /tmp/fpop.snap --trace-dump /tmp/fpop-trace.json &
+//! $ printf 'lattice full\nmetrics\nslowlog\nshutdown\n' | nc 127.0.0.1 7878
 //! ```
 
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -27,11 +36,14 @@ use engine::{proto, Engine, EngineConfig};
 struct Args {
     addr: String,
     config: EngineConfig,
+    /// Where to write the Chrome trace at shutdown; `None` = tracing off.
+    trace_dump: Option<PathBuf>,
 }
 
 fn usage() -> String {
     "usage: fpopd [--addr HOST:PORT] [--workers N] [--queue N] \
-     [--snapshot PATH] [--deadline-ms N]"
+     [--snapshot PATH] [--deadline-ms N] [--slow-ms N] [--slow-top N] \
+     [--trace-dump PATH]"
         .to_string()
 }
 
@@ -39,6 +51,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7878".to_string(),
         config: EngineConfig::default(),
+        trace_dump: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -66,12 +79,29 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--deadline-ms: {e}"))?;
                 args.config.default_deadline = Some(Duration::from_millis(ms));
             }
+            "--slow-ms" => {
+                let ms: u64 = value("--slow-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slow-ms: {e}"))?;
+                args.config.slow_threshold = Duration::from_millis(ms);
+            }
+            "--slow-top" => {
+                args.config.slow_log_capacity = value("--slow-top")?
+                    .parse()
+                    .map_err(|e| format!("--slow-top: {e}"))?
+            }
+            "--trace-dump" => args.trace_dump = Some(value("--trace-dump")?.into()),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
     Ok(args)
 }
+
+/// Span-collector capacity when `--trace-dump` is active: enough for a
+/// full extended-lattice build (31 variants × a few hundred spans each)
+/// with headroom; the ring overwrites the oldest beyond that.
+const TRACE_CAPACITY: usize = 65_536;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -82,6 +112,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.trace_dump.is_some() {
+        trace::install(TRACE_CAPACITY);
+    }
 
     let listener = match TcpListener::bind(&args.addr) {
         Ok(l) => l,
@@ -107,13 +141,32 @@ fn main() -> ExitCode {
         eprintln!("fpopd: listener error: {e}");
     }
 
+    let mut code = ExitCode::SUCCESS;
     match engine.shutdown() {
         Ok(Some(bytes)) => eprintln!("fpopd: drained; snapshot written ({bytes} bytes)"),
         Ok(None) => eprintln!("fpopd: drained; no snapshot configured"),
         Err(e) => {
             eprintln!("fpopd: snapshot write failed: {e}");
-            return ExitCode::FAILURE;
+            code = ExitCode::FAILURE;
         }
     }
-    ExitCode::SUCCESS
+
+    // Dump spans last: shutdown drains the workers, so the trace covers
+    // every request the engine ever executed (bounded by the ring).
+    if let Some(path) = &args.trace_dump {
+        let spans = trace::drain();
+        let json = trace::chrome::chrome_trace_json(&spans);
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!(
+                "fpopd: trace written ({} spans) to {}",
+                spans.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("fpopd: trace write failed: {e}");
+                code = ExitCode::FAILURE;
+            }
+        }
+    }
+    code
 }

@@ -67,6 +67,11 @@ pub struct EngineConfig {
     /// Where to persist the proof-cache snapshot. `None` disables both
     /// warm start and shutdown checkpointing.
     pub snapshot_path: Option<PathBuf>,
+    /// Requests whose service time reaches this threshold are recorded in
+    /// the slow-elaboration log ([`Engine::slow_log`]).
+    pub slow_threshold: Duration,
+    /// How many slow entries the log retains (top-N by service time).
+    pub slow_log_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -79,8 +84,25 @@ impl Default for EngineConfig {
             submit_timeout: Duration::from_millis(200),
             default_deadline: None,
             snapshot_path: None,
+            slow_threshold: Duration::from_millis(500),
+            slow_log_capacity: 8,
         }
     }
+}
+
+/// One entry of the slow-elaboration log: a served request whose service
+/// time reached [`EngineConfig::slow_threshold`], with the units that
+/// dominated it.
+#[derive(Clone, Debug)]
+pub struct SlowEntry {
+    /// The request's [`Request::label`] (e.g. `lattice[prod+sum]`).
+    pub label: String,
+    /// Total service (execution) time.
+    pub duration: Duration,
+    /// The slowest check units inside the request, slowest first
+    /// (from the response's [`CheckLedger`]; empty for requests that
+    /// carry no ledger).
+    pub units: Vec<(String, Duration)>,
 }
 
 /// A point-in-time copy of the engine's scheduling counters.
@@ -104,7 +126,6 @@ pub struct EngineMetrics {
     pub queue_depth: u64,
 }
 
-#[derive(Default)]
 struct Metrics {
     submitted: AtomicU64,
     completed: AtomicU64,
@@ -113,6 +134,33 @@ struct Metrics {
     cancelled: AtomicU64,
     dedup_hits: AtomicU64,
     rejected: AtomicU64,
+    /// Total nanoseconds workers spent executing requests (busy time);
+    /// utilization = busy / (workers × uptime).
+    busy_nanos: AtomicU64,
+    /// Requests recorded in the slow-elaboration log.
+    slow_logged: AtomicU64,
+    /// Queue wait (admission → dequeue), microseconds.
+    wait_micros: trace::Histogram,
+    /// Service (execution) time, microseconds.
+    service_micros: trace::Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            slow_logged: AtomicU64::new(0),
+            wait_micros: trace::Histogram::new(),
+            service_micros: trace::Histogram::new(),
+        }
+    }
 }
 
 impl Metrics {
@@ -230,6 +278,9 @@ struct Job {
     request: Request,
     state: Arc<JobState>,
     dedup_key: Option<u64>,
+    /// When the submission was accepted into the queue (start of the
+    /// wait-time measurement).
+    accepted_at: Instant,
 }
 
 /// State shared between the engine facade and its workers.
@@ -243,6 +294,17 @@ struct Shared {
     theorems: Mutex<HashMap<(String, String), String>>,
     /// Cumulative ledger absorbed over every request this engine served.
     ledger: Mutex<CheckLedger>,
+    /// Slow-elaboration log: top-N served requests by service time among
+    /// those reaching the threshold, slowest first.
+    slow: Mutex<Vec<SlowEntry>>,
+    /// Service-time threshold for the slow log.
+    slow_threshold: Duration,
+    /// Retention of the slow log (top-N).
+    slow_capacity: usize,
+    /// Worker-pool size (0 for inert test engines).
+    worker_count: usize,
+    /// When this engine booted (denominator of the utilization gauge).
+    started: Instant,
     /// Test-only fault injection: `execute` panics when a `CheckSource`
     /// body equals this marker (exercises worker panic containment).
     #[cfg(test)]
@@ -321,7 +383,165 @@ impl Shared {
                 session: self.session.snapshot_stats(),
                 engine: self.metrics_snapshot(),
             }),
+            Request::Metrics => Ok(Response::Metrics {
+                text: self.prometheus(),
+            }),
         }
+    }
+
+    /// Records a served request in the slow log when its service time
+    /// reaches the threshold; keeps the top `slow_capacity` entries by
+    /// duration, slowest first.
+    fn note_slow(&self, label: String, duration: Duration, result: &JobResult) {
+        if duration < self.slow_threshold || self.slow_capacity == 0 {
+            return;
+        }
+        let units = match result {
+            Ok(Response::Checked { ledger, .. }) | Ok(Response::Lattice { ledger, .. }) => {
+                ledger.slowest(3)
+            }
+            _ => Vec::new(),
+        };
+        Metrics::bump(&self.metrics.slow_logged);
+        let mut slow = self.slow.lock().expect("slow log poisoned");
+        slow.push(SlowEntry {
+            label,
+            duration,
+            units,
+        });
+        slow.sort_by_key(|e| std::cmp::Reverse(e.duration));
+        slow.truncate(self.slow_capacity);
+    }
+
+    /// Renders the engine's full metric surface as Prometheus-style text:
+    /// scheduling counters, queue depth/capacity, wait & service-time
+    /// histograms, worker utilization inputs, the shared session's cache
+    /// counters (count-for-count the same values as
+    /// [`Session::snapshot_stats`]), and finally every metric in the
+    /// global [`trace::registry`] (e.g. the elaborator's per-provenance
+    /// cache counters).
+    fn prometheus(&self) -> String {
+        use trace::metrics::{render_counter, render_gauge, render_histogram};
+        let m = &self.metrics;
+        let mut out = String::with_capacity(4096);
+        render_counter(
+            &mut out,
+            "engine_submitted_total",
+            "requests accepted into the queue",
+            m.submitted.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "engine_completed_total",
+            "requests that executed and returned Ok",
+            m.completed.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "engine_failed_total",
+            "requests that executed and returned Err",
+            m.failed.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "engine_expired_total",
+            "requests whose deadline passed while queued",
+            m.expired.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "engine_cancelled_total",
+            "requests cancelled before execution",
+            m.cancelled.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "engine_dedup_hits_total",
+            "submissions coalesced onto an identical in-flight request",
+            m.dedup_hits.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "engine_rejected_total",
+            "submissions rejected by backpressure",
+            m.rejected.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "engine_slow_logged_total",
+            "requests recorded in the slow-elaboration log",
+            m.slow_logged.load(Ordering::Relaxed),
+        );
+        render_gauge(
+            &mut out,
+            "engine_queue_depth",
+            "jobs waiting in the bounded priority queue",
+            self.queue.len() as i64,
+        );
+        render_gauge(
+            &mut out,
+            "engine_queue_capacity",
+            "bounded queue capacity (backpressure threshold)",
+            self.queue.capacity() as i64,
+        );
+        render_gauge(
+            &mut out,
+            "engine_workers",
+            "worker threads serving the queue",
+            self.worker_count as i64,
+        );
+        render_counter(
+            &mut out,
+            "engine_uptime_micros_total",
+            "microseconds since the engine booted",
+            self.started.elapsed().as_micros() as u64,
+        );
+        render_counter(
+            &mut out,
+            "engine_worker_busy_micros_total",
+            "microseconds workers spent executing requests; \
+             utilization = busy / (workers * uptime)",
+            m.busy_nanos.load(Ordering::Relaxed) / 1_000,
+        );
+        render_histogram(
+            &mut out,
+            "engine_wait_micros",
+            "queue wait from admission to dequeue, microseconds",
+            &m.wait_micros.snapshot(),
+        );
+        render_histogram(
+            &mut out,
+            "engine_service_micros",
+            "request service (execution) time, microseconds",
+            &m.service_micros.snapshot(),
+        );
+        let s = self.session.snapshot_stats();
+        render_counter(
+            &mut out,
+            "fpop_session_cache_hits_total",
+            "proof-cache lookups answered from the store or an overlay",
+            s.hits,
+        );
+        render_counter(
+            &mut out,
+            "fpop_session_cache_misses_total",
+            "proof-cache lookups that forced a fresh proof run",
+            s.misses,
+        );
+        render_counter(
+            &mut out,
+            "fpop_session_cache_inserts_total",
+            "proofs committed into the shared store by transactions",
+            s.inserts,
+        );
+        render_gauge(
+            &mut out,
+            "fpop_session_cached_proofs",
+            "proofs resident in the shared store right now",
+            s.cached_proofs as i64,
+        );
+        out.push_str(&trace::registry().render());
+        out
     }
 
     fn metrics_snapshot(&self) -> EngineMetrics {
@@ -351,6 +571,10 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 
 fn worker_loop(shared: Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
+        shared
+            .metrics
+            .wait_micros
+            .observe(job.accepted_at.elapsed());
         let result = if job.state.cancelled.load(Ordering::Relaxed) {
             Metrics::bump(&shared.metrics.cancelled);
             Err(EngineError::Cancelled)
@@ -363,15 +587,25 @@ fn worker_loop(shared: Arc<Shared>) {
             // lifetime) nor skip the publish below (hanging every ticket
             // waiting on this job).
             let request = job.request;
-            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                shared.execute(request)
-            }))
-            .unwrap_or_else(|payload| {
-                Err(EngineError::Failed(format!(
-                    "worker panicked: {}",
-                    panic_message(payload.as_ref())
-                )))
-            });
+            let label = request.label();
+            let service_started = Instant::now();
+            let r = {
+                let _span = trace::span!("engine.execute", "request={}", label);
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shared.execute(request)))
+                    .unwrap_or_else(|payload| {
+                        Err(EngineError::Failed(format!(
+                            "worker panicked: {}",
+                            panic_message(payload.as_ref())
+                        )))
+                    })
+            };
+            let service = service_started.elapsed();
+            shared.metrics.service_micros.observe(service);
+            shared
+                .metrics
+                .busy_nanos
+                .fetch_add(service.as_nanos() as u64, Ordering::Relaxed);
+            shared.note_slow(label, service, &r);
             Metrics::bump(match &r {
                 Ok(_) => &shared.metrics.completed,
                 Err(_) => &shared.metrics.failed,
@@ -465,6 +699,11 @@ impl Engine {
                 }
             }
         }
+        let worker_count = if spawn_workers {
+            config.workers.max(1)
+        } else {
+            0
+        };
         let shared = Arc::new(Shared {
             session,
             queue: PrioQueue::new(config.queue_capacity),
@@ -472,14 +711,14 @@ impl Engine {
             metrics: Metrics::default(),
             theorems: Mutex::new(HashMap::new()),
             ledger: Mutex::new(CheckLedger::new()),
+            slow: Mutex::new(Vec::new()),
+            slow_threshold: config.slow_threshold,
+            slow_capacity: config.slow_log_capacity,
+            worker_count,
+            started: Instant::now(),
             #[cfg(test)]
             panic_marker: Mutex::new(None),
         });
-        let worker_count = if spawn_workers {
-            config.workers.max(1)
-        } else {
-            0
-        };
         let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -532,6 +771,20 @@ impl Engine {
             .lock()
             .expect("inflight map poisoned")
             .len()
+    }
+
+    /// Copy of the slow-elaboration log: the top-N served requests (by
+    /// service time) whose execution reached
+    /// [`EngineConfig::slow_threshold`], slowest first.
+    pub fn slow_log(&self) -> Vec<SlowEntry> {
+        self.shared.slow.lock().expect("slow log poisoned").clone()
+    }
+
+    /// Prometheus-style text exposition of the engine's full metric
+    /// surface (the payload of the protocol's `metrics` request). See
+    /// `docs/OBSERVABILITY.md` for every metric's meaning and unit.
+    pub fn prometheus(&self) -> String {
+        self.shared.prometheus()
     }
 
     /// Copy of the cumulative ledger absorbed over every served request.
@@ -588,6 +841,7 @@ impl Engine {
             request,
             state: Arc::clone(&state),
             dedup_key,
+            accepted_at: Instant::now(),
         };
         match self
             .shared
@@ -628,6 +882,23 @@ impl Engine {
 
     /// [`Engine::submit_with`] at [`Priority::Normal`] and the default
     /// deadline.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use engine::{Engine, EngineConfig, Request, Response};
+    ///
+    /// let engine = Engine::start(EngineConfig {
+    ///     workers: 1,
+    ///     snapshot_path: None,
+    ///     ..EngineConfig::default()
+    /// });
+    /// // submit() returns immediately with a Ticket; wait() blocks for
+    /// // the worker pool to execute the request.
+    /// let ticket = engine.submit(Request::Stats).unwrap();
+    /// assert!(matches!(ticket.wait(), Ok(Response::Stats { .. })));
+    /// engine.shutdown().unwrap();
+    /// ```
     ///
     /// # Errors
     ///
@@ -700,6 +971,7 @@ mod tests {
             submit_timeout,
             default_deadline: None,
             snapshot_path: None,
+            ..EngineConfig::default()
         })
     }
 
@@ -727,7 +999,9 @@ mod tests {
                 while e.inflight_len() < 2 {
                     std::thread::sleep(Duration::from_millis(1));
                 }
-                let t = e.submit(check("shared")).expect("dedup hit returns a ticket");
+                let t = e
+                    .submit(check("shared"))
+                    .expect("dedup hit returns a ticket");
                 t.wait_timeout(Duration::from_secs(30))
                     .expect("coalesced ticket must wake when the push is rejected")
             });
@@ -754,7 +1028,10 @@ mod tests {
         let t1 = e.submit(check("shared job")).unwrap();
         let t2 = e.submit(check("shared job")).unwrap(); // coalesced
         assert_eq!(e.metrics().dedup_hits, 1);
-        assert!(!t2.cancel(), "a coalesced ticket must not cancel for everyone");
+        assert!(
+            !t2.cancel(),
+            "a coalesced ticket must not cancel for everyone"
+        );
         assert!(!t1.cancel(), "nor may the original submitter");
         let solo = e.submit(check("solo job")).unwrap();
         assert!(solo.cancel(), "a single-waiter cancel is recorded");
@@ -767,11 +1044,19 @@ mod tests {
     fn dedup_skips_jobs_with_tighter_deadlines() {
         let e = inert(8, Duration::ZERO);
         let _short = e
-            .submit_with(check("d"), Priority::Normal, Some(Duration::from_millis(50)))
+            .submit_with(
+                check("d"),
+                Priority::Normal,
+                Some(Duration::from_millis(50)),
+            )
             .unwrap();
         // A later deadline must not coalesce onto the 50 ms job…
         let _long = e
-            .submit_with(check("d"), Priority::Normal, Some(Duration::from_secs(3600)))
+            .submit_with(
+                check("d"),
+                Priority::Normal,
+                Some(Duration::from_secs(3600)),
+            )
             .unwrap();
         assert_eq!(e.metrics().dedup_hits, 0);
         assert_eq!(e.metrics().submitted, 2);
@@ -786,6 +1071,92 @@ mod tests {
             .unwrap();
         assert_eq!(e.metrics().dedup_hits, 1);
         assert_eq!(e.metrics().submitted, 3);
+    }
+
+    /// Trace spans opened around a panicking job must close during the
+    /// unwind (the guard records on drop) and leave the worker's span
+    /// depth balanced — the next request on the same worker records at
+    /// depth 0, not nested inside a ghost of the panicked span.
+    #[test]
+    fn spans_close_and_rebalance_across_worker_panics() {
+        trace::install(4096);
+        // Built with `trace/off` (feature-unified from a parent crate)
+        // spans are compiled out and there is nothing to assert — probe
+        // for that at runtime, since this crate can't see the feature.
+        {
+            let _probe = trace::span!("engine.test.probe");
+        }
+        if !trace::snapshot()
+            .iter()
+            .any(|s| s.name == "engine.test.probe")
+        {
+            return;
+        }
+        let _ = trace::drain();
+        let e = Engine::start(EngineConfig {
+            workers: 1, // one worker: both jobs run on the same thread
+            snapshot_path: None,
+            ..EngineConfig::default()
+        });
+        e.shared
+            .panic_marker
+            .lock()
+            .unwrap()
+            .replace("kaboom".to_string());
+        assert!(matches!(
+            e.run(check("kaboom")),
+            Err(EngineError::Failed(_))
+        ));
+        assert!(e.run(Request::Stats).is_ok());
+        e.shutdown().unwrap();
+        let spans = trace::drain();
+        let execs: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "engine.execute")
+            .collect();
+        assert!(
+            execs.iter().any(|s| s.detail.contains("check")),
+            "the panicked job's span must still record (guard drops in unwind)"
+        );
+        let stats_span = execs
+            .iter()
+            .find(|s| s.detail.contains("stats"))
+            .expect("follow-up request records a span");
+        assert_eq!(
+            stats_span.depth, 0,
+            "depth rebalances after the panic unwind"
+        );
+    }
+
+    /// The slow-elaboration log records served requests over the
+    /// threshold, slowest first, with their dominating check units.
+    #[test]
+    fn slow_log_records_over_threshold_requests() {
+        let e = Engine::start(EngineConfig {
+            workers: 1,
+            snapshot_path: None,
+            slow_threshold: Duration::ZERO, // everything is "slow"
+            slow_log_capacity: 4,
+            ..EngineConfig::default()
+        });
+        // Stats carries no ledger → empty units; still logged.
+        e.run(Request::Stats).unwrap();
+        let log = e.slow_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].label, "stats");
+        assert!(log[0].units.is_empty());
+        // More requests than capacity: the log keeps the top-N, sorted.
+        for _ in 0..6 {
+            e.run(Request::Stats).unwrap();
+        }
+        let log = e.slow_log();
+        assert_eq!(log.len(), 4, "log truncates to capacity");
+        assert!(
+            log.windows(2).all(|w| w[0].duration >= w[1].duration),
+            "slowest first"
+        );
+        assert_eq!(e.metrics().queue_depth, 0);
+        e.shutdown().unwrap();
     }
 
     /// REVIEW regression (medium): a panic during elaboration is caught,

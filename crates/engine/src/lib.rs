@@ -49,13 +49,15 @@
 //! assert_eq!(b.stats().misses, 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod proto;
 pub mod queue;
 pub mod request;
 pub mod snapshot;
 
-pub use engine::{Engine, EngineConfig, EngineMetrics, Ticket};
+pub use engine::{Engine, EngineConfig, EngineMetrics, SlowEntry, Ticket};
 pub use queue::{PrioQueue, PushError};
 pub use request::{EngineError, Priority, Request, Response};
 pub use snapshot::{

@@ -9,6 +9,8 @@
 //! --> [high |low ]lattice full|extended|Fix,Prod,...
 //! --> [high |low ]theorem <family> <field>
 //! --> [high |low ]stats
+//! --> [high |low ]metrics
+//! --> slowlog
 //! --> checkpoint
 //! --> ping
 //! --> shutdown
@@ -76,6 +78,9 @@ pub enum Command {
     Submit(Request, Priority),
     /// Persist the proof cache now.
     Checkpoint,
+    /// Report the slow-elaboration log (served from the engine facade;
+    /// never queued, so it works even when the pool is saturated).
+    SlowLog,
     /// Liveness probe.
     Ping,
     /// Stop the server (the engine then drains and snapshots).
@@ -104,6 +109,8 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "shutdown" => Ok(Command::Shutdown),
         "checkpoint" => Ok(Command::Checkpoint),
         "stats" => Ok(Command::Submit(Request::Stats, priority)),
+        "metrics" => Ok(Command::Submit(Request::Metrics, priority)),
+        "slowlog" => Ok(Command::SlowLog),
         "check" => {
             if args.is_empty() {
                 return Err("check: missing source (escaped vernacular text)".into());
@@ -140,7 +147,7 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         }
         "" => Err("empty command".into()),
         other => Err(format!(
-            "unknown command {other:?} (want check, lattice, theorem, stats, checkpoint, ping, shutdown)"
+            "unknown command {other:?} (want check, lattice, theorem, stats, metrics, slowlog, checkpoint, ping, shutdown)"
         )),
     }
 }
@@ -191,7 +198,27 @@ pub fn render_response(resp: &Response) -> String {
             engine.rejected,
             engine.queue_depth,
         ),
+        Response::Metrics { text } => text.clone(),
     }
+}
+
+/// Renders the slow-elaboration log for the `slowlog` protocol command:
+/// one line per entry, slowest first, with the dominating check units.
+pub fn render_slow_log(entries: &[crate::engine::SlowEntry]) -> String {
+    if entries.is_empty() {
+        return "slow log empty".to_string();
+    }
+    let mut out = String::new();
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>8.1?}  {}", e.duration, e.label));
+        for (unit, d) in &e.units {
+            out.push_str(&format!("\n            {d:>8.1?}  {unit}"));
+        }
+    }
+    out
 }
 
 /// Renders a job result onto one wire line (without the newline).
@@ -276,6 +303,9 @@ fn handle_connection(
                 stop.store(true, Ordering::SeqCst);
                 writeln!(writer, "ok shutting down")?;
                 return Ok(());
+            }
+            Ok(Command::SlowLog) => {
+                format!("ok {}", escape(&render_slow_log(&engine.slow_log())))
             }
             Ok(Command::Checkpoint) => match engine.checkpoint() {
                 Ok(Some(bytes)) => format!("ok checkpoint written ({bytes} bytes)"),

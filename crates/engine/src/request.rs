@@ -67,6 +67,10 @@ pub enum Request {
     },
     /// Report session statistics and engine metrics.
     Stats,
+    /// Render the engine's full metric surface as Prometheus-style
+    /// exposition text (scheduling counters, queue depth, wait/service
+    /// histograms, session cache counters, global registry metrics).
+    Metrics,
 }
 
 impl Request {
@@ -105,7 +109,7 @@ impl Request {
                     h.write_u8(f.canonical_index() as u8);
                 }
             }
-            Request::QueryTheorem { .. } | Request::Stats => return None,
+            Request::QueryTheorem { .. } | Request::Stats | Request::Metrics => return None,
         }
         Some(h.finish())
     }
@@ -117,6 +121,25 @@ impl Request {
             Request::BuildLattice { .. } => "lattice",
             Request::QueryTheorem { .. } => "theorem",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
+        }
+    }
+
+    /// One-line label identifying this request in the slow-elaboration
+    /// log and trace spans: the kind plus enough content to tell two
+    /// requests of the same kind apart (source length, feature set,
+    /// queried theorem).
+    pub fn label(&self) -> String {
+        match self {
+            Request::CheckSource { source } => format!("check({}B)", source.len()),
+            Request::BuildLattice { features } => {
+                let feats = normalize_features(features);
+                let names: Vec<&str> = feats.iter().map(|f| f.tag()).collect();
+                format!("lattice[{}]", names.join("+"))
+            }
+            Request::QueryTheorem { family, field } => format!("theorem {family}.{field}"),
+            Request::Stats => "stats".to_string(),
+            Request::Metrics => "metrics".to_string(),
         }
     }
 }
@@ -157,6 +180,11 @@ pub enum Response {
         session: StatsSnapshot,
         /// Engine-level scheduling metrics.
         engine: EngineMetrics,
+    },
+    /// `Metrics` output: Prometheus-style text exposition.
+    Metrics {
+        /// The exposition document (`# HELP` / `# TYPE` / samples).
+        text: String,
     },
 }
 

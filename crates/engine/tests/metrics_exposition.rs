@@ -1,0 +1,193 @@
+//! The `Metrics` request's Prometheus exposition must be parseable and
+//! must agree, count for count, with the structured `StatsSnapshot` /
+//! `EngineMetrics` the engine reports — the acceptance criterion for the
+//! observability layer. Also covers the protocol-level `metrics` and
+//! `slowlog` commands end-to-end over TCP.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use engine::{proto, Engine, EngineConfig, Request, Response};
+use families_stlc::Feature;
+
+fn config(workers: usize) -> EngineConfig {
+    EngineConfig {
+        workers,
+        snapshot_path: None,
+        ..EngineConfig::default()
+    }
+}
+
+/// Extracts the value of a plain `name value` sample line.
+fn sample(text: &str, name: &str) -> u64 {
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(name) {
+            if let Some(v) = rest.strip_prefix(' ') {
+                return v.trim().parse().unwrap_or_else(|e| {
+                    panic!("sample {name}: bad value {v:?}: {e}");
+                });
+            }
+        }
+    }
+    panic!("sample {name} not found in exposition:\n{text}");
+}
+
+/// Extracts every `name_bucket{{le="..."}} value` pair, in order.
+fn buckets(text: &str, name: &str) -> Vec<(String, u64)> {
+    let prefix = format!("{name}_bucket{{le=\"");
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix(&prefix)?;
+            let (le, rest) = rest.split_once("\"}")?;
+            Some((le.to_string(), rest.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+#[test]
+fn exposition_agrees_with_stats_snapshot() {
+    let e = Engine::start(config(2));
+    // Real work first, so the cache counters are non-trivial.
+    let r = e.run(Request::BuildLattice {
+        features: vec![Feature::Fix],
+    });
+    assert!(r.is_ok(), "lattice build failed: {r:?}");
+
+    let text = match e.run(Request::Metrics) {
+        Ok(Response::Metrics { text }) => text,
+        other => panic!("expected Metrics response, got {other:?}"),
+    };
+
+    // Structure: HELP/TYPE headers present, no blank-value lines.
+    assert!(text.contains("# HELP engine_submitted_total"));
+    assert!(text.contains("# TYPE engine_service_micros histogram"));
+
+    // Session cache counters agree count-for-count with the snapshot
+    // (the Metrics request itself never touches the cache).
+    let s = e.stats();
+    assert_eq!(sample(&text, "fpop_session_cache_hits_total"), s.hits);
+    assert_eq!(sample(&text, "fpop_session_cache_misses_total"), s.misses);
+    assert_eq!(sample(&text, "fpop_session_cache_inserts_total"), s.inserts);
+    assert_eq!(sample(&text, "fpop_session_cached_proofs"), s.cached_proofs);
+
+    // Scheduling counters: only the lattice had completed when the
+    // exposition was rendered (the Metrics request renders *during* its
+    // own execution; its own `submitted` bump lands after the queue push,
+    // so the render may or may not see it).
+    let submitted = sample(&text, "engine_submitted_total");
+    assert!((1..=2).contains(&submitted), "submitted: {submitted}");
+    assert_eq!(sample(&text, "engine_completed_total"), 1);
+    assert_eq!(sample(&text, "engine_failed_total"), 0);
+    assert_eq!(sample(&text, "engine_queue_capacity"), 64);
+
+    // Service-time histogram: one observation (the lattice), cumulative
+    // buckets non-decreasing, +Inf bucket equals the count.
+    assert_eq!(sample(&text, "engine_service_micros_count"), 1);
+    let bs = buckets(&text, "engine_service_micros");
+    assert!(!bs.is_empty(), "histogram has bucket samples");
+    assert!(
+        bs.windows(2).all(|w| w[0].1 <= w[1].1),
+        "cumulative buckets must be non-decreasing: {bs:?}"
+    );
+    let (last_le, last_v) = bs.last().unwrap();
+    assert_eq!(last_le, "+Inf");
+    assert_eq!(*last_v, sample(&text, "engine_service_micros_count"));
+    // Wait histogram saw both dequeues by render time.
+    assert_eq!(sample(&text, "engine_wait_micros_count"), 2);
+
+    // The elaborator's provenance counters (global registry) tie back to
+    // the session totals: every session-level lookup happened at exactly
+    // one provenance site. (The registry is process-global, so other
+    // tests' lookups may add to it — the inequality is the safe check.)
+    let prov_total: u64 = [
+        "fpop_cache_theorem_hits_total",
+        "fpop_cache_theorem_misses_total",
+        "fpop_cache_reprove_hits_total",
+        "fpop_cache_reprove_misses_total",
+        "fpop_cache_induction_hits_total",
+        "fpop_cache_induction_misses_total",
+        "fpop_cache_data_induction_hits_total",
+        "fpop_cache_data_induction_misses_total",
+    ]
+    .iter()
+    .map(|n| {
+        if text.contains(&format!("{n} ")) {
+            sample(&text, n)
+        } else {
+            0
+        }
+    })
+    .sum();
+    assert!(
+        prov_total >= s.hits + s.misses,
+        "provenance counters ({prov_total}) must cover every session \
+         lookup ({} + {})",
+        s.hits,
+        s.misses
+    );
+
+    // The facade accessor renders the same surface.
+    let direct = e.prometheus();
+    assert_eq!(
+        sample(&direct, "fpop_session_cache_hits_total"),
+        s.hits,
+        "Engine::prometheus agrees with the protocol payload"
+    );
+    e.shutdown().unwrap();
+}
+
+#[test]
+fn metrics_and_slowlog_over_the_wire() {
+    let e = Arc::new(Engine::start(EngineConfig {
+        workers: 1,
+        snapshot_path: None,
+        slow_threshold: Duration::ZERO, // log everything
+        slow_log_capacity: 4,
+        ..EngineConfig::default()
+    }));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let e = Arc::clone(&e);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || proto::serve(e, listener, stop))
+    };
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut send = |line: &str| -> String {
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    };
+
+    assert_eq!(send("ping"), "ok pong");
+    let lattice = send("lattice Fix");
+    assert!(lattice.starts_with("ok "), "got: {lattice}");
+
+    let metrics = send("metrics");
+    assert!(metrics.starts_with("ok "), "got: {metrics}");
+    let text = proto::unescape(&metrics[3..]).unwrap();
+    assert!(text.contains("# TYPE engine_queue_depth gauge"));
+    assert!(text.contains("engine_submitted_total"));
+    assert_eq!(sample(&text, "engine_queue_capacity"), 64);
+
+    let slow = send("slowlog");
+    assert!(slow.starts_with("ok "), "got: {slow}");
+    let slow_text = proto::unescape(&slow[3..]).unwrap();
+    assert!(
+        slow_text.contains("lattice[fix]") || slow_text.contains("lattice[Fix]"),
+        "slow log names the lattice request: {slow_text}"
+    );
+
+    assert_eq!(send("shutdown"), "ok shutting down");
+    server.join().unwrap().unwrap();
+    e.shutdown().unwrap();
+}

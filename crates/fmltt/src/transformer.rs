@@ -15,18 +15,39 @@ use crate::syntax::{Sub, Tm, Transformer};
 ///
 /// The output is ordinary linkage syntax, so the kernel re-checks it
 /// against the target signature `σ2` — transformers add no trusted code.
+///
+/// Each top-level call records a `fmltt.inh` trace span (the recursion
+/// over the transformer spine stays span-free, so one application is one
+/// span on the flamegraph).
 pub fn inh(h: &Transformer, l: &Tm) -> Tm {
+    let _span = trace::span!("fmltt.inh", "depth={}", transformer_depth(h));
+    inh_go(h, l)
+}
+
+/// Length of the transformer spine (how many `inh_go` steps it drives);
+/// reported as the `fmltt.inh` span detail.
+fn transformer_depth(h: &Transformer) -> usize {
+    match h {
+        Transformer::Identity => 0,
+        Transformer::Extend(h0, ..)
+        | Transformer::Override(h0, ..)
+        | Transformer::Inherit(h0, ..)
+        | Transformer::Nest(h0, ..) => 1 + transformer_depth(h0),
+    }
+}
+
+fn inh_go(h: &Transformer, l: &Tm) -> Tm {
     match h {
         Transformer::Identity => l.clone(),
         Transformer::Extend(h0, _a, s, t, _ty) => Tm::LCons(
-            Rc::new(inh(h0, l)),
+            Rc::new(inh_go(h0, l)),
             Rc::new((**s).clone()),
             Rc::new((**t).clone()),
         ),
         Transformer::Override(h0, _a, s, t, _ty) => {
             let prefix = prefix_of(l);
             Tm::LCons(
-                Rc::new(inh(h0, &prefix)),
+                Rc::new(inh_go(h0, &prefix)),
                 Rc::new((**s).clone()),
                 Rc::new((**t).clone()),
             )
@@ -40,7 +61,7 @@ pub fn inh(h: &Transformer, l: &Tm) -> Tm {
                 Rc::new(old_field),
                 Rc::new(Sub::Ext(Rc::new(Sub::Wk(1)), up_s.clone())),
             );
-            Tm::LCons(Rc::new(inh(h0, &prefix)), s2.clone(), Rc::new(adapted))
+            Tm::LCons(Rc::new(inh_go(h0, &prefix)), s2.clone(), Rc::new(adapted))
         }
         Transformer::Nest(h0, inner, up_s, s2) => {
             let prefix = prefix_of(l);
@@ -49,8 +70,12 @@ pub fn inh(h: &Transformer, l: &Tm) -> Tm {
                 Rc::new(old_field),
                 Rc::new(Sub::Ext(Rc::new(Sub::Wk(1)), up_s.clone())),
             );
-            let transformed = inh(inner, &adapted);
-            Tm::LCons(Rc::new(inh(h0, &prefix)), s2.clone(), Rc::new(transformed))
+            let transformed = inh_go(inner, &adapted);
+            Tm::LCons(
+                Rc::new(inh_go(h0, &prefix)),
+                s2.clone(),
+                Rc::new(transformed),
+            )
         }
     }
 }

@@ -70,6 +70,25 @@ fn odef_hash(odef_key: &[(Symbol, objlang::Term)]) -> u64 {
     crate::stable::stable_odef_hash(odef_key)
 }
 
+/// Records proof-cache lookup provenance in the global metrics registry.
+///
+/// `kind` names the lookup site (`theorem`, `reprove`, `induction`,
+/// `data_induction`); each site gets a `fpop_cache_<kind>_hits_total` /
+/// `fpop_cache_<kind>_misses_total` counter pair so an operator can see
+/// *which* reuse path (plain scripts, closed-world re-provables, or
+/// per-case induction proofs) is paying off. The session's own
+/// [`StatsSnapshot`](crate::session::StatsSnapshot) keeps the aggregate
+/// per-session counts; these registry counters are process-wide.
+fn note_cache(kind: &str, hit: bool) {
+    let outcome = if hit { "hits" } else { "misses" };
+    trace::registry()
+        .counter(
+            &format!("fpop_cache_{kind}_{outcome}_total"),
+            "proof-cache lookups by provenance site",
+        )
+        .inc();
+}
+
 /// Elaborates a merged family into a [`CompiledFamily`], emitting module
 /// structure into `modenv` and reusing proofs through the session
 /// transaction `txn` (commit it on success to publish this family's
@@ -80,6 +99,7 @@ pub fn elaborate(
     modenv: &mut ModuleEnv,
 ) -> Result<CompiledFamily> {
     let fam = merged.name;
+    let _span = trace::span!("fpop.elaborate", "family={}", fam);
     let mut view = Signature::new();
     objlang::prelude::install(&mut view)?;
     let mut ledger = CheckLedger::new();
@@ -104,6 +124,7 @@ pub fn elaborate(
 
     for mf in &merged.fields {
         let unit = format!("{}◦{}", if mf.changed { fam } else { mf.origin }, mf.name);
+        let _field_span = trace::span!("fpop.field", "unit={}", unit);
         let started = Instant::now();
         check_field(
             merged,
@@ -324,7 +345,9 @@ fn check_field(
             match proof {
                 ProofSpec::Script(script) => {
                     let okey = odef_hash(odef_key);
-                    if txn.lookup_theorem(statement, script, &None, okey) {
+                    let hit = txn.lookup_theorem(statement, script, &None, okey);
+                    note_cache("theorem", hit);
+                    if hit {
                         ledger.record_cache_hit();
                         ledger.record_shared(unit);
                     } else {
@@ -354,7 +377,9 @@ fn check_field(
                         .collect();
                     let cw_key = Some(cw_key);
                     let okey = odef_hash(odef_key);
-                    if txn.lookup_theorem(statement, script, &cw_key, okey) {
+                    let hit = txn.lookup_theorem(statement, script, &cw_key, okey);
+                    note_cache("reprove", hit);
+                    if hit {
                         ledger.record_cache_hit();
                         ledger.record_shared(unit);
                     } else {
@@ -416,7 +441,9 @@ fn check_field(
                 let seq = case_sequent(view, &p, rule, &motive)?;
                 let case_unit = format!("{unit}◦{}", rule.name);
                 let okey = odef_hash(odef_key);
-                if let Some(pf) = txn.lookup_case(&seq, script, okey) {
+                let cached = txn.lookup_case(&seq, script, okey);
+                note_cache("induction", cached.is_some());
+                if let Some(pf) = cached {
                     proved.insert(rule.name, pf);
                     ledger.record_cache_hit();
                     ledger.record_shared(&case_unit);
@@ -478,7 +505,9 @@ fn check_field(
                 let seq = data_case_sequent(view, *datatype, ctor.name, motive)?;
                 let case_unit = format!("{unit}◦{}", ctor.name);
                 let okey = odef_hash(odef_key);
-                if let Some(pf) = txn.lookup_case(&seq, script, okey) {
+                let cached = txn.lookup_case(&seq, script, okey);
+                note_cache("data_induction", cached.is_some());
+                if let Some(pf) = cached {
                     proved.insert(ctor.name, pf);
                     ledger.record_cache_hit();
                     ledger.record_shared(&case_unit);

@@ -57,6 +57,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod elab;
 pub mod family;
 pub mod merge;

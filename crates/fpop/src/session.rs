@@ -357,6 +357,50 @@ impl StatsSnapshot {
 
 /// A check session: the shared, thread-safe substrate of every family
 /// elaboration in a run. See the module docs for the architecture.
+///
+/// # Example
+///
+/// Two universes sharing one session pay for each proof once:
+///
+/// ```
+/// use fpop::family::FamilyDef;
+/// use fpop::session::Session;
+/// use fpop::universe::FamilyUniverse;
+/// use objlang::sig::CtorSig;
+/// use objlang::syntax::{Prop, Sort, Term};
+///
+/// # fn main() -> Result<(), objlang::Error> {
+/// let session = Session::new();
+/// let base = || {
+///     FamilyDef::new("Base")
+///         .inductive("t", vec![CtorSig::new("t_one", vec![])])
+///         .theorem(
+///             "one_exists",
+///             Prop::exists("x", Sort::named("t"), Prop::eq(Term::var("x"), Term::var("x"))),
+///             vec![
+///                 objlang::Tactic::Exists(Term::c0("t_one")),
+///                 objlang::Tactic::Reflexivity,
+///             ],
+///         )
+/// };
+///
+/// // The first universe pays for the proof …
+/// let mut u1 = FamilyUniverse::with_session(session.clone());
+/// u1.define(base())?;
+/// let cold = session.snapshot_stats();
+/// assert!(cold.inserts > 0);
+///
+/// // … and a second universe on the same session reuses it: no new
+/// // misses, no new inserts, pure cache hits.
+/// let mut u2 = FamilyUniverse::with_session(session.clone());
+/// u2.define(base())?;
+/// let warm = session.snapshot_stats();
+/// assert_eq!(warm.misses, cold.misses);
+/// assert_eq!(warm.inserts, cold.inserts);
+/// assert!(warm.hits > cold.hits);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Default, Debug)]
 pub struct Session {
     cache: RwLock<ProofCache>,

@@ -170,6 +170,20 @@ impl CheckLedger {
         }
     }
 
+    /// The `n` slowest units by accumulated wall time, slowest first, as
+    /// `(name, duration)` pairs. Ties keep first-appearance order. This
+    /// backs the engine's slow-elaboration log: after a lattice build the
+    /// engine absorbs every family's ledger and asks for the top-N.
+    pub fn slowest(&self, n: usize) -> Vec<(String, Duration)> {
+        let mut by_time: Vec<&LedgerEntry> = self.entries.iter().collect();
+        by_time.sort_by_key(|e| std::cmp::Reverse(e.nanos));
+        by_time
+            .into_iter()
+            .take(n)
+            .map(|e| (e.name.clone(), Duration::from_nanos(e.nanos)))
+            .collect()
+    }
+
     /// Merges another ledger into this one.
     ///
     /// Entries are merged *by name* into counted records — no per-record
@@ -283,6 +297,21 @@ mod tests {
         assert_eq!(l.unit_time("u"), Some(Duration::from_micros(7)));
         assert_eq!(l.total_time(), Duration::from_micros(7));
         assert_eq!(l.unit_time("missing"), None);
+    }
+
+    #[test]
+    fn slowest_orders_by_time_and_truncates() {
+        let mut l = CheckLedger::new();
+        l.record_unit_time("fast", Duration::from_micros(1));
+        l.record_unit_time("slow", Duration::from_micros(30));
+        l.record_unit_time("mid", Duration::from_micros(10));
+        let top = l.slowest(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, "slow");
+        assert_eq!(top[1].0, "mid");
+        assert_eq!(top[0].1, Duration::from_micros(30));
+        assert_eq!(l.slowest(10).len(), 3, "n larger than entries is fine");
+        assert!(CheckLedger::new().slowest(5).is_empty());
     }
 
     #[test]

@@ -377,6 +377,7 @@ pub fn prove(
     prop: Prop,
     script: &[Tactic],
 ) -> Result<crate::proof::Theorem> {
+    let _span = trace::span!("objlang.prove", "tactics={}", script.len());
     let mut st = ProofState::new(sig, prop)?;
     run_script(&mut st, script)?;
     st.qed()
@@ -389,6 +390,7 @@ pub fn prove_sequent(
     closed_world: bool,
     script: &[Tactic],
 ) -> Result<crate::proof::ProvedSequent> {
+    let _span = trace::span!("objlang.prove_sequent", "tactics={}", script.len());
     let mut st = ProofState::with_sequent(sig, seq)?;
     st.closed_world = closed_world;
     run_script(&mut st, script)?;

@@ -1,0 +1,120 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! [`chrome_trace_json`] turns a slice of collected [`SpanRecord`]s into
+//! the JSON Array Format understood by `chrome://tracing` and
+//! <https://ui.perfetto.dev>: one complete (`"ph":"X"`) event per span,
+//! timestamps and durations in microseconds, the collector's thread
+//! number as `tid`. Load the file in either viewer for a flamegraph of
+//! a lattice build. Written by `fpopd --trace-dump PATH` at shutdown.
+//!
+//! Everything here is std-only; the writer emits the JSON by hand (the
+//! format is flat enough that a serializer would be overkill).
+
+use crate::span::SpanRecord;
+
+/// Escapes a string for embedding inside a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders spans as a Chrome `trace_event` JSON document:
+///
+/// ```json
+/// {"traceEvents":[
+///   {"name":"elaborate","cat":"span","ph":"X","ts":12,"dur":340,
+///    "pid":1,"tid":0,"args":{"detail":"family=STLC","depth":0}}
+/// ]}
+/// ```
+///
+/// `ts`/`dur` are microseconds since the collector epoch (the unit the
+/// viewers expect). Events are emitted in the order given; both viewers
+/// sort internally, and [`crate::drain`]/[`crate::snapshot`] already
+/// return spans oldest-first.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_json(s.name, &mut out);
+        out.push_str("\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":");
+        out.push_str(&(s.start_ns / 1_000).to_string());
+        out.push_str(",\"dur\":");
+        // Viewers drop zero-width events; clamp to 1 µs so even very
+        // fast spans stay visible on the flamegraph.
+        out.push_str(&(s.dur_ns / 1_000).max(1).to_string());
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&s.thread.to_string());
+        out.push_str(",\"args\":{\"detail\":\"");
+        escape_json(&s.detail, &mut out);
+        out.push_str("\",\"depth\":");
+        out.push_str(&s.depth.to_string());
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &'static str, detail: &str, start_ns: u64, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            detail: detail.to_string(),
+            start_ns,
+            dur_ns,
+            thread: 3,
+            depth: 1,
+        }
+    }
+
+    #[test]
+    fn shape_and_units() {
+        let spans = vec![
+            rec("elaborate", "family=STLC", 5_000, 2_000_000),
+            rec("prove", "", 7_000, 10),
+        ];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // ns → µs conversion.
+        assert!(json.contains("\"ts\":5,\"dur\":2000"));
+        // Zero-µs durations clamp to 1 so the viewer keeps the event.
+        assert!(json.contains("\"ts\":7,\"dur\":1"));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"detail\":\"family=STLC\""));
+        assert!(json.contains("\"depth\":1"));
+        // Exactly two events, comma-separated.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let spans = vec![rec("q", "say \"hi\"\\\n\tend\u{1}", 0, 1_000)];
+        let json = chrome_trace_json(&spans);
+        assert!(json.contains("say \\\"hi\\\"\\\\\\n\\tend\\u0001"));
+        // The output must be free of raw control characters.
+        assert!(json.chars().all(|c| (c as u32) >= 0x20));
+    }
+
+    #[test]
+    fn empty_input_is_valid_document() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[]}");
+    }
+}

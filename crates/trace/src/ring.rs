@@ -1,0 +1,210 @@
+//! A bounded, lock-free ring buffer for span records.
+//!
+//! Writers claim a slot with one `fetch_add` on the head counter and then
+//! own that slot through a per-slot atomic state word (even = idle,
+//! odd = busy); there is no OS lock anywhere on the write path, so a span
+//! closing inside the kernel hot loop never blocks behind a reader. The
+//! ring *overwrites* the oldest records once full (and counts the
+//! overwrites), which bounds memory for arbitrarily long engine lifetimes
+//! — exactly the property a resident `fpopd` needs.
+//!
+//! Readers ([`Ring::drain`] / [`Ring::snapshot`]) claim slots the same
+//! way, one at a time, copying the record out under the slot's busy state.
+//! Contention between a reader and a writer on the *same* slot resolves by
+//! spinning (bounded: the owner only performs a move, never blocks), so
+//! the structure is obstruction-free rather than wait-free — the right
+//! trade for a diagnostics channel.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::span::SpanRecord;
+
+struct Slot {
+    /// Even = idle (0 = never written), odd = claimed by a writer/reader.
+    state: AtomicU64,
+    data: UnsafeCell<Option<SpanRecord>>,
+}
+
+/// The bounded collector backing store. See the module docs.
+pub struct Ring {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+    /// Records overwritten before anyone read them.
+    dropped: AtomicU64,
+}
+
+// SAFETY: `data` is only touched while the owning thread holds the slot's
+// odd (busy) state, which is acquired with a CAS and released with a
+// `Release` store — the state word is a spinlock per slot.
+unsafe impl Sync for Ring {}
+unsafe impl Send for Ring {}
+
+impl Ring {
+    /// A ring holding at most `capacity` records (min 8, rounded up to a
+    /// power of two so the slot index is a mask, not a division).
+    pub fn new(capacity: usize) -> Ring {
+        let cap = capacity.max(8).next_power_of_two();
+        let slots = (0..cap)
+            .map(|_| Slot {
+                state: AtomicU64::new(0),
+                data: UnsafeCell::new(None),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ring {
+            slots,
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records overwritten before being drained (ring wrapped).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn claim(slot: &Slot) -> u64 {
+        loop {
+            let s = slot.state.load(Ordering::Acquire);
+            if s.is_multiple_of(2)
+                && slot
+                    .state
+                    .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return s;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Appends a record, overwriting the oldest once the ring is full.
+    pub fn push(&self, rec: SpanRecord) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket as usize) & (self.slots.len() - 1)];
+        let s = Self::claim(slot);
+        // SAFETY: we hold the slot's busy state (see Sync impl).
+        let prev = unsafe { (*slot.data.get()).replace(rec) };
+        slot.state.store(s.wrapping_add(2), Ordering::Release);
+        if prev.is_some() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes and returns every record, oldest first.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            let s = Self::claim(slot);
+            // SAFETY: busy state held.
+            if let Some(rec) = unsafe { (*slot.data.get()).take() } {
+                out.push(rec);
+            }
+            slot.state.store(s.wrapping_add(2), Ordering::Release);
+        }
+        out.sort_by_key(|r| r.start_ns);
+        out
+    }
+
+    /// Copies every record without removing it, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            let s = Self::claim(slot);
+            // SAFETY: busy state held.
+            if let Some(rec) = unsafe { (*slot.data.get()).clone() } {
+                out.push(rec);
+            }
+            slot.state.store(s.wrapping_add(2), Ordering::Release);
+        }
+        out.sort_by_key(|r| r.start_ns);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &'static str, start_ns: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            detail: String::new(),
+            start_ns,
+            dur_ns: 1,
+            thread: 0,
+            depth: 0,
+        }
+    }
+
+    #[test]
+    fn push_then_drain_in_order() {
+        let r = Ring::new(8);
+        for i in 0..5 {
+            r.push(rec("a", i));
+        }
+        let drained = r.drain();
+        assert_eq!(drained.len(), 5);
+        assert!(drained.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        assert!(r.drain().is_empty(), "drain removes");
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let r = Ring::new(8);
+        assert_eq!(r.capacity(), 8);
+        for i in 0..20 {
+            r.push(rec("a", i));
+        }
+        let drained = r.drain();
+        assert_eq!(drained.len(), 8, "bounded");
+        assert_eq!(r.dropped(), 12, "overwrites counted");
+        assert!(drained.iter().all(|x| x.start_ns >= 12), "oldest evicted");
+    }
+
+    #[test]
+    fn snapshot_keeps_records() {
+        let r = Ring::new(8);
+        r.push(rec("a", 1));
+        assert_eq!(r.snapshot().len(), 1);
+        assert_eq!(r.snapshot().len(), 1, "snapshot is non-destructive");
+        assert_eq!(r.drain().len(), 1);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(Ring::new(0).capacity(), 8);
+        assert_eq!(Ring::new(100).capacity(), 128);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_lose_more_than_wraps() {
+        let r = std::sync::Arc::new(Ring::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        r.push(rec("x", t * 10_000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(r.pushed(), 4000);
+        let kept = r.drain().len() as u64;
+        assert_eq!(kept + r.dropped(), 4000, "every push accounted for");
+        assert!(kept <= 64);
+    }
+}

@@ -1,0 +1,280 @@
+//! Hierarchical wall-time spans and the global collector.
+//!
+//! A span is opened with the [`span!`](crate::span!) macro and closed by
+//! dropping the returned [`SpanGuard`] — including during a panic unwind,
+//! so a worker panic can never leave the per-thread depth counter
+//! unbalanced (pinned by `depth_rebalances_after_panic`). Records land in
+//! a process-global [`crate::ring::Ring`] installed once by
+//! [`install`]; until then (or while [`set_active`]`(false)`), opening a
+//! span costs exactly one relaxed atomic load.
+//!
+//! Timestamps are nanoseconds since the collector's installation instant,
+//! which is what the Chrome exporter wants (a single monotonic epoch per
+//! trace file).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::ring::Ring;
+
+/// One closed span, as stored by the collector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name (e.g. `"elaborate"`).
+    pub name: &'static str,
+    /// Free-form detail string (e.g. `"family=STLCFix"`); empty if none.
+    pub detail: String,
+    /// Start time, nanoseconds since the collector epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small per-process thread number (not the OS tid).
+    pub thread: u64,
+    /// Nesting depth at open time (0 = top-level span on its thread).
+    pub depth: u32,
+}
+
+struct Collector {
+    ring: Ring,
+    epoch: Instant,
+}
+
+static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    static THREAD_NO: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+fn thread_no() -> u64 {
+    THREAD_NO.with(|t| {
+        if t.get() == u64::MAX {
+            t.set(NEXT_THREAD.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+/// Installs the global collector with (at least) `capacity` ring slots and
+/// activates span recording. Idempotent: the first call wins; later calls
+/// only re-activate recording. Returns whether this call performed the
+/// installation.
+pub fn install(capacity: usize) -> bool {
+    let mut installed_now = false;
+    COLLECTOR.get_or_init(|| {
+        installed_now = true;
+        Collector {
+            ring: Ring::new(capacity),
+            epoch: Instant::now(),
+        }
+    });
+    ACTIVE.store(true, Ordering::Relaxed);
+    installed_now
+}
+
+/// Whether a collector has been installed (regardless of active state).
+pub fn installed() -> bool {
+    COLLECTOR.get().is_some()
+}
+
+/// Whether spans are currently being recorded.
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Pauses (`false`) or resumes (`true`) recording without touching the
+/// collected records. A no-op resume before [`install`] stays inert:
+/// spans are only recorded once a ring exists.
+pub fn set_active(active: bool) {
+    ACTIVE.store(active && installed(), Ordering::Relaxed);
+}
+
+/// Removes and returns every collected span, oldest first. Empty if no
+/// collector was installed.
+pub fn drain() -> Vec<SpanRecord> {
+    COLLECTOR.get().map(|c| c.ring.drain()).unwrap_or_default()
+}
+
+/// Copies every collected span without removing it, oldest first.
+pub fn snapshot() -> Vec<SpanRecord> {
+    COLLECTOR
+        .get()
+        .map(|c| c.ring.snapshot())
+        .unwrap_or_default()
+}
+
+/// Current span nesting depth on this thread (0 outside all spans).
+/// Observability for tests: the depth must return to its prior value when
+/// guards drop, even during panic unwinds.
+pub fn current_depth() -> u32 {
+    DEPTH.with(Cell::get)
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    detail: String,
+    start: Instant,
+    start_ns: u64,
+    depth: u32,
+    thread: u64,
+}
+
+/// An open span; dropping it records the span. Construct through the
+/// [`span!`](crate::span!) macro (or [`SpanGuard::enter`] directly).
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// Opens a span. `detail` is only invoked when recording is active, so
+    /// formatting costs nothing on the disabled path.
+    #[cfg(not(feature = "off"))]
+    pub fn enter(name: &'static str, detail: impl FnOnce() -> String) -> SpanGuard {
+        if !ACTIVE.load(Ordering::Relaxed) {
+            return SpanGuard(None);
+        }
+        let Some(c) = COLLECTOR.get() else {
+            return SpanGuard(None);
+        };
+        let start = Instant::now();
+        let depth = DEPTH.with(|d| {
+            let cur = d.get();
+            d.set(cur + 1);
+            cur
+        });
+        SpanGuard(Some(ActiveSpan {
+            name,
+            detail: detail(),
+            start,
+            start_ns: start.duration_since(c.epoch).as_nanos() as u64,
+            depth,
+            thread: thread_no(),
+        }))
+    }
+
+    /// Compiled-out variant (`--features trace/off`): a zero-cost no-op.
+    #[cfg(feature = "off")]
+    #[inline(always)]
+    pub fn enter(_name: &'static str, _detail: impl FnOnce() -> String) -> SpanGuard {
+        SpanGuard(None)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.0.take() else { return };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        if let Some(c) = COLLECTOR.get() {
+            c.ring.push(SpanRecord {
+                name: a.name,
+                detail: a.detail,
+                start_ns: a.start_ns,
+                dur_ns: a.start.elapsed().as_nanos() as u64,
+                thread: a.thread,
+                depth: a.depth,
+            });
+        }
+    }
+}
+
+/// Opens a hierarchical span; bind the result to keep it alive:
+///
+/// ```
+/// trace::install(256);
+/// let _span = trace::span!("elaborate", "family={}", "STLC");
+/// ```
+///
+/// The first argument is a static name; the optional rest is a
+/// `format!`-style detail string, evaluated **lazily** (only when a
+/// collector is active). With the `off` feature the macro expands to a
+/// zero-sized guard and nothing else.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name, ::std::string::String::new)
+    };
+    ($name:expr, $($arg:tt)+) => {
+        $crate::SpanGuard::enter($name, || ::std::format!($($arg)+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // With `--features off` every span is compiled out, so the recording
+    // assertions below cannot hold; the compile-out contract has its own
+    // test instead.
+    #[cfg(feature = "off")]
+    #[test]
+    fn compiled_out_spans_record_nothing() {
+        install(64);
+        let _ = drain();
+        {
+            let _g = crate::span!("gone", "n={}", 1);
+            assert_eq!(current_depth(), 0, "no depth tracking when off");
+        }
+        assert!(drain().is_empty(), "off build must not record spans");
+    }
+
+    // The collector (and the ACTIVE flag) is process-global; run all
+    // global-state assertions in ONE test body so parallel test threads
+    // cannot race the drain/deactivate steps.
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn spans_record_nesting_close_in_unwind_and_pause() {
+        install(1024);
+        {
+            let _ = drain();
+            let base = current_depth();
+            {
+                let _a = crate::span!("outer", "k={}", 1);
+                assert_eq!(current_depth(), base + 1);
+                {
+                    let _b = crate::span!("inner");
+                    assert_eq!(current_depth(), base + 2);
+                }
+                assert_eq!(current_depth(), base + 1);
+            }
+            assert_eq!(current_depth(), base);
+            let spans = drain();
+            let names: Vec<_> = spans.iter().map(|s| s.name).collect();
+            assert!(names.contains(&"outer") && names.contains(&"inner"));
+            let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+            let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+            assert_eq!(outer.detail, "k=1");
+            assert_eq!(inner.depth, outer.depth + 1);
+            assert!(outer.dur_ns >= inner.dur_ns);
+
+            // Panic unwind: guards drop, depth rebalances, span recorded.
+            let before = current_depth();
+            let caught = std::panic::catch_unwind(|| {
+                let _g = crate::span!("doomed");
+                panic!("boom");
+            });
+            assert!(caught.is_err());
+            assert_eq!(current_depth(), before, "depth rebalances after panic");
+            assert!(drain().iter().any(|s| s.name == "doomed"));
+
+            // Pausing: nothing records, and the detail closure never runs.
+            set_active(false);
+            let mut called = false;
+            {
+                let _g = SpanGuard::enter("quiet", || {
+                    called = true;
+                    String::new()
+                });
+            }
+            set_active(true);
+            #[cfg(not(feature = "off"))]
+            assert!(!called, "detail closure must not run while inactive");
+            let _ = called;
+            assert!(
+                !drain().iter().any(|s| s.name == "quiet"),
+                "inactive span must not record"
+            );
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Measures the runtime overhead of the tracing layer on the engine's
+//! hot path, in one binary:
+//!
+//! 1. **gated** — spans compiled in, **no collector installed**: every
+//!    `span!` site is one relaxed atomic load (the default `fpopd`
+//!    configuration).
+//! 2. **collecting** — the global ring collector installed and active,
+//!    as under `fpopd --trace-dump`: every span records name, detail,
+//!    depth, thread and duration into the lock-free ring.
+//! 3. **disabled** — collector installed but `set_active(false)`: back
+//!    to the single-load gate (sanity check that the gate, not the
+//!    install, is what costs).
+//!
+//! The workload is the warm full-lattice engine build — the same unit
+//! the ENGINE experiments time — repeated `ROUNDS` times per mode with
+//! the median reported, so cache state is identical across modes and
+//! the only variable is the tracing mode.
+//!
+//! The fourth mode, **compiled out** (`--features trace/off`), cannot
+//! coexist in the same binary; run
+//!
+//! ```console
+//! $ cargo run --release --example trace_overhead --features trace/off
+//! ```
+//!
+//! and the example detects the compile-out (a probe span records
+//! nothing even while collecting) and labels the output accordingly.
+//! EXPERIMENTS.md records the measured deltas.
+
+use engine::{Engine, EngineConfig, Request};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ROUNDS: usize = 9;
+/// Ring capacity while collecting: a full lattice build in the warm
+/// state records a few thousand spans; this never overflows.
+const CAPACITY: usize = 65_536;
+
+fn warm_engine() -> Arc<Engine> {
+    let e = Arc::new(Engine::start(EngineConfig {
+        workers: 2,
+        snapshot_path: None,
+        ..EngineConfig::default()
+    }));
+    // One cold build fills the session cache; every timed build after
+    // this is pure warm elaboration (misses == 0 territory).
+    e.run(Request::lattice_full()).expect("cold lattice build");
+    e
+}
+
+fn median_build(e: &Arc<Engine>) -> Duration {
+    let mut times: Vec<Duration> = (0..ROUNDS)
+        .map(|_| {
+            let t = Instant::now();
+            e.run(Request::lattice_full()).expect("warm lattice build");
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let e = warm_engine();
+
+    // Mode 1: spans compiled in (unless trace/off), no collector.
+    let gated = median_build(&e);
+
+    // Mode 2: collector installed and active.
+    trace::install(CAPACITY);
+    // Probe: does this build record spans at all? (`trace/off` ⇒ no.)
+    let collecting = median_build(&e);
+    let recorded = trace::drain().len();
+    let compiled_out = recorded == 0;
+
+    // Mode 3: collector present but gated off again.
+    trace::set_active(false);
+    let disabled = median_build(&e);
+
+    let pct = |a: Duration, b: Duration| (a.as_secs_f64() / b.as_secs_f64() - 1.0) * 100.0;
+    println!("== trace overhead: warm full-lattice engine build, median of {ROUNDS} ==");
+    if compiled_out {
+        println!("   (built with trace/off: spans are compiled out entirely)");
+    }
+    println!("   no collector        : {gated:>9.2?}");
+    println!(
+        "   collecting          : {collecting:>9.2?}  ({:+.1}% vs no collector, {} spans/build)",
+        pct(collecting, gated),
+        recorded / ROUNDS
+    );
+    println!(
+        "   installed, inactive : {disabled:>9.2?}  ({:+.1}% vs no collector)",
+        pct(disabled, gated)
+    );
+
+    e.shutdown().unwrap();
+}

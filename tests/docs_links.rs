@@ -1,0 +1,174 @@
+//! Markdown cross-reference checker for the repo's own documentation.
+//!
+//! Walks the maintained docs (README/DESIGN/EXPERIMENTS/ROADMAP/CHANGES
+//! plus everything under `docs/`) and verifies that every relative
+//! markdown link points at a file that exists, and that every `#anchor`
+//! names a real heading in its target (GitHub slug rules). External
+//! `http(s)`/`mailto` links are not fetched — this suite stays offline.
+//!
+//! Deliberately *not* covered: `PAPER.md`, `PAPERS.md`, `SNIPPETS.md`
+//! and `ISSUE.md` — imported reference material whose links we don't
+//! own. CI runs this by name (`cargo test --test docs_links`) next to
+//! the `cargo doc -D warnings` gate.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// The maintained documentation set: named root files + `docs/**.md`.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = [
+        "README.md",
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+        "ROADMAP.md",
+        "CHANGES.md",
+    ]
+    .iter()
+    .map(|f| root.join(f))
+    .filter(|p| p.is_file())
+    .collect();
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.extension().is_some_and(|x| x == "md") && p.is_file() {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+    assert!(
+        files.len() >= 6,
+        "doc walker found too few files ({files:?}) — moved?"
+    );
+    files
+}
+
+/// GitHub-style heading slug: lowercase; keep alphanumerics, hyphens
+/// and underscores; spaces become hyphens; everything else is dropped.
+fn slug(heading: &str) -> String {
+    let mut out = String::new();
+    for c in heading.trim().chars() {
+        if c.is_alphanumeric() || c == '-' || c == '_' {
+            out.extend(c.to_lowercase());
+        } else if c == ' ' {
+            out.push('-');
+        }
+    }
+    out
+}
+
+/// All heading anchors in a markdown file (fenced code blocks skipped).
+fn anchors(text: &str) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let hashes = line.chars().take_while(|&c| c == '#').count();
+        if (1..=6).contains(&hashes) && line.chars().nth(hashes) == Some(' ') {
+            set.insert(slug(&line[hashes + 1..]));
+        }
+    }
+    set
+}
+
+/// Extracts `](target)` link targets outside fenced code blocks.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(i) = rest.find("](") {
+            rest = &rest[i + 2..];
+            if let Some(j) = rest.find(')') {
+                targets.push(rest[..j].to_string());
+                rest = &rest[j + 1..];
+            } else {
+                break;
+            }
+        }
+    }
+    targets
+}
+
+#[test]
+fn relative_links_and_anchors_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut errors = Vec::new();
+
+    for file in doc_files(&root) {
+        let text = std::fs::read_to_string(&file).unwrap();
+        let dir = file.parent().unwrap();
+        let shown = file.strip_prefix(&root).unwrap().display().to_string();
+
+        for target in link_targets(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue; // external; this suite stays offline
+            }
+            let (path_part, anchor) = match target.split_once('#') {
+                Some((p, a)) => (p, Some(a.to_string())),
+                None => (target.as_str(), None),
+            };
+            // Resolve the file the link points at (self for pure anchors).
+            let resolved = if path_part.is_empty() {
+                file.clone()
+            } else {
+                dir.join(path_part)
+            };
+            if !resolved.exists() {
+                errors.push(format!("{shown}: broken link target {target:?}"));
+                continue;
+            }
+            if let Some(a) = anchor {
+                if resolved.extension().is_some_and(|x| x == "md") {
+                    let dest = std::fs::read_to_string(&resolved).unwrap();
+                    if !anchors(&dest).contains(&a) {
+                        errors.push(format!(
+                            "{shown}: anchor #{a} not found in {}",
+                            resolved.strip_prefix(&root).unwrap_or(&resolved).display()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    assert!(
+        errors.is_empty(),
+        "broken documentation cross-references:\n{}",
+        errors.join("\n")
+    );
+}
+
+#[test]
+fn docs_reference_each_other() {
+    // The navigation contract: README links both docs; each doc links
+    // back to the other and to EXPERIMENTS.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    assert!(readme.contains("docs/ARCHITECTURE.md"));
+    assert!(readme.contains("docs/OBSERVABILITY.md"));
+    let arch = std::fs::read_to_string(root.join("docs/ARCHITECTURE.md")).unwrap();
+    assert!(arch.contains("OBSERVABILITY.md"));
+    let obs = std::fs::read_to_string(root.join("docs/OBSERVABILITY.md")).unwrap();
+    assert!(obs.contains("ARCHITECTURE.md"));
+    assert!(obs.contains("EXPERIMENTS.md"));
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).unwrap();
+    assert!(design.contains("docs/ARCHITECTURE.md"));
+    assert!(design.contains("docs/OBSERVABILITY.md"));
+}
