@@ -1,0 +1,229 @@
+//! Satellite fuzzer: the `fpopd` line protocol must **error, never panic
+//! or hang**, on arbitrary garbage.
+//!
+//! Three layers are attacked:
+//!
+//! * the pure parsing layer (`parse_command`, `unescape`) under random
+//!   byte soup, random truncations of valid commands, and adversarial
+//!   escape sequences;
+//! * the codec laws (`unescape ∘ escape = id`, escaped payloads are
+//!   single-line) on random unicode strings;
+//! * a **live server**: a real `proto::serve` loop on a loopback socket
+//!   is fed garbage frames — including invalid UTF-8 and unterminated
+//!   lines — and must keep answering `ping` with `ok pong` afterwards.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use engine::proto::{self, parse_command, unescape};
+use engine::{Engine, EngineConfig};
+use testkit::{run_cases, Rng};
+
+/// A printable-ish garbage line: random ASCII with occasional backslashes
+/// and protocol keywords spliced in, so the parser's deeper branches get
+/// exercised rather than bailing at the verb.
+fn gen_garbage_line(r: &mut Rng) -> String {
+    const VERBS: [&str; 9] = [
+        "check",
+        "lattice",
+        "theorem",
+        "stats",
+        "metrics",
+        "slowlog",
+        "checkpoint",
+        "high",
+        "low",
+    ];
+    let mut s = String::new();
+    if r.flip() {
+        s.push_str(VERBS[r.below(VERBS.len() as u64) as usize]);
+        s.push(' ');
+    }
+    let len = r.below(40) as usize;
+    for _ in 0..len {
+        match r.below(8) {
+            0 => s.push('\\'),
+            1 => s.push(' '),
+            2 => s.push(','),
+            3 => s.push_str(VERBS[r.below(VERBS.len() as u64) as usize]),
+            _ => s.push((0x20 + r.below(0x5f) as u8) as char),
+        }
+    }
+    s
+}
+
+/// A valid command line the parser accepts, for truncation fuzzing.
+fn gen_valid_line(r: &mut Rng) -> String {
+    match r.below(6) {
+        0 => "ping".into(),
+        1 => "high stats".into(),
+        2 => "lattice Fix,Prod".into(),
+        3 => "theorem STLC preservation".into(),
+        4 => "check Family F.\\nEnd F.".into(),
+        _ => "low lattice extended".into(),
+    }
+}
+
+/// `parse_command` is total on garbage: it returns `Ok` or `Err`, never
+/// panics, for random byte soup and keyword-salted lines.
+#[test]
+fn parse_command_never_panics_on_garbage() {
+    run_cases("proto_parse_garbage", 0x6A4BA6E, 300, |r| {
+        let line = gen_garbage_line(r);
+        let _ = parse_command(&line); // must not panic
+    });
+}
+
+/// Every strict prefix of a valid command parses to `Ok` or `Err` without
+/// panicking — truncated frames are the common failure on a lossy pipe.
+#[test]
+fn truncated_valid_commands_never_panic() {
+    run_cases("proto_truncations", 0x74C47E, 60, |r| {
+        let line = gen_valid_line(r);
+        for cut in 0..line.len() {
+            if line.is_char_boundary(cut) {
+                let _ = parse_command(&line[..cut]);
+            }
+        }
+    });
+}
+
+/// `unescape` is total: random strings with dense backslashes either
+/// round a value or return `Err`, and never panic.
+#[test]
+fn unescape_never_panics() {
+    run_cases("proto_unescape_garbage", 0x0E5CA9E, 300, |r| {
+        let len = r.below(32) as usize;
+        let s: String = (0..len)
+            .map(|_| {
+                if r.below(3) == 0 {
+                    '\\'
+                } else {
+                    (0x20 + r.below(0x5f) as u8) as char
+                }
+            })
+            .collect();
+        let _ = unescape(&s); // must not panic
+    });
+}
+
+/// Codec laws on random unicode payloads: `unescape(escape(s)) == s` and
+/// the escaped form never contains a raw newline (framing-safe).
+#[test]
+fn escape_roundtrips_and_frames_random_payloads() {
+    run_cases("proto_escape_roundtrip", 0xF4A3E5, 200, |r| {
+        let len = r.below(64) as usize;
+        let s: String = (0..len)
+            .map(|_| match r.below(10) {
+                0 => '\n',
+                1 => '\r',
+                2 => '\\',
+                3 => 'λ',
+                4 => '→',
+                _ => (0x20 + r.below(0x5f) as u8) as char,
+            })
+            .collect();
+        let esc = proto::escape(&s);
+        assert!(!esc.contains('\n'), "escaped payload spans lines: {esc:?}");
+        assert!(!esc.contains('\r'), "escaped payload has raw CR: {esc:?}");
+        assert_eq!(unescape(&esc).unwrap(), s, "round-trip changed payload");
+    });
+}
+
+fn read_reply(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("server reply");
+    line.trim_end().to_string()
+}
+
+/// Live-server fuzz: garbage frames over a real socket each get an `err`
+/// reply (or drop the connection on invalid UTF-8), the server never
+/// panics or hangs, and a fresh `ping` still answers `ok pong`.
+#[test]
+fn live_server_survives_garbage_frames() {
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 1,
+        snapshot_path: None,
+        ..EngineConfig::default()
+    }));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || proto::serve(engine, listener, stop))
+    };
+
+    let connect = || {
+        let s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s
+    };
+
+    run_cases("proto_live_garbage", 0x11FE5E4, 12, |r| {
+        let mut stream = connect();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        // A burst of garbage lines; every one must draw an err reply.
+        for _ in 0..r.range(1, 4) {
+            let mut line = gen_garbage_line(r);
+            // Keep this layer at textual garbage; raw bytes come below.
+            line.retain(|c| c != '\n' && c != '\r');
+            if line.trim().is_empty() {
+                continue; // blank lines are silently skipped by the server
+            }
+            stream.write_all(line.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+            stream.flush().unwrap();
+            let reply = read_reply(&mut reader);
+            // Keyword-salted garbage occasionally forms a valid command
+            // (e.g. "stats"); both verdicts are fine, panics are not.
+            assert!(
+                reply.starts_with("err ") || reply.starts_with("ok"),
+                "unframed reply {reply:?} to {line:?}"
+            );
+        }
+        // The same connection still serves a liveness probe.
+        stream.write_all(b"ping\n").unwrap();
+        stream.flush().unwrap();
+        assert_eq!(read_reply(&mut reader), "ok pong");
+    });
+
+    // Invalid UTF-8 and an unterminated frame: the server may drop the
+    // connection, but must not die — a fresh connection still works.
+    {
+        let mut stream = connect();
+        stream
+            .write_all(&[0xff, 0xfe, b'c', b'h', 0x80, b'\n'])
+            .unwrap();
+        stream.write_all(b"ping with no newline").unwrap();
+        stream.flush().unwrap();
+        drop(stream); // hang up mid-frame
+    }
+    {
+        let mut stream = connect();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        stream.write_all(b"ping\n").unwrap();
+        stream.flush().unwrap();
+        assert_eq!(
+            read_reply(&mut reader),
+            "ok pong",
+            "server died after raw-byte fuzz"
+        );
+        // Orderly shutdown through the protocol itself.
+        stream.write_all(b"shutdown\n").unwrap();
+        stream.flush().unwrap();
+        assert_eq!(read_reply(&mut reader), "ok shutting down");
+    }
+
+    server.join().expect("server thread").expect("serve result");
+    match Arc::try_unwrap(engine) {
+        Ok(e) => {
+            e.shutdown().unwrap();
+        }
+        Err(_) => panic!("engine still shared after server join"),
+    }
+}

@@ -1,0 +1,116 @@
+//! Differential oracle 3: **snapshot round-trip** on random proof-cache
+//! stores, plus a corruption fuzz pass.
+//!
+//! The `FPOPSNAP` codec must be a bijection on the logical store:
+//! `decode(encode(s)) == s` and `encode(decode(bytes)) == bytes` for any
+//! bytes it produced — and a *total* rejector of anything else: random
+//! bit flips, truncations, and garbage must return `Err`, never panic.
+//! Failing stores shrink entry-by-entry before the replay seed is
+//! reported.
+
+use engine::snapshot::{decode_snapshot, encode_snapshot};
+use testkit::store_gen::{gen_store, Store};
+use testkit::{forall, run_cases, Rng};
+
+/// Encode → decode → re-encode is the identity on stores and on bytes.
+#[test]
+fn random_stores_roundtrip_byte_identically() {
+    forall(
+        "snapshot_roundtrip",
+        0x54A95407,
+        60,
+        gen_store,
+        |s: &Store| {
+            let bytes = encode_snapshot(&s.entries);
+            let decoded =
+                decode_snapshot(&bytes).map_err(|e| format!("decode of own encode: {e:?}"))?;
+            if decoded != s.entries {
+                return Err(format!(
+                    "round-trip changed the store: {} entries in, {} out",
+                    s.entries.len(),
+                    decoded.len()
+                ));
+            }
+            let re = encode_snapshot(&decoded);
+            if re != bytes {
+                return Err(format!(
+                    "re-encode not byte-identical ({} vs {} bytes)",
+                    re.len(),
+                    bytes.len()
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Any single flipped bit in a valid snapshot is rejected (the trailing
+/// checksum or a framing check catches it) — and rejection is an `Err`,
+/// never a panic.
+#[test]
+fn random_bit_flips_are_rejected_without_panic() {
+    run_cases("snapshot_bit_flips", 0xF11B17, 40, |r: &mut Rng| {
+        let store = gen_store(r);
+        let bytes = encode_snapshot(&store.entries);
+        let mut corrupt = bytes.clone();
+        let byte = r.below(corrupt.len() as u64) as usize;
+        let bit = r.below(8) as u32;
+        corrupt[byte] ^= 1 << bit;
+        assert!(
+            decode_snapshot(&corrupt).is_err(),
+            "flipped bit {bit} of byte {byte}/{} went undetected",
+            corrupt.len()
+        );
+    });
+}
+
+/// Truncations at arbitrary boundaries and arbitrary garbage prefixes are
+/// rejected without panicking.
+#[test]
+fn truncations_and_garbage_are_rejected_without_panic() {
+    run_cases(
+        "snapshot_truncate_garbage",
+        0x7256C472,
+        40,
+        |r: &mut Rng| {
+            let store = gen_store(r);
+            let bytes = encode_snapshot(&store.entries);
+            // Truncate strictly inside the frame.
+            if bytes.len() > 1 {
+                let cut = r.below(bytes.len() as u64 - 1) as usize;
+                assert!(
+                    decode_snapshot(&bytes[..cut]).is_err(),
+                    "truncation to {cut}/{} bytes went undetected",
+                    bytes.len()
+                );
+            }
+            // Pure garbage of random length (may accidentally start with the
+            // magic; the decoder must still fail totally).
+            let len = r.below(256) as usize;
+            let garbage: Vec<u8> = (0..len).map(|_| r.below(256) as u8).collect();
+            let _ = decode_snapshot(&garbage); // must not panic
+        },
+    );
+}
+
+/// Regression: the seeded one-byte mutation inside the entry payload (not
+/// just the header) is caught. This pins the oracle's bite: a snapshot
+/// whose *content* silently changed can never warm-load.
+#[test]
+fn seeded_payload_mutation_is_caught() {
+    let mut r = Rng::new(0x0B57AC1E);
+    let store = gen_store(&mut r);
+    let bytes = encode_snapshot(&store.entries);
+    if bytes.len() > 16 {
+        // Flip a byte in the middle of the payload, past the header.
+        let mid = bytes.len() / 2;
+        let mut corrupt = bytes.clone();
+        corrupt[mid] ^= 0x40;
+        assert!(
+            decode_snapshot(&corrupt).is_err(),
+            "payload mutation at byte {mid} went undetected"
+        );
+    }
+    // The pristine bytes still decode to the exact store.
+    assert_eq!(decode_snapshot(&bytes).expect("pristine"), store.entries);
+}

@@ -107,17 +107,19 @@ pub fn elaborate(
     let mut assumptions: Vec<Symbol> = Vec::new();
     let mut emitter = Emitter::new(fam, modenv);
 
-    // Cache-key component: the bodies of all overridable definitions in
-    // scope. A proof checked under one set of bodies is never reused under
-    // another (see Field::Definition handling below).
+    // Cache-key component: the bodies of *all* transparent definitions in
+    // scope (overridable or not). A proof checked under one set of bodies
+    // is never reused under another (see Field::Definition handling
+    // below). Non-overridable bodies cannot change within a lattice, so
+    // cross-variant sharing is unaffected — but two unrelated programs in
+    // one shared session may collide on a family/definition name with
+    // *different* bodies, and a proof that unfolded one body must not be
+    // replayed as a hit for the other (caught by the cache-bypass oracle).
     let odef_key: Vec<(Symbol, objlang::Term)> = merged
         .fields
         .iter()
         .filter_map(|mf| match &mf.content {
-            Field::Definition {
-                alias,
-                overridable: true,
-            } => Some((alias.name, alias.body.clone())),
+            Field::Definition { alias, .. } => Some((alias.name, alias.body.clone())),
             _ => None,
         })
         .collect();

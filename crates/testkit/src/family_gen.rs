@@ -1,0 +1,113 @@
+//! Random feature subsets and family-composition chains over the
+//! Section 7 lattice.
+//!
+//! Two shapes of input:
+//!
+//! * [`gen_feature_subset`] — a *raw* (possibly duplicated, unordered)
+//!   feature list, exercising `normalize_features` exactly the way the
+//!   `fpopd` wire protocol does;
+//! * [`gen_composition_chain`] — an incremental linkage-transformer
+//!   chain: a random permutation of features composed prefix by prefix,
+//!   the way a user grows a mechanization one mixin at a time.
+
+use families_stlc::{normalize_features, variant_name, Feature};
+
+use crate::harness::Shrink;
+use crate::rng::Rng;
+
+/// A raw random feature list (1–5 draws **with** duplicates, unordered)
+/// plus its normal form — the input shape of `BuildLattice` requests.
+#[derive(Clone, Debug)]
+pub struct FeatureSubset {
+    /// The raw draw (duplicates and arbitrary order preserved).
+    pub raw: Vec<Feature>,
+    /// `normalize_features(&raw)`.
+    pub normalized: Vec<Feature>,
+}
+
+impl FeatureSubset {
+    /// The canonical name of the top variant of this subset.
+    pub fn top_variant(&self) -> String {
+        if self.normalized.is_empty() {
+            "STLC".to_string()
+        } else {
+            variant_name(&self.normalized)
+        }
+    }
+}
+
+impl Shrink for FeatureSubset {
+    fn shrinks(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for i in 0..self.raw.len() {
+            if self.raw.len() <= 1 {
+                break;
+            }
+            let mut raw = self.raw.clone();
+            raw.remove(i);
+            let normalized = normalize_features(&raw);
+            out.push(FeatureSubset { raw, normalized });
+        }
+        out
+    }
+}
+
+/// Draws a raw feature subset (non-empty, up to 5 draws, duplicates
+/// allowed ~20% of the time).
+pub fn gen_feature_subset(r: &mut Rng) -> FeatureSubset {
+    let all = Feature::all_extended();
+    let len = r.range(1, 6) as usize;
+    let mut raw: Vec<Feature> = (0..len).map(|_| *r.pick(&all)).collect();
+    if r.below(5) == 0 && !raw.is_empty() {
+        let dup = raw[r.below(raw.len() as u64) as usize];
+        raw.push(dup);
+    }
+    let normalized = normalize_features(&raw);
+    FeatureSubset { raw, normalized }
+}
+
+/// A composition chain: each element is the feature set of one step of
+/// an incrementally grown family (every step extends the previous by one
+/// feature). The last element is the full permutation.
+pub fn gen_composition_chain(r: &mut Rng) -> Vec<Vec<Feature>> {
+    let mut pool = Feature::all_extended().to_vec();
+    // Fisher–Yates.
+    for i in (1..pool.len()).rev() {
+        let j = r.below((i + 1) as u64) as usize;
+        pool.swap(i, j);
+    }
+    let depth = r.range(2, (pool.len() + 1) as u64) as usize;
+    (1..=depth).map(|k| pool[..k].to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsets_are_nonempty_and_normalized() {
+        let mut r = Rng::new(0x5B5E7);
+        for _ in 0..200 {
+            let s = gen_feature_subset(&mut r);
+            assert!(!s.raw.is_empty());
+            assert!(!s.normalized.is_empty());
+            assert_eq!(s.normalized, normalize_features(&s.normalized));
+            assert!(s.top_variant().starts_with("STLC"));
+        }
+    }
+
+    #[test]
+    fn chains_grow_by_one_feature() {
+        let mut r = Rng::new(0xC4A1);
+        for _ in 0..100 {
+            let chain = gen_composition_chain(&mut r);
+            assert!(chain.len() >= 2);
+            for (i, step) in chain.iter().enumerate() {
+                assert_eq!(step.len(), i + 1);
+            }
+            for w in chain.windows(2) {
+                assert!(w[1].starts_with(&w[0]));
+            }
+        }
+    }
+}

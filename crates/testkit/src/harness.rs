@@ -1,0 +1,295 @@
+//! Seeded property runners: failure-seed reporting, replay, iteration
+//! scaling, and integrated shrinking.
+//!
+//! Every randomized suite in the repository funnels through one of two
+//! entry points:
+//!
+//! * [`run_cases`] — the lightweight wrapper for assert-style property
+//!   loops (the migrated ex-proptest suites). Each case runs under
+//!   `catch_unwind`; on panic the harness prints a one-line replay recipe
+//!   (`FPOP_TEST_SEED=0x… cargo test …`) before resuming the panic.
+//! * [`forall`] — the full oracle runner: the property returns
+//!   `Result<(), String>`, and on failure the counterexample is
+//!   greedily **shrunk** via the [`Shrink`] trait before the harness
+//!   panics with the minimal input, its seed, and the replay recipe.
+//!
+//! ## Environment knobs
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `FPOP_TEST_SEED` | overrides the master seed (decimal or `0x…` hex); replays a failure |
+//! | `FPOP_TEST_ITERS` | multiplies every case count (the nightly deep-fuzz job sets 10–50) |
+//! | `FPOP_TEST_FAIL_LOG` | append failing-seed reports to this file (CI uploads it as an artifact) |
+
+use std::fmt::Debug;
+use std::io::Write as _;
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::rng::Rng;
+
+/// Reads the master seed: `FPOP_TEST_SEED` if set (decimal or `0x…`
+/// hex), else `default_seed`.
+pub fn master_seed(default_seed: u64) -> u64 {
+    match std::env::var("FPOP_TEST_SEED") {
+        Ok(s) => parse_seed(&s).unwrap_or_else(|| {
+            panic!("FPOP_TEST_SEED={s:?} is not a decimal or 0x-hex u64");
+        }),
+        Err(_) => default_seed,
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Scales a base case count by `FPOP_TEST_ITERS` (a multiplier; the
+/// nightly deep-fuzz job runs the same oracles at 10–50×). When
+/// `FPOP_TEST_SEED` is set the count drops to 1: a seed names exactly one
+/// case universe, so replaying needs exactly one iteration.
+pub fn iterations(base: usize) -> usize {
+    if std::env::var("FPOP_TEST_SEED").is_ok() {
+        return 1;
+    }
+    let mult = std::env::var("FPOP_TEST_ITERS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+    base.saturating_mul(mult).max(1)
+}
+
+/// Writes a failing-seed report to stderr and, when `FPOP_TEST_FAIL_LOG`
+/// is set, appends it to that file (the CI deep-fuzz job uploads it as an
+/// artifact on failure).
+fn report_failure(name: &str, case_seed: u64, detail: &str) {
+    let line = format!(
+        "[testkit] property {name:?} FAILED under case seed {case_seed:#x}\n\
+         [testkit]   replay: FPOP_TEST_SEED={case_seed:#x} cargo test -- {name}\n\
+         [testkit]   {detail}\n"
+    );
+    eprint!("{line}");
+    if let Ok(path) = std::env::var("FPOP_TEST_FAIL_LOG") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Runs `base_iters` (scaled by `FPOP_TEST_ITERS`) cases of an
+/// assert-style property. Each case gets an independent [`Rng`] derived
+/// from the master seed; on panic the per-case seed is reported and the
+/// panic resumes. `FPOP_TEST_SEED` replays a single reported case.
+pub fn run_cases(name: &str, default_seed: u64, base_iters: usize, f: impl Fn(&mut Rng)) {
+    let seed = master_seed(default_seed);
+    let replaying = std::env::var("FPOP_TEST_SEED").is_ok();
+    let iters = iterations(base_iters);
+    let mut master = Rng::new(seed);
+    for case in 0..iters {
+        // When replaying, the env seed IS the case seed.
+        let case_seed = if replaying { seed } else { master.next_u64() };
+        let mut r = Rng::new(case_seed);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(&mut r)));
+        if let Err(payload) = outcome {
+            report_failure(name, case_seed, &format!("case index {case}"));
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Runs `f` on a dedicated thread with a 64 MiB stack and propagates its
+/// panic, if any. Recursive traversals of generated terms can exceed the
+/// default test-thread stack (a single `st_fix` unfolding can double a
+/// term's depth); traversal-heavy suites wrap their bodies in this.
+pub fn with_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(f)
+        .expect("spawning big-stack thread")
+        .join()
+        .unwrap_or_else(|payload| panic::resume_unwind(payload))
+}
+
+/// Structural shrinking: candidate strictly-simpler values to retry a
+/// failing property against. The default is "cannot shrink".
+pub trait Shrink: Sized {
+    /// Candidate simpler values (possibly empty).
+    fn shrinks(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+impl Shrink for u64 {
+    fn shrinks(&self) -> Vec<Self> {
+        match *self {
+            0 => vec![],
+            1 => vec![0],
+            n => vec![0, n / 2, n - 1],
+        }
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrinks(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        // Drop one element at a time (front-biased halving first).
+        if self.len() > 1 {
+            out.push(self[..self.len() / 2].to_vec());
+        }
+        for i in 0..self.len() {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        // Shrink one element in place.
+        for (i, x) in self.iter().enumerate() {
+            for s in x.shrinks() {
+                let mut v = self.clone();
+                v[i] = s;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// The full oracle runner: generates `base_iters` (scaled) inputs with
+/// `gen`, checks `prop` on each, and on failure greedily shrinks the
+/// counterexample (bounded at 1 000 shrink attempts) before panicking
+/// with the minimal input and its replay seed.
+pub fn forall<T: Debug + Clone + Shrink>(
+    name: &str,
+    default_seed: u64,
+    base_iters: usize,
+    gen: impl Fn(&mut Rng) -> T,
+    prop: impl Fn(&T) -> Result<(), String>,
+) {
+    let seed = master_seed(default_seed);
+    let replaying = std::env::var("FPOP_TEST_SEED").is_ok();
+    let iters = iterations(base_iters);
+    let mut master = Rng::new(seed);
+    for case in 0..iters {
+        let case_seed = if replaying { seed } else { master.next_u64() };
+        let mut r = Rng::new(case_seed);
+        let input = gen(&mut r);
+        if let Err(first_err) = prop(&input) {
+            let (min, min_err, steps) = shrink_to_minimal(input, first_err, &prop);
+            report_failure(
+                name,
+                case_seed,
+                &format!("case index {case}, shrunk {steps} steps"),
+            );
+            panic!(
+                "property {name:?} failed (seed {case_seed:#x}).\n\
+                 minimal counterexample: {min:#?}\n\
+                 failure: {min_err}"
+            );
+        }
+    }
+}
+
+/// Greedy first-improvement shrinking loop shared by [`forall`].
+fn shrink_to_minimal<T: Clone + Shrink>(
+    mut cur: T,
+    mut cur_err: String,
+    prop: &impl Fn(&T) -> Result<(), String>,
+) -> (T, String, usize) {
+    let mut attempts = 0usize;
+    let mut steps = 0usize;
+    'outer: loop {
+        for cand in cur.shrinks() {
+            attempts += 1;
+            if attempts > 1000 {
+                break 'outer;
+            }
+            if let Err(e) = prop(&cand) {
+                cur = cand;
+                cur_err = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (cur, cur_err, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_parsing() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0xFF"), Some(255));
+        assert_eq!(parse_seed("0Xff"), Some(255));
+        assert_eq!(parse_seed("nope"), None);
+    }
+
+    #[test]
+    fn vec_shrinks_drop_and_recurse() {
+        let v: Vec<u64> = vec![4, 2];
+        let shrinks = v.shrinks();
+        assert!(shrinks.contains(&vec![4]));
+        assert!(shrinks.contains(&vec![2]));
+        assert!(shrinks.contains(&vec![0, 2]));
+    }
+
+    #[test]
+    fn forall_shrinks_to_minimal() {
+        // Property: no vector contains an element ≥ 10. Generator emits
+        // one offending vector; the shrinker must cut it to a singleton.
+        let caught = panic::catch_unwind(|| {
+            forall(
+                "shrink_demo",
+                7,
+                1,
+                |_r| vec![3u64, 17, 5],
+                |v: &Vec<u64>| {
+                    if v.iter().any(|&x| x >= 10) {
+                        Err("contains big element".into())
+                    } else {
+                        Ok(())
+                    }
+                },
+            )
+        });
+        let msg = match caught {
+            Err(p) => *p.downcast::<String>().expect("string panic payload"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("minimal counterexample"), "got: {msg}");
+        // The shrinker halves 17 toward the boundary and drops the
+        // passing elements: the minimal input is exactly `[10]`.
+        let body = msg
+            .split("minimal counterexample:")
+            .nth(1)
+            .and_then(|t| t.split("failure:").next())
+            .expect("counterexample section");
+        assert!(body.contains("10"), "got: {body}");
+        assert!(!body.contains("17"), "not shrunk: {body}");
+        assert!(!body.contains('3') && !body.contains('5'), "got: {body}");
+    }
+
+    #[test]
+    fn run_cases_is_deterministic_per_seed() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let first = AtomicU64::new(0);
+        run_cases("det", 99, 1, |r| {
+            first.store(r.next_u64(), Ordering::SeqCst);
+        });
+        let a = first.load(Ordering::SeqCst);
+        run_cases("det", 99, 1, |r| {
+            first.store(r.next_u64(), Ordering::SeqCst);
+        });
+        assert_eq!(a, first.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,53 @@
+//! The repo-standard deterministic PRNG (xorshift64*).
+//!
+//! The repository builds with **zero external dependencies**, so all
+//! randomized suites share this tiny generator instead of a registry
+//! crate. It is deliberately the same algorithm as the historical
+//! `tests/support/rng.rs` shim (which now re-exports this type), so seeds
+//! recorded before the testkit existed still replay.
+
+/// xorshift64* — tiny, fast, good enough for test-input shuffling.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a nonzero-ified seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    /// Uniform-ish value in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform-ish value in `lo..hi` (hi > lo).
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+
+    /// A random boolean.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Picks a random element of a nonempty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+
+    /// Forks an independent generator (for deriving per-case seeds).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64() ^ 0x9E3779B97F4A7C15)
+    }
+}

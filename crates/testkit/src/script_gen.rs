@@ -1,0 +1,216 @@
+//! Generators of vernacular programs with known verdicts, and of random
+//! tactic scripts for prover-totality fuzzing.
+//!
+//! The vernacular generator is the workhorse of the cache-bypass and
+//! engine differential oracles: every generated program carries its
+//! *expected verdict* ([`Verdict`]), computed from the template choice,
+//! so oracles can assert that warm sessions, cold kernels, and the
+//! `fpopd` engine all agree with it — and with each other.
+
+use objlang::syntax::Prop;
+use objlang::Tactic;
+
+use crate::rng::Rng;
+
+/// What a generated program is expected to do under elaboration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Parses and elaborates: every proof closes.
+    Accept,
+    /// Parses but elaboration fails (a proof does not close, or name
+    /// resolution fails).
+    Reject,
+    /// Does not even parse.
+    ParseError,
+}
+
+/// A generated vernacular program with its expected verdict.
+#[derive(Clone, Debug)]
+pub struct VernacularProgram {
+    /// The program text (`fpop::parse::run_program` input).
+    pub source: String,
+    /// The expected elaboration outcome.
+    pub expect: Verdict,
+}
+
+impl crate::harness::Shrink for VernacularProgram {}
+
+fn succ_chain(n: u64) -> String {
+    let mut s = "n_zero".to_string();
+    for _ in 0..n {
+        s = format!("n_succ({s})");
+    }
+    s
+}
+
+/// Generates a Peano-flavored vernacular program. Roughly 60% accept,
+/// 25% reject (well-formed text, failing proof), 15% parse error. The
+/// family name carries a random salt so distinct draws produce distinct
+/// sources (and therefore distinct engine dedup keys).
+pub fn gen_vernacular(r: &mut Rng) -> VernacularProgram {
+    let salt = r.below(100_000);
+    let fam = format!("T{salt}");
+    let n = r.below(4);
+    let k = succ_chain(n);
+    let roll = r.below(20);
+    // The always-valid part: an inductive, a structural recursion, a
+    // definition, and a discriminate lemma.
+    let prelude = format!(
+        "Family {fam}.\n\
+         \x20 FInductive num := n_zero | n_succ(num).\n\
+         \x20 FRecursion idn on num returns num :=\n\
+         \x20   Case n_zero := n_zero.\n\
+         \x20   Case n_succ(a) := n_succ(idn(a)).\n\
+         \x20 End idn.\n\
+         \x20 FDefinition k : num := {k}.\n"
+    );
+    if roll < 12 {
+        // Accept: idn is the identity on the sampled numeral, plus a
+        // constructor-disjointness lemma.
+        let source = format!(
+            "{prelude}\
+             \x20 FTheorem idn_k : idn(k) = {k}.\n\
+             \x20 Proof. fsimpl. reflexivity. Qed.\n\
+             \x20 FTheorem zero_neq : n_zero = n_succ(n_zero) -> False.\n\
+             \x20 Proof. intro H. fdiscriminate H. Qed.\n\
+             End {fam}.\n\
+             Check {fam}.idn_k.\n"
+        );
+        VernacularProgram {
+            source,
+            expect: Verdict::Accept,
+        }
+    } else if roll < 17 {
+        // Reject: a false statement "proved" by reflexivity, or a
+        // discriminate on matching constructors.
+        let source = if r.flip() {
+            format!(
+                "{prelude}\
+                 \x20 FTheorem wrong : idn(k) = n_succ({k}).\n\
+                 \x20 Proof. fsimpl. reflexivity. Qed.\n\
+                 End {fam}.\n"
+            )
+        } else {
+            format!(
+                "{prelude}\
+                 \x20 FTheorem wrong : n_zero = n_zero -> False.\n\
+                 \x20 Proof. intro H. fdiscriminate H. Qed.\n\
+                 End {fam}.\n"
+            )
+        };
+        VernacularProgram {
+            source,
+            expect: Verdict::Reject,
+        }
+    } else {
+        // Parse error: truncate the program at a random byte boundary
+        // inside the body, or inject a stray token.
+        let base = format!(
+            "{prelude}\
+             End {fam}.\n"
+        );
+        let source = if r.flip() {
+            let cut = (base.len() / 2 + r.below((base.len() / 2) as u64) as usize)
+                .min(base.len().saturating_sub(5));
+            let mut s: String = base.chars().take(cut).collect();
+            s.push_str(" %%%");
+            s
+        } else {
+            format!("Family {fam}.\n  FInductive := |.\nEnd {fam}.\n")
+        };
+        VernacularProgram {
+            source,
+            expect: Verdict::ParseError,
+        }
+    }
+}
+
+/// Name pools for random tactic scripts.
+const HYPS: [&str; 4] = ["H", "H0", "Hx", "IH0"];
+const FACTS: [&str; 4] = ["idn_k", "zero_neq", "nosuch", "lemma"];
+
+/// One random tactic (no nesting beyond depth 1) over small name pools —
+/// most are nonsense for any given goal, which is the point: the prover
+/// must reject them with an error, never panic.
+pub fn gen_tactic(r: &mut Rng, depth: u32) -> Tactic {
+    let h = |r: &mut Rng| r.pick(&HYPS).to_string();
+    match r.below(if depth > 0 { 24 } else { 21 }) {
+        0 => Tactic::Intro,
+        1 => Tactic::IntroAs(h(r)),
+        2 => Tactic::Intros,
+        3 => Tactic::Exact(h(r)),
+        4 => Tactic::Assumption,
+        5 => Tactic::Trivial,
+        6 => Tactic::Reflexivity,
+        7 => Tactic::Symmetry,
+        8 => Tactic::Split,
+        9 => Tactic::Left,
+        10 => Tactic::Right,
+        11 => Tactic::Destruct(h(r)),
+        12 => Tactic::Exfalso,
+        13 => Tactic::Discriminate(h(r)),
+        14 => Tactic::FDiscriminate(h(r)),
+        15 => Tactic::Injection(h(r)),
+        16 => Tactic::FInjection(h(r)),
+        17 => Tactic::FSimpl,
+        18 => Tactic::Rewrite(h(r)),
+        19 => Tactic::ApplyFact(r.pick(&FACTS).to_string(), vec![]),
+        20 => Tactic::Auto(r.below(3) as u32),
+        21 => Tactic::TryT(Box::new(gen_tactic(r, depth - 1))),
+        22 => Tactic::Repeat(Box::new(gen_tactic(r, 0))),
+        _ => Tactic::First(vec![vec![gen_tactic(r, 0)], vec![gen_tactic(r, 0)]]),
+    }
+}
+
+/// A short random tactic script.
+pub fn gen_script(r: &mut Rng, max_len: u64) -> Vec<Tactic> {
+    let len = r.range(1, max_len.max(2));
+    (0..len).map(|_| gen_tactic(r, 1)).collect()
+}
+
+/// A small pool of goals (provable and unprovable) for script fuzzing.
+pub fn gen_goal(r: &mut Rng) -> Prop {
+    let zero = objlang::eval::nat_lit(0);
+    let one = objlang::eval::nat_lit(1);
+    match r.below(6) {
+        0 => Prop::True,
+        1 => Prop::False,
+        2 => Prop::eq(zero.clone(), zero),
+        3 => Prop::eq(zero, one),
+        4 => Prop::imp(Prop::eq(zero.clone(), one), Prop::False),
+        _ => Prop::imp(Prop::True, Prop::eq(one.clone(), one)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vernacular_verdicts_are_honest() {
+        let mut r = Rng::new(0xFACADE);
+        let (mut acc, mut rej, mut per) = (0, 0, 0);
+        for _ in 0..120 {
+            let p = gen_vernacular(&mut r);
+            let parsed = fpop::parse::parse_program(&p.source);
+            match p.expect {
+                Verdict::ParseError => {
+                    assert!(parsed.is_err(), "expected parse error for {:?}", p.source);
+                    per += 1;
+                }
+                Verdict::Accept => {
+                    let run = fpop::parse::run_program(&p.source);
+                    assert!(run.is_ok(), "expected accept, got {run:?}");
+                    acc += 1;
+                }
+                Verdict::Reject => {
+                    assert!(parsed.is_ok(), "reject programs must parse");
+                    let run = fpop::parse::run_program(&p.source);
+                    assert!(run.is_err(), "expected elaboration failure");
+                    rej += 1;
+                }
+            }
+        }
+        assert!(acc > 0 && rej > 0 && per > 0, "{acc}/{rej}/{per}");
+    }
+}

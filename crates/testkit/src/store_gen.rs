@@ -1,0 +1,216 @@
+//! Random proof-cache stores for exercising the `FPOPSNAP` codec.
+//!
+//! The snapshot round-trip oracle needs [`fpop::ExportEntry`] vectors
+//! that cover the codec's whole tag space: both entry kinds, every
+//! `Prop` connective, all four `Term` heads, a wide sample of tactics
+//! (including the nested combinators), sequents with variables and
+//! hypotheses, present and absent closed-world keys, and arbitrary
+//! overridable-definition keys.
+
+use fpop::ExportEntry;
+use objlang::proof::Sequent;
+use objlang::syntax::{Prop, Sort, Term};
+use objlang::{sym, Tactic};
+
+use crate::harness::Shrink;
+use crate::rng::Rng;
+
+const NAMES: [&str; 8] = ["a", "b", "c", "f", "g", "hyp", "tm", "zero"];
+
+fn gen_name(r: &mut Rng) -> String {
+    if r.below(4) == 0 {
+        format!("{}{}", r.pick(&NAMES), r.below(10))
+    } else {
+        r.pick(&NAMES).to_string()
+    }
+}
+
+/// A random sort (named or `Id`).
+pub fn gen_sort(r: &mut Rng) -> Sort {
+    if r.below(4) == 0 {
+        Sort::Id
+    } else {
+        Sort::named(&gen_name(r))
+    }
+}
+
+/// A random first-order term covering all four heads.
+pub fn gen_obj_term(r: &mut Rng, depth: u32) -> Term {
+    if depth == 0 || r.below(3) == 0 {
+        return match r.below(3) {
+            0 => Term::var(&gen_name(r)),
+            1 => Term::lit(&gen_name(r)),
+            _ => Term::c0(&gen_name(r)),
+        };
+    }
+    let nargs = r.below(3) as usize + (r.below(2) as usize);
+    let args: Vec<Term> = (0..nargs).map(|_| gen_obj_term(r, depth - 1)).collect();
+    if r.flip() {
+        Term::ctor(&gen_name(r), args)
+    } else {
+        Term::func(&gen_name(r), args)
+    }
+}
+
+/// A random proposition covering every connective and quantifier.
+pub fn gen_prop(r: &mut Rng, depth: u32) -> Prop {
+    if depth == 0 || r.below(4) == 0 {
+        return match r.below(4) {
+            0 => Prop::True,
+            1 => Prop::False,
+            2 => Prop::eq(gen_obj_term(r, 1), gen_obj_term(r, 1)),
+            _ => Prop::atom(&gen_name(r), vec![gen_obj_term(r, 1)]),
+        };
+    }
+    match r.below(7) {
+        0 => Prop::and(gen_prop(r, depth - 1), gen_prop(r, depth - 1)),
+        1 => Prop::or(gen_prop(r, depth - 1), gen_prop(r, depth - 1)),
+        2 => Prop::imp(gen_prop(r, depth - 1), gen_prop(r, depth - 1)),
+        3 => Prop::forall(&gen_name(r), gen_sort(r), gen_prop(r, depth - 1)),
+        4 => Prop::exists(&gen_name(r), gen_sort(r), gen_prop(r, depth - 1)),
+        5 => Prop::Def(sym(&gen_name(r)), vec![gen_obj_term(r, 1)]),
+        _ => Prop::atom(
+            &gen_name(r),
+            (0..r.below(3)).map(|_| gen_obj_term(r, 1)).collect(),
+        ),
+    }
+}
+
+/// A random tactic, covering leaf tactics, term/prop-carrying tactics,
+/// and the nested combinators the codec frames recursively.
+pub fn gen_codec_tactic(r: &mut Rng, depth: u32) -> Tactic {
+    let name = |r: &mut Rng| gen_name(r);
+    match r.below(if depth > 0 { 18 } else { 14 }) {
+        0 => Tactic::Intro,
+        1 => Tactic::IntroAs(name(r)),
+        2 => Tactic::Intros,
+        3 => Tactic::Exact(name(r)),
+        4 => Tactic::Reflexivity,
+        5 => Tactic::FSimpl,
+        6 => Tactic::FSimplIn(name(r)),
+        7 => Tactic::Discriminate(name(r)),
+        8 => Tactic::Injection(name(r)),
+        9 => Tactic::Exists(gen_obj_term(r, 2)),
+        10 => Tactic::ApplyFact(
+            name(r),
+            (0..r.below(3)).map(|_| gen_obj_term(r, 1)).collect(),
+        ),
+        11 => Tactic::ApplyRule(name(r), name(r), vec![gen_obj_term(r, 1)]),
+        12 => Tactic::PoseFact(name(r), vec![gen_obj_term(r, 1)], name(r)),
+        13 => Tactic::Auto(r.below(4) as u32),
+        14 => Tactic::TryT(Box::new(gen_codec_tactic(r, depth - 1))),
+        15 => Tactic::Repeat(Box::new(gen_codec_tactic(r, depth - 1))),
+        16 => Tactic::Assert(
+            name(r),
+            gen_prop(r, 1),
+            vec![gen_codec_tactic(r, depth - 1)],
+        ),
+        _ => Tactic::Branch(
+            Box::new(gen_codec_tactic(r, depth - 1)),
+            vec![
+                vec![gen_codec_tactic(r, 0)],
+                (0..r.below(2)).map(|_| gen_codec_tactic(r, 0)).collect(),
+            ],
+        ),
+    }
+}
+
+/// A random sequent (vars + hyps + goal).
+pub fn gen_sequent(r: &mut Rng) -> Sequent {
+    Sequent {
+        vars: (0..r.below(3))
+            .map(|_| (sym(&gen_name(r)), gen_sort(r)))
+            .collect(),
+        hyps: (0..r.below(3))
+            .map(|_| (sym(&gen_name(r)), gen_prop(r, 2)))
+            .collect(),
+        goal: gen_prop(r, 2),
+    }
+}
+
+/// A random cache entry (both kinds; closed-world keys present ~half the
+/// time on theorems).
+pub fn gen_entry(r: &mut Rng) -> ExportEntry {
+    let script: Vec<Tactic> = (0..r.below(4)).map(|_| gen_codec_tactic(r, 2)).collect();
+    let okey = r.next_u64();
+    if r.flip() {
+        let closed_world_key = if r.flip() {
+            Some(
+                (0..r.below(3))
+                    .map(|_| {
+                        (
+                            sym(&gen_name(r)),
+                            (0..r.below(4)).map(|_| sym(&gen_name(r))).collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        ExportEntry::Theorem {
+            statement: gen_prop(r, 3),
+            script,
+            closed_world_key,
+            okey,
+        }
+    } else {
+        ExportEntry::Case {
+            sequent: gen_sequent(r),
+            script,
+            okey,
+        }
+    }
+}
+
+/// A random store: 0–20 entries.
+pub fn gen_store(r: &mut Rng) -> Store {
+    Store {
+        entries: (0..r.below(21)).map(|_| gen_entry(r)).collect(),
+    }
+}
+
+/// A random proof-cache store (newtype so it can shrink by dropping
+/// entries).
+#[derive(Clone, Debug)]
+pub struct Store {
+    /// The entries, in generation order.
+    pub entries: Vec<ExportEntry>,
+}
+
+impl Shrink for Store {
+    fn shrinks(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.entries.len() > 1 {
+            out.push(Store {
+                entries: self.entries[..self.entries.len() / 2].to_vec(),
+            });
+        }
+        for i in 0..self.entries.len() {
+            let mut entries = self.entries.clone();
+            entries.remove(i);
+            out.push(Store { entries });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_cover_both_entry_kinds() {
+        let mut r = Rng::new(0x57012E);
+        let (mut thms, mut cases) = (0, 0);
+        for _ in 0..50 {
+            for e in gen_store(&mut r).entries {
+                match e {
+                    ExportEntry::Theorem { .. } => thms += 1,
+                    ExportEntry::Case { .. } => cases += 1,
+                }
+            }
+        }
+        assert!(thms > 10 && cases > 10, "{thms}/{cases}");
+    }
+}

@@ -1,0 +1,1006 @@
+//! Feature-aware generators of well-typed STLC terms, plus the reference
+//! metatheory they are differentially checked against.
+//!
+//! The Section 7 case study composes the base STLC with any subset of
+//! {Fix, Prod, Sum, Isorec, Bool}; each composed family compiles to a
+//! closed [`objlang`] signature whose `subst` function is executable. To
+//! test the *executable* face of progress/preservation per variant, this
+//! module keeps a tiny annotated AST ([`ATerm`]/[`AType`]) alongside:
+//!
+//! * [`gen_typed_term`] — generates closed, well-typed terms using only
+//!   the constructors the variant's feature set licenses (binders are
+//!   drawn from a 3-name pool so shadowing actually happens);
+//! * [`infer`] — a reference typechecker mirroring the families' `hasty`
+//!   rules (annotations on binders, `inl`/`inr`, and `fold` make it
+//!   syntax-directed);
+//! * [`meta_subst`] — reference substitution with exactly the shadowing
+//!   semantics of the families' `subst` recursion (closed substituends);
+//! * [`step`] — a CBV small-step interpreter mirroring the `step` rules
+//!   of every feature, reporting the substitution it performed so that
+//!   oracles can replay it through the *compiled* family's `subst` via
+//!   [`objlang::eval`];
+//! * [`erase`] — erasure onto the object syntax (`tm_*` constructors).
+//!
+//! The iso-recursive fragment carries the Figure 3 retrofit at the meta
+//! level too: [`ty_subst`] covers `ty_prod`/`ty_sum`/`ty_bool` exactly
+//! when those features are present in the generated types.
+
+use families_stlc::Feature;
+use objlang::syntax::Term;
+
+use crate::harness::Shrink;
+use crate::rng::Rng;
+
+/// Annotated object types, one constructor per `ty_*` form across the
+/// extended lattice.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AType {
+    /// `ty_unit`.
+    Unit,
+    /// `ty_bool` (feature Bool).
+    Bool,
+    /// `ty_arrow`.
+    Arrow(Box<AType>, Box<AType>),
+    /// `ty_prod` (feature Prod).
+    Prod(Box<AType>, Box<AType>),
+    /// `ty_sum` (feature Sum).
+    Sum(Box<AType>, Box<AType>),
+    /// `ty_rec a. T` (feature Isorec).
+    Rec(String, Box<AType>),
+    /// `ty_var a` — only under an enclosing [`AType::Rec`] binder.
+    TVar(String),
+}
+
+impl AType {
+    fn arrow(a: AType, b: AType) -> AType {
+        AType::Arrow(Box::new(a), Box::new(b))
+    }
+    fn prod(a: AType, b: AType) -> AType {
+        AType::Prod(Box::new(a), Box::new(b))
+    }
+    fn sum(a: AType, b: AType) -> AType {
+        AType::Sum(Box::new(a), Box::new(b))
+    }
+    fn rec(a: &str, t: AType) -> AType {
+        AType::Rec(a.to_string(), Box::new(t))
+    }
+}
+
+/// Type-level substitution `T[a := S]` — the meta-level mirror of the
+/// families' `tysubst` recursion, *including* the Figure 3 retrofit cases
+/// for products/sums/booleans.
+pub fn ty_subst(t: &AType, a: &str, s: &AType) -> AType {
+    match t {
+        AType::Unit | AType::Bool => t.clone(),
+        AType::TVar(b) => {
+            if b == a {
+                s.clone()
+            } else {
+                t.clone()
+            }
+        }
+        AType::Arrow(l, r) => AType::arrow(ty_subst(l, a, s), ty_subst(r, a, s)),
+        AType::Prod(l, r) => AType::prod(ty_subst(l, a, s), ty_subst(r, a, s)),
+        AType::Sum(l, r) => AType::sum(ty_subst(l, a, s), ty_subst(r, a, s)),
+        AType::Rec(b, body) => {
+            if b == a {
+                t.clone()
+            } else {
+                AType::Rec(b.clone(), Box::new(ty_subst(body, a, s)))
+            }
+        }
+    }
+}
+
+/// One unrolling of `µa.T`: `T[a := µa.T]` (the `ht_fold`/`ht_unfold`
+/// exchange type).
+pub fn unroll(a: &str, body: &AType) -> AType {
+    ty_subst(body, a, &AType::Rec(a.to_string(), Box::new(body.clone())))
+}
+
+/// Annotated object terms, one constructor per `tm_*` form across the
+/// extended lattice. Annotations (on binders, injections, and folds) are
+/// what the generator knows and erasure forgets.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ATerm {
+    /// `tm_unit`.
+    Unit,
+    /// `tm_true` (Bool).
+    True,
+    /// `tm_false` (Bool).
+    False,
+    /// `tm_var x`.
+    Var(String),
+    /// `tm_abs x. b` with the bound variable's type.
+    Abs(String, AType, Box<ATerm>),
+    /// `tm_app`.
+    App(Box<ATerm>, Box<ATerm>),
+    /// `tm_pair` (Prod).
+    Pair(Box<ATerm>, Box<ATerm>),
+    /// `tm_fst` (Prod).
+    Fst(Box<ATerm>),
+    /// `tm_snd` (Prod).
+    Snd(Box<ATerm>),
+    /// `tm_inl t` with the *right* summand type (Sum).
+    Inl(Box<ATerm>, AType),
+    /// `tm_inr t` with the *left* summand type (Sum).
+    Inr(Box<ATerm>, AType),
+    /// `tm_case t of inl x1 => b1 | inr x2 => b2` (Sum).
+    Case(Box<ATerm>, String, Box<ATerm>, String, Box<ATerm>),
+    /// `tm_fix x. b` with the fixpoint type (Fix).
+    Fix(String, AType, Box<ATerm>),
+    /// `tm_ite` (Bool).
+    Ite(Box<ATerm>, Box<ATerm>, Box<ATerm>),
+    /// `tm_fold t` into `µa.T` (Isorec).
+    Fold(Box<ATerm>, String, AType),
+    /// `tm_unfold t` (Isorec).
+    Unfold(Box<ATerm>),
+}
+
+fn b(t: ATerm) -> Box<ATerm> {
+    Box::new(t)
+}
+
+/// Node count of a term. Stepping loops use this to bail out before
+/// `tm_fix` unfoldings grow a term beyond what recursive checkers can
+/// traverse (each `st_fix` step copies the whole fixpoint into its own
+/// body, so size can grow geometrically).
+pub fn term_size(t: &ATerm) -> usize {
+    1 + match t {
+        ATerm::Unit | ATerm::True | ATerm::False | ATerm::Var(_) => 0,
+        ATerm::Abs(_, _, x)
+        | ATerm::Fst(x)
+        | ATerm::Snd(x)
+        | ATerm::Inl(x, _)
+        | ATerm::Inr(x, _)
+        | ATerm::Fix(_, _, x)
+        | ATerm::Fold(x, _, _)
+        | ATerm::Unfold(x) => term_size(x),
+        ATerm::App(x, y) | ATerm::Pair(x, y) => term_size(x) + term_size(y),
+        ATerm::Ite(x, y, z) => term_size(x) + term_size(y) + term_size(z),
+        ATerm::Case(s, _, b1, _, b2) => term_size(s) + term_size(b1) + term_size(b2),
+    }
+}
+
+/// A typing environment: innermost binding last (lookup scans from the
+/// end, so shadowing behaves).
+pub type TyEnv = Vec<(String, AType)>;
+
+fn lookup(env: &TyEnv, x: &str) -> Option<AType> {
+    env.iter()
+        .rev()
+        .find(|(n, _)| n == x)
+        .map(|(_, t)| t.clone())
+}
+
+/// The reference typechecker: mirrors the composed family's `hasty`
+/// rules. Syntax-directed thanks to the annotations.
+///
+/// # Errors
+///
+/// A human-readable description of the first rule violation found.
+pub fn infer(env: &mut TyEnv, t: &ATerm) -> Result<AType, String> {
+    match t {
+        ATerm::Unit => Ok(AType::Unit),
+        ATerm::True | ATerm::False => Ok(AType::Bool),
+        ATerm::Var(x) => lookup(env, x).ok_or_else(|| format!("unbound variable {x}")),
+        ATerm::Abs(x, ann, body) => {
+            env.push((x.clone(), ann.clone()));
+            let bt = infer(env, body);
+            env.pop();
+            Ok(AType::arrow(ann.clone(), bt?))
+        }
+        ATerm::App(t1, t2) => {
+            let f = infer(env, t1)?;
+            let a = infer(env, t2)?;
+            match f {
+                AType::Arrow(dom, cod) if *dom == a => Ok(*cod),
+                AType::Arrow(dom, _) => Err(format!("app domain mismatch: {dom:?} vs {a:?}")),
+                other => Err(format!("applying non-arrow {other:?}")),
+            }
+        }
+        ATerm::Pair(t1, t2) => Ok(AType::prod(infer(env, t1)?, infer(env, t2)?)),
+        ATerm::Fst(t0) => match infer(env, t0)? {
+            AType::Prod(l, _) => Ok(*l),
+            other => Err(format!("fst of non-product {other:?}")),
+        },
+        ATerm::Snd(t0) => match infer(env, t0)? {
+            AType::Prod(_, r) => Ok(*r),
+            other => Err(format!("snd of non-product {other:?}")),
+        },
+        ATerm::Inl(t0, right) => Ok(AType::sum(infer(env, t0)?, right.clone())),
+        ATerm::Inr(t0, left) => Ok(AType::sum(left.clone(), infer(env, t0)?)),
+        ATerm::Case(s, x1, b1, x2, b2) => {
+            let st = infer(env, s)?;
+            let (l, r) = match st {
+                AType::Sum(l, r) => (*l, *r),
+                other => return Err(format!("case of non-sum {other:?}")),
+            };
+            env.push((x1.clone(), l));
+            let t1 = infer(env, b1);
+            env.pop();
+            env.push((x2.clone(), r));
+            let t2 = infer(env, b2);
+            env.pop();
+            let (t1, t2) = (t1?, t2?);
+            if t1 == t2 {
+                Ok(t1)
+            } else {
+                Err(format!("case branches disagree: {t1:?} vs {t2:?}"))
+            }
+        }
+        ATerm::Fix(x, ann, body) => {
+            env.push((x.clone(), ann.clone()));
+            let bt = infer(env, body);
+            env.pop();
+            let bt = bt?;
+            if bt == *ann {
+                Ok(bt)
+            } else {
+                Err(format!("fix body {bt:?} disagrees with annotation {ann:?}"))
+            }
+        }
+        ATerm::Ite(c, a, bb) => {
+            let ct = infer(env, c)?;
+            if ct != AType::Bool {
+                return Err(format!("ite condition {ct:?} is not bool"));
+            }
+            let at = infer(env, a)?;
+            let bt = infer(env, bb)?;
+            if at == bt {
+                Ok(at)
+            } else {
+                Err(format!("ite branches disagree: {at:?} vs {bt:?}"))
+            }
+        }
+        ATerm::Fold(t0, a, body) => {
+            let want = unroll(a, body);
+            let got = infer(env, t0)?;
+            if got == want {
+                Ok(AType::Rec(a.clone(), Box::new(body.clone())))
+            } else {
+                Err(format!("fold of {got:?}, expected unrolling {want:?}"))
+            }
+        }
+        ATerm::Unfold(t0) => match infer(env, t0)? {
+            AType::Rec(a, body) => Ok(unroll(&a, &body)),
+            other => Err(format!("unfold of non-µ {other:?}")),
+        },
+    }
+}
+
+/// Reference substitution `t[x := s]` for **closed** `s` — the exact
+/// semantics of the families' `subst` recursion (binders shadow; no
+/// renaming needed because substituends are closed).
+pub fn meta_subst(t: &ATerm, x: &str, s: &ATerm) -> ATerm {
+    let go = |t: &ATerm| meta_subst(t, x, s);
+    match t {
+        ATerm::Unit | ATerm::True | ATerm::False => t.clone(),
+        ATerm::Var(y) => {
+            if y == x {
+                s.clone()
+            } else {
+                t.clone()
+            }
+        }
+        ATerm::Abs(y, ann, body) => {
+            if y == x {
+                t.clone()
+            } else {
+                ATerm::Abs(y.clone(), ann.clone(), b(go(body)))
+            }
+        }
+        ATerm::App(t1, t2) => ATerm::App(b(go(t1)), b(go(t2))),
+        ATerm::Pair(t1, t2) => ATerm::Pair(b(go(t1)), b(go(t2))),
+        ATerm::Fst(t0) => ATerm::Fst(b(go(t0))),
+        ATerm::Snd(t0) => ATerm::Snd(b(go(t0))),
+        ATerm::Inl(t0, r) => ATerm::Inl(b(go(t0)), r.clone()),
+        ATerm::Inr(t0, l) => ATerm::Inr(b(go(t0)), l.clone()),
+        ATerm::Case(sc, x1, b1, x2, b2) => {
+            let nb1 = if x1 == x { (**b1).clone() } else { go(b1) };
+            let nb2 = if x2 == x { (**b2).clone() } else { go(b2) };
+            ATerm::Case(b(go(sc)), x1.clone(), b(nb1), x2.clone(), b(nb2))
+        }
+        ATerm::Fix(y, ann, body) => {
+            if y == x {
+                t.clone()
+            } else {
+                ATerm::Fix(y.clone(), ann.clone(), b(go(body)))
+            }
+        }
+        ATerm::Ite(c, a, bb) => ATerm::Ite(b(go(c)), b(go(a)), b(go(bb))),
+        ATerm::Fold(t0, a, body) => ATerm::Fold(b(go(t0)), a.clone(), body.clone()),
+        ATerm::Unfold(t0) => ATerm::Unfold(b(go(t0))),
+    }
+}
+
+/// Value forms — the meta mirror of the composed `value` predicate.
+pub fn is_value(t: &ATerm) -> bool {
+    match t {
+        ATerm::Unit | ATerm::True | ATerm::False | ATerm::Abs(..) => true,
+        ATerm::Pair(a, bb) => is_value(a) && is_value(bb),
+        ATerm::Inl(t0, _) | ATerm::Inr(t0, _) | ATerm::Fold(t0, _, _) => is_value(t0),
+        _ => false,
+    }
+}
+
+/// A substitution performed by a reduction step — the raw material for
+/// the differential check against the compiled family's `subst`.
+#[derive(Clone, Debug)]
+pub struct SubstEvent {
+    /// The binder that was instantiated.
+    pub binder: String,
+    /// The body substituted into.
+    pub body: ATerm,
+    /// The (closed value) argument.
+    pub arg: ATerm,
+}
+
+/// One CBV small step, mirroring the composed `step` rules
+/// (`st_app1/2`, `st_beta`, `st_pair1/2`, `st_fst1`, `st_fstpair`, …,
+/// `st_fix`, `st_caseinl/r`, `st_itetrue/false`, `st_unfoldfold`).
+/// Returns the reduct plus the [`SubstEvent`] if the step substituted.
+/// `None` means the term is stuck or a value.
+pub fn step(t: &ATerm) -> Option<(ATerm, Option<SubstEvent>)> {
+    match t {
+        ATerm::App(t1, t2) => {
+            if !is_value(t1) {
+                let (t1p, ev) = step(t1)?;
+                return Some((ATerm::App(b(t1p), t2.clone()), ev));
+            }
+            if !is_value(t2) {
+                let (t2p, ev) = step(t2)?;
+                return Some((ATerm::App(t1.clone(), b(t2p)), ev));
+            }
+            match &**t1 {
+                ATerm::Abs(x, _, body) => {
+                    let ev = SubstEvent {
+                        binder: x.clone(),
+                        body: (**body).clone(),
+                        arg: (**t2).clone(),
+                    };
+                    Some((meta_subst(body, x, t2), Some(ev)))
+                }
+                _ => None,
+            }
+        }
+        ATerm::Pair(t1, t2) => {
+            if !is_value(t1) {
+                let (t1p, ev) = step(t1)?;
+                return Some((ATerm::Pair(b(t1p), t2.clone()), ev));
+            }
+            if !is_value(t2) {
+                let (t2p, ev) = step(t2)?;
+                return Some((ATerm::Pair(t1.clone(), b(t2p)), ev));
+            }
+            None
+        }
+        ATerm::Fst(t0) => {
+            if !is_value(t0) {
+                let (tp, ev) = step(t0)?;
+                return Some((ATerm::Fst(b(tp)), ev));
+            }
+            match &**t0 {
+                ATerm::Pair(v1, _) => Some(((**v1).clone(), None)),
+                _ => None,
+            }
+        }
+        ATerm::Snd(t0) => {
+            if !is_value(t0) {
+                let (tp, ev) = step(t0)?;
+                return Some((ATerm::Snd(b(tp)), ev));
+            }
+            match &**t0 {
+                ATerm::Pair(_, v2) => Some(((**v2).clone(), None)),
+                _ => None,
+            }
+        }
+        ATerm::Inl(t0, r) => {
+            let (tp, ev) = step(t0)?;
+            Some((ATerm::Inl(b(tp), r.clone()), ev))
+        }
+        ATerm::Inr(t0, l) => {
+            let (tp, ev) = step(t0)?;
+            Some((ATerm::Inr(b(tp), l.clone()), ev))
+        }
+        ATerm::Case(sc, x1, b1, x2, b2) => {
+            if !is_value(sc) {
+                let (sp, ev) = step(sc)?;
+                return Some((
+                    ATerm::Case(b(sp), x1.clone(), b1.clone(), x2.clone(), b2.clone()),
+                    ev,
+                ));
+            }
+            match &**sc {
+                ATerm::Inl(v1, _) => {
+                    let ev = SubstEvent {
+                        binder: x1.clone(),
+                        body: (**b1).clone(),
+                        arg: (**v1).clone(),
+                    };
+                    Some((meta_subst(b1, x1, v1), Some(ev)))
+                }
+                ATerm::Inr(v1, _) => {
+                    let ev = SubstEvent {
+                        binder: x2.clone(),
+                        body: (**b2).clone(),
+                        arg: (**v1).clone(),
+                    };
+                    Some((meta_subst(b2, x2, v1), Some(ev)))
+                }
+                _ => None,
+            }
+        }
+        ATerm::Fix(x, _, body) => {
+            let ev = SubstEvent {
+                binder: x.clone(),
+                body: (**body).clone(),
+                arg: t.clone(),
+            };
+            Some((meta_subst(body, x, t), Some(ev)))
+        }
+        ATerm::Ite(c, a, bb) => {
+            if !is_value(c) {
+                let (cp, ev) = step(c)?;
+                return Some((ATerm::Ite(b(cp), a.clone(), bb.clone()), ev));
+            }
+            match &**c {
+                ATerm::True => Some(((**a).clone(), None)),
+                ATerm::False => Some(((**bb).clone(), None)),
+                _ => None,
+            }
+        }
+        ATerm::Fold(t0, a, body) => {
+            let (tp, ev) = step(t0)?;
+            Some((ATerm::Fold(b(tp), a.clone(), body.clone()), ev))
+        }
+        ATerm::Unfold(t0) => {
+            if !is_value(t0) {
+                let (tp, ev) = step(t0)?;
+                return Some((ATerm::Unfold(b(tp)), ev));
+            }
+            match &**t0 {
+                ATerm::Fold(v1, _, _) => Some(((**v1).clone(), None)),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Erases an annotated term onto the object syntax of the compiled
+/// families (`tm_*` constructors; binders and variables become `id`
+/// literals). Closed annotated terms erase to closed object terms.
+pub fn erase(t: &ATerm) -> Term {
+    let lit = |s: &str| Term::Lit(objlang::sym(s));
+    match t {
+        ATerm::Unit => Term::c0("tm_unit"),
+        ATerm::True => Term::c0("tm_true"),
+        ATerm::False => Term::c0("tm_false"),
+        ATerm::Var(x) => Term::ctor("tm_var", vec![lit(x)]),
+        ATerm::Abs(x, _, body) => Term::ctor("tm_abs", vec![lit(x), erase(body)]),
+        ATerm::App(t1, t2) => Term::ctor("tm_app", vec![erase(t1), erase(t2)]),
+        ATerm::Pair(t1, t2) => Term::ctor("tm_pair", vec![erase(t1), erase(t2)]),
+        ATerm::Fst(t0) => Term::ctor("tm_fst", vec![erase(t0)]),
+        ATerm::Snd(t0) => Term::ctor("tm_snd", vec![erase(t0)]),
+        ATerm::Inl(t0, _) => Term::ctor("tm_inl", vec![erase(t0)]),
+        ATerm::Inr(t0, _) => Term::ctor("tm_inr", vec![erase(t0)]),
+        ATerm::Case(sc, x1, b1, x2, b2) => Term::ctor(
+            "tm_case",
+            vec![erase(sc), lit(x1), erase(b1), lit(x2), erase(b2)],
+        ),
+        ATerm::Fix(x, _, body) => Term::ctor("tm_fix", vec![lit(x), erase(body)]),
+        ATerm::Ite(c, a, bb) => Term::ctor("tm_ite", vec![erase(c), erase(a), erase(bb)]),
+        ATerm::Fold(t0, _, _) => Term::ctor("tm_fold", vec![erase(t0)]),
+        ATerm::Unfold(t0) => Term::ctor("tm_unfold", vec![erase(t0)]),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------------
+
+const BINDERS: [&str; 3] = ["x", "y", "z"];
+
+fn has(feats: &[Feature], f: Feature) -> bool {
+    feats.contains(&f)
+}
+
+/// How many `Rec` nodes a type contains (the termination heuristic:
+/// canonical-value construction prefers `Rec`-free branches).
+fn rec_weight(t: &AType) -> usize {
+    match t {
+        AType::Unit | AType::Bool | AType::TVar(_) => 0,
+        AType::Arrow(a, b) | AType::Prod(a, b) | AType::Sum(a, b) => rec_weight(a) + rec_weight(b),
+        AType::Rec(_, body) => 1 + rec_weight(body),
+    }
+}
+
+/// A canonical closed value of a type (used as the generation base case
+/// and as the strongest shrink candidate). `None` on fuel exhaustion —
+/// impossible for generator-produced types, which always have a
+/// `Rec`-free base branch.
+pub fn canonical_value(ty: &AType, fuel: u32) -> Option<ATerm> {
+    if fuel == 0 {
+        return None;
+    }
+    match ty {
+        AType::Unit => Some(ATerm::Unit),
+        AType::Bool => Some(ATerm::True),
+        AType::TVar(_) => None, // never a closed target
+        AType::Arrow(a, bb) => Some(ATerm::Abs(
+            "x".into(),
+            (**a).clone(),
+            b(canonical_value(bb, fuel - 1)?),
+        )),
+        AType::Prod(a, bb) => Some(ATerm::Pair(
+            b(canonical_value(a, fuel - 1)?),
+            b(canonical_value(bb, fuel - 1)?),
+        )),
+        AType::Sum(a, bb) => {
+            // Prefer the Rec-poor side so µ-types bottom out.
+            if rec_weight(a) <= rec_weight(bb) {
+                Some(ATerm::Inl(b(canonical_value(a, fuel - 1)?), (**bb).clone()))
+            } else {
+                Some(ATerm::Inr(b(canonical_value(bb, fuel - 1)?), (**a).clone()))
+            }
+        }
+        AType::Rec(a, body) => Some(ATerm::Fold(
+            b(canonical_value(&unroll(a, body), fuel - 1)?),
+            a.clone(),
+            (**body).clone(),
+        )),
+    }
+}
+
+/// µ-type templates available to a feature set. Each template's base
+/// branch is `Rec`-free, so canonical values exist at every depth.
+fn rec_templates(feats: &[Feature]) -> Vec<AType> {
+    let mut out = vec![
+        AType::rec("a", AType::Unit),
+        AType::rec("a", AType::arrow(AType::TVar("a".into()), AType::Unit)),
+    ];
+    if has(feats, Feature::Sum) {
+        // nat = µa. 1 + a
+        out.push(AType::rec(
+            "a",
+            AType::sum(AType::Unit, AType::TVar("a".into())),
+        ));
+        if has(feats, Feature::Bool) {
+            out.push(AType::rec(
+                "a",
+                AType::sum(AType::Bool, AType::TVar("a".into())),
+            ));
+        }
+        if has(feats, Feature::Prod) {
+            // list = µa. 1 + (elem × a)
+            let elem = if has(feats, Feature::Bool) {
+                AType::Bool
+            } else {
+                AType::Unit
+            };
+            out.push(AType::rec(
+                "a",
+                AType::sum(AType::Unit, AType::prod(elem, AType::TVar("a".into()))),
+            ));
+        }
+    }
+    out
+}
+
+/// Generates a type whose constructors the feature set licenses.
+pub fn gen_type(r: &mut Rng, feats: &[Feature], depth: u32) -> AType {
+    let mut atoms: Vec<AType> = vec![AType::Unit];
+    if has(feats, Feature::Bool) {
+        atoms.push(AType::Bool);
+    }
+    if depth == 0 {
+        if has(feats, Feature::Isorec) && r.below(4) == 0 {
+            return r.pick(&rec_templates(feats)).clone();
+        }
+        return r.pick(&atoms).clone();
+    }
+    match r.below(8) {
+        0 | 1 => r.pick(&atoms).clone(),
+        2 | 3 => AType::arrow(gen_type(r, feats, depth - 1), gen_type(r, feats, depth - 1)),
+        4 if has(feats, Feature::Prod) => {
+            AType::prod(gen_type(r, feats, depth - 1), gen_type(r, feats, depth - 1))
+        }
+        5 if has(feats, Feature::Sum) => {
+            AType::sum(gen_type(r, feats, depth - 1), gen_type(r, feats, depth - 1))
+        }
+        6 | 7 if has(feats, Feature::Isorec) => r.pick(&rec_templates(feats)).clone(),
+        _ => r.pick(&atoms).clone(),
+    }
+}
+
+/// Generates a closed term of type `ty` using only feature-licensed
+/// constructors. Always succeeds for generator-produced types.
+pub fn gen_term(r: &mut Rng, env: &mut TyEnv, ty: &AType, feats: &[Feature], depth: u32) -> ATerm {
+    // Use an in-scope variable of the right type sometimes.
+    let candidates: Vec<String> = env
+        .iter()
+        .rev()
+        .filter(|(n, t)| t == ty && lookup(env, n).as_ref() == Some(ty))
+        .map(|(n, _)| n.clone())
+        .collect();
+    if !candidates.is_empty() && r.below(3) == 0 {
+        return ATerm::Var(r.pick(&candidates).clone());
+    }
+
+    if depth == 0 {
+        return intro_form(r, env, ty, feats, 0);
+    }
+
+    // Elimination/computation wrappers that keep the target type — these
+    // are what make generated terms actually *step*.
+    let roll = r.below(10);
+    match roll {
+        // (λx:A. body) arg
+        0 | 1 => {
+            let a = gen_type(r, feats, 1);
+            let x = r.pick(&BINDERS).to_string();
+            env.push((x.clone(), a.clone()));
+            let body = gen_term(r, env, ty, feats, depth - 1);
+            env.pop();
+            let arg = gen_term(r, env, &a, feats, depth - 1);
+            ATerm::App(b(ATerm::Abs(x, a, b(body))), b(arg))
+        }
+        // if c then t else t'
+        2 if has(feats, Feature::Bool) => ATerm::Ite(
+            b(gen_term(r, env, &AType::Bool, feats, depth - 1)),
+            b(gen_term(r, env, ty, feats, depth - 1)),
+            b(gen_term(r, env, ty, feats, depth - 1)),
+        ),
+        // fst (ty, B) / snd (A, ty)
+        3 if has(feats, Feature::Prod) => {
+            let other = gen_type(r, feats, 1);
+            if r.flip() {
+                let p = AType::prod(ty.clone(), other);
+                ATerm::Fst(b(gen_term(r, env, &p, feats, depth - 1)))
+            } else {
+                let p = AType::prod(other, ty.clone());
+                ATerm::Snd(b(gen_term(r, env, &p, feats, depth - 1)))
+            }
+        }
+        // case s of inl x1 => t | inr x2 => t
+        4 if has(feats, Feature::Sum) => {
+            let l = gen_type(r, feats, 1);
+            let rr = gen_type(r, feats, 1);
+            let sc = gen_term(r, env, &AType::sum(l.clone(), rr.clone()), feats, depth - 1);
+            let x1 = r.pick(&BINDERS).to_string();
+            let x2 = r.pick(&BINDERS).to_string();
+            env.push((x1.clone(), l));
+            let b1 = gen_term(r, env, ty, feats, depth - 1);
+            env.pop();
+            env.push((x2.clone(), rr));
+            let b2 = gen_term(r, env, ty, feats, depth - 1);
+            env.pop();
+            ATerm::Case(b(sc), x1, b(b1), x2, b(b2))
+        }
+        // fix x:ty. body (may diverge — the oracles run fuel-bounded)
+        5 if has(feats, Feature::Fix) => {
+            let x = r.pick(&BINDERS).to_string();
+            env.push((x.clone(), ty.clone()));
+            let body = gen_term(r, env, ty, feats, depth - 1);
+            env.pop();
+            ATerm::Fix(x, ty.clone(), b(body))
+        }
+        // unfold (t : µa.T) when the target is that unrolling
+        6 if has(feats, Feature::Isorec) => {
+            for rt in rec_templates(feats) {
+                if let AType::Rec(a, body) = &rt {
+                    if unroll(a, body) == *ty {
+                        return ATerm::Unfold(b(gen_term(r, env, &rt, feats, depth - 1)));
+                    }
+                }
+            }
+            intro_form(r, env, ty, feats, depth)
+        }
+        _ => intro_form(r, env, ty, feats, depth),
+    }
+}
+
+/// The introduction form of the target type (recursing structurally).
+fn intro_form(r: &mut Rng, env: &mut TyEnv, ty: &AType, feats: &[Feature], depth: u32) -> ATerm {
+    match ty {
+        AType::Unit => ATerm::Unit,
+        AType::Bool => {
+            if r.flip() {
+                ATerm::True
+            } else {
+                ATerm::False
+            }
+        }
+        AType::Arrow(a, bb) => {
+            let x = r.pick(&BINDERS).to_string();
+            env.push((x.clone(), (**a).clone()));
+            let body = gen_term(r, env, bb, feats, depth.saturating_sub(1));
+            env.pop();
+            ATerm::Abs(x, (**a).clone(), b(body))
+        }
+        AType::Prod(a, bb) => ATerm::Pair(
+            b(gen_term(r, env, a, feats, depth.saturating_sub(1))),
+            b(gen_term(r, env, bb, feats, depth.saturating_sub(1))),
+        ),
+        AType::Sum(a, bb) => {
+            // At depth 0 prefer the Rec-poor side so µ-values bottom out.
+            let go_left = if depth == 0 {
+                rec_weight(a) <= rec_weight(bb)
+            } else {
+                r.flip()
+            };
+            if go_left {
+                ATerm::Inl(
+                    b(gen_term(r, env, a, feats, depth.saturating_sub(1))),
+                    (**bb).clone(),
+                )
+            } else {
+                ATerm::Inr(
+                    b(gen_term(r, env, bb, feats, depth.saturating_sub(1))),
+                    (**a).clone(),
+                )
+            }
+        }
+        AType::Rec(a, body) => ATerm::Fold(
+            b(gen_term(
+                r,
+                env,
+                &unroll(a, body),
+                feats,
+                depth.saturating_sub(1),
+            )),
+            a.clone(),
+            (**body).clone(),
+        ),
+        AType::TVar(v) => {
+            // Unreachable for closed targets; fail loudly if it happens.
+            unreachable!("generation reached free type variable {v}")
+        }
+    }
+}
+
+/// A generated closed well-typed term with its type — the unit the
+/// progress/preservation oracle consumes. Implements [`Shrink`] with
+/// typing-preserving candidates.
+#[derive(Clone, Debug)]
+pub struct TypedTerm {
+    /// The closed annotated term.
+    pub term: ATerm,
+    /// Its type (an invariant: `infer([], term) == Ok(ty)`).
+    pub ty: AType,
+}
+
+/// Generates a [`TypedTerm`] for a feature set: random licensed type,
+/// then a term of that type.
+pub fn gen_typed_term(r: &mut Rng, feats: &[Feature], depth: u32) -> TypedTerm {
+    let ty = gen_type(r, feats, 2);
+    let term = gen_term(r, &mut Vec::new(), &ty, feats, depth);
+    TypedTerm { term, ty }
+}
+
+/// Typing-preserving structural shrink candidates for a closed term.
+fn shrink_term(t: &ATerm) -> Vec<ATerm> {
+    let mut out = Vec::new();
+    let rebuild1 = |out: &mut Vec<ATerm>, t0: &ATerm, f: &dyn Fn(ATerm) -> ATerm| {
+        for s in shrink_term(t0) {
+            out.push(f(s));
+        }
+    };
+    match t {
+        ATerm::Unit | ATerm::True | ATerm::False | ATerm::Var(_) => {}
+        ATerm::Abs(x, a, body) => {
+            rebuild1(&mut out, body, &|s| ATerm::Abs(x.clone(), a.clone(), b(s)))
+        }
+        ATerm::App(t1, t2) => {
+            if let ATerm::Abs(x, _, body) = &**t1 {
+                if is_value(t2) {
+                    out.push(meta_subst(body, x, t2));
+                }
+            }
+            rebuild1(&mut out, t1, &|s| ATerm::App(b(s), t2.clone()));
+            rebuild1(&mut out, t2, &|s| ATerm::App(t1.clone(), b(s)));
+        }
+        ATerm::Pair(t1, t2) => {
+            rebuild1(&mut out, t1, &|s| ATerm::Pair(b(s), t2.clone()));
+            rebuild1(&mut out, t2, &|s| ATerm::Pair(t1.clone(), b(s)));
+        }
+        ATerm::Fst(t0) => {
+            if let ATerm::Pair(a, _) = &**t0 {
+                if is_value(t0) {
+                    out.push((**a).clone());
+                }
+            }
+            rebuild1(&mut out, t0, &|s| ATerm::Fst(b(s)));
+        }
+        ATerm::Snd(t0) => {
+            if let ATerm::Pair(_, bb) = &**t0 {
+                if is_value(t0) {
+                    out.push((**bb).clone());
+                }
+            }
+            rebuild1(&mut out, t0, &|s| ATerm::Snd(b(s)));
+        }
+        ATerm::Inl(t0, r) => rebuild1(&mut out, t0, &|s| ATerm::Inl(b(s), r.clone())),
+        ATerm::Inr(t0, l) => rebuild1(&mut out, t0, &|s| ATerm::Inr(b(s), l.clone())),
+        ATerm::Case(sc, x1, b1, x2, b2) => {
+            if let ATerm::Inl(v1, _) = &**sc {
+                if is_value(v1) {
+                    out.push(meta_subst(b1, x1, v1));
+                }
+            }
+            if let ATerm::Inr(v1, _) = &**sc {
+                if is_value(v1) {
+                    out.push(meta_subst(b2, x2, v1));
+                }
+            }
+            rebuild1(&mut out, sc, &|s| {
+                ATerm::Case(b(s), x1.clone(), b1.clone(), x2.clone(), b2.clone())
+            });
+            rebuild1(&mut out, b1, &|s| {
+                ATerm::Case(sc.clone(), x1.clone(), b(s), x2.clone(), b2.clone())
+            });
+            rebuild1(&mut out, b2, &|s| {
+                ATerm::Case(sc.clone(), x1.clone(), b1.clone(), x2.clone(), b(s))
+            });
+        }
+        ATerm::Fix(x, a, body) => {
+            rebuild1(&mut out, body, &|s| ATerm::Fix(x.clone(), a.clone(), b(s)))
+        }
+        ATerm::Ite(c, a, bb) => {
+            out.push((**a).clone());
+            out.push((**bb).clone());
+            rebuild1(&mut out, c, &|s| ATerm::Ite(b(s), a.clone(), bb.clone()));
+        }
+        ATerm::Fold(t0, a, body) => rebuild1(&mut out, t0, &|s| {
+            ATerm::Fold(b(s), a.clone(), body.clone())
+        }),
+        ATerm::Unfold(t0) => {
+            if let ATerm::Fold(v1, _, _) = &**t0 {
+                if is_value(v1) {
+                    out.push((**v1).clone());
+                }
+            }
+            rebuild1(&mut out, t0, &|s| ATerm::Unfold(b(s)));
+        }
+    }
+    out
+}
+
+impl Shrink for TypedTerm {
+    fn shrinks(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if let Some(c) = canonical_value(&self.ty, 32) {
+            if c != self.term {
+                out.push(TypedTerm {
+                    term: c,
+                    ty: self.ty.clone(),
+                });
+            }
+        }
+        for s in shrink_term(&self.term) {
+            // Ite shrinks may change type (branches have the term's type,
+            // so they don't) — all candidates preserve typing by
+            // construction, but filter defensively.
+            if infer(&mut Vec::new(), &s).as_ref() == Ok(&self.ty) {
+                out.push(TypedTerm {
+                    term: s,
+                    ty: self.ty.clone(),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_feats() -> Vec<Feature> {
+        Feature::all_extended().to_vec()
+    }
+
+    #[test]
+    fn generated_terms_are_well_typed() {
+        let mut r = Rng::new(0x7E57);
+        for _ in 0..200 {
+            let tt = gen_typed_term(&mut r, &all_feats(), 4);
+            let got = infer(&mut Vec::new(), &tt.term);
+            assert_eq!(got.as_ref(), Ok(&tt.ty), "term {:?}", tt.term);
+        }
+    }
+
+    #[test]
+    fn generated_terms_respect_feature_availability() {
+        fn uses(t: &ATerm, bad: &dyn Fn(&ATerm) -> bool) -> bool {
+            if bad(t) {
+                return true;
+            }
+            match t {
+                ATerm::Abs(_, _, x)
+                | ATerm::Fst(x)
+                | ATerm::Snd(x)
+                | ATerm::Inl(x, _)
+                | ATerm::Inr(x, _)
+                | ATerm::Fix(_, _, x)
+                | ATerm::Fold(x, _, _)
+                | ATerm::Unfold(x) => uses(x, bad),
+                ATerm::App(a, b) | ATerm::Pair(a, b) => uses(a, bad) || uses(b, bad),
+                ATerm::Ite(a, b, c) => uses(a, bad) || uses(b, bad) || uses(c, bad),
+                ATerm::Case(s, _, b1, _, b2) => uses(s, bad) || uses(b1, bad) || uses(b2, bad),
+                _ => false,
+            }
+        }
+        let mut r = Rng::new(0xFEA7);
+        // Base-only: no products, sums, fixes, folds, or booleans.
+        for _ in 0..100 {
+            let tt = gen_typed_term(&mut r, &[], 4);
+            assert!(!uses(&tt.term, &|t| matches!(
+                t,
+                ATerm::Pair(..)
+                    | ATerm::Inl(..)
+                    | ATerm::Inr(..)
+                    | ATerm::Fix(..)
+                    | ATerm::Fold(..)
+                    | ATerm::True
+                    | ATerm::False
+                    | ATerm::Ite(..)
+            )));
+        }
+    }
+
+    #[test]
+    fn steps_preserve_typing_smoke() {
+        crate::harness::with_big_stack(steps_preserve_typing_body);
+    }
+
+    fn steps_preserve_typing_body() {
+        let mut r = Rng::new(0x57E9);
+        for _ in 0..100 {
+            let tt = gen_typed_term(&mut r, &all_feats(), 4);
+            let mut t = tt.term.clone();
+            for _ in 0..50 {
+                // Fix unfoldings can grow terms geometrically; stop before
+                // recursive traversals get deep enough to matter.
+                if term_size(&t) > 1_000 {
+                    break;
+                }
+                match step(&t) {
+                    Some((next, _)) => {
+                        assert_eq!(
+                            infer(&mut Vec::new(), &next).as_ref(),
+                            Ok(&tt.ty),
+                            "preservation violated stepping {t:?}"
+                        );
+                        t = next;
+                    }
+                    None => {
+                        assert!(is_value(&t), "progress violated: stuck non-value {t:?}");
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn erasure_is_closed() {
+        let mut r = Rng::new(0xE2A5);
+        for _ in 0..100 {
+            let tt = gen_typed_term(&mut r, &all_feats(), 4);
+            assert!(erase(&tt.term).free_vars().is_empty());
+        }
+    }
+
+    #[test]
+    fn shrinks_preserve_typing() {
+        let mut r = Rng::new(0x5421);
+        for _ in 0..50 {
+            let tt = gen_typed_term(&mut r, &all_feats(), 3);
+            for s in tt.shrinks() {
+                assert_eq!(infer(&mut Vec::new(), &s.term).as_ref(), Ok(&s.ty));
+            }
+        }
+    }
+}

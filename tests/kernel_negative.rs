@@ -153,3 +153,173 @@ fn weakening_out_of_range_rejected() {
     let ctx = Ctx::new();
     assert!(check(&ctx, &t, &Rc::new(fmltt::VTy::Bool)).is_err());
 }
+
+/// Negative `fdiscriminate`/`finjection` paths (§3.6) across three
+/// compiled lattice variants: ill-matched hypotheses are *refused* with
+/// an error — never silently proved, never panicked on. The positive
+/// controls beside each refusal pin that the licence itself works, so a
+/// failure here means the tactic's shape check regressed, not the lattice.
+mod family_tactics {
+    use families_stlc::{build_lattice_subset, Feature};
+    use fpop::universe::FamilyUniverse;
+    use objlang::sig::Signature;
+    use objlang::syntax::{Prop, Term};
+    use objlang::ProofState;
+
+    /// The closed signatures of three single-feature variants.
+    fn variant_sigs() -> Vec<(&'static str, Signature)> {
+        let mut u = FamilyUniverse::new();
+        build_lattice_subset(&mut u, &[Feature::Prod, Feature::Sum, Feature::Bool])
+            .expect("lattice builds");
+        ["STLCProd", "STLCSum", "STLCBool"]
+            .into_iter()
+            .map(|n| (n, u.family(n).expect("variant compiled").sig.clone()))
+            .collect()
+    }
+
+    fn unit() -> Term {
+        Term::c0("tm_unit")
+    }
+
+    /// An unevaluated `subst` redex of sort `tm`: not a constructor form,
+    /// so it can never witness a clash (distinct literals *do* clash).
+    fn redex() -> Term {
+        Term::func("subst", vec![unit(), Term::lit("x"), unit()])
+    }
+
+    /// Per variant, a same-constructor equality whose arguments differ
+    /// only at a non-constructor position: no clash anywhere inside.
+    fn same_ctor_eq(variant: &str) -> (Term, Term) {
+        match variant {
+            "STLCProd" => (
+                Term::ctor("tm_pair", vec![redex(), unit()]),
+                Term::ctor("tm_pair", vec![unit(), unit()]),
+            ),
+            "STLCSum" => (
+                Term::ctor("tm_inl", vec![redex()]),
+                Term::ctor("tm_inl", vec![unit()]),
+            ),
+            "STLCBool" => (
+                Term::ctor("tm_ite", vec![redex(), unit(), unit()]),
+                Term::ctor("tm_ite", vec![unit(), unit(), unit()]),
+            ),
+            other => panic!("no fixture for {other}"),
+        }
+    }
+
+    /// Per variant, an equality between *distinct* constructors of the
+    /// feature's datatype extension.
+    fn distinct_ctor_eq(variant: &str) -> (Term, Term) {
+        match variant {
+            "STLCProd" => (
+                Term::ctor("tm_pair", vec![unit(), unit()]),
+                Term::ctor("tm_fst", vec![unit()]),
+            ),
+            "STLCSum" => (
+                Term::ctor("tm_inl", vec![unit()]),
+                Term::ctor("tm_inr", vec![unit()]),
+            ),
+            "STLCBool" => (Term::c0("tm_true"), Term::c0("tm_false")),
+            other => panic!("no fixture for {other}"),
+        }
+    }
+
+    /// `fdiscriminate` refuses a same-constructor hypothesis in every
+    /// variant — while `finjection` (the correct tactic for that shape)
+    /// still works on the very same hypothesis.
+    #[test]
+    fn same_constructor_refuses_discriminate_but_injects() {
+        for (variant, sig) in variant_sigs() {
+            let (lhs, rhs) = same_ctor_eq(variant);
+            let goal = Prop::imp(Prop::Eq(lhs, rhs), Prop::False);
+            let mut st = ProofState::new(&sig, goal.clone()).unwrap();
+            st.intro().unwrap();
+            let err = st.discriminate("H").expect_err(variant);
+            assert!(
+                err.to_string().contains("not a constructor clash"),
+                "[{variant}] wrong refusal: {err}"
+            );
+            // Positive control: the licence is fine; injection derives
+            // the component equality from the same hypothesis.
+            let mut st2 = ProofState::new(&sig, goal).unwrap();
+            st2.intro().unwrap();
+            st2.injection("H").unwrap_or_else(|e| {
+                panic!("[{variant}] injection on same-ctor equality failed: {e}")
+            });
+        }
+    }
+
+    /// `finjection` refuses a distinct-constructor hypothesis in every
+    /// variant — while `fdiscriminate` closes the same goal outright.
+    #[test]
+    fn distinct_constructors_refuse_injection_but_discriminate() {
+        for (variant, sig) in variant_sigs() {
+            let (lhs, rhs) = distinct_ctor_eq(variant);
+            let goal = Prop::imp(Prop::Eq(lhs, rhs), Prop::False);
+            let mut st = ProofState::new(&sig, goal.clone()).unwrap();
+            st.intro().unwrap();
+            let err = st.injection("H").expect_err(variant);
+            assert!(
+                err.to_string().contains("not a same-constructor equality"),
+                "[{variant}] wrong refusal: {err}"
+            );
+            // Positive control: discriminate closes the clash and qed
+            // accepts the finished proof.
+            let mut st2 = ProofState::new(&sig, goal).unwrap();
+            st2.intro().unwrap();
+            st2.discriminate("H")
+                .unwrap_or_else(|e| panic!("[{variant}] clash not licensed: {e}"));
+            st2.qed().unwrap();
+        }
+    }
+
+    /// Both tactics refuse non-equality hypotheses and unknown hypothesis
+    /// names, in every variant.
+    #[test]
+    fn non_equality_and_missing_hypotheses_refused() {
+        for (variant, sig) in variant_sigs() {
+            let goal = Prop::imp(Prop::False, Prop::False);
+            let mut st = ProofState::new(&sig, goal).unwrap();
+            st.intro().unwrap();
+            assert!(st.discriminate("H").is_err(), "[{variant}] False clashed");
+            assert!(st.injection("H").is_err(), "[{variant}] False injected");
+            assert!(st.discriminate("Nope").is_err(), "[{variant}] ghost hyp");
+            assert!(st.injection("Nope").is_err(), "[{variant}] ghost hyp");
+        }
+    }
+
+    /// Statements mentioning constructors foreign to the variant, or
+    /// equating terms of different sorts, are refused at statement-check
+    /// time — before any tactic can run on them.
+    #[test]
+    fn foreign_and_ill_sorted_statements_refused() {
+        let sigs = variant_sigs();
+        // tm_pair does not exist in STLCBool; tm_true not in STLCProd.
+        let foreign = [
+            ("STLCBool", Term::ctor("tm_pair", vec![unit(), unit()])),
+            ("STLCProd", Term::c0("tm_true")),
+            ("STLCSum", Term::c0("tm_true")),
+        ];
+        for (variant, alien) in foreign {
+            let sig = &sigs.iter().find(|(n, _)| *n == variant).unwrap().1;
+            let goal = Prop::imp(Prop::Eq(alien.clone(), unit()), Prop::False);
+            assert!(
+                ProofState::new(sig, goal).is_err(),
+                "[{variant}] foreign constructor accepted in statement"
+            );
+        }
+        // tm-vs-ty equality is heterogeneous in every variant.
+        for (variant, sig) in &sigs {
+            let ty_ctor = match *variant {
+                "STLCProd" => Term::ctor("ty_prod", vec![Term::c0("ty_unit"), Term::c0("ty_unit")]),
+                "STLCSum" => Term::ctor("ty_sum", vec![Term::c0("ty_unit"), Term::c0("ty_unit")]),
+                _ => Term::c0("ty_bool"),
+            };
+            let goal = Prop::imp(Prop::Eq(unit(), ty_ctor), Prop::False);
+            assert!(
+                ProofState::new(sig, goal).is_err(),
+                "[{variant}] heterogeneous equality accepted"
+            );
+        }
+    }
+}

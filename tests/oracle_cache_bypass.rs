@@ -1,0 +1,130 @@
+//! Differential oracle 1: **cache-bypass**.
+//!
+//! Every vernacular program a warm [`fpop::Session`] accepts must
+//! re-check in a *fresh cold kernel* with the identical verdict — the
+//! persistent proof cache is an accelerator, never an authority. The
+//! generator ([`testkit::script_gen::gen_vernacular`]) emits programs
+//! with *known* verdicts, so the oracle checks three-way agreement:
+//! expected vs warm vs cold.
+//!
+//! Replay a failure with `FPOP_TEST_SEED=0x… cargo test --test
+//! oracle_cache_bypass`; scale it up with `FPOP_TEST_ITERS`.
+
+use fpop::parse::{run_program, run_program_with_session};
+use fpop::{ExportEntry, Session};
+use testkit::script_gen::{gen_vernacular, Verdict};
+use testkit::{run_cases, Rng};
+
+/// One shared warm session accumulating cache entries across random
+/// programs; every program's warm verdict must equal its cold verdict
+/// must equal the generator's expectation.
+#[test]
+fn warm_session_and_cold_kernel_agree_on_random_programs() {
+    let warm = Session::new();
+    run_cases("warm_cold_agree", 0xCAB1A5, 40, |r: &mut Rng| {
+        let p = gen_vernacular(r);
+        let warm_verdict = run_program_with_session(&p.source, warm.clone()).is_ok();
+        let cold_verdict = run_program(&p.source).is_ok();
+        assert_eq!(
+            warm_verdict, cold_verdict,
+            "warm/cold divergence on:\n{}",
+            p.source
+        );
+        let expected_ok = p.expect == Verdict::Accept;
+        assert_eq!(
+            warm_verdict, expected_ok,
+            "verdict {:?} not honored on:\n{}",
+            p.expect, p.source
+        );
+    });
+}
+
+/// Re-elaborating an accepted program through the same warm session hits
+/// the cache (hits strictly increase) and never changes the verdict.
+#[test]
+fn warm_recheck_hits_cache_with_same_verdict() {
+    let warm = Session::new();
+    run_cases("warm_recheck", 0x5EC0D2, 15, |r: &mut Rng| {
+        let p = gen_vernacular(r);
+        if p.expect != Verdict::Accept {
+            return;
+        }
+        assert!(run_program_with_session(&p.source, warm.clone()).is_ok());
+        let before = warm.snapshot_stats();
+        assert!(
+            run_program_with_session(&p.source, warm.clone()).is_ok(),
+            "warm re-check flipped the verdict on:\n{}",
+            p.source
+        );
+        let after = warm.snapshot_stats();
+        assert!(
+            after.hits > before.hits,
+            "re-check did not consult the cache ({} -> {} hits)",
+            before.hits,
+            after.hits
+        );
+    });
+}
+
+/// A fully warm rebuild from an *untampered* export replays with zero
+/// misses; flipping one entry's obligation key forces at least one miss —
+/// i.e. the oracle demonstrably catches a seeded cache mutation instead
+/// of trusting the poisoned entry.
+#[test]
+fn tampered_cache_entry_is_bypassed_not_trusted() {
+    let mut r = Rng::new(0x7A3B3D);
+    let p = loop {
+        let p = gen_vernacular(&mut r);
+        if p.expect == Verdict::Accept {
+            break p;
+        }
+    };
+    let donor = Session::new();
+    run_program_with_session(&p.source, donor.clone()).expect("accept program");
+    let entries = donor.export();
+    assert!(!entries.is_empty(), "accepted program must cache proofs");
+
+    // Control: untampered import replays fully warm.
+    let clean = Session::new();
+    clean.import(entries.clone());
+    run_program_with_session(&p.source, clean.clone()).expect("warm replay");
+    let stats = clean.snapshot_stats();
+    assert_eq!(stats.misses, 0, "clean warm rebuild must be all hits");
+
+    // Mutation: corrupt every entry's obligation key. The rebuild must
+    // still accept (the kernel re-proves) but cannot claim warm hits for
+    // the poisoned entries.
+    let tampered: Vec<ExportEntry> = entries
+        .into_iter()
+        .map(|e| match e {
+            ExportEntry::Theorem {
+                statement,
+                script,
+                closed_world_key,
+                okey,
+            } => ExportEntry::Theorem {
+                statement,
+                script,
+                closed_world_key,
+                okey: okey ^ 0xDEAD_BEEF,
+            },
+            ExportEntry::Case {
+                sequent,
+                script,
+                okey,
+            } => ExportEntry::Case {
+                sequent,
+                script,
+                okey: okey ^ 0xDEAD_BEEF,
+            },
+        })
+        .collect();
+    let poisoned = Session::new();
+    poisoned.import(tampered);
+    run_program_with_session(&p.source, poisoned.clone()).expect("kernel re-proves");
+    let stats = poisoned.snapshot_stats();
+    assert!(
+        stats.misses > 0,
+        "tampered entries were trusted as cache hits: {stats:?}"
+    );
+}

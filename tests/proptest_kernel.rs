@@ -1,14 +1,16 @@
 //! Property-based tests for the FMLTT kernel: canonicity (Theorem 5.2)
 //! over *generated* closed boolean terms, and determinism of evaluation.
 //!
-//! Formerly written against `proptest`; now a self-contained seeded
-//! random-input suite so the repository tests build with no external
-//! dependencies (and therefore with no network access).
+//! Formerly written against `proptest`; now a seeded random-input suite
+//! on the shared `testkit` harness, so the repository tests build with no
+//! external dependencies (and therefore with no network access). Failing
+//! cases print a `FPOP_TEST_SEED=0x…` replay recipe; `FPOP_TEST_ITERS`
+//! scales every case count (the nightly deep-fuzz job).
 
 #[path = "support/rng.rs"]
 mod rng;
 
-use rng::Rng;
+use rng::{run_cases, Rng};
 use std::rc::Rc;
 
 use fmltt::canon::{canonical_bool, CanonicalBool};
@@ -75,49 +77,45 @@ fn bool_term(r: &mut Rng, depth: u32) -> (Tm, bool) {
 /// and to the *right* one.
 #[test]
 fn canonicity_on_generated_booleans() {
-    let mut r = Rng::new(0x5EED);
-    for case in 0..256 {
-        let (t, expected) = bool_term(&mut r, 6);
+    run_cases("canonicity_on_generated_booleans", 0x5EED, 256, |r| {
+        let (t, expected) = bool_term(r, 6);
         let got = canonical_bool(&t).expect("closed well-typed booleans are canonical");
         let want = if expected {
             CanonicalBool::True
         } else {
             CanonicalBool::False
         };
-        assert_eq!(got, want, "case {case}");
-    }
+        assert_eq!(got, want);
+    });
 }
 
 /// Evaluation is deterministic: normalizing twice agrees.
 #[test]
 fn evaluation_deterministic() {
-    let mut r = Rng::new(0xDE7);
-    for case in 0..256 {
-        let (t, _) = bool_term(&mut r, 6);
+    run_cases("evaluation_deterministic", 0xDE7, 256, |r| {
+        let (t, _) = bool_term(r, 6);
         let a = canonical_bool(&t).unwrap();
         let b = canonical_bool(&t).unwrap();
-        assert_eq!(a, b, "case {case}");
-    }
+        assert_eq!(a, b);
+    });
 }
 
 /// Normalization is idempotent: nf(nf(t)) == nf(t) (readback produces
 /// normal forms).
 #[test]
 fn normalization_idempotent() {
-    let mut r = Rng::new(0x1DEA);
-    for case in 0..256 {
-        let (t, _) = bool_term(&mut r, 5);
+    run_cases("normalization_idempotent", 0x1DEA, 256, |r| {
+        let (t, _) = bool_term(r, 5);
         let n = fmltt::nf(&t, &fmltt::Ty::Bool).unwrap();
-        assert_eq!(fmltt::nf(&n, &fmltt::Ty::Bool).unwrap(), n, "case {case}");
-    }
+        assert_eq!(fmltt::nf(&n, &fmltt::Ty::Bool).unwrap(), n);
+    });
 }
 
 /// Functions normalize to η-long λ-forms, idempotently.
 #[test]
 fn function_normalization_idempotent() {
-    let mut r = Rng::new(0xE7A);
-    for case in 0..256 {
-        let (t, _) = bool_term(&mut r, 4);
+    run_cases("function_normalization_idempotent", 0xE7A, 256, |r| {
+        let (t, _) = bool_term(r, 4);
         // λx. if x then t else ff  at B → B.
         let f = Tm::Lam(Rc::new(Tm::If(
             Rc::new(Tm::Var(0)),
@@ -127,28 +125,32 @@ fn function_normalization_idempotent() {
         )));
         let fty = Ty::arrow(Ty::Bool, Ty::Bool);
         let n = fmltt::nf(&f, &fty).unwrap();
-        assert!(matches!(n, Tm::Lam(_)), "case {case}");
-        assert_eq!(fmltt::nf(&n, &fty).unwrap(), n, "case {case}");
-    }
+        assert!(matches!(n, Tm::Lam(_)));
+        assert_eq!(fmltt::nf(&n, &fty).unwrap(), n);
+    });
 }
 
 /// Weakening a closed term and substituting a throwaway value does not
 /// change its meaning: t ≡ (λ_. t[p1]) u.
 #[test]
 fn weakening_then_instantiation_is_identity() {
-    let mut r = Rng::new(0x77EA);
-    for case in 0..256 {
-        let (t, expected) = bool_term(&mut r, 5);
-        let arg = if r.flip() { Tm::True } else { Tm::False };
-        let wrapped = Tm::app_to(Tm::Lam(Rc::new(Tm::wk(t, 1))), arg);
-        let got = canonical_bool(&wrapped).unwrap();
-        let want = if expected {
-            CanonicalBool::True
-        } else {
-            CanonicalBool::False
-        };
-        assert_eq!(got, want, "case {case}");
-    }
+    run_cases(
+        "weakening_then_instantiation_is_identity",
+        0x77EA,
+        256,
+        |r| {
+            let (t, expected) = bool_term(r, 5);
+            let arg = if r.flip() { Tm::True } else { Tm::False };
+            let wrapped = Tm::app_to(Tm::Lam(Rc::new(Tm::wk(t, 1))), arg);
+            let got = canonical_bool(&wrapped).unwrap();
+            let want = if expected {
+                CanonicalBool::True
+            } else {
+                CanonicalBool::False
+            };
+            assert_eq!(got, want);
+        },
+    );
 }
 
 /// W-type canonicity over generated terms of the Figure 8 signature
@@ -180,13 +182,12 @@ mod wtypes {
     /// W-term: Wrec is total on canonical values.
     #[test]
     fn wrec_total_on_generated_terms() {
-        let mut r = Rng::new(0x12345);
-        for case in 0..64 {
-            let t = tm_term(&mut r, 4);
+        run_cases("wrec_total_on_generated_terms", 0x12345, 64, |r| {
+            let t = tm_term(r, 4);
             let tau = encoding::tau_tm();
             let call = Tm::app_to(encoding::size_fn(&tau, 0), t);
-            canonical_bool(&call).unwrap_or_else(|e| panic!("case {case}: Wrec normalizes: {e:?}"));
-        }
+            canonical_bool(&call).unwrap_or_else(|e| panic!("Wrec normalizes: {e:?}"));
+        });
     }
 
     /// The derived signature (τ′) runs the same terms after the paper's

@@ -2,14 +2,16 @@
 //! invariants, evaluator/equation agreement, and the partial-recursor
 //! consequences of Section 3.6 / Theorem 3.1.
 //!
-//! Formerly written against `proptest`; now a self-contained seeded
-//! random-input suite so the repository tests build with no external
-//! dependencies (and therefore with no network access).
+//! Formerly written against `proptest`; now a seeded random-input suite
+//! on the shared `testkit` harness, so the repository tests build with no
+//! external dependencies (and therefore with no network access). Failing
+//! cases print a `FPOP_TEST_SEED=0x…` replay recipe; `FPOP_TEST_ITERS`
+//! scales every case count (the nightly deep-fuzz job).
 
 #[path = "support/rng.rs"]
 mod rng;
 
-use rng::Rng;
+use rng::{run_cases, Rng};
 use std::collections::HashMap;
 
 use objlang::sig::{CtorSig, Datatype, Signature};
@@ -62,16 +64,11 @@ fn open_term(r: &mut Rng, depth: u32) -> Term {
 #[test]
 fn eval_agrees_with_meaning() {
     let s = nat_sig();
-    let mut r = Rng::new(0xA11CE);
-    for case in 0..256 {
-        let (t, n) = nat_term(&mut r, 5);
+    run_cases("eval_agrees_with_meaning", 0xA11CE, 256, |r| {
+        let (t, n) = nat_term(r, 5);
         let v = objlang::eval::eval_default(&s, &t).unwrap();
-        assert_eq!(
-            objlang::eval::nat_value(&v),
-            Some(n),
-            "case {case}: term {t:?}"
-        );
-    }
+        assert_eq!(objlang::eval::nat_value(&v), Some(n), "term {t:?}");
+    });
 }
 
 /// Substitution commutes with evaluation: eval(t[x:=a]) computed in one
@@ -79,9 +76,8 @@ fn eval_agrees_with_meaning() {
 #[test]
 fn subst_then_eval_composes() {
     let s = nat_sig();
-    let mut r = Rng::new(0xB0B);
-    for case in 0..256 {
-        let t = open_term(&mut r, 4);
+    run_cases("subst_then_eval_composes", 0xB0B, 256, |r| {
+        let t = open_term(r, 4);
         let a = r.below(4);
         let b = r.below(4);
         let mut m = HashMap::new();
@@ -92,32 +88,27 @@ fn subst_then_eval_composes() {
         // Substituting twice is idempotent on the closed result.
         let closed2 = closed.subst(&m);
         let v2 = objlang::eval::eval_default(&s, &closed2).unwrap();
-        assert_eq!(v1, v2, "case {case}: term {t:?}");
-    }
+        assert_eq!(v1, v2, "term {t:?}");
+    });
 }
 
 /// Free variables after substitution never include the substituted
 /// variable.
 #[test]
 fn subst_removes_variable() {
-    let mut r = Rng::new(0xC0FFEE);
-    for case in 0..256 {
-        let t = open_term(&mut r, 4);
+    run_cases("subst_removes_variable", 0xC0FFEE, 256, |r| {
+        let t = open_term(r, 4);
         let t2 = t.subst1(sym("vx"), &objlang::eval::nat_lit(0));
-        assert!(
-            !t2.free_vars().contains(&sym("vx")),
-            "case {case}: term {t:?}"
-        );
-    }
+        assert!(!t2.free_vars().contains(&sym("vx")), "term {t:?}");
+    });
 }
 
 /// Prop substitution is capture-avoiding: the bound variable of a ∀ never
 /// captures a substituted term.
 #[test]
 fn prop_subst_capture_avoiding() {
-    let mut r = Rng::new(0xD00D);
-    for case in 0..256 {
-        let t = open_term(&mut r, 4);
+    run_cases("prop_subst_capture_avoiding", 0xD00D, 256, |r| {
+        let t = open_term(r, 4);
         let p = Prop::forall(
             "vx",
             Sort::named("nat"),
@@ -127,8 +118,8 @@ fn prop_subst_capture_avoiding() {
         // The binder was renamed iff t mentions vx; either way the result
         // is alpha-stable under a second disjoint substitution.
         let q2 = q.subst1(sym("vz"), &Term::c0("zero"));
-        assert!(q.alpha_eq(&q2), "case {case}: term {t:?}");
-    }
+        assert!(q.alpha_eq(&q2), "term {t:?}");
+    });
 }
 
 /// Section 3.6 / Theorem 3.1: for randomly shaped extensible datatypes,
@@ -181,9 +172,8 @@ mod prec {
     /// partial-recursor licence for every generated datatype.
     #[test]
     fn disjointness_for_generated_datatypes() {
-        let mut r = Rng::new(0x1111);
-        for _ in 0..64 {
-            let arities = arb_ctor_arities(&mut r);
+        run_cases("disjointness_for_generated_datatypes", 0x1111, 64, |r| {
+            let arities = arb_ctor_arities(r);
             let (sig, names) = build_sig(&arities, true);
             for i in 0..names.len() {
                 for j in 0..names.len() {
@@ -199,15 +189,14 @@ mod prec {
                     st.qed().unwrap();
                 }
             }
-        }
+        });
     }
 
     /// Injectivity: `C x̄ = C ȳ → xᵢ = yᵢ` via the licence.
     #[test]
     fn injectivity_for_generated_datatypes() {
-        let mut r = Rng::new(0x2222);
-        for _ in 0..64 {
-            let arities = arb_ctor_arities(&mut r);
+        run_cases("injectivity_for_generated_datatypes", 0x2222, 64, |r| {
+            let arities = arb_ctor_arities(r);
             let (sig, names) = build_sig(&arities, true);
             for (i, &arity) in arities.iter().enumerate() {
                 if arity == 0 {
@@ -225,16 +214,15 @@ mod prec {
                 // The first component equality is now a hypothesis.
                 st.exact("Hi").unwrap();
             }
-        }
+        });
     }
 
     /// Without a partial recursor, the same reasoning is refused on
     /// extensible datatypes (C1 enforcement is not accidental).
     #[test]
     fn no_licence_no_disjointness() {
-        let mut r = Rng::new(0x3333);
-        for _ in 0..64 {
-            let arities = arb_ctor_arities(&mut r);
+        run_cases("no_licence_no_disjointness", 0x3333, 64, |r| {
+            let arities = arb_ctor_arities(r);
             // Declare as extensible but WITHOUT a partial recursor.
             let mut s2 = Signature::new();
             objlang::prelude::install(&mut s2).unwrap();
@@ -259,7 +247,7 @@ mod prec {
             let mut st = ProofState::new(&sig, goal).unwrap();
             st.intro().unwrap();
             assert!(st.discriminate("H").is_err());
-        }
+        });
     }
 }
 

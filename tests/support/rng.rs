@@ -1,45 +1,15 @@
-//! A tiny deterministic PRNG for the property-style tests.
+//! Shared randomized-test support: a thin shim over the `testkit` crate.
 //!
-//! The repository builds with **zero external dependencies** so that
-//! `cargo build && cargo test -q` succeeds without network access (see the
-//! workspace `Cargo.toml`). The former `proptest` suites are preserved as
-//! seeded random-input loops over this xorshift64* generator: same
-//! properties, same case counts, reproducible failures (the failing seed is
-//! in the panic message via `assert!` context).
+//! Historically this file held its own xorshift64* generator; it now
+//! re-exports [`testkit::Rng`] (bit-for-bit the same stream) plus the
+//! seeded property harness, so every randomized suite in `tests/` gets:
+//!
+//! * failure-seed reporting — a failing case prints a one-line
+//!   `FPOP_TEST_SEED=0x… cargo test …` replay recipe;
+//! * `FPOP_TEST_SEED` replay — set it to re-run exactly the failing case;
+//! * `FPOP_TEST_ITERS` scaling — the nightly deep-fuzz job multiplies
+//!   every case count through it.
 
-/// xorshift64* — tiny, fast, good enough for test-input shuffling.
-pub struct Rng(u64);
-
-impl Rng {
-    /// Creates a generator from a nonzero-ified seed.
-    pub fn new(seed: u64) -> Rng {
-        Rng(seed.wrapping_mul(2685821657736338717).max(1))
-    }
-
-    /// Next raw 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(2685821657736338717)
-    }
-
-    /// Uniform-ish value in `0..n` (n > 0).
-    pub fn below(&mut self, n: u64) -> u64 {
-        self.next_u64() % n
-    }
-
-    /// Uniform-ish value in `lo..hi` (hi > lo).
-    #[allow(dead_code)]
-    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.below(hi - lo)
-    }
-
-    /// A random boolean.
-    #[allow(dead_code)]
-    pub fn flip(&mut self) -> bool {
-        self.next_u64() & 1 == 1
-    }
-}
+#[allow(unused_imports)]
+pub use testkit::harness::{forall, iterations, master_seed, run_cases, with_big_stack, Shrink};
+pub use testkit::Rng;
