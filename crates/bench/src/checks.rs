@@ -1,0 +1,53 @@
+//! Whole-check-path benches: compiling family `STLC` (Figure 2 → Figure 4)
+//! and the derived `STLCFix` (Figure 5), plus the Section 7 composition
+//! lattice (15 variants, sequential and parallel) — the cold-check
+//! workloads the hash-consing acceptance criterion is measured on.
+//!
+//! Results land in `BENCH_engine.json` together with the engine series.
+
+use crate::harness::Bencher;
+use fpop::universe::FamilyUniverse;
+use std::time::Instant;
+
+/// Registers the compile/lattice series on `b`.
+pub fn run(b: &mut Bencher) {
+    eprintln!("\n== checks: family compilation and the composition lattice ==");
+
+    b.bench("compile/stlc_base_cold", 1.0, || {
+        let mut u = FamilyUniverse::new();
+        u.define(families_stlc::stlc_family()).unwrap();
+        u.family("STLC").unwrap().ledger.checked_count()
+    });
+
+    b.bench_time("compile/stlc_fix_extension", 1.0, || {
+        // Base compiled outside the timed region; measure only the
+        // derived family (the Figure 5 `(* reuse *)` path).
+        let mut u = FamilyUniverse::new();
+        u.define(families_stlc::stlc_family()).unwrap();
+        let t = Instant::now();
+        u.define(families_stlc::fix::stlc_fix_family()).unwrap();
+        let d = t.elapsed();
+        assert!(u.family("STLCFix").unwrap().ledger.shared_count() > 0);
+        d
+    });
+
+    // Variant count measured once up front (base + the 15 compositions).
+    let n_variants = {
+        let mut u = FamilyUniverse::new();
+        families_stlc::build_lattice(&mut u).unwrap().rows.len()
+    };
+
+    b.bench("lattice/build_cold", n_variants as f64, || {
+        let mut u = FamilyUniverse::new();
+        let rep = families_stlc::build_lattice(&mut u).unwrap();
+        assert_eq!(rep.rows.len(), n_variants);
+        rep.rows.len()
+    });
+
+    b.bench("lattice/build_cold_parallel", n_variants as f64, || {
+        let mut u = FamilyUniverse::new();
+        let rep = families_stlc::build_lattice_parallel(&mut u).unwrap();
+        assert_eq!(rep.rows.len(), n_variants);
+        rep.rows.len()
+    });
+}

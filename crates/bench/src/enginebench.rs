@@ -1,0 +1,89 @@
+//! Engine throughput: req/sec of the `fpopd` worker pool over a mixed
+//! `CheckSource` + `BuildLattice` batch, cold cache vs warm
+//! (snapshot-restored) cache — the ENGINE-tput experiment.
+
+use crate::harness::Bencher;
+use engine::{Engine, EngineConfig, Request};
+use families_stlc::Feature;
+use std::sync::Arc;
+use std::time::Instant;
+
+const PEANO: &str = include_str!("../../../examples/peano.fpop");
+
+/// A mixed request batch: vernacular checks + lattice subsets of mixed
+/// arity. Distinct sources defeat in-flight dedup so every request costs
+/// real scheduling (the cache, not the dedup map, provides the reuse).
+fn batch() -> Vec<Request> {
+    let mut reqs = Vec::new();
+    for i in 0..4 {
+        reqs.push(Request::CheckSource {
+            source: format!("(* batch item {i} *)\n{PEANO}"),
+        });
+    }
+    for features in [
+        vec![Feature::Fix],
+        vec![Feature::Prod],
+        vec![Feature::Sum],
+        vec![Feature::Fix, Feature::Prod],
+        vec![Feature::Prod, Feature::Isorec],
+        vec![Feature::Fix, Feature::Prod, Feature::Sum],
+    ] {
+        reqs.push(Request::BuildLattice { features });
+    }
+    reqs
+}
+
+fn run_batch(engine: &Arc<Engine>, reqs: &[Request]) -> usize {
+    let tickets: Vec<_> = reqs
+        .iter()
+        .map(|r| engine.submit(r.clone()).expect("submit"))
+        .collect();
+    tickets.iter().filter(|t| t.wait().is_ok()).count()
+}
+
+fn engine_with(workers: usize, snapshot: Option<std::path::PathBuf>) -> Arc<Engine> {
+    Arc::new(Engine::start(EngineConfig {
+        workers,
+        queue_capacity: 256,
+        snapshot_path: snapshot,
+        ..EngineConfig::default()
+    }))
+}
+
+/// Registers the engine series on `b`.
+pub fn run(b: &mut Bencher) {
+    eprintln!("\n== engine: fpopd request throughput ==");
+    let reqs = batch();
+    let n = reqs.len() as f64;
+    let dir = std::env::temp_dir().join(format!("fpop-engine-bench-{}", std::process::id()));
+    let snap = dir.join("proofs.snap");
+
+    // Produce the warm snapshot once.
+    let seed = engine_with(4, Some(snap.clone()));
+    run_batch(&seed, &reqs);
+    seed.shutdown().unwrap();
+
+    for workers in [1usize, 4] {
+        b.bench_time(&format!("engine/batch_cold_{workers}w"), n, || {
+            let cold = engine_with(workers, None);
+            let t = Instant::now();
+            let ok = run_batch(&cold, &reqs);
+            let d = t.elapsed();
+            assert_eq!(ok, reqs.len());
+            cold.shutdown().unwrap();
+            d
+        });
+        b.bench_time(&format!("engine/batch_warm_{workers}w"), n, || {
+            let warm = engine_with(workers, Some(snap.clone()));
+            assert!(warm.warm_loaded() > 0, "snapshot must load");
+            let t = Instant::now();
+            let ok = run_batch(&warm, &reqs);
+            let d = t.elapsed();
+            assert_eq!(ok, reqs.len());
+            assert_eq!(warm.stats().misses, 0, "warm batch must not miss");
+            warm.shutdown().unwrap();
+            d
+        });
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

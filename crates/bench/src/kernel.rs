@@ -1,0 +1,135 @@
+//! Kernel micro-benchmarks: the `objlang` term/prop operations on the hot
+//! path of every check — construction, equality, substitution, free-var
+//! collection, subterm replacement, evaluation, and a full `fsimpl` proof.
+//!
+//! These are the direct before/after probes for the hash-consed term
+//! representation; results land in `BENCH_kernel.json`.
+
+use crate::harness::Bencher;
+use objlang::eval::{eval_default, nat_lit, nat_value};
+use objlang::ident::sym;
+use objlang::prelude;
+use objlang::proof::ProofState;
+use objlang::sig::Signature;
+use objlang::syntax::{Prop, Sort, Term};
+use std::collections::HashMap;
+
+/// `succ^n(x)` — a deep chain ending in a variable.
+fn deep_with_var(n: usize, v: &str) -> Term {
+    let mut t = Term::var(v);
+    for _ in 0..n {
+        t = Term::ctor("succ", vec![t]);
+    }
+    t
+}
+
+/// A wide, moderately deep term: `f(pair(x_{i mod 32}, 8), …)` with `n`
+/// arguments.
+fn wide(n: usize) -> Term {
+    Term::func(
+        "f",
+        (0..n)
+            .map(|i| Term::ctor("pair", vec![Term::var(&format!("x{}", i % 32)), nat_lit(8)]))
+            .collect(),
+    )
+}
+
+/// A signature with `nat` and `add` for the evaluator / prover benches.
+fn nat_sig() -> Signature {
+    let mut sig = Signature::new();
+    prelude::install(&mut sig).unwrap();
+    prelude::install_nat_add(&mut sig).unwrap();
+    sig
+}
+
+/// Registers the kernel series on `b`.
+pub fn run(b: &mut Bencher) {
+    eprintln!("\n== kernel: objlang term/prop operations ==");
+
+    b.bench("kernel/build_nat_512", 1.0, || nat_lit(512));
+
+    {
+        let x = nat_lit(512);
+        let y = nat_lit(512);
+        b.bench("kernel/eq_deep_equal", 1.0, || x == y);
+        let z = nat_lit(511);
+        b.bench("kernel/eq_deep_diff", 1.0, || x == z);
+    }
+
+    {
+        let t = deep_with_var(256, "x");
+        let mut hit = HashMap::new();
+        hit.insert(sym("x"), nat_lit(16));
+        let mut miss = HashMap::new();
+        miss.insert(sym("y"), nat_lit(16));
+        b.bench("kernel/subst_deep_hit", 1.0, || t.subst(&hit));
+        b.bench("kernel/subst_deep_miss", 1.0, || t.subst(&miss));
+        let v = nat_lit(16);
+        b.bench("kernel/subst1_deep", 1.0, || t.subst1(sym("x"), &v));
+    }
+
+    {
+        let t = wide(256);
+        let v = nat_lit(4);
+        b.bench("kernel/subst1_wide", 1.0, || t.subst1(sym("x7"), &v));
+        b.bench("kernel/free_vars_wide", 1.0, || t.free_vars());
+        let needle = Term::var("x31");
+        b.bench("kernel/contains_wide", 1.0, || t.contains(&needle));
+        let from = nat_lit(8);
+        let to = nat_lit(0);
+        b.bench("kernel/replace_wide", 1.0, || t.replace(&from, &to));
+        b.bench("kernel/size_wide", 1.0, || t.size());
+    }
+
+    {
+        // Quantified prop substitution: exercises the capture-avoidance
+        // machinery (free-var scans of every mapped term per binder).
+        let body = Prop::eq(
+            Term::func("add", vec![Term::var("a"), Term::var("n")]),
+            Term::func("add", vec![Term::var("n"), Term::var("a")]),
+        );
+        let p = Prop::foralls(
+            &[
+                (sym("n"), Sort::named("nat")),
+                (sym("m"), Sort::named("nat")),
+                (sym("k"), Sort::named("nat")),
+            ],
+            body,
+        );
+        let v = nat_lit(32);
+        b.bench("kernel/prop_subst1_quant", 1.0, || p.subst1(sym("a"), &v));
+        let q = p.clone();
+        b.bench("kernel/prop_alpha_eq", 1.0, || p.alpha_eq(&q));
+    }
+
+    {
+        let sig = nat_sig();
+        let t = Term::func("add", vec![nat_lit(64), nat_lit(64)]);
+        b.bench("kernel/eval_add_64", 1.0, || {
+            let v = eval_default(&sig, &t).unwrap();
+            assert_eq!(nat_value(&v), Some(128));
+            v
+        });
+    }
+
+    {
+        // A whole kernel proof driven by the fsimpl rewriting loop — the
+        // macro-level probe for rewrite memoization.
+        let sig = nat_sig();
+        let goal = Prop::forall(
+            "n",
+            Sort::named("nat"),
+            Prop::eq(
+                Term::func("add", vec![Term::c0("zero"), Term::var("n")]),
+                Term::var("n"),
+            ),
+        );
+        b.bench("kernel/prove_add_zero", 1.0, || {
+            let mut st = ProofState::new(&sig, goal.clone()).unwrap();
+            st.intro().unwrap();
+            st.fsimpl().unwrap();
+            st.reflexivity().unwrap();
+            st.qed().unwrap()
+        });
+    }
+}

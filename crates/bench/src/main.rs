@@ -1,0 +1,71 @@
+//! # bench — the experiment harness (see DESIGN.md §4 for the index)
+//!
+//! Regenerates the evaluation series as machine-readable JSON artifacts:
+//!
+//! * `BENCH_kernel.json` — objlang term/prop micro-operations (the
+//!   hash-consing before/after probes),
+//! * `BENCH_engine.json` — family compilation, the composition lattice,
+//!   and `fpopd` request throughput.
+//!
+//! ```text
+//! cargo run --release -p bench                # full calibrated series
+//! cargo run --release -p bench -- --quick     # one iteration each (CI smoke)
+//! cargo run --release -p bench -- --out DIR   # artifact directory
+//! cargo run --release -p bench -- kernel      # subset: kernel | engine
+//! ```
+
+mod checks;
+mod enginebench;
+mod harness;
+mod kernel;
+
+use harness::Bencher;
+use std::path::PathBuf;
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from(".");
+    let mut groups: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }))
+            }
+            "kernel" | "engine" => groups.push(a),
+            other => {
+                eprintln!("unknown argument {other:?}; usage: bench [--quick] [--out DIR] [kernel|engine]...");
+                std::process::exit(2);
+            }
+        }
+    }
+    if groups.is_empty() {
+        groups = vec!["kernel".into(), "engine".into()];
+    }
+    std::fs::create_dir_all(&out).expect("create out dir");
+
+    eprintln!(
+        "bench mode: {}",
+        if quick {
+            "quick (1 iteration)"
+        } else {
+            "full (calibrated)"
+        }
+    );
+
+    if groups.iter().any(|g| g == "kernel") {
+        let mut b = Bencher::new(quick);
+        kernel::run(&mut b);
+        b.write_json(&out.join("BENCH_kernel.json")).unwrap();
+    }
+    if groups.iter().any(|g| g == "engine") {
+        let mut b = Bencher::new(quick);
+        checks::run(&mut b);
+        enginebench::run(&mut b);
+        b.write_json(&out.join("BENCH_engine.json")).unwrap();
+    }
+}

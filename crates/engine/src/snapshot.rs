@@ -582,11 +582,11 @@ impl<'a> Cursor<'a> {
             0 => Ok(Term::Var(self.sym()?)),
             1 => {
                 let c = self.sym()?;
-                Ok(Term::Ctor(c, self.terms(depth + 1)?))
+                Ok(Term::Ctor(c, self.terms(depth + 1)?.into()))
             }
             2 => {
                 let f = self.sym()?;
-                Ok(Term::Fn(f, self.terms(depth + 1)?))
+                Ok(Term::Fn(f, self.terms(depth + 1)?.into()))
             }
             3 => Ok(Term::Lit(self.sym()?)),
             t => Err(corrupt(format!("unknown term tag {t}"))),
@@ -603,33 +603,33 @@ impl<'a> Cursor<'a> {
             2 => Ok(Prop::Eq(self.term(depth + 1)?, self.term(depth + 1)?)),
             3 => {
                 let s = self.sym()?;
-                Ok(Prop::Atom(s, self.terms(depth + 1)?))
+                Ok(Prop::Atom(s, self.terms(depth + 1)?.into()))
             }
             4 => {
                 let s = self.sym()?;
-                Ok(Prop::Def(s, self.terms(depth + 1)?))
+                Ok(Prop::Def(s, self.terms(depth + 1)?.into()))
             }
             5 => Ok(Prop::And(
-                Box::new(self.prop(depth + 1)?),
-                Box::new(self.prop(depth + 1)?),
+                self.prop(depth + 1)?.into(),
+                self.prop(depth + 1)?.into(),
             )),
             6 => Ok(Prop::Or(
-                Box::new(self.prop(depth + 1)?),
-                Box::new(self.prop(depth + 1)?),
+                self.prop(depth + 1)?.into(),
+                self.prop(depth + 1)?.into(),
             )),
             7 => Ok(Prop::Imp(
-                Box::new(self.prop(depth + 1)?),
-                Box::new(self.prop(depth + 1)?),
+                self.prop(depth + 1)?.into(),
+                self.prop(depth + 1)?.into(),
             )),
             8 => {
                 let v = self.sym()?;
                 let s = self.sort()?;
-                Ok(Prop::Forall(v, s, Box::new(self.prop(depth + 1)?)))
+                Ok(Prop::Forall(v, s, self.prop(depth + 1)?.into()))
             }
             9 => {
                 let v = self.sym()?;
                 let s = self.sort()?;
-                Ok(Prop::Exists(v, s, Box::new(self.prop(depth + 1)?)))
+                Ok(Prop::Exists(v, s, self.prop(depth + 1)?.into()))
             }
             t => Err(corrupt(format!("unknown prop tag {t}"))),
         }

@@ -50,7 +50,7 @@ fn rval(n: Term, a: Term) -> Prop {
     Prop::atom("rval", vec![n, a])
 }
 fn rstate(s: Term, a: Term) -> Prop {
-    Prop::Def(sym("rstate"), vec![s, a])
+    Prop::Def(sym("rstate"), vec![s, a].into())
 }
 fn i(n: &str) -> Tactic {
     Tactic::IntroAs(n.into())

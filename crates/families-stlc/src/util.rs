@@ -82,7 +82,7 @@ pub fn steps(a: Term, b: Term) -> Prop {
 }
 /// `includedin G G'` (defined proposition).
 pub fn includedin(a: Term, b: Term) -> Prop {
-    Prop::Def(Symbol::new("includedin"), vec![a, b])
+    Prop::Def(Symbol::new("includedin"), vec![a, b].into())
 }
 
 /// Builds an inference rule.

@@ -516,7 +516,7 @@ impl Parser {
                     }
                     self.expect_sym(")")?;
                 }
-                Ok(Term::Ctor(Symbol::new(&head), args))
+                Ok(Term::Ctor(Symbol::new(&head), args.into()))
             }
             other => Err(Error::new(format!("expected a term, got {other:?}"))),
         }
@@ -540,7 +540,7 @@ impl Parser {
             self.expect_sym(")")?;
             self.expect_sym(",")?;
             let body = self.prop()?;
-            return Ok(Prop::Forall(Symbol::new(&v), s, Box::new(body)));
+            return Ok(Prop::Forall(Symbol::new(&v), s, body.into()));
         }
         let lhs = self.term()?;
         self.expect_sym("=")?;
@@ -598,9 +598,9 @@ pub fn resolve_with(def: &mut FamilyDef, mut fns: Vec<Symbol>) {
                 if args.is_empty() && bound.contains(head) {
                     Term::Var(*head)
                 } else if fns.contains(head) {
-                    Term::Fn(*head, fixed)
+                    Term::Fn(*head, fixed.into())
                 } else {
-                    Term::Ctor(*head, fixed)
+                    Term::Ctor(*head, fixed.into())
                 }
             }
             Term::Fn(h, args) => Term::Fn(*h, args.iter().map(|a| goti(a, bound, fns)).collect()),
@@ -618,14 +618,14 @@ pub fn resolve_with(def: &mut FamilyDef, mut fns: Vec<Symbol>) {
                 if !inner.contains(v) {
                     inner.push(*v);
                 }
-                Prop::Forall(*v, *s, Box::new(gop(body, &inner, fns)))
+                Prop::Forall(*v, *s, gop(body, &inner, fns).into())
             }
             Prop::Exists(v, s, body) => {
                 let mut inner = bound.to_vec();
                 if !inner.contains(v) {
                     inner.push(*v);
                 }
-                Prop::Exists(*v, *s, Box::new(gop(body, &inner, fns)))
+                Prop::Exists(*v, *s, gop(body, &inner, fns).into())
             }
             other => other.clone(),
         }

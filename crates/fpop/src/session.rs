@@ -29,13 +29,12 @@
 //! independent of sibling scheduling, which is what makes the parallel
 //! build's ledgers deterministic and equal to the sequential build's.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use objlang::ident::Symbol;
+use objlang::intern::{fnv_step, fnv_str, sym_digest, FNV_OFFSET};
 use objlang::proof::{ProvedSequent, Sequent};
 use objlang::syntax::Prop;
 use objlang::tactic::Tactic;
@@ -104,10 +103,62 @@ pub enum ExportEntry {
     },
 }
 
-fn hash_of(h: &impl Hash) -> u64 {
-    let mut hasher = DefaultHasher::new();
-    h.hash(&mut hasher);
-    hasher.finish()
+// ---------------------------------------------------------------------------
+// Bucket keys
+//
+// Cache buckets used to be keyed with `DefaultHasher` over the derived
+// `Hash` impls. That was doubly wrong for this layer: the derived hashes
+// cover interner *ids* (process-dependent — the same statement hashes
+// differently after a snapshot warm-load, silently degrading every bucket
+// into a linear scan of a mis-filed entry list), and SipHash re-walks the
+// whole syntax tree per probe. The keys below are FNV-64 compositions of
+// the *precomputed* content digests the hash-consing arena caches per
+// node (`Prop::digest`, `Sort::digest`, `sym_digest`), so a bucket key is
+// O(hyps + script) with no term-tree traversal, and identical content
+// yields an identical key in every process, forever. The golden test at
+// the bottom of this file pins the key schema.
+// ---------------------------------------------------------------------------
+
+/// Content digest of a sequent: vars, hypotheses (names included — scripts
+/// refer to hypotheses by name), then the goal, all length-prefixed.
+fn sequent_digest(seq: &Sequent) -> u64 {
+    let mut h = fnv_step(FNV_OFFSET, seq.vars.len() as u64);
+    for (v, s) in &seq.vars {
+        h = fnv_step(h, sym_digest(*v));
+        h = fnv_step(h, s.digest());
+    }
+    h = fnv_step(h, seq.hyps.len() as u64);
+    for (n, p) in &seq.hyps {
+        h = fnv_step(h, sym_digest(*n));
+        h = fnv_step(h, p.digest());
+    }
+    fnv_step(h, seq.goal.digest())
+}
+
+/// Content digest of a tactic script. `Tactic`'s `Debug` rendering is
+/// structural and prints symbols and terms by *name* (the export codec
+/// already relies on this for its total order), so hashing it is hashing
+/// content, not process state.
+fn script_digest(script: &[Tactic]) -> u64 {
+    let mut h = fnv_step(FNV_OFFSET, script.len() as u64);
+    for t in script {
+        h = fnv_step(h, fnv_str(&format!("{t:?}")));
+    }
+    h
+}
+
+/// Bucket key for a theorem entry.
+fn theorem_key(statement: &Prop, script: &[Tactic], okey: u64) -> u64 {
+    let h = fnv_step(FNV_OFFSET, statement.digest());
+    let h = fnv_step(h, script_digest(script));
+    fnv_step(h, okey)
+}
+
+/// Bucket key for an induction-case entry.
+fn case_key(seq: &Sequent, script: &[Tactic], okey: u64) -> u64 {
+    let h = fnv_step(FNV_OFFSET, sequent_digest(seq));
+    let h = fnv_step(h, script_digest(script));
+    fnv_step(h, okey)
 }
 
 impl ProofCache {
@@ -134,7 +185,7 @@ impl ProofCache {
         cw_key: &Option<Vec<(Symbol, Vec<Symbol>)>>,
         okey: u64,
     ) -> bool {
-        let h = hash_of(&(statement, script, okey));
+        let h = theorem_key(statement, script, okey);
         self.theorems.get(&h).is_some_and(|v| {
             v.iter().any(|e| {
                 e.okey == okey
@@ -155,7 +206,7 @@ impl ProofCache {
         if self.lookup_theorem(&statement, &script, &cw_key, okey) {
             return;
         }
-        let h = hash_of(&(&statement, &script, okey));
+        let h = theorem_key(&statement, &script, okey);
         self.theorems.entry(h).or_default().push(TheoremEntry {
             statement,
             script,
@@ -165,7 +216,7 @@ impl ProofCache {
     }
 
     fn lookup_case(&self, seq: &Sequent, script: &[Tactic], okey: u64) -> Option<ProvedSequent> {
-        let h = hash_of(&(seq, script, okey));
+        let h = case_key(seq, script, okey);
         self.cases.get(&h).and_then(|v| {
             v.iter()
                 .find(|e| e.okey == okey && e.sequent == *seq && e.script == script)
@@ -177,7 +228,7 @@ impl ProofCache {
         if self.lookup_case(&seq, &script, okey).is_some() {
             return;
         }
-        let h = hash_of(&(&seq, &script, okey));
+        let h = case_key(&seq, &script, okey);
         self.cases.entry(h).or_default().push(CaseEntry {
             sequent: seq,
             script,
@@ -811,5 +862,45 @@ mod tests {
         let mut t2 = s.begin();
         assert!(t2.lookup_case(&seq, &[Tactic::Reflexivity], 0).is_some());
         t2.commit();
+    }
+
+    #[test]
+    fn bucket_keys_are_content_determined() {
+        // Two structurally-equal statements built independently key the
+        // same bucket; any component change moves the key.
+        let stmt = Prop::eq(Term::c0("gk_zero"), Term::c0("gk_zero"));
+        let stmt2 = Prop::eq(Term::c0("gk_zero"), Term::c0("gk_zero"));
+        let script = vec![Tactic::Reflexivity];
+        assert_eq!(
+            theorem_key(&stmt, &script, 9),
+            theorem_key(&stmt2, &script, 9)
+        );
+        assert_ne!(
+            theorem_key(&stmt, &script, 9),
+            theorem_key(&stmt, &script, 10)
+        );
+        assert_ne!(
+            theorem_key(&stmt, &script, 9),
+            theorem_key(&stmt, &[Tactic::Trivial], 9)
+        );
+        let seq = Sequent::closed(stmt);
+        assert_ne!(case_key(&seq, &script, 9), theorem_key(&stmt2, &script, 9));
+    }
+
+    #[test]
+    fn bucket_key_golden_values_are_frozen() {
+        // The key schema is deliberately process-independent: the same
+        // content must land in the same bucket in every process, so a
+        // warm-loaded snapshot re-buckets to *identical* keys. Pinning
+        // golden values turns any accidental schema change (digest tags,
+        // composition order, script rendering) into a test failure
+        // instead of a silent cache-hit-rate regression.
+        let stmt = Prop::eq(Term::c0("tm_unit"), Term::c0("tm_unit"));
+        let script = vec![Tactic::Reflexivity];
+        let seq = Sequent::closed(stmt);
+        assert_eq!(theorem_key(&stmt, &script, 0), 0xf93c5dc3dfb75884);
+        assert_eq!(case_key(&seq, &script, 0), 0x740111fbcfe1317b);
+        assert_eq!(script_digest(&script), 0x2697e2ce99e3918c);
+        assert_eq!(sequent_digest(&seq), 0xc0d6c096960ee190);
     }
 }

@@ -19,6 +19,7 @@
 //! guarantee the engine's acceptance test asserts.
 
 use objlang::ident::Symbol;
+use objlang::intern::TermList;
 use objlang::syntax::{Sort, Term};
 
 /// A 64-bit FNV-1a hasher. Stable across processes and platforms; not
@@ -125,6 +126,19 @@ impl StableHash for Term {
                 h.write_u8(3);
                 s.stable_hash(h);
             }
+        }
+    }
+}
+
+impl StableHash for TermList {
+    /// Byte-identical to the pre-hash-consing `Vec<Term>` encoding
+    /// (length prefix, then elements): the okey golden value below — part
+    /// of the on-disk snapshot format — must not move under the interned
+    /// representation.
+    fn stable_hash(&self, h: &mut Fnv64) {
+        h.write_len(self.len());
+        for x in self.iter() {
+            x.stable_hash(h);
         }
     }
 }

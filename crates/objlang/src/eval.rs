@@ -36,13 +36,24 @@ pub fn eval(sig: &Signature, term: &Term, fuel: &mut u64) -> Result<Term> {
         Term::Var(v) => Err(Error::new(format!(
             "cannot evaluate open term: variable {v}"
         ))),
-        Term::Lit(_) => Ok(term.clone()),
+        Term::Lit(_) => Ok(*term),
         Term::Ctor(c, args) => {
+            // Constructor applications that are already values (every
+            // argument evaluates to itself) are returned as-is: with O(1)
+            // handle equality this skips re-interning the argument list,
+            // which is the common case on numeral-heavy workloads.
             let mut vals = Vec::with_capacity(args.len());
+            let mut changed = false;
             for a in args {
-                vals.push(eval(sig, a, fuel)?);
+                let v = eval(sig, a, fuel)?;
+                changed |= v != *a;
+                vals.push(v);
             }
-            Ok(Term::Ctor(*c, vals))
+            if changed {
+                Ok(Term::Ctor(*c, vals.into()))
+            } else {
+                Ok(*term)
+            }
         }
         Term::Fn(f, args) => {
             let mut vals = Vec::with_capacity(args.len());
@@ -74,7 +85,7 @@ fn apply(sig: &Signature, f: Symbol, vals: Vec<Term>, fuel: &mut u64) -> Result<
         FnDef::Alias(a) => {
             let mut map = HashMap::new();
             for ((p, _), v) in a.params.iter().zip(&vals) {
-                map.insert(*p, v.clone());
+                map.insert(*p, *v);
             }
             let body = a.body.subst(&map);
             eval(sig, &body, fuel)
@@ -84,7 +95,7 @@ fn apply(sig: &Signature, f: Symbol, vals: Vec<Term>, fuel: &mut u64) -> Result<
                 .first()
                 .ok_or_else(|| Error::new(format!("recursive function {f} applied to no args")))?;
             let (ctor, ctor_args) = match scrutinee {
-                Term::Ctor(c, args) => (*c, args.clone()),
+                Term::Ctor(c, args) => (*c, *args),
                 other => {
                     return Err(Error::new(format!(
                         "recursive function {f} applied to non-constructor {other}"
@@ -95,11 +106,11 @@ fn apply(sig: &Signature, f: Symbol, vals: Vec<Term>, fuel: &mut u64) -> Result<
                 Error::new(format!("function {f} has no case for constructor {ctor}"))
             })?;
             let mut map = HashMap::new();
-            for (v, a) in case.arg_vars.iter().zip(&ctor_args) {
-                map.insert(*v, a.clone());
+            for (v, a) in case.arg_vars.iter().zip(ctor_args.iter()) {
+                map.insert(*v, *a);
             }
             for ((p, _), v) in r.params.iter().zip(vals.iter().skip(1)) {
-                map.insert(*p, v.clone());
+                map.insert(*p, *v);
             }
             let body = case.body.subst(&map);
             eval(sig, &body, fuel)

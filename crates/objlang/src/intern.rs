@@ -1,0 +1,576 @@
+//! Hash-consed storage for the recursive positions of [`Term`] and
+//! [`Prop`]: the shared-subterm DAG behind the kernel.
+//!
+//! Every argument vector of a constructor/function application is interned
+//! as a [`TermList`], and every sub-proposition under a connective or
+//! quantifier as a [`PropRef`]. Both are 4-byte copyable handles into
+//! global, append-only arenas, so:
+//!
+//! * **equality is O(1)**: structurally equal lists/props intern to the
+//!   same id (inductively — their children were already interned to the
+//!   same ids), so the derived `PartialEq` on `Term`/`Prop` compares a tag
+//!   plus at most two ids;
+//! * **structural metadata is cached**: each arena entry precomputes its
+//!   content digest (a compositional FNV-64 over symbol *strings*, so it
+//!   is stable across processes and toolchains), its node count, and its
+//!   sorted free-variable summary. `subst`/`replace`/`contains` prune
+//!   whole subtrees on the summaries, and proof-cache keys hash the
+//!   digests instead of re-walking statements;
+//! * **sharing is maximal**: building the same subterm twice yields the
+//!   same arena entry, so a 2ⁿ-node tree with shared substructure costs
+//!   O(n) arena slots.
+//!
+//! # Concurrency and lifetime (trust model)
+//!
+//! The arenas follow the exact design discipline of the [`Symbol`] string
+//! table in [`crate::ident`]: reads (`Deref`, metadata accessors) are
+//! *lock-free* — two acquire loads into an append-only segmented table
+//! whose slots are published exactly once. Interning an already-known
+//! node takes only a *read* lock on the dedup map; first-time interning
+//! takes the write lock, re-checks, and publishes. Entries are leaked and
+//! live for the process lifetime, which is what makes the `&'static`
+//! handles sound and ids safe to embed in long-lived cache keys: an id
+//! can never be reused or point at freed memory. The arena is *not* part
+//! of the trusted checking base beyond that lifetime argument — the
+//! kernel still re-derives every judgment; interning only affects *where*
+//! nodes live, never *what* they say.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{OnceLock, RwLock};
+
+use crate::ident::Symbol;
+use crate::syntax::{Prop, Term};
+
+/// FNV-64 offset basis (same constants as the engine snapshot checksum).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-64 prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One compositional FNV step: folds a 64-bit word into the state.
+#[inline]
+pub fn fnv_step(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(FNV_PRIME)
+}
+
+/// FNV-1a over a byte string (used for per-symbol digests, so every term
+/// digest is a function of *names*, not interner ids, and therefore
+/// stable across processes).
+#[inline]
+pub fn fnv_str(s: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in s.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Digest of an interned symbol's string.
+#[inline]
+pub fn sym_digest(s: Symbol) -> u64 {
+    fnv_str(s.as_str())
+}
+
+/// Size of segment 0; segment `s` holds `FIRST_SEGMENT << s` slots.
+const FIRST_SEGMENT: usize = 1 << 10;
+/// Enough segments to cover every `u32` id.
+const NUM_SEGMENTS: usize = 23;
+
+/// The lock-free read side: an append-only segmented table of leaked
+/// entries. Slots are written exactly once (under the intern write lock)
+/// and read with acquire loads — identical to `ident::StringTable`.
+struct SegTable<T: 'static> {
+    segments: [OnceLock<Box<[OnceLock<&'static T>]>>; NUM_SEGMENTS],
+}
+
+impl<T> SegTable<T> {
+    const fn new() -> SegTable<T> {
+        SegTable {
+            segments: [const { OnceLock::new() }; NUM_SEGMENTS],
+        }
+    }
+
+    /// Maps an id to `(segment, offset)`; segment `s` covers ids
+    /// `[FIRST * (2^s - 1), FIRST * (2^(s+1) - 1))`.
+    #[inline]
+    fn locate(id: usize) -> (usize, usize) {
+        let seg = (usize::BITS - 1 - (id / FIRST_SEGMENT + 1).leading_zeros()) as usize;
+        let base = FIRST_SEGMENT * ((1usize << seg) - 1);
+        (seg, id - base)
+    }
+
+    /// Lock-free read of a published slot.
+    #[inline]
+    fn get(&self, id: usize) -> &'static T {
+        let (seg, off) = Self::locate(id);
+        let segment = self.segments[seg]
+            .get()
+            .expect("interned id beyond allocated segments");
+        segment[off].get().expect("entry read before publication")
+    }
+
+    /// Publishes `v` at `id`. Called only under the intern write lock,
+    /// once per id, in id order.
+    fn publish(&self, id: usize, v: &'static T) {
+        let (seg, off) = Self::locate(id);
+        let cap = FIRST_SEGMENT << seg;
+        let segment =
+            self.segments[seg].get_or_init(|| (0..cap).map(|_| OnceLock::new()).collect());
+        if segment[off].set(v).is_err() {
+            panic!("arena slot published twice");
+        }
+    }
+}
+
+/// Shared empty free-variable summary.
+const NO_FREE: &[Symbol] = &[];
+
+/// Sorts, dedups, and leaks a free-variable accumulation. Ordering is by
+/// *name*, not by `Symbol`'s derived `Ord` (interner id): the id depends on
+/// interning order and therefore on the process, whereas the summary must be
+/// content-determined so that `free_vars()` output is the same for equal
+/// terms in every process.
+fn leak_free(mut vars: Vec<Symbol>) -> &'static [Symbol] {
+    vars.sort_unstable_by_key(|s| s.as_str());
+    vars.dedup();
+    if vars.is_empty() {
+        NO_FREE
+    } else {
+        Box::leak(vars.into_boxed_slice())
+    }
+}
+
+/// Merge-helper: true iff the name-sorted summary contains `v`.
+#[inline]
+fn sorted_contains(free: &[Symbol], v: Symbol) -> bool {
+    free.binary_search_by_key(&v.as_str(), |s| s.as_str())
+        .is_ok()
+}
+
+// ---------------------------------------------------------------------------
+// TermList: interned argument vectors
+// ---------------------------------------------------------------------------
+
+/// An interned term entry: the slice plus its cached structural metadata.
+struct ListEntry {
+    terms: &'static [Term],
+    /// Compositional FNV-64 content digest (over symbol strings).
+    digest: u64,
+    /// Total node count of all elements.
+    size: u64,
+    /// Sorted, deduplicated free variables of all elements.
+    free: &'static [Symbol],
+}
+
+static LISTS: SegTable<ListEntry> = SegTable::new();
+
+struct ListInterner {
+    map: HashMap<&'static [Term], u32>,
+    len: u32,
+}
+
+fn list_interner() -> &'static RwLock<ListInterner> {
+    static INT: OnceLock<RwLock<ListInterner>> = OnceLock::new();
+    INT.get_or_init(|| {
+        RwLock::new(ListInterner {
+            map: HashMap::new(),
+            len: 0,
+        })
+    })
+}
+
+/// An interned, immutable `[Term]` — the argument vector of every
+/// constructor and function application.
+///
+/// `Deref`s to `[Term]`, collects from iterators, and converts from
+/// `Vec<Term>`, so almost every pre-hash-consing call site compiles
+/// unchanged. Two `TermList`s are equal iff they are element-wise equal
+/// (the comparison itself is a single id compare).
+///
+/// # Examples
+///
+/// ```
+/// use objlang::intern::TermList;
+/// use objlang::syntax::Term;
+/// let a: TermList = vec![Term::var("x"), Term::c0("zero")].into();
+/// let b: TermList = [Term::var("x"), Term::c0("zero")].iter().copied().collect();
+/// assert_eq!(a, b);          // O(1): same arena id
+/// assert_eq!(a.len(), 2);    // slice API via Deref
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TermList(u32);
+
+impl TermList {
+    /// Interns `terms`, returning the canonical handle for that exact
+    /// element sequence.
+    pub fn intern(terms: &[Term]) -> TermList {
+        // Fast path: already interned — shared read lock only.
+        if let Some(&id) = list_interner()
+            .read()
+            .expect("list interner poisoned")
+            .map
+            .get(terms)
+        {
+            return TermList(id);
+        }
+        // Compute metadata outside the exclusive section (children are
+        // already interned, so these reads are lock-free and O(terms)).
+        let digest = {
+            let mut h = fnv_step(FNV_OFFSET, terms.len() as u64);
+            for t in terms {
+                h = fnv_step(h, t.digest());
+            }
+            h
+        };
+        let size = terms.iter().map(|t| t.size() as u64).sum();
+        let mut vars = Vec::new();
+        for t in terms {
+            t.free_vars_into(&mut vars);
+        }
+        let free = leak_free(vars);
+
+        let mut int = list_interner().write().expect("list interner poisoned");
+        if let Some(&id) = int.map.get(terms) {
+            return TermList(id);
+        }
+        let leaked: &'static [Term] = Box::leak(terms.to_vec().into_boxed_slice());
+        let entry: &'static ListEntry = Box::leak(Box::new(ListEntry {
+            terms: leaked,
+            digest,
+            size,
+            free,
+        }));
+        let id = int.len;
+        LISTS.publish(id as usize, entry);
+        int.len = int.len.checked_add(1).expect("term-list arena full");
+        int.map.insert(leaked, id);
+        TermList(id)
+    }
+
+    /// The canonical empty list.
+    pub fn empty() -> TermList {
+        static EMPTY: OnceLock<TermList> = OnceLock::new();
+        *EMPTY.get_or_init(|| TermList::intern(&[]))
+    }
+
+    #[inline]
+    fn entry(self) -> &'static ListEntry {
+        LISTS.get(self.0 as usize)
+    }
+
+    /// The interned elements (lives for the process lifetime).
+    #[inline]
+    pub fn as_slice(self) -> &'static [Term] {
+        self.entry().terms
+    }
+
+    /// Cached compositional FNV-64 content digest. Stable across
+    /// processes: it is computed from symbol strings, never interner ids.
+    #[inline]
+    pub fn digest(self) -> u64 {
+        self.entry().digest
+    }
+
+    /// Cached total node count of all elements.
+    #[inline]
+    pub fn total_size(self) -> u64 {
+        self.entry().size
+    }
+
+    /// Cached sorted, deduplicated free variables of all elements.
+    #[inline]
+    pub fn free_vars(self) -> &'static [Symbol] {
+        self.entry().free
+    }
+
+    /// O(log f) membership test on the cached free-variable summary.
+    #[inline]
+    pub fn free_contains(self, v: Symbol) -> bool {
+        sorted_contains(self.entry().free, v)
+    }
+
+    /// Number of distinct lists interned so far (diagnostic; used by the
+    /// concurrency stress test to verify dedup under contention).
+    pub fn interned_count() -> usize {
+        list_interner().read().expect("list interner poisoned").len as usize
+    }
+}
+
+impl Deref for TermList {
+    type Target = [Term];
+    #[inline]
+    fn deref(&self) -> &[Term] {
+        self.entry().terms
+    }
+}
+
+impl Default for TermList {
+    fn default() -> TermList {
+        TermList::empty()
+    }
+}
+
+impl From<Vec<Term>> for TermList {
+    fn from(v: Vec<Term>) -> TermList {
+        TermList::intern(&v)
+    }
+}
+
+impl From<&[Term]> for TermList {
+    fn from(v: &[Term]) -> TermList {
+        TermList::intern(v)
+    }
+}
+
+impl<const N: usize> From<[Term; N]> for TermList {
+    fn from(v: [Term; N]) -> TermList {
+        TermList::intern(&v)
+    }
+}
+
+impl FromIterator<Term> for TermList {
+    fn from_iter<I: IntoIterator<Item = Term>>(iter: I) -> TermList {
+        let v: Vec<Term> = iter.into_iter().collect();
+        TermList::intern(&v)
+    }
+}
+
+impl IntoIterator for TermList {
+    type Item = &'static Term;
+    type IntoIter = std::slice::Iter<'static, Term>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl IntoIterator for &TermList {
+    type Item = &'static Term;
+    type IntoIter = std::slice::Iter<'static, Term>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl fmt::Debug for TermList {
+    /// Structural rendering (identical to the pre-hash-consing
+    /// `Vec<Term>` output) — `Debug` stays content-determined, never
+    /// id-determined, so debug-keyed orderings are process-stable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PropRef: interned sub-propositions
+// ---------------------------------------------------------------------------
+
+/// An interned prop entry: the node plus cached structural metadata.
+struct PropEntry {
+    prop: Prop,
+    digest: u64,
+    size: u64,
+    free: &'static [Symbol],
+}
+
+static PROPS: SegTable<PropEntry> = SegTable::new();
+
+struct PropInterner {
+    map: HashMap<Prop, u32>,
+    len: u32,
+}
+
+fn prop_interner() -> &'static RwLock<PropInterner> {
+    static INT: OnceLock<RwLock<PropInterner>> = OnceLock::new();
+    INT.get_or_init(|| {
+        RwLock::new(PropInterner {
+            map: HashMap::new(),
+            len: 0,
+        })
+    })
+}
+
+/// An interned sub-proposition — the recursive position of every
+/// connective and quantifier.
+///
+/// `Deref`s to [`Prop`] (which is `Copy`, so `*p` copies the node out,
+/// exactly like the old `Box<Prop>` sites). Two `PropRef`s are equal iff
+/// their propositions are structurally equal; the comparison is one id
+/// compare.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PropRef(u32);
+
+impl PropRef {
+    /// Interns `p`, returning the canonical handle for that proposition.
+    pub fn intern(p: Prop) -> PropRef {
+        if let Some(&id) = prop_interner()
+            .read()
+            .expect("prop interner poisoned")
+            .map
+            .get(&p)
+        {
+            return PropRef(id);
+        }
+        let digest = p.digest();
+        let size = p.size() as u64;
+        let mut vars = Vec::new();
+        p.free_vars_into(&mut vars);
+        let free = leak_free(vars);
+
+        let mut int = prop_interner().write().expect("prop interner poisoned");
+        if let Some(&id) = int.map.get(&p) {
+            return PropRef(id);
+        }
+        let entry: &'static PropEntry = Box::leak(Box::new(PropEntry {
+            prop: p,
+            digest,
+            size,
+            free,
+        }));
+        let id = int.len;
+        PROPS.publish(id as usize, entry);
+        int.len = int.len.checked_add(1).expect("prop arena full");
+        int.map.insert(p, id);
+        PropRef(id)
+    }
+
+    #[inline]
+    fn entry(self) -> &'static PropEntry {
+        PROPS.get(self.0 as usize)
+    }
+
+    /// Cached compositional FNV-64 content digest (process-stable).
+    #[inline]
+    pub fn digest(self) -> u64 {
+        self.entry().digest
+    }
+
+    /// Cached node count.
+    #[inline]
+    pub fn total_size(self) -> u64 {
+        self.entry().size
+    }
+
+    /// Cached sorted, deduplicated free variables.
+    #[inline]
+    pub fn free_vars(self) -> &'static [Symbol] {
+        self.entry().free
+    }
+
+    /// O(log f) membership test on the cached free-variable summary.
+    #[inline]
+    pub fn free_contains(self, v: Symbol) -> bool {
+        sorted_contains(self.entry().free, v)
+    }
+
+    /// Number of distinct propositions interned so far (diagnostic).
+    pub fn interned_count() -> usize {
+        prop_interner().read().expect("prop interner poisoned").len as usize
+    }
+}
+
+impl Deref for PropRef {
+    type Target = Prop;
+    #[inline]
+    fn deref(&self) -> &Prop {
+        &self.entry().prop
+    }
+}
+
+impl From<Prop> for PropRef {
+    fn from(p: Prop) -> PropRef {
+        PropRef::intern(p)
+    }
+}
+
+impl From<Box<Prop>> for PropRef {
+    fn from(p: Box<Prop>) -> PropRef {
+        PropRef::intern(*p)
+    }
+}
+
+impl fmt::Debug for PropRef {
+    /// Delegates to the proposition (matches the old `Box<Prop>` output).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.entry().prop, f)
+    }
+}
+
+impl fmt::Display for PropRef {
+    /// Delegates to the proposition (matches the old `Box<Prop>` output).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.entry().prop, f)
+    }
+}
+
+// Handles are plain indices into append-only global state.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TermList>();
+    assert_send_sync::<PropRef>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::sym;
+
+    #[test]
+    fn list_dedup_is_by_content() {
+        let a: TermList = vec![Term::var("il_x"), Term::c0("il_zero")].into();
+        let b: TermList = vec![Term::var("il_x"), Term::c0("il_zero")].into();
+        assert_eq!(a, b);
+        let c: TermList = vec![Term::var("il_y")].into();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_list_is_canonical() {
+        assert_eq!(TermList::empty(), TermList::intern(&[]));
+        assert!(TermList::empty().is_empty());
+        assert_eq!(TermList::empty().total_size(), 0);
+        assert!(TermList::empty().free_vars().is_empty());
+    }
+
+    #[test]
+    fn metadata_matches_recomputation() {
+        let t = Term::ctor(
+            "il_pair",
+            vec![
+                Term::var("il_b"),
+                Term::func("il_f", vec![Term::var("il_a"), Term::var("il_b")]),
+            ],
+        );
+        let Term::Ctor(_, args) = t else { panic!() };
+        assert_eq!(args.total_size(), 4);
+        assert_eq!(args.free_vars(), &[sym("il_a"), sym("il_b")]);
+        assert!(args.free_contains(sym("il_a")));
+        assert!(!args.free_contains(sym("il_zzz")));
+    }
+
+    #[test]
+    fn digest_is_content_determined() {
+        let a: TermList = vec![Term::var("dg_x")].into();
+        let b: TermList = vec![Term::var("dg_x")].into();
+        assert_eq!(a.digest(), b.digest());
+        let c: TermList = vec![Term::var("dg_y")].into();
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn propref_roundtrip() {
+        let p = Prop::eq(Term::var("pr_x"), Term::c0("pr_zero"));
+        let r = PropRef::intern(p);
+        assert_eq!(*r, p);
+        assert_eq!(r, PropRef::intern(p));
+        assert_eq!(r.free_vars(), &[sym("pr_x")]);
+    }
+
+    #[test]
+    fn debug_is_structural() {
+        let a: TermList = vec![Term::c0("dbg_z")].into();
+        assert_eq!(format!("{a:?}"), "[Ctor(dbg_z, [])]");
+        let r = PropRef::intern(Prop::True);
+        assert_eq!(format!("{r:?}"), "True");
+    }
+}

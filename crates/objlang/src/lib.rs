@@ -60,6 +60,7 @@ pub mod error;
 pub mod eval;
 pub mod ident;
 pub mod induction;
+pub mod intern;
 pub mod prelude;
 pub mod proof;
 pub mod sig;

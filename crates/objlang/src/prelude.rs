@@ -227,7 +227,7 @@ pub fn install_ite(sig: &mut Signature, result: Sort) -> Result<Symbol> {
 /// Builds the term `ite@R c a b`, installing the conditional if needed.
 pub fn ite(sig: &mut Signature, result: Sort, c: Term, a: Term, b: Term) -> Result<Term> {
     let name = install_ite(sig, result)?;
-    Ok(Term::Fn(name, vec![c, a, b]))
+    Ok(Term::Fn(name, vec![c, a, b].into()))
 }
 
 /// Installs `nat` arithmetic helpers (`add`, registered with computation

@@ -22,6 +22,7 @@
 //! Constructor injectivity and disjointness on extensible datatypes are
 //! licensed by partial-recursor registrations (Section 3.6).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use crate::error::{Error, Result};
@@ -167,6 +168,15 @@ pub struct ProofState<'a> {
     /// Whether closed-world reasoning on extensible datatypes/predicates is
     /// permitted (reprove-on-extend proofs only).
     pub closed_world: bool,
+    /// Memo table for [`Self::fsimpl_prop`]: input proposition → its
+    /// simplification fixpoint. Sound because the equation set is frozen
+    /// for this state's lifetime (the signature is held by shared borrow)
+    /// and `rewrite_prop` is pure in (target, equation). With hash-consed
+    /// props the key hashes and compares in O(1), so repeated `fsimpl`
+    /// over shared goals/hypotheses — ubiquitous under `fsimpl_all` and
+    /// induction-case replay — costs one map probe instead of a rewrite
+    /// fixpoint loop.
+    fsimpl_memo: RefCell<HashMap<Prop, Prop>>,
 }
 
 impl<'a> ProofState<'a> {
@@ -179,6 +189,7 @@ impl<'a> ProofState<'a> {
             goals: vec![Sequent::closed(prop.clone())],
             original: Sequent::closed(prop),
             closed_world: false,
+            fsimpl_memo: RefCell::new(HashMap::new()),
         })
     }
 
@@ -195,6 +206,7 @@ impl<'a> ProofState<'a> {
             goals: vec![seq.clone()],
             original: seq,
             closed_world: false,
+            fsimpl_memo: RefCell::new(HashMap::new()),
         })
     }
 
@@ -366,7 +378,7 @@ impl<'a> ProofState<'a> {
             )));
         }
         let (_, s) = seq.vars.remove(idx);
-        seq.goal = Prop::Forall(name, s, Box::new(seq.goal.clone()));
+        seq.goal = Prop::Forall(name, s, seq.goal.clone().into());
         Ok(())
     }
 
@@ -992,7 +1004,12 @@ impl<'a> ProofState<'a> {
         Ok(())
     }
 
-    fn fsimpl_prop(&self, mut p: Prop) -> Prop {
+    fn fsimpl_prop(&self, p: Prop) -> Prop {
+        if let Some(hit) = self.fsimpl_memo.borrow().get(&p) {
+            return *hit;
+        }
+        let input = p;
+        let mut p = p;
         let eqs: Vec<Prop> = self
             .sig
             .facts()
@@ -1014,6 +1031,12 @@ impl<'a> ProofState<'a> {
                 break;
             }
         }
+        let mut memo = self.fsimpl_memo.borrow_mut();
+        memo.insert(input, p);
+        // The result is a fixpoint of the rewrite loop, so it simplifies
+        // to itself; recording that saves the re-run when a simplified
+        // goal is fsimpl'ed again (e.g. by `fsimpl_all` after `fsimpl`).
+        memo.insert(p, p);
         p
     }
 
@@ -1264,7 +1287,7 @@ impl<'a> ProofState<'a> {
                     Term::Var(v)
                 })
                 .collect();
-            let ct = Term::Ctor(ctor.name, args);
+            let ct = Term::Ctor(ctor.name, args.into());
             match t {
                 Term::Var(v) if seq.vars.iter().any(|(x, _)| x == v) => {
                     s.substitute_var(*v, &ct);
@@ -1321,7 +1344,7 @@ impl<'a> ProofState<'a> {
                 let ih = s.fresh_hyp(&format!("IH{k}"));
                 s.hyps.push((ih, goal.subst1(name, &Term::Var(*ra))));
             }
-            s.goal = goal.subst1(name, &Term::Ctor(ctor.name, args));
+            s.goal = goal.subst1(name, &Term::Ctor(ctor.name, args.into()));
             new_goals.push(s);
         }
         self.replace_focused(new_goals);
@@ -1468,8 +1491,8 @@ fn unfold_prop(p: &Prop, name: Symbol, def: &crate::sig::PropDef) -> Prop {
         Prop::And(a, b) => Prop::and(unfold_prop(a, name, def), unfold_prop(b, name, def)),
         Prop::Or(a, b) => Prop::or(unfold_prop(a, name, def), unfold_prop(b, name, def)),
         Prop::Imp(a, b) => Prop::imp(unfold_prop(a, name, def), unfold_prop(b, name, def)),
-        Prop::Forall(v, s, body) => Prop::Forall(*v, *s, Box::new(unfold_prop(body, name, def))),
-        Prop::Exists(v, s, body) => Prop::Exists(*v, *s, Box::new(unfold_prop(body, name, def))),
+        Prop::Forall(v, s, body) => Prop::Forall(*v, *s, unfold_prop(body, name, def).into()),
+        Prop::Exists(v, s, body) => Prop::Exists(*v, *s, unfold_prop(body, name, def).into()),
         _ => p.clone(),
     }
 }

@@ -110,7 +110,7 @@ impl RecFn {
         );
         let mut fn_args = vec![ctor_term];
         fn_args.extend(self.params.iter().map(|(v, _)| Term::Var(*v)));
-        let lhs = Term::Fn(self.name, fn_args);
+        let lhs = Term::Fn(self.name, fn_args.into());
         Prop::foralls(&binders, Prop::Eq(lhs, case.body.clone()))
     }
 }
@@ -212,7 +212,10 @@ impl Rule {
     pub fn as_prop(&self, pred: Symbol) -> Prop {
         Prop::foralls(
             &self.binders,
-            Prop::imps(&self.premises, Prop::Atom(pred, self.conclusion.clone())),
+            Prop::imps(
+                &self.premises,
+                Prop::Atom(pred, self.conclusion.clone().into()),
+            ),
         )
     }
 }

@@ -7,11 +7,22 @@
 //! quantifiers. This is the fragment the paper's case studies actually
 //! exercise (Section 7), and it is what makes a small trustworthy proof
 //! kernel feasible.
+//!
+//! # Representation
+//!
+//! Since the hash-consing change, every *recursive position* is an interned
+//! handle (see [`crate::intern`]): argument vectors are [`TermList`]s and
+//! sub-propositions are [`PropRef`]s. [`Term`] and [`Prop`] are therefore
+//! `Copy`, structural equality is an id comparison, and every subtree
+//! carries a cached content digest, node count, and free-variable summary
+//! that `subst`/`replace`/`contains` use to prune untouched subtrees
+//! without walking (or allocating) anything.
 
 use std::collections::HashMap;
 use std::fmt;
 
 use crate::ident::Symbol;
+use crate::intern::{fnv_step, sym_digest, PropRef, TermList, FNV_OFFSET};
 
 /// A sort (object-level type).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -28,6 +39,15 @@ impl Sort {
     pub fn named(s: &str) -> Sort {
         Sort::Named(Symbol::new(s))
     }
+
+    /// Content digest of the sort (a function of the sort *name*, so it is
+    /// stable across processes).
+    pub fn digest(self) -> u64 {
+        match self {
+            Sort::Named(s) => fnv_step(fnv_step(FNV_OFFSET, 20), sym_digest(s)),
+            Sort::Id => fnv_step(FNV_OFFSET, 21),
+        }
+    }
 }
 
 impl fmt::Display for Sort {
@@ -39,15 +59,31 @@ impl fmt::Display for Sort {
     }
 }
 
+/// Pushes every element of the cached summary `free` that is not yet in
+/// `out`. `out` stays a small first-occurrence list for API compatibility;
+/// the per-occurrence quadratic accumulation of the old representation is
+/// gone because summaries are precomputed per *distinct* subtree.
+fn merge_free(out: &mut Vec<Symbol>, free: &[Symbol]) {
+    for v in free {
+        if !out.contains(v) {
+            out.push(*v);
+        }
+    }
+}
+
 /// A first-order term.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// `Copy` (12 bytes): the recursive position is an interned [`TermList`].
+/// Derived equality is O(1) *and* structural — equal trees intern to equal
+/// list ids, inductively.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Term {
     /// A variable (free in a sequent, or bound by an enclosing quantifier).
     Var(Symbol),
     /// A fully applied datatype constructor.
-    Ctor(Symbol, Vec<Term>),
+    Ctor(Symbol, TermList),
     /// A fully applied (defined or builtin) function.
-    Fn(Symbol, Vec<Term>),
+    Fn(Symbol, TermList),
     /// An identifier literal of sort [`Sort::Id`].
     Lit(Symbol),
 }
@@ -59,22 +95,50 @@ impl Term {
     }
     /// Constructor application.
     pub fn ctor(s: &str, args: Vec<Term>) -> Term {
-        Term::Ctor(Symbol::new(s), args)
+        Term::Ctor(Symbol::new(s), args.into())
     }
     /// Nullary constructor.
     pub fn c0(s: &str) -> Term {
-        Term::Ctor(Symbol::new(s), vec![])
+        Term::Ctor(Symbol::new(s), TermList::empty())
     }
     /// Function application.
     pub fn func(s: &str, args: Vec<Term>) -> Term {
-        Term::Fn(Symbol::new(s), args)
+        Term::Fn(Symbol::new(s), args.into())
     }
     /// Identifier literal.
     pub fn lit(s: &str) -> Term {
         Term::Lit(Symbol::new(s))
     }
 
-    /// Collects the free variables of the term into `out`.
+    /// Content digest of the term — a compositional FNV-64 over symbol
+    /// strings (process-stable). For applications this is two FNV steps on
+    /// top of the cached argument-list digest.
+    pub fn digest(&self) -> u64 {
+        match self {
+            Term::Var(v) => fnv_step(fnv_step(FNV_OFFSET, 1), sym_digest(*v)),
+            Term::Ctor(c, args) => fnv_step(
+                fnv_step(fnv_step(FNV_OFFSET, 2), sym_digest(*c)),
+                args.digest(),
+            ),
+            Term::Fn(f, args) => fnv_step(
+                fnv_step(fnv_step(FNV_OFFSET, 3), sym_digest(*f)),
+                args.digest(),
+            ),
+            Term::Lit(l) => fnv_step(fnv_step(FNV_OFFSET, 4), sym_digest(*l)),
+        }
+    }
+
+    /// Whether `v` occurs free — O(log f) on the cached summary.
+    pub fn free_contains(&self, v: Symbol) -> bool {
+        match self {
+            Term::Var(w) => *w == v,
+            Term::Ctor(_, args) | Term::Fn(_, args) => args.free_contains(v),
+            Term::Lit(_) => false,
+        }
+    }
+
+    /// Collects the free variables of the term into `out`
+    /// (first-occurrence order, deduplicated).
     pub fn free_vars_into(&self, out: &mut Vec<Symbol>) {
         match self {
             Term::Var(v) => {
@@ -82,11 +146,7 @@ impl Term {
                     out.push(*v);
                 }
             }
-            Term::Ctor(_, args) | Term::Fn(_, args) => {
-                for a in args {
-                    a.free_vars_into(out);
-                }
-            }
+            Term::Ctor(_, args) | Term::Fn(_, args) => merge_free(out, args.free_vars()),
             Term::Lit(_) => {}
         }
     }
@@ -98,46 +158,125 @@ impl Term {
         out
     }
 
-    /// Simultaneous substitution of variables.
-    pub fn subst(&self, map: &HashMap<Symbol, Term>) -> Term {
+    /// True iff any key of `map` occurs free in the term.
+    fn hit_by(&self, map: &HashMap<Symbol, Term>) -> bool {
         match self {
-            Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
-            Term::Ctor(c, args) => Term::Ctor(*c, args.iter().map(|a| a.subst(map)).collect()),
-            Term::Fn(f, args) => Term::Fn(*f, args.iter().map(|a| a.subst(map)).collect()),
-            Term::Lit(_) => self.clone(),
+            Term::Var(v) => map.contains_key(v),
+            Term::Ctor(_, args) | Term::Fn(_, args) => {
+                let free = args.free_vars();
+                if map.len() <= free.len() {
+                    map.keys().any(|k| args.free_contains(*k))
+                } else {
+                    free.iter().any(|v| map.contains_key(v))
+                }
+            }
+            Term::Lit(_) => false,
         }
     }
 
-    /// Substitutes a single variable.
+    /// Simultaneous substitution of variables. Subtrees in which no mapped
+    /// variable occurs free are returned as-is (no allocation, no walk).
+    pub fn subst(&self, map: &HashMap<Symbol, Term>) -> Term {
+        match self {
+            Term::Var(v) => map.get(v).copied().unwrap_or(*self),
+            Term::Ctor(c, args) => {
+                if !self.hit_by(map) {
+                    return *self;
+                }
+                Term::Ctor(*c, args.iter().map(|a| a.subst(map)).collect())
+            }
+            Term::Fn(f, args) => {
+                if !self.hit_by(map) {
+                    return *self;
+                }
+                Term::Fn(*f, args.iter().map(|a| a.subst(map)).collect())
+            }
+            Term::Lit(_) => *self,
+        }
+    }
+
+    /// Substitutes a single variable (directly — no per-call map).
     pub fn subst1(&self, var: Symbol, replacement: &Term) -> Term {
-        let mut map = HashMap::new();
-        map.insert(var, replacement.clone());
-        self.subst(&map)
+        match self {
+            Term::Var(v) => {
+                if *v == var {
+                    *replacement
+                } else {
+                    *self
+                }
+            }
+            Term::Ctor(c, args) => {
+                if !args.free_contains(var) {
+                    return *self;
+                }
+                Term::Ctor(
+                    *c,
+                    args.iter().map(|a| a.subst1(var, replacement)).collect(),
+                )
+            }
+            Term::Fn(f, args) => {
+                if !args.free_contains(var) {
+                    return *self;
+                }
+                Term::Fn(
+                    *f,
+                    args.iter().map(|a| a.subst1(var, replacement)).collect(),
+                )
+            }
+            Term::Lit(_) => *self,
+        }
     }
 
     /// Returns `true` if `needle` occurs as a subterm.
     pub fn contains(&self, needle: &Term) -> bool {
-        if self == needle {
-            return true;
+        fn go(t: &Term, needle: &Term, needle_size: usize) -> bool {
+            if t == needle {
+                return true;
+            }
+            match t {
+                Term::Ctor(_, args) | Term::Fn(_, args) => {
+                    // A strict subterm is smaller than its parent.
+                    if needle_size >= t.size() {
+                        return false;
+                    }
+                    args.iter().any(|a| go(a, needle, needle_size))
+                }
+                _ => false,
+            }
         }
-        match self {
-            Term::Ctor(_, args) | Term::Fn(_, args) => args.iter().any(|a| a.contains(needle)),
-            _ => false,
-        }
+        go(self, needle, needle.size())
     }
 
     /// Replaces every occurrence of `from` (as a whole subterm) by `to`.
+    /// Subtrees too small to contain `from` are returned as-is.
     pub fn replace(&self, from: &Term, to: &Term) -> Term {
-        if self == from {
-            return to.clone();
-        }
-        match self {
-            Term::Ctor(c, args) => {
-                Term::Ctor(*c, args.iter().map(|a| a.replace(from, to)).collect())
+        fn go(t: &Term, from: &Term, to: &Term, from_size: usize) -> Term {
+            if t == from {
+                return *to;
             }
-            Term::Fn(f, args) => Term::Fn(*f, args.iter().map(|a| a.replace(from, to)).collect()),
-            _ => self.clone(),
+            match t {
+                Term::Ctor(c, args) => {
+                    if from_size >= t.size() {
+                        return *t;
+                    }
+                    Term::Ctor(
+                        *c,
+                        args.iter().map(|a| go(a, from, to, from_size)).collect(),
+                    )
+                }
+                Term::Fn(f, args) => {
+                    if from_size >= t.size() {
+                        return *t;
+                    }
+                    Term::Fn(
+                        *f,
+                        args.iter().map(|a| go(a, from, to, from_size)).collect(),
+                    )
+                }
+                _ => *t,
+            }
         }
+        go(self, from, to, from.size())
     }
 
     /// One-sided first-order matching: tries to instantiate the variables
@@ -157,7 +296,7 @@ impl Term {
                 if let Some(bound) = subst.get(v) {
                     bound == target
                 } else {
-                    subst.insert(*v, target.clone());
+                    subst.insert(*v, *target);
                     true
                 }
             }
@@ -175,13 +314,12 @@ impl Term {
         }
     }
 
-    /// Size of the term (number of nodes); used by automation heuristics.
+    /// Size of the term (number of nodes); O(1) from the cached summary.
+    /// Used by automation heuristics and the subtree-pruning guards.
     pub fn size(&self) -> usize {
         match self {
             Term::Var(_) | Term::Lit(_) => 1,
-            Term::Ctor(_, args) | Term::Fn(_, args) => {
-                1 + args.iter().map(Term::size).sum::<usize>()
-            }
+            Term::Ctor(_, args) | Term::Fn(_, args) => 1 + args.total_size() as usize,
         }
     }
 }
@@ -196,7 +334,7 @@ impl fmt::Display for Term {
                     write!(f, "{c}")
                 } else {
                     write!(f, "({c}")?;
-                    for a in args {
+                    for a in args.iter() {
                         write!(f, " {a}")?;
                     }
                     write!(f, ")")
@@ -207,7 +345,12 @@ impl fmt::Display for Term {
 }
 
 /// A proposition of the object logic.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// `Copy`: connective and quantifier bodies are interned [`PropRef`]s
+/// (which `Deref` to `Prop`, so `*body` copies the node out exactly like
+/// the old `Box<Prop>` representation), and predicate arguments are
+/// interned [`TermList`]s. Equality is O(1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Prop {
     /// Trivial truth.
     True,
@@ -216,19 +359,19 @@ pub enum Prop {
     /// Equality of two terms of a common sort.
     Eq(Term, Term),
     /// Application of an inductively defined predicate.
-    Atom(Symbol, Vec<Term>),
+    Atom(Symbol, TermList),
     /// Application of a transparent, unfoldable defined proposition.
-    Def(Symbol, Vec<Term>),
+    Def(Symbol, TermList),
     /// Conjunction.
-    And(Box<Prop>, Box<Prop>),
+    And(PropRef, PropRef),
     /// Disjunction.
-    Or(Box<Prop>, Box<Prop>),
+    Or(PropRef, PropRef),
     /// Implication.
-    Imp(Box<Prop>, Box<Prop>),
+    Imp(PropRef, PropRef),
     /// Universal quantification over a sort.
-    Forall(Symbol, Sort, Box<Prop>),
+    Forall(Symbol, Sort, PropRef),
     /// Existential quantification over a sort.
-    Exists(Symbol, Sort, Box<Prop>),
+    Exists(Symbol, Sort, PropRef),
 }
 
 impl Prop {
@@ -238,19 +381,19 @@ impl Prop {
     }
     /// Predicate atom.
     pub fn atom(s: &str, args: Vec<Term>) -> Prop {
-        Prop::Atom(Symbol::new(s), args)
+        Prop::Atom(Symbol::new(s), args.into())
     }
-    /// Implication, boxing both sides.
+    /// Implication, interning both sides.
     pub fn imp(a: Prop, b: Prop) -> Prop {
-        Prop::Imp(Box::new(a), Box::new(b))
+        Prop::Imp(a.into(), b.into())
     }
     /// Conjunction.
     pub fn and(a: Prop, b: Prop) -> Prop {
-        Prop::And(Box::new(a), Box::new(b))
+        Prop::And(a.into(), b.into())
     }
     /// Disjunction.
     pub fn or(a: Prop, b: Prop) -> Prop {
-        Prop::Or(Box::new(a), Box::new(b))
+        Prop::Or(a.into(), b.into())
     }
     /// Negation, encoded as `p → ⊥`.
     #[allow(clippy::should_implement_trait)]
@@ -259,27 +402,92 @@ impl Prop {
     }
     /// Universal quantifier.
     pub fn forall(v: &str, sort: Sort, body: Prop) -> Prop {
-        Prop::Forall(Symbol::new(v), sort, Box::new(body))
+        Prop::Forall(Symbol::new(v), sort, body.into())
     }
     /// Existential quantifier.
     pub fn exists(v: &str, sort: Sort, body: Prop) -> Prop {
-        Prop::Exists(Symbol::new(v), sort, Box::new(body))
+        Prop::Exists(Symbol::new(v), sort, body.into())
     }
     /// Nested universal quantification.
     pub fn foralls(binders: &[(Symbol, Sort)], body: Prop) -> Prop {
         binders
             .iter()
             .rev()
-            .fold(body, |acc, (v, s)| Prop::Forall(*v, *s, Box::new(acc)))
+            .fold(body, |acc, (v, s)| Prop::Forall(*v, *s, acc.into()))
     }
     /// Chains implications: `ps[0] → … → ps[n] → concl`.
     pub fn imps(ps: &[Prop], concl: Prop) -> Prop {
-        ps.iter()
-            .rev()
-            .fold(concl, |acc, p| Prop::imp(p.clone(), acc))
+        ps.iter().rev().fold(concl, |acc, p| Prop::imp(*p, acc))
     }
 
-    /// Collects free variables.
+    /// Content digest of the proposition — compositional FNV-64 over
+    /// symbol strings (process-stable). O(1) per node: children are read
+    /// from the cached [`PropRef`]/[`TermList`] digests.
+    pub fn digest(&self) -> u64 {
+        match self {
+            Prop::True => fnv_step(FNV_OFFSET, 10),
+            Prop::False => fnv_step(FNV_OFFSET, 11),
+            Prop::Eq(a, b) => fnv_step(fnv_step(fnv_step(FNV_OFFSET, 12), a.digest()), b.digest()),
+            Prop::Atom(p, args) => fnv_step(
+                fnv_step(fnv_step(FNV_OFFSET, 13), sym_digest(*p)),
+                args.digest(),
+            ),
+            Prop::Def(p, args) => fnv_step(
+                fnv_step(fnv_step(FNV_OFFSET, 14), sym_digest(*p)),
+                args.digest(),
+            ),
+            Prop::And(a, b) => fnv_step(fnv_step(fnv_step(FNV_OFFSET, 15), a.digest()), b.digest()),
+            Prop::Or(a, b) => fnv_step(fnv_step(fnv_step(FNV_OFFSET, 16), a.digest()), b.digest()),
+            Prop::Imp(a, b) => fnv_step(fnv_step(fnv_step(FNV_OFFSET, 17), a.digest()), b.digest()),
+            Prop::Forall(v, s, body) => fnv_step(
+                fnv_step(
+                    fnv_step(fnv_step(FNV_OFFSET, 18), sym_digest(*v)),
+                    s.digest(),
+                ),
+                body.digest(),
+            ),
+            Prop::Exists(v, s, body) => fnv_step(
+                fnv_step(
+                    fnv_step(fnv_step(FNV_OFFSET, 19), sym_digest(*v)),
+                    s.digest(),
+                ),
+                body.digest(),
+            ),
+        }
+    }
+
+    /// Node count of the proposition; O(1) per node from cached summaries.
+    pub fn size(&self) -> usize {
+        match self {
+            Prop::True | Prop::False => 1,
+            Prop::Eq(a, b) => 1 + a.size() + b.size(),
+            Prop::Atom(_, args) | Prop::Def(_, args) => 1 + args.total_size() as usize,
+            Prop::And(a, b) | Prop::Or(a, b) | Prop::Imp(a, b) => {
+                1 + a.total_size() as usize + b.total_size() as usize
+            }
+            Prop::Forall(_, _, body) | Prop::Exists(_, _, body) => 1 + body.total_size() as usize,
+        }
+    }
+
+    /// Whether `v` occurs free — O(log f) on the cached summaries.
+    pub fn free_contains(&self, v: Symbol) -> bool {
+        match self {
+            Prop::True | Prop::False => false,
+            Prop::Eq(a, b) => a.free_contains(v) || b.free_contains(v),
+            Prop::Atom(_, args) | Prop::Def(_, args) => args.free_contains(v),
+            Prop::And(a, b) | Prop::Or(a, b) | Prop::Imp(a, b) => {
+                a.free_contains(v) || b.free_contains(v)
+            }
+            Prop::Forall(x, _, body) | Prop::Exists(x, _, body) => *x != v && body.free_contains(v),
+        }
+    }
+
+    /// True iff any key of `map` occurs free.
+    fn hit_by(&self, map: &HashMap<Symbol, Term>) -> bool {
+        map.keys().any(|k| self.free_contains(*k))
+    }
+
+    /// Collects free variables (first-occurrence order, deduplicated).
     pub fn free_vars_into(&self, out: &mut Vec<Symbol>) {
         match self {
             Prop::True | Prop::False => {}
@@ -287,21 +495,15 @@ impl Prop {
                 a.free_vars_into(out);
                 b.free_vars_into(out);
             }
-            Prop::Atom(_, args) | Prop::Def(_, args) => {
-                for a in args {
-                    a.free_vars_into(out);
-                }
-            }
+            Prop::Atom(_, args) | Prop::Def(_, args) => merge_free(out, args.free_vars()),
             Prop::And(a, b) | Prop::Or(a, b) | Prop::Imp(a, b) => {
-                a.free_vars_into(out);
-                b.free_vars_into(out);
+                merge_free(out, a.free_vars());
+                merge_free(out, b.free_vars());
             }
             Prop::Forall(v, _, body) | Prop::Exists(v, _, body) => {
-                let mut inner = Vec::new();
-                body.free_vars_into(&mut inner);
-                for x in inner {
-                    if x != *v && !out.contains(&x) {
-                        out.push(x);
+                for x in body.free_vars() {
+                    if x != v && !out.contains(x) {
+                        out.push(*x);
                     }
                 }
             }
@@ -316,7 +518,12 @@ impl Prop {
     }
 
     /// Capture-avoiding simultaneous substitution of terms for variables.
+    /// Subtrees in which no mapped variable occurs free are returned
+    /// as-is (no allocation, no binder renaming).
     pub fn subst(&self, map: &HashMap<Symbol, Term>) -> Prop {
+        if !self.hit_by(map) {
+            return *self;
+        }
         match self {
             Prop::True => Prop::True,
             Prop::False => Prop::False,
@@ -330,23 +537,19 @@ impl Prop {
                 // Remove shadowed binding; rename if capture threatens.
                 let mut inner_map = map.clone();
                 inner_map.remove(v);
-                let would_capture = inner_map.values().any(|t| t.free_vars().contains(v));
+                let would_capture = inner_map.values().any(|t| t.free_contains(*v));
                 let (v2, body2) = if would_capture {
                     let taken = |cand: Symbol| {
-                        inner_map.values().any(|t| t.free_vars().contains(&cand))
-                            || body.free_vars().contains(&cand)
+                        inner_map.values().any(|t| t.free_contains(cand))
+                            || body.free_contains(cand)
                     };
                     let fresh = v.freshen(&taken);
-                    let renamed = body.subst(&{
-                        let mut m = HashMap::new();
-                        m.insert(*v, Term::Var(fresh));
-                        m
-                    });
+                    let renamed = body.subst1(*v, &Term::Var(fresh));
                     (fresh, renamed)
                 } else {
-                    (*v, (**body).clone())
+                    (*v, **body)
                 };
-                let new_body = Box::new(body2.subst(&inner_map));
+                let new_body = body2.subst(&inner_map).into();
                 match self {
                     Prop::Forall(..) => Prop::Forall(v2, *s, new_body),
                     _ => Prop::Exists(v2, *s, new_body),
@@ -355,38 +558,78 @@ impl Prop {
         }
     }
 
-    /// Substitutes a single variable.
+    /// Substitutes a single variable (directly — no per-call map).
     pub fn subst1(&self, var: Symbol, replacement: &Term) -> Prop {
-        let mut map = HashMap::new();
-        map.insert(var, replacement.clone());
-        self.subst(&map)
+        if !self.free_contains(var) {
+            return *self;
+        }
+        match self {
+            Prop::True | Prop::False => *self,
+            Prop::Eq(a, b) => Prop::Eq(a.subst1(var, replacement), b.subst1(var, replacement)),
+            Prop::Atom(p, args) => Prop::Atom(
+                *p,
+                args.iter().map(|a| a.subst1(var, replacement)).collect(),
+            ),
+            Prop::Def(p, args) => Prop::Def(
+                *p,
+                args.iter().map(|a| a.subst1(var, replacement)).collect(),
+            ),
+            Prop::And(a, b) => Prop::and(a.subst1(var, replacement), b.subst1(var, replacement)),
+            Prop::Or(a, b) => Prop::or(a.subst1(var, replacement), b.subst1(var, replacement)),
+            Prop::Imp(a, b) => Prop::imp(a.subst1(var, replacement), b.subst1(var, replacement)),
+            Prop::Forall(v, s, body) | Prop::Exists(v, s, body) => {
+                // `var` is free here, so `*v != var`. Rename if the
+                // replacement would capture the binder.
+                let (v2, body2) = if replacement.free_contains(*v) {
+                    let taken =
+                        |cand: Symbol| replacement.free_contains(cand) || body.free_contains(cand);
+                    let fresh = v.freshen(&taken);
+                    (fresh, body.subst1(*v, &Term::Var(fresh)))
+                } else {
+                    (*v, **body)
+                };
+                let new_body = body2.subst1(var, replacement).into();
+                match self {
+                    Prop::Forall(..) => Prop::Forall(v2, *s, new_body),
+                    _ => Prop::Exists(v2, *s, new_body),
+                }
+            }
+        }
     }
 
     /// Replaces each occurrence of the term `from` by `to` (not going under
     /// a binder that captures variables of `from`/`to`).
     pub fn replace_term(&self, from: &Term, to: &Term) -> Prop {
         match self {
-            Prop::True | Prop::False => self.clone(),
+            Prop::True | Prop::False => *self,
             Prop::Eq(a, b) => Prop::Eq(a.replace(from, to), b.replace(from, to)),
             Prop::Atom(p, args) => {
+                if (args.total_size() as usize) < from.size() {
+                    return *self;
+                }
                 Prop::Atom(*p, args.iter().map(|a| a.replace(from, to)).collect())
             }
-            Prop::Def(p, args) => Prop::Def(*p, args.iter().map(|a| a.replace(from, to)).collect()),
+            Prop::Def(p, args) => {
+                if (args.total_size() as usize) < from.size() {
+                    return *self;
+                }
+                Prop::Def(*p, args.iter().map(|a| a.replace(from, to)).collect())
+            }
             Prop::And(a, b) => Prop::and(a.replace_term(from, to), b.replace_term(from, to)),
             Prop::Or(a, b) => Prop::or(a.replace_term(from, to), b.replace_term(from, to)),
             Prop::Imp(a, b) => Prop::imp(a.replace_term(from, to), b.replace_term(from, to)),
             Prop::Forall(v, s, body) => {
-                if from.free_vars().contains(v) || to.free_vars().contains(v) {
-                    self.clone()
+                if from.free_contains(*v) || to.free_contains(*v) {
+                    *self
                 } else {
-                    Prop::Forall(*v, *s, Box::new(body.replace_term(from, to)))
+                    Prop::Forall(*v, *s, body.replace_term(from, to).into())
                 }
             }
             Prop::Exists(v, s, body) => {
-                if from.free_vars().contains(v) || to.free_vars().contains(v) {
-                    self.clone()
+                if from.free_contains(*v) || to.free_contains(*v) {
+                    *self
                 } else {
-                    Prop::Exists(*v, *s, Box::new(body.replace_term(from, to)))
+                    Prop::Exists(*v, *s, body.replace_term(from, to).into())
                 }
             }
         }
@@ -402,6 +645,11 @@ impl Prop {
             lb: &mut Vec<(Symbol, u32)>,
         ) -> bool {
             fn tgo(x: &Term, y: &Term, la: &[(Symbol, u32)], lb: &[(Symbol, u32)]) -> bool {
+                // Fast path: under empty binder stacks alpha-equivalence
+                // of terms is plain equality — one id compare.
+                if la.is_empty() && lb.is_empty() {
+                    return x == y;
+                }
                 match (x, y) {
                     (Term::Var(v), Term::Var(w)) => {
                         let dv = la.iter().rev().find(|(s, _)| s == v).map(|(_, d)| *d);
@@ -420,6 +668,11 @@ impl Prop {
                     }
                     _ => false,
                 }
+            }
+            // Fast path: under empty binder stacks, alpha-equivalence
+            // restricted to closed spines is plain equality.
+            if la.is_empty() && lb.is_empty() && a == b {
+                return true;
             }
             match (a, b) {
                 (Prop::True, Prop::True) | (Prop::False, Prop::False) => true,
@@ -509,7 +762,7 @@ impl Prop {
     pub fn strip_rule(&self) -> (Vec<(Symbol, Sort)>, Vec<Prop>, Prop) {
         let mut binders: Vec<(Symbol, Sort)> = Vec::new();
         let mut premises = Vec::new();
-        let mut cur = self.clone();
+        let mut cur = *self;
         loop {
             match cur {
                 Prop::Forall(v, s, body) => {
@@ -545,7 +798,7 @@ impl fmt::Display for Prop {
                     write!(f, "{p}")
                 } else {
                     write!(f, "({p}")?;
-                    for a in args {
+                    for a in args.iter() {
                         write!(f, " {a}")?;
                     }
                     write!(f, ")")
@@ -619,6 +872,18 @@ mod tests {
     }
 
     #[test]
+    fn subst_untouched_subtree_is_identity() {
+        // The fast path must return the *same* interned node, not a copy.
+        let t = Term::ctor("pair", vec![tvar("a"), Term::c0("zero")]);
+        let r = t.subst1(sym("zz_not_free"), &Term::c0("zero"));
+        assert_eq!(t, r);
+        let p = Prop::forall("x", Sort::Id, Prop::eq(tvar("x"), tvar("a")));
+        let mut map = HashMap::new();
+        map.insert(sym("zz_not_free"), Term::c0("zero"));
+        assert_eq!(p.subst(&map), p);
+    }
+
+    #[test]
     fn alpha_eq_quantifiers() {
         let p = Prop::forall("x", Sort::Id, Prop::eq(tvar("x"), tvar("x")));
         let q = Prop::forall("y", Sort::Id, Prop::eq(tvar("y"), tvar("y")));
@@ -673,6 +938,28 @@ mod tests {
     fn free_vars_ignore_bound() {
         let p = Prop::forall("x", Sort::Id, Prop::eq(tvar("x"), tvar("y")));
         assert_eq!(p.free_vars(), vec![sym("y")]);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        // Same structure built twice interns identically (O(1) equality).
+        let a = Term::ctor("succ", vec![Term::ctor("succ", vec![Term::c0("zero")])]);
+        let b = Term::ctor("succ", vec![Term::ctor("succ", vec![Term::c0("zero")])]);
+        assert_eq!(a, b);
+        let p = Prop::imp(Prop::eq(a, b), Prop::True);
+        let q = Prop::imp(Prop::eq(b, a), Prop::True);
+        assert_eq!(p, q);
+        assert_eq!(p.digest(), q.digest());
+    }
+
+    #[test]
+    fn size_and_digest_are_cached_consistently() {
+        let t = Term::ctor("pair", vec![tvar("x"), Term::ctor("succ", vec![tvar("y")])]);
+        assert_eq!(t.size(), 4);
+        let p = Prop::forall("x", Sort::Id, Prop::eq(t, t));
+        assert_eq!(p.size(), 1 + 1 + 2 * t.size());
+        assert!(p.free_contains(sym("y")));
+        assert!(!p.free_contains(sym("x"))); // bound
     }
 
     #[test]

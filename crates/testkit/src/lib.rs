@@ -33,8 +33,10 @@
 //!   vectors with arbitrary terms, props, tactics, and sequents) for
 //!   exercising the `FPOPSNAP` codec.
 //!
-//! The five differential oracles built on these generators live in the
-//! consuming crates' `tests/` directories; see `docs/TESTING.md` for the
+//! The differential oracles built on these generators live in the
+//! consuming crates' `tests/` directories (plus oracle #6, the
+//! naive-vs-hash-consed term-representation check, in this crate's own
+//! `tests/terms_differential.rs`); see `docs/TESTING.md` for the
 //! catalogue and replay instructions.
 
 #![warn(missing_docs)]

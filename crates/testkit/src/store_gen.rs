@@ -68,7 +68,7 @@ pub fn gen_prop(r: &mut Rng, depth: u32) -> Prop {
         2 => Prop::imp(gen_prop(r, depth - 1), gen_prop(r, depth - 1)),
         3 => Prop::forall(&gen_name(r), gen_sort(r), gen_prop(r, depth - 1)),
         4 => Prop::exists(&gen_name(r), gen_sort(r), gen_prop(r, depth - 1)),
-        5 => Prop::Def(sym(&gen_name(r)), vec![gen_obj_term(r, 1)]),
+        5 => Prop::Def(sym(&gen_name(r)), vec![gen_obj_term(r, 1)].into()),
         _ => Prop::atom(
             &gen_name(r),
             (0..r.below(3)).map(|_| gen_obj_term(r, 1)).collect(),

@@ -1,0 +1,349 @@
+//! Differential oracle #6: the hash-consed term representation against a
+//! naive boxed-tree reference.
+//!
+//! PR "hash-consed kernel terms" replaced `Vec<Term>` / `Box<Prop>`
+//! recursive positions with interned `TermList` / `PropRef` handles and
+//! rewrote `subst` / `subst1` / `replace` / `contains` with cached-summary
+//! fast paths (skip subtrees where no substituted variable is free, prune
+//! by node counts). Each fast path is a claim of semantic equality with
+//! the obvious recursion; this oracle checks every claim against an
+//! independent naive implementation over an ordinary owned tree, on
+//! random terms from the codec generator (all four heads, deep and wide).
+//!
+//! Replay a failure with `FPOP_TEST_SEED=0x… cargo test -p testkit`;
+//! scale iterations with `FPOP_TEST_ITERS=N` (see `docs/TESTING.md`).
+
+use std::collections::HashMap;
+
+use objlang::intern::TermList;
+use objlang::syntax::{Prop, Term};
+use objlang::{sym, Symbol};
+use testkit::store_gen::{gen_obj_term, gen_prop};
+use testkit::{run_cases, Rng};
+
+// ---------------------------------------------------------------------------
+// The naive reference representation
+// ---------------------------------------------------------------------------
+
+/// An owned, un-shared first-order term: the representation `objlang`
+/// used before hash-consing, reimplemented here so the oracle does not
+/// depend on any code path it is checking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum NTerm {
+    Var(String),
+    Ctor(String, Vec<NTerm>),
+    Fn(String, Vec<NTerm>),
+    Lit(String),
+}
+
+fn to_naive(t: &Term) -> NTerm {
+    match t {
+        Term::Var(v) => NTerm::Var(v.as_str().to_string()),
+        Term::Ctor(c, args) => {
+            NTerm::Ctor(c.as_str().to_string(), args.iter().map(to_naive).collect())
+        }
+        Term::Fn(f, args) => NTerm::Fn(f.as_str().to_string(), args.iter().map(to_naive).collect()),
+        Term::Lit(l) => NTerm::Lit(l.as_str().to_string()),
+    }
+}
+
+fn from_naive(t: &NTerm) -> Term {
+    match t {
+        NTerm::Var(v) => Term::var(v),
+        NTerm::Ctor(c, args) => Term::ctor(c, args.iter().map(from_naive).collect()),
+        NTerm::Fn(f, args) => Term::func(f, args.iter().map(from_naive).collect()),
+        NTerm::Lit(l) => Term::lit(l),
+    }
+}
+
+impl NTerm {
+    fn subst(&self, map: &HashMap<String, NTerm>) -> NTerm {
+        match self {
+            NTerm::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
+            NTerm::Ctor(c, args) => {
+                NTerm::Ctor(c.clone(), args.iter().map(|a| a.subst(map)).collect())
+            }
+            NTerm::Fn(f, args) => NTerm::Fn(f.clone(), args.iter().map(|a| a.subst(map)).collect()),
+            NTerm::Lit(_) => self.clone(),
+        }
+    }
+
+    fn subst1(&self, var: &str, replacement: &NTerm) -> NTerm {
+        let mut map = HashMap::new();
+        map.insert(var.to_string(), replacement.clone());
+        self.subst(&map)
+    }
+
+    fn contains(&self, needle: &NTerm) -> bool {
+        if self == needle {
+            return true;
+        }
+        match self {
+            NTerm::Ctor(_, args) | NTerm::Fn(_, args) => args.iter().any(|a| a.contains(needle)),
+            _ => false,
+        }
+    }
+
+    fn replace(&self, from: &NTerm, to: &NTerm) -> NTerm {
+        if self == from {
+            return to.clone();
+        }
+        match self {
+            NTerm::Ctor(c, args) => NTerm::Ctor(
+                c.clone(),
+                args.iter().map(|a| a.replace(from, to)).collect(),
+            ),
+            NTerm::Fn(f, args) => NTerm::Fn(
+                f.clone(),
+                args.iter().map(|a| a.replace(from, to)).collect(),
+            ),
+            _ => self.clone(),
+        }
+    }
+
+    fn free_vars(&self, out: &mut Vec<String>) {
+        match self {
+            NTerm::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            NTerm::Ctor(_, args) | NTerm::Fn(_, args) => {
+                for a in args {
+                    a.free_vars(out);
+                }
+            }
+            NTerm::Lit(_) => {}
+        }
+    }
+
+    fn size(&self) -> usize {
+        match self {
+            NTerm::Ctor(_, args) | NTerm::Fn(_, args) => {
+                1 + args.iter().map(NTerm::size).sum::<usize>()
+            }
+            _ => 1,
+        }
+    }
+
+    /// Collects every subterm (used to pick interesting `replace` /
+    /// `contains` needles that actually occur).
+    fn subterms<'a>(&'a self, out: &mut Vec<&'a NTerm>) {
+        out.push(self);
+        if let NTerm::Ctor(_, args) | NTerm::Fn(_, args) = self {
+            for a in args {
+                a.subterms(out);
+            }
+        }
+    }
+}
+
+/// A random substitution over the generator's variable namespace, built
+/// from the same small name pool `gen_obj_term` draws from so that hits
+/// and misses both occur.
+fn gen_subst_map(r: &mut Rng) -> HashMap<String, NTerm> {
+    let names = ["a", "b", "c", "f", "g", "hyp", "tm", "zero"];
+    let mut map = HashMap::new();
+    for _ in 0..r.below(4) {
+        let name = r.pick(&names).to_string();
+        let value = to_naive(&gen_obj_term(r, 1));
+        map.insert(name, value);
+    }
+    map
+}
+
+// ---------------------------------------------------------------------------
+// The oracle proper
+// ---------------------------------------------------------------------------
+
+#[test]
+fn roundtrip_preserves_structure_and_metadata() {
+    run_cases("terms/roundtrip", 0x7e31_0001, 400, |r| {
+        let t = gen_obj_term(r, 4);
+        let n = to_naive(&t);
+        let back = from_naive(&n);
+        assert_eq!(
+            back, t,
+            "naive round-trip must re-intern to the same handle"
+        );
+        assert_eq!(
+            t.size(),
+            n.size(),
+            "cached size disagrees with recomputation"
+        );
+        let mut naive_free = Vec::new();
+        n.free_vars(&mut naive_free);
+        naive_free.sort();
+        let mut fast_free: Vec<String> = t
+            .free_vars()
+            .iter()
+            .map(|s| s.as_str().to_string())
+            .collect();
+        fast_free.sort();
+        assert_eq!(fast_free, naive_free, "free-variable sets disagree");
+        for v in &naive_free {
+            assert!(t.free_contains(sym(v)), "free_contains misses {v}");
+        }
+        assert!(!t.free_contains(sym("no_such_variable_xyz")));
+    });
+}
+
+#[test]
+fn subst_agrees_with_naive() {
+    run_cases("terms/subst", 0x7e31_0002, 400, |r| {
+        let t = gen_obj_term(r, 4);
+        let n = to_naive(&t);
+        let nmap = gen_subst_map(r);
+        let fmap: HashMap<Symbol, Term> =
+            nmap.iter().map(|(k, v)| (sym(k), from_naive(v))).collect();
+        assert_eq!(
+            t.subst(&fmap),
+            from_naive(&n.subst(&nmap)),
+            "subst diverges from the naive recursion"
+        );
+    });
+}
+
+#[test]
+fn subst1_agrees_with_naive() {
+    run_cases("terms/subst1", 0x7e31_0003, 400, |r| {
+        let t = gen_obj_term(r, 4);
+        let n = to_naive(&t);
+        let names = ["a", "b", "c", "f", "g", "hyp", "tm", "zero"];
+        let var = r.pick(&names).to_string();
+        let replacement = gen_obj_term(r, 2);
+        assert_eq!(
+            t.subst1(sym(&var), &replacement),
+            from_naive(&n.subst1(&var, &to_naive(&replacement))),
+            "subst1 diverges from the naive recursion"
+        );
+    });
+}
+
+#[test]
+fn contains_and_replace_agree_with_naive() {
+    run_cases("terms/contains_replace", 0x7e31_0004, 400, |r| {
+        let t = gen_obj_term(r, 4);
+        let n = to_naive(&t);
+        // Half the needles are real subterms (so the positive path and the
+        // size-pruned recursion are both exercised), half arbitrary.
+        let needle_n = if r.flip() {
+            let mut subs = Vec::new();
+            n.subterms(&mut subs);
+            (*r.pick(&subs)).clone()
+        } else {
+            to_naive(&gen_obj_term(r, 2))
+        };
+        let needle = from_naive(&needle_n);
+        assert_eq!(
+            t.contains(&needle),
+            n.contains(&needle_n),
+            "contains diverges from the naive recursion"
+        );
+        let to = gen_obj_term(r, 1);
+        assert_eq!(
+            t.replace(&needle, &to),
+            from_naive(&n.replace(&needle_n, &to_naive(&to))),
+            "replace diverges from the naive recursion"
+        );
+    });
+}
+
+#[test]
+fn eval_agrees_with_host_arithmetic() {
+    use objlang::eval::{eval_default, nat_lit, nat_value};
+    let mut sig = objlang::Signature::new();
+    objlang::prelude::install(&mut sig).unwrap();
+    objlang::prelude::install_nat_add(&mut sig).unwrap();
+    run_cases("terms/eval", 0x7e31_0005, 60, |r| {
+        let (a, b) = (r.below(40), r.below(40));
+        let t = Term::func("add", vec![nat_lit(a), nat_lit(b)]);
+        let v = eval_default(&sig, &t).expect("closed nat program evaluates");
+        assert_eq!(
+            nat_value(&v),
+            Some(a + b),
+            "evaluator wrong on add({a},{b}) under the interned representation"
+        );
+    });
+}
+
+#[test]
+fn prop_subst1_matches_subst_map() {
+    // `Prop::subst1` is a separate direct implementation (no per-call
+    // map); it must agree with `Prop::subst` on singleton maps up to
+    // alpha-equivalence (the two may pick different fresh binder names).
+    run_cases("terms/prop_subst1", 0x7e31_0006, 300, |r| {
+        let p = gen_prop(r, 3);
+        let names = ["a", "b", "c", "f", "g", "hyp", "tm", "zero"];
+        let var = sym(names[r.below(names.len() as u64) as usize]);
+        let replacement = gen_obj_term(r, 2);
+        let direct = p.subst1(var, &replacement);
+        let mut map = HashMap::new();
+        map.insert(var, replacement);
+        let via_map = p.subst(&map);
+        assert!(
+            direct.alpha_eq(&via_map),
+            "Prop::subst1 and Prop::subst disagree:\n  direct:  {direct}\n  via map: {via_map}"
+        );
+    });
+}
+
+#[test]
+fn digest_is_stable_across_construction_orders() {
+    run_cases("terms/digest", 0x7e31_0007, 200, |r| {
+        let t = gen_obj_term(r, 4);
+        let rebuilt = from_naive(&to_naive(&t));
+        assert_eq!(t, rebuilt);
+        let (Term::Ctor(_, a) | Term::Fn(_, a), Term::Ctor(_, b) | Term::Fn(_, b)) = (&t, &rebuilt)
+        else {
+            return;
+        };
+        assert_eq!(a.digest(), b.digest(), "digest not content-determined");
+        assert_eq!(a.total_size(), b.total_size());
+        assert_eq!(a.free_vars(), b.free_vars());
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Interner concurrency stress
+// ---------------------------------------------------------------------------
+
+/// Hammers the global term/prop interner from many threads building the
+/// *same* pseudo-random value stream, then asserts full agreement: every
+/// thread must observe identical handles (O(1) equality), digests, and
+/// metadata for identical content, and the arena must stay consistent
+/// under racing inserts (the publish-or-discard path in
+/// `objlang::intern`).
+#[test]
+fn interner_concurrent_dedup_stress() {
+    const THREADS: usize = 8;
+    const TERMS: usize = 600;
+    let build = || -> Vec<(Term, Prop)> {
+        let mut r = Rng::new(0x7e31_0008);
+        (0..TERMS)
+            .map(|_| (gen_obj_term(&mut r, 3), gen_prop(&mut r, 2)))
+            .collect()
+    };
+    let all: Vec<Vec<(Term, Prop)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS).map(|_| s.spawn(build)).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let reference = build();
+    for (i, thread_vals) in all.iter().enumerate() {
+        assert_eq!(
+            thread_vals.len(),
+            reference.len(),
+            "thread {i} produced a different stream length"
+        );
+        for (j, ((t, p), (rt, rp))) in thread_vals.iter().zip(&reference).enumerate() {
+            // Handle equality across threads is the hash-consing invariant:
+            // racing interns of equal content must converge on one entry.
+            assert_eq!(t, rt, "thread {i} term {j} got a distinct handle");
+            assert_eq!(p, rp, "thread {i} prop {j} got a distinct handle");
+            assert_eq!(t.digest(), rt.digest());
+            assert_eq!(p.digest(), rp.digest());
+        }
+    }
+    // The shared empty list is canonical even under contention.
+    assert_eq!(TermList::empty(), TermList::intern(&[]));
+}
