@@ -50,4 +50,20 @@ pub fn run(b: &mut Bencher) {
         assert_eq!(rep.rows.len(), n_variants);
         rep.rows.len()
     });
+    b.mark_speedup("lattice/build_cold_parallel", "lattice/build_cold");
+
+    // Thread series over the task-DAG scheduler: same workload, forced
+    // worker counts. The `speedup_vs_seq` JSON field on each lets
+    // bench-smoke CI catch parallel-path regressions without parsing
+    // two rows.
+    for workers in [2usize, 4, 8] {
+        let name = format!("lattice/build_cold_parallel_{workers}w");
+        b.bench(&name, n_variants as f64, || {
+            let mut u = FamilyUniverse::new();
+            let rep = families_stlc::build_lattice_parallel_with(&mut u, workers).unwrap();
+            assert_eq!(rep.rows.len(), n_variants);
+            rep.rows.len()
+        });
+        b.mark_speedup(&name, "lattice/build_cold");
+    }
 }

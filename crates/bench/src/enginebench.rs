@@ -85,5 +85,8 @@ pub fn run(b: &mut Bencher) {
             d
         });
     }
+    // The 1-worker batch is the sequential baseline for the pool series.
+    b.mark_speedup("engine/batch_cold_4w", "engine/batch_cold_1w");
+    b.mark_speedup("engine/batch_warm_4w", "engine/batch_warm_1w");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -27,6 +27,10 @@ pub struct BenchResult {
     /// Work items completed per iteration (1 unless the workload is a
     /// batch, e.g. engine requests); used for the throughput column.
     pub items_per_iter: f64,
+    /// For parallel workloads: median time of the sequential baseline
+    /// divided by this result's median (>1 ⇒ faster than sequential).
+    /// `None` for workloads without a sequential counterpart.
+    pub speedup_vs_seq: Option<f64>,
 }
 
 impl BenchResult {
@@ -102,6 +106,26 @@ impl Bencher {
         self.push(name, batch, samples, median, items);
     }
 
+    /// Stamps `name`'s `speedup_vs_seq` as `baseline`'s median over its
+    /// own. Both workloads must already have run; bench-smoke CI reads
+    /// the resulting JSON field to catch parallel-path regressions.
+    pub fn mark_speedup(&mut self, name: &str, baseline: &str) {
+        let base_ns = self
+            .results
+            .iter()
+            .find(|r| r.name == baseline)
+            .unwrap_or_else(|| panic!("speedup baseline {baseline:?} has not run"))
+            .median_ns;
+        let r = self
+            .results
+            .iter_mut()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("speedup target {name:?} has not run"));
+        if r.median_ns > 0.0 {
+            r.speedup_vs_seq = Some(base_ns / r.median_ns);
+        }
+    }
+
     fn push(&mut self, name: &str, batch: u64, samples: u64, median_ns: f64, items: f64) {
         let r = BenchResult {
             name: name.to_string(),
@@ -109,6 +133,7 @@ impl Bencher {
             samples,
             median_ns,
             items_per_iter: items,
+            speedup_vs_seq: None,
         };
         eprintln!(
             "{:<44} {:>14.0} ns/iter {:>14.1} items/s  ({} x {})",
@@ -132,15 +157,20 @@ impl Bencher {
         ));
         s.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
+            let speedup = match r.speedup_vs_seq {
+                Some(x) => format!(", \"speedup_vs_seq\": {x:.3}"),
+                None => String::new(),
+            };
             s.push_str(&format!(
                 "    {{\"name\": {}, \"median_ns\": {:.1}, \"throughput_per_s\": {:.3}, \
-                 \"samples\": {}, \"batch\": {}, \"items_per_iter\": {}}}{}\n",
+                 \"samples\": {}, \"batch\": {}, \"items_per_iter\": {}{}}}{}\n",
                 json_str(&r.name),
                 r.median_ns,
                 r.throughput_per_s(),
                 r.samples,
                 r.batch,
                 r.items_per_iter,
+                speedup,
                 if i + 1 == self.results.len() { "" } else { "," }
             ));
         }

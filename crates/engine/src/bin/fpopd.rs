@@ -2,13 +2,16 @@
 //! on a TCP socket.
 //!
 //! ```text
-//! fpopd [--addr HOST:PORT] [--workers N] [--queue N] [--snapshot PATH]
-//!       [--deadline-ms N] [--slow-ms N] [--slow-top N] [--trace-dump PATH]
+//! fpopd [--addr HOST:PORT] [--workers N] [--sched-workers N] [--queue N]
+//!       [--snapshot PATH] [--deadline-ms N] [--slow-ms N] [--slow-top N]
+//!       [--trace-dump PATH]
 //! ```
 //!
 //! Defaults: `--addr 127.0.0.1:7878`, workers = min(cores, 4), queue 64,
 //! no snapshot (pass `--snapshot` to enable warm restarts), no deadline,
-//! slow log at 500 ms / top 8, no trace dump.
+//! slow log at 500 ms / top 8, no trace dump. `--sched-workers` sets the
+//! task-DAG scheduler threads *inside* each `BuildLattice` request (0 =
+//! auto: all cores, or the `FPOP_SCHED_WORKERS` environment variable).
 //!
 //! `--trace-dump PATH` installs the global span collector at startup and,
 //! at shutdown, writes every collected span as Chrome `trace_event` JSON
@@ -41,9 +44,9 @@ struct Args {
 }
 
 fn usage() -> String {
-    "usage: fpopd [--addr HOST:PORT] [--workers N] [--queue N] \
-     [--snapshot PATH] [--deadline-ms N] [--slow-ms N] [--slow-top N] \
-     [--trace-dump PATH]"
+    "usage: fpopd [--addr HOST:PORT] [--workers N] [--sched-workers N] \
+     [--queue N] [--snapshot PATH] [--deadline-ms N] [--slow-ms N] \
+     [--slow-top N] [--trace-dump PATH]"
         .to_string()
 }
 
@@ -66,6 +69,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.config.workers = value("--workers")?
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--sched-workers" => {
+                args.config.sched_workers = value("--sched-workers")?
+                    .parse()
+                    .map_err(|e| format!("--sched-workers: {e}"))?
             }
             "--queue" => {
                 args.config.queue_capacity = value("--queue")?

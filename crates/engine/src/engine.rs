@@ -44,7 +44,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use families_stlc::build_lattice_subset;
+use families_stlc::build_lattice_subset_parallel_with;
 use fpop::{FamilyUniverse, Session, StatsSnapshot};
 use modsys::CheckLedger;
 
@@ -72,6 +72,12 @@ pub struct EngineConfig {
     pub slow_threshold: Duration,
     /// How many slow entries the log retains (top-N by service time).
     pub slow_log_capacity: usize,
+    /// Threads the task-DAG scheduler uses *inside* a single
+    /// `BuildLattice` request (a cold batch elaborates across these, so
+    /// one big request no longer pins one queue worker while others
+    /// idle). `0` = auto ([`fpop::sched::default_workers`], which also
+    /// honors the `FPOP_SCHED_WORKERS` environment variable).
+    pub sched_workers: usize,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +92,7 @@ impl Default for EngineConfig {
             snapshot_path: None,
             slow_threshold: Duration::from_millis(500),
             slow_log_capacity: 8,
+            sched_workers: 0,
         }
     }
 }
@@ -303,6 +310,8 @@ struct Shared {
     slow_capacity: usize,
     /// Worker-pool size (0 for inert test engines).
     worker_count: usize,
+    /// Resolved task-DAG worker count for `BuildLattice` requests.
+    sched_workers: usize,
     /// When this engine booted (denominator of the utilization gauge).
     started: Instant,
     /// Test-only fault injection: `execute` panics when a `CheckSource`
@@ -356,8 +365,14 @@ impl Shared {
             }
             Request::BuildLattice { features } => {
                 let mut u = FamilyUniverse::with_session(Arc::clone(&self.session));
-                let report = build_lattice_subset(&mut u, &features)
-                    .map_err(|e| EngineError::Failed(e.to_string()))?;
+                // Field-level task DAG: a single cold batch elaborates
+                // across the scheduler's workers instead of pinning one
+                // queue worker (same verdicts, ledgers, and session
+                // contents as the sequential build — see the parallel
+                // differential oracle).
+                let report =
+                    build_lattice_subset_parallel_with(&mut u, &features, self.sched_workers)
+                        .map_err(|e| EngineError::Failed(e.to_string()))?;
                 let ledger = self.absorb_universe(&u);
                 Ok(Response::Lattice { report, ledger })
             }
@@ -489,6 +504,12 @@ impl Shared {
             "engine_workers",
             "worker threads serving the queue",
             self.worker_count as i64,
+        );
+        render_gauge(
+            &mut out,
+            "engine_sched_workers",
+            "task-DAG scheduler threads inside each BuildLattice request",
+            self.sched_workers as i64,
         );
         render_counter(
             &mut out,
@@ -715,6 +736,11 @@ impl Engine {
             slow_threshold: config.slow_threshold,
             slow_capacity: config.slow_log_capacity,
             worker_count,
+            sched_workers: if config.sched_workers == 0 {
+                fpop::sched::default_workers()
+            } else {
+                config.sched_workers
+            },
             started: Instant::now(),
             #[cfg(test)]
             panic_marker: Mutex::new(None),

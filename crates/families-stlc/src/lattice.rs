@@ -11,23 +11,31 @@
 //! in Figure 3 — the latter by mixing in a composite that itself has
 //! mixins.
 //!
-//! Since the check-session refactor the lattice can also be built in
-//! parallel ([`build_lattice_parallel`] / [`build_extended_lattice_parallel`]):
-//! variants are grouped into *waves* by arity (a variant only depends on
-//! strictly smaller feature sets), each wave fans out over scoped threads
-//! elaborating into detached module environments against the shared
-//! [`fpop::Session`], and the coordinator commits deltas back in canonical
-//! order — so the parallel build's reports and ledgers are deterministic
-//! and comparable to the sequential build's.
+//! The lattice can also be built in parallel ([`build_lattice_parallel`] /
+//! [`build_extended_lattice_parallel`]): every field of every variant is a
+//! node in a [`fpop::sched::TaskDag`], with chain edges inside each
+//! variant (fields check front to back, §3.4) and cross edges from each
+//! variant's *finish* node to the first node of every feature-superset
+//! variant — the proper-subset order of the Venn diagram, which is exactly
+//! "who can inherit modules and share proofs with whom". A work-stealing
+//! scheduler executes the graph; each variant elaborates into a detached
+//! module environment seeded with its prerequisites' module deltas and
+//! reads their uncommitted proof fragments through
+//! [`fpop::Session::begin_with_reads`]; *nothing* commits during the run.
+//! Afterwards the coordinator commits every variant in canonical order, so
+//! reports, ledgers, and the session contents are bit-for-bit what the
+//! sequential build produces — whatever order the workers actually ran in.
 
-use std::thread;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use fpop::elab::FieldElab;
 use fpop::family::FamilyDef;
-use fpop::session::CacheTxn;
+use fpop::sched::{SchedError, TaskDag};
+use fpop::session::{CacheTxn, ProofCache, TxnParts};
 use fpop::universe::FamilyUniverse;
 use fpop::CompiledFamily;
-use modsys::{CheckLedger, ModuleDelta};
+use modsys::{CheckLedger, ModuleDelta, ModuleEnv};
 use objlang::error::{Error, Result};
 
 use crate::boolean::{stlc_bool_family, tysubst_bool_case};
@@ -248,6 +256,38 @@ pub fn lattice_waves(extended: bool) -> Vec<Vec<FamilyDef>> {
 /// about and the engine elaborates exactly that sub-lattice, with every
 /// proof drawn from (and contributed to) the shared session.
 pub fn subset_waves(features: &[Feature]) -> Vec<Vec<FamilyDef>> {
+    let mut waves: Vec<Vec<FamilyDef>> = Vec::new();
+    let mut cur_arity = usize::MAX;
+    for entry in subset_plan(features) {
+        if waves.is_empty() || entry.arity != cur_arity {
+            cur_arity = entry.arity;
+            waves.push(Vec::new());
+        }
+        waves.last_mut().expect("just pushed").push(entry.def);
+    }
+    waves
+}
+
+/// One planned variant: its feature bitmask over the normalized feature
+/// subset (bit *i* = the *i*-th requested feature in canonical order; the
+/// base `STLC` is mask 0), its arity, and its definition.
+struct PlanEntry {
+    mask: u32,
+    arity: usize,
+    def: FamilyDef,
+}
+
+/// The canonical-order build plan: base `STLC` first, then arity
+/// ascending, feature-mask ascending within an arity — the exact order
+/// the sequential build defines variants in. The masks double as the
+/// dependency relation for the task-DAG build: variant *j* is a
+/// prerequisite of variant *i* iff `mask_j` is a **proper subset** of
+/// `mask_i`. That covers every family *i* can inherit modules from
+/// (bases, mixins, and their ancestors) and every variant whose cached
+/// proofs *i* can hit — a sequent only mentions constructs from *i*'s own
+/// view, so any cache entry *i* can match was insertable by a variant
+/// whose features are contained in *i*'s.
+fn subset_plan(features: &[Feature]) -> Vec<PlanEntry> {
     let feats = normalize_features(features);
     // Paper-style nested composition applies in the exact Venn lattice.
     let venn_special = feats == Feature::all();
@@ -258,12 +298,12 @@ pub fn subset_waves(features: &[Feature]) -> Vec<Vec<FamilyDef>> {
         Feature::Isorec => stlc_isorec_family(),
         Feature::Bool => stlc_bool_family(),
     };
-    let mut waves: Vec<Vec<FamilyDef>> = vec![
-        vec![crate::base::stlc_family()],
-        feats.iter().copied().map(single).collect(),
-    ];
-    for arity in 2..=feats.len() {
-        let mut wave = Vec::new();
+    let mut plan = vec![PlanEntry {
+        mask: 0,
+        arity: 0,
+        def: crate::base::stlc_family(),
+    }];
+    for arity in 1..=feats.len() {
         for mask in 1u32..(1u32 << feats.len()) {
             if mask.count_ones() as usize != arity {
                 continue;
@@ -275,13 +315,14 @@ pub fn subset_waves(features: &[Feature]) -> Vec<Vec<FamilyDef>> {
                 .filter(|(i, _)| mask & (1 << i) != 0)
                 .map(|(_, f)| f)
                 .collect();
-            let name = variant_name(&subset);
-            // Paper-style nested composition for STLCFixProdIsorec in the
-            // Venn lattice: it mixes in STLCFix and the composite
-            // STLCProdIsorec (Figure 3), relying on the latter's
-            // already-discharged tysubst obligation. (STLCProdIsorec is an
-            // arity-2 variant, so it lives in the previous wave.)
-            let def = if venn_special && name == "STLCFixProdIsorec" {
+            let def = if arity == 1 {
+                single(subset[0])
+            } else if venn_special && variant_name(&subset) == "STLCFixProdIsorec" {
+                // Paper-style nested composition for STLCFixProdIsorec in
+                // the Venn lattice: it mixes in STLCFix and the composite
+                // STLCProdIsorec (Figure 3), relying on the latter's
+                // already-discharged tysubst obligation. (STLCProdIsorec
+                // is an arity-2 variant, so it is a proper subset.)
                 FamilyDef::extending_with(
                     "STLCFixProdIsorec",
                     "STLC",
@@ -290,12 +331,10 @@ pub fn subset_waves(features: &[Feature]) -> Vec<Vec<FamilyDef>> {
             } else {
                 composite_family(&subset)
             };
-            wave.push(def);
+            plan.push(PlanEntry { mask, arity, def });
         }
-        waves.push(wave);
     }
-    waves.retain(|w| !w.is_empty());
-    waves
+    plan
 }
 
 fn build_sequential(u: &mut FamilyUniverse, waves: Vec<Vec<FamilyDef>>) -> Result<LatticeReport> {
@@ -311,96 +350,182 @@ fn build_sequential(u: &mut FamilyUniverse, waves: Vec<Vec<FamilyDef>>) -> Resul
     Ok(report)
 }
 
-/// One parallel-lattice work item: a compiled family, its uncommitted
-/// session transaction, the module delta to ship back, and the
-/// elaboration wall time.
-type WorkerOutcome = Result<(CompiledFamily, CacheTxn, ModuleDelta, Duration)>;
-
-/// Compiles one variant into `env` (a detached clone of the universe's
-/// module environment). The env's ledger is reset first so the returned
-/// delta carries exactly this variant's accounting; registrations from
-/// same-worker siblings already in `env` are harmless (module names are
-/// owner-prefixed and includes only reference earlier waves).
-fn compile_variant(
-    u: &FamilyUniverse,
-    def: &FamilyDef,
-    env: &mut modsys::ModuleEnv,
-) -> WorkerOutcome {
-    let t = Instant::now();
-    env.ledger = CheckLedger::new();
-    let mark = env.mark();
-    let (compiled, txn) = u.compile_detached(def, env)?;
-    let delta = env.delta_since(mark);
-    Ok((compiled, txn, delta, t.elapsed()))
+/// What a DAG node does for its variant: check the next field, or close
+/// the family and extract the commit payload.
+enum NodeKind {
+    Step,
+    Finish,
 }
 
-fn build_parallel(u: &mut FamilyUniverse, waves: Vec<Vec<FamilyDef>>) -> Result<LatticeReport> {
-    let cores = thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let mut report = LatticeReport::default();
-    for (arity, wave) in waves.into_iter().enumerate() {
-        let workers = cores.min(wave.len());
-        let outcomes: Vec<WorkerOutcome> = if workers <= 1 {
-            // Single worker (single-core host or singleton wave): skip the
-            // thread machinery, keep the one-detached-env-per-worker shape.
-            let mut env = u.modenv.clone();
-            wave.iter()
-                .map(|def| compile_variant(u, def, &mut env))
+/// Everything a finished variant hands to the canonical-order commit
+/// loop.
+struct VariantDone {
+    compiled: CompiledFamily,
+    delta: ModuleDelta,
+    parts: TxnParts,
+    /// The variant's uncommitted proof overlay — feature-superset
+    /// variants read through it (via `begin_with_reads`) before anything
+    /// reaches the shared store.
+    fragment: Arc<ProofCache>,
+}
+
+/// Mutable per-variant elaboration state, owned by the variant's node
+/// chain. Chain edges make access strictly sequential — the mutex is for
+/// the borrow checker and for dependents peeking at `done`; it is never
+/// contended along a chain.
+#[derive(Default)]
+struct VariantRun<'m> {
+    elab: Option<FieldElab<'m>>,
+    txn: Option<CacheTxn>,
+    env: Option<ModuleEnv>,
+    mark: usize,
+    elapsed: Duration,
+    done: Option<VariantDone>,
+}
+
+/// The task-DAG build. Plans and merges every variant up front, lowers
+/// the lattice to a field-level [`TaskDag`] (one node per field plus a
+/// finish node per variant; cross edges along the proper-subset order),
+/// runs it on `workers` work-stealing threads with **no commits during
+/// the run**, then commits every variant in canonical plan order —
+/// making reports, ledgers, and session contents identical to the
+/// sequential build's.
+fn build_dag(
+    u: &mut FamilyUniverse,
+    plan: Vec<PlanEntry>,
+    workers: usize,
+) -> Result<LatticeReport> {
+    let merged = u.plan(plan.iter().map(|p| &p.def))?;
+    let n = plan.len();
+    // deps[i]: every proper-subset variant, ascending (canonical) order.
+    let deps: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            (0..i)
+                .filter(|&j| {
+                    let (mi, mj) = (plan[i].mask, plan[j].mask);
+                    mj & mi == mj && mj != mi
+                })
                 .collect()
-        } else {
-            // Round-robin the wave over `workers` scoped threads. Each
-            // worker clones the environment once and walks its share;
-            // transactions stay per-variant, so every variant still sees
-            // exactly the proofs committed by earlier waves (wave-snapshot
-            // semantics — the determinism invariant).
-            let mut slots: Vec<Option<WorkerOutcome>> = (0..wave.len()).map(|_| None).collect();
-            let filled: Vec<Vec<(usize, WorkerOutcome)>> = thread::scope(|s| {
-                let u_ref: &FamilyUniverse = u;
-                let wave_ref: &[FamilyDef] = &wave;
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        s.spawn(move || {
-                            let mut env = u_ref.modenv.clone();
-                            (w..wave_ref.len())
-                                .step_by(workers)
-                                .map(|i| (i, compile_variant(u_ref, &wave_ref[i], &mut env)))
-                                .collect()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("lattice worker panicked"))
-                    .collect()
-            });
-            for (i, outcome) in filled.into_iter().flatten() {
-                slots[i] = Some(outcome);
+        })
+        .collect();
+
+    let mut dag = TaskDag::new();
+    let mut node_map: Vec<(usize, NodeKind)> = Vec::new();
+    let mut first = vec![0usize; n];
+    let mut finish = vec![0usize; n];
+    for v in 0..n {
+        let name = merged[v].name;
+        let mut prev: Option<usize> = None;
+        for mf in &merged[v].fields {
+            let id = dag.add_node(format!("{name}◦{}", mf.name));
+            node_map.push((v, NodeKind::Step));
+            match prev {
+                Some(p) => dag.add_edge(p, id),
+                None => first[v] = id,
             }
-            slots
-                .into_iter()
-                .map(|o| o.expect("every wave slot filled"))
-                .collect()
-        };
-        // Commit in canonical (spawn) order, so the shared environment and
-        // ledger grow deterministically regardless of worker scheduling.
-        for outcome in outcomes {
-            let (compiled, txn, delta, elapsed) = outcome?;
-            u.modenv
-                .apply_delta(&delta)
-                .map_err(|e| Error::new(e.to_string()))?;
-            txn.commit();
-            report.rows.push(VariantStat {
-                name: compiled.name.to_string(),
-                arity,
-                fields: compiled.fields.len(),
-                checked: compiled.ledger.checked_count(),
-                shared: compiled.ledger.shared_count(),
-                reuse_ratio: compiled.ledger.reuse_ratio(),
-                elapsed,
-            });
-            u.adopt(compiled)?;
+            prev = Some(id);
         }
+        let fin = dag.add_node(format!("{name}◦⟨finish⟩"));
+        node_map.push((v, NodeKind::Finish));
+        match prev {
+            Some(p) => dag.add_edge(p, fin),
+            None => first[v] = fin,
+        }
+        finish[v] = fin;
+        for &d in &deps[v] {
+            dag.add_edge(finish[d], first[v]);
+        }
+    }
+
+    let base_env = u.modenv.clone();
+    let session = u.session().clone();
+    let states: Vec<Mutex<VariantRun<'_>>> =
+        (0..n).map(|_| Mutex::new(VariantRun::default())).collect();
+
+    dag.run(workers, |node| -> Result<()> {
+        let t = Instant::now();
+        let (v, kind) = &node_map[node];
+        let v = *v;
+        let mut st = states[v].lock().expect("variant state poisoned");
+        if st.elab.is_none() && st.done.is_none() {
+            // First node of this variant: assemble its detached world —
+            // the pre-build environment plus every prerequisite's module
+            // delta, and a transaction reading through the prerequisites'
+            // uncommitted proof fragments. (Safe lock order: a node locks
+            // its own variant, then strictly lower-indexed, finished
+            // dependencies one at a time.)
+            let mut env = base_env.clone();
+            let mut reads = Vec::with_capacity(deps[v].len());
+            for &d in &deps[v] {
+                let dep = states[d].lock().expect("variant state poisoned");
+                let done = dep.done.as_ref().expect("dependency scheduled first");
+                env.apply_delta(&done.delta)
+                    .map_err(|e| Error::new(e.to_string()))?;
+                reads.push(done.fragment.clone());
+            }
+            // Reset accounting *after* the dep deltas land, so the ledger
+            // and the module mark cover exactly this variant's own work.
+            env.ledger = CheckLedger::new();
+            st.mark = env.mark();
+            st.txn = Some(session.begin_with_reads(reads));
+            st.env = Some(env);
+            st.elab = Some(FieldElab::new(&merged[v])?);
+        }
+        match kind {
+            NodeKind::Step => {
+                let VariantRun { elab, txn, env, .. } = &mut *st;
+                let elab = elab.as_mut().expect("chain edge ran init");
+                elab.step(
+                    txn.as_mut().expect("txn lives until finish"),
+                    env.as_mut().expect("env lives until finish"),
+                )?;
+            }
+            NodeKind::Finish => {
+                let elab = st.elab.take().expect("chain edge ran init");
+                let mut env = st.env.take().expect("env lives until finish");
+                let compiled = elab.finish(&mut env)?;
+                let delta = env.delta_since(st.mark);
+                let parts = st.txn.take().expect("txn lives until finish").into_parts();
+                let fragment = parts.overlay().clone();
+                st.done = Some(VariantDone {
+                    compiled,
+                    delta,
+                    parts,
+                    fragment,
+                });
+            }
+        }
+        st.elapsed += t.elapsed();
+        Ok(())
+    })
+    .map_err(|e| match e {
+        SchedError::Cycle(c) => Error::new(c.to_string()),
+        SchedError::Task { label, error, .. } => {
+            error.with_context(format!("lattice task {label}"))
+        }
+    })?;
+
+    // Deterministic canonical-order commit: the universe, its ledger, and
+    // the shared session evolve exactly as under the sequential build,
+    // whatever order the workers actually ran in.
+    let mut report = LatticeReport::default();
+    for (entry, state) in plan.iter().zip(states) {
+        let run = state.into_inner().expect("variant state poisoned");
+        let done = run.done.expect("every variant finished");
+        u.modenv
+            .apply_delta(&done.delta)
+            .map_err(|e| Error::new(e.to_string()))?;
+        session.commit_parts(&done.parts);
+        report.rows.push(VariantStat {
+            name: done.compiled.name.to_string(),
+            arity: entry.arity,
+            fields: done.compiled.fields.len(),
+            checked: done.compiled.ledger.checked_count(),
+            shared: done.compiled.ledger.shared_count(),
+            reuse_ratio: done.compiled.ledger.reuse_ratio(),
+            elapsed: run.elapsed,
+        });
+        u.adopt(done.compiled)?;
     }
     Ok(report)
 }
@@ -426,26 +551,52 @@ pub fn build_extended_lattice(u: &mut FamilyUniverse) -> Result<LatticeReport> {
     build_sequential(u, lattice_waves(true))
 }
 
-/// [`build_lattice`], parallelized: each arity wave fans out over scoped
-/// threads, every worker elaborating against the universe's shared check
-/// session; deltas commit in canonical order. The report (modulo wall
-/// times) and all ledgers are identical to the sequential build's.
+/// [`build_lattice`], parallelized on the field-level task DAG with
+/// [`fpop::sched::default_workers`] worker threads (override with the
+/// `FPOP_SCHED_WORKERS` environment variable, or call
+/// [`build_lattice_parallel_with`]). The report (modulo wall times), all
+/// ledgers, and the session contents are identical to the sequential
+/// build's.
 ///
 /// # Errors
 ///
 /// Propagates any elaboration failure.
 pub fn build_lattice_parallel(u: &mut FamilyUniverse) -> Result<LatticeReport> {
-    build_parallel(u, lattice_waves(false))
+    build_lattice_parallel_with(u, fpop::sched::default_workers())
 }
 
-/// [`build_extended_lattice`], parallelized per arity wave; see
+/// [`build_lattice_parallel`] with an explicit worker count.
+///
+/// # Errors
+///
+/// Propagates any elaboration failure.
+pub fn build_lattice_parallel_with(
+    u: &mut FamilyUniverse,
+    workers: usize,
+) -> Result<LatticeReport> {
+    build_dag(u, subset_plan(&Feature::all()), workers)
+}
+
+/// [`build_extended_lattice`], parallelized on the task DAG; see
 /// [`build_lattice_parallel`].
 ///
 /// # Errors
 ///
 /// Propagates any elaboration failure.
 pub fn build_extended_lattice_parallel(u: &mut FamilyUniverse) -> Result<LatticeReport> {
-    build_parallel(u, lattice_waves(true))
+    build_extended_lattice_parallel_with(u, fpop::sched::default_workers())
+}
+
+/// [`build_extended_lattice_parallel`] with an explicit worker count.
+///
+/// # Errors
+///
+/// Propagates any elaboration failure.
+pub fn build_extended_lattice_parallel_with(
+    u: &mut FamilyUniverse,
+    workers: usize,
+) -> Result<LatticeReport> {
+    build_dag(u, subset_plan(&Feature::all_extended()), workers)
 }
 
 /// Builds the sub-lattice spanned by `features` (base + singles + every
@@ -460,7 +611,7 @@ pub fn build_lattice_subset(u: &mut FamilyUniverse, features: &[Feature]) -> Res
     build_sequential(u, subset_waves(features))
 }
 
-/// [`build_lattice_subset`], parallelized per arity wave; see
+/// [`build_lattice_subset`], parallelized on the task DAG; see
 /// [`build_lattice_parallel`].
 ///
 /// # Errors
@@ -470,7 +621,20 @@ pub fn build_lattice_subset_parallel(
     u: &mut FamilyUniverse,
     features: &[Feature],
 ) -> Result<LatticeReport> {
-    build_parallel(u, subset_waves(features))
+    build_lattice_subset_parallel_with(u, features, fpop::sched::default_workers())
+}
+
+/// [`build_lattice_subset_parallel`] with an explicit worker count.
+///
+/// # Errors
+///
+/// Propagates any elaboration failure.
+pub fn build_lattice_subset_parallel_with(
+    u: &mut FamilyUniverse,
+    features: &[Feature],
+    workers: usize,
+) -> Result<LatticeReport> {
+    build_dag(u, subset_plan(features), workers)
 }
 
 #[cfg(test)]

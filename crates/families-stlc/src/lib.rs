@@ -18,7 +18,8 @@ pub mod util;
 
 pub use base::stlc_family;
 pub use lattice::{
-    build_extended_lattice, build_extended_lattice_parallel, build_lattice, build_lattice_parallel,
-    build_lattice_subset, build_lattice_subset_parallel, normalize_features, variant_name, Feature,
-    LatticeReport, VariantStat,
+    build_extended_lattice, build_extended_lattice_parallel, build_extended_lattice_parallel_with,
+    build_lattice, build_lattice_parallel, build_lattice_parallel_with, build_lattice_subset,
+    build_lattice_subset_parallel, build_lattice_subset_parallel_with, normalize_features,
+    variant_name, Feature, LatticeReport, VariantStat,
 };

@@ -98,86 +98,153 @@ pub fn elaborate(
     txn: &mut CacheTxn,
     modenv: &mut ModuleEnv,
 ) -> Result<CompiledFamily> {
-    let fam = merged.name;
-    let _span = trace::span!("fpop.elaborate", "family={}", fam);
-    let mut view = Signature::new();
-    objlang::prelude::install(&mut view)?;
-    let mut ledger = CheckLedger::new();
-    let mut theorems: HashMap<Symbol, Prop> = HashMap::new();
-    let mut assumptions: Vec<Symbol> = Vec::new();
-    let mut emitter = Emitter::new(fam, modenv);
+    let _span = trace::span!("fpop.elaborate", "family={}", merged.name);
+    let mut elab = FieldElab::new(merged)?;
+    while !elab.is_done() {
+        elab.step(txn, modenv)?;
+    }
+    elab.finish(modenv)
+}
 
-    // Cache-key component: the bodies of *all* transparent definitions in
-    // scope (overridable or not). A proof checked under one set of bodies
-    // is never reused under another (see Field::Definition handling
-    // below). Non-overridable bodies cannot change within a lattice, so
-    // cross-variant sharing is unaffected — but two unrelated programs in
-    // one shared session may collide on a family/definition name with
-    // *different* bodies, and a proof that unfolded one body must not be
-    // replayed as a hit for the other (caught by the cache-bypass oracle).
-    let odef_key: Vec<(Symbol, objlang::Term)> = merged
-        .fields
-        .iter()
-        .filter_map(|mf| match &mf.content {
-            Field::Definition { alias, .. } => Some((alias.name, alias.body.clone())),
-            _ => None,
+/// A *resumable* elaboration of one merged family: the front-to-back
+/// field walk of [`elaborate`], reified as a value so each field check
+/// can run as its own task-DAG node (see [`crate::sched`]). The struct
+/// owns everything the walk accumulates (the growing view signature,
+/// ledger, theorem map, emitter state); the session transaction and the
+/// module environment are passed *per call*, because in the DAG build
+/// they live in the variant's scheduling slot.
+///
+/// Invariants are exactly those of the sequential walk: [`Self::step`]
+/// checks field `i` against fields `0..i` only (context preservation,
+/// §3.4), and [`Self::finish`] closes the family and emits the aggregate
+/// module. Splitting the walk across calls — or across worker threads, as
+/// long as calls are totally ordered — cannot change the result, since
+/// every input is owned state plus the passed-in txn/env.
+pub struct FieldElab<'m> {
+    merged: &'m MergedFamily,
+    view: Signature,
+    ledger: CheckLedger,
+    theorems: HashMap<Symbol, Prop>,
+    assumptions: Vec<Symbol>,
+    emitter: EmitterState,
+    odef_key: Vec<(Symbol, objlang::Term)>,
+    next: usize,
+}
+
+impl<'m> FieldElab<'m> {
+    /// Prepares an elaboration: installs the prelude into a fresh view
+    /// and snapshots the transparent-definition cache-key component.
+    pub fn new(merged: &'m MergedFamily) -> Result<FieldElab<'m>> {
+        let mut view = Signature::new();
+        objlang::prelude::install(&mut view)?;
+        // Cache-key component: the bodies of *all* transparent definitions
+        // in scope (overridable or not). A proof checked under one set of
+        // bodies is never reused under another (see Field::Definition
+        // handling below). Non-overridable bodies cannot change within a
+        // lattice, so cross-variant sharing is unaffected — but two
+        // unrelated programs in one shared session may collide on a
+        // family/definition name with *different* bodies, and a proof that
+        // unfolded one body must not be replayed as a hit for the other
+        // (caught by the cache-bypass oracle).
+        let odef_key: Vec<(Symbol, objlang::Term)> = merged
+            .fields
+            .iter()
+            .filter_map(|mf| match &mf.content {
+                Field::Definition { alias, .. } => Some((alias.name, alias.body.clone())),
+                _ => None,
+            })
+            .collect();
+        Ok(FieldElab {
+            merged,
+            view,
+            ledger: CheckLedger::new(),
+            theorems: HashMap::new(),
+            assumptions: Vec::new(),
+            emitter: EmitterState::new(merged.name),
+            odef_key,
+            next: 0,
         })
-        .collect();
+    }
 
-    for mf in &merged.fields {
+    /// Total number of fields to check.
+    pub fn field_count(&self) -> usize {
+        self.merged.fields.len()
+    }
+
+    /// Whether every field has been checked (only [`Self::finish`] left).
+    pub fn is_done(&self) -> bool {
+        self.next >= self.merged.fields.len()
+    }
+
+    /// Checks the next field against the fields before it.
+    pub fn step(&mut self, txn: &mut CacheTxn, modenv: &mut ModuleEnv) -> Result<()> {
+        let fam = self.merged.name;
+        let mf = &self.merged.fields[self.next];
+        self.next += 1;
         let unit = format!("{}◦{}", if mf.changed { fam } else { mf.origin }, mf.name);
         let _field_span = trace::span!("fpop.field", "unit={}", unit);
         let started = Instant::now();
         check_field(
-            merged,
+            self.merged,
             mf,
             &unit,
-            &mut view,
+            &mut self.view,
             txn,
-            &mut ledger,
-            &mut theorems,
-            &mut assumptions,
-            &mut emitter,
-            &odef_key,
+            &mut self.ledger,
+            &mut self.theorems,
+            &mut self.assumptions,
+            &mut self.emitter,
+            modenv,
+            &self.odef_key,
         )
         .map_err(|e| e.with_context(format!("field {} of family {fam}", mf.name)))?;
-        ledger.record_unit_time(&unit, started.elapsed());
+        self.ledger.record_unit_time(&unit, started.elapsed());
+        Ok(())
     }
 
-    // Close the family: recursive functions and overridable definitions
-    // become concrete; their definitional equalities are now available
-    // "outside the family" (Section 3.2's STLCFix.subst discussion).
-    let mut closed = view.clone();
-    for mf in &merged.fields {
-        if let Field::Recursion {
-            name,
-            rec_sort,
-            params,
-            ret,
-            cases,
-        } = &mf.content
-        {
-            closed.replace_fn(FnDef::Rec(RecFn {
-                name: *name,
-                rec_sort: *rec_sort,
-                params: params.clone(),
-                ret: *ret,
-                cases: cases.clone(),
-            }))?;
+    /// Closes the family after the last [`Self::step`]: recursive
+    /// functions become concrete, the aggregate module is emitted, and
+    /// the assumption audit runs.
+    pub fn finish(self, modenv: &mut ModuleEnv) -> Result<CompiledFamily> {
+        assert!(self.is_done(), "finish called with fields left to check");
+        let merged = self.merged;
+        // Close the family: recursive functions and overridable
+        // definitions become concrete; their definitional equalities are
+        // now available "outside the family" (Section 3.2's STLCFix.subst
+        // discussion).
+        let mut closed = self.view.clone();
+        for mf in &merged.fields {
+            if let Field::Recursion {
+                name,
+                rec_sort,
+                params,
+                ret,
+                cases,
+            } = &mf.content
+            {
+                closed.replace_fn(FnDef::Rec(RecFn {
+                    name: *name,
+                    rec_sort: *rec_sort,
+                    params: params.clone(),
+                    ret: *ret,
+                    cases: cases.clone(),
+                }))?;
+            }
         }
+
+        self.emitter
+            .finish(modenv, &merged.fields, &self.assumptions)?;
+
+        Ok(CompiledFamily {
+            name: merged.name,
+            base: merged.base,
+            fields: merged.fields.clone(),
+            sig: closed,
+            theorems: self.theorems,
+            assumptions: self.assumptions,
+            ledger: self.ledger,
+        })
     }
-
-    emitter.finish(&merged.fields, &assumptions)?;
-
-    Ok(CompiledFamily {
-        name: fam,
-        base: merged.base,
-        fields: merged.fields.clone(),
-        sig: closed,
-        theorems,
-        assumptions,
-        ledger,
-    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -190,7 +257,8 @@ fn check_field(
     ledger: &mut CheckLedger,
     theorems: &mut HashMap<Symbol, Prop>,
     assumptions: &mut Vec<Symbol>,
-    emitter: &mut Emitter<'_>,
+    emitter: &mut EmitterState,
+    env: &mut ModuleEnv,
     odef_key: &[(Symbol, objlang::Term)],
 ) -> Result<()> {
     let fam = merged.name;
@@ -208,7 +276,7 @@ fn check_field(
             } else {
                 ledger.record_shared(unit);
             }
-            emitter.inductive(mf, ctors.len())?;
+            emitter.inductive(env, mf, ctors.len())?;
         }
         Field::Data { name, ctors } => {
             view.add_datatype(Datatype {
@@ -217,7 +285,11 @@ fn check_field(
                 extensible: false,
             })?;
             record(ledger, mf, unit);
-            emitter.plain_module(mf, &[Item::inductive(name.as_str(), "non-extensible data")])?;
+            emitter.plain_module(
+                env,
+                mf,
+                &[Item::inductive(name.as_str(), "non-extensible data")],
+            )?;
         }
         Field::Predicate {
             name,
@@ -237,7 +309,7 @@ fn check_field(
                 view.add_hint_pred(name.as_str());
             }
             record(ledger, mf, unit);
-            emitter.inductive(mf, rules.len())?;
+            emitter.inductive(env, mf, rules.len())?;
         }
         Field::Recursion {
             name,
@@ -284,7 +356,7 @@ fn check_field(
                 )?;
             }
             record(ledger, mf, unit);
-            emitter.recursion(mf, cases.len())?;
+            emitter.recursion(env, mf, cases.len())?;
         }
         Field::Definition { alias, overridable } => {
             // Check the body.
@@ -303,14 +375,18 @@ fn check_field(
             )?;
             view.add_fn(FnDef::Alias(alias.clone()))?;
             record(ledger, mf, unit);
-            emitter.plain_module(mf, &[Item::definition(mf.name.as_str(), "transparent def")])?;
+            emitter.plain_module(
+                env,
+                mf,
+                &[Item::definition(mf.name.as_str(), "transparent def")],
+            )?;
         }
         Field::PropDefinition { def } => {
             let vars: HashMap<Symbol, objlang::Sort> = def.params.iter().cloned().collect();
             view.check_prop(&vars, &def.body)?;
             view.add_propdef(def.clone())?;
             record(ledger, mf, unit);
-            emitter.plain_module(mf, &[Item::definition(mf.name.as_str(), "prop def")])?;
+            emitter.plain_module(env, mf, &[Item::definition(mf.name.as_str(), "prop def")])?;
         }
         Field::AbstractFn { name, params, ret } => {
             view.add_fn(FnDef::Abstract {
@@ -320,7 +396,7 @@ fn check_field(
             })?;
             assumptions.push(*name);
             record(ledger, mf, unit);
-            emitter.axiom_module(mf, "abstract function parameter")?;
+            emitter.axiom_module(env, mf, "abstract function parameter")?;
         }
         Field::Parameter {
             name,
@@ -335,7 +411,7 @@ fn check_field(
             assumptions.push(*name);
             theorems.insert(*name, statement.clone());
             record(ledger, mf, unit);
-            emitter.axiom_module(mf, "parameter (axiom until overridden)")?;
+            emitter.axiom_module(env, mf, "parameter (axiom until overridden)")?;
         }
         Field::Theorem {
             name,
@@ -410,7 +486,7 @@ fn check_field(
                 view.add_hint(name.as_str());
             }
             theorems.insert(*name, statement.clone());
-            emitter.theorem(mf, matches!(proof, ProofSpec::Admitted))?;
+            emitter.theorem(env, mf, matches!(proof, ProofSpec::Admitted))?;
         }
         Field::Induction {
             name,
@@ -473,7 +549,7 @@ fn check_field(
                 view.add_hint(name.as_str());
             }
             theorems.insert(*name, thm.prop().clone());
-            emitter.induction(mf, shared_cases, checked_cases)?;
+            emitter.induction(env, mf, shared_cases, checked_cases)?;
         }
         Field::DataInduction {
             name,
@@ -535,7 +611,7 @@ fn check_field(
                 view.add_hint(name.as_str());
             }
             theorems.insert(*name, thm.prop().clone());
-            emitter.induction(mf, 0, cases.len())?;
+            emitter.induction(env, mf, 0, cases.len())?;
         }
         // Extension markers never survive the merge.
         Field::InductiveExt { .. }
@@ -563,19 +639,21 @@ fn record(ledger: &mut CheckLedger, mf: &MergedField, unit: &str) {
 }
 
 /// Emits the Figures 4–5 module structure for a family, field by field.
-struct Emitter<'e> {
+///
+/// Owned state only (no borrow of the module environment): the target
+/// [`ModuleEnv`] is passed into each method, so the emitter can sit inside
+/// a [`FieldElab`] whose env lives in a scheduling slot between steps.
+struct EmitterState {
     fam: Symbol,
-    env: &'e mut ModuleEnv,
     prev_ctx: Option<String>,
     prev_mod: Option<String>,
     includes_for_aggregate: Vec<String>,
 }
 
-impl<'e> Emitter<'e> {
-    fn new(fam: Symbol, env: &'e mut ModuleEnv) -> Emitter<'e> {
-        Emitter {
+impl EmitterState {
+    fn new(fam: Symbol) -> EmitterState {
+        EmitterState {
             fam,
-            env,
             prev_ctx: None,
             prev_mod: None,
             includes_for_aggregate: Vec::new(),
@@ -604,6 +682,7 @@ impl<'e> Emitter<'e> {
     /// `Include STLC◦tm(self)`).
     fn field_module(
         &mut self,
+        env: &mut ModuleEnv,
         mf: &MergedField,
         items: Vec<Item>,
         as_module_type: bool,
@@ -613,7 +692,7 @@ impl<'e> Emitter<'e> {
         if !mf.changed {
             // Inherited unchanged: reuse the origin family's compiled
             // modules without rechecking.
-            self.env.record_shared(&name);
+            env.record_shared(&name);
             self.prev_ctx = Some(ctx);
             self.prev_mod = Some(name.clone());
             self.includes_for_aggregate.push(name);
@@ -626,38 +705,35 @@ impl<'e> Emitter<'e> {
         if let Some(p) = &self.prev_mod {
             ctx_entries.push(ModEntry::Include(p.clone()));
         }
-        self.env
-            .add_module_type(ModuleType {
-                name: ctx.clone(),
-                self_ctx: None,
-                entries: ctx_entries,
-            })
-            .map_err(|e| Error::new(e.to_string()))?;
+        env.add_module_type(ModuleType {
+            name: ctx.clone(),
+            self_ctx: None,
+            entries: ctx_entries,
+        })
+        .map_err(|e| Error::new(e.to_string()))?;
         let mut entries = Vec::new();
         if let Some(prev_fam) = mf.inherited_from {
             let prior = format!("{prev_fam}◦{}", mf.name);
-            if self.env.module_type(&prior).is_some() || self.env.module(&prior).is_some() {
+            if env.module_type(&prior).is_some() || env.module(&prior).is_some() {
                 entries.push(ModEntry::Include(prior.clone()));
-                self.env.record_shared(&prior);
+                env.record_shared(&prior);
             }
         }
         entries.extend(items.into_iter().map(ModEntry::Declare));
         if as_module_type {
-            self.env
-                .add_module_type(ModuleType {
-                    name: name.clone(),
-                    self_ctx: Some(ctx.clone()),
-                    entries,
-                })
-                .map_err(|e| Error::new(e.to_string()))?;
+            env.add_module_type(ModuleType {
+                name: name.clone(),
+                self_ctx: Some(ctx.clone()),
+                entries,
+            })
+            .map_err(|e| Error::new(e.to_string()))?;
         } else {
-            self.env
-                .add_module(Module {
-                    name: name.clone(),
-                    self_ctx: Some(ctx.clone()),
-                    entries,
-                })
-                .map_err(|e| Error::new(e.to_string()))?;
+            env.add_module(Module {
+                name: name.clone(),
+                self_ctx: Some(ctx.clone()),
+                entries,
+            })
+            .map_err(|e| Error::new(e.to_string()))?;
         }
         self.prev_ctx = Some(ctx);
         self.prev_mod = Some(name.clone());
@@ -665,7 +741,7 @@ impl<'e> Emitter<'e> {
         Ok(())
     }
 
-    fn inductive(&mut self, mf: &MergedField, n_members: usize) -> Result<()> {
+    fn inductive(&mut self, env: &mut ModuleEnv, mf: &MergedField, n_members: usize) -> Result<()> {
         let items = vec![
             Item::axiom(mf.name.as_str(), "Set (late bound)"),
             Item::axiom(
@@ -673,10 +749,10 @@ impl<'e> Emitter<'e> {
                 &format!("partial recursor over {n_members} constructors"),
             ),
         ];
-        self.field_module(mf, items, true)
+        self.field_module(env, mf, items, true)
     }
 
-    fn recursion(&mut self, mf: &MergedField, n_cases: usize) -> Result<()> {
+    fn recursion(&mut self, env: &mut ModuleEnv, mf: &MergedField, n_cases: usize) -> Result<()> {
         let items = vec![
             Item::axiom(
                 mf.name.as_str(),
@@ -684,37 +760,53 @@ impl<'e> Emitter<'e> {
             ),
             Item::axiom(&format!("{}_eqs", mf.name), "computation equations"),
         ];
-        self.field_module(mf, items, true)
+        self.field_module(env, mf, items, true)
     }
 
-    fn induction(&mut self, mf: &MergedField, shared: usize, checked: usize) -> Result<()> {
+    fn induction(
+        &mut self,
+        env: &mut ModuleEnv,
+        mf: &MergedField,
+        shared: usize,
+        checked: usize,
+    ) -> Result<()> {
         let items = vec![Item::axiom(
             mf.name.as_str(),
             &format!("late-bound induction ({shared} cases reused, {checked} checked)"),
         )];
-        self.field_module(mf, items, true)
+        self.field_module(env, mf, items, true)
     }
 
-    fn theorem(&mut self, mf: &MergedField, admitted: bool) -> Result<()> {
+    fn theorem(&mut self, env: &mut ModuleEnv, mf: &MergedField, admitted: bool) -> Result<()> {
         if admitted {
-            self.axiom_module(mf, "Admitted")
+            self.axiom_module(env, mf, "Admitted")
         } else {
-            self.field_module(mf, vec![Item::opaque(mf.name.as_str(), "Qed")], false)
+            self.field_module(env, mf, vec![Item::opaque(mf.name.as_str(), "Qed")], false)
         }
     }
 
-    fn plain_module(&mut self, mf: &MergedField, items: &[Item]) -> Result<()> {
-        self.field_module(mf, items.to_vec(), false)
+    fn plain_module(
+        &mut self,
+        env: &mut ModuleEnv,
+        mf: &MergedField,
+        items: &[Item],
+    ) -> Result<()> {
+        self.field_module(env, mf, items.to_vec(), false)
     }
 
-    fn axiom_module(&mut self, mf: &MergedField, descr: &str) -> Result<()> {
-        self.field_module(mf, vec![Item::axiom(mf.name.as_str(), descr)], true)
+    fn axiom_module(&mut self, env: &mut ModuleEnv, mf: &MergedField, descr: &str) -> Result<()> {
+        self.field_module(env, mf, vec![Item::axiom(mf.name.as_str(), descr)], true)
     }
 
     /// Emits the aggregate module (`Module STLC. … End STLC.`), discharging
     /// every axiom except those of `Parameter`/`Admitted` fields; then runs
     /// the `Print Assumptions` audit.
-    fn finish(self, fields: &[MergedField], assumptions: &[Symbol]) -> Result<()> {
+    fn finish(
+        self,
+        env: &mut ModuleEnv,
+        fields: &[MergedField],
+        assumptions: &[Symbol],
+    ) -> Result<()> {
         let agg_name = self.fam.as_str().to_string();
         let mut entries = Vec::new();
         let mut discharge: Vec<Item> = Vec::new();
@@ -728,7 +820,7 @@ impl<'e> Emitter<'e> {
             }
             // Discharge the names this field declared as axioms.
             let modname = self.mod_name(mf);
-            if let Ok(items) = self.env.flatten(&modname) {
+            if let Ok(items) = env.flatten(&modname) {
                 for it in items {
                     if it.kind == modsys::ItemKind::Axiom {
                         discharge.push(Item::definition(&it.name, "instantiated at End"));
@@ -737,15 +829,13 @@ impl<'e> Emitter<'e> {
             }
         }
         entries.extend(discharge.into_iter().map(ModEntry::Declare));
-        self.env
-            .add_module(Module {
-                name: agg_name.clone(),
-                self_ctx: None,
-                entries,
-            })
-            .map_err(|e| Error::new(e.to_string()))?;
-        let lingering = self
-            .env
+        env.add_module(Module {
+            name: agg_name.clone(),
+            self_ctx: None,
+            entries,
+        })
+        .map_err(|e| Error::new(e.to_string()))?;
+        let lingering = env
             .print_assumptions(&agg_name)
             .map_err(|e| Error::new(e.to_string()))?;
         for l in &lingering {

@@ -64,13 +64,15 @@ pub mod family;
 pub mod merge;
 pub mod parse;
 pub mod report;
+pub mod sched;
 pub mod session;
 pub mod stable;
 pub mod universe;
 
 pub use elab::CompiledFamily;
 pub use family::{FamilyDef, Field, ProofSpec};
-pub use session::{CacheTxn, ExportEntry, Session, SessionStats, StatsSnapshot};
+pub use sched::TaskDag;
+pub use session::{CacheTxn, ExportEntry, Session, SessionStats, StatsSnapshot, TxnParts};
 pub use universe::FamilyUniverse;
 
 // Concurrency audit: compiled families cross thread boundaries in the

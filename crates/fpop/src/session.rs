@@ -24,10 +24,26 @@
 //! store but buffers its own inserts, committing them atomically on
 //! success. Sequentially this reproduces the old in-place behavior
 //! (commit-per-elaboration, nothing retained from failed elaborations);
-//! in the parallel lattice build it gives wave-snapshot semantics — every
-//! worker of a wave sees exactly the proofs discharged by earlier waves,
+//! in the parallel lattice build it gives snapshot semantics — every
+//! variant sees exactly the proofs discharged by its DAG ancestors,
 //! independent of sibling scheduling, which is what makes the parallel
 //! build's ledgers deterministic and equal to the sequential build's.
+//!
+//! Two refinements serve the task-DAG parallel build:
+//!
+//! * **The shared store is sharded.** Instead of one `RwLock<ProofCache>`
+//!   (a serialization point every worker contended on), the session holds
+//!   N independently locked shards routed by the entry's FNV-64 bucket
+//!   key (`key % N`). Sharding is *observably invisible*: bucket keys,
+//!   okeys, export order and snapshot bytes are identical for any shard
+//!   count — the golden-key regression tests pin this.
+//! * **Transactions can carry a read set.** [`Session::begin_with_reads`]
+//!   opens a transaction that additionally consults a list of committed
+//!   overlay *fragments* (`Arc<ProofCache>`) — the uncommitted results of
+//!   exactly the DAG ancestors of a variant. A worker therefore sees its
+//!   ancestors' proofs before any global commit happens, and nothing
+//!   from concurrently scheduled non-ancestors, so hit/miss accounting
+//!   is a function of the DAG alone, not of scheduling.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -178,14 +194,17 @@ impl ProofCache {
         self.theorems.is_empty() && self.cases.is_empty()
     }
 
-    fn lookup_theorem(
+    /// Theorem lookup with the bucket key precomputed (the key doubles
+    /// as the shard selector, so hot paths compute it exactly once per
+    /// transaction lookup).
+    fn lookup_theorem_keyed(
         &self,
+        h: u64,
         statement: &Prop,
         script: &[Tactic],
         cw_key: &Option<Vec<(Symbol, Vec<Symbol>)>>,
         okey: u64,
     ) -> bool {
-        let h = theorem_key(statement, script, okey);
         self.theorems.get(&h).is_some_and(|v| {
             v.iter().any(|e| {
                 e.okey == okey
@@ -203,10 +222,21 @@ impl ProofCache {
         cw_key: Option<Vec<(Symbol, Vec<Symbol>)>>,
         okey: u64,
     ) {
-        if self.lookup_theorem(&statement, &script, &cw_key, okey) {
+        let h = theorem_key(&statement, &script, okey);
+        self.insert_theorem_keyed(h, statement, script, cw_key, okey);
+    }
+
+    fn insert_theorem_keyed(
+        &mut self,
+        h: u64,
+        statement: Prop,
+        script: Vec<Tactic>,
+        cw_key: Option<Vec<(Symbol, Vec<Symbol>)>>,
+        okey: u64,
+    ) {
+        if self.lookup_theorem_keyed(h, &statement, &script, &cw_key, okey) {
             return;
         }
-        let h = theorem_key(&statement, &script, okey);
         self.theorems.entry(h).or_default().push(TheoremEntry {
             statement,
             script,
@@ -215,8 +245,14 @@ impl ProofCache {
         });
     }
 
-    fn lookup_case(&self, seq: &Sequent, script: &[Tactic], okey: u64) -> Option<ProvedSequent> {
-        let h = case_key(seq, script, okey);
+    /// Case lookup with the bucket key precomputed.
+    fn lookup_case_keyed(
+        &self,
+        h: u64,
+        seq: &Sequent,
+        script: &[Tactic],
+        okey: u64,
+    ) -> Option<ProvedSequent> {
         self.cases.get(&h).and_then(|v| {
             v.iter()
                 .find(|e| e.okey == okey && e.sequent == *seq && e.script == script)
@@ -225,10 +261,21 @@ impl ProofCache {
     }
 
     fn insert_case(&mut self, seq: Sequent, script: Vec<Tactic>, proof: ProvedSequent, okey: u64) {
-        if self.lookup_case(&seq, &script, okey).is_some() {
+        let h = case_key(&seq, &script, okey);
+        self.insert_case_keyed(h, seq, script, proof, okey);
+    }
+
+    fn insert_case_keyed(
+        &mut self,
+        h: u64,
+        seq: Sequent,
+        script: Vec<Tactic>,
+        proof: ProvedSequent,
+        okey: u64,
+    ) {
+        if self.lookup_case_keyed(h, &seq, &script, okey).is_some() {
             return;
         }
-        let h = case_key(&seq, &script, okey);
         self.cases.entry(h).or_default().push(CaseEntry {
             sequent: seq,
             script,
@@ -237,14 +284,13 @@ impl ProofCache {
         });
     }
 
-    /// Materializes every cached proof as a portable [`ExportEntry`]
-    /// (deterministic order: theorems then cases, each sorted by a
-    /// process-stable rendering of its *full* content — statement or
-    /// sequent, script, closed-world key, okey — so the order is total
-    /// on entry content and exports of equal stores are byte-identical
-    /// after encoding).
-    fn export_entries(&self) -> Vec<ExportEntry> {
-        let mut out: Vec<ExportEntry> = Vec::with_capacity(self.len());
+    /// Appends every cached proof to `out` as portable [`ExportEntry`]
+    /// records, in arbitrary order; callers sort with
+    /// [`sort_export_entries`]. Split from the sort so the sharded
+    /// session can gather from all shards and order the union *globally*
+    /// — which is what keeps exports byte-identical across shard counts.
+    fn collect_entries(&self, out: &mut Vec<ExportEntry>) {
+        out.reserve(self.len());
         for v in self.theorems.values() {
             for e in v {
                 out.push(ExportEntry::Theorem {
@@ -264,31 +310,6 @@ impl ProofCache {
                 });
             }
         }
-        // The key must be *total on entry content* (not a hash of part of
-        // it): two distinct entries tying on the key would keep HashMap
-        // iteration order, which varies across processes and would break
-        // the byte-identical-export guarantee. Debug renderings are
-        // process-stable here — `Symbol`'s Debug prints the interned
-        // string, never the id — and injective on the payload, so the
-        // (tag, okey, rendering) triple orders every distinct entry.
-        out.sort_by_cached_key(|e| match e {
-            ExportEntry::Theorem {
-                statement,
-                script,
-                closed_world_key,
-                okey,
-            } => (
-                0u8,
-                *okey,
-                format!("{statement:?} {script:?} {closed_world_key:?}"),
-            ),
-            ExportEntry::Case {
-                sequent,
-                script,
-                okey,
-            } => (1u8, *okey, format!("{sequent:?} {script:?}")),
-        });
-        out
     }
 
     /// Inserts one imported entry, re-bucketing under this process's
@@ -313,6 +334,37 @@ impl ProofCache {
             }
         }
     }
+}
+
+/// Sorts exported entries into the canonical total order: theorems then
+/// cases, each ordered by okey and a process-stable rendering of the
+/// *full* payload.
+///
+/// The key must be *total on entry content* (not a hash of part of it):
+/// two distinct entries tying on the key would keep HashMap iteration
+/// order, which varies across processes and would break the
+/// byte-identical-export guarantee. Debug renderings are process-stable
+/// here — `Symbol`'s Debug prints the interned string, never the id — and
+/// injective on the payload, so the (tag, okey, rendering) triple orders
+/// every distinct entry.
+fn sort_export_entries(out: &mut [ExportEntry]) {
+    out.sort_by_cached_key(|e| match e {
+        ExportEntry::Theorem {
+            statement,
+            script,
+            closed_world_key,
+            okey,
+        } => (
+            0u8,
+            *okey,
+            format!("{statement:?} {script:?} {closed_world_key:?}"),
+        ),
+        ExportEntry::Case {
+            sequent,
+            script,
+            okey,
+        } => (1u8, *okey, format!("{sequent:?} {script:?}")),
+    });
 }
 
 /// Bucket-wise, idempotent merge of `overlay` into `into`, preserving the
@@ -452,12 +504,33 @@ impl StatsSnapshot {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Default, Debug)]
+#[derive(Debug)]
 pub struct Session {
-    cache: RwLock<ProofCache>,
+    /// The shared store, sharded by bucket key (`key % shards.len()`).
+    /// Entry lookups and commits touch exactly one shard's lock, so
+    /// DAG-parallel workers only contend when their keys collide mod N.
+    shards: Box<[RwLock<ProofCache>]>,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
+}
+
+/// Default shard count: comfortably above any realistic worker count, so
+/// the probability of two workers contending on one shard stays low,
+/// while keeping whole-store operations (export, snapshot) cheap.
+const DEFAULT_SHARDS: usize = 16;
+
+impl Default for Session {
+    fn default() -> Session {
+        Session {
+            shards: (0..DEFAULT_SHARDS)
+                .map(|_| RwLock::new(ProofCache::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
 }
 
 impl Session {
@@ -466,12 +539,45 @@ impl Session {
         Arc::new(Session::default())
     }
 
+    /// A fresh session with an explicit shard count (clamped to ≥ 1).
+    /// Exists for the sharding-invisibility regression tests — every
+    /// observable behavior must be identical for any shard count.
+    pub fn with_shards(n: usize) -> Arc<Session> {
+        Arc::new(Session {
+            shards: (0..n.max(1))
+                .map(|_| RwLock::new(ProofCache::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of shards in the shared store.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard responsible for bucket key `h`.
+    fn shard(&self, h: u64) -> &RwLock<ProofCache> {
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
     /// Opens a transaction: reads see the shared store as of now (plus the
     /// transaction's own inserts); writes are buffered until
     /// [`CacheTxn::commit`].
     pub fn begin(self: &Arc<Session>) -> CacheTxn {
+        self.begin_with_reads(Vec::new())
+    }
+
+    /// Opens a transaction that additionally consults `reads` — committed
+    /// overlay fragments of this transaction's DAG ancestors (see the
+    /// module docs). Lookup order: own overlay, then the fragments in
+    /// order, then the shared store.
+    pub fn begin_with_reads(self: &Arc<Session>, reads: Vec<Arc<ProofCache>>) -> CacheTxn {
         CacheTxn {
             session: Arc::clone(self),
+            reads,
             overlay: ProofCache::new(),
             hits: 0,
             misses: 0,
@@ -489,31 +595,43 @@ impl Session {
 
     /// Number of proofs currently in the shared store.
     pub fn cached_proofs(&self) -> usize {
-        self.cache.read().expect("session cache poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("session cache poisoned").len())
+            .sum()
     }
 
     /// One coherent snapshot of counters *and* store size (the counters
-    /// and the store are read under the store's read lock, so the values
+    /// are read while holding read locks on *every* shard, so the values
     /// are mutually consistent with respect to committed transactions).
     pub fn snapshot_stats(&self) -> StatsSnapshot {
-        let cache = self.cache.read().expect("session cache poisoned");
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.read().expect("session cache poisoned"))
+            .collect();
         StatsSnapshot {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
-            cached_proofs: cache.len() as u64,
+            cached_proofs: guards.iter().map(|g| g.len() as u64).sum(),
         }
     }
 
     /// Exports every cached proof as portable [`ExportEntry`] records (the
     /// logical snapshot; the engine's binary codec frames and checksums
-    /// them on disk). Deterministically ordered, so equal stores export
-    /// equal sequences.
+    /// them on disk). Deterministically ordered — the union of all shards
+    /// is sorted globally — so equal stores export equal sequences
+    /// regardless of shard count.
     pub fn export(&self) -> Vec<ExportEntry> {
-        self.cache
-            .read()
-            .expect("session cache poisoned")
-            .export_entries()
+        let mut out = Vec::new();
+        for s in self.shards.iter() {
+            s.read()
+                .expect("session cache poisoned")
+                .collect_entries(&mut out);
+        }
+        sort_export_entries(&mut out);
+        out
     }
 
     /// Imports previously exported entries into the shared store,
@@ -526,23 +644,99 @@ impl Session {
     /// warm-restart acceptance test pins `misses == 0 && inserts == 0`
     /// after a fully warm rebuild.
     pub fn import(&self, entries: impl IntoIterator<Item = ExportEntry>) -> usize {
-        let mut cache = self.cache.write().expect("session cache poisoned");
-        let before = cache.len();
+        // Group by shard so each shard's lock is taken once.
+        let mut groups: Vec<Vec<ExportEntry>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
         for e in entries {
-            cache.import_entry(e);
+            let h = match &e {
+                ExportEntry::Theorem {
+                    statement,
+                    script,
+                    okey,
+                    ..
+                } => theorem_key(statement, script, *okey),
+                ExportEntry::Case {
+                    sequent,
+                    script,
+                    okey,
+                } => case_key(sequent, script, *okey),
+            };
+            groups[(h % self.shards.len() as u64) as usize].push(e);
         }
-        cache.len() - before
+        let mut admitted = 0usize;
+        for (i, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut cache = self.shards[i].write().expect("session cache poisoned");
+            let before = cache.len();
+            for e in group {
+                cache.import_entry(e);
+            }
+            admitted += cache.len() - before;
+        }
+        admitted
+    }
+
+    /// Merges an overlay into the sharded store; returns the number of
+    /// entries actually inserted. The overlay's buckets are partitioned
+    /// by shard index first, so each shard's write lock is taken at most
+    /// once per commit.
+    fn merge_overlay(&self, overlay: ProofCache) -> u64 {
+        let n = self.shards.len() as u64;
+        let mut parts: Vec<Option<ProofCache>> = (0..self.shards.len()).map(|_| None).collect();
+        for (h, v) in overlay.theorems {
+            parts[(h % n) as usize]
+                .get_or_insert_with(ProofCache::new)
+                .theorems
+                .insert(h, v);
+        }
+        for (h, v) in overlay.cases {
+            parts[(h % n) as usize]
+                .get_or_insert_with(ProofCache::new)
+                .cases
+                .insert(h, v);
+        }
+        let mut inserted = 0u64;
+        for (i, part) in parts.into_iter().enumerate() {
+            if let Some(part) = part {
+                let mut shard = self.shards[i].write().expect("session cache poisoned");
+                inserted += merge_buckets(&mut shard, part);
+            }
+        }
+        inserted
+    }
+
+    /// Publishes a transaction's outcome to the session counters.
+    fn publish(&self, inserted: u64, hits: u64, misses: u64) {
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        self.inserts.fetch_add(inserted, Ordering::Relaxed);
+    }
+
+    /// Commits the detached parts of a transaction (see
+    /// [`CacheTxn::into_parts`]): merges a copy of the overlay into the
+    /// shared store and publishes the hit/miss tallies. The DAG-parallel
+    /// lattice build calls this once per variant, in canonical order,
+    /// after the whole schedule has run. Returns the number of entries
+    /// actually inserted (duplicates skipped).
+    pub fn commit_parts(&self, parts: &TxnParts) -> u64 {
+        let inserted = self.merge_overlay((*parts.overlay).clone());
+        self.publish(inserted, parts.hits, parts.misses);
+        inserted
     }
 }
 
 /// A buffered view of a [`Session`] used by one elaboration (equivalently:
 /// one parallel-lattice worker). Lookups consult the transaction's own
-/// overlay first, then the shared store; inserts stay in the overlay until
-/// [`CacheTxn::commit`]. Dropping the transaction without committing
-/// discards its inserts (e.g. on elaboration failure).
+/// overlay first, then the ancestor fragments it was opened with
+/// ([`Session::begin_with_reads`]), then the shared store; inserts stay in
+/// the overlay until [`CacheTxn::commit`]. Dropping the transaction
+/// without committing discards its inserts (e.g. on elaboration failure).
 #[derive(Debug)]
 pub struct CacheTxn {
     session: Arc<Session>,
+    reads: Vec<Arc<ProofCache>>,
     overlay: ProofCache,
     hits: u64,
     misses: u64,
@@ -557,10 +751,22 @@ impl CacheTxn {
         cw_key: &Option<Vec<(Symbol, Vec<Symbol>)>>,
         okey: u64,
     ) -> bool {
-        let hit = self.overlay.lookup_theorem(statement, script, cw_key, okey) || {
-            let shared = self.session.cache.read().expect("session cache poisoned");
-            shared.lookup_theorem(statement, script, cw_key, okey)
-        };
+        let h = theorem_key(statement, script, okey);
+        let hit = self
+            .overlay
+            .lookup_theorem_keyed(h, statement, script, cw_key, okey)
+            || self
+                .reads
+                .iter()
+                .any(|f| f.lookup_theorem_keyed(h, statement, script, cw_key, okey))
+            || {
+                let shard = self
+                    .session
+                    .shard(h)
+                    .read()
+                    .expect("session cache poisoned");
+                shard.lookup_theorem_keyed(h, statement, script, cw_key, okey)
+            };
         self.tally(hit);
         hit
     }
@@ -583,10 +789,23 @@ impl CacheTxn {
         script: &[Tactic],
         okey: u64,
     ) -> Option<ProvedSequent> {
-        let found = self.overlay.lookup_case(seq, script, okey).or_else(|| {
-            let shared = self.session.cache.read().expect("session cache poisoned");
-            shared.lookup_case(seq, script, okey)
-        });
+        let h = case_key(seq, script, okey);
+        let found = self
+            .overlay
+            .lookup_case_keyed(h, seq, script, okey)
+            .or_else(|| {
+                self.reads
+                    .iter()
+                    .find_map(|f| f.lookup_case_keyed(h, seq, script, okey))
+            })
+            .or_else(|| {
+                let shard = self
+                    .session
+                    .shard(h)
+                    .read()
+                    .expect("session cache poisoned");
+                shard.lookup_case_keyed(h, seq, script, okey)
+            });
         self.tally(found.is_some());
         found
     }
@@ -620,17 +839,51 @@ impl CacheTxn {
     pub fn commit(self) {
         let CacheTxn {
             session,
+            reads: _,
             overlay,
             hits,
             misses,
         } = self;
-        let inserted = {
-            let mut shared = session.cache.write().expect("session cache poisoned");
-            merge_buckets(&mut shared, overlay)
-        };
-        session.hits.fetch_add(hits, Ordering::Relaxed);
-        session.misses.fetch_add(misses, Ordering::Relaxed);
-        session.inserts.fetch_add(inserted, Ordering::Relaxed);
+        let inserted = session.merge_overlay(overlay);
+        session.publish(inserted, hits, misses);
+    }
+
+    /// Detaches the transaction's outcome *without* committing: the
+    /// overlay becomes a shareable fragment (readable by descendant
+    /// transactions via [`Session::begin_with_reads`]) and the hit/miss
+    /// tallies ride along for a later, canonical-order
+    /// [`Session::commit_parts`]. This is how the DAG-parallel lattice
+    /// build makes ancestor proofs visible to in-flight descendants while
+    /// deferring every store mutation to a deterministic commit phase.
+    pub fn into_parts(self) -> TxnParts {
+        TxnParts {
+            overlay: Arc::new(self.overlay),
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+}
+
+/// The detached outcome of an uncommitted [`CacheTxn`]: the overlay as a
+/// shareable fragment plus the hit/miss tallies. Produced by
+/// [`CacheTxn::into_parts`], consumed by [`Session::commit_parts`].
+#[derive(Clone, Debug)]
+pub struct TxnParts {
+    overlay: Arc<ProofCache>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TxnParts {
+    /// The overlay fragment — hand clones of this `Arc` to descendant
+    /// transactions via [`Session::begin_with_reads`].
+    pub fn overlay(&self) -> &Arc<ProofCache> {
+        &self.overlay
+    }
+
+    /// Hits/misses recorded by the originating transaction.
+    pub fn local_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 }
 
@@ -642,6 +895,7 @@ const _: () = {
     assert_send_sync::<ProofCache>();
     assert_send_sync::<SessionStats>();
     assert_send_sync::<CacheTxn>();
+    assert_send_sync::<TxnParts>();
 };
 
 #[cfg(test)]
@@ -902,5 +1156,105 @@ mod tests {
         assert_eq!(case_key(&seq, &script, 0), 0x740111fbcfe1317b);
         assert_eq!(script_digest(&script), 0x2697e2ce99e3918c);
         assert_eq!(sequent_digest(&seq), 0xc0d6c096960ee190);
+    }
+
+    #[test]
+    fn fragment_reads_see_ancestor_overlays_before_commit() {
+        let s = Session::new();
+        let mut ancestor = s.begin();
+        ancestor.insert_theorem(p(30), vec![], None, 0);
+        let parts = ancestor.into_parts();
+        // A transaction opened WITH the ancestor's fragment hits …
+        let mut child = s.begin_with_reads(vec![Arc::clone(parts.overlay())]);
+        assert!(child.lookup_theorem(&p(30), &[], &None, 0));
+        // … while a sibling without the fragment misses (nothing is in
+        // the shared store yet — the ancestor never committed).
+        let mut stranger = s.begin();
+        assert!(!stranger.lookup_theorem(&p(30), &[], &None, 0));
+        assert_eq!(s.cached_proofs(), 0);
+        // Deferred canonical-order commit publishes the proof and the
+        // tallies exactly once.
+        assert_eq!(s.commit_parts(&parts), 1);
+        assert_eq!(s.cached_proofs(), 1);
+        let mut later = s.begin();
+        assert!(later.lookup_theorem(&p(30), &[], &None, 0));
+        later.commit();
+        child.commit();
+        stranger.commit();
+        assert_eq!(s.stats().cache_inserts, 1);
+    }
+
+    #[test]
+    fn commit_parts_equals_direct_commit() {
+        let seed = |s: &Arc<Session>| {
+            let mut t = s.begin();
+            for i in 0..8 {
+                t.insert_theorem(p(40 + i), vec![Tactic::Reflexivity], None, i);
+                assert!(t.lookup_theorem(&p(40 + i), &[Tactic::Reflexivity], &None, i));
+            }
+            t
+        };
+        let direct = Session::new();
+        seed(&direct).commit();
+        let deferred = Session::new();
+        let parts = seed(&deferred).into_parts();
+        deferred.commit_parts(&parts);
+        assert_eq!(direct.export(), deferred.export());
+        assert_eq!(direct.stats(), deferred.stats());
+        assert_eq!(direct.cached_proofs(), deferred.cached_proofs());
+    }
+
+    #[test]
+    fn shard_count_is_observably_invisible() {
+        // Sharding the store must not change a single observable: okeys,
+        // lookup outcomes, counters, export order. (The engine snapshot
+        // encodes `export()` output verbatim, so equal exports mean
+        // byte-identical FPOPSNAP files.)
+        let build = |shards: usize| {
+            let s = Session::with_shards(shards);
+            let mut t = s.begin();
+            for i in 0..64 {
+                t.insert_theorem(p(i), vec![Tactic::Reflexivity], None, i % 3);
+                let seq = Sequent::closed(p(i));
+                t.insert_case(
+                    seq.clone(),
+                    vec![Tactic::Reflexivity],
+                    ProvedSequent::assume_checked(seq),
+                    i % 3,
+                );
+            }
+            t.commit();
+            let mut t2 = s.begin();
+            assert!(t2.lookup_theorem(&p(0), &[Tactic::Reflexivity], &None, 0));
+            assert!(!t2.lookup_theorem(&p(0), &[Tactic::Reflexivity], &None, 9));
+            t2.commit();
+            (s.export(), s.stats(), s.cached_proofs())
+        };
+        let (e1, st1, n1) = build(1);
+        for shards in [2, 3, 16, 64] {
+            let (e, st, n) = build(shards);
+            assert_eq!(e1, e, "{shards}-shard export differs from unsharded");
+            assert_eq!(st1, st);
+            assert_eq!(n1, n);
+        }
+    }
+
+    #[test]
+    fn import_routes_across_shards_identically() {
+        let s = Session::with_shards(7);
+        let mut t = s.begin();
+        for i in 0..32 {
+            t.insert_theorem(p(i), vec![], None, i);
+        }
+        t.commit();
+        let entries = s.export();
+        let uni = Session::with_shards(1);
+        let many = Session::with_shards(13);
+        assert_eq!(uni.import(entries.clone()), entries.len());
+        assert_eq!(many.import(entries.clone()), entries.len());
+        assert_eq!(uni.export(), many.export());
+        // Idempotent on both.
+        assert_eq!(uni.import(entries.clone()), 0);
+        assert_eq!(many.import(entries), 0);
     }
 }

@@ -76,12 +76,32 @@ impl FamilyUniverse {
     /// this is the half of `define` that parallel builders run on worker
     /// threads before elaborating into a detached environment.
     fn resolve(&self, def: &FamilyDef) -> Result<crate::merge::MergedFamily> {
-        if self.families.contains_key(&def.name) {
+        self.resolve_with(def, &HashMap::new())
+    }
+
+    /// [`Self::resolve`] with an overlay of *planned* (merged but not yet
+    /// elaborated) families. Bases and mixins are looked up first in the
+    /// overlay, then in the compiled universe — so an entire lattice can
+    /// be resolved up front, before any variant elaborates (the task-DAG
+    /// build needs every merge to derive dependency edges).
+    fn resolve_with(
+        &self,
+        def: &FamilyDef,
+        planned: &HashMap<Symbol, crate::merge::MergedFamily>,
+    ) -> Result<crate::merge::MergedFamily> {
+        if self.families.contains_key(&def.name) || planned.contains_key(&def.name) {
             return Err(Error::new(format!(
                 "family {} is already defined",
                 def.name
             )));
         }
+        // Shape of a prior family, wherever it lives: (base, fields).
+        let shape_of = |name: Symbol| -> Option<(Option<Symbol>, &[MergedField])> {
+            if let Some(p) = planned.get(&name) {
+                return Some((p.base, &p.fields));
+            }
+            self.families.get(&name).map(|c| (c.base, &c.fields[..]))
+        };
         let base_fields: Vec<MergedField> = match def.extends {
             None => {
                 if !def.mixins.is_empty() {
@@ -89,30 +109,48 @@ impl FamilyUniverse {
                 }
                 Vec::new()
             }
-            Some(base) => self
-                .families
-                .get(&base)
+            Some(base) => shape_of(base)
                 .ok_or_else(|| Error::new(format!("unknown base family {base}")))?
-                .fields
-                .clone(),
+                .1
+                .to_vec(),
         };
         let mut mixin_deltas = Vec::new();
         for m in &def.mixins {
-            let mixin = self
-                .families
-                .get(m)
-                .ok_or_else(|| Error::new(format!("unknown mixin family {m}")))?;
-            if mixin.base != def.extends {
+            let (mixin_base, mixin_fields) =
+                shape_of(*m).ok_or_else(|| Error::new(format!("unknown mixin family {m}")))?;
+            if mixin_base != def.extends {
                 return Err(Error::new(format!(
-                    "mixin {m} extends {:?}, not the composite's base {:?}",
-                    mixin.base, def.extends
+                    "mixin {m} extends {mixin_base:?}, not the composite's base {:?}",
+                    def.extends
                 )));
             }
-            let delta = delta_of(&base_fields, &mixin.fields)
+            let delta = delta_of(&base_fields, mixin_fields)
                 .map_err(|e| e.with_context(format!("delta of mixin {m}")))?;
             mixin_deltas.push((*m, delta));
         }
         merge(def, &base_fields, &mixin_deltas)
+    }
+
+    /// Resolves a whole batch of definitions up front, each against this
+    /// universe plus the *earlier entries of the batch* — without
+    /// elaborating anything. The returned merges are in input order. This
+    /// is step one of the task-DAG lattice build: with every variant
+    /// merged, the scheduler can derive field-level dependency edges
+    /// before any proof runs.
+    pub fn plan<'a>(
+        &self,
+        defs: impl IntoIterator<Item = &'a FamilyDef>,
+    ) -> Result<Vec<crate::merge::MergedFamily>> {
+        let mut planned: HashMap<Symbol, crate::merge::MergedFamily> = HashMap::new();
+        let mut out = Vec::new();
+        for def in defs {
+            let merged = self
+                .resolve_with(def, &planned)
+                .map_err(|e| e.with_context(format!("planning family {}", def.name)))?;
+            planned.insert(def.name, merged.clone());
+            out.push(merged);
+        }
+        Ok(out)
     }
 
     /// Defines (elaborates and checks) a family. Equivalent to executing

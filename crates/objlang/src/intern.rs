@@ -27,7 +27,12 @@
 //! *lock-free* — two acquire loads into an append-only segmented table
 //! whose slots are published exactly once. Interning an already-known
 //! node takes only a *read* lock on the dedup map; first-time interning
-//! takes the write lock, re-checks, and publishes. Entries are leaked and
+//! takes the write lock, re-checks, and publishes. The dedup maps are
+//! **sharded by content digest** (the digest is computed before any lock
+//! is taken — it is cached metadata anyway), so first-time interning on
+//! one shard never contends with interning or re-interning on another;
+//! ids come from a single atomic allocator, so handles stay dense and
+//! 4-byte. Entries are leaked and
 //! live for the process lifetime, which is what makes the `&'static`
 //! handles sound and ids safe to embed in long-lived cache keys: an id
 //! can never be reused or point at freed memory. The arena is *not* part
@@ -38,6 +43,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::Deref;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{OnceLock, RwLock};
 
 use crate::ident::Symbol;
@@ -110,8 +116,10 @@ impl<T> SegTable<T> {
         segment[off].get().expect("entry read before publication")
     }
 
-    /// Publishes `v` at `id`. Called only under the intern write lock,
-    /// once per id, in id order.
+    /// Publishes `v` at `id` — exactly once per id, from whichever shard
+    /// write lock allocated it. Ids arrive out of order across shards;
+    /// `get_or_init` on the segment and the per-slot `OnceLock` make
+    /// out-of-order publication safe.
     fn publish(&self, id: usize, v: &'static T) {
         let (seg, off) = Self::locate(id);
         let cap = FIRST_SEGMENT << seg;
@@ -121,6 +129,19 @@ impl<T> SegTable<T> {
             panic!("arena slot published twice");
         }
     }
+}
+
+/// Number of dedup-map shards per interner (power of two). The shard is
+/// selected by content digest, so the same content always lands on the
+/// same shard in every process; the *ids* an entry gets may differ run to
+/// run under concurrency, which is exactly the status quo — nothing
+/// persistent keys on raw interner ids.
+const INTERN_SHARDS: usize = 16;
+
+/// Maps a content digest to its dedup shard.
+#[inline]
+fn shard_index(digest: u64) -> usize {
+    ((digest ^ (digest >> 32)) as usize) & (INTERN_SHARDS - 1)
 }
 
 /// Shared empty free-variable summary.
@@ -165,19 +186,17 @@ struct ListEntry {
 
 static LISTS: SegTable<ListEntry> = SegTable::new();
 
-struct ListInterner {
-    map: HashMap<&'static [Term], u32>,
-    len: u32,
-}
+/// Next free term-list id. Allocated with `fetch_add` *inside* a shard's
+/// write lock (after the dedup re-check), so each distinct content gets
+/// exactly one id; ids are dense but not in digest order.
+static LIST_LEN: AtomicU32 = AtomicU32::new(0);
 
-fn list_interner() -> &'static RwLock<ListInterner> {
-    static INT: OnceLock<RwLock<ListInterner>> = OnceLock::new();
-    INT.get_or_init(|| {
-        RwLock::new(ListInterner {
-            map: HashMap::new(),
-            len: 0,
-        })
-    })
+/// One digest-selected slice of a sharded dedup map.
+type DedupShards<K> = [RwLock<HashMap<K, u32>>; INTERN_SHARDS];
+
+fn list_shards() -> &'static DedupShards<&'static [Term]> {
+    static S: OnceLock<DedupShards<&'static [Term]>> = OnceLock::new();
+    S.get_or_init(|| std::array::from_fn(|_| RwLock::new(HashMap::new())))
 }
 
 /// An interned, immutable `[Term]` — the argument vector of every
@@ -205,17 +224,8 @@ impl TermList {
     /// Interns `terms`, returning the canonical handle for that exact
     /// element sequence.
     pub fn intern(terms: &[Term]) -> TermList {
-        // Fast path: already interned — shared read lock only.
-        if let Some(&id) = list_interner()
-            .read()
-            .expect("list interner poisoned")
-            .map
-            .get(terms)
-        {
-            return TermList(id);
-        }
-        // Compute metadata outside the exclusive section (children are
-        // already interned, so these reads are lock-free and O(terms)).
+        // Digest first: children are already interned, so this is a
+        // lock-free O(terms) fold — and it doubles as the shard key.
         let digest = {
             let mut h = fnv_step(FNV_OFFSET, terms.len() as u64);
             for t in terms {
@@ -223,6 +233,12 @@ impl TermList {
             }
             h
         };
+        let shard = &list_shards()[shard_index(digest)];
+        // Fast path: already interned — shared read lock on one shard.
+        if let Some(&id) = shard.read().expect("list interner poisoned").get(terms) {
+            return TermList(id);
+        }
+        // Compute the rest of the metadata outside the exclusive section.
         let size = terms.iter().map(|t| t.size() as u64).sum();
         let mut vars = Vec::new();
         for t in terms {
@@ -230,8 +246,8 @@ impl TermList {
         }
         let free = leak_free(vars);
 
-        let mut int = list_interner().write().expect("list interner poisoned");
-        if let Some(&id) = int.map.get(terms) {
+        let mut map = shard.write().expect("list interner poisoned");
+        if let Some(&id) = map.get(terms) {
             return TermList(id);
         }
         let leaked: &'static [Term] = Box::leak(terms.to_vec().into_boxed_slice());
@@ -241,10 +257,10 @@ impl TermList {
             size,
             free,
         }));
-        let id = int.len;
+        let id = LIST_LEN.fetch_add(1, Ordering::Relaxed);
+        assert!(id != u32::MAX, "term-list arena full");
         LISTS.publish(id as usize, entry);
-        int.len = int.len.checked_add(1).expect("term-list arena full");
-        int.map.insert(leaked, id);
+        map.insert(leaked, id);
         TermList(id)
     }
 
@@ -293,7 +309,7 @@ impl TermList {
     /// Number of distinct lists interned so far (diagnostic; used by the
     /// concurrency stress test to verify dedup under contention).
     pub fn interned_count() -> usize {
-        list_interner().read().expect("list interner poisoned").len as usize
+        LIST_LEN.load(Ordering::Relaxed) as usize
     }
 }
 
@@ -375,19 +391,12 @@ struct PropEntry {
 
 static PROPS: SegTable<PropEntry> = SegTable::new();
 
-struct PropInterner {
-    map: HashMap<Prop, u32>,
-    len: u32,
-}
+/// Next free prop id (see [`LIST_LEN`] for the allocation discipline).
+static PROP_LEN: AtomicU32 = AtomicU32::new(0);
 
-fn prop_interner() -> &'static RwLock<PropInterner> {
-    static INT: OnceLock<RwLock<PropInterner>> = OnceLock::new();
-    INT.get_or_init(|| {
-        RwLock::new(PropInterner {
-            map: HashMap::new(),
-            len: 0,
-        })
-    })
+fn prop_shards() -> &'static DedupShards<Prop> {
+    static S: OnceLock<DedupShards<Prop>> = OnceLock::new();
+    S.get_or_init(|| std::array::from_fn(|_| RwLock::new(HashMap::new())))
 }
 
 /// An interned sub-proposition — the recursive position of every
@@ -403,22 +412,20 @@ pub struct PropRef(u32);
 impl PropRef {
     /// Interns `p`, returning the canonical handle for that proposition.
     pub fn intern(p: Prop) -> PropRef {
-        if let Some(&id) = prop_interner()
-            .read()
-            .expect("prop interner poisoned")
-            .map
-            .get(&p)
-        {
+        // Digest doubles as the shard key (children already interned, so
+        // this is a lock-free shallow fold).
+        let digest = p.digest();
+        let shard = &prop_shards()[shard_index(digest)];
+        if let Some(&id) = shard.read().expect("prop interner poisoned").get(&p) {
             return PropRef(id);
         }
-        let digest = p.digest();
         let size = p.size() as u64;
         let mut vars = Vec::new();
         p.free_vars_into(&mut vars);
         let free = leak_free(vars);
 
-        let mut int = prop_interner().write().expect("prop interner poisoned");
-        if let Some(&id) = int.map.get(&p) {
+        let mut map = shard.write().expect("prop interner poisoned");
+        if let Some(&id) = map.get(&p) {
             return PropRef(id);
         }
         let entry: &'static PropEntry = Box::leak(Box::new(PropEntry {
@@ -427,10 +434,10 @@ impl PropRef {
             size,
             free,
         }));
-        let id = int.len;
+        let id = PROP_LEN.fetch_add(1, Ordering::Relaxed);
+        assert!(id != u32::MAX, "prop arena full");
         PROPS.publish(id as usize, entry);
-        int.len = int.len.checked_add(1).expect("prop arena full");
-        int.map.insert(p, id);
+        map.insert(p, id);
         PropRef(id)
     }
 
@@ -465,7 +472,7 @@ impl PropRef {
 
     /// Number of distinct propositions interned so far (diagnostic).
     pub fn interned_count() -> usize {
-        prop_interner().read().expect("prop interner poisoned").len as usize
+        PROP_LEN.load(Ordering::Relaxed) as usize
     }
 }
 
