@@ -31,6 +31,11 @@ pub struct BenchResult {
     /// divided by this result's median (>1 ⇒ faster than sequential).
     /// `None` for workloads without a sequential counterpart.
     pub speedup_vs_seq: Option<f64>,
+    /// For VM-served evaluation workloads: median time of the
+    /// tree-walking interpreter baseline divided by this result's median
+    /// (>1 ⇒ the bytecode path is faster). `None` for workloads without
+    /// an interpreter counterpart.
+    pub speedup_vs_interp: Option<f64>,
 }
 
 impl BenchResult {
@@ -126,6 +131,26 @@ impl Bencher {
         }
     }
 
+    /// Stamps `name`'s `speedup_vs_interp` as `baseline`'s median over
+    /// its own (the VM-vs-interpreter analogue of [`Self::mark_speedup`];
+    /// bench-smoke CI reads the field to catch VM-path regressions).
+    pub fn mark_speedup_vs_interp(&mut self, name: &str, baseline: &str) {
+        let base_ns = self
+            .results
+            .iter()
+            .find(|r| r.name == baseline)
+            .unwrap_or_else(|| panic!("interp baseline {baseline:?} has not run"))
+            .median_ns;
+        let r = self
+            .results
+            .iter_mut()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("speedup target {name:?} has not run"));
+        if r.median_ns > 0.0 {
+            r.speedup_vs_interp = Some(base_ns / r.median_ns);
+        }
+    }
+
     fn push(&mut self, name: &str, batch: u64, samples: u64, median_ns: f64, items: f64) {
         let r = BenchResult {
             name: name.to_string(),
@@ -134,6 +159,7 @@ impl Bencher {
             median_ns,
             items_per_iter: items,
             speedup_vs_seq: None,
+            speedup_vs_interp: None,
         };
         eprintln!(
             "{:<44} {:>14.0} ns/iter {:>14.1} items/s  ({} x {})",
@@ -157,10 +183,13 @@ impl Bencher {
         ));
         s.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
-            let speedup = match r.speedup_vs_seq {
+            let mut speedup = match r.speedup_vs_seq {
                 Some(x) => format!(", \"speedup_vs_seq\": {x:.3}"),
                 None => String::new(),
             };
+            if let Some(x) = r.speedup_vs_interp {
+                speedup.push_str(&format!(", \"speedup_vs_interp\": {x:.3}"));
+            }
             s.push_str(&format!(
                 "    {{\"name\": {}, \"median_ns\": {:.1}, \"throughput_per_s\": {:.3}, \
                  \"samples\": {}, \"batch\": {}, \"items_per_iter\": {}{}}}{}\n",

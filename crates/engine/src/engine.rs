@@ -299,6 +299,10 @@ struct Shared {
     /// Registry of every theorem any request has elaborated, keyed by
     /// `(family, field)`, holding the qualified statement display.
     theorems: Mutex<HashMap<(String, String), String>>,
+    /// Registry of every family signature any request has elaborated,
+    /// keyed by family name: the evaluation surface `Eval` requests run
+    /// against. `Arc`ed so `execute` drops the lock before evaluating.
+    sigs: Mutex<HashMap<String, Arc<objlang::sig::Signature>>>,
     /// Cumulative ledger absorbed over every request this engine served.
     ledger: Mutex<CheckLedger>,
     /// Slow-elaboration log: top-N served requests by service time among
@@ -327,10 +331,12 @@ impl Shared {
     fn absorb_universe(&self, u: &FamilyUniverse) -> CheckLedger {
         let mut combined = CheckLedger::new();
         let mut theorems = self.theorems.lock().expect("theorem registry poisoned");
+        let mut sigs = self.sigs.lock().expect("signature registry poisoned");
         for name in u.names() {
             let fam_name = name.as_str().to_string();
             if let Some(fam) = u.family(&fam_name) {
                 combined.absorb(&fam.ledger);
+                sigs.insert(fam_name.clone(), Arc::new(fam.sig.clone()));
                 for field in fam.theorems.keys() {
                     let field_name = field.as_str().to_string();
                     if let Ok(stmt) = u.check(&fam_name, &field_name) {
@@ -339,6 +345,7 @@ impl Shared {
                 }
             }
         }
+        drop(sigs);
         drop(theorems);
         self.ledger
             .lock()
@@ -392,6 +399,40 @@ impl Shared {
                     family,
                     field,
                     statement,
+                })
+            }
+            Request::Eval { family, term } => {
+                let sig = self
+                    .sigs
+                    .lock()
+                    .expect("signature registry poisoned")
+                    .get(&family)
+                    .cloned()
+                    .ok_or_else(|| {
+                        EngineError::Failed(format!(
+                            "no family {family} registered (build it first)"
+                        ))
+                    })?;
+                let t = crate::term_parse::parse_term(&term, &sig)
+                    .map_err(|e| EngineError::Failed(format!("parse error in term: {e}")))?;
+                // Same budget as `objlang::eval::eval_default`. The call
+                // serves compilable graphs from the session's compiled
+                // code cache — warmed when the family was defined, and
+                // shared across every family that closed the same
+                // definitions (content-addressed by digest).
+                const FUEL: u64 = 1_000_000;
+                let mut fuel = FUEL;
+                let value =
+                    objlang::eval::eval_with_cache(&sig, &t, &mut fuel, self.session.code_cache())
+                        .map_err(|e| EngineError::Failed(e.to_string()))?;
+                let rendered = match objlang::eval::nat_value(&value) {
+                    Some(n) => n.to_string(),
+                    None => value.to_string(),
+                };
+                Ok(Response::Eval {
+                    family,
+                    value: rendered,
+                    fuel_used: FUEL - fuel,
                 })
             }
             Request::Stats => Ok(Response::Stats {
@@ -560,6 +601,31 @@ impl Shared {
             "fpop_session_cached_proofs",
             "proofs resident in the shared store right now",
             s.cached_proofs as i64,
+        );
+        let code = self.session.code_cache().stats();
+        render_counter(
+            &mut out,
+            "fpop_session_code_cache_hits_total",
+            "compiled-code lookups answered from the session cache",
+            code.hits,
+        );
+        render_counter(
+            &mut out,
+            "fpop_session_code_cache_misses_total",
+            "compiled-code lookups that missed the session cache",
+            code.misses,
+        );
+        render_counter(
+            &mut out,
+            "fpop_session_code_compiled_total",
+            "call-graph closures compiled into the session cache",
+            code.compiled,
+        );
+        render_counter(
+            &mut out,
+            "fpop_session_code_rejected_total",
+            "closures judged not compilable (cached negative verdicts)",
+            code.rejected,
         );
         out.push_str(&trace::registry().render());
         out
@@ -731,6 +797,7 @@ impl Engine {
             inflight: Mutex::new(HashMap::new()),
             metrics: Metrics::default(),
             theorems: Mutex::new(HashMap::new()),
+            sigs: Mutex::new(HashMap::new()),
             ledger: Mutex::new(CheckLedger::new()),
             slow: Mutex::new(Vec::new()),
             slow_threshold: config.slow_threshold,

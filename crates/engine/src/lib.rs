@@ -26,6 +26,10 @@
 //!   a cold cache.
 //! * [`proto`] — a line-based text protocol over the library API, served
 //!   by the `fpopd` binary on a std-only `TcpListener`.
+//! * [`term_parse`] — the closed-term surface grammar of the protocol's
+//!   `eval` request, which evaluates terms under a registered family's
+//!   signature via the session's digest-keyed compiled-code cache (the
+//!   objlang bytecode VM), interpreter fallback included.
 //!
 //! ## Warm restart, the headline property
 //!
@@ -56,6 +60,7 @@ pub mod proto;
 pub mod queue;
 pub mod request;
 pub mod snapshot;
+pub mod term_parse;
 
 pub use engine::{Engine, EngineConfig, EngineMetrics, SlowEntry, Ticket};
 pub use queue::{PrioQueue, PushError};

@@ -8,6 +8,7 @@
 //! --> [high |low ]check <escaped-source>
 //! --> [high |low ]lattice full|extended|Fix,Prod,...
 //! --> [high |low ]theorem <family> <field>
+//! --> [high |low ]eval <family> <escaped-term>
 //! --> [high |low ]stats
 //! --> [high |low ]metrics
 //! --> slowlog
@@ -145,9 +146,22 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 _ => Err("theorem: want `theorem <family> <field>`".into()),
             }
         }
+        "eval" => match args.split_once(' ') {
+            Some((family, term)) if !term.trim().is_empty() => {
+                let term = unescape(term.trim())?;
+                Ok(Command::Submit(
+                    Request::Eval {
+                        family: family.to_string(),
+                        term,
+                    },
+                    priority,
+                ))
+            }
+            _ => Err("eval: want `eval <family> <term>` (e.g. `eval NatAdd add(2,3)`)".into()),
+        },
         "" => Err("empty command".into()),
         other => Err(format!(
-            "unknown command {other:?} (want check, lattice, theorem, stats, metrics, slowlog, checkpoint, ping, shutdown)"
+            "unknown command {other:?} (want check, lattice, theorem, eval, stats, metrics, slowlog, checkpoint, ping, shutdown)"
         )),
     }
 }
@@ -183,6 +197,11 @@ pub fn render_response(resp: &Response) -> String {
             field,
             statement,
         } => format!("{family}.{field}: {statement}"),
+        Response::Eval {
+            family,
+            value,
+            fuel_used,
+        } => format!("{family} |- {value} [fuel {fuel_used}]"),
         Response::Stats { session, engine } => format!(
             "session: hits={} misses={} inserts={} cached={} | engine: submitted={} completed={} failed={} expired={} cancelled={} dedup={} rejected={} depth={}",
             session.hits,
@@ -382,6 +401,16 @@ mod tests {
                 Priority::Normal
             )
         );
+        assert_eq!(
+            parse_command("high eval NatAdd add(succ(zero), 3)").unwrap(),
+            Command::Submit(
+                Request::Eval {
+                    family: "NatAdd".into(),
+                    term: "add(succ(zero), 3)".into()
+                },
+                Priority::High
+            )
+        );
     }
 
     #[test]
@@ -392,6 +421,19 @@ mod tests {
         assert!(parse_command("lattice Fix,Nope").is_err());
         assert!(parse_command("theorem STLC").is_err());
         assert!(parse_command("check bad\\q").is_err());
+        assert!(parse_command("eval").is_err());
+        assert!(parse_command("eval NatAdd").is_err());
+        assert!(parse_command("eval NatAdd bad\\q").is_err());
+    }
+
+    #[test]
+    fn renders_eval_response() {
+        let line = render_response(&Response::Eval {
+            family: "NatAdd".into(),
+            value: "5".into(),
+            fuel_used: 42,
+        });
+        assert_eq!(line, "NatAdd |- 5 [fuel 42]");
     }
 
     #[test]

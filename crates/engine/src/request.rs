@@ -65,6 +65,18 @@ pub enum Request {
         /// Theorem field name (e.g. `typesafe`).
         field: String,
     },
+    /// Evaluate a closed term under a named family's signature (the
+    /// "program extraction" serving path): the term is parsed against
+    /// the family registered by an earlier `CheckSource`/`BuildLattice`,
+    /// then run by `objlang::eval` — which serves compilable call graphs
+    /// from the session's digest-keyed compiled-code cache (the bytecode
+    /// VM), falling back to the tree-walking interpreter otherwise.
+    Eval {
+        /// Family whose signature the term is evaluated under.
+        family: String,
+        /// The term, in the `crate::term_parse` surface grammar.
+        term: String,
+    },
     /// Report session statistics and engine metrics.
     Stats,
     /// Render the engine's full metric surface as Prometheus-style
@@ -109,6 +121,11 @@ impl Request {
                     h.write_u8(f.canonical_index() as u8);
                 }
             }
+            Request::Eval { family, term } => {
+                h.write_u8(2);
+                h.write_str(family);
+                h.write_str(term);
+            }
             Request::QueryTheorem { .. } | Request::Stats | Request::Metrics => return None,
         }
         Some(h.finish())
@@ -120,6 +137,7 @@ impl Request {
             Request::CheckSource { .. } => "check",
             Request::BuildLattice { .. } => "lattice",
             Request::QueryTheorem { .. } => "theorem",
+            Request::Eval { .. } => "eval",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
         }
@@ -138,6 +156,7 @@ impl Request {
                 format!("lattice[{}]", names.join("+"))
             }
             Request::QueryTheorem { family, field } => format!("theorem {family}.{field}"),
+            Request::Eval { family, term } => format!("eval {family} ({}B)", term.len()),
             Request::Stats => "stats".to_string(),
             Request::Metrics => "metrics".to_string(),
         }
@@ -173,6 +192,18 @@ pub enum Response {
         field: String,
         /// The registered qualified statement.
         statement: String,
+    },
+    /// `Eval` output.
+    Eval {
+        /// Family evaluated under.
+        family: String,
+        /// The resulting value: a `nat` numeral is rendered as a decimal
+        /// (mirroring the request grammar's numeral sugar), anything else
+        /// in `Term` display syntax.
+        value: String,
+        /// Fuel consumed out of the per-request budget (one unit per
+        /// interpreter step; the VM charges identically).
+        fuel_used: u64,
     },
     /// `Stats` output.
     Stats {
@@ -269,6 +300,21 @@ mod tests {
             field: "typesafe".into(),
         };
         assert_eq!(q.dedup_key(), None);
+    }
+
+    #[test]
+    fn eval_keys_differ_by_family_and_term() {
+        let key = |family: &str, term: &str| {
+            Request::Eval {
+                family: family.into(),
+                term: term.into(),
+            }
+            .dedup_key()
+        };
+        assert!(key("Nat", "add(1,2)").is_some());
+        assert_eq!(key("Nat", "add(1,2)"), key("Nat", "add(1,2)"));
+        assert_ne!(key("Nat", "add(1,2)"), key("Nat", "add(2,1)"));
+        assert_ne!(key("Nat", "add(1,2)"), key("NatMul", "add(1,2)"));
     }
 
     #[test]

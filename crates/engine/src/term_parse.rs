@@ -1,0 +1,265 @@
+//! A tiny closed-term parser for the protocol's `eval` request.
+//!
+//! The engine evaluates terms against a *named family's* signature, so
+//! the grammar stays deliberately small — just enough to write values
+//! and applications on one protocol line:
+//!
+//! ```text
+//! term := NUMBER               (nat numeral sugar: 3 = succ(succ(succ(zero))))
+//!       | "ident"              (identifier literal, as Term::Lit)
+//!       | ident                (nullary constructor or function)
+//!       | ident(term, ...)     (constructor or function application)
+//! ```
+//!
+//! An applied identifier resolves **function-first** against the target
+//! signature (a family may not shadow a constructor with a function, so
+//! the order only matters for symbols the signature doesn't know — those
+//! are rejected). Terms must be closed: there is no variable form, which
+//! is exactly the evaluator's own precondition.
+
+use objlang::eval::nat_lit;
+use objlang::ident::Symbol;
+use objlang::sig::Signature;
+use objlang::syntax::Term;
+
+/// One lexical token of the term grammar.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Number(u64),
+    Lit(String),
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                toks.push(Tok::RParen);
+            }
+            ',' => {
+                chars.next();
+                toks.push(Tok::Comma);
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(c) => s.push(c),
+                        None => return Err("unterminated string literal".into()),
+                    }
+                }
+                toks.push(Tok::Lit(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(u64::from(d)))
+                        .ok_or("numeral overflows u64")?;
+                    chars.next();
+                }
+                toks.push(Tok::Number(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '\'' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(s));
+            }
+            other => return Err(format!("unexpected character {other:?} in term")),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<Tok>,
+    pos: usize,
+    sig: &'a Signature,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn term(&mut self) -> Result<Term, String> {
+        match self.next() {
+            Some(Tok::Number(n)) => Ok(nat_lit(n)),
+            Some(Tok::Lit(s)) => Ok(Term::lit(&s)),
+            Some(Tok::Ident(name)) => {
+                let mut args = Vec::new();
+                if self.peek() == Some(&Tok::LParen) {
+                    self.next();
+                    if self.peek() == Some(&Tok::RParen) {
+                        self.next();
+                    } else {
+                        loop {
+                            args.push(self.term()?);
+                            match self.next() {
+                                Some(Tok::Comma) => continue,
+                                Some(Tok::RParen) => break,
+                                Some(t) => return Err(format!("expected `,` or `)`, found {t:?}")),
+                                None => return Err("unclosed `(` in term".into()),
+                            }
+                        }
+                    }
+                }
+                let sym = Symbol::new(&name);
+                if self.sig.function(sym).is_some() {
+                    Ok(Term::Fn(sym, args.into()))
+                } else if self.sig.ctor(sym).is_some() {
+                    Ok(Term::Ctor(sym, args.into()))
+                } else {
+                    Err(format!(
+                        "unknown identifier {name} (neither a function nor a constructor of this family)"
+                    ))
+                }
+            }
+            Some(t) => Err(format!("expected a term, found {t:?}")),
+            None => Err("expected a term, found end of input".into()),
+        }
+    }
+}
+
+/// Parses one closed term against `sig`. See the module docs for the
+/// grammar.
+///
+/// # Errors
+///
+/// A human-readable message describing the first lexical, syntactic, or
+/// resolution failure.
+pub fn parse_term(src: &str, sig: &Signature) -> Result<Term, String> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, sig };
+    let t = p.term()?;
+    if let Some(extra) = p.peek() {
+        return Err(format!("trailing input after term: {extra:?}"));
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use objlang::eval::nat_value;
+    use objlang::ident::sym;
+    use objlang::sig::{CtorSig, Datatype, FnDef, RecCase, RecFn};
+    use objlang::syntax::Sort;
+
+    fn sig() -> Signature {
+        let mut s = Signature::new();
+        objlang::prelude::install(&mut s).unwrap();
+        s.add_fn(FnDef::Rec(RecFn {
+            name: sym("add"),
+            rec_sort: sym("nat"),
+            params: vec![(sym("m"), Sort::named("nat"))],
+            ret: Sort::named("nat"),
+            cases: vec![
+                RecCase {
+                    ctor: sym("zero"),
+                    arg_vars: vec![],
+                    body: Term::var("m"),
+                },
+                RecCase {
+                    ctor: sym("succ"),
+                    arg_vars: vec![sym("n")],
+                    body: Term::ctor(
+                        "succ",
+                        vec![Term::func("add", vec![Term::var("n"), Term::var("m")])],
+                    ),
+                },
+            ],
+        }))
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn numerals_desugar_to_nats() {
+        let s = sig();
+        assert_eq!(nat_value(&parse_term("0", &s).unwrap()), Some(0));
+        assert_eq!(nat_value(&parse_term("7", &s).unwrap()), Some(7));
+    }
+
+    #[test]
+    fn applications_resolve_function_first() {
+        let s = sig();
+        let t = parse_term("add(succ(zero), 2)", &s).unwrap();
+        assert_eq!(t, Term::func("add", vec![nat_lit(1), nat_lit(2)]));
+        assert_eq!(parse_term("zero", &s).unwrap(), Term::c0("zero"));
+        assert_eq!(parse_term("zero()", &s).unwrap(), Term::c0("zero"));
+    }
+
+    #[test]
+    fn string_literals_and_id_eqb() {
+        let s = sig();
+        let t = parse_term(r#"id_eqb("x", "y")"#, &s).unwrap();
+        assert_eq!(
+            t,
+            Term::func("id_eqb", vec![Term::lit("x"), Term::lit("y")])
+        );
+    }
+
+    #[test]
+    fn rejects_unknowns_and_malformed_input() {
+        let s = sig();
+        assert!(parse_term("mystery(1)", &s)
+            .unwrap_err()
+            .contains("unknown identifier"));
+        assert!(parse_term("add(1", &s).is_err());
+        assert!(parse_term("add(1,)", &s).is_err());
+        assert!(parse_term("1 2", &s).unwrap_err().contains("trailing"));
+        assert!(parse_term("", &s).is_err());
+        assert!(parse_term("\"open", &s).is_err());
+        assert!(parse_term("99999999999999999999999", &s).is_err());
+        assert!(parse_term("add(1) extra", &s).is_err());
+        assert!(parse_term("$", &s).is_err());
+    }
+
+    #[test]
+    fn ctors_with_args_parse() {
+        let mut s = sig();
+        s.add_datatype(Datatype {
+            name: sym("pairnat"),
+            ctors: vec![CtorSig::new(
+                "mkpair",
+                vec![Sort::named("nat"), Sort::named("nat")],
+            )],
+            extensible: false,
+        })
+        .unwrap();
+        let t = parse_term("mkpair(1, 0)", &s).unwrap();
+        assert_eq!(t, Term::ctor("mkpair", vec![nat_lit(1), nat_lit(0)]));
+    }
+}

@@ -270,3 +270,63 @@ fn tcp_protocol_end_to_end() {
     server.join().unwrap().unwrap();
     engine.shutdown().unwrap();
 }
+
+#[test]
+fn eval_serves_terms_from_the_session_code_cache() {
+    let e = Engine::start(no_snapshot(2));
+
+    // No family registered yet: eval fails cleanly.
+    let early = e.run(Request::Eval {
+        family: "NatAdd".into(),
+        term: "add(1,2)".into(),
+    });
+    match early {
+        Err(EngineError::Failed(msg)) => assert!(msg.contains("no family"), "{msg}"),
+        other => panic!("expected Failed, got {other:?}"),
+    }
+
+    // Defining the family warms the session's compiled-code cache
+    // (`add`'s whole call graph is concrete, hence compilable).
+    let src = r#"
+Family NatAdd.
+  FRecursion add on nat params (m : nat) returns nat :=
+    Case zero := m.
+    Case succ(n) := succ(add(n, m)).
+  End add.
+End NatAdd.
+"#;
+    e.run(Request::CheckSource { source: src.into() }).unwrap();
+    let warmed = e.session().code_cache().stats();
+    assert!(warmed.compiled >= 1, "{warmed:?}");
+
+    match e.run(Request::Eval {
+        family: "NatAdd".into(),
+        term: "add(succ(zero), 2)".into(),
+    }) {
+        Ok(Response::Eval {
+            family,
+            value,
+            fuel_used,
+        }) => {
+            assert_eq!(family, "NatAdd");
+            assert_eq!(value, "3", "nat results render as decimals");
+            assert!(fuel_used > 0, "eval charges fuel like the interpreter");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let after = e.session().code_cache().stats();
+    assert!(
+        after.hits > warmed.hits,
+        "eval hit the compiled cache: {after:?}"
+    );
+
+    // A malformed term is a request failure, not a panic.
+    match e.run(Request::Eval {
+        family: "NatAdd".into(),
+        term: "add(1".into(),
+    }) {
+        Err(EngineError::Failed(msg)) => assert!(msg.contains("parse error"), "{msg}"),
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    e.shutdown().unwrap();
+}

@@ -73,6 +73,30 @@ fn exposition_agrees_with_stats_snapshot() {
     assert_eq!(sample(&text, "fpop_session_cache_inserts_total"), s.inserts);
     assert_eq!(sample(&text, "fpop_session_cached_proofs"), s.cached_proofs);
 
+    // Compiled-code cache counters agree with the session's own stats
+    // (lattice families carry concrete recursions, so defining them
+    // exercised the VM compiler through the warm-up hook).
+    let code = e.session().code_cache().stats();
+    assert_eq!(
+        sample(&text, "fpop_session_code_cache_hits_total"),
+        code.hits
+    );
+    assert_eq!(
+        sample(&text, "fpop_session_code_cache_misses_total"),
+        code.misses
+    );
+    assert_eq!(
+        sample(&text, "fpop_session_code_compiled_total"),
+        code.compiled
+    );
+    assert_eq!(
+        sample(&text, "fpop_session_code_rejected_total"),
+        code.rejected
+    );
+    // The VM's global trace metrics ride along in the registry section.
+    assert!(text.contains("objlang_vm_compile_total"));
+    assert!(text.contains("objlang_vm_exec_total"));
+
     // Scheduling counters: only the lattice had completed when the
     // exposition was rendered (the Metrics request renders *during* its
     // own execution; its own `submitted` bump lands after the queue push,

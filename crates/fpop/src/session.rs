@@ -504,7 +504,6 @@ impl StatsSnapshot {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct Session {
     /// The shared store, sharded by bucket key (`key % shards.len()`).
     /// Entry lookups and commits touch exactly one shard's lock, so
@@ -513,6 +512,24 @@ pub struct Session {
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
+    /// Session-scoped compiled-code cache for the bytecode VM — a
+    /// digest-keyed shard family alongside the proof cache. Compiled
+    /// code is a *derived* artifact: it is warmed when universes on this
+    /// session close families, served by the engine's `eval` requests,
+    /// and never exported, snapshotted, or imported (`FPOPSNAP` and the
+    /// okeys are unaffected).
+    code: objlang::vm::CodeCache,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("shards", &self.shards.len())
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .field("inserts", &self.inserts.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 /// Default shard count: comfortably above any realistic worker count, so
@@ -529,6 +546,7 @@ impl Default for Session {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            code: objlang::vm::CodeCache::new(),
         }
     }
 }
@@ -550,7 +568,17 @@ impl Session {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            code: objlang::vm::CodeCache::new(),
         })
+    }
+
+    /// The session-scoped compiled-code cache of the bytecode VM
+    /// ([`objlang::vm`]). Universes warm it when families close their
+    /// late-bound recursions; the engine's `eval` requests evaluate
+    /// against it via `objlang::eval::eval_with_cache`. Derived data
+    /// only — never part of exports or snapshots.
+    pub fn code_cache(&self) -> &objlang::vm::CodeCache {
+        &self.code
     }
 
     /// Number of shards in the shared store.

@@ -169,6 +169,7 @@ impl FamilyUniverse {
         let mut txn = self.session.begin();
         let compiled = elaborate(&merged, &mut txn, &mut self.modenv)?;
         txn.commit();
+        warm_code_cache(&self.session, &compiled);
         self.order.push(name);
         self.families.insert(name, compiled);
         Ok(&self.families[&name])
@@ -202,6 +203,7 @@ impl FamilyUniverse {
                 compiled.name
             )));
         }
+        warm_code_cache(&self.session, &compiled);
         self.order.push(compiled.name);
         self.families.insert(compiled.name, compiled);
         Ok(())
@@ -248,5 +250,21 @@ impl FamilyUniverse {
     /// The raw statement of a theorem in a family.
     pub fn theorem_statement(&self, family: &str, field: &str) -> Option<&Prop> {
         self.family(family)?.theorems.get(&Symbol::new(field))
+    }
+}
+
+/// Warms the session's compiled-code cache with every concrete function
+/// of a freshly compiled family. Keys are content digests of whole call
+/// graphs, so a lattice of families that close a recursion to identical
+/// definitions compiles it once and every later family is a pure cache
+/// hit — the same cross-family reuse channel as the proof cache. Open
+/// graphs (reaching a still-abstract function) get a cached negative
+/// verdict and stay on the interpreter.
+fn warm_code_cache(session: &Session, fam: &CompiledFamily) {
+    use objlang::sig::FnDef;
+    for def in fam.sig.functions() {
+        if matches!(def, FnDef::Rec(_) | FnDef::Alias(_)) {
+            objlang::vm::precompile(&fam.sig, def.name(), session.code_cache());
+        }
     }
 }

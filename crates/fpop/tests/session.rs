@@ -113,3 +113,74 @@ fn concurrent_universes_one_session_stress() {
         "duplicate inserts leaked"
     );
 }
+
+/// A family with a nat-like datatype and a concrete structural recursion
+/// — compilable by the bytecode VM, so defining it warms the session's
+/// compiled-code cache.
+fn nat_family(name: &str) -> FamilyDef {
+    use objlang::ident::sym;
+    use objlang::sig::RecCase;
+    FamilyDef::new(name)
+        // `nat` (zero/succ) comes from the prelude installed into every
+        // elaboration; the family only closes the recursion over it.
+        .recursion(
+            "add",
+            "nat",
+            vec![(sym("m"), Sort::named("nat"))],
+            Sort::named("nat"),
+            vec![
+                RecCase {
+                    ctor: sym("zero"),
+                    arg_vars: vec![],
+                    body: Term::var("m"),
+                },
+                RecCase {
+                    ctor: sym("succ"),
+                    arg_vars: vec![sym("n")],
+                    body: Term::ctor(
+                        "succ",
+                        vec![Term::func("add", vec![Term::var("n"), Term::var("m")])],
+                    ),
+                },
+            ],
+        )
+}
+
+#[test]
+fn shared_session_shares_compiled_code_across_universes() {
+    let session = Session::new();
+
+    // Defining a family with a concrete recursion compiles it into the
+    // session's code cache.
+    let mut a = FamilyUniverse::with_session(session.clone());
+    a.define(nat_family("VmA")).unwrap();
+    let after_a = session.code_cache().stats();
+    assert_eq!(after_a.compiled, 1, "{after_a:?}");
+
+    // A second universe on the same session closing `add` to the *same*
+    // definition is a pure content-addressed hit: nothing recompiles.
+    let mut b = FamilyUniverse::with_session(session.clone());
+    b.define(nat_family("VmB")).unwrap();
+    let after_b = session.code_cache().stats();
+    assert_eq!(
+        after_b.compiled, after_a.compiled,
+        "recompiled: {after_b:?}"
+    );
+    assert!(after_b.hits > after_a.hits, "{after_b:?}");
+
+    // Serving an eval from the session cache uses the compiled program
+    // and agrees with the reference interpreter, fuel included.
+    let fam = a.family("VmA").unwrap();
+    let t = Term::func(
+        "add",
+        vec![objlang::eval::nat_lit(6), objlang::eval::nat_lit(7)],
+    );
+    let mut fuel_vm = 10_000u64;
+    let v =
+        objlang::eval::eval_with_cache(&fam.sig, &t, &mut fuel_vm, session.code_cache()).unwrap();
+    assert_eq!(objlang::eval::nat_value(&v), Some(13));
+    let mut fuel_interp = 10_000u64;
+    let w = objlang::eval::eval_interp(&fam.sig, &t, &mut fuel_interp).unwrap();
+    assert_eq!(v, w);
+    assert_eq!(fuel_vm, fuel_interp, "fuel parity");
+}

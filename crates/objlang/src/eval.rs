@@ -14,12 +14,20 @@ use crate::error::{Error, Result};
 use crate::ident::Symbol;
 use crate::sig::{FnDef, Signature};
 use crate::syntax::Term;
+use crate::vm::CodeCache;
 
 /// Evaluates a closed term to a constructor-headed value.
 ///
 /// `fuel` bounds the number of function-application steps; structural
 /// recursion guarantees termination, but aliases composed with deep data
 /// can still be expensive, so a bound keeps the evaluator total.
+///
+/// Function applications whose whole call graph is compilable are served
+/// by the bytecode VM ([`crate::vm`]) through the process-global compiled
+/// code cache — observationally identical (same values, same error
+/// strings, same fuel accounting), just faster. Use [`eval_interp`] to
+/// force the tree-walking reference path, or [`eval_with_cache`] to run
+/// against a caller-owned cache (e.g. a session's).
 ///
 /// # Errors
 ///
@@ -28,6 +36,33 @@ use crate::syntax::Term;
 /// family-closed functions, which are exhaustivity-checked), or fuel
 /// exhaustion.
 pub fn eval(sig: &Signature, term: &Term, fuel: &mut u64) -> Result<Term> {
+    eval_core(sig, term, fuel, Some(crate::vm::global_cache()))
+}
+
+/// [`eval`] against a caller-owned compiled-code cache instead of the
+/// process-global one (the engine serves requests from its session's).
+pub fn eval_with_cache(
+    sig: &Signature,
+    term: &Term,
+    fuel: &mut u64,
+    cache: &CodeCache,
+) -> Result<Term> {
+    eval_core(sig, term, fuel, Some(cache))
+}
+
+/// The pure tree-walking interpreter — never dispatches to compiled
+/// code. This is the semantic reference the VM is differentially tested
+/// against, and the honest baseline for benchmarks.
+pub fn eval_interp(sig: &Signature, term: &Term, fuel: &mut u64) -> Result<Term> {
+    eval_core(sig, term, fuel, None)
+}
+
+fn eval_core(
+    sig: &Signature,
+    term: &Term,
+    fuel: &mut u64,
+    cache: Option<&CodeCache>,
+) -> Result<Term> {
     if *fuel == 0 {
         return Err(Error::new("evaluator out of fuel"));
     }
@@ -38,6 +73,21 @@ pub fn eval(sig: &Signature, term: &Term, fuel: &mut u64) -> Result<Term> {
         ))),
         Term::Lit(_) => Ok(*term),
         Term::Ctor(c, args) => {
+            // VM-dispatch fast path: a constructor whose arguments are all
+            // values (cached O(1) bit) evaluates to itself for exactly
+            // `total_size` fuel — the pre-order walk below charges 1 per
+            // node and touches nothing else. Lump-charge and skip the
+            // walk. Only on the dispatch path: `eval_interp` stays the
+            // untouched tree-walking reference.
+            if cache.is_some() && args.all_values() {
+                let s = args.total_size();
+                if *fuel < s {
+                    *fuel = 0;
+                    return Err(Error::new("evaluator out of fuel"));
+                }
+                *fuel -= s;
+                return Ok(*term);
+            }
             // Constructor applications that are already values (every
             // argument evaluates to itself) are returned as-is: with O(1)
             // handle equality this skips re-interning the argument list,
@@ -45,7 +95,7 @@ pub fn eval(sig: &Signature, term: &Term, fuel: &mut u64) -> Result<Term> {
             let mut vals = Vec::with_capacity(args.len());
             let mut changed = false;
             for a in args {
-                let v = eval(sig, a, fuel)?;
+                let v = eval_core(sig, a, fuel, cache)?;
                 changed |= v != *a;
                 vals.push(v);
             }
@@ -58,14 +108,36 @@ pub fn eval(sig: &Signature, term: &Term, fuel: &mut u64) -> Result<Term> {
         Term::Fn(f, args) => {
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
-                vals.push(eval(sig, a, fuel)?);
+                vals.push(eval_core(sig, a, fuel, cache)?);
             }
-            apply(sig, *f, vals, fuel)
+            if let Some(cc) = cache {
+                if let Some(res) = crate::vm::dispatch(sig, *f, &vals, fuel, cc) {
+                    return res;
+                }
+            }
+            apply(sig, *f, vals, fuel, cache)
         }
     }
 }
 
-fn apply(sig: &Signature, f: Symbol, vals: Vec<Term>, fuel: &mut u64) -> Result<Term> {
+/// The interpreter's `apply` from a bare (function, values, fuel) state —
+/// the VM's deopt entry point for single applications it must hand back.
+pub(crate) fn apply_interp(
+    sig: &Signature,
+    f: Symbol,
+    vals: Vec<Term>,
+    fuel: &mut u64,
+) -> Result<Term> {
+    apply(sig, f, vals, fuel, None)
+}
+
+fn apply(
+    sig: &Signature,
+    f: Symbol,
+    vals: Vec<Term>,
+    fuel: &mut u64,
+    cache: Option<&CodeCache>,
+) -> Result<Term> {
     let def = sig
         .function(f)
         .ok_or_else(|| Error::new(format!("unknown function {f}")))?;
@@ -88,7 +160,7 @@ fn apply(sig: &Signature, f: Symbol, vals: Vec<Term>, fuel: &mut u64) -> Result<
                 map.insert(*p, *v);
             }
             let body = a.body.subst(&map);
-            eval(sig, &body, fuel)
+            eval_core(sig, &body, fuel, cache)
         }
         FnDef::Rec(r) => {
             let scrutinee = vals
@@ -113,7 +185,7 @@ fn apply(sig: &Signature, f: Symbol, vals: Vec<Term>, fuel: &mut u64) -> Result<
                 map.insert(*p, *v);
             }
             let body = case.body.subst(&map);
-            eval(sig, &body, fuel)
+            eval_core(sig, &body, fuel, cache)
         }
     }
 }

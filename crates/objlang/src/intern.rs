@@ -182,6 +182,21 @@ struct ListEntry {
     size: u64,
     /// Sorted, deduplicated free variables of all elements.
     free: &'static [Symbol],
+    /// True iff every element is already a value (constructors and
+    /// literals only — no variables, no function applications). Values
+    /// evaluate to themselves for exactly `size` fuel, which is what the
+    /// evaluator's lump-sum fast path and the bytecode compiler key on.
+    values: bool,
+}
+
+/// Value-ness of one term, from the children's cached bits — O(1) for
+/// interned subtrees.
+fn term_is_value(t: &Term) -> bool {
+    match t {
+        Term::Lit(_) => true,
+        Term::Var(_) | Term::Fn(..) => false,
+        Term::Ctor(_, args) => args.all_values(),
+    }
 }
 
 static LISTS: SegTable<ListEntry> = SegTable::new();
@@ -245,6 +260,7 @@ impl TermList {
             t.free_vars_into(&mut vars);
         }
         let free = leak_free(vars);
+        let values = terms.iter().all(term_is_value);
 
         let mut map = shard.write().expect("list interner poisoned");
         if let Some(&id) = map.get(terms) {
@@ -256,6 +272,7 @@ impl TermList {
             digest,
             size,
             free,
+            values,
         }));
         let id = LIST_LEN.fetch_add(1, Ordering::Relaxed);
         assert!(id != u32::MAX, "term-list arena full");
@@ -292,6 +309,14 @@ impl TermList {
     #[inline]
     pub fn total_size(self) -> u64 {
         self.entry().size
+    }
+
+    /// True iff every element is already a value (constructor/literal
+    /// trees only) — O(1) from the cached summary. Such a list evaluates
+    /// element-wise to itself for exactly [`Self::total_size`] fuel.
+    #[inline]
+    pub fn all_values(self) -> bool {
+        self.entry().values
     }
 
     /// Cached sorted, deduplicated free variables of all elements.

@@ -21,7 +21,8 @@
 //! * **tactics as data** with a bounded `auto` search ([`tactic`]), so
 //!   proof scripts can be replayed by derived families,
 //! * an **evaluator** for closed programs — the stand-in for program
-//!   extraction ([`eval`]),
+//!   extraction ([`eval`]) — with a digest-keyed bytecode compiler and
+//!   fuel-metered stack VM behind it ([`vm`]),
 //! * a **prelude** of library types and monomorphization templates
 //!   ([`prelude`]).
 //!
@@ -66,6 +67,7 @@ pub mod proof;
 pub mod sig;
 pub mod syntax;
 pub mod tactic;
+pub mod vm;
 
 pub use error::{Error, Result};
 pub use ident::{sym, Symbol};
@@ -91,4 +93,6 @@ const _: () = {
     assert_send_sync::<Sequent>();
     assert_send_sync::<Tactic>();
     assert_send_sync::<Error>();
+    // Compiled-code caches are shared across engine workers and sessions.
+    assert_send_sync::<vm::CodeCache>();
 };

@@ -540,6 +540,12 @@ impl Signature {
             .and_then(|dt| dt.ctors.iter().find(|c| c.name == ctor))
     }
     /// Looks up a function.
+    /// All registered function definitions, in arbitrary order (used by
+    /// the VM's ahead-of-time warm-up when a family closes).
+    pub fn functions(&self) -> impl Iterator<Item = &FnDef> {
+        self.fns.values()
+    }
+
     pub fn function(&self, name: Symbol) -> Option<&FnDef> {
         self.fns.get(&name)
     }

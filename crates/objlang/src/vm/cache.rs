@@ -1,0 +1,140 @@
+//! The digest-keyed compiled-code cache.
+//!
+//! Compiled programs are keyed by the *closure digest* of the function's
+//! whole reachable call graph (see [`super::compile::analyze`]), computed
+//! from the hash-consed term digests of the interner — so the cache is
+//! content-addressed: two families that close a recursion to the same
+//! definitions share one compiled program, and any change to any reachable
+//! definition changes the key. Negative verdicts (graphs the compiler
+//! refuses) are cached too, so the interpreter fallback pays the analysis
+//! walk but never re-attempts compilation.
+//!
+//! Compiled code is a **derived artifact**: it is never persisted, never
+//! exported, and never read back from disk. Sessions snapshot proofs, not
+//! bytecode (`FPOPSNAP` and the golden okey are unaffected by anything in
+//! this module).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use super::compile::Program;
+
+/// Shard count for the cache map — mirrors the interner's and the proof
+/// cache's 16-way digest sharding.
+const SHARDS: usize = 16;
+
+/// A cached verdict for one closure digest.
+#[derive(Clone)]
+pub(crate) enum Slot {
+    /// The graph compiled; here is the program.
+    Compiled(Arc<Program>),
+    /// The graph is not compilable (abstract/unknown functions, unbound
+    /// variables, or call-arity mismatches somewhere in the closure);
+    /// every dispatch falls back to the interpreter.
+    NotCompilable,
+}
+
+/// Point-in-time counters of a [`CodeCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CodeCacheStats {
+    /// Lookups that found a cached verdict (compiled or negative).
+    pub hits: u64,
+    /// Lookups that found nothing and triggered a compilation attempt.
+    pub misses: u64,
+    /// Programs compiled and inserted.
+    pub compiled: u64,
+    /// Negative verdicts inserted (uncompilable call graphs).
+    pub rejected: u64,
+}
+
+/// A sharded, digest-keyed cache of compiled objlang programs.
+///
+/// One process-wide instance backs the transparent `eval`/`eval_default`
+/// dispatch ([`super::global_cache`]); `fpop::Session` additionally owns a
+/// session-scoped instance that the engine's `eval` requests run against,
+/// so serving workloads get cache counters with session lifetime.
+pub struct CodeCache {
+    shards: Vec<RwLock<HashMap<u64, Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compiled: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Default for CodeCache {
+    fn default() -> CodeCache {
+        CodeCache::new()
+    }
+}
+
+impl CodeCache {
+    /// An empty cache with the default 16-way sharding.
+    pub fn new() -> CodeCache {
+        CodeCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            compiled: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, Slot>> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a closure digest, counting the hit or miss.
+    pub(crate) fn lookup(&self, key: u64) -> Option<Slot> {
+        let found = self
+            .shard(key)
+            .read()
+            .expect("code cache poisoned")
+            .get(&key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a verdict. Idempotent: a racing insert keeps the first
+    /// entry (both race arms compiled identical content — the key is a
+    /// content digest).
+    pub(crate) fn insert(&self, key: u64, slot: Slot) {
+        let mut shard = self.shard(key).write().expect("code cache poisoned");
+        if shard.contains_key(&key) {
+            return;
+        }
+        match &slot {
+            Slot::Compiled(_) => self.compiled.fetch_add(1, Ordering::Relaxed),
+            Slot::NotCompilable => self.rejected.fetch_add(1, Ordering::Relaxed),
+        };
+        shard.insert(key, slot);
+    }
+
+    /// Number of cached verdicts (compiled + negative).
+    pub fn entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("code cache poisoned").len())
+            .sum()
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> CodeCacheStats {
+        CodeCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            compiled: self.compiled.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The process-wide cache backing transparent `eval` dispatch.
+pub fn global_cache() -> &'static CodeCache {
+    static GLOBAL: OnceLock<CodeCache> = OnceLock::new();
+    GLOBAL.get_or_init(CodeCache::new)
+}

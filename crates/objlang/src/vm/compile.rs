@@ -1,0 +1,358 @@
+//! Closure analysis and the bytecode compiler.
+//!
+//! A function is *compilable* when every function reachable from it
+//! through call sites is a concrete `Rec`/`Alias`/`IdEqb` definition and
+//! every variable and call arity in every reachable body resolves
+//! statically. The whole closure compiles into one flat [`Program`]; a
+//! single failure anywhere makes the entire graph `NotCompilable` and the
+//! tree-walking interpreter keeps serving it (with identical semantics,
+//! since the fallback *is* the interpreter).
+//!
+//! Fuel discipline — the compiled code must charge fuel on exactly the
+//! steps `eval.rs` charges it:
+//!
+//! * the interpreter charges 1 at **every** `eval` entry, i.e. once per
+//!   term node visited in pre-order — including full re-traversals of
+//!   already-evaluated values substituted for variables;
+//! * a term that is already a value (constructors and literals only)
+//!   therefore consumes exactly `size()` fuel and fails iff the budget is
+//!   smaller, draining it to 0 — so [`Op::Local`]/[`Op::Value`] charge a
+//!   **lump sum** of the value's cached O(1) size;
+//! * `apply` itself charges nothing, so calls and returns are free.
+
+use std::collections::HashMap;
+
+use crate::ident::Symbol;
+use crate::intern::{fnv_step, fnv_str, sym_digest, FNV_OFFSET};
+use crate::sig::{FnDef, Signature};
+use crate::syntax::{Sort, Term};
+
+/// One stack-machine instruction.
+///
+/// `Copy`, 16 bytes: operand terms are interned `Copy` handles.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Op {
+    /// Interpreter `eval`-entry charge for a node the code is about to
+    /// elaborate structurally: 1 fuel, error on empty budget.
+    Charge,
+    /// Push local slot *i* (frame-relative), lump-charging its size.
+    Local(u32),
+    /// Push a constant value (a closed, function-free body subterm),
+    /// lump-charging its size.
+    Value(Term),
+    /// Pop *n* argument values, push the interned constructor application.
+    MkCtor(Symbol, u32),
+    /// Pop *n* argument values, invoke function *i* of the program.
+    Call(u32, u32),
+    /// Pop 2 values, push the `id_eqb` builtin's answer.
+    CallIdEqb,
+}
+
+/// Compiled body of one recursion case.
+#[derive(Debug)]
+pub(crate) struct CaseCode {
+    /// Constructor this case handles.
+    pub(crate) ctor: Symbol,
+    /// Number of constructor argument variables the case binds.
+    pub(crate) n_vars: usize,
+    /// Straight-line body code; leaves exactly one value on the stack.
+    pub(crate) code: Vec<Op>,
+}
+
+/// Compiled form of one function definition.
+#[derive(Debug)]
+pub(crate) enum FnKind {
+    /// Structural recursion: dispatch on the first argument's head
+    /// constructor. Cases are in definition order, scanned linearly like
+    /// the interpreter's `find`.
+    Rec { cases: Vec<CaseCode> },
+    /// Non-recursive alias: one body.
+    Alias { code: Vec<Op> },
+    /// The `id_eqb` builtin.
+    IdEqb,
+}
+
+/// One function of a compiled program.
+#[derive(Debug)]
+pub(crate) struct FnCode {
+    /// Source-level name (for error messages — they must match the
+    /// interpreter's verbatim).
+    pub(crate) name: Symbol,
+    /// Exact argument count every call must supply (`Rec`: scrutinee +
+    /// params).
+    pub(crate) arity: usize,
+    /// The compiled definition.
+    pub(crate) kind: FnKind,
+}
+
+/// A compiled call-graph closure, entered at [`Program::entry`].
+#[derive(Debug)]
+pub(crate) struct Program {
+    /// Closure digest this program is cached under.
+    #[allow(dead_code)]
+    pub(crate) key: u64,
+    /// Every function of the closure, in name-sorted order.
+    pub(crate) fns: Vec<FnCode>,
+    /// Index of the root function in `fns`.
+    pub(crate) entry: u32,
+}
+
+/// Result of the reachability walk: the content-addressed cache key plus
+/// whether the closure admits compilation at all.
+pub(crate) struct Analysis {
+    /// FNV-64 closure digest over every reachable definition (names
+    /// sorted, bodies by their hash-consed term digests).
+    pub(crate) key: u64,
+    /// False as soon as any reachable function is abstract or unknown.
+    pub(crate) compilable: bool,
+    /// Reachable function names, sorted by name string.
+    pub(crate) defs: Vec<Symbol>,
+    /// The root the walk started from.
+    pub(crate) root: Symbol,
+}
+
+/// Collects the function heads called anywhere inside `t`.
+fn callees(t: &Term, out: &mut Vec<Symbol>) {
+    match t {
+        Term::Fn(f, args) => {
+            if !out.contains(f) {
+                out.push(*f);
+            }
+            for a in args {
+                callees(a, out);
+            }
+        }
+        Term::Ctor(_, args) => {
+            for a in args {
+                callees(a, out);
+            }
+        }
+        Term::Var(_) | Term::Lit(_) => {}
+    }
+}
+
+/// Content digest of one definition as seen by the evaluator. Composed
+/// from interned symbol/term digests, so it is process-stable, and O(1)
+/// per body thanks to the interner's cached digests.
+fn def_digest(sig: &Signature, name: Symbol) -> u64 {
+    let mut h = fnv_step(FNV_OFFSET, sym_digest(name));
+    let sorts = |h: u64, ss: &[Sort]| ss.iter().fold(h, |h, s| fnv_step(h, s.digest()));
+    match sig.function(name) {
+        None => fnv_step(h, 90),
+        Some(FnDef::IdEqb) => fnv_step(h, 91),
+        Some(FnDef::Abstract { params, ret, .. }) => {
+            h = fnv_step(h, 92);
+            h = sorts(h, params);
+            fnv_step(h, ret.digest())
+        }
+        Some(FnDef::Alias(a)) => {
+            h = fnv_step(h, 93);
+            for (p, s) in &a.params {
+                h = fnv_step(fnv_step(h, sym_digest(*p)), s.digest());
+            }
+            h = fnv_step(h, a.ret.digest());
+            fnv_step(h, a.body.digest())
+        }
+        Some(FnDef::Rec(r)) => {
+            h = fnv_step(h, 94);
+            h = fnv_step(h, sym_digest(r.rec_sort));
+            for (p, s) in &r.params {
+                h = fnv_step(fnv_step(h, sym_digest(*p)), s.digest());
+            }
+            h = fnv_step(h, r.ret.digest());
+            for c in &r.cases {
+                h = fnv_step(h, sym_digest(c.ctor));
+                for v in &c.arg_vars {
+                    h = fnv_step(h, sym_digest(*v));
+                }
+                h = fnv_step(h, c.body.digest());
+            }
+            h
+        }
+    }
+}
+
+/// Walks the call graph from `root`, computing the closure digest and the
+/// compilability verdict. Abstract and unknown functions participate in
+/// the digest (so negative verdicts are cacheable) but poison the walk.
+pub(crate) fn analyze(sig: &Signature, root: Symbol) -> Analysis {
+    let mut seen: Vec<Symbol> = Vec::new();
+    let mut work = vec![root];
+    let mut compilable = true;
+    while let Some(name) = work.pop() {
+        if seen.contains(&name) {
+            continue;
+        }
+        seen.push(name);
+        let mut called = Vec::new();
+        match sig.function(name) {
+            None | Some(FnDef::Abstract { .. }) => compilable = false,
+            Some(FnDef::IdEqb) => {}
+            Some(FnDef::Alias(a)) => callees(&a.body, &mut called),
+            Some(FnDef::Rec(r)) => {
+                for c in &r.cases {
+                    callees(&c.body, &mut called);
+                }
+            }
+        }
+        work.extend(called);
+    }
+    seen.sort_by_key(|s| s.as_str());
+    let mut key = fnv_step(FNV_OFFSET, fnv_str("objlang-vm-closure-v1"));
+    for name in &seen {
+        key = fnv_step(key, sym_digest(*name));
+        key = fnv_step(key, def_digest(sig, *name));
+    }
+    Analysis {
+        key,
+        compilable,
+        defs: seen,
+        root,
+    }
+}
+
+/// True iff `t` is already a value: constructors and literals only. Such
+/// subterms evaluate to themselves for exactly `size()` fuel. O(1) via
+/// the interner's cached per-list summary bit.
+fn is_value(t: &Term) -> bool {
+    match t {
+        Term::Lit(_) => true,
+        Term::Var(_) | Term::Fn(..) => false,
+        Term::Ctor(_, args) => args.all_values(),
+    }
+}
+
+/// Per-callee facts the body compiler needs: program index, exact arity,
+/// and whether the callee is the `id_eqb` builtin.
+struct FnFacts {
+    index: u32,
+    arity: usize,
+    id_eqb: bool,
+}
+
+/// Compiles one body against an environment of local slots. `env` lists
+/// slot names in binding order (case `arg_vars` first, then params);
+/// resolution takes the **last** match, replicating the interpreter's
+/// `HashMap` insert order where params shadow case vars and later
+/// duplicates win. Returns `None` if anything fails to resolve — the
+/// whole closure is then rejected.
+fn compile_body(
+    t: &Term,
+    env: &[Symbol],
+    fns: &HashMap<Symbol, FnFacts>,
+    code: &mut Vec<Op>,
+) -> Option<()> {
+    if is_value(t) {
+        code.push(Op::Value(*t));
+        return Some(());
+    }
+    match t {
+        // Not a value, so the variable must resolve to a local.
+        Term::Var(v) => {
+            let slot = env.iter().rposition(|s| s == v)?;
+            code.push(Op::Local(slot as u32));
+        }
+        Term::Lit(_) => unreachable!("literals are values"),
+        Term::Ctor(c, args) => {
+            code.push(Op::Charge);
+            for a in args {
+                compile_body(a, env, fns, code)?;
+            }
+            code.push(Op::MkCtor(*c, args.len() as u32));
+        }
+        Term::Fn(f, args) => {
+            code.push(Op::Charge);
+            for a in args {
+                compile_body(a, env, fns, code)?;
+            }
+            let facts = fns.get(f)?;
+            if facts.id_eqb {
+                // The interpreter indexes vals[0]/vals[1]; only the exact
+                // 2-argument shape is safe to compile.
+                if args.len() != 2 {
+                    return None;
+                }
+                code.push(Op::CallIdEqb);
+            } else {
+                if args.len() != facts.arity {
+                    return None;
+                }
+                code.push(Op::Call(facts.index, args.len() as u32));
+            }
+        }
+    }
+    Some(())
+}
+
+/// Compiles an analyzed closure into a program. Returns `None` when a
+/// body fails to compile (unbound variable, arity mismatch) even though
+/// the reachability walk was clean.
+pub(crate) fn compile(sig: &Signature, analysis: &Analysis) -> Option<Program> {
+    if !analysis.compilable {
+        return None;
+    }
+    let mut facts: HashMap<Symbol, FnFacts> = HashMap::new();
+    for (i, name) in analysis.defs.iter().enumerate() {
+        let (arity, id_eqb) = match sig.function(*name)? {
+            FnDef::Rec(r) => (1 + r.params.len(), false),
+            FnDef::Alias(a) => (a.params.len(), false),
+            FnDef::IdEqb => (2, true),
+            FnDef::Abstract { .. } => return None,
+        };
+        facts.insert(
+            *name,
+            FnFacts {
+                index: i as u32,
+                arity,
+                id_eqb,
+            },
+        );
+    }
+    let mut fns = Vec::with_capacity(analysis.defs.len());
+    for name in &analysis.defs {
+        let fc = match sig.function(*name)? {
+            FnDef::IdEqb => FnCode {
+                name: *name,
+                arity: 2,
+                kind: FnKind::IdEqb,
+            },
+            FnDef::Alias(a) => {
+                let env: Vec<Symbol> = a.params.iter().map(|(p, _)| *p).collect();
+                let mut code = Vec::new();
+                compile_body(&a.body, &env, &facts, &mut code)?;
+                FnCode {
+                    name: *name,
+                    arity: a.params.len(),
+                    kind: FnKind::Alias { code },
+                }
+            }
+            FnDef::Rec(r) => {
+                let mut cases = Vec::with_capacity(r.cases.len());
+                for c in &r.cases {
+                    let mut env: Vec<Symbol> = c.arg_vars.clone();
+                    env.extend(r.params.iter().map(|(p, _)| *p));
+                    let mut code = Vec::new();
+                    compile_body(&c.body, &env, &facts, &mut code)?;
+                    cases.push(CaseCode {
+                        ctor: c.ctor,
+                        n_vars: c.arg_vars.len(),
+                        code,
+                    });
+                }
+                FnCode {
+                    name: *name,
+                    arity: 1 + r.params.len(),
+                    kind: FnKind::Rec { cases },
+                }
+            }
+            FnDef::Abstract { .. } => return None,
+        };
+        fns.push(fc);
+    }
+    let entry = analysis.defs.iter().position(|n| *n == analysis.root)? as u32;
+    Some(Program {
+        key: analysis.key,
+        fns,
+        entry,
+    })
+}

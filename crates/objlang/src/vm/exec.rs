@@ -1,0 +1,223 @@
+//! The fuel-metered stack VM.
+//!
+//! Execution state is three flat vectors — value stack, locals, frames —
+//! so recursion depth is bounded by fuel, not by the Rust stack. Every
+//! fuel charge and every error string replicates `eval.rs` verbatim; see
+//! the module docs of [`super::compile`] for the parity argument.
+
+use crate::error::{Error, Result};
+use crate::intern::TermList;
+use crate::sig::Signature;
+use crate::syntax::Term;
+
+use super::compile::{FnKind, Op, Program};
+
+/// One activation record. `case == u32::MAX` marks an alias frame.
+#[derive(Clone, Copy)]
+struct Frame {
+    func: u32,
+    case: u32,
+    pc: u32,
+    base: u32,
+}
+
+const ALIAS: u32 = u32::MAX;
+
+fn out_of_fuel() -> Error {
+    Error::new("evaluator out of fuel")
+}
+
+/// Lump-sum charge for pushing an already-evaluated value of `size`
+/// nodes: the interpreter re-traverses the value charging 1 per node in
+/// pre-order, so it consumes `size` on success and drains the budget to
+/// exactly 0 before failing when the budget is smaller.
+fn lump(fuel: &mut u64, size: usize) -> Result<()> {
+    let s = size as u64;
+    if *fuel < s {
+        *fuel = 0;
+        return Err(out_of_fuel());
+    }
+    *fuel -= s;
+    Ok(())
+}
+
+/// The `id_eqb` builtin over the top two stack values — the interpreter's
+/// literal/literal fast path, including its exact error message.
+fn id_eqb(stack: &mut Vec<Term>) -> Result<()> {
+    let n = stack.len();
+    let (a, b) = (stack[n - 2], stack[n - 1]);
+    match (a, b) {
+        (Term::Lit(x), Term::Lit(y)) => {
+            stack.truncate(n - 2);
+            stack.push(Term::c0(if x == y { "true" } else { "false" }));
+            Ok(())
+        }
+        _ => Err(Error::new(format!(
+            "id_eqb applied to non-literals {a}, {b}"
+        ))),
+    }
+}
+
+/// Begins an application of `prog.fns[func]` to the top `argc` stack
+/// values: pushes a frame (Rec/Alias), answers inline (IdEqb), or — when
+/// a runtime constructor arity disagrees with the case's binder list, a
+/// shape only the interpreter's truncating `zip` semantics handle —
+/// delegates this single application back to the interpreter (`deopt`).
+#[allow(clippy::too_many_arguments)]
+fn enter(
+    sig: &Signature,
+    prog: &Program,
+    func: u32,
+    argc: usize,
+    stack: &mut Vec<Term>,
+    locals: &mut Vec<Term>,
+    frames: &mut Vec<Frame>,
+    fuel: &mut u64,
+    deopts: &mut u64,
+) -> Result<()> {
+    let fc = &prog.fns[func as usize];
+    debug_assert_eq!(argc, fc.arity);
+    let base = stack.len() - argc;
+    match &fc.kind {
+        FnKind::IdEqb => id_eqb(stack),
+        FnKind::Alias { .. } => {
+            let lbase = locals.len() as u32;
+            locals.extend(stack.drain(base..));
+            frames.push(Frame {
+                func,
+                case: ALIAS,
+                pc: 0,
+                base: lbase,
+            });
+            Ok(())
+        }
+        FnKind::Rec { cases } => {
+            let scrutinee = stack[base];
+            let (ctor, ctor_args) = match scrutinee {
+                Term::Ctor(c, args) => (c, args),
+                other => {
+                    return Err(Error::new(format!(
+                        "recursive function {} applied to non-constructor {other}",
+                        fc.name
+                    )))
+                }
+            };
+            let (case_idx, case) = cases
+                .iter()
+                .enumerate()
+                .find(|(_, c)| c.ctor == ctor)
+                .ok_or_else(|| {
+                    Error::new(format!(
+                        "function {} has no case for constructor {ctor}",
+                        fc.name
+                    ))
+                })?;
+            if ctor_args.len() != case.n_vars {
+                // Binder/arity mismatch at runtime: the interpreter's zip
+                // silently truncates, potentially leaving body variables
+                // unbound. Replicate by handing this application to the
+                // interpreter from the identical (args, fuel) state.
+                *deopts += 1;
+                let vals: Vec<Term> = stack.drain(base..).collect();
+                let v = crate::eval::apply_interp(sig, fc.name, vals, fuel)?;
+                stack.push(v);
+                return Ok(());
+            }
+            let lbase = locals.len() as u32;
+            locals.extend(ctor_args.iter().copied());
+            locals.extend(stack[base + 1..].iter().copied());
+            stack.truncate(base);
+            frames.push(Frame {
+                func,
+                case: case_idx as u32,
+                pc: 0,
+                base: lbase,
+            });
+            Ok(())
+        }
+    }
+}
+
+fn frame_code<'p>(prog: &'p Program, fr: &Frame) -> &'p [Op] {
+    match &prog.fns[fr.func as usize].kind {
+        FnKind::Alias { code } => code,
+        FnKind::Rec { cases } => &cases[fr.case as usize].code,
+        FnKind::IdEqb => unreachable!("builtins never own a frame"),
+    }
+}
+
+/// Applies the program's entry function to `args` — the compiled
+/// equivalent of the interpreter's `apply` (which charges no fuel of its
+/// own; all charges happen inside bodies). Returns the number of deopts
+/// alongside the value for instrumentation.
+pub(crate) fn run(
+    sig: &Signature,
+    prog: &Program,
+    args: &[Term],
+    fuel: &mut u64,
+) -> (Result<Term>, u64) {
+    let mut stack: Vec<Term> = Vec::with_capacity(args.len() + 8);
+    let mut locals: Vec<Term> = Vec::with_capacity(16);
+    let mut frames: Vec<Frame> = Vec::with_capacity(8);
+    let mut deopts = 0u64;
+    stack.extend_from_slice(args);
+    let res = (|| {
+        enter(
+            sig,
+            prog,
+            prog.entry,
+            args.len(),
+            &mut stack,
+            &mut locals,
+            &mut frames,
+            fuel,
+            &mut deopts,
+        )?;
+        while let Some(&fr) = frames.last() {
+            let code = frame_code(prog, &fr);
+            if fr.pc as usize == code.len() {
+                locals.truncate(fr.base as usize);
+                frames.pop();
+                continue;
+            }
+            frames.last_mut().expect("frame just read").pc += 1;
+            match code[fr.pc as usize] {
+                Op::Charge => {
+                    if *fuel == 0 {
+                        return Err(out_of_fuel());
+                    }
+                    *fuel -= 1;
+                }
+                Op::Local(i) => {
+                    let v = locals[fr.base as usize + i as usize];
+                    lump(fuel, v.size())?;
+                    stack.push(v);
+                }
+                Op::Value(t) => {
+                    lump(fuel, t.size())?;
+                    stack.push(t);
+                }
+                Op::MkCtor(c, n) => {
+                    let b = stack.len() - n as usize;
+                    let t = Term::Ctor(c, TermList::intern(&stack[b..]));
+                    stack.truncate(b);
+                    stack.push(t);
+                }
+                Op::CallIdEqb => id_eqb(&mut stack)?,
+                Op::Call(f, n) => enter(
+                    sig,
+                    prog,
+                    f,
+                    n as usize,
+                    &mut stack,
+                    &mut locals,
+                    &mut frames,
+                    fuel,
+                    &mut deopts,
+                )?,
+            }
+        }
+        Ok(stack.pop().expect("vm leaves one value"))
+    })();
+    (res, deopts)
+}

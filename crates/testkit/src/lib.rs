@@ -32,6 +32,10 @@
 //! * [`store_gen`] — random proof-cache stores ([`fpop::ExportEntry`]
 //!   vectors with arbitrary terms, props, tactics, and sequents) for
 //!   exercising the `FPOPSNAP` codec.
+//! * [`objfun_gen`] — random objlang definition sets (structural
+//!   recursions, aliases, abstract functions — all passing the kernel's
+//!   own `check_recfn`) and adversarial closed evaluation terms, feeding
+//!   oracle #7: the bytecode VM against the tree-walking interpreter.
 //!
 //! The differential oracles built on these generators live in the
 //! consuming crates' `tests/` directories (plus oracle #6, the
@@ -43,6 +47,7 @@
 
 pub mod family_gen;
 pub mod harness;
+pub mod objfun_gen;
 pub mod rng;
 pub mod script_gen;
 pub mod store_gen;

@@ -1,0 +1,259 @@
+//! Random objlang definition sets and evaluation workloads for the
+//! VM-vs-interpreter differential oracle (oracle #7).
+//!
+//! [`gen_sig`] builds a random [`Signature`]: the standard prelude
+//! (`bool`, `nat`, `id_eqb`) plus a chain of generated `nat → nat`
+//! functions — structural recursions (with and without extra
+//! parameters), aliases, and the occasional **abstract** function, so
+//! some generated call graphs are compilable and others force the VM's
+//! cached negative verdict and interpreter fallback. Every generated
+//! recursion passes the kernel's own [`Signature::check_recfn`]
+//! (structural self-calls, sort-checked bodies), so the definition sets
+//! are exactly the shapes a closed family can produce.
+//!
+//! [`gen_eval_term`] builds random closed root terms over such a
+//! signature, deliberately including the shapes that stress the VM's
+//! dispatch boundary: wrong-arity calls (the interpreter zip-truncates;
+//! the VM must refuse to dispatch), malformed constructor applications
+//! (wrong argument count — undetectable statically, exercising the VM's
+//! per-application deopt), `id_eqb` on non-literals, unknown functions,
+//! and open variables.
+
+use objlang::ident::{sym, Symbol};
+use objlang::sig::{AliasFn, FnDef, RecCase, RecFn, Signature};
+use objlang::syntax::{Sort, Term};
+
+use crate::rng::Rng;
+
+/// A generated function head: name plus declared arity (for building
+/// call sites in later bodies and in root terms).
+#[derive(Clone, Debug)]
+pub struct GenFn {
+    /// Function name (`f0`, `f1`, …).
+    pub name: Symbol,
+    /// Declared arity (`Rec`: scrutinee + params).
+    pub arity: usize,
+    /// Whether the function was declared abstract (its call graph can
+    /// never compile).
+    pub is_abstract: bool,
+}
+
+/// A random `nat`-sorted body over `vars`, calling only `callable`
+/// (earlier functions — the sort-checker can't see later ones) and,
+/// inside a recursion's `succ` case, the structural self-call
+/// `self_call = (name, extra-params, rec-var)`.
+fn nat_body(
+    r: &mut Rng,
+    depth: usize,
+    vars: &[Symbol],
+    callable: &[GenFn],
+    self_call: Option<(Symbol, usize, Symbol)>,
+) -> Term {
+    if depth == 0 {
+        return match (vars.is_empty(), r.below(2)) {
+            (false, 0) => Term::Var(*r.pick(vars)),
+            _ => Term::c0("zero"),
+        };
+    }
+    match r.below(5) {
+        0 if !vars.is_empty() => Term::Var(*r.pick(vars)),
+        1 => Term::c0("zero"),
+        2 if !callable.is_empty() => {
+            let f = r.pick(callable).clone();
+            let args = (0..f.arity)
+                .map(|_| nat_body(r, depth - 1, vars, callable, self_call))
+                .collect();
+            Term::Fn(f.name, args)
+        }
+        3 if self_call.is_some() => {
+            let (name, params, rec_var) = self_call.expect("checked");
+            let mut args = vec![Term::Var(rec_var)];
+            for _ in 0..params {
+                args.push(nat_body(r, depth - 1, vars, callable, self_call));
+            }
+            Term::Fn(name, args.into())
+        }
+        _ => Term::ctor(
+            "succ",
+            vec![nat_body(r, depth - 1, vars, callable, self_call)],
+        ),
+    }
+}
+
+/// Generates a random signature: the prelude plus 2–5 chained `nat`
+/// functions. Returns the signature and the generated heads in
+/// definition order.
+pub fn gen_sig(r: &mut Rng) -> (Signature, Vec<GenFn>) {
+    let mut sig = Signature::new();
+    objlang::prelude::install(&mut sig).expect("prelude installs");
+    let nat = Sort::named("nat");
+    let count = r.range(2, 6) as usize;
+    let mut fns: Vec<GenFn> = Vec::new();
+    for i in 0..count {
+        let name = sym(&format!("f{i}"));
+        // Bias toward concrete definitions; one abstract function is
+        // enough to poison every graph that reaches it.
+        let kind = r.below(8);
+        if kind == 0 {
+            let arity = r.range(1, 3) as usize;
+            sig.add_fn(FnDef::Abstract {
+                name,
+                params: vec![nat; arity],
+                ret: nat,
+            })
+            .expect("fresh name");
+            fns.push(GenFn {
+                name,
+                arity,
+                is_abstract: true,
+            });
+        } else if kind <= 2 {
+            // Alias: params p0..pk, nat body over them and earlier fns.
+            let arity = r.range(1, 3) as usize;
+            let params: Vec<(Symbol, Sort)> =
+                (0..arity).map(|j| (sym(&format!("p{j}")), nat)).collect();
+            let vars: Vec<Symbol> = params.iter().map(|(p, _)| *p).collect();
+            let body = nat_body(r, 2, &vars, &fns, None);
+            sig.add_fn(FnDef::Alias(AliasFn {
+                name,
+                params,
+                ret: nat,
+                body,
+            }))
+            .expect("fresh name");
+            fns.push(GenFn {
+                name,
+                arity,
+                is_abstract: false,
+            });
+        } else {
+            // Structural recursion on nat, optional extra param.
+            let extra = r.below(2) as usize;
+            let params: Vec<(Symbol, Sort)> =
+                (0..extra).map(|j| (sym(&format!("m{j}")), nat)).collect();
+            let param_vars: Vec<Symbol> = params.iter().map(|(p, _)| *p).collect();
+            let rec_var = sym("n");
+            let mut succ_vars = vec![rec_var];
+            succ_vars.extend(&param_vars);
+            let zero_body = nat_body(r, 2, &param_vars, &fns, None);
+            let succ_body = nat_body(r, 2, &succ_vars, &fns, Some((name, extra, rec_var)));
+            sig.add_fn(FnDef::Rec(RecFn {
+                name,
+                rec_sort: sym("nat"),
+                params,
+                ret: nat,
+                cases: vec![
+                    RecCase {
+                        ctor: sym("zero"),
+                        arg_vars: vec![],
+                        body: zero_body,
+                    },
+                    RecCase {
+                        ctor: sym("succ"),
+                        arg_vars: vec![rec_var],
+                        body: succ_body,
+                    },
+                ],
+            }))
+            .expect("generated recursion passes check_recfn");
+            fns.push(GenFn {
+                name,
+                arity: 1 + extra,
+                is_abstract: false,
+            });
+        }
+    }
+    (sig, fns)
+}
+
+/// A small closed `nat` numeral (a value).
+fn numeral(r: &mut Rng) -> Term {
+    objlang::eval::nat_lit(r.below(5))
+}
+
+/// Generates a random closed root term to evaluate differentially.
+/// Mostly well-formed applications of the generated functions; a tail of
+/// deliberately adversarial shapes (see the module docs).
+pub fn gen_eval_term(r: &mut Rng, fns: &[GenFn], depth: usize) -> Term {
+    if depth == 0 {
+        return numeral(r);
+    }
+    match r.below(12) {
+        0..=4 if !fns.is_empty() => {
+            let f = r.pick(fns).clone();
+            let args = (0..f.arity)
+                .map(|_| gen_eval_term(r, fns, depth - 1))
+                .collect();
+            Term::Fn(f.name, args)
+        }
+        5 => Term::ctor("succ", vec![gen_eval_term(r, fns, depth - 1)]),
+        6 if !fns.is_empty() => {
+            // Wrong arity: the interpreter zip-truncates (or leaves a
+            // param unbound); the VM must refuse to dispatch this shape.
+            let f = r.pick(fns).clone();
+            let argc = if f.arity > 1 && r.flip() {
+                f.arity - 1
+            } else {
+                f.arity + 1
+            };
+            let args = (0..argc)
+                .map(|_| gen_eval_term(r, fns, depth - 1))
+                .collect();
+            Term::Fn(f.name, args)
+        }
+        7 => {
+            // Malformed constructor arity: succ applied to two values is
+            // statically invisible to the VM compiler (values are
+            // unchecked), forcing the per-application deopt when a
+            // recursion destructures it.
+            Term::ctor("succ", vec![numeral(r), numeral(r)])
+        }
+        8 => {
+            // id_eqb: on literals (answers) and non-literals (errors).
+            if r.flip() {
+                Term::func("id_eqb", vec![Term::lit("a"), Term::lit("b")])
+            } else {
+                Term::func("id_eqb", vec![numeral(r), Term::lit("a")])
+            }
+        }
+        9 => Term::func("no_such_fn", vec![numeral(r)]),
+        10 => Term::var("free"),
+        _ => numeral(r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_sigs_are_valid_and_diverse() {
+        let mut r = Rng::new(0xfeed);
+        let mut saw_abstract = false;
+        let mut saw_concrete = false;
+        for _ in 0..50 {
+            let (sig, fns) = gen_sig(&mut r);
+            assert!(fns.len() >= 2);
+            for f in &fns {
+                assert!(sig.function(f.name).is_some());
+                saw_abstract |= f.is_abstract;
+                saw_concrete |= !f.is_abstract;
+            }
+        }
+        assert!(saw_abstract && saw_concrete, "generator covers both");
+    }
+
+    #[test]
+    fn generated_terms_evaluate_or_fail_cleanly() {
+        let mut r = Rng::new(0xbeef);
+        for _ in 0..30 {
+            let (sig, fns) = gen_sig(&mut r);
+            for _ in 0..10 {
+                let t = gen_eval_term(&mut r, &fns, 3);
+                let mut fuel = 100_000u64;
+                // Either verdict is fine; the point is totality.
+                let _ = objlang::eval::eval_interp(&sig, &t, &mut fuel);
+            }
+        }
+    }
+}
