@@ -1,6 +1,8 @@
 //! Engine throughput: req/sec of the `fpopd` worker pool over a mixed
 //! `CheckSource` + `BuildLattice` batch, cold cache vs warm
-//! (snapshot-restored) cache — the ENGINE-tput experiment.
+//! (snapshot-restored) cache — the ENGINE-tput experiment — plus the
+//! wire-protocol series (ENGINE-wire): the same warm request shipped
+//! over TCP, turn-based text vs pipelined fpopb/1 binary templates.
 
 use crate::harness::Bencher;
 use engine::{Engine, EngineConfig, Request};
@@ -89,4 +91,113 @@ pub fn run(b: &mut Bencher) {
     b.mark_speedup("engine/batch_cold_4w", "engine/batch_cold_1w");
     b.mark_speedup("engine/batch_warm_4w", "engine/batch_warm_1w");
     std::fs::remove_dir_all(&dir).ok();
+
+    #[cfg(unix)]
+    wire_series(b);
+}
+
+/// Requests per timed iteration of the wire series: large enough that
+/// per-iteration connection state is negligible, small enough that a
+/// quick run stays instant.
+#[cfg(unix)]
+const WIRE_BATCH: usize = 100;
+
+/// ENGINE-wire: one warm `CheckSource` request shipped `WIRE_BATCH`
+/// times over real loopback TCP — first turn-based over the text
+/// protocol (write line, block on the reply line, repeat: the wire
+/// discipline every client had before fpopb/1), then as pipelined
+/// binary `SubmitTemplate` frames at in-flight windows of 1/16/64.
+/// Depth 1 isolates the codec + template-memo win; 16 and 64 add the
+/// pipelining win. `speedup_vs_text` on the pipelined rows is the
+/// headline PERF-wire number.
+#[cfg(unix)]
+fn wire_series(b: &mut Bencher) {
+    use engine::fpopb;
+    use engine::request::Priority;
+    use std::io::{BufRead, BufReader, Write};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    eprintln!("\n== engine: wire protocols (text vs pipelined fpopb/1) ==");
+    let engine = engine_with(4, None);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || engine::proto::serve(engine, listener, stop))
+    };
+
+    let hot = Request::CheckSource {
+        source: PEANO.to_string(),
+    };
+    // Warm the proof cache and register the template once, outside the
+    // timed region: every measured request is a warm hit.
+    engine
+        .submit(hot.clone())
+        .expect("warm submit")
+        .wait()
+        .expect("warm check");
+    let digest = {
+        let mut c = fpopb::Client::connect(addr).expect("connect");
+        c.register_template(&hot).expect("register template")
+    };
+
+    let line = {
+        let mut l = format!("check {}", engine::proto::escape(PEANO));
+        l.push('\n');
+        l.into_bytes()
+    };
+    b.bench_time("engine/text_warm_tcp", WIRE_BATCH as f64, || {
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let mut reply = String::new();
+        let t = Instant::now();
+        for _ in 0..WIRE_BATCH {
+            writer.write_all(&line).expect("write");
+            writer.flush().expect("flush");
+            reply.clear();
+            reader.read_line(&mut reply).expect("read");
+            assert!(reply.starts_with("ok"), "got: {reply}");
+        }
+        t.elapsed()
+    });
+
+    for depth in [1usize, 16, 64] {
+        b.bench_time(
+            &format!("engine/pipelined_warm_d{depth}"),
+            WIRE_BATCH as f64,
+            || {
+                let mut c = fpopb::Client::connect(addr).expect("connect");
+                let (mut sent, mut done) = (0usize, 0usize);
+                let t = Instant::now();
+                while done < WIRE_BATCH {
+                    while sent < WIRE_BATCH && sent - done < depth {
+                        c.send_submit_template(digest, Priority::Normal)
+                            .expect("send");
+                        sent += 1;
+                    }
+                    let frame = c.recv().expect("recv");
+                    assert!(
+                        !matches!(frame.ty, fpopb::FrameType::Err),
+                        "template submit failed"
+                    );
+                    done += 1;
+                }
+                t.elapsed()
+            },
+        );
+    }
+    for depth in [1usize, 16, 64] {
+        b.mark_speedup_vs_text(
+            &format!("engine/pipelined_warm_d{depth}"),
+            "engine/text_warm_tcp",
+        );
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    server.join().expect("server thread").expect("server exit");
+    engine.shutdown().expect("engine shutdown");
 }

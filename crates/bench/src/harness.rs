@@ -36,6 +36,11 @@ pub struct BenchResult {
     /// (>1 ⇒ the bytecode path is faster). `None` for workloads without
     /// an interpreter counterpart.
     pub speedup_vs_interp: Option<f64>,
+    /// For wire-protocol workloads: median time of the turn-based text
+    /// protocol baseline divided by this result's median (>1 ⇒ the
+    /// pipelined binary path is faster). `None` for workloads without a
+    /// text-protocol counterpart.
+    pub speedup_vs_text: Option<f64>,
 }
 
 impl BenchResult {
@@ -151,6 +156,26 @@ impl Bencher {
         }
     }
 
+    /// Stamps `name`'s `speedup_vs_text` as `baseline`'s median over its
+    /// own (the wire-protocol analogue of [`Self::mark_speedup`];
+    /// bench-smoke CI reads the field to catch pipelining regressions).
+    pub fn mark_speedup_vs_text(&mut self, name: &str, baseline: &str) {
+        let base_ns = self
+            .results
+            .iter()
+            .find(|r| r.name == baseline)
+            .unwrap_or_else(|| panic!("text baseline {baseline:?} has not run"))
+            .median_ns;
+        let r = self
+            .results
+            .iter_mut()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("speedup target {name:?} has not run"));
+        if r.median_ns > 0.0 {
+            r.speedup_vs_text = Some(base_ns / r.median_ns);
+        }
+    }
+
     fn push(&mut self, name: &str, batch: u64, samples: u64, median_ns: f64, items: f64) {
         let r = BenchResult {
             name: name.to_string(),
@@ -160,6 +185,7 @@ impl Bencher {
             items_per_iter: items,
             speedup_vs_seq: None,
             speedup_vs_interp: None,
+            speedup_vs_text: None,
         };
         eprintln!(
             "{:<44} {:>14.0} ns/iter {:>14.1} items/s  ({} x {})",
@@ -189,6 +215,9 @@ impl Bencher {
             };
             if let Some(x) = r.speedup_vs_interp {
                 speedup.push_str(&format!(", \"speedup_vs_interp\": {x:.3}"));
+            }
+            if let Some(x) = r.speedup_vs_text {
+                speedup.push_str(&format!(", \"speedup_vs_text\": {x:.3}"));
             }
             s.push_str(&format!(
                 "    {{\"name\": {}, \"median_ns\": {:.1}, \"throughput_per_s\": {:.3}, \

@@ -1,5 +1,7 @@
-//! `fpopd` — the resident fpop prover engine, serving the line protocol
-//! on a TCP socket.
+//! `fpopd` — the resident fpop prover engine, serving both wire
+//! protocols (newline-delimited text and pipelined `fpopb/1` binary
+//! frames, sniffed by the first byte — see `docs/PROTOCOL.md`) on one
+//! TCP socket.
 //!
 //! ```text
 //! fpopd [--addr HOST:PORT] [--workers N] [--sched-workers N] [--queue N]

@@ -146,6 +146,10 @@ struct Metrics {
     busy_nanos: AtomicU64,
     /// Requests recorded in the slow-elaboration log.
     slow_logged: AtomicU64,
+    /// Templates registered (binary-protocol `REGISTER_TEMPLATE`).
+    templates_registered: AtomicU64,
+    /// Template submissions answered from the memoized first response.
+    template_memo_hits: AtomicU64,
     /// Queue wait (admission → dequeue), microseconds.
     wait_micros: trace::Histogram,
     /// Service (execution) time, microseconds.
@@ -164,6 +168,8 @@ impl Default for Metrics {
             rejected: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             slow_logged: AtomicU64::new(0),
+            templates_registered: AtomicU64::new(0),
+            template_memo_hits: AtomicU64::new(0),
             wait_micros: trace::Histogram::new(),
             service_micros: trace::Histogram::new(),
         }
@@ -189,6 +195,11 @@ struct JobState {
     /// dedup-coalesced client. [`Ticket::cancel`] is honoured only while
     /// this is exactly 1 (see the module docs).
     waiters: AtomicU64,
+    /// Completion callbacks ([`Ticket::on_done`]); drained exactly once,
+    /// after the result is published. The nonblocking connection layer
+    /// uses these to get woken by the worker pool instead of parking a
+    /// thread per in-flight request.
+    hooks: Mutex<Vec<Box<dyn FnOnce() + Send>>>,
 }
 
 impl JobState {
@@ -199,13 +210,29 @@ impl JobState {
             cancelled: AtomicBool::new(false),
             deadline,
             waiters: AtomicU64::new(1),
+            hooks: Mutex::new(Vec::new()),
         }
     }
 
     fn publish(&self, result: JobResult) {
-        let mut slot = self.slot.lock().expect("job slot poisoned");
-        *slot = Some(result);
-        self.done.notify_all();
+        {
+            let mut slot = self.slot.lock().expect("job slot poisoned");
+            *slot = Some(result);
+            self.done.notify_all();
+        }
+        // Drain hooks only after releasing the slot lock: a hook may call
+        // back into `Ticket::wait` (which takes it). `on_done` holds the
+        // hooks lock while it checks the slot, so a hook registered
+        // concurrently with this drain either lands in the vector we take
+        // here or observes the already-set slot and runs inline — never
+        // neither.
+        let hooks = {
+            let mut hooks = self.hooks.lock().expect("job hooks poisoned");
+            std::mem::take(&mut *hooks)
+        };
+        for hook in hooks {
+            hook();
+        }
     }
 }
 
@@ -263,6 +290,40 @@ impl Ticket {
         self.state.slot.lock().expect("job slot poisoned").is_some()
     }
 
+    /// Takes the result without blocking, if the job has completed.
+    pub fn try_take(&self) -> Option<JobResult> {
+        self.state
+            .slot
+            .lock()
+            .expect("job slot poisoned")
+            .as_ref()
+            .cloned()
+    }
+
+    /// Registers a callback to run when the job completes. If the job is
+    /// already done the callback runs inline, on this thread; otherwise
+    /// it runs on the worker thread that publishes the result, after the
+    /// result is visible to [`Ticket::wait`]/[`Ticket::try_take`].
+    ///
+    /// This is the event-loop completion primitive: the connection layer
+    /// registers a hook that enqueues `(connection, correlation-id)` on
+    /// its completion queue and wakes the poller, instead of parking one
+    /// thread per in-flight request.
+    pub fn on_done(&self, hook: impl FnOnce() + Send + 'static) {
+        {
+            // Hooks lock *then* slot check; `publish` sets the slot before
+            // draining hooks. Both orders of the race hand the hook to
+            // exactly one runner.
+            let mut hooks = self.state.hooks.lock().expect("job hooks poisoned");
+            let done = self.state.slot.lock().expect("job slot poisoned").is_some();
+            if !done {
+                hooks.push(Box::new(hook));
+                return;
+            }
+        }
+        hook();
+    }
+
     /// Requests cancellation; returns whether the request was recorded.
     ///
     /// Best-effort on two axes: it takes effect only if a worker has not
@@ -290,6 +351,25 @@ struct Job {
     accepted_at: Instant,
 }
 
+/// A registered template: a pre-parsed request addressed by its content
+/// digest (= the underlying request's [`Request::dedup_key`]).
+///
+/// The first successful execution's [`Response`] is memoized. Sound
+/// because execution against the engine's session is deterministic and
+/// monotone — re-running the same `CheckSource` against a session that
+/// already holds its proofs reproduces the same outputs and ledger (the
+/// property the warm-restart acceptance test pins with `same_counts`);
+/// the ledger a memoized response carries therefore reflects the *first*
+/// execution, exactly as a re-execution's would.
+struct Template {
+    request: Request,
+    /// For `CheckSource` templates: the parsed + resolved program, so the
+    /// hot path never touches the vernacular parser again.
+    program: Option<Arc<fpop::parse::Program>>,
+    /// First successful response, served to every later submission.
+    memo: Option<Response>,
+}
+
 /// State shared between the engine facade and its workers.
 struct Shared {
     session: Arc<Session>,
@@ -303,6 +383,8 @@ struct Shared {
     /// keyed by family name: the evaluation surface `Eval` requests run
     /// against. `Arc`ed so `execute` drops the lock before evaluating.
     sigs: Mutex<HashMap<String, Arc<objlang::sig::Signature>>>,
+    /// Registered templates, keyed by content digest (see [`Template`]).
+    templates: Mutex<HashMap<u64, Template>>,
     /// Cumulative ledger absorbed over every request this engine served.
     ledger: Mutex<CheckLedger>,
     /// Slow-elaboration log: top-N served requests by service time among
@@ -435,6 +517,7 @@ impl Shared {
                     fuel_used: FUEL - fuel,
                 })
             }
+            Request::RunTemplate { digest } => self.execute_template(digest),
             Request::Stats => Ok(Response::Stats {
                 session: self.session.snapshot_stats(),
                 engine: self.metrics_snapshot(),
@@ -443,6 +526,46 @@ impl Shared {
                 text: self.prometheus(),
             }),
         }
+    }
+
+    /// Executes a template submission: memo hit if the template already
+    /// ran successfully, otherwise the underlying request — via the
+    /// pre-parsed program for `CheckSource` (no vernacular parsing on the
+    /// hot path) — with the first `Ok` memoized for every later hit.
+    fn execute_template(&self, digest: u64) -> JobResult {
+        let (request, program) = {
+            let templates = self.templates.lock().expect("template registry poisoned");
+            let tpl = templates.get(&digest).ok_or_else(|| {
+                EngineError::Failed(format!("no template registered under digest {digest:016x}"))
+            })?;
+            if let Some(memo) = &tpl.memo {
+                Metrics::bump(&self.metrics.template_memo_hits);
+                return Ok(memo.clone());
+            }
+            (tpl.request.clone(), tpl.program.clone())
+        };
+        // Execute outside the registry lock (elaboration can be slow and
+        // other connections register/submit templates meanwhile).
+        let result = match (&request, program) {
+            (Request::CheckSource { .. }, Some(program)) => program
+                .run_with_session(Arc::clone(&self.session))
+                .map_err(|e| EngineError::Failed(e.to_string()))
+                .map(|(u, outputs)| {
+                    let ledger = self.absorb_universe(&u);
+                    Response::Checked { outputs, ledger }
+                }),
+            _ => self.execute(request),
+        };
+        if let Ok(response) = &result {
+            let mut templates = self.templates.lock().expect("template registry poisoned");
+            if let Some(tpl) = templates.get_mut(&digest) {
+                // Two workers may race the first execution (dedup retires
+                // before publish); either's response memoizes — they are
+                // interchangeable by determinism.
+                tpl.memo.get_or_insert_with(|| response.clone());
+            }
+        }
+        result
     }
 
     /// Records a served request in the slow log when its service time
@@ -527,6 +650,18 @@ impl Shared {
             "engine_slow_logged_total",
             "requests recorded in the slow-elaboration log",
             m.slow_logged.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "engine_templates_registered_total",
+            "templates registered via the binary protocol",
+            m.templates_registered.load(Ordering::Relaxed),
+        );
+        render_counter(
+            &mut out,
+            "engine_template_memo_hits_total",
+            "template submissions answered from the memoized first response",
+            m.template_memo_hits.load(Ordering::Relaxed),
         );
         render_gauge(
             &mut out,
@@ -798,6 +933,7 @@ impl Engine {
             metrics: Metrics::default(),
             theorems: Mutex::new(HashMap::new()),
             sigs: Mutex::new(HashMap::new()),
+            templates: Mutex::new(HashMap::new()),
             ledger: Mutex::new(CheckLedger::new()),
             slow: Mutex::new(Vec::new()),
             slow_threshold: config.slow_threshold,
@@ -903,6 +1039,16 @@ impl Engine {
         priority: Priority,
         deadline: Option<Duration>,
     ) -> Result<Ticket, EngineError> {
+        self.submit_inner(request, priority, deadline, self.config.submit_timeout)
+    }
+
+    fn submit_inner(
+        &self,
+        request: Request,
+        priority: Priority,
+        deadline: Option<Duration>,
+        submit_timeout: Duration,
+    ) -> Result<Ticket, EngineError> {
         if self.down.load(Ordering::SeqCst) {
             return Err(EngineError::ShuttingDown);
         }
@@ -936,11 +1082,7 @@ impl Engine {
             dedup_key,
             accepted_at: Instant::now(),
         };
-        match self
-            .shared
-            .queue
-            .push(job, priority, self.config.submit_timeout)
-        {
+        match self.shared.queue.push(job, priority, submit_timeout) {
             Ok(()) => {
                 Metrics::bump(&self.shared.metrics.submitted);
                 Ok(Ticket { state })
@@ -971,6 +1113,99 @@ impl Engine {
                 Err(err)
             }
         }
+    }
+
+    /// Nonblocking [`Engine::submit_with`]: a full queue returns
+    /// [`EngineError::Rejected`] immediately instead of blocking up to
+    /// the submit timeout. The event-loop connection layer uses this so
+    /// backpressure surfaces as an error frame rather than a stalled
+    /// poller.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::submit_with`], with `Rejected` immediate.
+    pub fn submit_nowait(
+        &self,
+        request: Request,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, EngineError> {
+        self.submit_inner(request, priority, deadline, Duration::ZERO)
+    }
+
+    /// Registers `request` as a template and returns its content digest
+    /// (= the request's [`Request::dedup_key`]). Idempotent: registering
+    /// the same content again returns the same digest and keeps any
+    /// existing memo. `CheckSource` templates are parsed and resolved
+    /// *now*, so submissions by digest never touch the vernacular parser.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Failed`] if the request is not templatable (no
+    /// dedup key — `Stats`/`Metrics`/`QueryTheorem` answers change
+    /// between calls; `RunTemplate` cannot nest) or if a `CheckSource`
+    /// body fails to parse/resolve.
+    pub fn register_template(&self, request: Request) -> Result<u64, EngineError> {
+        if matches!(request, Request::RunTemplate { .. }) {
+            return Err(EngineError::Failed(
+                "a template cannot name another template".to_string(),
+            ));
+        }
+        let digest = request.dedup_key().ok_or_else(|| {
+            EngineError::Failed(format!(
+                "{} requests are not templatable (their answers change between calls)",
+                request.kind()
+            ))
+        })?;
+        let program = match &request {
+            Request::CheckSource { source } => Some(Arc::new(
+                fpop::parse::prepare_program(source)
+                    .map_err(|e| EngineError::Failed(e.to_string()))?,
+            )),
+            _ => None,
+        };
+        let mut templates = self
+            .shared
+            .templates
+            .lock()
+            .expect("template registry poisoned");
+        templates.entry(digest).or_insert_with(|| {
+            Metrics::bump(&self.shared.metrics.templates_registered);
+            Template {
+                request,
+                program,
+                memo: None,
+            }
+        });
+        Ok(digest)
+    }
+
+    /// The memoized response of a registered template, if its first
+    /// execution already succeeded. The connection layer serves hits
+    /// inline — no queue admission, no worker — which is what makes the
+    /// pipelined-template path an order of magnitude faster than
+    /// re-elaborating.
+    pub fn template_response(&self, digest: u64) -> Option<Response> {
+        let templates = self
+            .shared
+            .templates
+            .lock()
+            .expect("template registry poisoned");
+        let tpl = templates.get(&digest)?;
+        if tpl.memo.is_some() {
+            Metrics::bump(&self.shared.metrics.template_memo_hits);
+        }
+        tpl.memo.clone()
+    }
+
+    /// Whether a template is registered under `digest` (regardless of
+    /// memo state).
+    pub fn has_template(&self, digest: u64) -> bool {
+        self.shared
+            .templates
+            .lock()
+            .expect("template registry poisoned")
+            .contains_key(&digest)
     }
 
     /// [`Engine::submit_with`] at [`Priority::Normal`] and the default
@@ -1249,6 +1484,93 @@ mod tests {
             "slowest first"
         );
         assert_eq!(e.metrics().queue_depth, 0);
+        e.shutdown().unwrap();
+    }
+
+    /// Templates: registration pre-parses, the first run elaborates, and
+    /// later runs (and `template_response`) serve the memoized response.
+    #[test]
+    fn templates_memoize_first_success() {
+        let e = Engine::start(EngineConfig {
+            workers: 1,
+            snapshot_path: None,
+            ..EngineConfig::default()
+        });
+        let src = "Family A.\n  FInductive num := n_zero | n_one.\n  \
+                   FDefinition one : num := n_one.\nEnd A.\nCheck A.one.\n";
+        let req = check(src);
+        let digest = e.register_template(req.clone()).unwrap();
+        assert_eq!(digest, req.dedup_key().unwrap());
+        assert!(e.has_template(digest));
+        assert!(
+            e.template_response(digest).is_none(),
+            "no memo before the first run"
+        );
+        // Re-registration is idempotent.
+        assert_eq!(e.register_template(req).unwrap(), digest);
+
+        let first = e.run(Request::RunTemplate { digest }).unwrap();
+        let outputs = match &first {
+            Response::Checked { outputs, .. } => outputs.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(e.template_response(digest).is_some(), "memoized");
+        let again = e.run(Request::RunTemplate { digest }).unwrap();
+        match again {
+            Response::Checked { outputs: o2, .. } => assert_eq!(o2, outputs),
+            other => panic!("unexpected {other:?}"),
+        }
+        e.shutdown().unwrap();
+    }
+
+    /// Untemplatable requests and unknown digests fail cleanly.
+    #[test]
+    fn template_registration_rejects_untemplatable() {
+        let e = Engine::start(EngineConfig {
+            workers: 1,
+            snapshot_path: None,
+            ..EngineConfig::default()
+        });
+        assert!(matches!(
+            e.register_template(Request::Stats),
+            Err(EngineError::Failed(_))
+        ));
+        assert!(matches!(
+            e.register_template(Request::RunTemplate { digest: 7 }),
+            Err(EngineError::Failed(_))
+        ));
+        // A CheckSource that fails to parse is rejected at registration.
+        assert!(matches!(
+            e.register_template(check("NotVernacular!!")),
+            Err(EngineError::Failed(_))
+        ));
+        // Submitting an unregistered digest fails, not panics.
+        assert!(matches!(
+            e.run(Request::RunTemplate { digest: 0xdead }),
+            Err(EngineError::Failed(_))
+        ));
+        e.shutdown().unwrap();
+    }
+
+    /// `on_done` fires exactly once whether registered before or after
+    /// completion, and `try_take` observes the published result.
+    #[test]
+    fn on_done_fires_before_and_after_completion() {
+        use std::sync::mpsc;
+        let e = Engine::start(EngineConfig {
+            workers: 1,
+            snapshot_path: None,
+            ..EngineConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let t = e.submit(Request::Stats).unwrap();
+        let tx2 = tx.clone();
+        t.on_done(move || tx2.send("first").unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(30)).unwrap(), "first");
+        assert!(matches!(t.try_take(), Some(Ok(Response::Stats { .. }))));
+        // Registered after completion: runs inline.
+        t.on_done(move || tx.send("late").unwrap());
+        assert_eq!(rx.try_recv().unwrap(), "late");
         e.shutdown().unwrap();
     }
 

@@ -24,8 +24,20 @@
 //!   entries, trailing integrity hash) with a *total* decoder — corrupt
 //!   or stale snapshots are rejected loudly and the engine falls back to
 //!   a cold cache.
-//! * [`proto`] — a line-based text protocol over the library API, served
-//!   by the `fpopd` binary on a std-only `TcpListener`.
+//! * [`proto`] — the line-based text protocol over the library API, and
+//!   the server entry point: on unix it serves both protocols through
+//!   the nonblocking connection layer; elsewhere it falls back to the
+//!   legacy blocking text loop.
+//! * [`fpopb`] — the `fpopb/1` **binary frame protocol**: varint-framed,
+//!   checksum-trailed, **pipelined** (correlation ids, out-of-order
+//!   completion) with pre-elaborated **template requests** served from a
+//!   memoized response registry. Spec in `docs/PROTOCOL.md`.
+//! * [`poll`] *(unix)* — a std-only readiness abstraction (hand-rolled
+//!   epoll on Linux, poll(2) elsewhere) with a cross-thread waker.
+//! * [`conn`] *(unix)* — the nonblocking event-loop server: one poller
+//!   thread multiplexes every connection, sniffs the protocol by first
+//!   byte, batches response writes per readiness turn, and receives
+//!   worker-pool completions through the waker.
 //! * [`term_parse`] — the closed-term surface grammar of the protocol's
 //!   `eval` request, which evaluates terms under a registered family's
 //!   signature via the session's digest-keyed compiled-code cache (the
@@ -55,7 +67,12 @@
 
 #![warn(missing_docs)]
 
+#[cfg(unix)]
+pub mod conn;
 pub mod engine;
+pub mod fpopb;
+#[cfg(unix)]
+pub mod poll;
 pub mod proto;
 pub mod queue;
 pub mod request;

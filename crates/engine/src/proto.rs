@@ -248,15 +248,41 @@ pub fn render_result(result: &Result<Response, EngineError>) -> String {
     }
 }
 
-/// Serves the protocol on `listener` until `stop` is set (typically by a
-/// client's `shutdown` line). Each connection gets its own thread;
-/// request execution itself is scheduled by the engine's worker pool.
+/// Serves the wire protocols on `listener` until `stop` is set
+/// (typically by a client's `shutdown`). On unix this delegates to the
+/// nonblocking event-loop server ([`crate::conn::serve`]), which speaks
+/// **both** the text protocol and the pipelined binary `fpopb/1`
+/// protocol on the same port via first-byte sniffing. On other
+/// platforms it falls back to [`serve_blocking`] (text only).
 ///
 /// # Errors
 ///
 /// Propagates fatal listener errors; per-connection I/O errors just drop
 /// that connection.
 pub fn serve(
+    engine: Arc<Engine>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        crate::conn::serve(engine, listener, stop)
+    }
+    #[cfg(not(unix))]
+    {
+        serve_blocking(engine, listener, stop)
+    }
+}
+
+/// The legacy blocking text-protocol server: thread per connection, one
+/// request per turn, no binary protocol. Kept as the non-unix fallback
+/// and as the differential baseline the event-loop server is tested
+/// against.
+///
+/// # Errors
+///
+/// As for [`serve`].
+pub fn serve_blocking(
     engine: Arc<Engine>,
     listener: TcpListener,
     stop: Arc<AtomicBool>,

@@ -77,6 +77,20 @@ pub enum Request {
         /// The term, in the `crate::term_parse` surface grammar.
         term: String,
     },
+    /// Run a request previously registered as a **template** (binary
+    /// protocol `REGISTER_TEMPLATE` / `SUBMIT_TEMPLATE` frames, see
+    /// `docs/PROTOCOL.md`): the digest names a pre-parsed, pre-resolved
+    /// request held in the engine's template registry, so the hot path
+    /// skips vernacular parsing entirely and the first successful
+    /// response is memoized (sound because re-elaboration against the
+    /// monotone session is deterministic — the same property the
+    /// warm-restart acceptance test pins).
+    RunTemplate {
+        /// The registered template's content digest — by construction
+        /// equal to the underlying request's [`Request::dedup_key`], so
+        /// template submissions coalesce with equivalent direct requests.
+        digest: u64,
+    },
     /// Report session statistics and engine metrics.
     Stats,
     /// Render the engine's full metric surface as Prometheus-style
@@ -126,6 +140,10 @@ impl Request {
                 h.write_str(family);
                 h.write_str(term);
             }
+            // A template *is* its underlying request: sharing the digest
+            // coalesces a template submission with an identical direct
+            // submission already in flight.
+            Request::RunTemplate { digest } => return Some(*digest),
             Request::QueryTheorem { .. } | Request::Stats | Request::Metrics => return None,
         }
         Some(h.finish())
@@ -138,6 +156,7 @@ impl Request {
             Request::BuildLattice { .. } => "lattice",
             Request::QueryTheorem { .. } => "theorem",
             Request::Eval { .. } => "eval",
+            Request::RunTemplate { .. } => "template",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
         }
@@ -157,6 +176,7 @@ impl Request {
             }
             Request::QueryTheorem { family, field } => format!("theorem {family}.{field}"),
             Request::Eval { family, term } => format!("eval {family} ({}B)", term.len()),
+            Request::RunTemplate { digest } => format!("template#{digest:016x}"),
             Request::Stats => "stats".to_string(),
             Request::Metrics => "metrics".to_string(),
         }
@@ -315,6 +335,19 @@ mod tests {
         assert_eq!(key("Nat", "add(1,2)"), key("Nat", "add(1,2)"));
         assert_ne!(key("Nat", "add(1,2)"), key("Nat", "add(2,1)"));
         assert_ne!(key("Nat", "add(1,2)"), key("NatMul", "add(1,2)"));
+    }
+
+    #[test]
+    fn template_key_is_its_digest() {
+        let underlying = Request::CheckSource {
+            source: "Family A. End A.".into(),
+        };
+        let digest = underlying.dedup_key().unwrap();
+        let tpl = Request::RunTemplate { digest };
+        // A template coalesces with the direct request it names.
+        assert_eq!(tpl.dedup_key(), Some(digest));
+        assert_eq!(tpl.kind(), "template");
+        assert_eq!(tpl.label(), format!("template#{digest:016x}"));
     }
 
     #[test]

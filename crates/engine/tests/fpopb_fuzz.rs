@@ -1,0 +1,342 @@
+//! Satellite fuzzer for the fpopb/1 binary codec and its server: the
+//! decoder must be **total** (error or incomplete, never panic) on
+//! bit-flipped, truncated, and oversized frames, and the live server
+//! must survive interleaved text-and-binary garbage on one connection
+//! and mid-frame hangups — while continuing to serve other connections.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use engine::fpopb::{self, decode_frame, encode_frame, DecodeStep, FrameType};
+use engine::request::{Priority, Request};
+use engine::{proto, Engine, EngineConfig};
+use testkit::{run_cases, Rng};
+
+/// A random but well-formed frame (request or response type, random
+/// corr, random body).
+fn gen_valid_frame(r: &mut Rng) -> Vec<u8> {
+    let types = [
+        FrameType::Hello,
+        FrameType::Ping,
+        FrameType::Submit,
+        FrameType::RegisterTemplate,
+        FrameType::SubmitTemplate,
+        FrameType::Checkpoint,
+        FrameType::SlowLog,
+        FrameType::Shutdown,
+        FrameType::HelloAck,
+        FrameType::Pong,
+        FrameType::Ok,
+        FrameType::Err,
+        FrameType::TemplateId,
+    ];
+    let ty = types[r.below(types.len() as u64) as usize];
+    let corr = r.next_u64();
+    let len = r.below(48) as usize;
+    let body: Vec<u8> = (0..len).map(|_| (r.next_u64() & 0xff) as u8).collect();
+    encode_frame(ty, corr, &body)
+}
+
+/// `decode_frame` is total on raw byte soup.
+#[test]
+fn decoder_is_total_on_noise() {
+    run_cases("fpopb_noise", 0xB1A5E, 500, |r| {
+        let len = r.below(96) as usize;
+        let mut buf: Vec<u8> = (0..len).map(|_| (r.next_u64() & 0xff) as u8).collect();
+        // Salt with the marker so the deep branches run too.
+        if r.flip() && !buf.is_empty() {
+            buf[0] = fpopb::MARKER;
+        }
+        let _ = decode_frame(&buf); // must not panic
+    });
+}
+
+/// Single-bit corruption of a valid frame decodes to an error or a
+/// (checksummed) frame — never a panic — and any `consumed` hint the
+/// error carries stays inside the buffer so resynchronization is safe.
+#[test]
+fn bit_flips_never_panic_and_consumed_is_bounded() {
+    run_cases("fpopb_bitflip", 0xF11B5, 300, |r| {
+        let mut bytes = gen_valid_frame(r);
+        let bit = r.below(bytes.len() as u64 * 8);
+        bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        match decode_frame(&bytes) {
+            Ok(DecodeStep::Ready { consumed, .. }) => {
+                assert!(consumed <= bytes.len(), "consumed past the buffer");
+            }
+            Ok(DecodeStep::Incomplete) => {}
+            Err(e) => {
+                if let Some(consumed) = e.recoverable() {
+                    assert!(consumed <= bytes.len(), "skip hint past the buffer: {e:?}");
+                    assert!(consumed > 0, "zero-length skip would loop forever: {e:?}");
+                }
+            }
+        }
+    });
+}
+
+/// Every strict prefix of a valid frame is `Incomplete` or an error
+/// with an in-bounds skip — truncation can never panic or over-consume.
+#[test]
+fn truncations_are_incomplete_or_clean_errors() {
+    run_cases("fpopb_truncate", 0x7A4C4, 120, |r| {
+        let bytes = gen_valid_frame(r);
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Ok(DecodeStep::Incomplete) => {}
+                Ok(DecodeStep::Ready { .. }) => {
+                    panic!("strict prefix of a frame decoded as complete")
+                }
+                Err(e) => {
+                    if let Some(consumed) = e.recoverable() {
+                        assert!(consumed <= cut, "skip hint past truncated buffer");
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// A header whose declared body length exceeds `MAX_BODY` is rejected
+/// before any allocation, whatever the (absent) body would have been.
+#[test]
+fn oversized_length_headers_are_rejected() {
+    run_cases("fpopb_oversize", 0x0E55, 100, |r| {
+        let mut buf = vec![fpopb::MARKER, fpopb::VERSION, 0x02];
+        fpopb::w_varint(&mut buf, r.next_u64()); // corr
+        let huge = fpopb::MAX_BODY as u64 + 1 + r.below(1 << 40);
+        fpopb::w_varint(&mut buf, huge);
+        match decode_frame(&buf) {
+            Err(e) => assert!(e.recoverable().is_none(), "oversize must be fatal: {e:?}"),
+            Ok(step) => panic!("oversized header accepted: {step:?}"),
+        }
+    });
+}
+
+/// Request-body decoding is total on noise: random payloads after the
+/// priority byte produce `Err`, never a panic or a bogus request.
+#[test]
+fn request_decoding_is_total_on_noise() {
+    run_cases("fpopb_req_noise", 0x9E03, 400, |r| {
+        let len = r.below(64) as usize;
+        let body: Vec<u8> = (0..len).map(|_| (r.next_u64() & 0xff) as u8).collect();
+        let _ = fpopb::decode_request(&body, 0); // must not panic
+        let _ = fpopb::decode_priority(body.first().copied().unwrap_or(0));
+    });
+}
+
+fn start_server() -> (
+    Arc<Engine>,
+    std::net::SocketAddr,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 1,
+        snapshot_path: None,
+        ..EngineConfig::default()
+    }));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || proto::serve(engine, listener, stop))
+    };
+    (engine, addr, stop, server)
+}
+
+fn ping_works(addr: std::net::SocketAddr) {
+    let mut c = fpopb::Client::connect(addr).expect("connect");
+    c.stream()
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let corr = c.send_ping().expect("ping");
+    let frame = c.recv().expect("pong");
+    assert_eq!(frame.corr, corr);
+    assert_eq!(fpopb::decode_reply(&frame).unwrap(), fpopb::Reply::Pong);
+}
+
+/// Live server: a connection that interleaves binary garbage between
+/// valid frames keeps getting answers (an `Err` frame or a drop for the
+/// garbage, real replies for the real frames), and the server stays up.
+#[test]
+fn live_server_survives_interleaved_binary_garbage() {
+    let (engine, addr, stop, server) = start_server();
+
+    run_cases("fpopb_live_garbage", 0x11AB5, 10, |r| {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut c = fpopb::Client::new(stream);
+        // A valid ping proves the connection is in binary mode.
+        let corr = c.send_ping().expect("ping");
+        assert_eq!(c.recv().expect("pong").corr, corr);
+        // Corrupt a frame's trailer: the server must answer with an Err
+        // frame and resynchronize on the same connection.
+        let mut bytes = encode_frame(FrameType::Ping, r.next_u64() | 1, b"");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01 | (r.next_u64() & 0xff) as u8;
+        c.stream().write_all(&bytes).expect("write garbage");
+        let reply = c.recv().expect("reply to corrupted frame");
+        assert_eq!(reply.ty, FrameType::Err, "corruption must draw an Err");
+        // The same connection still serves valid traffic afterwards.
+        let corr = c.send_ping().expect("ping after garbage");
+        assert_eq!(c.recv().expect("pong after garbage").corr, corr);
+    });
+
+    // Mid-frame hangup: declare a large body, send half, disconnect.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let frame = encode_frame(FrameType::Submit, 7, &vec![0x41; 4096]);
+        stream.write_all(&frame[..frame.len() / 2]).expect("half");
+        stream.flush().unwrap();
+        drop(stream);
+    }
+    ping_works(addr);
+
+    server_shutdown(engine, addr, stop, server);
+}
+
+/// One connection switches to text mode, another speaks binary, a third
+/// sprays garbage and hangs up mid-frame: the garbage connection's fate
+/// never affects the other two.
+#[test]
+fn garbage_on_one_connection_leaves_others_serving() {
+    let (engine, addr, stop, server) = start_server();
+
+    // Long-lived text connection.
+    let mut text = TcpStream::connect(addr).expect("connect text");
+    text.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut text_reader = BufReader::new(text.try_clone().unwrap());
+    let mut text_ping = |tag: &str| {
+        text.write_all(b"ping\n").expect("text ping");
+        text.flush().unwrap();
+        let mut line = String::new();
+        text_reader.read_line(&mut line).expect("text pong");
+        assert_eq!(line.trim_end(), "ok pong", "text conn broken {tag}");
+    };
+    // Long-lived binary connection.
+    let mut bin = fpopb::Client::connect(addr).expect("connect binary");
+    bin.stream()
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let bin_ping = |c: &mut fpopb::Client, tag: &str| {
+        let corr = c.send_ping().expect("bin ping");
+        let frame = c.recv().expect("bin pong");
+        assert_eq!(frame.corr, corr, "binary conn broken {tag}");
+    };
+
+    text_ping("before garbage");
+    bin_ping(&mut bin, "before garbage");
+
+    run_cases("fpopb_cross_conn", 0xC0FFEE, 8, |r| {
+        let mut victim = TcpStream::connect(addr).expect("connect victim");
+        victim
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        match r.below(3) {
+            // Text garbage, then binary garbage, on the same connection.
+            0 => {
+                victim.write_all(b"frobnicate everything\n").unwrap();
+                let mut line = String::new();
+                BufReader::new(victim.try_clone().unwrap())
+                    .read_line(&mut line)
+                    .expect("err reply");
+                assert!(line.starts_with("err"), "got {line:?}");
+                // Binary marker mid-text-stream is one more bad line.
+                let frame = encode_frame(FrameType::Ping, 1, b"");
+                victim.write_all(&frame).unwrap();
+                victim.write_all(b"\n").unwrap();
+            }
+            // Mid-frame hangup.
+            1 => {
+                let frame = encode_frame(FrameType::Submit, r.next_u64(), &vec![0x42; 1024]);
+                let cut = 1 + r.below(frame.len() as u64 - 1) as usize;
+                victim.write_all(&frame[..cut]).unwrap();
+            }
+            // Raw noise.
+            _ => {
+                let junk: Vec<u8> = (0..r.below(256) + 1)
+                    .map(|_| (r.next_u64() & 0xff) as u8)
+                    .collect();
+                victim.write_all(&junk).unwrap();
+            }
+        }
+        victim.flush().ok();
+        drop(victim);
+    });
+
+    text_ping("after garbage");
+    bin_ping(&mut bin, "after garbage");
+
+    // A real request still elaborates end to end.
+    let reply = bin
+        .roundtrip(&Request::Stats, Priority::Normal)
+        .expect("stats");
+    match reply {
+        fpopb::Reply::Ok(text) => assert!(text.contains("session:"), "got {text}"),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    drop(text_reader);
+    drop(text);
+    server_shutdown(engine, addr, stop, server);
+}
+
+/// Replies to a request-flood never exceed what was asked: a client that
+/// sends N pipelined pings gets exactly N pongs and then the stream goes
+/// quiet (no duplicated or phantom completions under pipelining).
+#[test]
+fn pipelined_pings_complete_exactly_once() {
+    let (engine, addr, stop, server) = start_server();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(800)))
+        .unwrap();
+    let mut c = fpopb::Client::new(stream);
+    let n = 64;
+    let mut corrs = std::collections::HashSet::new();
+    for _ in 0..n {
+        corrs.insert(c.send_ping().expect("ping"));
+    }
+    for _ in 0..n {
+        let frame = c.recv().expect("pong");
+        assert!(corrs.remove(&frame.corr), "phantom corr {}", frame.corr);
+    }
+    assert!(corrs.is_empty());
+    // The stream must now be quiet: no extra frames arrive.
+    let mut probe = [0u8; 1];
+    match c.stream().read(&mut probe) {
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut => {}
+        Ok(0) => panic!("server closed a healthy pipelined connection"),
+        other => panic!("phantom bytes after all replies: {other:?}"),
+    }
+
+    server_shutdown(engine, addr, stop, server);
+}
+
+fn server_shutdown(
+    engine: Arc<Engine>,
+    addr: std::net::SocketAddr,
+    _stop: Arc<AtomicBool>,
+    server: std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let mut c = fpopb::Client::connect(addr).expect("connect for shutdown");
+    let corr = c.send_shutdown().expect("shutdown");
+    let frame = c.recv().expect("shutdown ack");
+    assert_eq!(frame.corr, corr);
+    server.join().expect("server thread").expect("serve result");
+    engine.shutdown().expect("engine shutdown");
+}

@@ -1,0 +1,304 @@
+//! Protocol drivers: turn [`Op`]s into wire traffic and match replies
+//! back to their send ids so the driver loop can time each request.
+//!
+//! Both drivers support pipelining: `send` never waits for the reply,
+//! and `recv` returns the id of whichever request completed. The text
+//! protocol replies strictly in order, so its ids are a FIFO sequence;
+//! the binary protocol replies in completion order and matches on the
+//! fpopb/1 correlation id.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use engine::fpopb;
+use engine::request::{Priority, Request};
+
+use crate::workload::{Op, EVAL_FAMILY, HOT_SOURCE};
+
+/// How long a driver waits on a reply before declaring the server hung.
+/// Generous: cold lattice builds on a loaded box can take seconds.
+pub const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Which wire protocol a driver speaks (`--proto`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Proto {
+    /// The line-oriented text protocol (one `ok`/`err` line per request).
+    Text,
+    /// The fpopb/1 binary frame protocol (pipelined, correlation ids).
+    Binary,
+}
+
+impl Proto {
+    /// Parses a `--proto` value.
+    pub fn from_tag(tag: &str) -> Option<Proto> {
+        match tag {
+            "text" => Some(Proto::Text),
+            "binary" => Some(Proto::Binary),
+            _ => None,
+        }
+    }
+
+    /// The protocol's tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Proto::Text => "text",
+            Proto::Binary => "binary",
+        }
+    }
+}
+
+/// What a completed request came back as.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// `ok …` line / `Ok`-class frame.
+    Ok,
+    /// `err …` line / `Err` frame — counted, not fatal.
+    Err,
+}
+
+/// Converts an [`Op`] into the [`Request`] both protocols elaborate.
+/// Garbage has no request form — it is raw bytes by design.
+pub fn op_request(op: &Op) -> Option<Request> {
+    match op {
+        Op::HotCheck => Some(Request::CheckSource {
+            source: HOT_SOURCE.to_string(),
+        }),
+        Op::Lattice(features) => Some(Request::BuildLattice {
+            features: features.clone(),
+        }),
+        Op::Eval(term) => Some(Request::Eval {
+            family: EVAL_FAMILY.to_string(),
+            term: term.clone(),
+        }),
+        Op::Garbage(_) => None,
+    }
+}
+
+/// A pipelining driver for one connection of one protocol.
+pub enum Driver {
+    /// Text: FIFO reply order, ids are a send-sequence counter.
+    Text {
+        /// Write half (`TcpStream::try_clone` of the read half).
+        writer: TcpStream,
+        /// Buffered read half; replies are whole lines.
+        reader: BufReader<TcpStream>,
+        /// Id handed out by the next `send`.
+        next_id: u64,
+        /// Id the next reply line corresponds to (FIFO).
+        next_reply: u64,
+    },
+    /// Binary: fpopb/1 frames, ids are correlation ids.
+    Binary {
+        /// The pipelined fpopb client (owns the socket and read buffer).
+        client: fpopb::Client,
+        /// Digest of the pre-registered hot template, when warmed.
+        hot_template: Option<u64>,
+    },
+}
+
+impl Driver {
+    /// Connects a driver for `proto` to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(proto: Proto, addr: SocketAddr) -> std::io::Result<Driver> {
+        match proto {
+            Proto::Text => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true).ok();
+                stream.set_read_timeout(Some(RECV_TIMEOUT))?;
+                let writer = stream.try_clone()?;
+                Ok(Driver::Text {
+                    writer,
+                    reader: BufReader::new(stream),
+                    next_id: 0,
+                    next_reply: 0,
+                })
+            }
+            Proto::Binary => {
+                let client = fpopb::Client::connect(addr)?;
+                client.stream().set_read_timeout(Some(RECV_TIMEOUT))?;
+                Ok(Driver::Binary {
+                    client,
+                    hot_template: None,
+                })
+            }
+        }
+    }
+
+    /// Registers the hot-check template so subsequent [`Op::HotCheck`]s
+    /// ride the memoized `SubmitTemplate` fast path (binary only; the
+    /// text protocol has no template surface — that asymmetry is the
+    /// point of the comparison).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a server-side registration refusal is
+    /// reported as `InvalidData`.
+    pub fn warm_template(&mut self) -> std::io::Result<()> {
+        if let Driver::Binary {
+            client,
+            hot_template,
+        } = self
+        {
+            let req = op_request(&Op::HotCheck).expect("hot check has a request form");
+            let digest = client.register_template(&req)?;
+            *hot_template = Some(digest);
+        }
+        Ok(())
+    }
+
+    /// Adjusts how long `recv` blocks before timing out. The garbage
+    /// probe shortens this (an incomplete binary frame makes a correct
+    /// server wait silently for more bytes — that must not stall the
+    /// run for the full [`RECV_TIMEOUT`]) and restores it afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `set_read_timeout` failures.
+    pub fn set_recv_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        match self {
+            Driver::Text { reader, .. } => reader.get_ref().set_read_timeout(Some(timeout)),
+            Driver::Binary { client, .. } => client.stream().set_read_timeout(Some(timeout)),
+        }
+    }
+
+    /// Sends one op without waiting; returns the id `recv` will report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (a garbage-induced disconnect surfaces
+    /// here or in `recv`; the driver loop reconnects).
+    pub fn send(&mut self, op: &Op, prio: Priority) -> std::io::Result<u64> {
+        match self {
+            Driver::Text {
+                writer, next_id, ..
+            } => {
+                let line = text_line(op, prio);
+                writer.write_all(&line)?;
+                writer.flush()?;
+                let id = *next_id;
+                *next_id += 1;
+                Ok(id)
+            }
+            Driver::Binary {
+                client,
+                hot_template,
+            } => match (op, *hot_template) {
+                (Op::HotCheck, Some(digest)) => client.send_submit_template(digest, prio),
+                (Op::Garbage(bytes), _) => {
+                    let mut w = client.stream();
+                    w.write_all(bytes)?;
+                    w.flush()?;
+                    // Garbage has no correlation id; recv pairs it with
+                    // the server's corr-0 error frame.
+                    Ok(0)
+                }
+                _ => {
+                    let req = op_request(op).expect("non-garbage ops have a request form");
+                    client.send_submit(&req, prio)
+                }
+            },
+        }
+    }
+
+    /// Waits for the next completed request; returns `(id, verdict)`.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors and timeouts (`WouldBlock`/`TimedOut` after
+    /// [`RECV_TIMEOUT`]) — the driver loop treats both as a dead
+    /// connection.
+    pub fn recv(&mut self) -> std::io::Result<(u64, Verdict)> {
+        match self {
+            Driver::Text {
+                reader, next_reply, ..
+            } => {
+                let mut line = String::new();
+                let n = reader.read_line(&mut line)?;
+                if n == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ));
+                }
+                let id = *next_reply;
+                *next_reply += 1;
+                let verdict = if line.starts_with("ok") {
+                    Verdict::Ok
+                } else {
+                    Verdict::Err
+                };
+                Ok((id, verdict))
+            }
+            Driver::Binary { client, .. } => {
+                let frame = client.recv()?;
+                let verdict = match frame.ty {
+                    fpopb::FrameType::Err => Verdict::Err,
+                    _ => Verdict::Ok,
+                };
+                Ok((frame.corr, verdict))
+            }
+        }
+    }
+}
+
+/// Renders an op as one text-protocol line (newline-terminated bytes).
+fn text_line(op: &Op, prio: Priority) -> Vec<u8> {
+    let prefix = match prio {
+        Priority::High => "high ",
+        Priority::Normal => "",
+        Priority::Low => "low ",
+    };
+    match op {
+        Op::HotCheck => {
+            format!("{prefix}check {}\n", engine::proto::escape(HOT_SOURCE)).into_bytes()
+        }
+        Op::Lattice(features) => {
+            let tags: Vec<&str> = features.iter().map(|f| f.tag()).collect();
+            format!("{prefix}lattice {}\n", tags.join(",")).into_bytes()
+        }
+        Op::Eval(term) => format!(
+            "{prefix}eval {EVAL_FAMILY} {}\n",
+            engine::proto::escape(term)
+        )
+        .into_bytes(),
+        // Garbage is raw bytes; a text driver sends them verbatim (they
+        // may or may not be a line — the server must cope either way).
+        Op::Garbage(bytes) => bytes.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proto_tags_roundtrip() {
+        assert_eq!(Proto::from_tag("text"), Some(Proto::Text));
+        assert_eq!(Proto::from_tag("binary"), Some(Proto::Binary));
+        assert_eq!(Proto::from_tag("grpc"), None);
+    }
+
+    #[test]
+    fn text_lines_parse_back_as_the_same_request() {
+        use crate::workload::{next_op, Mix, Rng};
+        let mut rng = Rng::new(7);
+        for _ in 0..50 {
+            let op = next_op(Mix::Mixed, &mut rng);
+            let Some(want) = op_request(&op) else {
+                continue;
+            };
+            let line = text_line(&op, Priority::Normal);
+            let line = String::from_utf8(line).expect("request lines are UTF-8");
+            match engine::proto::parse_command(line.trim_end()) {
+                Ok(engine::proto::Command::Submit(got, _)) => {
+                    assert_eq!(format!("{got:?}"), format!("{want:?}"));
+                }
+                other => panic!("expected a submit command, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! `loadgen` — closed- and open-loop traffic generator for the fpopd
+//! wire protocols.
+//!
+//! By default it self-hosts an in-process engine + connection layer on
+//! `127.0.0.1:0` and runs a closed-loop scenario sweep over both the
+//! text protocol and the fpopb/1 binary protocol, printing throughput
+//! and p50/p99/p999 latency (log2-bucket upper bounds) per scenario.
+//! Point it at an external server with `--addr`; CI runs `--quick`.
+//!
+//! Exit status: `0` on a clean run, `1` on socket/usage errors or a
+//! failed `--quick` smoke assertion.
+
+mod client;
+mod report;
+mod workload;
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use engine::request::Priority;
+use engine::{Engine, EngineConfig};
+use trace::metrics::Histogram;
+
+use client::{Driver, Proto, Verdict};
+use report::Report;
+use workload::{next_op, Mix, Op, Rng};
+
+const USAGE: &str = "\
+loadgen — traffic generator for the fpopd text and fpopb/1 binary protocols
+
+USAGE: loadgen [OPTIONS]
+
+  --quick            CI smoke mode: short hot-storm runs over both
+                     protocols, assert nonzero throughput, clean exit
+  --addr HOST:PORT   target an external server (default: self-host an
+                     in-process engine on 127.0.0.1:0)
+  --proto P          text | binary (default: sweep both)
+  --mix M            hot | lattice | eval | garbage | mixed
+                     (default: scenario sweep)
+  --depth N          pipeline depth per connection (default: sweep)
+  --conns N          concurrent connections (default 1)
+  --open RPS         open-loop mode: target arrival rate in req/s
+                     (default: closed loop)
+  --duration SECS    measured seconds per scenario (default 3)
+  --seed N           workload RNG seed (default 48879)
+  --help             this text
+
+Each scenario prints a human row and a machine line:
+  LOADGEN name=… throughput_rps=… p50_us=… p99_us=… p999_us=…";
+
+/// Parsed command line.
+struct Opts {
+    quick: bool,
+    addr: Option<SocketAddr>,
+    proto: Option<Proto>,
+    mix: Option<Mix>,
+    depth: Option<usize>,
+    conns: usize,
+    open_rps: Option<f64>,
+    duration: Duration,
+    seed: u64,
+}
+
+/// One benchmark cell: a protocol, a mix, and a load shape.
+struct Scenario {
+    name: String,
+    proto: Proto,
+    mix: Mix,
+    depth: usize,
+    conns: usize,
+    open_rps: Option<f64>,
+    duration: Duration,
+}
+
+fn main() {
+    match run() {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args(std::env::args().skip(1))?;
+
+    // Self-host unless an external target was given.
+    let hosted = match opts.addr {
+        Some(_) => None,
+        None => Some(SelfHosted::start()?),
+    };
+    let addr = opts
+        .addr
+        .unwrap_or_else(|| hosted.as_ref().expect("self-hosted").addr);
+
+    warmup(addr)?;
+
+    let scenarios = build_scenarios(&opts);
+    let mut reports = Vec::new();
+    println!(
+        "target {addr} ({})  seed {}  {} scenario(s)",
+        if hosted.is_some() {
+            "self-hosted"
+        } else {
+            "external"
+        },
+        opts.seed,
+        scenarios.len()
+    );
+    for sc in &scenarios {
+        let rep = run_scenario(addr, sc, opts.seed).map_err(|e| format!("{}: {e}", sc.name))?;
+        println!("{}", rep.row());
+        println!("{}", rep.summary_line());
+        reports.push(rep);
+    }
+
+    if let Some(hosted) = hosted {
+        hosted.stop()?;
+        println!("server: clean shutdown");
+    }
+
+    if opts.quick {
+        for rep in &reports {
+            if rep.completed == 0 || rep.throughput() <= 0.0 {
+                return Err(format!("smoke: scenario {} made no progress", rep.name));
+            }
+        }
+        println!("LOADGEN_SMOKE ok scenarios={}", reports.len());
+    }
+    Ok(())
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Opts, String> {
+    let mut opts = Opts {
+        quick: false,
+        addr: None,
+        proto: None,
+        mix: None,
+        depth: None,
+        conns: 1,
+        open_rps: None,
+        duration: Duration::from_secs(3),
+        seed: 0xBEEF,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{what}: missing value\n\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--addr" => {
+                let v = take("--addr")?;
+                opts.addr = Some(v.parse().map_err(|e| format!("--addr {v}: {e}"))?);
+            }
+            "--proto" => {
+                let v = take("--proto")?;
+                opts.proto = Some(
+                    Proto::from_tag(&v).ok_or_else(|| format!("--proto {v}: want text|binary"))?,
+                );
+            }
+            "--mix" => {
+                let v = take("--mix")?;
+                opts.mix =
+                    Some(Mix::from_tag(&v).ok_or_else(|| {
+                        format!("--mix {v}: want hot|lattice|eval|garbage|mixed")
+                    })?);
+            }
+            "--depth" => {
+                let v = take("--depth")?;
+                let d: usize = v.parse().map_err(|e| format!("--depth {v}: {e}"))?;
+                opts.depth = Some(d.max(1));
+            }
+            "--conns" => {
+                let v = take("--conns")?;
+                let c: usize = v.parse().map_err(|e| format!("--conns {v}: {e}"))?;
+                opts.conns = c.max(1);
+            }
+            "--open" => {
+                let v = take("--open")?;
+                let r: f64 = v.parse().map_err(|e| format!("--open {v}: {e}"))?;
+                if !r.is_finite() || r <= 0.0 {
+                    return Err(format!("--open {v}: want a positive rate"));
+                }
+                opts.open_rps = Some(r);
+            }
+            "--duration" => {
+                let v = take("--duration")?;
+                let s: f64 = v.parse().map_err(|e| format!("--duration {v}: {e}"))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(format!("--duration {v}: want positive seconds"));
+                }
+                opts.duration = Duration::from_secs_f64(s);
+            }
+            "--seed" => {
+                let v = take("--seed")?;
+                opts.seed = v.parse().map_err(|e| format!("--seed {v}: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The scenario matrix for this invocation.
+fn build_scenarios(opts: &Opts) -> Vec<Scenario> {
+    let mk = |proto: Proto, mix: Mix, depth: usize, duration: Duration| Scenario {
+        name: format!("{}/{} d={}", proto.tag(), mix.tag(), depth),
+        proto,
+        mix,
+        depth,
+        conns: opts.conns,
+        open_rps: opts.open_rps,
+        duration,
+    };
+    if opts.quick {
+        // CI smoke: one short hot storm per protocol.
+        let d = Duration::from_millis(500);
+        return vec![
+            mk(Proto::Text, Mix::Hot, 4, d),
+            mk(Proto::Binary, Mix::Hot, 16, d),
+        ];
+    }
+    if let (Some(proto), Some(mix)) = (opts.proto, opts.mix) {
+        // Fully pinned: exactly one scenario.
+        return vec![mk(proto, mix, opts.depth.unwrap_or(16), opts.duration)];
+    }
+    let protos: &[Proto] = match opts.proto {
+        Some(p) => match p {
+            Proto::Text => &[Proto::Text],
+            Proto::Binary => &[Proto::Binary],
+        },
+        None => &[Proto::Text, Proto::Binary],
+    };
+    let mut out = Vec::new();
+    for &proto in protos {
+        match opts.mix {
+            Some(mix) => out.push(mk(proto, mix, opts.depth.unwrap_or(16), opts.duration)),
+            None => {
+                // Default sweep: hot storm across pipeline depths, then
+                // one scenario per remaining mix at a moderate depth.
+                let depths: &[usize] = match opts.depth {
+                    Some(_) => &[0], // placeholder, replaced below
+                    None => &[1, 16, 64],
+                };
+                for &d in depths {
+                    let d = if d == 0 { opts.depth.unwrap_or(16) } else { d };
+                    out.push(mk(proto, Mix::Hot, d, opts.duration));
+                }
+                for mix in [Mix::Eval, Mix::Lattice, Mix::Mixed, Mix::Garbage] {
+                    let d = opts.depth.unwrap_or(match mix {
+                        Mix::Lattice => 4,
+                        Mix::Garbage => 1,
+                        _ => 16,
+                    });
+                    out.push(mk(proto, mix, d, opts.duration));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// An in-process engine + connection layer bound to a loopback port.
+struct SelfHosted {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl SelfHosted {
+    fn start() -> Result<SelfHosted, String> {
+        let engine = Arc::new(Engine::start(EngineConfig {
+            queue_capacity: 256,
+            snapshot_path: None,
+            ..EngineConfig::default()
+        }));
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind 127.0.0.1:0: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || engine::proto::serve(engine, listener, stop))
+        };
+        Ok(SelfHosted {
+            addr,
+            engine,
+            stop,
+            handle,
+        })
+    }
+
+    fn stop(self) -> Result<(), String> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle
+            .join()
+            .map_err(|_| "server thread panicked".to_string())?
+            .map_err(|e| format!("server: {e}"))?;
+        self.engine.shutdown().map_err(|e| format!("engine: {e}"))?;
+        Ok(())
+    }
+}
+
+/// Runs each distinct request shape once over the text protocol so the
+/// session, proof cache, and eval family are warm before measurement.
+fn warmup(addr: SocketAddr) -> Result<(), String> {
+    let mut driver =
+        Driver::connect(Proto::Text, addr).map_err(|e| format!("warmup connect {addr}: {e}"))?;
+    let ops = [
+        Op::HotCheck,
+        Op::Lattice(families_stlc::Feature::all().to_vec()),
+        Op::Eval("flip(n_one)".to_string()),
+    ];
+    for op in &ops {
+        driver
+            .send(op, Priority::Normal)
+            .map_err(|e| format!("warmup send: {e}"))?;
+        let (_, verdict) = driver.recv().map_err(|e| format!("warmup recv: {e}"))?;
+        if verdict != Verdict::Ok {
+            return Err(format!("warmup request {op:?} was refused by {addr}"));
+        }
+    }
+    Ok(())
+}
+
+/// Per-scenario shared tallies (one histogram + counters across conns).
+struct Tally {
+    latency: Histogram,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+fn run_scenario(addr: SocketAddr, sc: &Scenario, seed: u64) -> std::io::Result<Report> {
+    let tally = Arc::new(Tally {
+        latency: Histogram::new(),
+        completed: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        reconnects: AtomicU64::new(0),
+    });
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..sc.conns {
+        let tally = Arc::clone(&tally);
+        let proto = sc.proto;
+        let mix = sc.mix;
+        let depth = sc.depth;
+        let duration = sc.duration;
+        // Open-loop rate is split evenly across connections.
+        let pace = sc
+            .open_rps
+            .map(|rps| Duration::from_secs_f64(sc.conns as f64 / rps));
+        let conn_seed = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1));
+        handles.push(std::thread::spawn(move || {
+            run_conn(addr, proto, mix, depth, duration, pace, conn_seed, &tally)
+        }));
+    }
+    let mut first_err = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err =
+                    first_err.or_else(|| Some(std::io::Error::other("connection worker panicked")))
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(Report {
+        name: sc.name.clone(),
+        completed: tally.completed.load(Ordering::Relaxed),
+        errors: tally.errors.load(Ordering::Relaxed),
+        reconnects: tally.reconnects.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+        latency: tally.latency.snapshot(),
+    })
+}
+
+/// One connection's driver loop: closed-loop keeps `depth` requests in
+/// flight; open-loop paces sends at the target inter-arrival time with
+/// `depth` as the in-flight cap (at saturation it degrades to closed
+/// loop — the standard coordinated-omission caveat, noted in the docs).
+#[allow(clippy::too_many_arguments)]
+fn run_conn(
+    addr: SocketAddr,
+    proto: Proto,
+    mix: Mix,
+    depth: usize,
+    duration: Duration,
+    pace: Option<Duration>,
+    seed: u64,
+    tally: &Tally,
+) -> std::io::Result<()> {
+    let mut rng = Rng::new(seed);
+    let mut driver = connect(proto, addr, mix)?;
+    let mut inflight: HashMap<u64, Instant> = HashMap::new();
+    let end = Instant::now() + duration;
+    let mut next_send = Instant::now();
+
+    loop {
+        // Fill the window (or honor the pacing schedule). The clock is
+        // re-read every iteration: the garbage arm `continue`s back
+        // here without ever adding to `inflight`, so a stale timestamp
+        // would spin this loop past the end of the window forever.
+        while Instant::now() < end && inflight.len() < depth {
+            if let Some(interval) = pace {
+                if Instant::now() < next_send {
+                    break;
+                }
+                next_send += interval;
+            }
+            let op = next_op(mix, &mut rng);
+            if let Op::Garbage(bytes) = &op {
+                // Adversarial ops: flush the pipeline, poke the server,
+                // verify it still answers, reconnect if it dropped us.
+                drain_all(&mut driver, &mut inflight, tally);
+                tally.completed.fetch_add(1, Ordering::Relaxed);
+                tally.errors.fetch_add(1, Ordering::Relaxed);
+                if !garbage_probe(&mut driver, proto, bytes) {
+                    tally.reconnects.fetch_add(1, Ordering::Relaxed);
+                    driver = connect(proto, addr, mix)?;
+                }
+                continue;
+            }
+            match driver.send(&op, Priority::Normal) {
+                Ok(id) => {
+                    inflight.insert(id, Instant::now());
+                }
+                Err(_) => {
+                    tally.reconnects.fetch_add(1, Ordering::Relaxed);
+                    inflight.clear();
+                    driver = connect(proto, addr, mix)?;
+                }
+            }
+        }
+
+        if inflight.is_empty() {
+            if Instant::now() >= end {
+                return Ok(());
+            }
+            // Pacing gap with nothing outstanding: sleep to the next slot.
+            let wait = pace
+                .map(|_| next_send.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(1))
+                .min(Duration::from_millis(5));
+            std::thread::sleep(wait.max(Duration::from_micros(50)));
+            continue;
+        }
+
+        match driver.recv() {
+            Ok((id, verdict)) => {
+                if let Some(t0) = inflight.remove(&id) {
+                    tally.latency.observe(t0.elapsed());
+                    tally.completed.fetch_add(1, Ordering::Relaxed);
+                    if verdict == Verdict::Err {
+                        tally.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    // Unsolicited (e.g. a stray corr-0 error): count it,
+                    // no latency sample.
+                    tally.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                tally.reconnects.fetch_add(1, Ordering::Relaxed);
+                inflight.clear();
+                driver = connect(proto, addr, mix)?;
+            }
+        }
+
+        if Instant::now() >= end && inflight.is_empty() {
+            return Ok(());
+        }
+    }
+}
+
+/// Connects and (for binary hot-path mixes) registers the hot template.
+fn connect(proto: Proto, addr: SocketAddr, mix: Mix) -> std::io::Result<Driver> {
+    let mut driver = Driver::connect(proto, addr)?;
+    if matches!(mix, Mix::Hot | Mix::Mixed) {
+        driver.warm_template()?;
+    }
+    Ok(driver)
+}
+
+/// Receives every outstanding reply, recording latencies.
+fn drain_all(driver: &mut Driver, inflight: &mut HashMap<u64, Instant>, tally: &Tally) {
+    while !inflight.is_empty() {
+        match driver.recv() {
+            Ok((id, verdict)) => {
+                if let Some(t0) = inflight.remove(&id) {
+                    tally.latency.observe(t0.elapsed());
+                    tally.completed.fetch_add(1, Ordering::Relaxed);
+                    if verdict == Verdict::Err {
+                        tally.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(_) => {
+                inflight.clear();
+                return;
+            }
+        }
+    }
+}
+
+/// Sends adversarial bytes, then checks the server still answers on
+/// this connection. Returns `false` if the connection is dead (which
+/// is a legitimate server response to fatal garbage — the caller
+/// reconnects; what would *fail* the run is a hang, which surfaces as
+/// a receive timeout here, or a server crash, which kills every
+/// subsequent scenario).
+fn garbage_probe(driver: &mut Driver, proto: Proto, bytes: &[u8]) -> bool {
+    // Truncated-frame garbage makes a *correct* server wait silently
+    // for the rest of the frame; bound the probe so that legitimate
+    // silence costs ~250ms of the window, not the full RECV_TIMEOUT.
+    driver.set_recv_timeout(Duration::from_millis(250)).ok();
+    let survived = garbage_probe_inner(driver, proto, bytes);
+    driver.set_recv_timeout(client::RECV_TIMEOUT).ok();
+    survived
+}
+
+fn garbage_probe_inner(driver: &mut Driver, proto: Proto, bytes: &[u8]) -> bool {
+    match proto {
+        Proto::Text => {
+            // One sanitized junk line → exactly one err reply (or a
+            // close, if the server deems the line fatal).
+            let mut line: Vec<u8> = bytes
+                .iter()
+                .copied()
+                .filter(|&b| b != b'\n' && b != b'\r')
+                .collect();
+            line.push(b'\n');
+            if driver.send(&Op::Garbage(line), Priority::Normal).is_err() {
+                return false;
+            }
+            driver.recv().is_ok()
+        }
+        Proto::Binary => {
+            if driver
+                .send(&Op::Garbage(bytes.to_vec()), Priority::Normal)
+                .is_err()
+            {
+                return false;
+            }
+            // A ping should come back even if the garbage drew corr-0
+            // error frames first; bound the scan.
+            let Driver::Binary { client, .. } = driver else {
+                return false;
+            };
+            let Ok(ping_corr) = client.send_ping() else {
+                return false;
+            };
+            for _ in 0..16 {
+                match client.recv() {
+                    Ok(frame) if frame.corr == ping_corr => return true,
+                    Ok(_) => continue,
+                    Err(_) => return false,
+                }
+            }
+            false
+        }
+    }
+}

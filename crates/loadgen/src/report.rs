@@ -1,0 +1,146 @@
+//! Result aggregation: throughput plus latency quantiles estimated
+//! from the trace crate's fixed log2-µs histogram buckets.
+//!
+//! Quantiles are reported as the **upper bound of the bucket** the
+//! requested rank falls in (the same resolution Prometheus would give
+//! from the exported `le` series): a p99 of `256µs` means the 99th
+//! percentile request took at most 256 µs. That half-log2 coarseness
+//! is deliberate — it keeps the hot path to one atomic increment.
+
+use std::time::Duration;
+
+use trace::metrics::{bucket_bound_micros, HistogramSnapshot, HISTOGRAM_BUCKETS};
+
+/// Quantile estimate in microseconds: the upper bound of the log2
+/// bucket holding the given rank, or `None` while the histogram is
+/// empty. Ranks past the last finite bucket report the overflow bound.
+pub fn quantile_micros(snap: &HistogramSnapshot, q: f64) -> Option<u64> {
+    if snap.count == 0 {
+        return None;
+    }
+    // ceil(q * count), clamped to [1, count]: the rank-th smallest.
+    let rank = ((q * snap.count as f64).ceil() as u64).clamp(1, snap.count);
+    let mut seen = 0u64;
+    for (i, b) in snap.buckets.iter().enumerate() {
+        seen += b;
+        if seen >= rank {
+            return Some(bucket_bound_micros(i));
+        }
+    }
+    // Overflow bucket: beyond the last finite bound.
+    Some(bucket_bound_micros(HISTOGRAM_BUCKETS - 1).saturating_mul(2))
+}
+
+/// One scenario's outcome, ready to print.
+pub struct Report {
+    /// Scenario label, e.g. `binary/hot d=16`.
+    pub name: String,
+    /// Requests that received a reply (ok or err).
+    pub completed: u64,
+    /// Replies that were protocol- or engine-level errors.
+    pub errors: u64,
+    /// Times the driver had to reconnect (garbage mixes only, normally).
+    pub reconnects: u64,
+    /// Measured wall-clock window.
+    pub elapsed: Duration,
+    /// Latency distribution of completed requests.
+    pub latency: HistogramSnapshot,
+}
+
+impl Report {
+    /// Completed requests per second over the measured window.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / secs
+    }
+
+    /// One aligned human-readable row.
+    pub fn row(&self) -> String {
+        let fmt = |q: f64| match quantile_micros(&self.latency, q) {
+            Some(us) => format_micros(us),
+            None => "-".to_string(),
+        };
+        format!(
+            "{:<28} {:>9.1} req/s   p50 {:>8}  p99 {:>8}  p999 {:>8}   {:>7} done  {:>5} err  {:>3} reconn",
+            self.name,
+            self.throughput(),
+            fmt(0.50),
+            fmt(0.99),
+            fmt(0.999),
+            self.completed,
+            self.errors,
+            self.reconnects,
+        )
+    }
+
+    /// One machine-readable summary line (stable `key=value` fields;
+    /// the CI smoke job greps these).
+    pub fn summary_line(&self) -> String {
+        let q = |q: f64| {
+            quantile_micros(&self.latency, q)
+                .map(|us| us.to_string())
+                .unwrap_or_else(|| "nan".to_string())
+        };
+        format!(
+            "LOADGEN name={} throughput_rps={:.1} completed={} errors={} reconnects={} p50_us={} p99_us={} p999_us={}",
+            self.name.replace(' ', "_"),
+            self.throughput(),
+            self.completed,
+            self.errors,
+            self.reconnects,
+            q(0.50),
+            q(0.99),
+            q(0.999),
+        )
+    }
+}
+
+/// Pretty-prints a microsecond bound (`640µs`, `2.0ms`, `1.1s`).
+pub fn format_micros(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.1}s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace::metrics::Histogram;
+
+    #[test]
+    fn quantiles_track_bucket_bounds() {
+        let h = Histogram::new();
+        // 90 fast (≤ 64µs bucket), 10 slow (≤ 8192µs bucket).
+        for _ in 0..90 {
+            h.observe_micros(50);
+        }
+        for _ in 0..10 {
+            h.observe_micros(5_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(quantile_micros(&s, 0.50), Some(64));
+        assert_eq!(quantile_micros(&s, 0.90), Some(64));
+        assert_eq!(quantile_micros(&s, 0.99), Some(8_192));
+        assert_eq!(quantile_micros(&s, 0.999), Some(8_192));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(quantile_micros(&s, 0.5), None);
+    }
+
+    #[test]
+    fn micros_formatting() {
+        assert_eq!(format_micros(640), "640µs");
+        assert_eq!(format_micros(2_048), "2.0ms");
+        assert_eq!(format_micros(1_100_000), "1.1s");
+    }
+}

@@ -1,0 +1,210 @@
+//! Workload mixes: what traffic the generator sends.
+//!
+//! Each mix yields a stream of [`Op`]s from a seeded xorshift generator,
+//! so a run is reproducible bit-for-bit given `--seed`.
+
+use families_stlc::Feature;
+
+/// The hot vernacular program (same shape as `examples/peano.fpop`):
+/// an inductive, a recursion, a definition, and two theorems — enough
+/// to exercise parsing, elaboration, and the proof cache.
+pub const HOT_SOURCE: &str = "\
+Family Peano.
+  FInductive num := n_zero | n_one | n_plus(num, num).
+  FRecursion flip on num returns num :=
+    Case n_zero := n_one.
+    Case n_one := n_zero.
+    Case n_plus(a, b) := n_plus(flip(a), flip(b)).
+  End flip.
+  FDefinition two : num := n_plus(n_one, n_one).
+  FTheorem flip_two : flip(two) = n_plus(n_zero, n_zero).
+  Proof. fsimpl. reflexivity. Qed.
+End Peano.
+Check Peano.flip_two.
+";
+
+/// The family the eval storm runs terms under (registered by warmup's
+/// [`HOT_SOURCE`] check).
+pub const EVAL_FAMILY: &str = "Peano";
+
+/// One unit of generated traffic.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// A vernacular check of [`HOT_SOURCE`] (cache-hot after warmup).
+    HotCheck,
+    /// A lattice build over the given feature subset.
+    Lattice(Vec<Feature>),
+    /// A term evaluation under [`EVAL_FAMILY`] (the PR-7 bytecode VM).
+    Eval(String),
+    /// Adversarial bytes (mix-specific shape; servers must answer with
+    /// an error or drop the connection — never hang or crash).
+    Garbage(Vec<u8>),
+}
+
+/// Named workload mixes (`--mix`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mix {
+    /// Hot-theorem storm: the same check over and over — the proof
+    /// cache (and, on the binary protocol, the template memo) absorbs
+    /// everything after the first.
+    Hot,
+    /// Cold-ish lattice scans over random feature subsets.
+    Lattice,
+    /// Eval storm through the bytecode VM.
+    Eval,
+    /// Adversarial garbage (from the proto-fuzzer corpus shapes).
+    Garbage,
+    /// 80% hot checks, 10% evals, 8% lattice subsets, 2% garbage.
+    Mixed,
+}
+
+impl Mix {
+    /// Parses a `--mix` value.
+    pub fn from_tag(tag: &str) -> Option<Mix> {
+        Some(match tag {
+            "hot" => Mix::Hot,
+            "lattice" => Mix::Lattice,
+            "eval" => Mix::Eval,
+            "garbage" => Mix::Garbage,
+            "mixed" => Mix::Mixed,
+            _ => return None,
+        })
+    }
+
+    /// The mix's tag (inverse of [`Mix::from_tag`]).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Mix::Hot => "hot",
+            Mix::Lattice => "lattice",
+            Mix::Eval => "eval",
+            Mix::Garbage => "garbage",
+            Mix::Mixed => "mixed",
+        }
+    }
+}
+
+/// A seeded xorshift64* stream (same recipe as the testkit's).
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a nonzero-ified seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    /// Next raw 64 bits.
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Draws the next op of a mix.
+pub fn next_op(mix: Mix, rng: &mut Rng) -> Op {
+    match mix {
+        Mix::Hot => Op::HotCheck,
+        Mix::Lattice => Op::Lattice(random_subset(rng)),
+        Mix::Eval => Op::Eval(random_eval_term(rng)),
+        Mix::Garbage => Op::Garbage(random_garbage(rng)),
+        Mix::Mixed => match rng.below(100) {
+            0..=79 => Op::HotCheck,
+            80..=89 => Op::Eval(random_eval_term(rng)),
+            90..=97 => Op::Lattice(random_subset(rng)),
+            _ => Op::Garbage(random_garbage(rng)),
+        },
+    }
+}
+
+fn random_subset(rng: &mut Rng) -> Vec<Feature> {
+    let all = Feature::all();
+    // Never draw the empty subset: the text protocol spells it the same
+    // as the full lattice, which would break cross-protocol parity.
+    let mask = rng.below((1 << all.len() as u64) - 1) as usize + 1;
+    all.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, f)| *f)
+        .collect()
+}
+
+fn random_eval_term(rng: &mut Rng) -> String {
+    // Nested flips over the hot family's constructors: exercises the
+    // VM without risking fuel exhaustion.
+    let depth = rng.below(4);
+    let mut t = "n_plus(n_one, n_zero)".to_string();
+    for _ in 0..depth {
+        t = format!("flip({t})");
+    }
+    t
+}
+
+/// Adversarial payloads: truncated/bit-flipped binary frames, raw
+/// noise, over-long varints, and text-shaped junk — the same classes
+/// the proto fuzzer throws at the server.
+pub fn random_garbage(rng: &mut Rng) -> Vec<u8> {
+    match rng.below(5) {
+        // Raw noise.
+        0 => {
+            let len = rng.below(64) as usize + 1;
+            (0..len).map(|_| (rng.next() & 0xff) as u8).collect()
+        }
+        // A valid-looking binary frame with a corrupted checksum.
+        1 => {
+            let mut bytes =
+                engine::fpopb::encode_frame(engine::fpopb::FrameType::Ping, rng.next(), b"x");
+            let last = bytes.len() - 1;
+            bytes[last] ^= 1 + (rng.next() & 0x7f) as u8;
+            bytes
+        }
+        // A truncated frame (mid-frame hangup shape).
+        2 => {
+            let bytes =
+                engine::fpopb::encode_frame(engine::fpopb::FrameType::Ping, rng.next(), b"body");
+            let cut = 1 + rng.below(bytes.len() as u64 - 1) as usize;
+            bytes[..cut].to_vec()
+        }
+        // A text line of junk (drives the text parser's error path).
+        3 => {
+            let verbs = ["frobnicate", "check", "lattice Nope", "theorem X", "eval"];
+            format!("{}\n", verbs[rng.below(verbs.len() as u64) as usize]).into_bytes()
+        }
+        // An oversized length header.
+        _ => {
+            let mut bytes = vec![engine::fpopb::MARKER, engine::fpopb::VERSION, 0x02, 0x00];
+            engine::fpopb::w_varint(&mut bytes, u64::MAX / 2);
+            bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_are_deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            let (x, y) = (next_op(Mix::Mixed, &mut a), next_op(Mix::Mixed, &mut b));
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+    }
+
+    #[test]
+    fn mix_tags_roundtrip() {
+        for m in [Mix::Hot, Mix::Lattice, Mix::Eval, Mix::Garbage, Mix::Mixed] {
+            assert_eq!(Mix::from_tag(m.tag()), Some(m));
+        }
+        assert_eq!(Mix::from_tag("nope"), None);
+    }
+}
