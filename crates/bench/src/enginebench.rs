@@ -94,6 +94,8 @@ pub fn run(b: &mut Bencher) {
 
     #[cfg(unix)]
     wire_series(b);
+    #[cfg(unix)]
+    fleet_series(b);
 }
 
 /// Requests per timed iteration of the wire series: large enough that
@@ -200,4 +202,101 @@ fn wire_series(b: &mut Bencher) {
     stop.store(true, Ordering::SeqCst);
     server.join().expect("server thread").expect("server exit");
     engine.shutdown().expect("engine shutdown");
+}
+
+/// ENGINE-fleet: warm pipelined submits through the consistent-hash
+/// router at shard counts 1/2/4, plus failover recovery. The 1-shard
+/// fleet is the `speedup_vs_single` baseline, so the ratio isolates the
+/// sharding effect — router hop and codec costs appear on both sides.
+/// Read the numbers with the EXPERIMENTS.md caveat in mind: every shard
+/// shares one core and one loopback interface here, so the series pins
+/// the *overhead* of sharding (ratio ≈ 1 is the expected healthy
+/// outcome), not the multi-machine scaling claim.
+#[cfg(unix)]
+fn fleet_series(b: &mut Bencher) {
+    use engine::fleet::{Fleet, Ring};
+    use engine::fpopb;
+    use engine::request::Priority;
+
+    eprintln!("\n== engine: fleet (consistent-hash router + N shards) ==");
+
+    // Eight distinct warm checks so the digests spread over the ring — a
+    // single hot digest would pin every frame to one shard and measure
+    // nothing but that shard.
+    let reqs: Vec<Request> = (0..8)
+        .map(|i| Request::CheckSource {
+            source: format!("(* fleet item {i} *)\n{PEANO}"),
+        })
+        .collect();
+    let warm_shards = |fleet: &Fleet| {
+        for shard in &fleet.shards {
+            for r in &reqs {
+                shard.engine.run(r.clone()).expect("fleet warmup");
+            }
+        }
+    };
+
+    for n in [1usize, 2, 4] {
+        let fleet = Fleet::start_default(n).expect("fleet start");
+        warm_shards(&fleet);
+        let mut c = fpopb::Client::connect(fleet.addr).expect("connect router");
+        b.bench_time(&format!("engine/fleet_warm_{n}shard"), WIRE_BATCH as f64, || {
+            let (mut sent, mut done) = (0usize, 0usize);
+            let t = Instant::now();
+            while done < WIRE_BATCH {
+                while sent < WIRE_BATCH && sent - done < 16 {
+                    c.send_submit(&reqs[sent % reqs.len()], Priority::Normal)
+                        .expect("send");
+                    sent += 1;
+                }
+                let frame = c.recv().expect("recv");
+                assert!(
+                    !matches!(frame.ty, fpopb::FrameType::Err),
+                    "fleet submit failed"
+                );
+                done += 1;
+            }
+            t.elapsed()
+        });
+        fleet.stop().expect("fleet stop");
+    }
+    for n in [2usize, 4] {
+        b.mark_speedup_vs_single(
+            &format!("engine/fleet_warm_{n}shard"),
+            "engine/fleet_warm_1shard",
+        );
+    }
+
+    // Failover recovery: wall time from losing a digest's home shard to
+    // the router answering that digest with a real verdict again
+    // (detection + re-route; the surviving shard is already warm).
+    b.bench_time("engine/fleet_failover_recovery", 1.0, || {
+        let mut fleet = Fleet::start_default(2).expect("fleet start");
+        let req = &reqs[0];
+        // Only `req`'s digest is measured; warming just it keeps the
+        // untimed per-iteration setup (a fresh fleet every time) cheap.
+        for shard in &fleet.shards {
+            shard.engine.run(req.clone()).expect("fleet warmup");
+        }
+        let key = req.dedup_key().expect("checks have digests");
+        let victim = Ring::new(2).route(key, &[true, true]).expect("route");
+        let mut c = fpopb::Client::connect(fleet.addr).expect("connect router");
+        // Pin the digest's home shard on this connection, then lose it.
+        match c.roundtrip(req, Priority::Normal).expect("pre-kill") {
+            fpopb::Reply::Ok(_) => {}
+            other => panic!("pre-kill answered {other:?}"),
+        }
+        fleet.stop_shard(victim).expect("stop shard");
+        let t = Instant::now();
+        loop {
+            match c.roundtrip(req, Priority::Normal).expect("roundtrip") {
+                fpopb::Reply::Ok(_) => break,
+                fpopb::Reply::Err(fpopb::ErrCode::Unavailable, _) => continue,
+                other => panic!("failover answered {other:?}"),
+            }
+        }
+        let d = t.elapsed();
+        fleet.stop().expect("fleet stop");
+        d
+    });
 }

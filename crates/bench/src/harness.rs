@@ -41,6 +41,10 @@ pub struct BenchResult {
     /// pipelined binary path is faster). `None` for workloads without a
     /// text-protocol counterpart.
     pub speedup_vs_text: Option<f64>,
+    /// For fleet workloads: median time of the 1-shard fleet baseline
+    /// divided by this result's median (>1 ⇒ the N-shard fleet is
+    /// faster). `None` for workloads without a single-shard counterpart.
+    pub speedup_vs_single: Option<f64>,
 }
 
 impl BenchResult {
@@ -176,6 +180,27 @@ impl Bencher {
         }
     }
 
+    /// Stamps `name`'s `speedup_vs_single` as `baseline`'s median over
+    /// its own (the fleet analogue of [`Self::mark_speedup`]; the
+    /// baseline is the 1-shard fleet so router overhead cancels out of
+    /// the ratio).
+    pub fn mark_speedup_vs_single(&mut self, name: &str, baseline: &str) {
+        let base_ns = self
+            .results
+            .iter()
+            .find(|r| r.name == baseline)
+            .unwrap_or_else(|| panic!("single-shard baseline {baseline:?} has not run"))
+            .median_ns;
+        let r = self
+            .results
+            .iter_mut()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("speedup target {name:?} has not run"));
+        if r.median_ns > 0.0 {
+            r.speedup_vs_single = Some(base_ns / r.median_ns);
+        }
+    }
+
     fn push(&mut self, name: &str, batch: u64, samples: u64, median_ns: f64, items: f64) {
         let r = BenchResult {
             name: name.to_string(),
@@ -186,6 +211,7 @@ impl Bencher {
             speedup_vs_seq: None,
             speedup_vs_interp: None,
             speedup_vs_text: None,
+            speedup_vs_single: None,
         };
         eprintln!(
             "{:<44} {:>14.0} ns/iter {:>14.1} items/s  ({} x {})",
@@ -218,6 +244,9 @@ impl Bencher {
             }
             if let Some(x) = r.speedup_vs_text {
                 speedup.push_str(&format!(", \"speedup_vs_text\": {x:.3}"));
+            }
+            if let Some(x) = r.speedup_vs_single {
+                speedup.push_str(&format!(", \"speedup_vs_single\": {x:.3}"));
             }
             s.push_str(&format!(
                 "    {{\"name\": {}, \"median_ns\": {:.1}, \"throughput_per_s\": {:.3}, \

@@ -5,15 +5,19 @@
 //!
 //! ```text
 //! fpopd [--addr HOST:PORT] [--workers N] [--sched-workers N] [--queue N]
-//!       [--snapshot PATH] [--deadline-ms N] [--slow-ms N] [--slow-top N]
-//!       [--trace-dump PATH]
+//!       [--snapshot PATH] [--store DIR] [--deadline-ms N] [--slow-ms N]
+//!       [--slow-top N] [--trace-dump PATH]
 //! ```
 //!
 //! Defaults: `--addr 127.0.0.1:7878`, workers = min(cores, 4), queue 64,
-//! no snapshot (pass `--snapshot` to enable warm restarts), no deadline,
-//! slow log at 500 ms / top 8, no trace dump. `--sched-workers` sets the
-//! task-DAG scheduler threads *inside* each `BuildLattice` request (0 =
-//! auto: all cores, or the `FPOP_SCHED_WORKERS` environment variable).
+//! no snapshot (pass `--snapshot` to enable warm restarts), no shared
+//! store (pass `--store DIR` to join a fleet's content-addressed proof
+//! store — catch up from it at boot, publish into it at checkpoint), no
+//! deadline, slow log at 500 ms / top 8, no trace dump. `--sched-workers`
+//! sets the task-DAG scheduler threads *inside* each `BuildLattice`
+//! request (0 = auto: all cores, or the `FPOP_SCHED_WORKERS` environment
+//! variable). Passing port 0 binds an ephemeral port; the actual bound
+//! address is reported on the `fpopd: listening on` stderr line.
 //!
 //! `--trace-dump PATH` installs the global span collector at startup and,
 //! at shutdown, writes every collected span as Chrome `trace_event` JSON
@@ -47,8 +51,8 @@ struct Args {
 
 fn usage() -> String {
     "usage: fpopd [--addr HOST:PORT] [--workers N] [--sched-workers N] \
-     [--queue N] [--snapshot PATH] [--deadline-ms N] [--slow-ms N] \
-     [--slow-top N] [--trace-dump PATH]"
+     [--queue N] [--snapshot PATH] [--store DIR] [--deadline-ms N] \
+     [--slow-ms N] [--slow-top N] [--trace-dump PATH]"
         .to_string()
 }
 
@@ -83,6 +87,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--queue: {e}"))?
             }
             "--snapshot" => args.config.snapshot_path = Some(value("--snapshot")?.into()),
+            "--store" => args.config.shared_store = Some(value("--store")?.into()),
             "--deadline-ms" => {
                 let ms: u64 = value("--deadline-ms")?
                     .parse()
@@ -141,9 +146,15 @@ fn main() -> ExitCode {
         (_, Some(e)) => eprintln!("fpopd: cold start — snapshot rejected: {e}"),
         _ => eprintln!("fpopd: cold start — empty proof cache"),
     }
+    // Report the *bound* address: with `--addr 127.0.0.1:0` the kernel
+    // picks the port, and callers (tests, fleet scripts) parse this line.
+    let bound = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| args.addr.clone());
     eprintln!(
         "fpopd: listening on {} ({} workers, queue {})",
-        args.addr, args.config.workers, args.config.queue_capacity
+        bound, args.config.workers, args.config.queue_capacity
     );
 
     let stop = Arc::new(AtomicBool::new(false));

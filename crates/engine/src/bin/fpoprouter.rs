@@ -1,0 +1,146 @@
+//! `fpoprouter` — the consistent-hash fleet router in front of N `fpopd`
+//! shards (see `docs/ARCHITECTURE.md`, "Fleet topology").
+//!
+//! ```text
+//! fpoprouter --shards HOST:PORT[,HOST:PORT...] [--addr HOST:PORT] [--probe-ms N]
+//! ```
+//!
+//! Every client request is routed by its stable content digest, so the
+//! same request always lands on the same shard — fleet-wide dedup and
+//! cache hits fall out of the routing function. Shard order in `--shards`
+//! *is* the ring order: keep it stable across router restarts or the
+//! digest→shard map moves. Dead shards are detected on I/O failure,
+//! routed around, probed every `--probe-ms` (default 250), and
+//! re-admitted at the same address once they answer again.
+//!
+//! Defaults: `--addr 127.0.0.1:7879`. Passing port 0 binds an ephemeral
+//! port; the actual bound address is reported on the
+//! `fpoprouter: listening on` stderr line.
+//!
+//! Try it (three shards already running on 7801–7803):
+//!
+//! ```text
+//! $ fpoprouter --shards 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 &
+//! $ printf 'lattice full\nstats\nshutdown\n' | nc 127.0.0.1 7879
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    imp::main()
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::net::{SocketAddr, TcpListener};
+    use std::process::ExitCode;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use engine::fleet::{serve_router, RouterConfig};
+
+    struct Args {
+        addr: String,
+        config: RouterConfig,
+    }
+
+    fn usage() -> String {
+        "usage: fpoprouter --shards HOST:PORT[,HOST:PORT...] \
+         [--addr HOST:PORT] [--probe-ms N]"
+            .to_string()
+    }
+
+    fn parse_args(argv: &[String]) -> Result<Args, String> {
+        let mut addr = "127.0.0.1:7879".to_string();
+        let mut shards: Vec<SocketAddr> = Vec::new();
+        let mut probe = None;
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} expects a value\n{}", usage()))
+            };
+            match flag.as_str() {
+                "--addr" => addr = value("--addr")?,
+                "--shards" => {
+                    for part in value("--shards")?.split(',') {
+                        let sa: SocketAddr = part
+                            .trim()
+                            .parse()
+                            .map_err(|e| format!("--shards: {part}: {e}"))?;
+                        shards.push(sa);
+                    }
+                }
+                "--probe-ms" => {
+                    let ms: u64 = value("--probe-ms")?
+                        .parse()
+                        .map_err(|e| format!("--probe-ms: {e}"))?;
+                    probe = Some(Duration::from_millis(ms));
+                }
+                "--help" | "-h" => return Err(usage()),
+                other => return Err(format!("unknown flag {other}\n{}", usage())),
+            }
+        }
+        if shards.is_empty() {
+            return Err(format!("--shards is required\n{}", usage()));
+        }
+        let mut config = RouterConfig::new(shards);
+        if let Some(p) = probe {
+            config.probe_interval = p;
+        }
+        Ok(Args { addr, config })
+    }
+
+    pub fn main() -> ExitCode {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let args = match parse_args(&argv) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+        let listener = match TcpListener::bind(&args.addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("fpoprouter: cannot bind {}: {e}", args.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+        let bound = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| args.addr.clone());
+        eprintln!(
+            "fpoprouter: listening on {bound} ({} shards: {})",
+            args.config.shards.len(),
+            args.config
+                .shards
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+
+        let stop = Arc::new(AtomicBool::new(false));
+        if let Err(e) = serve_router(args.config, listener, stop) {
+            eprintln!("fpoprouter: listener error: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("fpoprouter: stopped");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use std::process::ExitCode;
+
+    pub fn main() -> ExitCode {
+        eprintln!("fpoprouter: the fleet router requires a unix platform");
+        ExitCode::FAILURE
+    }
+}

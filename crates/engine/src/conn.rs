@@ -559,6 +559,13 @@ fn handle_frame(
                     format!("checkpoint written ({bytes} bytes)").as_bytes(),
                 );
             }
+            Ok(None) if engine.has_shared_store() => {
+                conn.push_frame(
+                    FrameType::Ok,
+                    corr,
+                    b"checkpoint published to shared store (no local snapshot)",
+                );
+            }
             Ok(None) => {
                 conn.push_err_frame(corr, ErrCode::Failed, "no snapshot path configured");
             }
@@ -793,6 +800,9 @@ fn handle_text_line(
         )),
         Ok(proto::Command::Checkpoint) => TextSlot::Ready(match engine.checkpoint() {
             Ok(Some(bytes)) => format!("ok checkpoint written ({bytes} bytes)"),
+            Ok(None) if engine.has_shared_store() => {
+                "ok checkpoint published to shared store (no local snapshot)".to_string()
+            }
             Ok(None) => "err no snapshot path configured".to_string(),
             Err(e) => format!("err {}", proto::escape(&e.to_string())),
         }),

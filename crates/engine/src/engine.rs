@@ -45,12 +45,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use families_stlc::build_lattice_subset_parallel_with;
-use fpop::{FamilyUniverse, Session, StatsSnapshot};
+use fpop::{ExportMark, FamilyUniverse, Session, StatsSnapshot};
 use modsys::CheckLedger;
 
 use crate::queue::PrioQueue;
 use crate::request::{EngineError, Priority, Request, Response};
 use crate::snapshot::{load_snapshot, write_snapshot, SnapshotError};
+use crate::store::SharedStore;
 
 /// Engine construction parameters.
 #[derive(Clone, Debug)]
@@ -67,6 +68,12 @@ pub struct EngineConfig {
     /// Where to persist the proof-cache snapshot. `None` disables both
     /// warm start and shutdown checkpointing.
     pub snapshot_path: Option<PathBuf>,
+    /// The fleet's shared content-addressed store directory (tier 3 of
+    /// the proof cache). When set, boot *catches up* from the store
+    /// (full segments + applicable diff chains) and every checkpoint
+    /// *publishes* back — a full base segment first, deltas after.
+    /// `None` keeps the engine fleet-oblivious (the default).
+    pub shared_store: Option<PathBuf>,
     /// Requests whose service time reaches this threshold are recorded in
     /// the slow-elaboration log ([`Engine::slow_log`]).
     pub slow_threshold: Duration,
@@ -90,6 +97,7 @@ impl Default for EngineConfig {
             submit_timeout: Duration::from_millis(200),
             default_deadline: None,
             snapshot_path: None,
+            shared_store: None,
             slow_threshold: Duration::from_millis(500),
             slow_log_capacity: 8,
             sched_workers: 0,
@@ -871,12 +879,24 @@ struct WarmStart {
     error: Option<SnapshotError>,
 }
 
+/// Where the engine's shared-store publishing stands: the export mark of
+/// the last published state, and the content digest of the segment that
+/// state lives under (the base the next diff pins). `base == None` until
+/// the first checkpoint publishes a full segment.
+#[derive(Default)]
+struct PublishState {
+    mark: ExportMark,
+    base: Option<u64>,
+}
+
 /// The resident prover engine. See the module docs for the lifecycle.
 pub struct Engine {
     shared: Arc<Shared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     config: EngineConfig,
     warm: WarmStart,
+    store: Option<SharedStore>,
+    publish: Mutex<PublishState>,
     down: AtomicBool,
 }
 
@@ -921,6 +941,31 @@ impl Engine {
                 }
             }
         }
+        // Tier 3: catch up from the fleet's shared store — full segments
+        // plus every diff chain that resolves. A broken store only costs
+        // warmth, never a boot.
+        let store = config.shared_store.as_ref().and_then(|dir| {
+            match SharedStore::open(dir) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!(
+                        "fpopd: shared store {} unavailable: {e} — continuing without",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        });
+        if let Some(store) = &store {
+            let got = store.catch_up(&session);
+            if got.loaded > 0 || got.skipped > 0 {
+                eprintln!(
+                    "fpopd: store catch-up — {} proofs ({} segments, {} diffs, {} skipped)",
+                    got.loaded, got.segments, got.diffs_applied, got.skipped
+                );
+            }
+            warm.loaded += got.loaded;
+        }
         let worker_count = if spawn_workers {
             config.workers.max(1)
         } else {
@@ -962,6 +1007,8 @@ impl Engine {
             workers: Mutex::new(workers),
             config,
             warm,
+            store,
+            publish: Mutex::new(PublishState::default()),
             down: AtomicBool::new(false),
         }
     }
@@ -980,6 +1027,14 @@ impl Engine {
     /// and fell back to a cold cache.
     pub fn load_error(&self) -> Option<&SnapshotError> {
         self.warm.error.as_ref()
+    }
+
+    /// Whether a fleet shared store is configured — i.e. whether
+    /// [`Engine::checkpoint`] publishes even without a snapshot path.
+    /// The protocol layers use this to answer `checkpoint` honestly on
+    /// store-only shards (the fleet's usual configuration).
+    pub fn has_shared_store(&self) -> bool {
+        self.store.is_some()
     }
 
     /// Session counters + store size (one coherent snapshot).
@@ -1245,17 +1300,43 @@ impl Engine {
     }
 
     /// Writes the current proof cache to the configured snapshot path
-    /// (atomic tmp-then-rename). Returns the byte count, or `None` when
-    /// no path is configured.
+    /// (atomic tmp-then-rename) and, when a shared store is configured,
+    /// publishes to it — a full base segment on the first checkpoint,
+    /// a diff of the entries added since the previous publish after.
+    /// Returns the local snapshot's byte count, or `None` when no
+    /// snapshot path is configured.
     ///
     /// # Errors
     ///
-    /// Filesystem errors from the snapshot write.
+    /// Filesystem errors from either write. A failed publish leaves the
+    /// publish mark untouched, so the next checkpoint re-ships the same
+    /// delta (the store is content-addressed — re-publishing is a no-op).
     pub fn checkpoint(&self) -> std::io::Result<Option<usize>> {
-        match &self.config.snapshot_path {
-            None => Ok(None),
-            Some(path) => write_snapshot(path, &self.shared.session.export()).map(Some),
+        let written = match &self.config.snapshot_path {
+            None => None,
+            Some(path) => Some(write_snapshot(path, &self.shared.session.export())?),
+        };
+        if let Some(store) = &self.store {
+            let mut publish = self.publish.lock().expect("publish state poisoned");
+            // The mark is taken *before* the export: anything committed
+            // in between ships both now and next time — the merge is
+            // idempotent, so over-shipping is free and under-shipping
+            // (losing an entry) is impossible.
+            let mark = self.shared.session.mark();
+            match publish.base {
+                None => {
+                    publish.base = Some(store.publish_base(&self.shared.session.export())?);
+                }
+                Some(base) => {
+                    let added = self.shared.session.export_since(&publish.mark);
+                    if !added.is_empty() {
+                        publish.base = Some(store.publish_diff(base, &added)?);
+                    }
+                }
+            }
+            publish.mark = mark;
         }
+        Ok(written)
     }
 
     /// Graceful shutdown: stop accepting work, **drain** every accepted

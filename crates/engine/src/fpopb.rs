@@ -122,7 +122,8 @@ impl FrameType {
 
 /// Error codes carried in the first body byte of an [`FrameType::Err`]
 /// frame. Codes 1–4 are protocol-level (the request never reached the
-/// engine); 5–9 mirror [`EngineError`].
+/// engine); 5–9 mirror [`EngineError`]; 10 is emitted by the fleet
+/// router, never by a single `fpopd`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(u8)]
 pub enum ErrCode {
@@ -144,6 +145,11 @@ pub enum ErrCode {
     ShuttingDown = 8,
     /// [`EngineError::Failed`] (elaboration error, unknown template…).
     Failed = 9,
+    /// The fleet router lost the backend shard holding this request
+    /// mid-flight. The request may or may not have executed (requests
+    /// are idempotent, so either way a retry is safe) — resubmit and the
+    /// router will route around the dead shard.
+    Unavailable = 10,
 }
 
 impl ErrCode {
@@ -159,6 +165,7 @@ impl ErrCode {
             6 => ErrCode::Deadline,
             7 => ErrCode::Cancelled,
             8 => ErrCode::ShuttingDown,
+            10 => ErrCode::Unavailable,
             _ => ErrCode::Failed,
         }
     }
@@ -678,6 +685,15 @@ impl Client {
         let mut body = vec![encode_priority(prio)];
         body.extend_from_slice(&digest.to_le_bytes());
         self.send_frame(FrameType::SubmitTemplate, &body)
+    }
+
+    /// Sends a checkpoint frame (persist the proof cache now).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn send_checkpoint(&mut self) -> std::io::Result<u64> {
+        self.send_frame(FrameType::Checkpoint, &[])
     }
 
     /// Sends a shutdown frame.

@@ -42,6 +42,15 @@
 //!   `eval` request, which evaluates terms under a registered family's
 //!   signature via the session's digest-keyed compiled-code cache (the
 //!   objlang bytecode VM), interpreter fallback included.
+//! * [`diff`] — the `FPOPDIFF` v1 snapshot-delta codec: base-digest-pinned,
+//!   varint-framed added entries, FNV-64 trailer; applying a diff to its
+//!   base reproduces the full snapshot byte-for-byte.
+//! * [`store`] — the shared content-addressed store directory: full
+//!   `FPOPSNAP` segments plus `FPOPDIFF` chains, published at checkpoint
+//!   and replayed at boot so a restarted replica catches up by delta.
+//! * [`fleet`] *(unix)* — the consistent-hash router in front of N fpopd
+//!   shards: digest-keyed routing over both wire protocols, shard-death
+//!   detection with re-routing, and re-admission after restart.
 //!
 //! ## Warm restart, the headline property
 //!
@@ -69,7 +78,10 @@
 
 #[cfg(unix)]
 pub mod conn;
+pub mod diff;
 pub mod engine;
+#[cfg(unix)]
+pub mod fleet;
 pub mod fpopb;
 #[cfg(unix)]
 pub mod poll;
@@ -77,14 +89,17 @@ pub mod proto;
 pub mod queue;
 pub mod request;
 pub mod snapshot;
+pub mod store;
 pub mod term_parse;
 
+pub use diff::{apply_diff, decode_diff, encode_diff, snapshot_digest, DiffError};
 pub use engine::{Engine, EngineConfig, EngineMetrics, SlowEntry, Ticket};
 pub use queue::{PrioQueue, PushError};
 pub use request::{EngineError, Priority, Request, Response};
 pub use snapshot::{
     decode_snapshot, encode_snapshot, load_snapshot, write_snapshot, SnapshotError,
 };
+pub use store::SharedStore;
 
 #[cfg(test)]
 mod send_sync_asserts {

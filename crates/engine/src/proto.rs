@@ -354,6 +354,11 @@ fn handle_connection(
             }
             Ok(Command::Checkpoint) => match engine.checkpoint() {
                 Ok(Some(bytes)) => format!("ok checkpoint written ({bytes} bytes)"),
+                // A store-only shard (the fleet's usual shape) has no
+                // local snapshot but the publish did happen — say so.
+                Ok(None) if engine.has_shared_store() => {
+                    "ok checkpoint published to shared store (no local snapshot)".to_string()
+                }
                 Ok(None) => "err no snapshot path configured".to_string(),
                 Err(e) => format!("err {}", escape(&e.to_string())),
             },

@@ -104,7 +104,7 @@ impl std::error::Error for SnapshotError {}
 // Encoding
 // ---------------------------------------------------------------------------
 
-fn w_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn w_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -426,7 +426,7 @@ fn w_sequent(out: &mut Vec<u8>, s: &Sequent) {
     w_prop(out, &s.goal);
 }
 
-fn w_entry_body(out: &mut Vec<u8>, e: &ExportEntry) {
+pub(crate) fn w_entry_body(out: &mut Vec<u8>, e: &ExportEntry) {
     match e {
         ExportEntry::Theorem {
             statement,
@@ -492,9 +492,11 @@ pub fn encode_snapshot(entries: &[ExportEntry]) -> Vec<u8> {
 // Decoding
 // ---------------------------------------------------------------------------
 
-struct Cursor<'a> {
+// `pub(crate)` so the FPOPDIFF codec ([`crate::diff`]) decodes entry
+// bodies with exactly this decoder: one entry grammar, two containers.
+pub(crate) struct Cursor<'a> {
     b: &'a [u8],
-    pos: usize,
+    pub(crate) pos: usize,
 }
 
 type DResult<T> = Result<T, SnapshotError>;
@@ -504,11 +506,11 @@ fn corrupt(why: impl Into<String>) -> SnapshotError {
 }
 
 impl<'a> Cursor<'a> {
-    fn new(b: &'a [u8]) -> Cursor<'a> {
+    pub(crate) fn new(b: &'a [u8]) -> Cursor<'a> {
         Cursor { b, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> DResult<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> DResult<&'a [u8]> {
         let end = self
             .pos
             .checked_add(n)
@@ -519,11 +521,11 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> DResult<u8> {
+    pub(crate) fn u8(&mut self) -> DResult<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn varint(&mut self) -> DResult<u64> {
+    pub(crate) fn varint(&mut self) -> DResult<u64> {
         let mut v: u64 = 0;
         let mut shift = 0u32;
         loop {
@@ -539,7 +541,7 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn len(&mut self) -> DResult<usize> {
+    pub(crate) fn len(&mut self) -> DResult<usize> {
         let v = self.varint()?;
         // A length can never legitimately exceed the remaining input.
         if v as usize > self.b.len().saturating_sub(self.pos) {
@@ -732,7 +734,7 @@ impl<'a> Cursor<'a> {
         Ok(Sequent { vars, hyps, goal })
     }
 
-    fn entry(&mut self, kind: u8) -> DResult<ExportEntry> {
+    pub(crate) fn entry(&mut self, kind: u8) -> DResult<ExportEntry> {
         match kind {
             0 => {
                 let statement = self.prop(0)?;

@@ -1,0 +1,226 @@
+//! Differential oracle: the **`FPOPDIFF` delta codec** on random stores,
+//! mirroring the `FPOPSNAP` oracle in `snapshot_differential.rs`.
+//!
+//! The codec must be a bijection on (base digest, added entries) —
+//! `decode(encode(d)) == d` — and applying a diff to its exact base must
+//! reproduce, byte-for-byte, the full snapshot of the merged store. It
+//! must also be a *total* rejector: bit flips, truncations, and garbage
+//! return `Err`, never panic, and a diff presented with the wrong base is
+//! refused (the caller's full-restore fallback), never half-applied.
+
+use engine::diff::DiffError;
+use engine::snapshot::encode_snapshot;
+use engine::{apply_diff, decode_diff, encode_diff, snapshot_digest};
+use fpop::session::sort_export_entries;
+use fpop::ExportEntry;
+use testkit::harness::Shrink;
+use testkit::store_gen::gen_store;
+use testkit::{forall, run_cases, Rng};
+
+/// A random store split into a (base, added) pair, plus the expected
+/// merged full-snapshot bytes. Deduplicated up front: the merge is
+/// defined on *sets* of entries (the session store is a cache), and
+/// `gen_store` is free to repeat itself.
+#[derive(Clone, Debug)]
+struct SplitStore {
+    base: Vec<ExportEntry>,
+    added: Vec<ExportEntry>,
+    full: Vec<u8>,
+}
+
+impl Shrink for SplitStore {
+    fn shrinks(&self) -> Vec<SplitStore> {
+        // Drop one added entry at a time: the minimal counterexample to a
+        // merge property is usually a single offending delta entry.
+        (0..self.added.len())
+            .map(|i| {
+                let mut added = self.added.clone();
+                added.remove(i);
+                SplitStore::assemble(self.base.clone(), added)
+            })
+            .collect()
+    }
+}
+
+impl SplitStore {
+    fn assemble(base: Vec<ExportEntry>, added: Vec<ExportEntry>) -> SplitStore {
+        let mut unique: Vec<ExportEntry> = Vec::new();
+        for e in base.iter().chain(&added) {
+            if !unique.contains(e) {
+                unique.push(e.clone());
+            }
+        }
+        sort_export_entries(&mut unique);
+        let full = encode_snapshot(&unique);
+        SplitStore { base, added, full }
+    }
+}
+
+fn split_store(r: &mut Rng) -> SplitStore {
+    let store = gen_store(r);
+    let mut unique: Vec<ExportEntry> = Vec::new();
+    for e in store.entries {
+        if !unique.contains(&e) {
+            unique.push(e);
+        }
+    }
+    let mut base = Vec::new();
+    let mut added = Vec::new();
+    for e in unique {
+        if r.below(3) == 0 {
+            added.push(e);
+        } else {
+            base.push(e);
+        }
+    }
+    SplitStore::assemble(base, added)
+}
+
+/// Encode → decode is the identity on (base digest, added entries), and
+/// applying the diff to its base reproduces the merged full snapshot
+/// byte-for-byte — the property the shared store's catch-up leans on.
+#[test]
+fn random_diffs_roundtrip_and_apply_reproduces_the_full_snapshot() {
+    forall(
+        "diff_roundtrip_apply",
+        0xD1FF0901,
+        60,
+        split_store,
+        |s: &SplitStore| {
+            let base_bytes = encode_snapshot(&s.base);
+            let base_digest = snapshot_digest(&base_bytes);
+            let diff = encode_diff(base_digest, &s.added);
+            let (got_base, got_added) =
+                decode_diff(&diff).map_err(|e| format!("decode of own encode: {e}"))?;
+            if got_base != base_digest {
+                return Err(format!(
+                    "base digest changed: {base_digest:#018x} in, {got_base:#018x} out"
+                ));
+            }
+            if got_added != s.added {
+                return Err(format!(
+                    "round-trip changed the delta: {} entries in, {} out",
+                    s.added.len(),
+                    got_added.len()
+                ));
+            }
+            let merged =
+                apply_diff(&base_bytes, &diff).map_err(|e| format!("apply to own base: {e}"))?;
+            if merged != s.full {
+                return Err(format!(
+                    "merged image not byte-identical to the full snapshot \
+                     ({} vs {} bytes)",
+                    merged.len(),
+                    s.full.len()
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Re-applying a diff whose entries the base already holds is a no-op on
+/// the byte image: shipping a conservative (over-wide) delta is free.
+#[test]
+fn overlapping_diffs_merge_idempotently() {
+    run_cases("diff_idempotent_overlap", 0xD1FF0902, 30, |r: &mut Rng| {
+        let s = split_store(r);
+        let base_bytes = encode_snapshot(&s.base);
+        let diff = encode_diff(snapshot_digest(&base_bytes), &s.added);
+        let once = apply_diff(&base_bytes, &diff).expect("first apply");
+        // The merged image already contains every added entry; the same
+        // delta pinned to the *merged* digest must change nothing.
+        let rediff = encode_diff(snapshot_digest(&once), &s.added);
+        let twice = apply_diff(&once, &rediff).expect("second apply");
+        assert_eq!(once, twice, "re-applying an absorbed delta moved bytes");
+    });
+}
+
+/// A diff presented with any base other than the one it was cut against
+/// is refused with `BaseMismatch` — never silently merged.
+#[test]
+fn wrong_base_is_refused() {
+    run_cases("diff_wrong_base", 0xD1FF0903, 30, |r: &mut Rng| {
+        let s = split_store(r);
+        let base_bytes = encode_snapshot(&s.base);
+        let diff = encode_diff(snapshot_digest(&base_bytes), &s.added);
+        // A different snapshot: the base plus one extra random store's
+        // worth of entries (or, if the base was everything, minus one).
+        let mut other = s.base.clone();
+        other.extend(gen_store(r).entries);
+        let other_bytes = encode_snapshot(&other);
+        if snapshot_digest(&other_bytes) == snapshot_digest(&base_bytes) {
+            return; // astronomically unlikely; nothing to assert
+        }
+        match apply_diff(&other_bytes, &diff) {
+            Err(DiffError::BaseMismatch { expected, found }) => {
+                assert_eq!(expected, snapshot_digest(&base_bytes));
+                assert_eq!(found, snapshot_digest(&other_bytes));
+            }
+            Err(other) => panic!("wrong base rejected with wrong error: {other}"),
+            Ok(_) => panic!("diff applied to a base it was not cut against"),
+        }
+    });
+}
+
+/// Any single flipped bit in a valid diff is rejected (checksum-first,
+/// exactly like the snapshot decoder) — and rejection is an `Err`, never
+/// a panic or a half-applied merge.
+#[test]
+fn random_bit_flips_are_rejected_without_panic() {
+    run_cases("diff_bit_flips", 0xD1FF0904, 40, |r: &mut Rng| {
+        let s = split_store(r);
+        let base_bytes = encode_snapshot(&s.base);
+        let mut diff = encode_diff(snapshot_digest(&base_bytes), &s.added);
+        let byte = r.below(diff.len() as u64) as usize;
+        let bit = r.below(8) as u32;
+        diff[byte] ^= 1 << bit;
+        assert!(
+            decode_diff(&diff).is_err(),
+            "flipped bit {bit} of byte {byte}/{} went undetected",
+            diff.len()
+        );
+        assert!(
+            apply_diff(&base_bytes, &diff).is_err(),
+            "corrupt diff was applied"
+        );
+    });
+}
+
+/// Truncations at arbitrary boundaries and arbitrary garbage are rejected
+/// without panicking — the full-restore fallback path in the shared store
+/// depends on rejection being total.
+#[test]
+fn truncations_and_garbage_are_rejected_without_panic() {
+    run_cases("diff_truncate_garbage", 0xD1FF0905, 40, |r: &mut Rng| {
+        let s = split_store(r);
+        let base_bytes = encode_snapshot(&s.base);
+        let diff = encode_diff(snapshot_digest(&base_bytes), &s.added);
+        if diff.len() > 1 {
+            let cut = r.below(diff.len() as u64 - 1) as usize;
+            assert!(
+                decode_diff(&diff[..cut]).is_err(),
+                "truncation to {cut}/{} bytes went undetected",
+                diff.len()
+            );
+        }
+        // Pure garbage of random length (may accidentally start with the
+        // magic; the decoder must still fail totally).
+        let len = r.below(256) as usize;
+        let garbage: Vec<u8> = (0..len).map(|_| r.below(256) as u8).collect();
+        let _ = decode_diff(&garbage); // must not panic
+        let _ = apply_diff(&base_bytes, &garbage); // must not panic
+    });
+}
+
+/// Regression pin: an empty delta against an empty base is a valid diff
+/// whose application yields exactly the empty snapshot image.
+#[test]
+fn empty_diff_on_empty_base_is_the_empty_snapshot() {
+    let base = encode_snapshot(&[]);
+    let diff = encode_diff(snapshot_digest(&base), &[]);
+    let (got_base, got_added) = decode_diff(&diff).expect("empty diff decodes");
+    assert_eq!(got_base, snapshot_digest(&base));
+    assert!(got_added.is_empty());
+    assert_eq!(apply_diff(&base, &diff).expect("applies"), base);
+}

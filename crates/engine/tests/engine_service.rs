@@ -271,6 +271,54 @@ fn tcp_protocol_end_to_end() {
     engine.shutdown().unwrap();
 }
 
+/// A store-only shard — `--store` but no `--snapshot`, the fleet's usual
+/// configuration — answers `checkpoint` with `ok`: the publish into the
+/// shared store *did* happen, and the router counts an `err` reply as a
+/// failed shard checkpoint.
+#[test]
+fn checkpoint_on_a_store_only_shard_is_ok_not_err() {
+    let dir = std::env::temp_dir().join(format!("fpop-store-only-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 1,
+        snapshot_path: None,
+        shared_store: Some(dir.clone()),
+        ..EngineConfig::default()
+    }));
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || proto::serve(engine, listener, stop))
+    };
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+
+    let check_line = format!("check {}", proto::escape(PEANO));
+    let reply = send(&mut conn, &mut reader, &check_line);
+    assert!(reply.starts_with("ok "), "got: {reply}");
+
+    let reply = send(&mut conn, &mut reader, "checkpoint");
+    assert!(
+        reply.starts_with("ok checkpoint published to shared store"),
+        "got: {reply}"
+    );
+    let published = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("seg-"))
+        .count();
+    assert_eq!(published, 1, "one full base segment after first checkpoint");
+
+    assert_eq!(send(&mut conn, &mut reader, "shutdown"), "ok shutting down");
+    server.join().unwrap().unwrap();
+    engine.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn eval_serves_terms_from_the_session_code_cache() {
     let e = Engine::start(no_snapshot(2));

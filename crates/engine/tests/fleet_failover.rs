@@ -1,0 +1,506 @@
+//! Fault-injection failover suite: **kill a shard, keep every promise**.
+//!
+//! The router's failover contract, pinned here against real `fpopd`
+//! child processes (SIGKILL, not graceful drains) and a byte-level fake
+//! shard:
+//!
+//! * every in-flight request completes — with the correct verdict or a
+//!   clean retryable wire error ([`ErrCode::Unavailable`]) — never a
+//!   hang, never a *wrong* verdict;
+//! * a shard killed **mid-frame** (half a reply on the wire, then gone)
+//!   is detected and routed around, and the half-frame never reaches a
+//!   client;
+//! * a restarted shard catches up from the shared store by diff replay
+//!   and is re-admitted by the health prober, and the fleet's merged
+//!   store contents end up identical to a never-killed control fleet's.
+
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use engine::fleet::{serve_router, Fleet, RouterConfig};
+use engine::fpopb::{decode_reply, encode_frame, Client, ErrCode, FrameType, Reply};
+use engine::snapshot::encode_snapshot;
+use engine::{EngineConfig, Priority, Request, SharedStore};
+use fpop::Session;
+use testkit::script_gen::{gen_vernacular, Verdict, VernacularProgram};
+use testkit::Rng;
+
+/// Patience for every "eventually" in this suite. Generous because the
+/// CI box is one core; the suite passes in seconds when healthy.
+const PATIENCE: Duration = Duration::from_secs(60);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fpop-failover-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+// ---------------------------------------------------------------------------
+// Process shards and an in-process router
+// ---------------------------------------------------------------------------
+
+/// One real `fpopd` child process.
+struct ProcShard {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ProcShard {
+    /// Spawns `fpopd --addr <addr> --snapshot … --store …` and parses the
+    /// actual bound address off the `listening on` stderr line. `Err` if
+    /// the child exits first (e.g. the port is still held after a kill).
+    fn spawn(dir: &Path, i: usize, addr: &str) -> std::io::Result<ProcShard> {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_fpopd"))
+            .args([
+                "--addr",
+                addr,
+                "--snapshot",
+                dir.join(format!("snap{i}")).to_str().expect("utf-8 path"),
+                "--store",
+                dir.join("store").to_str().expect("utf-8 path"),
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()?;
+        let stderr = child.stderr.take().expect("piped stderr");
+        let mut lines = BufReader::new(stderr);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if lines.read_line(&mut line)? == 0 {
+                child.kill().ok();
+                child.wait().ok();
+                return Err(std::io::Error::other("fpopd exited before listening"));
+            }
+            if let Some(rest) = line.strip_prefix("fpopd: listening on ") {
+                let addr = rest
+                    .split_whitespace()
+                    .next()
+                    .and_then(|a| a.parse().ok())
+                    .ok_or_else(|| std::io::Error::other(format!("unparseable: {line}")))?;
+                // Keep draining stderr so the child never blocks on a
+                // full pipe.
+                std::thread::spawn(move || {
+                    let _ = std::io::copy(&mut lines, &mut std::io::sink());
+                });
+                return Ok(ProcShard { child, addr });
+            }
+        }
+    }
+
+    /// SIGKILL — no drain, no snapshot, no goodbye.
+    fn kill(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+impl Drop for ProcShard {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// The router under test, serving on a loopback port in-process.
+struct Router {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<std::io::Result<()>>>,
+}
+
+impl Router {
+    fn start(shards: Vec<SocketAddr>) -> Router {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind router");
+        let addr = listener.local_addr().expect("router addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let config = RouterConfig {
+            shards,
+            probe_interval: Duration::from_millis(100),
+        };
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || serve_router(config, listener, stop))
+        };
+        Router {
+            addr,
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            h.join().ok();
+        }
+    }
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    let c = Client::connect(addr).expect("connect");
+    // Anti-hang: the contract says every request *answers*; a silent
+    // 60-second stall is a failure, not a wait.
+    c.stream()
+        .set_read_timeout(Some(PATIENCE))
+        .expect("read timeout");
+    c
+}
+
+// ---------------------------------------------------------------------------
+// Verdict bookkeeping
+// ---------------------------------------------------------------------------
+
+/// What one reply means for the failover contract.
+#[derive(Debug, PartialEq)]
+enum Outcome {
+    /// The request ran; `true` = accepted.
+    Verdict(bool),
+    /// Clean retryable error: the shard died with the request in flight.
+    Retryable,
+}
+
+fn classify(reply: Reply) -> Outcome {
+    match reply {
+        Reply::Ok(_) => Outcome::Verdict(true),
+        Reply::Err(ErrCode::Failed, _) => Outcome::Verdict(false),
+        Reply::Err(ErrCode::Unavailable, _) => Outcome::Retryable,
+        other => panic!("neither verdict nor retryable: {other:?}"),
+    }
+}
+
+fn check_request(p: &VernacularProgram) -> Request {
+    Request::CheckSource {
+        source: p.source.clone(),
+    }
+}
+
+/// Sequentially submits `p` until it yields a verdict (retrying clean
+/// `Unavailable` answers), and asserts the verdict is the generator's.
+fn settle(client: &mut Client, p: &VernacularProgram) {
+    let deadline = Instant::now() + PATIENCE;
+    loop {
+        let reply = client
+            .roundtrip(&check_request(p), Priority::Normal)
+            .expect("roundtrip");
+        match classify(reply) {
+            Outcome::Verdict(accepted) => {
+                assert_eq!(
+                    accepted,
+                    p.expect == Verdict::Accept,
+                    "wrong verdict after failover on:\n{}",
+                    p.source
+                );
+                return;
+            }
+            Outcome::Retryable => {
+                assert!(Instant::now() < deadline, "retries never settled");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Binary checkpoint through the router; returns the shard count the
+/// router reports having checkpointed.
+fn checkpoint(client: &mut Client) -> usize {
+    let corr = client.send_checkpoint().expect("send checkpoint");
+    let frame = client.recv().expect("checkpoint reply");
+    assert_eq!(frame.corr, corr);
+    match decode_reply(&frame).expect("decode") {
+        Reply::Ok(msg) => msg
+            .strip_prefix("checkpoint written on ")
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable checkpoint reply: {msg}")),
+        other => panic!("checkpoint answered {other:?}"),
+    }
+}
+
+/// The store directory's full catch-up, reduced to comparable form:
+/// (proof count, canonical merged snapshot bytes).
+fn store_contents(dir: &Path) -> (usize, Vec<u8>) {
+    let store = SharedStore::open(dir.join("store")).expect("open store");
+    let session = Session::new();
+    store.catch_up(&session);
+    (session.cached_proofs(), encode_snapshot(&session.export()))
+}
+
+// ---------------------------------------------------------------------------
+// The tests
+// ---------------------------------------------------------------------------
+
+/// The tentpole scenario: SIGKILL a real fpopd shard mid-batch, complete
+/// every in-flight request correctly or retryably, restart the shard at
+/// the same address, watch the prober re-admit it and the boot-time diff
+/// catch-up warm it, and end with store contents identical to a
+/// never-killed in-process control fleet that ran the same batch.
+#[test]
+fn kill_mid_batch_restart_and_catch_up_matches_control() {
+    let dir = tmp_dir("kill");
+    let mut shards: Vec<ProcShard> = (0..3)
+        .map(|i| ProcShard::spawn(&dir, i, "127.0.0.1:0").expect("spawn shard"))
+        .collect();
+    let router = Router::start(shards.iter().map(|s| s.addr).collect());
+    let mut client = connect(router.addr);
+
+    let mut r = Rng::new(0xFA110901);
+    let programs: Vec<VernacularProgram> = (0..24).map(|_| gen_vernacular(&mut r)).collect();
+
+    // Phase 1: first third, settled sequentially, then checkpointed —
+    // every shard publishes its base segment to the shared store.
+    for p in &programs[..8] {
+        settle(&mut client, p);
+    }
+    assert_eq!(checkpoint(&mut client), 3, "all shards checkpoint");
+
+    // Phase 2: the rest, pipelined; SIGKILL shard 1 once half the frames
+    // are on the wire. Every correlation id must come back exactly once,
+    // with the true verdict or a clean retryable error.
+    let mut pending: HashMap<u64, &VernacularProgram> = HashMap::new();
+    for (k, p) in programs[8..].iter().enumerate() {
+        let corr = client
+            .send_submit(&check_request(p), Priority::Normal)
+            .expect("send");
+        pending.insert(corr, p);
+        if k == 8 {
+            shards[1].kill();
+        }
+    }
+    let mut retry: Vec<&VernacularProgram> = Vec::new();
+    while !pending.is_empty() {
+        let frame = client.recv().expect("in-flight request never answered");
+        let p = pending
+            .remove(&frame.corr)
+            .unwrap_or_else(|| panic!("unknown or duplicate corr {}", frame.corr));
+        match classify(decode_reply(&frame).expect("decode")) {
+            Outcome::Verdict(accepted) => assert_eq!(
+                accepted,
+                p.expect == Verdict::Accept,
+                "WRONG verdict during failover on:\n{}",
+                p.source
+            ),
+            Outcome::Retryable => retry.push(p),
+        }
+    }
+    // Clean retryable errors settle to true verdicts on the survivors.
+    for p in retry {
+        settle(&mut client, p);
+    }
+    // Survivors checkpoint: phase-2 proofs reach the store as diffs
+    // against the phase-1 bases.
+    assert_eq!(checkpoint(&mut client), 2, "survivors checkpoint");
+
+    // Phase 3: restart the killed shard at the SAME address (ring order
+    // is positional). SIGKILL leaves no TIME_WAIT on the listener, but
+    // give the kernel a moment anyway.
+    let addr = shards[1].addr;
+    let deadline = Instant::now() + PATIENCE;
+    let restarted = loop {
+        match ProcShard::spawn(&dir, 1, &addr.to_string()) {
+            Ok(s) => break s,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "could not rebind {addr}: {e}");
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        }
+    };
+    assert_eq!(restarted.addr, addr, "shard must rejoin at its old address");
+    shards[1] = restarted;
+
+    // Boot-time catch-up: the restarted shard warm-loads the *union*
+    // published so far (its own snapshot plus every sibling's segments
+    // and diffs).
+    let (store_count, _) = store_contents(&dir);
+    let mut direct = connect(shards[1].addr);
+    match direct
+        .roundtrip(&Request::Stats, Priority::Normal)
+        .expect("stats")
+    {
+        Reply::Ok(payload) => {
+            let cached: usize = payload
+                .split_whitespace()
+                .find_map(|tok| tok.strip_prefix("cached="))
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| panic!("unparseable stats: {payload}"));
+            assert_eq!(
+                cached, store_count,
+                "restarted shard did not catch up to the store's union"
+            );
+        }
+        other => panic!("stats answered {other:?}"),
+    }
+
+    // Re-admission: the prober pings the address back to life; the
+    // router checkpoints 3 shards again once it has.
+    let deadline = Instant::now() + PATIENCE;
+    loop {
+        if checkpoint(&mut client) == 3 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "shard never re-admitted");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // The whole batch again, post-recovery: pure warm hits, true verdicts.
+    for p in &programs {
+        settle(&mut client, p);
+    }
+    assert_eq!(checkpoint(&mut client), 3);
+    let killed_fleet = store_contents(&dir);
+    drop(client);
+    drop(router);
+    drop(shards);
+
+    // Control: an in-process 3-shard fleet, same store machinery, same
+    // batch, nobody dies. The shared stores must agree exactly: same
+    // proof count, byte-identical merged snapshot.
+    let control_dir = tmp_dir("control");
+    let store_path = control_dir.join("store");
+    let snap_dir = control_dir.clone();
+    let control = Fleet::start(3, |i| EngineConfig {
+        snapshot_path: Some(snap_dir.join(format!("snap{i}"))),
+        shared_store: Some(store_path.clone()),
+        ..EngineConfig::default()
+    })
+    .expect("control fleet");
+    let mut cc = connect(control.addr);
+    for p in &programs[..8] {
+        settle(&mut cc, p);
+    }
+    assert_eq!(checkpoint(&mut cc), 3);
+    for p in &programs[8..] {
+        settle(&mut cc, p);
+    }
+    assert_eq!(checkpoint(&mut cc), 3);
+    for p in &programs {
+        settle(&mut cc, p);
+    }
+    assert_eq!(checkpoint(&mut cc), 3);
+    let control_fleet = store_contents(&control_dir);
+    drop(cc);
+    control.stop().expect("control stop");
+
+    assert_eq!(
+        killed_fleet.0, control_fleet.0,
+        "kill+restart fleet and control fleet proved different counts"
+    );
+    assert_eq!(
+        killed_fleet.1, control_fleet.1,
+        "merged store snapshots differ between killed and control fleets"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&control_dir).ok();
+}
+
+/// Mid-frame fault injection: a fake shard answers its first request with
+/// *half* a reply frame and drops the connection. The router must treat
+/// the torn frame as shard death — every affected request answers with a
+/// clean retryable error or (after re-routing) the true verdict, the
+/// half-frame bytes never reach a client, and the text protocol retries
+/// transparently without surfacing an error at all.
+#[test]
+fn mid_frame_death_is_clean_and_text_retries_transparently() {
+    // The fake shard: accept, read a bit, write half an Ok frame, die.
+    // Afterwards the listener closes, so the prober can never re-admit.
+    let fake_listener = TcpListener::bind("127.0.0.1:0").expect("bind fake");
+    let fake_addr = fake_listener.local_addr().expect("fake addr");
+    let fake = std::thread::spawn(move || {
+        if let Ok((mut s, _)) = fake_listener.accept() {
+            let mut buf = [0u8; 1024];
+            let _ = s.read(&mut buf);
+            let frame = encode_frame(FrameType::Ok, 1, b"counterfeit payload");
+            let _ = s.write_all(&frame[..frame.len() / 2]);
+            // Connection and listener both drop here: mid-frame EOF.
+        }
+    });
+
+    // One real in-process fleet shard provides the survivor.
+    let real = Fleet::start(1, |_| EngineConfig {
+        snapshot_path: None,
+        ..EngineConfig::default()
+    })
+    .expect("real shard");
+    let real_addr = real.shards[0].addr;
+
+    let router = Router::start(vec![fake_addr, real_addr]);
+    let mut client = connect(router.addr);
+
+    let mut r = Rng::new(0xFA110902);
+    let programs: Vec<VernacularProgram> = (0..16).map(|_| gen_vernacular(&mut r)).collect();
+
+    // Pipeline the whole batch; some digests route to the fake shard and
+    // hit the torn frame.
+    let mut pending: HashMap<u64, &VernacularProgram> = HashMap::new();
+    for p in &programs {
+        let corr = client
+            .send_submit(&check_request(p), Priority::Normal)
+            .expect("send");
+        pending.insert(corr, p);
+    }
+    let mut retryable = 0usize;
+    let mut retry: Vec<&VernacularProgram> = Vec::new();
+    while !pending.is_empty() {
+        let frame = client.recv().expect("request never answered");
+        let p = pending
+            .remove(&frame.corr)
+            .unwrap_or_else(|| panic!("unknown or duplicate corr {}", frame.corr));
+        match classify(decode_reply(&frame).expect("decode")) {
+            Outcome::Verdict(accepted) => {
+                assert_eq!(
+                    accepted,
+                    p.expect == Verdict::Accept,
+                    "wrong verdict — a torn frame leaked a counterfeit reply?\n{}",
+                    p.source
+                );
+            }
+            Outcome::Retryable => {
+                retryable += 1;
+                retry.push(p);
+            }
+        }
+    }
+    assert!(
+        retryable > 0,
+        "no request ever routed to the fake shard — the injection tested nothing \
+         (reseed or add programs)"
+    );
+    for p in retry {
+        settle(&mut client, p);
+    }
+
+    // Text protocol over the same (now one-armed) fleet: the turn-based
+    // retry loop hides shard death entirely — correct verdict, no error.
+    let stream = TcpStream::connect(router.addr).expect("text connect");
+    stream.set_read_timeout(Some(PATIENCE)).expect("timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    for p in &programs[..4] {
+        let mut w = stream.try_clone().expect("clone");
+        writeln!(w, "check {}", engine::proto::escape(&p.source)).expect("write");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("text reply");
+        let want = if p.expect == Verdict::Accept { "ok" } else { "err" };
+        assert!(
+            line.starts_with(want),
+            "text protocol surfaced a failover artifact: {line:?} for:\n{}",
+            p.source
+        );
+    }
+
+    fake.join().ok();
+    drop(client);
+    drop(router);
+    real.stop().expect("real stop");
+}

@@ -72,7 +72,9 @@ pub mod universe;
 pub use elab::CompiledFamily;
 pub use family::{FamilyDef, Field, ProofSpec};
 pub use sched::TaskDag;
-pub use session::{CacheTxn, ExportEntry, Session, SessionStats, StatsSnapshot, TxnParts};
+pub use session::{
+    CacheTxn, ExportEntry, ExportMark, Session, SessionStats, StatsSnapshot, TxnParts,
+};
 pub use universe::FamilyUniverse;
 
 // Concurrency audit: compiled families cross thread boundaries in the

@@ -312,6 +312,47 @@ impl ProofCache {
         }
     }
 
+    /// The current per-bucket entry counts (theorems, cases) — the raw
+    /// material of an [`ExportMark`]. Buckets are append-only (entries
+    /// are pushed, never removed or reordered), so a count is a stable
+    /// watermark into each bucket.
+    fn bucket_counts(&self) -> (HashMap<u64, usize>, HashMap<u64, usize>) {
+        (
+            self.theorems.iter().map(|(h, v)| (*h, v.len())).collect(),
+            self.cases.iter().map(|(h, v)| (*h, v.len())).collect(),
+        )
+    }
+
+    /// Appends every entry added after the marked per-bucket counts to
+    /// `out` (the per-shard slice of [`Session::export_since`]).
+    fn collect_entries_past(
+        &self,
+        marked: &(HashMap<u64, usize>, HashMap<u64, usize>),
+        out: &mut Vec<ExportEntry>,
+    ) {
+        for (h, v) in &self.theorems {
+            let from = marked.0.get(h).copied().unwrap_or(0);
+            for e in v.iter().skip(from) {
+                out.push(ExportEntry::Theorem {
+                    statement: e.statement.clone(),
+                    script: e.script.clone(),
+                    closed_world_key: e.closed_world_key.clone(),
+                    okey: e.okey,
+                });
+            }
+        }
+        for (h, v) in &self.cases {
+            let from = marked.1.get(h).copied().unwrap_or(0);
+            for e in v.iter().skip(from) {
+                out.push(ExportEntry::Case {
+                    sequent: e.sequent.clone(),
+                    script: e.script.clone(),
+                    okey: e.okey,
+                });
+            }
+        }
+    }
+
     /// Inserts one imported entry, re-bucketing under this process's
     /// hashes. Case proofs are re-admitted as kernel evidence on the
     /// strength of the snapshot's integrity check (see
@@ -347,7 +388,11 @@ impl ProofCache {
 /// here — `Symbol`'s Debug prints the interned string, never the id — and
 /// injective on the payload, so the (tag, okey, rendering) triple orders
 /// every distinct entry.
-fn sort_export_entries(out: &mut [ExportEntry]) {
+///
+/// Public because snapshot *consumers* need the same total order: the
+/// engine's `FPOPDIFF` codec re-sorts `base ∪ diff` so that applying a
+/// diff reproduces the full snapshot byte-for-byte.
+pub fn sort_export_entries(out: &mut [ExportEntry]) {
     out.sort_by_cached_key(|e| match e {
         ExportEntry::Theorem {
             statement,
@@ -365,6 +410,38 @@ fn sort_export_entries(out: &mut [ExportEntry]) {
             okey,
         } => (1u8, *okey, format!("{sequent:?} {script:?}")),
     });
+}
+
+/// A point-in-time watermark of a session's store, as taken by
+/// [`Session::mark`] and consumed by [`Session::export_since`]. The store
+/// is append-only (proofs are never evicted), so a mark is just the
+/// per-bucket entry count of every shard at mark time: everything past
+/// those counts was added later.
+///
+/// Marks power snapshot *diff* shipping: a shard checkpoints a full
+/// snapshot once, takes a mark, and every later checkpoint exports only
+/// the entries added since — the `FPOPDIFF` delta a catching-up replica
+/// applies on top of the base instead of a full restore.
+#[derive(Clone, Debug, Default)]
+pub struct ExportMark {
+    /// Per shard: bucket key → entries present at mark time, separately
+    /// for the theorem and case maps.
+    shards: Vec<(HashMap<u64, usize>, HashMap<u64, usize>)>,
+}
+
+impl ExportMark {
+    /// Total number of entries covered by the mark.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|(t, c)| t.values().sum::<usize>() + c.values().sum::<usize>())
+            .sum()
+    }
+
+    /// Whether the mark covers an empty store.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Bucket-wise, idempotent merge of `overlay` into `into`, preserving the
@@ -657,6 +734,41 @@ impl Session {
             s.read()
                 .expect("session cache poisoned")
                 .collect_entries(&mut out);
+        }
+        sort_export_entries(&mut out);
+        out
+    }
+
+    /// Takes a watermark of the store: [`Session::export_since`] against
+    /// it returns exactly the entries committed or imported after this
+    /// call. O(buckets), no entry is cloned.
+    pub fn mark(&self) -> ExportMark {
+        ExportMark {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("session cache poisoned").bucket_counts())
+                .collect(),
+        }
+    }
+
+    /// Exports every proof added after `mark`, in the same canonical
+    /// order as [`Session::export`]. The union of the entries at mark
+    /// time and this delta is exactly the current [`Session::export`] —
+    /// the invariant that makes `FPOPDIFF` deltas equivalent to full
+    /// snapshots (the diff-shipping differential test pins it).
+    ///
+    /// A mark taken from a *different* session (or a mismatched shard
+    /// count) degrades safely: unknown buckets export in full, so the
+    /// delta over-approximates but never loses an entry.
+    pub fn export_since(&self, mark: &ExportMark) -> Vec<ExportEntry> {
+        let empty = (HashMap::new(), HashMap::new());
+        let mut out = Vec::new();
+        for (i, s) in self.shards.iter().enumerate() {
+            let marked = mark.shards.get(i).unwrap_or(&empty);
+            s.read()
+                .expect("session cache poisoned")
+                .collect_entries_past(marked, &mut out);
         }
         sort_export_entries(&mut out);
         out
@@ -1104,6 +1216,39 @@ mod tests {
         let a = build();
         assert_eq!(a.len(), 32);
         assert_eq!(a, build());
+    }
+
+    #[test]
+    fn export_since_mark_partitions_the_export() {
+        let s = Session::new();
+        let mut t = s.begin();
+        for i in 0..8 {
+            t.insert_theorem(p(60 + i), vec![], None, i);
+        }
+        t.commit();
+        let before = s.export();
+        let mark = s.mark();
+        // Nothing new yet: the delta is empty.
+        assert!(s.export_since(&mark).is_empty());
+        let mut t2 = s.begin();
+        for i in 0..8 {
+            // Half collide with marked buckets (same statement, new
+            // script), half land in fresh buckets.
+            t2.insert_theorem(p(60 + i), vec![Tactic::Trivial], None, i);
+            t2.insert_theorem(p(80 + i), vec![], None, i);
+        }
+        t2.commit();
+        let delta = s.export_since(&mark);
+        assert_eq!(delta.len(), 16);
+        // mark-time entries ∪ delta == the full export, under the one
+        // total export order.
+        let mut merged = before;
+        merged.extend(delta);
+        sort_export_entries(&mut merged);
+        assert_eq!(merged, s.export());
+        // An empty (foreign) mark degrades to the full export.
+        let full = s.export_since(&ExportMark::default());
+        assert_eq!(full, s.export());
     }
 
     #[test]

@@ -174,6 +174,16 @@ pub fn stable_hash_str(s: &str) -> u64 {
     h.finish()
 }
 
+/// Plain FNV-1a over a byte image, no length prefix. This is the digest
+/// the engine's wire protocol and snapshot codec append as a trailer, and
+/// the content address the fleet's shared store files a snapshot under —
+/// all three must agree byte-for-byte, so they share this one definition.
+pub fn fnv64_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
 /// The overridable-definition snapshot key: a stable hash over the
 /// `(name, body)` pairs of every overridable definition in scope. The
 /// elaborator mixes this into every proof-cache key, so a proof is reused
@@ -233,6 +243,16 @@ mod tests {
         let key = vec![(Symbol::new("subst"), Term::c0("tm_unit"))];
         assert_eq!(stable_odef_hash(&key), 0x929fa2627fa1cfd0);
         assert_ne!(stable_odef_hash(&key), stable_odef_hash(&[]));
+    }
+
+    #[test]
+    fn byte_hash_golden_value_is_frozen() {
+        // Must match the FNV-1a the snapshot/wire codecs compute: the
+        // shared store addresses segments by this digest, and a restored
+        // replica recomputes it to verify what it fetched.
+        assert_eq!(fnv64_bytes(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64_bytes(b"FPOPSNAP"), 0x2e57bb23d3f1d3c0);
+        assert_ne!(fnv64_bytes(b"a"), fnv64_bytes(b"b"));
     }
 
     #[test]

@@ -37,6 +37,9 @@ USAGE: loadgen [OPTIONS]
                      protocols, assert nonzero throughput, clean exit
   --addr HOST:PORT   target an external server (default: self-host an
                      in-process engine on 127.0.0.1:0)
+  --fleet [N]        self-host an N-shard fleet behind a consistent-hash
+                     router instead of a single engine (default N=3;
+                     unix only; ignored when --addr is given)
   --proto P          text | binary (default: sweep both)
   --mix M            hot | lattice | eval | garbage | mixed
                      (default: scenario sweep)
@@ -55,6 +58,8 @@ Each scenario prints a human row and a machine line:
 struct Opts {
     quick: bool,
     addr: Option<SocketAddr>,
+    /// Self-host an N-shard fleet behind a router instead of one engine.
+    fleet: Option<usize>,
     proto: Option<Proto>,
     mix: Option<Mix>,
     depth: Option<usize>,
@@ -88,14 +93,16 @@ fn main() {
 fn run() -> Result<(), String> {
     let opts = parse_args(std::env::args().skip(1))?;
 
-    // Self-host unless an external target was given.
-    let hosted = match opts.addr {
-        Some(_) => None,
-        None => Some(SelfHosted::start()?),
+    // Self-host unless an external target was given: a single engine by
+    // default, an N-shard fleet behind a router with `--fleet`.
+    let hosted = match (opts.addr, opts.fleet) {
+        (Some(_), _) => None,
+        (None, Some(n)) => Some(Hosted::fleet(n)?),
+        (None, None) => Some(Hosted::Single(SelfHosted::start()?)),
     };
     let addr = opts
         .addr
-        .unwrap_or_else(|| hosted.as_ref().expect("self-hosted").addr);
+        .unwrap_or_else(|| hosted.as_ref().expect("self-hosted").addr());
 
     warmup(addr)?;
 
@@ -103,11 +110,10 @@ fn run() -> Result<(), String> {
     let mut reports = Vec::new();
     println!(
         "target {addr} ({})  seed {}  {} scenario(s)",
-        if hosted.is_some() {
-            "self-hosted"
-        } else {
-            "external"
-        },
+        hosted
+            .as_ref()
+            .map(Hosted::label)
+            .unwrap_or_else(|| "external".to_string()),
         opts.seed,
         scenarios.len()
     );
@@ -138,6 +144,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Opts, String> {
     let mut opts = Opts {
         quick: false,
         addr: None,
+        fleet: None,
         proto: None,
         mix: None,
         depth: None,
@@ -154,6 +161,24 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Opts, String> {
         };
         match arg.as_str() {
             "--quick" => opts.quick = true,
+            "--fleet" => {
+                // Optional value: `--fleet 5` pins the shard count,
+                // bare `--fleet` means 3.
+                let n = match args.peek() {
+                    Some(v) => match v.parse::<usize>() {
+                        Ok(n) => {
+                            args.next();
+                            n
+                        }
+                        Err(_) => 3,
+                    },
+                    None => 3,
+                };
+                if n == 0 {
+                    return Err("--fleet 0: want at least one shard".to_string());
+                }
+                opts.fleet = Some(n);
+            }
             "--addr" => {
                 let v = take("--addr")?;
                 opts.addr = Some(v.parse().map_err(|e| format!("--addr {v}: {e}"))?);
@@ -265,6 +290,71 @@ fn build_scenarios(opts: &Opts) -> Vec<Scenario> {
         }
     }
     out
+}
+
+/// What `loadgen` self-hosts when no `--addr` was given: one engine, or
+/// a router fronting an N-shard fleet.
+enum Hosted {
+    Single(SelfHosted),
+    #[cfg(unix)]
+    Fleet(engine::fleet::Fleet),
+}
+
+impl Hosted {
+    #[cfg(unix)]
+    fn fleet(n: usize) -> Result<Hosted, String> {
+        let fleet =
+            engine::fleet::Fleet::start_default(n).map_err(|e| format!("fleet start: {e}"))?;
+        // Warm every shard directly: router requests route by digest, so
+        // a warmup request through the router lands on one shard only,
+        // and eval/theorem traffic to the others would be refused for an
+        // unregistered family. The hot check registers [`EVAL_FAMILY`].
+        for shard in &fleet.shards {
+            for req in [
+                engine::Request::CheckSource {
+                    source: workload::HOT_SOURCE.to_string(),
+                },
+                engine::Request::BuildLattice {
+                    features: families_stlc::Feature::all().to_vec(),
+                },
+            ] {
+                shard
+                    .engine
+                    .run(req)
+                    .map_err(|e| format!("fleet shard warmup: {e}"))?;
+            }
+        }
+        Ok(Hosted::Fleet(fleet))
+    }
+
+    #[cfg(not(unix))]
+    fn fleet(_n: usize) -> Result<Hosted, String> {
+        Err("--fleet: the fleet router is unix-only".to_string())
+    }
+
+    fn addr(&self) -> SocketAddr {
+        match self {
+            Hosted::Single(h) => h.addr,
+            #[cfg(unix)]
+            Hosted::Fleet(f) => f.addr,
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            Hosted::Single(_) => "self-hosted".to_string(),
+            #[cfg(unix)]
+            Hosted::Fleet(f) => format!("self-hosted fleet, {} shards", f.shards.len()),
+        }
+    }
+
+    fn stop(self) -> Result<(), String> {
+        match self {
+            Hosted::Single(h) => h.stop(),
+            #[cfg(unix)]
+            Hosted::Fleet(f) => f.stop().map_err(|e| format!("fleet stop: {e}")),
+        }
+    }
 }
 
 /// An in-process engine + connection layer bound to a loopback port.
