@@ -52,6 +52,19 @@ pub fn run(b: &mut Bencher) {
     });
     b.mark_speedup("lattice/build_cold_parallel", "lattice/build_cold");
 
+    // One DAG worker vs the sequential wave builder: the same work on
+    // the same thread, so the ratio is pure scheduler bookkeeping —
+    // task-graph construction, the ready queue, the COW env overlays.
+    // Healthy is ≈ 1.0; this row is the pin the single-worker-overhead
+    // satellite work moves.
+    b.bench("lattice/build_cold_1w", n_variants as f64, || {
+        let mut u = FamilyUniverse::new();
+        let rep = families_stlc::build_lattice_parallel_with(&mut u, 1).unwrap();
+        assert_eq!(rep.rows.len(), n_variants);
+        rep.rows.len()
+    });
+    b.mark_speedup("lattice/build_cold_1w", "lattice/build_cold");
+
     // Thread series over the task-DAG scheduler: same workload, forced
     // worker counts. The `speedup_vs_seq` JSON field on each lets
     // bench-smoke CI catch parallel-path regressions without parsing

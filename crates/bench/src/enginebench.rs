@@ -92,10 +92,42 @@ pub fn run(b: &mut Bencher) {
     b.mark_speedup("engine/batch_warm_4w", "engine/batch_warm_1w");
     std::fs::remove_dir_all(&dir).ok();
 
+    redefine_series(b);
+
     #[cfg(unix)]
     wire_series(b);
     #[cfg(unix)]
     fleet_series(b);
+}
+
+/// The `redefine` verb end to end: a warm engine holds the full lattice's
+/// elaboration memo in its session; each iteration touches one field of
+/// `STLCFix` and re-verifies the whole lattice through the incremental
+/// path (one variant dirty, the cone early-cut, the rest replayed). This
+/// is the service-level twin of the kernel `lattice/recheck_one_field`
+/// row — what a client actually waits for after an edit.
+fn redefine_series(b: &mut Bencher) {
+    eprintln!("\n== engine: redefine (incremental recheck) ==");
+    let engine = engine_with(1, None);
+    engine
+        .submit(Request::BuildLattice {
+            features: Feature::all().to_vec(),
+        })
+        .expect("submit warm lattice")
+        .wait()
+        .expect("warm lattice");
+    b.bench("engine/redefine_warm", 1.0, || {
+        engine
+            .submit(Request::Redefine {
+                family: "STLCFix".to_string(),
+                field: "step_fix_inv".to_string(),
+                features: Feature::all().to_vec(),
+            })
+            .expect("submit redefine")
+            .wait()
+            .expect("redefine")
+    });
+    engine.shutdown().expect("engine shutdown");
 }
 
 /// Requests per timed iteration of the wire series: large enough that
@@ -240,24 +272,28 @@ fn fleet_series(b: &mut Bencher) {
         let fleet = Fleet::start_default(n).expect("fleet start");
         warm_shards(&fleet);
         let mut c = fpopb::Client::connect(fleet.addr).expect("connect router");
-        b.bench_time(&format!("engine/fleet_warm_{n}shard"), WIRE_BATCH as f64, || {
-            let (mut sent, mut done) = (0usize, 0usize);
-            let t = Instant::now();
-            while done < WIRE_BATCH {
-                while sent < WIRE_BATCH && sent - done < 16 {
-                    c.send_submit(&reqs[sent % reqs.len()], Priority::Normal)
-                        .expect("send");
-                    sent += 1;
+        b.bench_time(
+            &format!("engine/fleet_warm_{n}shard"),
+            WIRE_BATCH as f64,
+            || {
+                let (mut sent, mut done) = (0usize, 0usize);
+                let t = Instant::now();
+                while done < WIRE_BATCH {
+                    while sent < WIRE_BATCH && sent - done < 16 {
+                        c.send_submit(&reqs[sent % reqs.len()], Priority::Normal)
+                            .expect("send");
+                        sent += 1;
+                    }
+                    let frame = c.recv().expect("recv");
+                    assert!(
+                        !matches!(frame.ty, fpopb::FrameType::Err),
+                        "fleet submit failed"
+                    );
+                    done += 1;
                 }
-                let frame = c.recv().expect("recv");
-                assert!(
-                    !matches!(frame.ty, fpopb::FrameType::Err),
-                    "fleet submit failed"
-                );
-                done += 1;
-            }
-            t.elapsed()
-        });
+                t.elapsed()
+            },
+        );
         fleet.stop().expect("fleet stop");
     }
     for n in [2usize, 4] {

@@ -45,6 +45,11 @@ pub struct BenchResult {
     /// divided by this result's median (>1 ⇒ the N-shard fleet is
     /// faster). `None` for workloads without a single-shard counterpart.
     pub speedup_vs_single: Option<f64>,
+    /// For incremental-recheck workloads: median time of the warm
+    /// full-rebuild baseline divided by this result's median (>1 ⇒ the
+    /// fingerprint memo beats re-elaborating the whole lattice). `None`
+    /// for workloads without a full-rebuild counterpart.
+    pub speedup_vs_full_rebuild: Option<f64>,
 }
 
 impl BenchResult {
@@ -201,6 +206,27 @@ impl Bencher {
         }
     }
 
+    /// Stamps `name`'s `speedup_vs_full_rebuild` as `baseline`'s median
+    /// over its own (the incremental-recheck analogue of
+    /// [`Self::mark_speedup`]; the baseline is the warm full rebuild, so
+    /// the ratio isolates what the fingerprint memo saves on an edit).
+    pub fn mark_speedup_vs_full_rebuild(&mut self, name: &str, baseline: &str) {
+        let base_ns = self
+            .results
+            .iter()
+            .find(|r| r.name == baseline)
+            .unwrap_or_else(|| panic!("full-rebuild baseline {baseline:?} has not run"))
+            .median_ns;
+        let r = self
+            .results
+            .iter_mut()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("speedup target {name:?} has not run"));
+        if r.median_ns > 0.0 {
+            r.speedup_vs_full_rebuild = Some(base_ns / r.median_ns);
+        }
+    }
+
     fn push(&mut self, name: &str, batch: u64, samples: u64, median_ns: f64, items: f64) {
         let r = BenchResult {
             name: name.to_string(),
@@ -212,6 +238,7 @@ impl Bencher {
             speedup_vs_interp: None,
             speedup_vs_text: None,
             speedup_vs_single: None,
+            speedup_vs_full_rebuild: None,
         };
         eprintln!(
             "{:<44} {:>14.0} ns/iter {:>14.1} items/s  ({} x {})",
@@ -247,6 +274,9 @@ impl Bencher {
             }
             if let Some(x) = r.speedup_vs_single {
                 speedup.push_str(&format!(", \"speedup_vs_single\": {x:.3}"));
+            }
+            if let Some(x) = r.speedup_vs_full_rebuild {
+                speedup.push_str(&format!(", \"speedup_vs_full_rebuild\": {x:.3}"));
             }
             s.push_str(&format!(
                 "    {{\"name\": {}, \"median_ns\": {:.1}, \"throughput_per_s\": {:.3}, \

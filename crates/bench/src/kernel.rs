@@ -1,9 +1,12 @@
 //! Kernel micro-benchmarks: the `objlang` term/prop operations on the hot
 //! path of every check — construction, equality, substitution, free-var
-//! collection, subterm replacement, evaluation, and a full `fsimpl` proof.
+//! collection, subterm replacement, evaluation, and a full `fsimpl` proof
+//! — plus the incremental-recheck series (PERF-incr): what a one-field
+//! edit costs against a warm full rebuild of the same lattice.
 //!
 //! These are the direct before/after probes for the hash-consed term
-//! representation; results land in `BENCH_kernel.json`.
+//! representation and the fingerprint memo; results land in
+//! `BENCH_kernel.json`.
 
 use crate::harness::Bencher;
 use objlang::eval::{eval_default, nat_lit, nat_value};
@@ -182,4 +185,71 @@ pub fn run(b: &mut Bencher) {
             st.qed().unwrap()
         });
     }
+
+    recheck_series(b);
+}
+
+/// PERF-incr: the edit-to-reverified latency series on the 16-variant
+/// `Feature::all()` sub-lattice.
+///
+/// * `lattice/full_rebuild_warm` — the pre-memo behavior on *any* edit:
+///   re-elaborate every variant. The session's proof cache is warm (the
+///   obligations all hit), so this isolates elaboration itself, which is
+///   exactly what the fingerprint memo avoids.
+/// * `lattice/recheck_one_field` — the `redefine` verb: one variant is
+///   forced dirty, its dependency cone is served by early cutoff, and
+///   independent variants replay.
+/// * `lattice/recheck_noop` — resubmitting the unchanged lattice: zero
+///   dirty variants, every row replays from the memo. The floor of the
+///   series — pure fingerprinting + replay cost.
+///
+/// `speedup_vs_full_rebuild` on the two recheck rows is the headline
+/// PERF-incr number (acceptance: `recheck_one_field` ≥ 5×). The ratio is
+/// work-proportionality, not thread parallelism, so it is meaningful on
+/// a single core.
+fn recheck_series(b: &mut Bencher) {
+    use families_stlc::{subset_defs, Feature};
+    use fpop::universe::FamilyUniverse;
+
+    eprintln!("\n== kernel: incremental recheck (fingerprint early cutoff) ==");
+    let feats = Feature::all();
+
+    // One cold incremental build warms both caches the series leans on:
+    // the session proof cache and the elaboration memo.
+    let (warm, cold_report, _) = families_stlc::build_lattice_defs_incr_with(
+        &FamilyUniverse::new(),
+        &feats,
+        subset_defs(&feats),
+        &[],
+        1,
+    )
+    .expect("cold lattice build");
+    let rows = cold_report.rows.len();
+
+    b.bench("lattice/full_rebuild_warm", rows as f64, || {
+        let mut u = FamilyUniverse::with_session(warm.session().clone());
+        let rep = families_stlc::build_lattice_defs(&mut u, &feats, subset_defs(&feats))
+            .expect("warm full rebuild");
+        assert_eq!(rep.rows.len(), rows);
+        rep.rows.len()
+    });
+
+    b.bench("lattice/recheck_one_field", rows as f64, || {
+        let (_, rep, outcome) =
+            families_stlc::recheck_lattice_subset_with(&warm, &feats, "STLCFix", "step_fix_inv", 1)
+                .expect("recheck");
+        assert_eq!(outcome.dirty, 1, "exactly the touched variant re-runs");
+        rep.rows.len()
+    });
+
+    b.bench("lattice/recheck_noop", rows as f64, || {
+        let (_, rep, outcome) =
+            families_stlc::build_lattice_defs_incr_with(&warm, &feats, subset_defs(&feats), &[], 1)
+                .expect("no-op recheck");
+        assert_eq!(outcome.dirty, 0, "an unchanged lattice re-proves nothing");
+        rep.rows.len()
+    });
+
+    b.mark_speedup_vs_full_rebuild("lattice/recheck_one_field", "lattice/full_rebuild_warm");
+    b.mark_speedup_vs_full_rebuild("lattice/recheck_noop", "lattice/full_rebuild_warm");
 }

@@ -12,12 +12,16 @@
 //! cargo run --release -p bench -- --quick     # one iteration each (CI smoke)
 //! cargo run --release -p bench -- --out DIR   # artifact directory
 //! cargo run --release -p bench -- kernel      # subset: kernel | engine
+//! cargo run --release -p bench -- --quick --check crates/bench/baseline
+//!                                             # CI regression gate (exit 1
+//!                                             # on a >10x macro slowdown)
 //! ```
 
 mod checks;
 mod enginebench;
 mod harness;
 mod kernel;
+mod regress;
 
 use harness::Bencher;
 use std::path::PathBuf;
@@ -25,6 +29,7 @@ use std::path::PathBuf;
 fn main() {
     let mut quick = false;
     let mut out = PathBuf::from(".");
+    let mut check: Option<PathBuf> = None;
     let mut groups: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -36,9 +41,15 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--check" => {
+                check = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--check requires a baseline directory");
+                    std::process::exit(2);
+                })))
+            }
             "kernel" | "engine" => groups.push(a),
             other => {
-                eprintln!("unknown argument {other:?}; usage: bench [--quick] [--out DIR] [kernel|engine]...");
+                eprintln!("unknown argument {other:?}; usage: bench [--quick] [--out DIR] [--check BASELINE_DIR] [kernel|engine]...");
                 std::process::exit(2);
             }
         }
@@ -57,15 +68,42 @@ fn main() {
         }
     );
 
+    let mut written: Vec<PathBuf> = Vec::new();
     if groups.iter().any(|g| g == "kernel") {
         let mut b = Bencher::new(quick);
         kernel::run(&mut b);
-        b.write_json(&out.join("BENCH_kernel.json")).unwrap();
+        let path = out.join("BENCH_kernel.json");
+        b.write_json(&path).unwrap();
+        written.push(path);
     }
     if groups.iter().any(|g| g == "engine") {
         let mut b = Bencher::new(quick);
         checks::run(&mut b);
         enginebench::run(&mut b);
-        b.write_json(&out.join("BENCH_engine.json")).unwrap();
+        let path = out.join("BENCH_engine.json");
+        b.write_json(&path).unwrap();
+        written.push(path);
+    }
+
+    // Regression gate: compare what this run wrote against the committed
+    // baseline artifacts of the same name. Exit 1 on any regression so a
+    // CI step can gate on the exit code alone.
+    if let Some(dir) = check {
+        let mut bad = 0;
+        for fresh in &written {
+            let name = fresh.file_name().expect("artifact has a file name");
+            match regress::check(&dir.join(name), fresh) {
+                Ok(n) => bad += n,
+                Err(e) => {
+                    eprintln!("bench --check: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if bad > 0 {
+            eprintln!("bench --check: {bad} regression(s) vs baseline");
+            std::process::exit(1);
+        }
+        eprintln!("bench --check: no regressions vs baseline");
     }
 }

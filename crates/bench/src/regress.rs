@@ -1,0 +1,101 @@
+//! `--check BASELINE_DIR` — the CI regression gate over `fpop-bench-v1`
+//! artifacts.
+//!
+//! Every series present in both the committed baseline and the fresh run
+//! must not have slowed past [`FACTOR`]× *and* [`FLOOR_NS`] absolute.
+//! Both guards exist because the gate runs on the `--quick` smoke series
+//! in CI: a single uncalibrated iteration of a nanosecond-scale
+//! micro-bench carries cold-cache noise that can be orders of magnitude
+//! above a calibrated full-mode median, so the ratio alone would flake.
+//! The absolute floor confines the gate to the macro workloads (lattice
+//! builds, rechecks, engine batches) where a broken fast path — a cache
+//! that stopped hitting, a cutoff that stopped cutting — costs real
+//! milliseconds. Parsing is std-only and line-based: the emitter writes
+//! one result object per line, which is the contract this reader leans
+//! on (see `harness::Bencher::to_json`).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Slowdown ratio that counts as a regression (together with
+/// [`FLOOR_NS`]). Deliberately loose: this is a broken-fast-path alarm,
+/// not a microbenchmark tripwire.
+pub const FACTOR: f64 = 10.0;
+
+/// Absolute slowdown a regression must also exceed, in nanoseconds
+/// (1 ms). Filters the quick-mode cold-start noise of sub-microsecond
+/// series.
+pub const FLOOR_NS: f64 = 1_000_000.0;
+
+/// Parses an `fpop-bench-v1` artifact into `name → median_ns`.
+fn parse(path: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(name) = field_str(line, "\"name\": \"") else {
+            continue;
+        };
+        let med = field_num(line, "\"median_ns\": ")
+            .ok_or_else(|| format!("{}: result row without median_ns: {line}", path.display()))?;
+        out.insert(name, med);
+    }
+    if out.is_empty() {
+        return Err(format!(
+            "{}: no results parsed — not an fpop-bench-v1 artifact?",
+            path.display()
+        ));
+    }
+    Ok(out)
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let at = line.find(key)? + key.len();
+    let rest = &line[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let at = line.find(key)? + key.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Compares the fresh artifact against its baseline twin; prints one
+/// line per noteworthy series and returns how many regressed.
+///
+/// # Errors
+///
+/// Propagates unreadable or unparseable artifacts (the caller treats
+/// that as a usage error, distinct from a regression verdict).
+pub fn check(baseline: &Path, fresh: &Path) -> Result<usize, String> {
+    let base = parse(baseline)?;
+    let now = parse(fresh)?;
+    eprintln!(
+        "bench --check: {} vs baseline {}",
+        fresh.display(),
+        baseline.display()
+    );
+    let mut bad = 0;
+    for (name, &new_ns) in &now {
+        match base.get(name) {
+            None => eprintln!("  new     {name} ({new_ns:.0} ns, no baseline)"),
+            Some(&old_ns)
+                if old_ns > 0.0 && new_ns > old_ns * FACTOR && new_ns - old_ns > FLOOR_NS =>
+            {
+                bad += 1;
+                eprintln!(
+                    "  REGRESS {name}: {old_ns:.0} ns -> {new_ns:.0} ns ({:.1}x)",
+                    new_ns / old_ns
+                );
+            }
+            Some(_) => {}
+        }
+    }
+    for name in base.keys() {
+        if !now.contains_key(name) {
+            eprintln!("  gone    {name} (in baseline, not in this run)");
+        }
+    }
+    Ok(bad)
+}

@@ -5,15 +5,17 @@
 //!
 //! ```text
 //! fpopd [--addr HOST:PORT] [--workers N] [--sched-workers N] [--queue N]
-//!       [--snapshot PATH] [--store DIR] [--deadline-ms N] [--slow-ms N]
-//!       [--slow-top N] [--trace-dump PATH]
+//!       [--snapshot PATH] [--store DIR] [--compact-chain N]
+//!       [--deadline-ms N] [--slow-ms N] [--slow-top N] [--trace-dump PATH]
 //! ```
 //!
 //! Defaults: `--addr 127.0.0.1:7878`, workers = min(cores, 4), queue 64,
 //! no snapshot (pass `--snapshot` to enable warm restarts), no shared
 //! store (pass `--store DIR` to join a fleet's content-addressed proof
 //! store — catch up from it at boot, publish into it at checkpoint), no
-//! deadline, slow log at 500 ms / top 8, no trace dump. `--sched-workers`
+//! deadline, slow log at 500 ms / top 8, no trace dump. `--compact-chain`
+//! (default 8) bounds the store's diff chains: past that many deltas the
+//! next checkpoint republishes a compacted full segment. `--sched-workers`
 //! sets the task-DAG scheduler threads *inside* each `BuildLattice`
 //! request (0 = auto: all cores, or the `FPOP_SCHED_WORKERS` environment
 //! variable). Passing port 0 binds an ephemeral port; the actual bound
@@ -51,8 +53,8 @@ struct Args {
 
 fn usage() -> String {
     "usage: fpopd [--addr HOST:PORT] [--workers N] [--sched-workers N] \
-     [--queue N] [--snapshot PATH] [--store DIR] [--deadline-ms N] \
-     [--slow-ms N] [--slow-top N] [--trace-dump PATH]"
+     [--queue N] [--snapshot PATH] [--store DIR] [--compact-chain N] \
+     [--deadline-ms N] [--slow-ms N] [--slow-top N] [--trace-dump PATH]"
         .to_string()
 }
 
@@ -88,6 +90,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--snapshot" => args.config.snapshot_path = Some(value("--snapshot")?.into()),
             "--store" => args.config.shared_store = Some(value("--store")?.into()),
+            "--compact-chain" => {
+                args.config.compact_chain_at = value("--compact-chain")?
+                    .parse()
+                    .map_err(|e| format!("--compact-chain: {e}"))?
+            }
             "--deadline-ms" => {
                 let ms: u64 = value("--deadline-ms")?
                     .parse()

@@ -74,6 +74,14 @@ pub struct EngineConfig {
     /// *publishes* back — a full base segment first, deltas after.
     /// `None` keeps the engine fleet-oblivious (the default).
     pub shared_store: Option<PathBuf>,
+    /// Diff-chain length at which a checkpoint *compacts*: publishes a
+    /// fresh full segment rather than yet another delta. Short chains
+    /// keep checkpoints cheap (a diff ships only the new entries);
+    /// unbounded chains would make every sibling's catch-up replay the
+    /// whole publish history. Superseded chain files stay on disk
+    /// (content addressing keeps them valid for siblings mid-catch-up);
+    /// catch-up count-skips them as subsets of the compacted segment.
+    pub compact_chain_at: usize,
     /// Requests whose service time reaches this threshold are recorded in
     /// the slow-elaboration log ([`Engine::slow_log`]).
     pub slow_threshold: Duration,
@@ -98,6 +106,7 @@ impl Default for EngineConfig {
             default_deadline: None,
             snapshot_path: None,
             shared_store: None,
+            compact_chain_at: 8,
             slow_threshold: Duration::from_millis(500),
             slow_log_capacity: 8,
             sched_workers: 0,
@@ -470,6 +479,29 @@ impl Shared {
                 let report =
                     build_lattice_subset_parallel_with(&mut u, &features, self.sched_workers)
                         .map_err(|e| EngineError::Failed(e.to_string()))?;
+                let ledger = self.absorb_universe(&u);
+                Ok(Response::Lattice { report, ledger })
+            }
+            Request::Redefine {
+                family,
+                field,
+                features,
+            } => {
+                // Incremental recheck: the elaboration memo lives in the
+                // shared session, so a fresh universe over the same session
+                // replays every variant whose fingerprint chain is clean and
+                // re-proves only the dirty cone rooted at `family`. The
+                // touched field is validated against the merged (inherited)
+                // view before any work runs.
+                let prev = FamilyUniverse::with_session(Arc::clone(&self.session));
+                let (u, report, _outcome) = families_stlc::recheck_lattice_subset_with(
+                    &prev,
+                    &features,
+                    &family,
+                    &field,
+                    self.sched_workers,
+                )
+                .map_err(|e| EngineError::Failed(e.to_string()))?;
                 let ledger = self.absorb_universe(&u);
                 Ok(Response::Lattice { report, ledger })
             }
@@ -887,6 +919,11 @@ struct WarmStart {
 struct PublishState {
     mark: ExportMark,
     base: Option<u64>,
+    /// Diffs published since the last full segment. Once this reaches
+    /// [`EngineConfig::compact_chain_at`] the next checkpoint publishes
+    /// a compacted full segment instead of extending the chain, so a
+    /// restarted shard's catch-up cost stays bounded by live content.
+    chain: usize,
 }
 
 /// The resident prover engine. See the module docs for the lifecycle.
@@ -944,8 +981,10 @@ impl Engine {
         // Tier 3: catch up from the fleet's shared store — full segments
         // plus every diff chain that resolves. A broken store only costs
         // warmth, never a boot.
-        let store = config.shared_store.as_ref().and_then(|dir| {
-            match SharedStore::open(dir) {
+        let store = config
+            .shared_store
+            .as_ref()
+            .and_then(|dir| match SharedStore::open(dir) {
                 Ok(s) => Some(s),
                 Err(e) => {
                     eprintln!(
@@ -954,14 +993,13 @@ impl Engine {
                     );
                     None
                 }
-            }
-        });
+            });
         if let Some(store) = &store {
             let got = store.catch_up(&session);
             if got.loaded > 0 || got.skipped > 0 {
                 eprintln!(
-                    "fpopd: store catch-up — {} proofs ({} segments, {} diffs, {} skipped)",
-                    got.loaded, got.segments, got.diffs_applied, got.skipped
+                    "fpopd: store catch-up — {} proofs ({} segments, {} diffs, {} skipped, {} superseded)",
+                    got.loaded, got.segments, got.diffs_applied, got.skipped, got.superseded
                 );
             }
             warm.loaded += got.loaded;
@@ -1326,11 +1364,34 @@ impl Engine {
             match publish.base {
                 None => {
                     publish.base = Some(store.publish_base(&self.shared.session.export())?);
+                    publish.chain = 0;
+                }
+                Some(_) if publish.chain >= self.config.compact_chain_at => {
+                    // Compaction: republish the full state as one segment.
+                    // Content addressing makes this idempotent, and the
+                    // superseded chain files stay on disk for any sibling
+                    // mid-catch-up (catch-up count-skips them as subsets).
+                    publish.base = Some(store.publish_base(&self.shared.session.export())?);
+                    publish.chain = 0;
                 }
                 Some(base) => {
                     let added = self.shared.session.export_since(&publish.mark);
                     if !added.is_empty() {
-                        publish.base = Some(store.publish_diff(base, &added)?);
+                        match store.publish_diff(base, &added) {
+                            Ok(merged) => {
+                                publish.base = Some(merged);
+                                publish.chain += 1;
+                            }
+                            Err(_) => {
+                                // The pinned base vanished or went bad
+                                // (e.g. a pruned store directory): fall
+                                // back to a full segment rather than
+                                // failing the checkpoint.
+                                publish.base =
+                                    Some(store.publish_base(&self.shared.session.export())?);
+                                publish.chain = 0;
+                            }
+                        }
                     }
                 }
             }

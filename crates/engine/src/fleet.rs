@@ -388,12 +388,13 @@ fn handle_text_client(stream: TcpStream, shared: &Arc<RouterShared>) -> std::io:
                 Ok(n) => format!("ok checkpoint written on {n} shard(s)"),
                 Err(e) => format!("err {}", proto::escape(&e)),
             },
-            Ok(proto::Command::SlowLog) => {
-                forward_text(shared, &mut upstreams, 0, trimmed)
-            }
-            Ok(proto::Command::Submit(req, _)) => {
-                forward_text(shared, &mut upstreams, req.dedup_key().unwrap_or(0), trimmed)
-            }
+            Ok(proto::Command::SlowLog) => forward_text(shared, &mut upstreams, 0, trimmed),
+            Ok(proto::Command::Submit(req, _)) => forward_text(
+                shared,
+                &mut upstreams,
+                req.dedup_key().unwrap_or(0),
+                trimmed,
+            ),
         };
         writer.write_all(reply.as_bytes())?;
         if !reply.ends_with('\n') {
@@ -442,7 +443,12 @@ fn forward_text(
 /// The write half the relays and the client thread share.
 type ClientWriter = Arc<Mutex<TcpStream>>;
 
-fn send_client(writer: &ClientWriter, ty: FrameType, corr: u64, body: &[u8]) -> std::io::Result<()> {
+fn send_client(
+    writer: &ClientWriter,
+    ty: FrameType,
+    corr: u64,
+    body: &[u8],
+) -> std::io::Result<()> {
     let bytes = encode_frame(ty, corr, body);
     let mut w = writer.lock().expect("client writer poisoned");
     w.write_all(&bytes)
@@ -670,19 +676,22 @@ fn dispatch_binary(
                 .unwrap_or(0);
             forward_binary(shared, writer, upstreams, key, frame);
         }
-        FrameType::SubmitTemplate => {
-            match fpopb::r_digest(&frame.body, 1) {
-                Ok((digest, _)) => {
-                    forward_binary(shared, writer, upstreams, digest, frame);
-                }
-                Err(reason) => send_client_err(writer, frame.corr, ErrCode::Malformed, &reason),
+        FrameType::SubmitTemplate => match fpopb::r_digest(&frame.body, 1) {
+            Ok((digest, _)) => {
+                forward_binary(shared, writer, upstreams, digest, frame);
             }
-        }
+            Err(reason) => send_client_err(writer, frame.corr, ErrCode::Malformed, &reason),
+        },
         FrameType::RegisterTemplate => match fpopb::decode_request(&frame.body, 0) {
             Err(reason) => send_client_err(writer, frame.corr, ErrCode::Malformed, &reason),
             Ok((req, _)) => match register_fleet_wide(shared, &req) {
                 Ok(digest) => {
-                    send_client(writer, FrameType::TemplateId, frame.corr, &digest.to_le_bytes())?;
+                    send_client(
+                        writer,
+                        FrameType::TemplateId,
+                        frame.corr,
+                        &digest.to_le_bytes(),
+                    )?;
                 }
                 Err(e) => send_client_err(writer, frame.corr, ErrCode::Failed, &e),
             },
@@ -944,10 +953,7 @@ impl Fleet {
     /// # Errors
     ///
     /// Propagates bind/spawn failures.
-    pub fn start(
-        n: usize,
-        mk_config: impl Fn(usize) -> EngineConfig,
-    ) -> std::io::Result<Fleet> {
+    pub fn start(n: usize, mk_config: impl Fn(usize) -> EngineConfig) -> std::io::Result<Fleet> {
         let mut shards = Vec::with_capacity(n);
         for i in 0..n {
             shards.push(FleetShard::start(mk_config(i))?);

@@ -459,6 +459,19 @@ pub fn encode_request(out: &mut Vec<u8>, req: &Request) {
             out.push(6);
             out.extend_from_slice(&digest.to_le_bytes());
         }
+        Request::Redefine {
+            family,
+            field,
+            features,
+        } => {
+            out.push(7);
+            w_str(out, family);
+            w_str(out, field);
+            w_varint(out, features.len() as u64);
+            for f in features {
+                out.push(f.canonical_index() as u8);
+            }
+        }
     }
 }
 
@@ -473,24 +486,8 @@ pub fn decode_request(body: &[u8], at: usize) -> Result<(Request, usize), String
             Ok((Request::CheckSource { source }, at))
         }
         1 => {
-            let (n, at) = r_varint_body(body, at)?;
-            if n > Feature::all_extended().len() as u64 * 4 {
-                return Err(format!("implausible feature count {n}"));
-            }
-            let n = n as usize;
-            let end = at.checked_add(n).ok_or("feature count overflow")?;
-            if end > body.len() {
-                return Err("truncated feature list".into());
-            }
-            let mut features = Vec::with_capacity(n);
-            for &b in &body[at..end] {
-                let f = Feature::all_extended()
-                    .into_iter()
-                    .find(|f| f.canonical_index() == b as usize)
-                    .ok_or_else(|| format!("unknown feature index {b}"))?;
-                features.push(f);
-            }
-            Ok((Request::BuildLattice { features }, end))
+            let (features, at) = r_features(body, at)?;
+            Ok((Request::BuildLattice { features }, at))
         }
         2 => {
             let (family, at) = r_str(body, at)?;
@@ -508,8 +505,45 @@ pub fn decode_request(body: &[u8], at: usize) -> Result<(Request, usize), String
             let (digest, at) = r_digest(body, at)?;
             Ok((Request::RunTemplate { digest }, at))
         }
+        7 => {
+            let (family, at) = r_str(body, at)?;
+            let (field, at) = r_str(body, at)?;
+            let (features, at) = r_features(body, at)?;
+            Ok((
+                Request::Redefine {
+                    family,
+                    field,
+                    features,
+                },
+                at,
+            ))
+        }
         other => Err(format!("unknown request tag {other}")),
     }
+}
+
+/// Reads a varint-counted feature list (canonical-index bytes) from
+/// `body[at..]`, with the same plausibility cap used by every request
+/// that carries a subset selection.
+fn r_features(body: &[u8], at: usize) -> Result<(Vec<Feature>, usize), String> {
+    let (n, at) = r_varint_body(body, at)?;
+    if n > Feature::all_extended().len() as u64 * 4 {
+        return Err(format!("implausible feature count {n}"));
+    }
+    let n = n as usize;
+    let end = at.checked_add(n).ok_or("feature count overflow")?;
+    if end > body.len() {
+        return Err("truncated feature list".into());
+    }
+    let mut features = Vec::with_capacity(n);
+    for &b in &body[at..end] {
+        let f = Feature::all_extended()
+            .into_iter()
+            .find(|f| f.canonical_index() == b as usize)
+            .ok_or_else(|| format!("unknown feature index {b}"))?;
+        features.push(f);
+    }
+    Ok((features, end))
 }
 
 /// Decodes a priority byte (0 = low, 1 = normal, 2 = high).
@@ -915,6 +949,16 @@ mod tests {
             Request::RunTemplate {
                 digest: 0x929fa2627fa1cfd0,
             },
+            Request::Redefine {
+                family: "STLCFix".into(),
+                field: "preservation".into(),
+                features: vec![Feature::Fix, Feature::Prod],
+            },
+            Request::Redefine {
+                family: "STLC".into(),
+                field: "tysubst".into(),
+                features: vec![],
+            },
         ];
         for req in reqs {
             let mut body = Vec::new();
@@ -934,6 +978,8 @@ mod tests {
             &[0, 0x05, b'a'][..], // truncated string
             &[1, 0xff, 0xff][..], // huge feature count
             &[1, 2, 0x63][..],    // unknown feature index
+            &[7][..],             // Redefine with no family
+            &[7, 1, b'F'][..],    // Redefine with no field
             &[3, 0][..],          // Eval with one string missing
             &[6, 1, 2, 3][..],    // truncated digest
             &[0, 1, 0xff][..],    // invalid UTF-8

@@ -7,6 +7,7 @@
 //! ```text
 //! --> [high |low ]check <escaped-source>
 //! --> [high |low ]lattice full|extended|Fix,Prod,...
+//! --> [high |low ]redefine <family> <field> [full|extended|Fix,Prod,...]
 //! --> [high |low ]theorem <family> <field>
 //! --> [high |low ]eval <family> <escaped-term>
 //! --> [high |low ]stats
@@ -146,6 +147,33 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 _ => Err("theorem: want `theorem <family> <field>`".into()),
             }
         }
+        "redefine" => {
+            let mut parts = args.split_whitespace();
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(family), Some(field), feats, None) => {
+                    let features = match feats {
+                        None | Some("full") => Feature::all().to_vec(),
+                        Some("extended") => Feature::all_extended().to_vec(),
+                        Some(tags) => tags
+                            .split(',')
+                            .map(|t| {
+                                let t = t.trim();
+                                Feature::from_tag(t).ok_or_else(|| format!("redefine: unknown feature {t:?} (want full, extended, or a comma list of Fix/Prod/Sum/Isorec/Bool)"))
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                    };
+                    Ok(Command::Submit(
+                        Request::Redefine {
+                            family: family.to_string(),
+                            field: field.to_string(),
+                            features,
+                        },
+                        priority,
+                    ))
+                }
+                _ => Err("redefine: want `redefine <family> <field> [features]`".into()),
+            }
+        }
         "eval" => match args.split_once(' ') {
             Some((family, term)) if !term.trim().is_empty() => {
                 let term = unescape(term.trim())?;
@@ -161,7 +189,7 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         },
         "" => Err("empty command".into()),
         other => Err(format!(
-            "unknown command {other:?} (want check, lattice, theorem, eval, stats, metrics, slowlog, checkpoint, ping, shutdown)"
+            "unknown command {other:?} (want check, lattice, redefine, theorem, eval, stats, metrics, slowlog, checkpoint, ping, shutdown)"
         )),
     }
 }
@@ -442,6 +470,35 @@ mod tests {
                 Priority::High
             )
         );
+    }
+
+    #[test]
+    fn parses_redefine_forms() {
+        assert_eq!(
+            parse_command("redefine STLCFix tyeval").unwrap(),
+            Command::Submit(
+                Request::Redefine {
+                    family: "STLCFix".into(),
+                    field: "tyeval".into(),
+                    features: Feature::all().to_vec(),
+                },
+                Priority::Normal
+            )
+        );
+        assert_eq!(
+            parse_command("high redefine STLCFix tyeval Fix,Prod").unwrap(),
+            Command::Submit(
+                Request::Redefine {
+                    family: "STLCFix".into(),
+                    field: "tyeval".into(),
+                    features: vec![Feature::Fix, Feature::Prod],
+                },
+                Priority::High
+            )
+        );
+        assert!(parse_command("redefine STLCFix").is_err());
+        assert!(parse_command("redefine STLCFix tyeval Nope").is_err());
+        assert!(parse_command("redefine STLCFix tyeval Fix extra").is_err());
     }
 
     #[test]

@@ -77,6 +77,23 @@ pub enum Request {
         /// The term, in the `crate::term_parse` surface grammar.
         term: String,
     },
+    /// Incrementally recheck the sub-lattice spanned by `features` after
+    /// a redefinition of `family.field`: the named variant re-elaborates
+    /// (a *touch* — its source is unchanged but its proofs must be
+    /// re-established), and every other variant is served from the
+    /// session's fingerprint memo — replayed outright if independent,
+    /// early-cutoff if downstream of the touched variant. The response is
+    /// a normal `Lattice` report; the `fpop_incr_*` counters in the
+    /// Prometheus exposition record the dirty/cutoff/replay split.
+    Redefine {
+        /// The variant being redefined (e.g. `STLCFix`).
+        family: String,
+        /// The redefined field (must exist in the variant's merged view).
+        field: String,
+        /// Sub-lattice to recheck; empty = the full four-feature Venn
+        /// lattice.
+        features: Vec<Feature>,
+    },
     /// Run a request previously registered as a **template** (binary
     /// protocol `REGISTER_TEMPLATE` / `SUBMIT_TEMPLATE` frames, see
     /// `docs/PROTOCOL.md`): the digest names a pre-parsed, pre-resolved
@@ -140,6 +157,20 @@ impl Request {
                 h.write_str(family);
                 h.write_str(term);
             }
+            Request::Redefine {
+                family,
+                field,
+                features,
+            } => {
+                h.write_u8(3);
+                h.write_str(family);
+                h.write_str(field);
+                let feats = normalize_features(features);
+                h.write_len(feats.len());
+                for f in feats {
+                    h.write_u8(f.canonical_index() as u8);
+                }
+            }
             // A template *is* its underlying request: sharing the digest
             // coalesces a template submission with an identical direct
             // submission already in flight.
@@ -156,6 +187,7 @@ impl Request {
             Request::BuildLattice { .. } => "lattice",
             Request::QueryTheorem { .. } => "theorem",
             Request::Eval { .. } => "eval",
+            Request::Redefine { .. } => "redefine",
             Request::RunTemplate { .. } => "template",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
@@ -176,6 +208,15 @@ impl Request {
             }
             Request::QueryTheorem { family, field } => format!("theorem {family}.{field}"),
             Request::Eval { family, term } => format!("eval {family} ({}B)", term.len()),
+            Request::Redefine {
+                family,
+                field,
+                features,
+            } => {
+                let feats = normalize_features(features);
+                let names: Vec<&str> = feats.iter().map(|f| f.tag()).collect();
+                format!("redefine {family}.{field}[{}]", names.join("+"))
+            }
             Request::RunTemplate { digest } => format!("template#{digest:016x}"),
             Request::Stats => "stats".to_string(),
             Request::Metrics => "metrics".to_string(),
@@ -335,6 +376,38 @@ mod tests {
         assert_eq!(key("Nat", "add(1,2)"), key("Nat", "add(1,2)"));
         assert_ne!(key("Nat", "add(1,2)"), key("Nat", "add(2,1)"));
         assert_ne!(key("Nat", "add(1,2)"), key("NatMul", "add(1,2)"));
+    }
+
+    #[test]
+    fn redefine_keys_normalize_and_differ() {
+        let key = |family: &str, field: &str, features: Vec<Feature>| {
+            Request::Redefine {
+                family: family.into(),
+                field: field.into(),
+                features,
+            }
+            .dedup_key()
+        };
+        assert!(key("STLCFix", "tyeval", vec![Feature::Fix]).is_some());
+        assert_eq!(
+            key("STLCFix", "tyeval", vec![Feature::Prod, Feature::Fix]),
+            key("STLCFix", "tyeval", vec![Feature::Fix, Feature::Prod]),
+        );
+        assert_ne!(
+            key("STLCFix", "tyeval", vec![Feature::Fix]),
+            key("STLCFix", "weakenlem", vec![Feature::Fix]),
+        );
+        assert_ne!(
+            key("STLCFix", "tyeval", vec![Feature::Fix]),
+            key("STLCProd", "tyeval", vec![Feature::Fix]),
+        );
+        let r = Request::Redefine {
+            family: "STLCFix".into(),
+            field: "tyeval".into(),
+            features: vec![Feature::Fix, Feature::Prod],
+        };
+        assert_eq!(r.kind(), "redefine");
+        assert_eq!(r.label(), "redefine STLCFix.tyeval[Fix+Prod]");
     }
 
     #[test]

@@ -70,6 +70,12 @@ pub struct CatchUp {
     /// whose base never materialized. Skipping is the full-restore
     /// fallback — sound, just colder.
     pub skipped: usize,
+    /// Segments not imported because a successfully applied diff proved
+    /// them a strict subset of another materialized image (a diff's merged
+    /// output is base ∪ added). Decoding and importing them would only
+    /// re-offer entries the superset already admitted, so catch-up time
+    /// stays proportional to live store content rather than chain length.
+    pub superseded: usize,
 }
 
 impl SharedStore {
@@ -183,7 +189,9 @@ impl SharedStore {
         }
         out.segments = images.len();
         // Apply diffs to fixpoint: each success materializes a new image
-        // that may be some other diff's base.
+        // that may be some other diff's base. A consumed base is recorded
+        // as superseded — its entries are a subset of the merged image.
+        let mut superseded: std::collections::HashSet<u64> = std::collections::HashSet::new();
         loop {
             let mut progressed = false;
             diffs.retain(|bytes| {
@@ -197,6 +205,7 @@ impl SharedStore {
                 match diff::apply_diff(base_bytes, bytes) {
                     Ok(merged) => {
                         images.insert(diff::snapshot_digest(&merged), merged);
+                        superseded.insert(base);
                         out.diffs_applied += 1;
                         progressed = true;
                     }
@@ -212,7 +221,11 @@ impl SharedStore {
         // content is a subset of whatever full segment supersedes them,
         // or genuinely lost — either way, skipping is sound).
         out.skipped += diffs.len();
-        for bytes in images.values() {
+        for (digest, bytes) in &images {
+            if superseded.contains(digest) {
+                out.superseded += 1;
+                continue;
+            }
             if let Ok(entries) = snapshot::decode_snapshot(bytes) {
                 out.loaded += session.import(entries);
             } else {
@@ -268,6 +281,10 @@ mod tests {
         assert_eq!(got.loaded, 6);
         assert_eq!(got.diffs_applied, 2);
         assert_eq!(got.skipped, 0);
+        assert_eq!(
+            got.superseded, 2,
+            "the two consumed chain bases never reach the importer"
+        );
         assert_eq!(s.cached_proofs(), 6);
         std::fs::remove_dir_all(store.dir()).ok();
     }
@@ -278,14 +295,10 @@ mod tests {
         let digest = store.publish_base(&[entry(0)]).unwrap();
         // Corrupt a copy of the segment under a fresh (lying) address, and
         // drop an unresolvable diff plus raw garbage into the directory.
-        let mut bytes = std::fs::read(store.dir().join(format!("seg-{digest:016x}.fpopsnap")))
-            .unwrap();
+        let mut bytes =
+            std::fs::read(store.dir().join(format!("seg-{digest:016x}.fpopsnap"))).unwrap();
         bytes[10] ^= 0xff;
-        std::fs::write(
-            store.dir().join("seg-00000000000000aa.fpopsnap"),
-            &bytes,
-        )
-        .unwrap();
+        std::fs::write(store.dir().join("seg-00000000000000aa.fpopsnap"), &bytes).unwrap();
         std::fs::write(
             store
                 .dir()

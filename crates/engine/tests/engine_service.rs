@@ -198,6 +198,56 @@ fn shutdown_drains_accepted_work_and_rejects_new() {
 }
 
 #[test]
+fn redefine_recheck_serves_clean_variants_from_memo() {
+    let e = Engine::start(no_snapshot(2));
+    // Warm build records elaboration memos in the shared session.
+    let rows = match e.run(Request::lattice_full()) {
+        Ok(Response::Lattice { report, .. }) => report.rows.len(),
+        other => panic!("unexpected {other:?}"),
+    };
+    let cutoff_before = fpop::incr::incr_counter("cutoff");
+    let dirty_before = fpop::incr::incr_counter("dirty");
+    match e.run(Request::Redefine {
+        family: "STLCFix".into(),
+        field: "step_fix_inv".into(),
+        features: Feature::all().to_vec(),
+    }) {
+        Ok(Response::Lattice { report, ledger }) => {
+            assert_eq!(report.rows.len(), rows, "recheck reports the whole lattice");
+            assert!(ledger.checked_count() > 0);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(
+        fpop::incr::incr_counter("dirty") - dirty_before,
+        1,
+        "only the touched family re-elaborates"
+    );
+    assert!(
+        fpop::incr::incr_counter("cutoff") - cutoff_before > 0,
+        "downstream variants early-cut when the touched output is unchanged"
+    );
+    // The rechecked theorems stay queryable.
+    match e.run(Request::QueryTheorem {
+        family: "STLCFix".into(),
+        field: "step_fix_inv".into(),
+    }) {
+        Ok(Response::Theorem { statement, .. }) => assert!(!statement.is_empty()),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Unknown field is a request failure, not a panic.
+    match e.run(Request::Redefine {
+        family: "STLCFix".into(),
+        field: "no_such_field".into(),
+        features: Feature::all().to_vec(),
+    }) {
+        Err(EngineError::Failed(msg)) => assert!(msg.contains("no_such_field"), "{msg}"),
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    e.shutdown().unwrap();
+}
+
+#[test]
 fn stats_request_reports_session_and_engine() {
     let e = Engine::start(no_snapshot(2));
     e.run(Request::BuildLattice {

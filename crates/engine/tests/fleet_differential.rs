@@ -49,12 +49,7 @@ fn canonical_ok(req: &Request, payload: &str) -> String {
         Request::BuildLattice { .. } => payload
             .lines()
             .filter(|l| !l.starts_with('['))
-            .map(|l| {
-                l.split_whitespace()
-                    .take(3)
-                    .collect::<Vec<_>>()
-                    .join(" ")
-            })
+            .map(|l| l.split_whitespace().take(3).collect::<Vec<_>>().join(" "))
             .collect::<Vec<_>>()
             .join("\n"),
         _ => payload.to_string(),
@@ -96,11 +91,7 @@ fn warm(engine: &Engine) {
 }
 
 fn fleet_inserts(fleet: &Fleet) -> u64 {
-    fleet
-        .shards
-        .iter()
-        .map(|s| s.engine.stats().inserts)
-        .sum()
+    fleet.shards.iter().map(|s| s.engine.stats().inserts).sum()
 }
 
 /// The fleet's merged snapshot export: every shard's session export,
@@ -221,7 +212,8 @@ fn fleet_matches_single_engine_across_shard_counts() {
     let single = encode_snapshot(&reference.session().export());
     for (n, bytes) in &exports {
         assert_eq!(
-            bytes, &single,
+            bytes,
+            &single,
             "merged export of the {n}-shard fleet differs from the single \
              engine ({} vs {} bytes)",
             bytes.len(),

@@ -491,7 +491,11 @@ fn mid_frame_death_is_clean_and_text_retries_transparently() {
         writeln!(w, "check {}", engine::proto::escape(&p.source)).expect("write");
         let mut line = String::new();
         reader.read_line(&mut line).expect("text reply");
-        let want = if p.expect == Verdict::Accept { "ok" } else { "err" };
+        let want = if p.expect == Verdict::Accept {
+            "ok"
+        } else {
+            "err"
+        };
         assert!(
             line.starts_with(want),
             "text protocol surfaced a failover artifact: {line:?} for:\n{}",

@@ -199,6 +199,57 @@ fn stale_version_snapshot_is_rejected_loudly() {
     }
 }
 
+/// Store hygiene: a shard that checkpoints forever must not grow an
+/// unbounded diff chain. Past `compact_chain_at` diffs the next
+/// checkpoint republishes a compacted full segment, and catch-up
+/// count-skips the superseded chain bases instead of re-importing them.
+#[test]
+fn long_diff_chains_compact_and_catch_up_skips_superseded() {
+    use engine::SharedStore;
+    use families_stlc::Feature;
+
+    let dir = snap_path("compact").parent().unwrap().to_path_buf();
+    let e = Engine::start(EngineConfig {
+        workers: 1,
+        snapshot_path: None,
+        shared_store: Some(dir.clone()),
+        compact_chain_at: 2,
+        ..EngineConfig::default()
+    });
+    let lattice = |f: Feature| Request::BuildLattice { features: vec![f] };
+    e.run(lattice(Feature::Fix)).unwrap();
+    e.checkpoint().unwrap(); // full base
+    e.run(lattice(Feature::Prod)).unwrap();
+    e.checkpoint().unwrap(); // diff 1
+    e.run(lattice(Feature::Sum)).unwrap();
+    e.checkpoint().unwrap(); // diff 2 — chain now at the threshold
+    e.run(lattice(Feature::Isorec)).unwrap();
+    e.checkpoint().unwrap(); // compaction: full segment, chain resets
+    let proofs = e.stats().cached_proofs;
+    e.shutdown().unwrap();
+
+    let diffs_on_disk = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("diff-"))
+        .count();
+    assert_eq!(diffs_on_disk, 2, "compaction stops the chain from growing");
+
+    let store = SharedStore::open(&dir).unwrap();
+    let s = fpop::Session::new();
+    let got = store.catch_up(&s);
+    assert_eq!(
+        got.superseded, 2,
+        "both consumed chain bases are subset-skipped"
+    );
+    assert_eq!(
+        s.cached_proofs() as u64,
+        proofs,
+        "catch-up restores everything the shard ever proved"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn checkpoint_midflight_equals_shutdown_snapshot() {
     let path = snap_path("checkpoint");

@@ -1,0 +1,237 @@
+//! Differential oracle 10: **incremental recheck vs from-scratch
+//! rebuild** under random edit scripts.
+//!
+//! [`testkit::edit_gen`] draws a sub-lattice and a sequence of edits
+//! (touch / add-lemma / remove-lemma). Two builders consume the same
+//! sequence:
+//!
+//! * the **incremental** chain threads one universe through
+//!   `build_lattice_defs_incr_with`, so every step re-proves only its
+//!   fingerprint-dirty cone and serves the rest from the session memo
+//!   (early cutoff or replay);
+//! * the **control** rebuilds the whole edited lattice from scratch
+//!   each step — sequentially, waves, no DAG, no memo — on its own
+//!   session.
+//!
+//! Both sessions start empty and see the same edit history, so the
+//! control's proof cache is inductively identical to the incremental
+//! one. What must hold at every step:
+//!
+//! * rows of **re-elaborated** variants equal the control's rows of the
+//!   same step exactly (same session content ⇒ same checked/shared
+//!   split);
+//! * rows of **memo-served** variants carry the current source's
+//!   structure (`fields`, and `checked + shared` — the obligation count
+//!   is a function of the source alone) *and* are literal copies of an
+//!   earlier recording by the same chain. The recording is keyed by
+//!   fingerprint, not by recency: an edit-then-revert step restores an
+//!   older fingerprint and is legitimately served by the *original*
+//!   recording, which is why the copy is matched against the variant's
+//!   whole run history rather than its latest run;
+//! * after the full script the two sessions **export byte-identical
+//!   proof caches**;
+//! * every script containing a touch of a non-top variant observes a
+//!   nonzero cutoff count — the tentpole's reason to exist.
+
+use std::collections::HashMap;
+
+use families_stlc::{
+    build_lattice_defs, build_lattice_defs_incr_with, subset_defs, variant_name, Feature,
+    LatticeReport, VariantStat,
+};
+use fpop::universe::FamilyUniverse;
+use testkit::edit_gen::{expand_script, gen_edit_script, EditScript};
+use testkit::forall;
+
+/// Exact row equality (modulo wall time) between two reports' rows for
+/// variant index `i`.
+fn row_eq(a: &LatticeReport, b: &LatticeReport, i: usize, ctx: &str) -> Result<(), String> {
+    let (ra, rb) = (&a.rows[i], &b.rows[i]);
+    if ra.name != rb.name {
+        return Err(format!(
+            "{ctx}: variant order differs: {} vs {}",
+            ra.name, rb.name
+        ));
+    }
+    if (ra.arity, ra.fields, ra.checked, ra.shared) != (rb.arity, rb.fields, rb.checked, rb.shared)
+    {
+        return Err(format!(
+            "{ctx}: {}: (arity, fields, checked, shared) = ({}, {}, {}, {}) incr vs ({}, {}, {}, {}) control",
+            ra.name, ra.arity, ra.fields, ra.checked, ra.shared, rb.arity, rb.fields, rb.checked,
+            rb.shared
+        ));
+    }
+    Ok(())
+}
+
+/// Whether two rows agree exactly (modulo wall time).
+fn same_stat(a: &VariantStat, b: &VariantStat) -> bool {
+    (a.arity, a.fields, a.checked, a.shared) == (b.arity, b.fields, b.checked, b.shared)
+}
+
+fn run_script(script: &EditScript) -> Result<(), String> {
+    let feats = &script.features;
+    let steps = expand_script(script);
+    let top = variant_name(feats);
+
+    // Initial cold builds: the incremental entry point with an empty
+    // previous universe (everything fingerprint-misses) vs the
+    // sequential control. Both are cold, so rows must match exactly and
+    // the aggregate ledgers must agree unit for unit.
+    let empty = FamilyUniverse::new();
+    let (mut incr_u, incr_init, init_outcome) =
+        build_lattice_defs_incr_with(&empty, feats, subset_defs(feats), &[], 1)
+            .map_err(|e| format!("initial incremental build failed: {e:?}"))?;
+    let mut ctrl_u = FamilyUniverse::new();
+    let ctrl_sess = ctrl_u.session().clone();
+    let ctrl_init = build_lattice_defs(&mut ctrl_u, feats, subset_defs(feats))
+        .map_err(|e| format!("initial control build failed: {e:?}"))?;
+    if init_outcome.dirty != incr_init.rows.len() {
+        return Err(format!(
+            "cold incremental build must be all-dirty: {} of {}",
+            init_outcome.dirty,
+            incr_init.rows.len()
+        ));
+    }
+    for i in 0..incr_init.rows.len() {
+        row_eq(&incr_init, &ctrl_init, i, "initial")?;
+    }
+    if !incr_u.modenv.ledger.same_counts(&ctrl_u.modenv.ledger) {
+        return Err("cold aggregate ledgers diverge".into());
+    }
+
+    // Every row a variant ever produced by *running* in the incremental
+    // chain — the pool a memo-served copy must come from.
+    let mut history: HashMap<String, Vec<VariantStat>> = HashMap::new();
+    for row in &incr_init.rows {
+        history
+            .entry(row.name.clone())
+            .or_default()
+            .push(row.clone());
+    }
+
+    let mut total_cutoff = 0usize;
+    let mut expects_cutoff = false;
+    for (k, step) in steps.iter().enumerate() {
+        let touch: Vec<&str> = step.touch.iter().map(|s| s.as_str()).collect();
+        if step.touch.as_deref().is_some_and(|t| t != top) {
+            expects_cutoff = true;
+        }
+        let (next_u, report, outcome) =
+            build_lattice_defs_incr_with(&incr_u, feats, step.defs.clone(), &touch, 1)
+                .map_err(|e| format!("incremental step {k} failed: {e:?}"))?;
+        incr_u = next_u;
+        let mut cu = FamilyUniverse::with_session(ctrl_sess.clone());
+        let ctrl = build_lattice_defs(&mut cu, feats, step.defs.clone())
+            .map_err(|e| format!("control step {k} failed: {e:?}"))?;
+
+        if outcome.total() != report.rows.len() {
+            return Err(format!(
+                "step {k}: outcome tally {} does not cover the {} rows",
+                outcome.total(),
+                report.rows.len()
+            ));
+        }
+        total_cutoff += outcome.cutoff;
+        for (i, row) in report.rows.iter().enumerate() {
+            let ct = &ctrl.rows[i];
+            if ct.name != row.name {
+                return Err(format!("step {k}: variant order diverged at {}", row.name));
+            }
+            // Structure is a function of the current source, whether the
+            // row ran or replayed: same merged field count, same total
+            // proof obligations.
+            if row.fields != ct.fields {
+                return Err(format!(
+                    "step {k}: {}: fields {} incr vs {} control",
+                    row.name, row.fields, ct.fields
+                ));
+            }
+            if row.checked + row.shared != ct.checked + ct.shared {
+                return Err(format!(
+                    "step {k}: {}: checked+shared not conserved: incr {}+{} vs control {}+{}",
+                    row.name, row.checked, row.shared, ct.checked, ct.shared
+                ));
+            }
+            if outcome.ran.iter().any(|n| n == &row.name) {
+                // Re-elaborated: exactly the control of the same step.
+                row_eq(&report, &ctrl, i, &format!("step {k} (ran)"))?;
+                history
+                    .entry(row.name.clone())
+                    .or_default()
+                    .push(row.clone());
+            } else {
+                // Memo-served: a literal copy of some earlier run of this
+                // chain (the one whose fingerprint matches now).
+                let runs = history
+                    .get(&row.name)
+                    .ok_or_else(|| format!("step {k}: unknown variant {}", row.name))?;
+                if !runs.iter().any(|r| same_stat(r, row)) {
+                    return Err(format!(
+                        "step {k}: {}: memo-served row ({}, {}, {}, {}) matches no prior run",
+                        row.name, row.arity, row.fields, row.checked, row.shared
+                    ));
+                }
+            }
+        }
+    }
+
+    if expects_cutoff && total_cutoff == 0 {
+        return Err("script touched a non-top variant but no early cutoff was observed".into());
+    }
+
+    // After the whole history, the two sessions cache exactly the same
+    // proofs — byte for byte, in the same deterministic export order.
+    let a = incr_u.session().export();
+    let b = ctrl_sess.export();
+    if a != b {
+        return Err(format!(
+            "session exports diverge: incr {} entries vs control {}",
+            a.len(),
+            b.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Oracle #10: random edit scripts, incremental vs from-scratch.
+#[test]
+fn random_edit_scripts_recheck_equals_rebuild() {
+    forall(
+        "incr_recheck_eq_rebuild",
+        0x10C0FFEE,
+        4,
+        gen_edit_script,
+        |s: &EditScript| run_script(s),
+    );
+}
+
+/// The deterministic no-op-edit pin: touching the base of a two-feature
+/// lattice re-proves exactly that variant; *everything* downstream is
+/// served by early cutoff and the rest replays — 100% of the non-dirty
+/// lattice comes from the memo, observable both in the outcome tally and
+/// in the global `fpop_incr_cutoff_total` counter.
+#[test]
+fn noop_edit_reproves_nothing_beyond_the_touched_variant() {
+    let feats = [Feature::Fix, Feature::Prod];
+    let empty = FamilyUniverse::new();
+    let (u, _, _) = build_lattice_defs_incr_with(&empty, &feats, subset_defs(&feats), &[], 1)
+        .expect("cold build");
+    let cutoff_before = fpop::incr::incr_counter("cutoff");
+    let (_, report, outcome) =
+        build_lattice_defs_incr_with(&u, &feats, subset_defs(&feats), &["STLC"], 1)
+            .expect("touch rebuild");
+    assert_eq!(outcome.ran, vec!["STLC".to_string()]);
+    assert_eq!(outcome.dirty, 1, "only the touched variant re-elaborates");
+    assert_eq!(
+        outcome.cutoff,
+        report.rows.len() - 1,
+        "every dependent of the unchanged base early-cuts"
+    );
+    assert_eq!(outcome.replayed, 0, "nothing is independent of the base");
+    assert_eq!(
+        fpop::incr::incr_counter("cutoff") - cutoff_before,
+        (report.rows.len() - 1) as u64,
+        "the Prometheus counter observes the same cutoffs"
+    );
+}

@@ -24,7 +24,7 @@
 //! and the elaborator reads/writes it through a [`CacheTxn`], so reuse
 //! reaches across every family (and thread) drawing on the same session.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use objlang::error::{Error, Result};
@@ -59,6 +59,15 @@ pub struct CompiledFamily {
     pub assumptions: Vec<Symbol>,
     /// Checked-vs-shared accounting for this family's elaboration.
     pub ledger: CheckLedger,
+    /// Names further bound during the merge this compilation came from —
+    /// preserved so a replan can reconstruct the [`MergedFamily`] of an
+    /// unchanged definition without re-merging.
+    pub extended_names: HashSet<Symbol>,
+    /// [`crate::incr::def_digest`] of the definition, via the merge.
+    pub def_digest: u64,
+    /// [`crate::incr::source_digest`] of the merged source, computed once
+    /// here so replanning diffs compiled families by a stored word.
+    pub src_digest: u64,
 }
 
 /// The overridable-definition snapshot key. Computed with the *stable*
@@ -243,6 +252,9 @@ impl<'m> FieldElab<'m> {
             theorems: self.theorems,
             assumptions: self.assumptions,
             ledger: self.ledger,
+            extended_names: merged.extended_names.clone(),
+            def_digest: merged.def_digest,
+            src_digest: crate::incr::source_digest_merged(merged),
         })
     }
 }

@@ -61,6 +61,7 @@
 
 pub mod elab;
 pub mod family;
+pub mod incr;
 pub mod merge;
 pub mod parse;
 pub mod report;
@@ -71,6 +72,7 @@ pub mod universe;
 
 pub use elab::CompiledFamily;
 pub use family::{FamilyDef, Field, ProofSpec};
+pub use incr::IncrOutcome;
 pub use sched::TaskDag;
 pub use session::{
     CacheTxn, ExportEntry, ExportMark, Session, SessionStats, StatsSnapshot, TxnParts,

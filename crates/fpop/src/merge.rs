@@ -55,6 +55,10 @@ pub struct MergedFamily {
     pub fields: Vec<MergedField>,
     /// Names further bound (extended or overridden) during this merge.
     pub extended_names: HashSet<Symbol>,
+    /// [`crate::incr::def_digest`] of the definition this merge came from
+    /// — carried through compilation so a later replan can recognize an
+    /// unchanged def and skip re-merging it.
+    pub def_digest: u64,
 }
 
 /// Merges `own` with the base field list and the mixin deltas.
@@ -88,6 +92,7 @@ pub fn merge(
         base: own.extends,
         fields,
         extended_names: extended,
+        def_digest: crate::incr::def_digest(own),
     })
 }
 

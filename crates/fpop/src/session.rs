@@ -596,6 +596,10 @@ pub struct Session {
     /// and never exported, snapshotted, or imported (`FPOPSNAP` and the
     /// okeys are unaffected).
     code: objlang::vm::CodeCache,
+    /// Incremental-recheck memo table ([`crate::incr`]): fingerprint →
+    /// memoized variant elaboration. Derived data only, exactly like the
+    /// code cache — never exported, snapshotted, or imported.
+    incr: crate::incr::MemoStore,
 }
 
 impl std::fmt::Debug for Session {
@@ -624,6 +628,7 @@ impl Default for Session {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             code: objlang::vm::CodeCache::new(),
+            incr: crate::incr::MemoStore::new(),
         }
     }
 }
@@ -646,6 +651,7 @@ impl Session {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             code: objlang::vm::CodeCache::new(),
+            incr: crate::incr::MemoStore::new(),
         })
     }
 
@@ -656,6 +662,14 @@ impl Session {
     /// only — never part of exports or snapshots.
     pub fn code_cache(&self) -> &objlang::vm::CodeCache {
         &self.code
+    }
+
+    /// The session-scoped incremental-recheck memo table ([`crate::incr`]):
+    /// fingerprint-keyed outcomes of variant elaborations, consulted by the
+    /// lattice builders for early-cutoff replays. Derived data only —
+    /// never part of exports or snapshots.
+    pub fn incr_memos(&self) -> &crate::incr::MemoStore {
+        &self.incr
     }
 
     /// Number of shards in the shared store.
@@ -847,6 +861,65 @@ impl Session {
         inserted
     }
 
+    /// By-reference variant of [`Session::merge_overlay`]: entries are
+    /// cloned only when actually inserted, so merging an overlay whose
+    /// entries are already present (the warm-rebuild and memo-replay
+    /// cases) copies nothing. This is what lets [`Session::commit_parts`]
+    /// stop deep-cloning the whole overlay per deferred commit (ROADMAP
+    /// item #1's deferred-commit share of the single-worker DAG overhead).
+    fn merge_overlay_ref(&self, overlay: &ProofCache) -> u64 {
+        // Per-shard buckets of borrowed (hash, entries) pairs awaiting merge.
+        type ShardGroup<'a> = (
+            Vec<(u64, &'a Vec<TheoremEntry>)>,
+            Vec<(u64, &'a Vec<CaseEntry>)>,
+        );
+        let n = self.shards.len() as u64;
+        let mut groups: Vec<ShardGroup<'_>> = (0..self.shards.len())
+            .map(|_| (Vec::new(), Vec::new()))
+            .collect();
+        for (h, v) in &overlay.theorems {
+            groups[(h % n) as usize].0.push((*h, v));
+        }
+        for (h, v) in &overlay.cases {
+            groups[(h % n) as usize].1.push((*h, v));
+        }
+        let mut inserted = 0u64;
+        for (i, (thms, cases)) in groups.into_iter().enumerate() {
+            if thms.is_empty() && cases.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[i].write().expect("session cache poisoned");
+            for (h, v) in thms {
+                let bucket = shard.theorems.entry(h).or_default();
+                for e in v {
+                    let dup = bucket.iter().any(|b| {
+                        b.okey == e.okey
+                            && b.statement == e.statement
+                            && b.script == e.script
+                            && b.closed_world_key == e.closed_world_key
+                    });
+                    if !dup {
+                        bucket.push(e.clone());
+                        inserted += 1;
+                    }
+                }
+            }
+            for (h, v) in cases {
+                let bucket = shard.cases.entry(h).or_default();
+                for e in v {
+                    let dup = bucket.iter().any(|b| {
+                        b.okey == e.okey && b.sequent == e.sequent && b.script == e.script
+                    });
+                    if !dup {
+                        bucket.push(e.clone());
+                        inserted += 1;
+                    }
+                }
+            }
+        }
+        inserted
+    }
+
     /// Publishes a transaction's outcome to the session counters.
     fn publish(&self, inserted: u64, hits: u64, misses: u64) {
         self.hits.fetch_add(hits, Ordering::Relaxed);
@@ -861,8 +934,22 @@ impl Session {
     /// after the whole schedule has run. Returns the number of entries
     /// actually inserted (duplicates skipped).
     pub fn commit_parts(&self, parts: &TxnParts) -> u64 {
-        let inserted = self.merge_overlay((*parts.overlay).clone());
+        let inserted = self.merge_overlay_ref(&parts.overlay);
         self.publish(inserted, parts.hits, parts.misses);
+        inserted
+    }
+
+    /// Commits the detached parts of a **replayed** (memo-served) variant.
+    /// The overlay is merged idempotently — normally inserting nothing,
+    /// since a memoized variant's proofs were committed by the build that
+    /// recorded the memo — and every lookup the original elaboration
+    /// performed is republished as a hit: a replay pays no proof work,
+    /// which is exactly what the hit counter measures. In particular a
+    /// fully warm rebuild still satisfies the warm-restart invariant
+    /// `misses == 0 && inserts == 0`.
+    pub fn commit_parts_replayed(&self, parts: &TxnParts) -> u64 {
+        let inserted = self.merge_overlay_ref(&parts.overlay);
+        self.publish(inserted, parts.hits + parts.misses, 0);
         inserted
     }
 }

@@ -73,6 +73,31 @@ impl Fnv64 {
         self.write(s.as_bytes());
     }
 
+    /// Streams a value's `Debug`/`Display` rendering straight into the
+    /// hasher — no intermediate `String` — then appends the byte count.
+    /// The trailing length plays the same anti-concatenation role as
+    /// [`Self::write_str`]'s prefix (it just cannot come first, because
+    /// the length is unknown until the value has been formatted).
+    pub fn write_fmt(&mut self, args: std::fmt::Arguments<'_>) {
+        struct Sink<'a> {
+            h: &'a mut Fnv64,
+            n: usize,
+        }
+        impl std::fmt::Write for Sink<'_> {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                self.h.write(s.as_bytes());
+                self.n += s.len();
+                Ok(())
+            }
+        }
+        let n = {
+            let mut sink = Sink { h: self, n: 0 };
+            std::fmt::write(&mut sink, args).expect("formatting a value never fails");
+            sink.n
+        };
+        self.write_len(n);
+    }
+
     /// The accumulated hash.
     pub fn finish(&self) -> u64 {
         self.0

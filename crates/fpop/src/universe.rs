@@ -26,7 +26,7 @@ use crate::session::Session;
 /// A universe of compiled families sharing a module environment and a
 /// check session (the cross-family reuse of Section 4).
 pub struct FamilyUniverse {
-    families: HashMap<Symbol, CompiledFamily>,
+    families: HashMap<Symbol, Arc<CompiledFamily>>,
     order: Vec<Symbol>,
     session: Arc<Session>,
     /// The shared module environment; inspect it for the Figures 4–5
@@ -89,7 +89,24 @@ impl FamilyUniverse {
         def: &FamilyDef,
         planned: &HashMap<Symbol, crate::merge::MergedFamily>,
     ) -> Result<crate::merge::MergedFamily> {
-        if self.families.contains_key(&def.name) || planned.contains_key(&def.name) {
+        self.resolve_inner(def, planned, false)
+    }
+
+    /// The resolve core. With `allow_shadow`, a definition may *reuse* the
+    /// name of an already-compiled family: the new merge shadows the old
+    /// compiled one (planned entries are consulted before compiled ones),
+    /// which is what a replan-after-edit needs — the batch redefines the
+    /// whole lattice over the same names. Duplicates *within* the batch
+    /// are always an error.
+    fn resolve_inner(
+        &self,
+        def: &FamilyDef,
+        planned: &HashMap<Symbol, crate::merge::MergedFamily>,
+        allow_shadow: bool,
+    ) -> Result<crate::merge::MergedFamily> {
+        if planned.contains_key(&def.name)
+            || (!allow_shadow && self.families.contains_key(&def.name))
+        {
             return Err(Error::new(format!(
                 "family {} is already defined",
                 def.name
@@ -153,6 +170,87 @@ impl FamilyUniverse {
         Ok(out)
     }
 
+    /// Replans a whole lattice *after an edit*: like [`Self::plan`], but
+    /// definitions may reuse the names of families already compiled in
+    /// this universe (the new merges shadow them), and each planned
+    /// variant is diffed against the previous build by source digest
+    /// ([`crate::incr::source_digest`]). Returns the merges in input
+    /// order, an `edited` flag per variant — `true` when the merged
+    /// source differs from the compiled family of the same name (or no
+    /// such family exists) — and each merge's source digest. The flags
+    /// seed the incremental lattice build with exactly the dirty cone's
+    /// roots; everything else is a memo candidate.
+    ///
+    /// Replanning is itself incremental: a definition whose
+    /// [`def_digest`](crate::incr::def_digest) matches its compiled
+    /// predecessor's, and whose base and mixins are all clean, *must*
+    /// merge to the predecessor's exact field list — so the merge is
+    /// reconstructed from the compiled family (a field-list clone and two
+    /// stored digests) instead of re-run. This leans on the universes the
+    /// in-tree builders produce being internally consistent: every
+    /// compiled family was compiled against the ancestor shapes compiled
+    /// beside it.
+    pub fn replan_after_edit<'a>(
+        &self,
+        defs: impl IntoIterator<Item = &'a FamilyDef>,
+    ) -> Result<(Vec<crate::merge::MergedFamily>, Vec<bool>, Vec<u64>)> {
+        let mut planned: HashMap<Symbol, crate::merge::MergedFamily> = HashMap::new();
+        // Batch members that came out content-equal to their compiled
+        // predecessor. Ancestors *outside* the batch are compiled families
+        // being neither edited nor replanned — clean by definition.
+        let mut clean: HashMap<Symbol, bool> = HashMap::new();
+        let is_clean = |name: &Symbol, clean: &HashMap<Symbol, bool>| {
+            clean
+                .get(name)
+                .copied()
+                .unwrap_or_else(|| self.families.contains_key(name))
+        };
+        let mut out = Vec::new();
+        let mut edited = Vec::new();
+        let mut digests = Vec::new();
+        for def in defs {
+            let prev = self.families.get(&def.name);
+            let chain_clean = def.extends.is_none_or(|b| is_clean(&b, &clean))
+                && def.mixins.iter().all(|m| is_clean(m, &clean));
+            let dd = crate::incr::def_digest(def);
+            let (merged, dirty, digest) = match prev {
+                Some(p) if chain_clean && p.def_digest == dd => (
+                    crate::merge::MergedFamily {
+                        name: p.name,
+                        base: p.base,
+                        fields: p.fields.clone(),
+                        extended_names: p.extended_names.clone(),
+                        def_digest: dd,
+                    },
+                    false,
+                    p.src_digest,
+                ),
+                _ => {
+                    let merged = self
+                        .resolve_inner(def, &planned, true)
+                        .map_err(|e| e.with_context(format!("replanning family {}", def.name)))?;
+                    let digest = crate::incr::source_digest_merged(&merged);
+                    let dirty = match prev {
+                        Some(p) => crate::incr::source_digest_compiled(p) != digest,
+                        None => true,
+                    };
+                    (merged, dirty, digest)
+                }
+            };
+            clean.insert(def.name, !dirty);
+            // Clean variants need no `planned` entry: `resolve_inner` falls
+            // back to `self.families`, whose compiled shape is (by the
+            // fast-path argument above) identical to this merge.
+            if dirty {
+                planned.insert(def.name, merged.clone());
+            }
+            out.push(merged);
+            edited.push(dirty);
+            digests.push(digest);
+        }
+        Ok((out, edited, digests))
+    }
+
     /// Defines (elaborates and checks) a family. Equivalent to executing
     /// `Family F [extends B [using M…]]. … End F.`
     ///
@@ -171,8 +269,8 @@ impl FamilyUniverse {
         txn.commit();
         warm_code_cache(&self.session, &compiled);
         self.order.push(name);
-        self.families.insert(name, compiled);
-        Ok(&self.families[&name])
+        self.families.insert(name, Arc::new(compiled));
+        Ok(self.families[&name].as_ref())
     }
 
     /// Elaborates a family *without* mutating this universe: the module
@@ -197,6 +295,13 @@ impl FamilyUniverse {
     /// module delta into `self.modenv` (see `ModuleEnv::delta_since` /
     /// `apply_delta`) and committing the worker's transaction.
     pub fn adopt(&mut self, compiled: CompiledFamily) -> Result<()> {
+        self.adopt_arc(Arc::new(compiled))
+    }
+
+    /// [`Self::adopt`] for a family already behind an `Arc` — the
+    /// incremental lattice build replays memoized variants by sharing the
+    /// memo's compiled family rather than deep-cloning it.
+    pub fn adopt_arc(&mut self, compiled: Arc<CompiledFamily>) -> Result<()> {
         if self.families.contains_key(&compiled.name) {
             return Err(Error::new(format!(
                 "family {} is already defined",
@@ -211,7 +316,7 @@ impl FamilyUniverse {
 
     /// Looks up a compiled family.
     pub fn family(&self, name: &str) -> Option<&CompiledFamily> {
-        self.families.get(&Symbol::new(name))
+        self.families.get(&Symbol::new(name)).map(Arc::as_ref)
     }
 
     /// Families in definition order.

@@ -2,6 +2,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 use crate::ledger::CheckLedger;
 
@@ -124,10 +125,16 @@ pub struct Module {
 }
 
 /// The global environment of compiled modules and module types.
+///
+/// Module bodies are stored behind `Arc`s, so cloning an environment (the
+/// parallel lattice build clones one per variant) and applying a
+/// [`ModuleDelta`] are copy-on-write: only the name tables and the order
+/// vector are duplicated, never the entry vectors themselves. Modules are
+/// immutable once registered, which is what makes the sharing sound.
 #[derive(Clone, Default, Debug)]
 pub struct ModuleEnv {
-    module_types: HashMap<String, ModuleType>,
-    modules: HashMap<String, Module>,
+    module_types: HashMap<String, Arc<ModuleType>>,
+    modules: HashMap<String, Arc<Module>>,
     order: Vec<String>,
     /// Accounting of checked-vs-shared entities.
     pub ledger: CheckLedger,
@@ -155,7 +162,7 @@ impl ModuleEnv {
         }
         self.ledger.record_checked(&mt.name);
         self.order.push(mt.name.clone());
-        self.module_types.insert(mt.name.clone(), mt);
+        self.module_types.insert(mt.name.clone(), Arc::new(mt));
         Ok(())
     }
 
@@ -175,7 +182,7 @@ impl ModuleEnv {
         }
         self.ledger.record_checked(&m.name);
         self.order.push(m.name.clone());
-        self.modules.insert(m.name.clone(), m);
+        self.modules.insert(m.name.clone(), Arc::new(m));
         Ok(())
     }
 
@@ -194,11 +201,11 @@ impl ModuleEnv {
 
     /// Looks up a module type.
     pub fn module_type(&self, name: &str) -> Option<&ModuleType> {
-        self.module_types.get(name)
+        self.module_types.get(name).map(Arc::as_ref)
     }
     /// Looks up a module.
     pub fn module(&self, name: &str) -> Option<&Module> {
-        self.modules.get(name)
+        self.modules.get(name).map(Arc::as_ref)
     }
     /// Registration order of all names.
     pub fn names(&self) -> &[String] {
@@ -292,9 +299,9 @@ impl ModuleEnv {
         let mut entries = Vec::with_capacity(self.order.len().saturating_sub(mark));
         for name in self.order.iter().skip(mark) {
             if let Some(mt) = self.module_types.get(name) {
-                entries.push(DeltaEntry::Type(mt.clone()));
+                entries.push(DeltaEntry::Type(Arc::clone(mt)));
             } else if let Some(m) = self.modules.get(name) {
-                entries.push(DeltaEntry::Module(m.clone()));
+                entries.push(DeltaEntry::Module(Arc::clone(m)));
             }
         }
         ModuleDelta {
@@ -330,10 +337,10 @@ impl ModuleEnv {
             self.order.push(name.clone());
             match e {
                 DeltaEntry::Type(mt) => {
-                    self.module_types.insert(mt.name.clone(), mt.clone());
+                    self.module_types.insert(mt.name.clone(), Arc::clone(mt));
                 }
                 DeltaEntry::Module(m) => {
-                    self.modules.insert(m.name.clone(), m.clone());
+                    self.modules.insert(m.name.clone(), Arc::clone(m));
                 }
             }
         }
@@ -342,13 +349,17 @@ impl ModuleEnv {
     }
 }
 
-/// One entry of a [`ModuleDelta`], in registration order.
+/// One entry of a [`ModuleDelta`], in registration order. Entries share
+/// the registering environment's module bodies by `Arc`, so extracting
+/// and applying a delta never copies entry vectors (the satellite of the
+/// incremental-recheck work: dep-delta application is the per-variant
+/// setup cost of the task-DAG build).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum DeltaEntry {
     /// A module type registered by the worker.
-    Type(ModuleType),
+    Type(Arc<ModuleType>),
     /// A module registered by the worker.
-    Module(Module),
+    Module(Arc<Module>),
 }
 
 /// The portable result of elaborating into a scratch [`ModuleEnv`]: the

@@ -1,0 +1,213 @@
+//! Random **edit scripts** over an editable sub-lattice, feeding oracle
+//! #10: incremental recheck vs from-scratch rebuild.
+//!
+//! An edit script picks a feature subset and then performs a sequence of
+//! edits a user might make to a mechanization under active development:
+//!
+//! * **touch** — resubmit a variant unchanged but force it to re-prove
+//!   (the `redefine` verb's semantics: the only edits whose downstream
+//!   cone is served by *early cutoff*, because the re-elaborated output
+//!   is byte-identical);
+//! * **add** — append a fresh trivial lemma to one variant's definition
+//!   (a genuine source edit: the variant and every extension inheriting
+//!   the lemma go fingerprint-dirty);
+//! * **remove** — delete the most recently added scratch lemma from a
+//!   variant (another genuine edit; a no-op when none remain).
+//!
+//! Scratch lemmas are identifier-literal reflexivity facts
+//! (`s<k> = s<k>` by `Reflexivity`), well-formed in *every* family
+//! regardless of its signature, so an edited lattice always elaborates —
+//! the oracle compares successful builds, it does not hunt for failures.
+//!
+//! [`expand_script`] lowers a script to per-step submissions: the full
+//! edited definition list (what both the incremental builder and the
+//! from-scratch control consume) plus the touch target, if any.
+
+use families_stlc::{normalize_features, subset_defs, Feature};
+use fpop::family::FamilyDef;
+use objlang::syntax::{Prop, Term};
+use objlang::Tactic;
+
+use crate::harness::Shrink;
+use crate::rng::Rng;
+
+/// One edit. Variant indices are taken modulo the plan length at
+/// expansion time, so any op stays valid under shrinking of the feature
+/// subset.
+#[derive(Clone, Copy, Debug)]
+pub enum EditOp {
+    /// Force variant `0` (mod plan length) to re-prove, unchanged.
+    Touch(usize),
+    /// Append a fresh scratch lemma to the variant's definition.
+    AddLemma(usize),
+    /// Remove the variant's most recent scratch lemma (no-op when bare).
+    RemoveLemma(usize),
+}
+
+/// A feature subset plus the edit sequence applied to its lattice.
+#[derive(Clone, Debug)]
+pub struct EditScript {
+    /// Normalized, non-empty feature subset (the editable sub-lattice).
+    pub features: Vec<Feature>,
+    /// The edits, applied in order; each is one incremental rebuild.
+    pub ops: Vec<EditOp>,
+}
+
+/// One expanded step: the full definition list to submit after this
+/// edit, and the variant to touch (for [`EditOp::Touch`] steps).
+pub struct StepPlan {
+    /// The edited vernacular, positionally matching the canonical plan.
+    pub defs: Vec<FamilyDef>,
+    /// `Some(variant_name)` when this step forces a re-prove.
+    pub touch: Option<String>,
+}
+
+/// Draws an edit script: 1–3 features (duplicates normalized away) and
+/// 1–4 ops, always including at least one touch so every script
+/// exercises the early-cutoff path.
+pub fn gen_edit_script(r: &mut Rng) -> EditScript {
+    let all = Feature::all_extended();
+    let len = r.range(1, 4) as usize;
+    let raw: Vec<Feature> = (0..len).map(|_| *r.pick(&all)).collect();
+    let features = normalize_features(&raw);
+    let n_ops = r.range(1, 5) as usize;
+    let mut ops: Vec<EditOp> = (0..n_ops)
+        .map(|_| {
+            let v = r.below(64) as usize;
+            match r.below(3) {
+                0 => EditOp::Touch(v),
+                1 => EditOp::AddLemma(v),
+                _ => EditOp::RemoveLemma(v),
+            }
+        })
+        .collect();
+    if !ops.iter().any(|o| matches!(o, EditOp::Touch(_))) {
+        let v = r.below(64) as usize;
+        ops.push(EditOp::Touch(v));
+    }
+    EditScript { features, ops }
+}
+
+impl Shrink for EditScript {
+    fn shrinks(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        // Drop one op at a time.
+        for i in 0..self.ops.len() {
+            if self.ops.len() <= 1 {
+                break;
+            }
+            let mut ops = self.ops.clone();
+            ops.remove(i);
+            out.push(EditScript {
+                features: self.features.clone(),
+                ops,
+            });
+        }
+        // Drop one feature at a time (indices re-wrap modulo the smaller
+        // plan, so the ops stay valid).
+        for i in 0..self.features.len() {
+            if self.features.len() <= 1 {
+                break;
+            }
+            let mut features = self.features.clone();
+            features.remove(i);
+            out.push(EditScript {
+                features,
+                ops: self.ops.clone(),
+            });
+        }
+        out
+    }
+}
+
+/// The scratch lemma appended by the `k`-th [`EditOp::AddLemma`]: an
+/// identifier-literal reflexivity fact, distinct per serial so each adds
+/// a genuinely new theorem (and proof-cache entry).
+fn with_scratch_lemma(def: FamilyDef, serial: usize) -> FamilyDef {
+    let atom = Term::lit(&format!("s{serial}"));
+    def.reprove_lemma(
+        &format!("scratch_{serial}"),
+        Prop::eq(atom.clone(), atom),
+        vec![Tactic::Reflexivity],
+        &[],
+    )
+}
+
+/// Lowers a script into per-step submissions. Step *i*'s `defs` reflect
+/// every add/remove up to and including op *i*; `touch` is set on touch
+/// steps. Scratch-lemma serials are assigned in op order, so expansion
+/// is deterministic.
+pub fn expand_script(script: &EditScript) -> Vec<StepPlan> {
+    let base = subset_defs(&script.features);
+    let n = base.len();
+    // Per-variant stack of scratch-lemma serials currently present.
+    let mut scratch: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut serial = 0usize;
+    let mut steps = Vec::new();
+    for op in &script.ops {
+        let mut touch = None;
+        match *op {
+            EditOp::Touch(v) => {
+                touch = Some(base[v % n].name.to_string());
+            }
+            EditOp::AddLemma(v) => {
+                serial += 1;
+                scratch[v % n].push(serial);
+            }
+            EditOp::RemoveLemma(v) => {
+                scratch[v % n].pop();
+            }
+        }
+        let defs = subset_defs(&script.features)
+            .into_iter()
+            .zip(&scratch)
+            .map(|(d, serials)| serials.iter().fold(d, |d, &k| with_scratch_lemma(d, k)))
+            .collect();
+        steps.push(StepPlan { defs, touch });
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_well_formed_and_expand() {
+        let mut r = Rng::new(0xED17);
+        for _ in 0..100 {
+            let s = gen_edit_script(&mut r);
+            assert!(!s.features.is_empty());
+            assert!(s.ops.iter().any(|o| matches!(o, EditOp::Touch(_))));
+            let steps = expand_script(&s);
+            assert_eq!(steps.len(), s.ops.len());
+            let plan_len = subset_defs(&s.features).len();
+            for step in &steps {
+                assert_eq!(step.defs.len(), plan_len);
+            }
+        }
+    }
+
+    #[test]
+    fn add_then_remove_restores_the_original_defs() {
+        let s = EditScript {
+            features: vec![Feature::Fix],
+            ops: vec![EditOp::AddLemma(0), EditOp::RemoveLemma(0)],
+        };
+        let steps = expand_script(&s);
+        let stock = subset_defs(&s.features);
+        assert_ne!(steps[0].defs, stock, "add changes the vernacular");
+        assert_eq!(steps[1].defs, stock, "remove undoes it exactly");
+    }
+
+    #[test]
+    fn shrinks_stay_valid() {
+        let mut r = Rng::new(0x51);
+        let s = gen_edit_script(&mut r);
+        for cand in s.shrinks() {
+            assert!(!cand.features.is_empty());
+            assert!(!cand.ops.is_empty());
+            let _ = expand_script(&cand);
+        }
+    }
+}

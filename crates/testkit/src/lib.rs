@@ -29,6 +29,9 @@
 //!   robustness/totality testing of the prover front end.
 //! * [`family_gen`] — random feature subsets and incremental
 //!   family-composition (linkage-transformer) chains over the lattice.
+//! * [`edit_gen`] — random edit scripts (touch / add-lemma /
+//!   remove-lemma over a sub-lattice, with shrinking), feeding oracle
+//!   #10: incremental recheck vs from-scratch rebuild.
 //! * [`store_gen`] — random proof-cache stores ([`fpop::ExportEntry`]
 //!   vectors with arbitrary terms, props, tactics, and sequents) for
 //!   exercising the `FPOPSNAP` codec.
@@ -45,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod edit_gen;
 pub mod family_gen;
 pub mod harness;
 pub mod objfun_gen;
